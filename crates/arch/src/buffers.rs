@@ -1,0 +1,145 @@
+//! Access-tracked on-chip buffer and register-file models.
+//!
+//! The performance simulator charges energy per byte moved in and out of the
+//! feature, weight, metadata and instruction buffers. This module provides a
+//! minimal capacity-checked buffer model that counts those accesses.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ArchError;
+
+/// An access-counting on-chip buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrackedBuffer {
+    name: String,
+    capacity_bytes: usize,
+    reads: u64,
+    writes: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+impl TrackedBuffer {
+    /// Creates a buffer with the given name and capacity.
+    #[must_use]
+    pub fn new(name: impl Into<String>, capacity_bytes: usize) -> Self {
+        Self { name: name.into(), capacity_bytes, reads: 0, writes: 0, bytes_read: 0, bytes_written: 0 }
+    }
+
+    /// The buffer's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Records a read of `bytes` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::BufferOverflow`] when a single access exceeds the
+    /// buffer capacity (the working set cannot possibly be resident).
+    pub fn read(&mut self, bytes: usize) -> Result<(), ArchError> {
+        self.check(bytes)?;
+        self.reads += 1;
+        self.bytes_read += bytes as u64;
+        Ok(())
+    }
+
+    /// Records a write of `bytes` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::BufferOverflow`] when a single access exceeds the
+    /// buffer capacity.
+    pub fn write(&mut self, bytes: usize) -> Result<(), ArchError> {
+        self.check(bytes)?;
+        self.writes += 1;
+        self.bytes_written += bytes as u64;
+        Ok(())
+    }
+
+    fn check(&self, bytes: usize) -> Result<(), ArchError> {
+        if bytes > self.capacity_bytes {
+            return Err(ArchError::BufferOverflow {
+                buffer: self.name.clone(),
+                requested: bytes,
+                capacity: self.capacity_bytes,
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of read transactions.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of write transactions.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total bytes read.
+    #[must_use]
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Total bytes written.
+    #[must_use]
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Total bytes moved (read + written).
+    #[must_use]
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Clears every counter.
+    pub fn reset(&mut self) {
+        self.reads = 0;
+        self.writes = 0;
+        self.bytes_read = 0;
+        self.bytes_written = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_reads_and_writes() {
+        let mut b = TrackedBuffer::new("feature", 1024);
+        b.read(100).unwrap();
+        b.read(24).unwrap();
+        b.write(512).unwrap();
+        assert_eq!(b.reads(), 2);
+        assert_eq!(b.writes(), 1);
+        assert_eq!(b.bytes_read(), 124);
+        assert_eq!(b.bytes_written(), 512);
+        assert_eq!(b.bytes_total(), 636);
+        assert_eq!(b.name(), "feature");
+        assert_eq!(b.capacity_bytes(), 1024);
+        b.reset();
+        assert_eq!(b.bytes_total(), 0);
+    }
+
+    #[test]
+    fn oversized_accesses_are_rejected() {
+        let mut b = TrackedBuffer::new("weight", 16);
+        assert!(b.read(17).is_err());
+        assert!(b.write(1024).is_err());
+        assert_eq!(b.reads(), 0);
+    }
+}

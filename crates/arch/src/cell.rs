@@ -1,0 +1,74 @@
+//! The 6T SRAM bit-cell and its cross-coupled complementary pair.
+//!
+//! The key observation of the paper: a 6T cell natively holds two
+//! complementary node voltages `Q` and `Q̄`. DB-PIM stores one Complementary
+//! Pattern block per cell — the cell value selects which of the block's two
+//! digit positions carries the non-zero digit — and reads both nodes through
+//! the local processing unit, turning one cell into two usable compute bits.
+
+use serde::{Deserialize, Serialize};
+
+/// One 6T SRAM cell. `q == true` stores the pattern whose non-zero digit sits
+/// in the dyadic block's *high* position; `q == false` stores the low
+/// position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct SixTCell {
+    q: bool,
+}
+
+impl SixTCell {
+    /// Creates a cell storing the given `Q` value.
+    #[must_use]
+    pub fn new(q: bool) -> Self {
+        Self { q }
+    }
+
+    /// The `Q` node value.
+    #[must_use]
+    pub fn q(&self) -> bool {
+        self.q
+    }
+
+    /// The complementary `Q̄` node value.
+    #[must_use]
+    pub fn q_bar(&self) -> bool {
+        !self.q
+    }
+
+    /// Writes a new value through the word line.
+    pub fn write(&mut self, q: bool) {
+        self.q = q;
+    }
+
+    /// Reads both complementary nodes (the state a DBMU's LPU multiplies
+    /// against the broadcast input bit).
+    #[must_use]
+    pub fn read_pair(&self) -> (bool, bool) {
+        (self.q, !self.q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_are_always_complementary() {
+        for q in [false, true] {
+            let cell = SixTCell::new(q);
+            assert_eq!(cell.q(), q);
+            assert_eq!(cell.q_bar(), !q);
+            let (a, b) = cell.read_pair();
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn write_flips_both_nodes() {
+        let mut cell = SixTCell::default();
+        assert!(!cell.q());
+        cell.write(true);
+        assert!(cell.q());
+        assert!(!cell.q_bar());
+    }
+}

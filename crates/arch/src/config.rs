@@ -1,0 +1,209 @@
+//! Architecture geometry and clocking parameters.
+//!
+//! The defaults reproduce Section 4.1 of the paper: four 16 Kb PIM macros at
+//! 500 MHz in 28 nm, a 128 KB feature buffer, 16 KB instruction buffer, 32 KB
+//! weight buffer, 96 KB meta buffer and four 6 KB metadata register files.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ArchError;
+
+/// Number of dyadic blocks per INT8 weight (8 digits / 2 digits per block).
+pub const BLOCKS_PER_WEIGHT: usize = 4;
+/// Bit width of weights and input features (8b/8b evaluation).
+pub const OPERAND_BITS: usize = 8;
+
+/// Geometry and clocking of the DB-PIM accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArchConfig {
+    /// Number of PIM macros in the PIM core.
+    pub macros: usize,
+    /// Compartments per macro; each compartment receives one broadcast input
+    /// feature per cycle.
+    pub compartments_per_macro: usize,
+    /// DBMU columns per compartment; filters share these columns
+    /// (`φ_th` cells per filter and compartment).
+    pub dbmus_per_compartment: usize,
+    /// Weight rows per DBMU (word lines).
+    pub rows_per_dbmu: usize,
+    /// Clock frequency in MHz.
+    pub frequency_mhz: f64,
+    /// Feature (activation) buffer capacity in bytes.
+    pub feature_buffer_bytes: usize,
+    /// Weight buffer capacity in bytes.
+    pub weight_buffer_bytes: usize,
+    /// Metadata buffer capacity in bytes.
+    pub meta_buffer_bytes: usize,
+    /// Instruction buffer capacity in bytes.
+    pub instruction_buffer_bytes: usize,
+    /// Metadata register-file capacity per macro in bytes.
+    pub meta_rf_bytes: usize,
+    /// Output register-file capacity in bytes.
+    pub output_rf_bytes: usize,
+    /// Number of filters the dense baseline processes per macro (8-bit cells
+    /// per weight leave room for only two filters plus two post-processing
+    /// units, as in the reference design the paper extends).
+    pub dense_filters_per_macro: usize,
+}
+
+impl ArchConfig {
+    /// The paper's configuration (Section 4.1).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            macros: 4,
+            compartments_per_macro: 16,
+            dbmus_per_compartment: 16,
+            rows_per_dbmu: 64,
+            frequency_mhz: 500.0,
+            feature_buffer_bytes: 128 * 1024,
+            weight_buffer_bytes: 32 * 1024,
+            meta_buffer_bytes: 96 * 1024,
+            instruction_buffer_bytes: 16 * 1024,
+            meta_rf_bytes: 6 * 1024,
+            output_rf_bytes: 2 * 1024 / 8,
+            dense_filters_per_macro: 2,
+        }
+    }
+
+    /// 6T cells per macro.
+    #[must_use]
+    pub fn cells_per_macro(&self) -> usize {
+        self.compartments_per_macro * self.dbmus_per_compartment * self.rows_per_dbmu
+    }
+
+    /// Macro storage capacity in kibibits (16 Kb for the paper's geometry).
+    #[must_use]
+    pub fn macro_kib(&self) -> f64 {
+        self.cells_per_macro() as f64 / 1024.0
+    }
+
+    /// Total PIM storage across all macros, in bytes.
+    #[must_use]
+    pub fn pim_bytes(&self) -> usize {
+        self.macros * self.cells_per_macro() / 8
+    }
+
+    /// Number of filters a macro processes in parallel for a filter threshold.
+    ///
+    /// Each filter occupies `φ_th` DBMU columns per compartment, so a macro
+    /// fits `dbmus_per_compartment / φ_th` filters: 16 at `φ_th = 1`, 8 at
+    /// `φ_th = 2`. Threshold-0 filters need no computation at all; by
+    /// convention they report the full column count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::UnsupportedThreshold`] when the threshold exceeds
+    /// the number of DBMU columns.
+    pub fn filters_per_macro(&self, threshold: u32) -> Result<usize, ArchError> {
+        if threshold == 0 {
+            return Ok(self.dbmus_per_compartment);
+        }
+        if threshold as usize > self.dbmus_per_compartment {
+            return Err(ArchError::UnsupportedThreshold { threshold });
+        }
+        Ok(self.dbmus_per_compartment / threshold as usize)
+    }
+
+    /// Number of weights of one filter a fully loaded macro holds
+    /// (`rows * compartments`).
+    #[must_use]
+    pub fn weights_per_filter_capacity(&self) -> usize {
+        self.rows_per_dbmu * self.compartments_per_macro
+    }
+
+    /// Clock period in nanoseconds.
+    #[must_use]
+    pub fn clock_period_ns(&self) -> f64 {
+        1e3 / self.frequency_mhz
+    }
+
+    /// Total on-chip SRAM buffer capacity in bytes, the "SRAM Size" row of
+    /// Table 3 (feature + weight + meta + instruction buffers; register files
+    /// are reported separately).
+    #[must_use]
+    pub fn sram_bytes(&self) -> usize {
+        self.feature_buffer_bytes
+            + self.weight_buffer_bytes
+            + self.meta_buffer_bytes
+            + self.instruction_buffer_bytes
+    }
+
+    /// Total register-file capacity (metadata RFs of every macro plus the
+    /// output RF) in bytes.
+    #[must_use]
+    pub fn register_file_bytes(&self) -> usize {
+        self.macros * self.meta_rf_bytes + self.output_rf_bytes
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::CapacityExceeded`] with a zero `available` field
+    /// when a mandatory parameter is zero.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        let check = |value: usize, resource: &'static str| {
+            if value == 0 {
+                Err(ArchError::CapacityExceeded { resource, requested: 1, available: 0 })
+            } else {
+                Ok(())
+            }
+        };
+        check(self.macros, "macros")?;
+        check(self.compartments_per_macro, "compartments")?;
+        check(self.dbmus_per_compartment, "dbmu columns")?;
+        check(self.rows_per_dbmu, "rows")?;
+        check(self.dense_filters_per_macro, "dense filters")?;
+        if self.frequency_mhz <= 0.0 {
+            return Err(ArchError::CapacityExceeded { resource: "frequency", requested: 1, available: 0 });
+        }
+        Ok(())
+    }
+}
+
+impl Default for ArchConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_matches_section_4_1() {
+        let cfg = ArchConfig::paper();
+        assert_eq!(cfg.cells_per_macro(), 16 * 1024);
+        assert!((cfg.macro_kib() - 16.0).abs() < f64::EPSILON);
+        assert_eq!(cfg.pim_bytes(), 8 * 1024); // 8 KB "PIM size" in Table 3
+        assert_eq!(cfg.filters_per_macro(1).unwrap(), 16);
+        assert_eq!(cfg.filters_per_macro(2).unwrap(), 8);
+        assert_eq!(cfg.filters_per_macro(0).unwrap(), 16);
+        assert_eq!(cfg.weights_per_filter_capacity(), 1024);
+        assert!((cfg.clock_period_ns() - 2.0).abs() < 1e-9);
+        // 272 KB of SRAM buffers as reported in Table 3, plus 4 x 6 KB meta
+        // RFs and a 2 Kb output RF.
+        assert_eq!(cfg.sram_bytes(), 272 * 1024);
+        assert_eq!(cfg.register_file_bytes(), 4 * 6 * 1024 + 256);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let mut cfg = ArchConfig::paper();
+        cfg.macros = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = ArchConfig::paper();
+        cfg.frequency_mhz = 0.0;
+        assert!(cfg.validate().is_err());
+        let cfg = ArchConfig::paper();
+        assert!(cfg.filters_per_macro(17).is_err());
+    }
+
+    #[test]
+    fn default_is_the_paper_configuration() {
+        assert_eq!(ArchConfig::default(), ArchConfig::paper());
+    }
+}

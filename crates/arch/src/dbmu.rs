@@ -1,0 +1,159 @@
+//! The dyadic block multiplication unit (DBMU): a column of 6T cells plus
+//! one local processing unit.
+//!
+//! A DBMU stores up to `rows_per_dbmu` Complementary Pattern blocks, one per
+//! word line. In any cycle at most one word line is active; the LPU then
+//! multiplies the broadcast input bit against the selected cell's `Q`/`Q̄`
+//! pair. Idle (padded) rows are tracked explicitly so that utilization can be
+//! charged exactly as Eq. (1) of the paper defines it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::SixTCell;
+use crate::error::ArchError;
+use crate::lpu::{LocalProcessingUnit, LpuOutput};
+
+/// One DBMU: `rows` 6T cells sharing a single LPU.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dbmu {
+    cells: Vec<SixTCell>,
+    occupied: Vec<bool>,
+    lpu: LocalProcessingUnit,
+}
+
+impl Dbmu {
+    /// Creates a DBMU with `rows` cells, all idle.
+    #[must_use]
+    pub fn new(rows: usize) -> Self {
+        Self {
+            cells: vec![SixTCell::default(); rows],
+            occupied: vec![false; rows],
+            lpu: LocalProcessingUnit,
+        }
+    }
+
+    /// Number of word lines (rows).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of rows currently holding a Complementary Pattern block.
+    #[must_use]
+    pub fn occupied_rows(&self) -> usize {
+        self.occupied.iter().filter(|&&o| o).count()
+    }
+
+    /// Writes a Complementary Pattern block into a row (`q == true` when the
+    /// non-zero digit occupies the block's high position).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::CapacityExceeded`] for an out-of-range row.
+    pub fn write_row(&mut self, row: usize, q: bool) -> Result<(), ArchError> {
+        let cell = self.cells.get_mut(row).ok_or(ArchError::CapacityExceeded {
+            resource: "rows",
+            requested: row + 1,
+            available: self.occupied.len(),
+        })?;
+        cell.write(q);
+        self.occupied[row] = true;
+        Ok(())
+    }
+
+    /// Marks a row as idle (padding slot for a weight with fewer non-zero
+    /// blocks than its filter's threshold).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::CapacityExceeded`] for an out-of-range row.
+    pub fn clear_row(&mut self, row: usize) -> Result<(), ArchError> {
+        if row >= self.cells.len() {
+            return Err(ArchError::CapacityExceeded {
+                resource: "rows",
+                requested: row + 1,
+                available: self.cells.len(),
+            });
+        }
+        self.cells[row] = SixTCell::default();
+        self.occupied[row] = false;
+        Ok(())
+    }
+
+    /// Returns `true` when the row currently holds a block.
+    #[must_use]
+    pub fn is_occupied(&self, row: usize) -> bool {
+        self.occupied.get(row).copied().unwrap_or(false)
+    }
+
+    /// Evaluates the LPU for the selected row against the broadcast input
+    /// bit. Idle rows contribute nothing (their output is gated off).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::CapacityExceeded`] for an out-of-range row.
+    pub fn compute(&self, row: usize, input_bit: bool) -> Result<LpuOutput, ArchError> {
+        let cell = self.cells.get(row).ok_or(ArchError::CapacityExceeded {
+            resource: "rows",
+            requested: row + 1,
+            available: self.cells.len(),
+        })?;
+        if !self.occupied[row] {
+            return Ok(LpuOutput::default());
+        }
+        Ok(self.lpu.multiply(input_bit, cell))
+    }
+
+    /// Clears every row.
+    pub fn reset(&mut self) {
+        for cell in &mut self.cells {
+            cell.write(false);
+        }
+        self.occupied.fill(false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_computes_per_row() {
+        let mut dbmu = Dbmu::new(4);
+        assert_eq!(dbmu.rows(), 4);
+        dbmu.write_row(0, true).unwrap();
+        dbmu.write_row(2, false).unwrap();
+        assert_eq!(dbmu.occupied_rows(), 2);
+        assert!(dbmu.is_occupied(0));
+        assert!(!dbmu.is_occupied(1));
+
+        let out = dbmu.compute(0, true).unwrap();
+        assert!(out.o_q && !out.o_q_bar);
+        let out = dbmu.compute(2, true).unwrap();
+        assert!(!out.o_q && out.o_q_bar);
+        // Idle row: gated off even with a one input.
+        let out = dbmu.compute(1, true).unwrap();
+        assert_eq!(out, LpuOutput::default());
+    }
+
+    #[test]
+    fn out_of_range_rows_error() {
+        let mut dbmu = Dbmu::new(2);
+        assert!(dbmu.write_row(2, true).is_err());
+        assert!(dbmu.compute(5, true).is_err());
+        assert!(dbmu.clear_row(9).is_err());
+        assert!(!dbmu.is_occupied(7));
+    }
+
+    #[test]
+    fn clear_and_reset_release_rows() {
+        let mut dbmu = Dbmu::new(3);
+        dbmu.write_row(0, true).unwrap();
+        dbmu.write_row(1, true).unwrap();
+        dbmu.clear_row(0).unwrap();
+        assert_eq!(dbmu.occupied_rows(), 1);
+        dbmu.reset();
+        assert_eq!(dbmu.occupied_rows(), 0);
+        assert_eq!(dbmu.compute(1, true).unwrap(), LpuOutput::default());
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for the architecture model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the bit-accurate architecture model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// A tile does not fit into the macro geometry.
+    CapacityExceeded {
+        /// What overflowed ("filters", "rows", "weights per filter", ...).
+        resource: &'static str,
+        /// Requested amount.
+        requested: usize,
+        /// Available amount.
+        available: usize,
+    },
+    /// Mismatched operand lengths (e.g. weights vs inputs).
+    LengthMismatch {
+        /// Description of the left operand.
+        left: &'static str,
+        /// Length of the left operand.
+        left_len: usize,
+        /// Description of the right operand.
+        right: &'static str,
+        /// Length of the right operand.
+        right_len: usize,
+    },
+    /// A filter threshold incompatible with the macro configuration.
+    UnsupportedThreshold {
+        /// The offending threshold.
+        threshold: u32,
+    },
+    /// A buffer access beyond the modelled capacity.
+    BufferOverflow {
+        /// Buffer name.
+        buffer: String,
+        /// Requested bytes.
+        requested: usize,
+        /// Capacity in bytes.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::CapacityExceeded { resource, requested, available } => {
+                write!(f, "macro capacity exceeded: {requested} {resource} requested, {available} available")
+            }
+            ArchError::LengthMismatch { left, left_len, right, right_len } => {
+                write!(f, "length mismatch: {left} has {left_len} elements but {right} has {right_len}")
+            }
+            ArchError::UnsupportedThreshold { threshold } => {
+                write!(f, "filter threshold {threshold} is not supported by the macro geometry")
+            }
+            ArchError::BufferOverflow { buffer, requested, capacity } => {
+                write!(f, "buffer {buffer} overflow: {requested} bytes requested, capacity {capacity}")
+            }
+        }
+    }
+}
+
+impl Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_quantities() {
+        let e = ArchError::CapacityExceeded { resource: "filters", requested: 20, available: 16 };
+        assert!(e.to_string().contains("20"));
+        assert!(e.to_string().contains("16"));
+        let e = ArchError::BufferOverflow { buffer: "weight".to_string(), requested: 10, capacity: 5 };
+        assert!(e.to_string().contains("weight"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArchError>();
+    }
+}

@@ -1,0 +1,66 @@
+//! The local processing unit (LPU): a four-transistor dual bitwise-AND.
+//!
+//! Each DBMU contains one LPU that multiplies the broadcast input bit with
+//! both nodes of the selected 6T cell, producing `O_Q = IN & Q` and
+//! `O_Q̄ = IN & Q̄` in the same cycle — two independent 1b × 1b
+//! multiplications out of a single stored cell.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::SixTCell;
+
+/// Output of one LPU evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct LpuOutput {
+    /// `IN & Q` — the product for the dyadic block's high digit position.
+    pub o_q: bool,
+    /// `IN & Q̄` — the product for the dyadic block's low digit position.
+    pub o_q_bar: bool,
+}
+
+impl LpuOutput {
+    /// Numeric contribution of the pair within its dyadic block, before the
+    /// block-index shift and sign: `2 * o_q + o_q_bar`.
+    #[must_use]
+    pub fn block_magnitude(&self) -> u32 {
+        2 * u32::from(self.o_q) + u32::from(self.o_q_bar)
+    }
+}
+
+/// The local processing unit of one DBMU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LocalProcessingUnit;
+
+impl LocalProcessingUnit {
+    /// Evaluates the dual AND for one input bit against one cell.
+    #[must_use]
+    pub fn multiply(self, input_bit: bool, cell: &SixTCell) -> LpuOutput {
+        LpuOutput { o_q: input_bit && cell.q(), o_q_bar: input_bit && cell.q_bar() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_input_produces_zero_outputs() {
+        let lpu = LocalProcessingUnit;
+        for q in [false, true] {
+            let out = lpu.multiply(false, &SixTCell::new(q));
+            assert!(!out.o_q && !out.o_q_bar);
+            assert_eq!(out.block_magnitude(), 0);
+        }
+    }
+
+    #[test]
+    fn one_input_selects_exactly_one_position() {
+        let lpu = LocalProcessingUnit;
+        let high = lpu.multiply(true, &SixTCell::new(true));
+        assert!(high.o_q && !high.o_q_bar);
+        assert_eq!(high.block_magnitude(), 2);
+        let low = lpu.multiply(true, &SixTCell::new(false));
+        assert!(!low.o_q && low.o_q_bar);
+        assert_eq!(low.block_magnitude(), 1);
+    }
+}

@@ -1,0 +1,489 @@
+//! The customized SRAM-PIM macro: bit-accurate sparse and dense execution.
+//!
+//! The macro is organised as `compartments × DBMU-columns × rows` 6T cells.
+//! Every compartment receives one broadcast input feature per cycle; a filter
+//! occupies `φ_th` DBMU columns (one per stored Complementary Pattern block)
+//! in every compartment. The CSD adder tree reduces a filter's contributions
+//! across compartments and block slots, and the filter's post-processing unit
+//! shift-and-adds the result over the bit-serial input columns emitted by the
+//! IPU.
+//!
+//! The same storage array also supports the *dense baseline* mapping the
+//! paper compares against: eight plain binary bit-cells per weight, two
+//! filters per macro, no zero-bit skipping.
+
+use dbpim_fta::metadata::FilterMetadata;
+use serde::{Deserialize, Serialize};
+
+use crate::adder_tree::{CellMeta, CsdAdderTree};
+use crate::config::{ArchConfig, OPERAND_BITS};
+use crate::dbmu::Dbmu;
+use crate::error::ArchError;
+use crate::ipu::InputPreprocessor;
+use crate::ppu::PostProcessingUnit;
+
+/// Event counts of one tile execution on a macro.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MacroComputeStats {
+    /// Compute cycles spent (one per emitted input bit column per row).
+    pub compute_cycles: u64,
+    /// Input bit columns skipped by the IPU.
+    pub skipped_columns: u64,
+    /// Cell/LPU read-compute operations issued.
+    pub cell_reads: u64,
+    /// Cell operations that produced a non-zero contribution.
+    pub effective_cell_ops: u64,
+    /// CSD adder-tree reductions performed.
+    pub adder_reductions: u64,
+    /// Post-processing shift-and-add operations performed.
+    pub ppu_operations: u64,
+    /// Word-line writes performed while loading the tile.
+    pub cell_writes: u64,
+}
+
+impl MacroComputeStats {
+    /// Actual utilization of the executed tile: effective cell operations
+    /// over issued cell operations (Eq. 1 evaluated dynamically).
+    #[must_use]
+    pub fn dynamic_utilization(&self) -> f64 {
+        if self.cell_reads == 0 {
+            return 1.0;
+        }
+        self.effective_cell_ops as f64 / self.cell_reads as f64
+    }
+}
+
+/// Result of executing one tile.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileExecution {
+    /// One accumulated dot product per filter of the tile.
+    pub outputs: Vec<i64>,
+    /// Event counts for the execution.
+    pub stats: MacroComputeStats,
+}
+
+/// One compartment: a row of DBMU columns sharing the broadcast input.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Compartment {
+    dbmus: Vec<Dbmu>,
+}
+
+impl Compartment {
+    fn new(columns: usize, rows: usize) -> Self {
+        Self { dbmus: (0..columns).map(|_| Dbmu::new(rows)).collect() }
+    }
+}
+
+/// The bit-accurate PIM macro model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PimMacro {
+    config: ArchConfig,
+    compartments: Vec<Compartment>,
+    /// Metadata mirror: `meta[compartment][column][row]`.
+    meta: Vec<Vec<Vec<Option<CellMeta>>>>,
+}
+
+impl PimMacro {
+    /// Creates an empty macro with the given geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error for a degenerate configuration.
+    pub fn new(config: ArchConfig) -> Result<Self, ArchError> {
+        config.validate()?;
+        let compartments = (0..config.compartments_per_macro)
+            .map(|_| Compartment::new(config.dbmus_per_compartment, config.rows_per_dbmu))
+            .collect();
+        let meta = vec![
+            vec![vec![None; config.rows_per_dbmu]; config.dbmus_per_compartment];
+            config.compartments_per_macro
+        ];
+        Ok(Self { config, compartments, meta })
+    }
+
+    /// The macro's geometry.
+    #[must_use]
+    pub fn config(&self) -> &ArchConfig {
+        &self.config
+    }
+
+    /// Clears every cell and its metadata.
+    pub fn reset(&mut self) {
+        for compartment in &mut self.compartments {
+            for dbmu in &mut compartment.dbmus {
+                dbmu.reset();
+            }
+        }
+        for compartment in &mut self.meta {
+            for column in compartment {
+                column.fill(None);
+            }
+        }
+    }
+
+    /// Executes one DB-PIM (sparse) tile: `filters` hold the dyadic-block
+    /// metadata of every filter mapped onto this macro, `inputs` the INT8
+    /// input features the tile multiplies against (one per weight position).
+    ///
+    /// Returns the per-filter signed dot products and the event counts.
+    ///
+    /// # Errors
+    ///
+    /// * [`ArchError::CapacityExceeded`] when the filters or weights do not
+    ///   fit the macro geometry.
+    /// * [`ArchError::LengthMismatch`] when a filter's weight count differs
+    ///   from the number of inputs.
+    pub fn execute_sparse_tile(
+        &mut self,
+        filters: &[FilterMetadata],
+        inputs: &[i8],
+        ipu: &InputPreprocessor,
+    ) -> Result<TileExecution, ArchError> {
+        let threshold = filters.iter().map(|f| f.threshold).max().unwrap_or(0).max(1);
+        let capacity = self.config.filters_per_macro(threshold)?;
+        if filters.len() > capacity {
+            return Err(ArchError::CapacityExceeded {
+                resource: "filters",
+                requested: filters.len(),
+                available: capacity,
+            });
+        }
+        if inputs.len() > self.config.weights_per_filter_capacity() {
+            return Err(ArchError::CapacityExceeded {
+                resource: "weights per filter",
+                requested: inputs.len(),
+                available: self.config.weights_per_filter_capacity(),
+            });
+        }
+        for filter in filters {
+            if filter.weights.len() != inputs.len() {
+                return Err(ArchError::LengthMismatch {
+                    left: "filter weights",
+                    left_len: filter.weights.len(),
+                    right: "inputs",
+                    right_len: inputs.len(),
+                });
+            }
+        }
+
+        self.reset();
+        let mut stats = MacroComputeStats::default();
+        let compartments = self.config.compartments_per_macro;
+        let slots = threshold as usize;
+
+        // Load phase: weight j of filter f goes to compartment (j mod C),
+        // row (j div C), columns [f*slots, f*slots + slots).
+        for (f, filter) in filters.iter().enumerate() {
+            for (j, weight) in filter.weights.iter().enumerate() {
+                let compartment = j % compartments;
+                let row = j / compartments;
+                for (s, slot) in weight.slots.iter().enumerate() {
+                    let column = f * slots + s;
+                    if let Some(block) = slot {
+                        self.compartments[compartment].dbmus[column].write_row(row, block.high)?;
+                        self.meta[compartment][column][row] =
+                            Some(CellMeta::new(block.db_index, block.sign));
+                        stats.cell_writes += 1;
+                    } else {
+                        self.compartments[compartment].dbmus[column].clear_row(row)?;
+                        self.meta[compartment][column][row] = None;
+                    }
+                }
+            }
+        }
+
+        // Compute phase: bit-serial over the IPU-selected columns, row by row.
+        let tree = CsdAdderTree;
+        let mut ppus: Vec<PostProcessingUnit> = vec![PostProcessingUnit::new(); filters.len()];
+        let rows_used = inputs.len().div_ceil(compartments);
+        for row in 0..rows_used {
+            let start = row * compartments;
+            let end = (start + compartments).min(inputs.len());
+            let group = &inputs[start..end];
+            let ipu_result = ipu.process(group);
+            stats.skipped_columns += ipu_result.skipped_columns as u64;
+            for column_bits in &ipu_result.columns {
+                stats.compute_cycles += 1;
+                for (f, ppu) in ppus.iter_mut().enumerate() {
+                    let mut operands = Vec::with_capacity(group.len() * slots);
+                    for (c, &input_bit) in column_bits.bits.iter().enumerate() {
+                        for s in 0..slots {
+                            let column = f * slots + s;
+                            let out = self.compartments[c].dbmus[column].compute(row, input_bit)?;
+                            let meta = self.meta[c][column][row];
+                            stats.cell_reads += 1;
+                            if meta.is_some() && out.block_magnitude() != 0 {
+                                stats.effective_cell_ops += 1;
+                            }
+                            operands.push((out, meta));
+                        }
+                    }
+                    let (partial, _) = tree.reduce(&operands);
+                    stats.adder_reductions += 1;
+                    ppu.accumulate_bit(partial, column_bits.position);
+                    stats.ppu_operations += 1;
+                }
+            }
+        }
+        let outputs = ppus.iter_mut().map(PostProcessingUnit::drain).collect();
+        Ok(TileExecution { outputs, stats })
+    }
+
+    /// Executes one dense-baseline tile: weights are stored as eight plain
+    /// binary bit-cells each, `dense_filters_per_macro` filters at a time.
+    ///
+    /// # Errors
+    ///
+    /// * [`ArchError::CapacityExceeded`] when the filters or weights do not
+    ///   fit.
+    /// * [`ArchError::LengthMismatch`] when a filter's weight count differs
+    ///   from the number of inputs.
+    pub fn execute_dense_tile(
+        &mut self,
+        filters: &[Vec<i8>],
+        inputs: &[i8],
+        ipu: &InputPreprocessor,
+    ) -> Result<TileExecution, ArchError> {
+        if filters.len() > self.config.dense_filters_per_macro {
+            return Err(ArchError::CapacityExceeded {
+                resource: "filters",
+                requested: filters.len(),
+                available: self.config.dense_filters_per_macro,
+            });
+        }
+        if inputs.len() > self.config.weights_per_filter_capacity() {
+            return Err(ArchError::CapacityExceeded {
+                resource: "weights per filter",
+                requested: inputs.len(),
+                available: self.config.weights_per_filter_capacity(),
+            });
+        }
+        if OPERAND_BITS * filters.len() > self.config.dbmus_per_compartment {
+            return Err(ArchError::CapacityExceeded {
+                resource: "weight bit columns",
+                requested: OPERAND_BITS * filters.len(),
+                available: self.config.dbmus_per_compartment,
+            });
+        }
+        for filter in filters {
+            if filter.len() != inputs.len() {
+                return Err(ArchError::LengthMismatch {
+                    left: "filter weights",
+                    left_len: filter.len(),
+                    right: "inputs",
+                    right_len: inputs.len(),
+                });
+            }
+        }
+
+        self.reset();
+        let mut stats = MacroComputeStats::default();
+        let compartments = self.config.compartments_per_macro;
+        // Load: weight bit b of weight j of filter f in compartment (j mod C),
+        // row (j div C), column f*8 + b.
+        for (f, filter) in filters.iter().enumerate() {
+            for (j, &w) in filter.iter().enumerate() {
+                let compartment = j % compartments;
+                let row = j / compartments;
+                for b in 0..OPERAND_BITS {
+                    let column = f * OPERAND_BITS + b;
+                    let bit = (w as u8 >> b) & 1 == 1;
+                    self.compartments[compartment].dbmus[column].write_row(row, bit)?;
+                    stats.cell_writes += 1;
+                }
+            }
+        }
+
+        let tree = CsdAdderTree;
+        let mut ppus: Vec<PostProcessingUnit> = vec![PostProcessingUnit::new(); filters.len()];
+        let rows_used = inputs.len().div_ceil(compartments);
+        for row in 0..rows_used {
+            let start = row * compartments;
+            let end = (start + compartments).min(inputs.len());
+            let group = &inputs[start..end];
+            let ipu_result = ipu.process(group);
+            stats.skipped_columns += ipu_result.skipped_columns as u64;
+            for column_bits in &ipu_result.columns {
+                stats.compute_cycles += 1;
+                for (f, ppu) in ppus.iter_mut().enumerate() {
+                    let mut partial = 0i32;
+                    for b in 0..OPERAND_BITS {
+                        let column = f * OPERAND_BITS + b;
+                        let mut products = Vec::with_capacity(group.len());
+                        for (c, &input_bit) in column_bits.bits.iter().enumerate() {
+                            // In dense mode the stored bit is the cell's Q node.
+                            let out = self.compartments[c].dbmus[column].compute(row, input_bit)?;
+                            stats.cell_reads += 1;
+                            if out.o_q {
+                                stats.effective_cell_ops += 1;
+                            }
+                            products.push(out.o_q);
+                        }
+                        let (reduced, _) = tree.reduce_dense(&products, b as u32, b == OPERAND_BITS - 1);
+                        partial += reduced;
+                    }
+                    stats.adder_reductions += 1;
+                    ppu.accumulate_bit(partial, column_bits.position);
+                    stats.ppu_operations += 1;
+                }
+            }
+        }
+        let outputs = ppus.iter_mut().map(PostProcessingUnit::drain).collect();
+        Ok(TileExecution { outputs, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpim_fta::{FilterApprox, QueryTables};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn reference_dot(weights: &[i8], inputs: &[i8]) -> i64 {
+        weights.iter().zip(inputs).map(|(&w, &x)| i64::from(w) * i64::from(x)).sum()
+    }
+
+    fn metadata_for(weights: &[i8], threshold: u32) -> FilterMetadata {
+        let tables = QueryTables::new();
+        let approx = FilterApprox::approximate_with_threshold(weights, threshold, &tables).unwrap();
+        // The inputs to the macro are the *approximated* weights, so build the
+        // metadata from values that are already representable.
+        FilterMetadata::from_filter(0, &approx)
+    }
+
+    #[test]
+    fn sparse_tile_matches_reference_dot_product() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let tables = QueryTables::new();
+        for trial in 0..8 {
+            let len = 24 + trial;
+            let raw: Vec<i8> = (0..len).map(|_| rng.gen()).collect();
+            let inputs: Vec<i8> = (0..len).map(|_| rng.gen()).collect();
+            let approx = FilterApprox::approximate(&raw, &tables).unwrap();
+            let meta = FilterMetadata::from_filter(0, &approx);
+            let mut pim = PimMacro::new(ArchConfig::paper()).unwrap();
+            let exec = pim
+                .execute_sparse_tile(&[meta], &inputs, &InputPreprocessor::new())
+                .unwrap();
+            assert_eq!(exec.outputs.len(), 1);
+            assert_eq!(exec.outputs[0], reference_dot(approx.values(), &inputs), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn multiple_filters_compute_in_parallel() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let tables = QueryTables::new();
+        let len = 40usize;
+        let inputs: Vec<i8> = (0..len).map(|_| rng.gen()).collect();
+        let mut metas = Vec::new();
+        let mut approxes = Vec::new();
+        for _ in 0..8 {
+            let raw: Vec<i8> = (0..len).map(|_| rng.gen()).collect();
+            let approx = FilterApprox::approximate_with_threshold(&raw, 2, &tables).unwrap();
+            metas.push(FilterMetadata::from_filter(0, &approx));
+            approxes.push(approx);
+        }
+        let mut pim = PimMacro::new(ArchConfig::paper()).unwrap();
+        let exec = pim.execute_sparse_tile(&metas, &inputs, &InputPreprocessor::new()).unwrap();
+        for (out, approx) in exec.outputs.iter().zip(&approxes) {
+            assert_eq!(*out, reference_dot(approx.values(), &inputs));
+        }
+        assert!(exec.stats.compute_cycles > 0);
+        assert!(exec.stats.dynamic_utilization() <= 1.0);
+    }
+
+    #[test]
+    fn dense_tile_matches_reference_dot_product() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let len = 33usize;
+        let inputs: Vec<i8> = (0..len).map(|_| rng.gen()).collect();
+        let filters: Vec<Vec<i8>> = (0..2).map(|_| (0..len).map(|_| rng.gen()).collect()).collect();
+        let mut pim = PimMacro::new(ArchConfig::paper()).unwrap();
+        let exec = pim.execute_dense_tile(&filters, &inputs, &InputPreprocessor::without_sparsity()).unwrap();
+        for (out, filter) in exec.outputs.iter().zip(&filters) {
+            assert_eq!(*out, reference_dot(filter, &inputs));
+        }
+    }
+
+    #[test]
+    fn input_sparsity_reduces_cycles_without_changing_results() {
+        let tables = QueryTables::new();
+        let len = 32usize;
+        // Small non-negative activations: high-order bit columns are all zero.
+        let inputs: Vec<i8> = (0..len).map(|i| (i % 4) as i8).collect();
+        let raw: Vec<i8> = (0..len).map(|i| ((i * 37) % 120) as i8 - 60).collect();
+        let approx = FilterApprox::approximate(&raw, &tables).unwrap();
+        let meta = FilterMetadata::from_filter(0, &approx);
+
+        let mut pim = PimMacro::new(ArchConfig::paper()).unwrap();
+        let dense_front = pim
+            .execute_sparse_tile(std::slice::from_ref(&meta), &inputs, &InputPreprocessor::without_sparsity())
+            .unwrap();
+        let mut pim2 = PimMacro::new(ArchConfig::paper()).unwrap();
+        let sparse_front = pim2
+            .execute_sparse_tile(&[meta], &inputs, &InputPreprocessor::new())
+            .unwrap();
+        assert_eq!(dense_front.outputs, sparse_front.outputs);
+        assert!(sparse_front.stats.compute_cycles < dense_front.stats.compute_cycles);
+        assert!(sparse_front.stats.skipped_columns > 0);
+    }
+
+    #[test]
+    fn sparse_utilization_exceeds_dense_utilization() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let len = 64usize;
+        let inputs: Vec<i8> = (0..len).map(|_| rng.gen_range(0i8..=63)).collect();
+        let raw: Vec<i8> = (0..len).map(|_| rng.gen()).collect();
+        let meta = metadata_for(&raw, 2);
+
+        let mut pim = PimMacro::new(ArchConfig::paper()).unwrap();
+        let sparse = pim.execute_sparse_tile(&[meta], &inputs, &InputPreprocessor::without_sparsity()).unwrap();
+        let mut pim2 = PimMacro::new(ArchConfig::paper()).unwrap();
+        let dense = pim2
+            .execute_dense_tile(std::slice::from_ref(&raw), &inputs, &InputPreprocessor::without_sparsity())
+            .unwrap();
+        assert!(
+            sparse.stats.dynamic_utilization() > dense.stats.dynamic_utilization(),
+            "sparse {} vs dense {}",
+            sparse.stats.dynamic_utilization(),
+            dense.stats.dynamic_utilization()
+        );
+    }
+
+    #[test]
+    fn capacity_violations_are_reported() {
+        let tables = QueryTables::new();
+        let mut pim = PimMacro::new(ArchConfig::paper()).unwrap();
+        // Too many filters at threshold 2 (max 8).
+        let weights: Vec<i8> = (0..16).map(|i| i as i8 + 1).collect();
+        let approx = FilterApprox::approximate_with_threshold(&weights, 2, &tables).unwrap();
+        let meta = FilterMetadata::from_filter(0, &approx);
+        let metas = vec![meta; 9];
+        let inputs = vec![1i8; 16];
+        assert!(matches!(
+            pim.execute_sparse_tile(&metas, &inputs, &InputPreprocessor::new()),
+            Err(ArchError::CapacityExceeded { .. })
+        ));
+        // Too many weights per filter.
+        let long: Vec<i8> = vec![1; 2000];
+        let approx = FilterApprox::approximate_with_threshold(&long, 1, &tables).unwrap();
+        let meta = FilterMetadata::from_filter(0, &approx);
+        assert!(pim
+            .execute_sparse_tile(&[meta], &vec![1i8; 2000], &InputPreprocessor::new())
+            .is_err());
+        // Dense: more than two filters.
+        let filters: Vec<Vec<i8>> = vec![vec![1i8; 8]; 3];
+        assert!(pim
+            .execute_dense_tile(&filters, &[1i8; 8], &InputPreprocessor::new())
+            .is_err());
+        // Mismatched lengths.
+        let approx = FilterApprox::approximate_with_threshold(&[1, 2, 3], 1, &tables).unwrap();
+        let meta = FilterMetadata::from_filter(0, &approx);
+        assert!(matches!(
+            pim.execute_sparse_tile(&[meta], &[1, 2], &InputPreprocessor::new()),
+            Err(ArchError::LengthMismatch { .. })
+        ));
+    }
+}

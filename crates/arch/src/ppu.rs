@@ -1,0 +1,142 @@
+//! Post-processing unit (PPU): bit-serial shift-and-add accumulation.
+//!
+//! Every filter processed in parallel owns one PPU. Per cycle the PPU
+//! receives the CSD adder tree's signed partial sum for one input bit
+//! position, shifts it by that position — honouring the negative weight of a
+//! signed input's most significant bit — and accumulates it into the
+//! filter's partial-sum register. Across tiles the same accumulator also
+//! merges partial sums (the `Accumulate` path of Fig. 5).
+
+use serde::{Deserialize, Serialize};
+
+/// Bit width of the (signed, two's-complement) bit-serial input operand.
+pub const INPUT_BITS: u32 = 8;
+
+/// One post-processing unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PostProcessingUnit {
+    accumulator: i64,
+    operations: u64,
+}
+
+impl PostProcessingUnit {
+    /// Creates a cleared PPU.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current accumulator value.
+    #[must_use]
+    pub fn value(&self) -> i64 {
+        self.accumulator
+    }
+
+    /// Number of shift-and-add operations performed so far.
+    #[must_use]
+    pub fn operations(&self) -> u64 {
+        self.operations
+    }
+
+    /// Accumulates one adder-tree partial sum produced for input bit
+    /// position `bit` of a signed (two's-complement) input operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= INPUT_BITS`.
+    pub fn accumulate_bit(&mut self, partial: i32, bit: u32) {
+        assert!(bit < INPUT_BITS, "input bit position {bit} out of range");
+        let shifted = i64::from(partial) << bit;
+        if bit == INPUT_BITS - 1 {
+            // Signed MSB: weight -2^7 for INT8 inputs.
+            self.accumulator -= shifted;
+        } else {
+            self.accumulator += shifted;
+        }
+        self.operations += 1;
+    }
+
+    /// Accumulates a partial sum produced for an *unsigned* input operand bit
+    /// (used when the input encoding is offset/unsigned, e.g. post-ReLU
+    /// activations mapped to `[0, 255]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= INPUT_BITS`.
+    pub fn accumulate_unsigned_bit(&mut self, partial: i32, bit: u32) {
+        assert!(bit < INPUT_BITS, "input bit position {bit} out of range");
+        self.accumulator += i64::from(partial) << bit;
+        self.operations += 1;
+    }
+
+    /// Merges a previously produced partial sum (cross-tile accumulation).
+    pub fn accumulate_psum(&mut self, psum: i64) {
+        self.accumulator += psum;
+        self.operations += 1;
+    }
+
+    /// Clears the accumulator (a new output element starts).
+    pub fn reset(&mut self) {
+        self.accumulator = 0;
+    }
+
+    /// Returns the accumulated value and clears the unit.
+    pub fn drain(&mut self) -> i64 {
+        let value = self.accumulator;
+        self.accumulator = 0;
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_bit_serial_reconstruction() {
+        // Accumulating the per-bit dot products of a signed input must equal
+        // the direct product. Take weight partials equal to w for every set
+        // input bit of x.
+        let cases: [(i32, i8); 6] = [(3, 5), (-7, 5), (3, -5), (-7, -128), (1, 127), (0, -1)];
+        for (w, x) in cases {
+            let mut ppu = PostProcessingUnit::new();
+            for bit in 0..INPUT_BITS {
+                let x_bit = (x as u8 >> bit) & 1;
+                ppu.accumulate_bit(w * i32::from(x_bit), bit);
+            }
+            assert_eq!(ppu.value(), i64::from(w) * i64::from(x), "w={w} x={x}");
+            assert_eq!(ppu.operations(), u64::from(INPUT_BITS));
+        }
+    }
+
+    #[test]
+    fn unsigned_bit_serial_reconstruction() {
+        let mut ppu = PostProcessingUnit::new();
+        let w = 9i32;
+        let x = 200u8;
+        for bit in 0..INPUT_BITS {
+            let x_bit = (x >> bit) & 1;
+            ppu.accumulate_unsigned_bit(w * i32::from(x_bit), bit);
+        }
+        assert_eq!(ppu.value(), i64::from(w) * i64::from(x));
+    }
+
+    #[test]
+    fn psum_accumulation_and_drain() {
+        let mut ppu = PostProcessingUnit::new();
+        ppu.accumulate_psum(100);
+        ppu.accumulate_psum(-30);
+        assert_eq!(ppu.drain(), 70);
+        assert_eq!(ppu.value(), 0);
+        ppu.accumulate_psum(5);
+        ppu.reset();
+        assert_eq!(ppu.value(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_bit_panics() {
+        let mut ppu = PostProcessingUnit::new();
+        ppu.accumulate_bit(1, 8);
+    }
+}

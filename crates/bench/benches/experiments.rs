@@ -1,0 +1,88 @@
+//! Criterion benchmarks of the experiment pipeline itself: one benchmark per
+//! reproduced table / figure, exercised on width-reduced models so the suite
+//! completes quickly. The full-size reports are produced by the `fig*` /
+//! `table*` binaries in this crate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use db_pim::prelude::*;
+use dbpim_bench::{
+    build_model, input_column_sparsity, run_pipeline, weight_sparsity_stats, ExperimentOptions,
+};
+
+fn small_options() -> ExperimentOptions {
+    ExperimentOptions {
+        width_mult: 0.25,
+        classes: 10,
+        calibration_images: 1,
+        evaluation_images: 2,
+        seed: 42,
+    }
+}
+
+fn bench_fig2a_weight_sparsity(c: &mut Criterion) {
+    let options = small_options();
+    let model = build_model(ModelKind::ResNet18, &options).expect("model builds");
+    c.bench_function("fig2a/resnet18_quarter_width_weight_stats", |b| {
+        b.iter(|| weight_sparsity_stats(black_box(&model)).expect("stats"))
+    });
+}
+
+fn bench_fig2b_input_sparsity(c: &mut Criterion) {
+    let options = small_options();
+    let model = dbpim_nn::zoo::tiny_cnn(10, 1).expect("model builds");
+    c.bench_function("fig2b/tiny_cnn_input_columns", |b| {
+        b.iter(|| input_column_sparsity(black_box(&model), &options).expect("stats"))
+    });
+}
+
+fn bench_table2_fidelity(c: &mut Criterion) {
+    let options = small_options();
+    c.bench_function("table2/mobilenet_quarter_width_fidelity", |b| {
+        b.iter(|| run_pipeline(ModelKind::MobileNetV2, black_box(&options), true).expect("pipeline"))
+    });
+}
+
+fn bench_fig7_and_table3_pipeline(c: &mut Criterion) {
+    let options = small_options();
+    c.bench_function("fig7/mobilenet_quarter_width_four_configs", |b| {
+        b.iter(|| run_pipeline(ModelKind::MobileNetV2, black_box(&options), false).expect("pipeline"))
+    });
+
+    // The simulation stage alone (compile + simulate), isolated from model
+    // building and quantization.
+    let model = dbpim_nn::zoo::tiny_cnn(10, 2).expect("model builds");
+    let mut gen = TensorGenerator::new(3);
+    let (cal, _) = gen.labelled_batch(1, 3, 32, 32, 10).expect("batch");
+    let quantized = QuantizedModel::quantize(&model, &cal).expect("quantizes");
+    let approx = ModelApprox::from_quantized(&quantized).expect("approximates");
+    let profile = db_pim::measure::measure_input_sparsity(&quantized, &cal).expect("profile");
+    let workloads = extract_workloads(&model, Some(&approx), &profile).expect("workloads");
+    let compiler = Compiler::new(ArchConfig::paper()).expect("compiler");
+    c.bench_function("fig7/tiny_cnn_compile_and_simulate", |b| {
+        b.iter(|| {
+            let program = compiler.compile(black_box(&workloads), MappingMode::DbPim).expect("compiles");
+            let sim = Simulator::new(SimConfig::hybrid()).expect("simulator");
+            sim.simulate(&program).expect("simulates")
+        })
+    });
+}
+
+fn bench_table4_area(c: &mut Criterion) {
+    let area = AreaModel::calibrated_28nm();
+    let arch = ArchConfig::paper();
+    c.bench_function("table4/area_breakdown", |b| {
+        b.iter(|| black_box(&area).breakdown(black_box(&arch)))
+    });
+}
+
+criterion_group! {
+    name = experiments;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig2a_weight_sparsity,
+              bench_fig2b_input_sparsity,
+              bench_table2_fidelity,
+              bench_fig7_and_table3_pipeline,
+              bench_table4_area
+}
+criterion_main!(experiments);

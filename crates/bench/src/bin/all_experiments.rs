@@ -1,0 +1,38 @@
+//! Runs every table and figure generator in sequence.
+//!
+//! ```bash
+//! cargo run --release -p dbpim-bench --bin all_experiments [-- --width 1.0 --images 8]
+//! ```
+//!
+//! This is the one-shot artifact-evaluation entry point; its output is the
+//! source of the numbers recorded in `EXPERIMENTS.md`.
+
+use dbpim_bench::{experiments, ExperimentOptions};
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    println!("DB-PIM reproduction: all experiments (options: {options:?})\n");
+
+    println!("{}", experiments::table1());
+    match experiments::fig2a(&options) {
+        Ok(report) => println!("{report}"),
+        Err(e) => eprintln!("fig2a failed: {e}"),
+    }
+    match experiments::fig2b(&options) {
+        Ok(report) => println!("{report}"),
+        Err(e) => eprintln!("fig2b failed: {e}"),
+    }
+    match experiments::table2(&options) {
+        Ok(report) => println!("{report}"),
+        Err(e) => eprintln!("table2 failed: {e}"),
+    }
+    match experiments::fig7(&options) {
+        Ok(report) => println!("{report}"),
+        Err(e) => eprintln!("fig7 failed: {e}"),
+    }
+    match experiments::table3(&options) {
+        Ok(report) => println!("{report}"),
+        Err(e) => eprintln!("table3 failed: {e}"),
+    }
+    println!("{}", experiments::table4());
+}

@@ -1,0 +1,18 @@
+//! Regenerates Fig. 2(a): zero-bit ratio in the weights of the five models.
+//!
+//! ```bash
+//! cargo run --release -p dbpim-bench --bin fig2a [-- --width 1.0]
+//! ```
+
+use dbpim_bench::{experiments, ExperimentOptions};
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    match experiments::fig2a(&options) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("fig2a failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates Fig. 2(b): block-wise zero bit-columns in the input features.
+//!
+//! ```bash
+//! cargo run --release -p dbpim-bench --bin fig2b [-- --width 1.0 --cal 2]
+//! ```
+
+use dbpim_bench::{experiments, ExperimentOptions};
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    match experiments::fig2b(&options) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("fig2b failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

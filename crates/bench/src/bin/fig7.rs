@@ -1,0 +1,18 @@
+//! Regenerates Fig. 7: speedup and energy saving over the dense PIM baseline.
+//!
+//! ```bash
+//! cargo run --release -p dbpim-bench --bin fig7 [-- --width 1.0]
+//! ```
+
+use dbpim_bench::{experiments, ExperimentOptions};
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    match experiments::fig7(&options) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("fig7 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

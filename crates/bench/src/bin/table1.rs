@@ -1,0 +1,11 @@
+//! Regenerates Table 1: sparsity-support comparison among SRAM-PIMs.
+//!
+//! ```bash
+//! cargo run --release -p dbpim-bench --bin table1
+//! ```
+
+use dbpim_bench::experiments;
+
+fn main() {
+    print!("{}", experiments::table1());
+}

@@ -1,0 +1,18 @@
+//! Regenerates Table 2: INT8 baseline vs FTA model accuracy fidelity.
+//!
+//! ```bash
+//! cargo run --release -p dbpim-bench --bin table2 [-- --width 1.0 --images 16]
+//! ```
+
+use dbpim_bench::{experiments, ExperimentOptions};
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    match experiments::table2(&options) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("table2 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

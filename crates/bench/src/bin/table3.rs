@@ -1,0 +1,18 @@
+//! Regenerates Table 3: comparison with prior SRAM-PIM accelerators.
+//!
+//! ```bash
+//! cargo run --release -p dbpim-bench --bin table3 [-- --width 1.0]
+//! ```
+
+use dbpim_bench::{experiments, ExperimentOptions};
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    match experiments::table3(&options) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("table3 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 4: DB-PIM area breakdown.
+//!
+//! ```bash
+//! cargo run --release -p dbpim-bench --bin table4
+//! ```
+
+use dbpim_bench::experiments;
+
+fn main() {
+    print!("{}", experiments::table4());
+}

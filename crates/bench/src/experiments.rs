@@ -1,0 +1,324 @@
+//! The experiment generators: one function per table / figure of the paper.
+//!
+//! Every function returns the formatted report as a `String`; the binaries in
+//! `src/bin/` print it. Each report states which quantity corresponds to
+//! which published number so that `EXPERIMENTS.md` can record paper-vs-
+//! measured pairs directly from the output.
+
+use std::fmt::Write as _;
+
+use db_pim::prelude::*;
+use db_pim::PipelineError;
+
+use crate::reference;
+use crate::{
+    build_model, input_column_sparsity, paper_models, pct, run_pipeline, weight_sparsity_stats,
+    ExperimentOptions,
+};
+
+/// Fig. 2(a): zero-bit ratio of the weights of the five models, under plain
+/// binary, CSD recoding and the FTA approximation.
+///
+/// # Errors
+///
+/// Propagates model-construction or approximation failures.
+pub fn fig2a(options: &ExperimentOptions) -> Result<String, PipelineError> {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 2(a) - zero-bit ratio in weights (width x{})", options.width_mult);
+    let _ = writeln!(out, "{:<16} {:>10} {:>10} {:>10}", "model", "Ori_Zero", "CSD_Zero", "Ours");
+    for kind in paper_models() {
+        let model = build_model(kind, options)?;
+        let stats = weight_sparsity_stats(&model)?;
+        let _ = writeln!(
+            out,
+            "{:<16} {:>10} {:>10} {:>10}",
+            kind.name(),
+            pct(stats.binary_zero_ratio()),
+            pct(stats.csd_zero_ratio()),
+            pct(stats.fta_zero_ratio())
+        );
+    }
+    let _ = writeln!(out, "paper: 65-85% zero bits, CSD adds ~5%, FTA adds ~5% more.");
+    Ok(out)
+}
+
+/// Fig. 2(b): ratio of block-wise all-zero bit columns in the input features
+/// for group sizes 1, 8 and 16.
+///
+/// # Errors
+///
+/// Propagates quantization or inference failures.
+pub fn fig2b(options: &ExperimentOptions) -> Result<String, PipelineError> {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 2(b) - zero bit-columns in input features (width x{})", options.width_mult);
+    let _ = writeln!(out, "{:<16} {:>10} {:>10} {:>10}", "model", "group 1", "group 8", "group 16");
+    for kind in paper_models() {
+        let model = build_model(kind, options)?;
+        let [g1, g8, g16] = input_column_sparsity(&model, options)?;
+        let _ = writeln!(out, "{:<16} {:>10} {:>10} {:>10}", kind.name(), pct(g1), pct(g8), pct(g16));
+    }
+    let _ = writeln!(out, "paper: up to ~80% for groups of 8 and ~70% for groups of 16.");
+    Ok(out)
+}
+
+/// Table 1: qualitative sparsity-support comparison.
+#[must_use]
+pub fn table1() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 1 - sparsity exploitation comparison among SRAM-PIMs");
+    let _ = writeln!(
+        out,
+        "{:<22} {:>6} {:>8} {:>8} {:>14} {:<28}",
+        "design", "type", "operand", "circuit", "structure", "ineffectual MACs removed"
+    );
+    for row in reference::table1_rows() {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>6} {:>8} {:>8} {:>14} {:<28}",
+            row.label, row.sparsity_type, row.operand, row.circuit, row.structure, row.removed
+        );
+    }
+    out
+}
+
+/// Table 2: accuracy of the INT8 baseline vs the FTA model.
+///
+/// The reproduction replaces CIFAR-100 accuracy with top-1 agreement /
+/// synthetic-label accuracy (see `DESIGN.md`); the paper's published drops
+/// are printed alongside for reference.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn table2(options: &ExperimentOptions) -> Result<String, PipelineError> {
+    let paper_drop = [0.98, 0.64, 0.56, 0.16, 0.52];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 2 - FTA fidelity on synthetic batches (width x{}, {} images)",
+        options.width_mult, options.evaluation_images
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>12} {:>14} {:>14} {:>12} {:>12}",
+        "model", "agreement", "disagreement", "logit SQNR", "label drop", "paper drop"
+    );
+    for (kind, paper) in paper_models().into_iter().zip(paper_drop) {
+        let result = run_pipeline(kind, options, true)?;
+        let fidelity = result.fidelity.expect("fidelity requested");
+        let _ = writeln!(
+            out,
+            "{:<16} {:>12} {:>14} {:>11.1} dB {:>12} {:>11.2}%",
+            kind.name(),
+            pct(fidelity.top1_agreement),
+            pct(1.0 - fidelity.top1_agreement),
+            fidelity.mean_logit_sqnr_db,
+            pct(fidelity.accuracy_drop()),
+            paper
+        );
+    }
+    let _ = writeln!(
+        out,
+        "paper: CIFAR-100 top-1 accuracy drop below 1% on every model.\n\
+         note: with synthetic (untrained) weights, labels carry no signal, so the\n\
+         Table-2 substitute is baseline-vs-FTA top-1 agreement and logit SQNR;\n\
+         disagreement is an upper bound on the accuracy drop the approximation\n\
+         could cause (untrained compact models have nearly flat logits, which\n\
+         makes their argmax fragile and overstates the bound)."
+    );
+    Ok(out)
+}
+
+/// Fig. 7: speedup and energy saving of the four sparsity configurations
+/// over the dense digital-PIM baseline, per model.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn fig7(options: &ExperimentOptions) -> Result<String, PipelineError> {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 7 - speedup and energy saving over the dense PIM baseline (width x{})", options.width_mult);
+    let _ = writeln!(
+        out,
+        "{:<16} {:>8} {:>8} {:>8} {:>10} | {:>9} {:>9} {:>11}",
+        "model", "input x", "weight x", "hybrid x", "saving", "paper wx", "paper hx", "paper save"
+    );
+    let paper = reference::paper_fig7_rows();
+    for (kind, paper_row) in paper_models().into_iter().zip(paper) {
+        let result = run_pipeline(kind, options, false)?;
+        let _ = writeln!(
+            out,
+            "{:<16} {:>7.2}x {:>7.2}x {:>7.2}x {:>10} | {:>8.2}x {:>8.2}x {:>11}",
+            kind.name(),
+            result.speedup(SparsityConfig::InputSparsity),
+            result.speedup(SparsityConfig::WeightSparsity),
+            result.speedup(SparsityConfig::HybridSparsity),
+            pct(result.energy_saving(SparsityConfig::HybridSparsity)),
+            paper_row.weight_speedup,
+            paper_row.hybrid_speedup,
+            pct(paper_row.energy_saving)
+        );
+    }
+    let _ = writeln!(out, "paper: hybrid speedup up to 7.69x (AlexNet), energy saving 63.49-83.43%.");
+    Ok(out)
+}
+
+/// Table 3: comparison with prior works (prior columns are the published
+/// numbers; the "This Work" column is produced by this reproduction).
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn table3(options: &ExperimentOptions) -> Result<String, PipelineError> {
+    let arch = ArchConfig::paper();
+    let area = AreaModel::calibrated_28nm();
+    let headline = reference::paper_headline();
+
+    // Per-model utilization (weights only) and hybrid-run efficiency/power.
+    let mut utilization_rows = Vec::new();
+    let mut min_eff = f64::INFINITY;
+    let mut max_eff = 0.0f64;
+    let mut min_power = f64::INFINITY;
+    let mut max_power = 0.0f64;
+    for kind in paper_models() {
+        let result = run_pipeline(kind, options, false)?;
+        let hybrid = result.run(SparsityConfig::HybridSparsity).expect("hybrid simulated");
+        let eff = hybrid.energy_efficiency_tops_per_w();
+        let power = hybrid.average_power_mw();
+        min_eff = min_eff.min(eff);
+        max_eff = max_eff.max(eff);
+        min_power = min_power.min(power);
+        max_power = max_power.max(power);
+        utilization_rows.push((kind.name(), result.utilization()));
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 3 - comparison with prior SRAM-PIM accelerators");
+    let _ = writeln!(out, "-- prior works (published numbers) --");
+    for work in reference::table3_prior_works() {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>3}nm {:>7.2}mm2 {:>9}MHz {:>15}mW {:>5}KB SRAM {:>5}KB PIM {:>4} macros {:>7.2} TOPS {:>7.2} GOPS/macro {:>13} TOPS/W {:>6.2} TOPS/W/mm2",
+            work.label,
+            work.technology_nm,
+            work.die_area_mm2,
+            work.frequency_mhz,
+            work.power_mw,
+            work.sram_kb,
+            work.pim_kb,
+            work.macros,
+            work.peak_tops,
+            work.peak_gops_per_macro,
+            work.energy_efficiency,
+            work.peak_ee_per_mm2
+        );
+    }
+
+    let die = area.total_mm2(&arch);
+    let peak = peak_throughput_tops(&arch, PEAK_INPUT_SKIP);
+    let per_macro = peak_throughput_per_macro_gops(&arch, PEAK_INPUT_SKIP);
+    let _ = writeln!(out, "\n-- this work (measured by this reproduction, width x{}) --", options.width_mult);
+    let _ = writeln!(out, "technology              : 28 nm (cost-model calibration)");
+    let _ = writeln!(out, "die area                : {die:.3} mm2 (paper {:.3})", headline.die_area_mm2);
+    let _ = writeln!(out, "frequency               : {} MHz", arch.frequency_mhz);
+    let _ = writeln!(out, "power                   : {min_power:.2} - {max_power:.2} mW (paper 1.45 - 11.65)");
+    let _ = writeln!(out, "SRAM size               : {} KB", arch.sram_bytes() / 1024);
+    let _ = writeln!(out, "PIM size                : {} KB across {} macros", arch.pim_bytes() / 1024, arch.macros);
+    let _ = writeln!(out, "dataset                 : synthetic CIFAR-100-shaped batches");
+    let _ = writeln!(out, "peak throughput         : {peak:.3} TOPS (paper {:.2})", headline.peak_tops);
+    let _ = writeln!(out, "peak throughput / macro : {per_macro:.1} GOPS (paper {:.1})", headline.peak_gops_per_macro);
+    let _ = writeln!(out, "energy efficiency       : {min_eff:.2} - {max_eff:.2} TOPS/W (paper 18.14 - 45.20)");
+    let _ = writeln!(
+        out,
+        "peak EE per unit area   : {:.2} TOPS/W/mm2 (paper 39.30)",
+        max_eff / die
+    );
+    let _ = writeln!(out, "actual utilization U_act (paper 91.95% - 98.42%):");
+    for (name, utilization) in utilization_rows {
+        let _ = writeln!(out, "  {name:<16} {}", pct(utilization));
+    }
+    Ok(out)
+}
+
+/// Table 4: DB-PIM area breakdown.
+#[must_use]
+pub fn table4() -> String {
+    let area = AreaModel::calibrated_28nm();
+    let arch = ArchConfig::paper();
+    let paper = [
+        ("PIM Baseline", 1.00809, 87.32),
+        ("Meta-RFs", 0.07829, 6.78),
+        ("Extra Post-processing Units", 0.06259, 5.42),
+        ("DFFs and Routing Resources", 0.00550, 0.48),
+        ("Input Sparsity Support", 0.00007, 0.00),
+    ];
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 4 - DB-PIM area breakdown");
+    let _ = writeln!(
+        out,
+        "{:<32} {:>12} {:>9} {:>12} {:>9}",
+        "module", "area (mm2)", "share", "paper mm2", "paper"
+    );
+    for (component, (paper_name, paper_mm2, paper_pct)) in area.breakdown(&arch).iter().zip(paper) {
+        debug_assert_eq!(component.name, paper_name);
+        let _ = writeln!(
+            out,
+            "{:<32} {:>12.5} {:>8.2}% {:>12.5} {:>8.2}%",
+            component.name,
+            component.mm2,
+            100.0 * component.share,
+            paper_mm2,
+            paper_pct
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<32} {:>12.5} {:>8} {:>12.5}",
+        "Total",
+        area.total_mm2(&arch),
+        "100.00%",
+        1.15453
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_options() -> ExperimentOptions {
+        ExperimentOptions {
+            width_mult: 0.25,
+            classes: 10,
+            calibration_images: 1,
+            evaluation_images: 2,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn static_tables_render() {
+        let t1 = table1();
+        assert!(t1.contains("This Work"));
+        assert!(t1.contains("Unstructured"));
+        let t4 = table4();
+        assert!(t4.contains("Meta-RFs"));
+        assert!(t4.contains("Total"));
+    }
+
+    #[test]
+    fn fig2a_report_renders_for_small_models() {
+        let report = fig2a(&small_options()).unwrap();
+        assert!(report.contains("AlexNet"));
+        assert!(report.contains("EfficientNetB0"));
+        assert!(report.contains('%'));
+    }
+
+    #[test]
+    fn fig7_report_renders_for_one_small_run() {
+        // Restrict to the smallest model by running the pipeline directly.
+        let options = small_options();
+        let result = run_pipeline(ModelKind::MobileNetV2, &options, false).unwrap();
+        assert!(result.speedup(SparsityConfig::HybridSparsity) > 1.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Shared infrastructure for the experiment report generators.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper's
+//! evaluation section. This library provides the pieces they share: command
+//! line options, the model list, lightweight weight-only sparsity analysis
+//! (Fig. 2(a)), activation bit-column analysis (Fig. 2(b)), full pipeline
+//! runs (Table 2, Fig. 7, Table 3) and the published reference numbers of the
+//! prior works quoted in Tables 1 and 3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use db_pim::prelude::*;
+use db_pim::PipelineError;
+use dbpim_fta::stats::{LayerFtaStats, ModelFtaStats};
+use dbpim_fta::LayerApprox;
+use dbpim_nn::Layer;
+use dbpim_tensor::quant::QuantizedTensor;
+use dbpim_tensor::stats::zero_bit_column_ratio;
+
+pub mod experiments;
+pub mod reference;
+
+/// Command-line options shared by every experiment binary.
+///
+/// ```text
+/// --width <f32>    channel width multiplier (default 1.0 = the paper's models)
+/// --seed <u64>     synthetic-weight seed (default 42)
+/// --images <usize> evaluation images for fidelity experiments (default 16)
+/// --cal <usize>    calibration images (default 2)
+/// --classes <usize> output classes (default 100)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentOptions {
+    /// Channel width multiplier applied to every zoo model.
+    pub width_mult: f32,
+    /// Seed for synthetic weights and data.
+    pub seed: u64,
+    /// Number of labelled evaluation images (Table 2).
+    pub evaluation_images: usize,
+    /// Number of calibration images (quantization + input sparsity).
+    pub calibration_images: usize,
+    /// Number of output classes.
+    pub classes: usize,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        Self { width_mult: 1.0, seed: 42, evaluation_images: 16, calibration_images: 2, classes: 100 }
+    }
+}
+
+impl ExperimentOptions {
+    /// Parses options from the process arguments, ignoring unknown flags.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Self::from_slice(&args)
+    }
+
+    /// Parses options from an explicit argument list (exposed for tests).
+    #[must_use]
+    pub fn from_slice(args: &[String]) -> Self {
+        let mut options = Self::default();
+        let mut i = 0;
+        while i < args.len() {
+            let take = |i: usize| args.get(i + 1).cloned().unwrap_or_default();
+            match args[i].as_str() {
+                "--width" => options.width_mult = take(i).parse().unwrap_or(options.width_mult),
+                "--seed" => options.seed = take(i).parse().unwrap_or(options.seed),
+                "--images" => {
+                    options.evaluation_images = take(i).parse().unwrap_or(options.evaluation_images);
+                }
+                "--cal" => {
+                    options.calibration_images = take(i).parse().unwrap_or(options.calibration_images);
+                }
+                "--classes" => options.classes = take(i).parse().unwrap_or(options.classes),
+                _ => {}
+            }
+            i += 1;
+        }
+        options
+    }
+
+    /// The pipeline configuration equivalent to these options.
+    #[must_use]
+    pub fn pipeline_config(&self) -> PipelineConfig {
+        let mut config = PipelineConfig::paper();
+        config.width_mult = self.width_mult;
+        config.seed = self.seed;
+        config.calibration_images = self.calibration_images.max(1);
+        config.evaluation_images = self.evaluation_images;
+        config.classes = self.classes;
+        config
+    }
+}
+
+/// The five paper models in figure order.
+#[must_use]
+pub fn paper_models() -> [ModelKind; 5] {
+    ModelKind::all()
+}
+
+/// Builds one zoo model under the given options.
+///
+/// # Errors
+///
+/// Propagates model-construction errors.
+pub fn build_model(kind: ModelKind, options: &ExperimentOptions) -> Result<Model, PipelineError> {
+    Ok(kind.build_with_width(options.classes, options.seed, options.width_mult)?)
+}
+
+/// Weight-only FTA sparsity statistics of a model (Fig. 2(a), the `U_act`
+/// rows of Table 3).
+///
+/// This path quantizes each PIM layer's weights per output channel and runs
+/// Algorithm 1 directly, without any calibration forward passes — weights
+/// are all Fig. 2(a) needs.
+///
+/// # Errors
+///
+/// Propagates FTA approximation errors.
+pub fn weight_sparsity_stats(model: &Model) -> Result<ModelFtaStats, PipelineError> {
+    let tables = QueryTables::new();
+    let mut layers = Vec::new();
+    for node in model.nodes() {
+        let weight = match &node.layer {
+            Layer::Conv2d { weight, .. } | Layer::Linear { weight, .. } => weight,
+            _ => continue,
+        };
+        let quantized = QuantizedTensor::quantize_per_channel(weight, 0);
+        let approx = LayerApprox::from_weights(node.id, node.name.clone(), quantized.values(), &tables)?;
+        layers.push(LayerFtaStats::from_layer(&approx));
+    }
+    Ok(ModelFtaStats { model_name: model.name().to_string(), layers })
+}
+
+/// Block-wise zero bit-column ratios of the input features of every PIM
+/// layer, for the three group sizes Fig. 2(b) reports (1, 8 and 16).
+///
+/// # Errors
+///
+/// Propagates quantization or inference errors.
+pub fn input_column_sparsity(
+    model: &Model,
+    options: &ExperimentOptions,
+) -> Result<[f64; 3], PipelineError> {
+    let mut gen = TensorGenerator::new(options.seed ^ 0xf19);
+    let (images, _) = gen.labelled_batch(
+        options.calibration_images.max(1),
+        model.input_shape()[0],
+        model.input_shape()[1],
+        model.input_shape()[2],
+        options.classes,
+    )?;
+    let quantized = QuantizedModel::quantize(model, &images)?;
+    let group_sizes = [1usize, 8, 16];
+    let mut sums = [0.0f64; 3];
+    let mut samples = 0usize;
+    for image in &images {
+        let outputs = quantized.forward_all(image)?;
+        let q_input = quantized.input_qp().quantize_tensor(image);
+        for &node_id in &quantized.pim_node_ids() {
+            let node = &quantized.nodes()[node_id];
+            let (tensor, zero_point) = if node.inputs.is_empty() {
+                (&q_input, quantized.input_qp().zero_point())
+            } else {
+                let producer = node.inputs[0];
+                (&outputs[producer], quantized.nodes()[producer].output_qp.zero_point())
+            };
+            let operand: Vec<i8> =
+                tensor.data().iter().map(|&v| (i32::from(v) - zero_point) as u8 as i8).collect();
+            for (slot, &group) in group_sizes.iter().enumerate() {
+                sums[slot] += zero_bit_column_ratio(&operand, group);
+            }
+            samples += 1;
+        }
+    }
+    let mut out = [0.0f64; 3];
+    if samples > 0 {
+        for (o, s) in out.iter_mut().zip(sums.iter()) {
+            *o = s / samples as f64;
+        }
+    }
+    Ok(out)
+}
+
+/// Runs the full co-design pipeline for one model.
+///
+/// # Errors
+///
+/// Propagates any pipeline stage failure.
+pub fn run_pipeline(
+    kind: ModelKind,
+    options: &ExperimentOptions,
+    with_fidelity: bool,
+) -> Result<CodesignResult, PipelineError> {
+    let mut config = options.pipeline_config();
+    if !with_fidelity {
+        config = config.without_fidelity();
+    }
+    Pipeline::new(config)?.run_kind(kind)
+}
+
+/// Formats a fraction as a percentage with one decimal.
+#[must_use]
+pub fn pct(fraction: f64) -> String {
+    format!("{:.2}%", 100.0 * fraction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_parse_known_flags_and_ignore_the_rest() {
+        let args: Vec<String> = ["prog", "--width", "0.5", "--seed", "7", "--images", "4", "--cal", "3", "--classes", "10", "--bogus", "x"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let options = ExperimentOptions::from_slice(&args);
+        assert!((options.width_mult - 0.5).abs() < 1e-6);
+        assert_eq!(options.seed, 7);
+        assert_eq!(options.evaluation_images, 4);
+        assert_eq!(options.calibration_images, 3);
+        assert_eq!(options.classes, 10);
+        let config = options.pipeline_config();
+        assert_eq!(config.classes, 10);
+    }
+
+    #[test]
+    fn malformed_values_fall_back_to_defaults() {
+        let args: Vec<String> = ["--width", "abc", "--seed"].iter().map(ToString::to_string).collect();
+        let options = ExperimentOptions::from_slice(&args);
+        assert_eq!(options, ExperimentOptions::default());
+        assert_eq!(pct(0.5), "50.00%");
+    }
+
+    #[test]
+    fn weight_stats_follow_fig2a_ordering_on_a_small_model() {
+        let options = ExperimentOptions { width_mult: 0.25, classes: 10, ..ExperimentOptions::default() };
+        let model = build_model(ModelKind::ResNet18, &options).unwrap();
+        let stats = weight_sparsity_stats(&model).unwrap();
+        assert!(stats.binary_zero_ratio() > 0.55);
+        assert!(stats.csd_zero_ratio() >= stats.binary_zero_ratio());
+        assert!(stats.fta_zero_ratio() >= stats.csd_zero_ratio());
+        assert!(stats.utilization() > 0.8);
+    }
+
+    #[test]
+    fn input_column_sparsity_is_monotone_in_group_size() {
+        let options = ExperimentOptions {
+            width_mult: 0.25,
+            classes: 10,
+            calibration_images: 1,
+            ..ExperimentOptions::default()
+        };
+        let model = dbpim_nn::zoo::tiny_cnn(10, 3).unwrap();
+        let [g1, g8, g16] = input_column_sparsity(&model, &options).unwrap();
+        assert!(g1 >= g8 && g8 >= g16, "{g1} {g8} {g16}");
+        assert!(g8 > 0.05, "group-of-8 ratio {g8}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type for the compiler crate.
+
+use std::error::Error;
+use std::fmt;
+
+use dbpim_arch::ArchError;
+use dbpim_fta::FtaError;
+use dbpim_nn::NnError;
+
+/// Errors produced while extracting workloads or generating programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// An underlying model-graph operation failed.
+    Nn(NnError),
+    /// An underlying FTA operation failed.
+    Fta(FtaError),
+    /// An architecture constraint was violated.
+    Arch(ArchError),
+    /// A workload references a node the model does not contain.
+    UnknownNode {
+        /// The offending node id.
+        node_id: usize,
+    },
+    /// A layer cannot be mapped onto the PIM macros.
+    Unmappable {
+        /// Name of the layer.
+        layer: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Nn(e) => write!(f, "model error: {e}"),
+            CompileError::Fta(e) => write!(f, "fta error: {e}"),
+            CompileError::Arch(e) => write!(f, "architecture error: {e}"),
+            CompileError::UnknownNode { node_id } => write!(f, "unknown graph node {node_id}"),
+            CompileError::Unmappable { layer, reason } => {
+                write!(f, "layer {layer} cannot be mapped: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Nn(e) => Some(e),
+            CompileError::Fta(e) => Some(e),
+            CompileError::Arch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for CompileError {
+    fn from(e: NnError) -> Self {
+        CompileError::Nn(e)
+    }
+}
+
+impl From<FtaError> for CompileError {
+    fn from(e: FtaError) -> Self {
+        CompileError::Fta(e)
+    }
+}
+
+impl From<ArchError> for CompileError {
+    fn from(e: ArchError) -> Self {
+        CompileError::Arch(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CompileError = NnError::EmptyGraph.into();
+        assert!(e.to_string().contains("model error"));
+        let e: CompileError = FtaError::InvalidThreshold { threshold: 7 }.into();
+        assert!(e.to_string().contains("fta error"));
+        let e: CompileError =
+            ArchError::UnsupportedThreshold { threshold: 3 }.into();
+        assert!(e.to_string().contains("architecture error"));
+        let e = CompileError::Unmappable { layer: "conv1".to_string(), reason: "too wide".to_string() };
+        assert!(e.to_string().contains("conv1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompileError>();
+    }
+}

@@ -1,0 +1,45 @@
+//! Dataflow mapping and instruction-stream generation for DB-PIM.
+//!
+//! The compiler sits between the algorithm side (quantized models + FTA
+//! approximation) and the cycle-accurate simulator:
+//!
+//! * [`extract_workloads`] turns a model graph into hardware-facing
+//!   [`Workload`]s — implicit-GEMM dimensions, per-filter thresholds and
+//!   measured input bit sparsity for PIM layers, element counts for SIMD
+//!   layers.
+//! * [`Compiler`] maps those workloads onto the macro geometry
+//!   ([`dbpim_arch::ArchConfig`]) and emits a coarse-grained
+//!   [`Instruction`] stream for either the DB-PIM mapping or the dense
+//!   baseline ([`MappingMode`]).
+//!
+//! # Example
+//!
+//! ```
+//! use dbpim_compiler::{extract_workloads, Compiler, InputSparsityProfile, MappingMode};
+//! use dbpim_arch::ArchConfig;
+//! use dbpim_nn::zoo;
+//!
+//! let model = zoo::tiny_cnn(10, 1)?;
+//! let workloads = extract_workloads(&model, None, &InputSparsityProfile::new())?;
+//! let compiler = Compiler::new(ArchConfig::paper())?;
+//! let dense = compiler.compile(&workloads, MappingMode::Dense)?;
+//! let sparse = compiler.compile(&workloads, MappingMode::DbPim)?;
+//! assert_eq!(dense.nominal_macs(), sparse.nominal_macs());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod isa;
+mod mapping;
+mod workload;
+
+pub use error::CompileError;
+pub use isa::{Instruction, LayerProgram, MappingMode, ModelProgram, SimdOpKind};
+pub use mapping::{Compiler, DEFAULT_THRESHOLD};
+pub use workload::{
+    extract_workloads, InputSparsityProfile, ModelWorkloads, PimLayerKind, PimWorkload,
+    SimdWorkload, Workload,
+};

@@ -1,0 +1,110 @@
+//! Error type for the end-to-end co-design pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use dbpim_compiler::CompileError;
+use dbpim_fta::FtaError;
+use dbpim_nn::NnError;
+use dbpim_sim::SimError;
+use dbpim_tensor::TensorError;
+
+/// Errors produced by the end-to-end DB-PIM pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// Tensor substrate failure.
+    Tensor(TensorError),
+    /// Model graph or inference failure.
+    Nn(NnError),
+    /// FTA approximation failure.
+    Fta(FtaError),
+    /// Compilation failure.
+    Compile(CompileError),
+    /// Simulation failure.
+    Sim(SimError),
+    /// Invalid pipeline configuration.
+    BadConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Tensor(e) => write!(f, "tensor error: {e}"),
+            PipelineError::Nn(e) => write!(f, "model error: {e}"),
+            PipelineError::Fta(e) => write!(f, "fta error: {e}"),
+            PipelineError::Compile(e) => write!(f, "compile error: {e}"),
+            PipelineError::Sim(e) => write!(f, "simulation error: {e}"),
+            PipelineError::BadConfig { reason } => write!(f, "invalid pipeline configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Tensor(e) => Some(e),
+            PipelineError::Nn(e) => Some(e),
+            PipelineError::Fta(e) => Some(e),
+            PipelineError::Compile(e) => Some(e),
+            PipelineError::Sim(e) => Some(e),
+            PipelineError::BadConfig { .. } => None,
+        }
+    }
+}
+
+impl From<TensorError> for PipelineError {
+    fn from(e: TensorError) -> Self {
+        PipelineError::Tensor(e)
+    }
+}
+
+impl From<NnError> for PipelineError {
+    fn from(e: NnError) -> Self {
+        PipelineError::Nn(e)
+    }
+}
+
+impl From<FtaError> for PipelineError {
+    fn from(e: FtaError) -> Self {
+        PipelineError::Fta(e)
+    }
+}
+
+impl From<CompileError> for PipelineError {
+    fn from(e: CompileError) -> Self {
+        PipelineError::Compile(e)
+    }
+}
+
+impl From<SimError> for PipelineError {
+    fn from(e: SimError) -> Self {
+        PipelineError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: PipelineError = TensorError::EmptyShape.into();
+        assert!(e.to_string().contains("tensor"));
+        let e: PipelineError = NnError::EmptyGraph.into();
+        assert!(e.to_string().contains("model"));
+        let e: PipelineError = FtaError::InvalidThreshold { threshold: 3 }.into();
+        assert!(e.to_string().contains("fta"));
+        let e = PipelineError::BadConfig { reason: "zero images".to_string() };
+        assert!(e.to_string().contains("zero images"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PipelineError>();
+    }
+}

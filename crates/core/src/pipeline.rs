@@ -1,0 +1,318 @@
+//! The end-to-end DB-PIM co-design pipeline.
+//!
+//! `model → INT8 quantization → FTA approximation → dataflow compilation →
+//! cycle-accurate simulation` — the complete flow of Fig. 3, producing every
+//! quantity the paper's evaluation section reports for a single model:
+//! accuracy fidelity (Table 2), sparsity/utilization statistics (Fig. 2(a),
+//! Table 3) and the four-configuration performance/energy comparison
+//! (Fig. 7).
+
+use dbpim_arch::ArchConfig;
+use dbpim_compiler::{extract_workloads, Compiler, InputSparsityProfile, ModelWorkloads};
+use dbpim_fta::stats::ModelFtaStats;
+use dbpim_fta::{evaluate_fidelity, FidelityReport, ModelApprox};
+use dbpim_nn::{Model, ModelKind, ModelSummary, QuantizedModel};
+use dbpim_sim::{RunReport, SimConfig, Simulator, SparsityConfig};
+use dbpim_tensor::random::TensorGenerator;
+use serde::{Deserialize, Serialize};
+
+use crate::error::PipelineError;
+use crate::measure::measure_input_sparsity;
+
+/// Configuration of the end-to-end pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Number of output classes (100 for the CIFAR-100 setting).
+    pub classes: usize,
+    /// Seed for synthetic weights, calibration and evaluation data.
+    pub seed: u64,
+    /// Width multiplier applied when building zoo models (1.0 = full width).
+    pub width_mult: f32,
+    /// Calibration images used for quantization and input-sparsity
+    /// measurement.
+    pub calibration_images: usize,
+    /// Labelled images used for the fidelity (Table 2) evaluation; `0` skips
+    /// the fidelity step entirely (useful for performance-only experiments).
+    pub evaluation_images: usize,
+    /// Architecture geometry to compile for and simulate.
+    pub arch: ArchConfig,
+}
+
+impl PipelineConfig {
+    /// The paper's setting: CIFAR-100 classes, full-width models, the
+    /// Section 4.1 architecture.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            classes: dbpim_nn::CIFAR100_CLASSES,
+            seed: 42,
+            width_mult: 1.0,
+            calibration_images: 4,
+            evaluation_images: 16,
+            arch: ArchConfig::paper(),
+        }
+    }
+
+    /// A reduced setting for fast tests and examples: width-0.25 models,
+    /// fewer images.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            classes: 10,
+            seed: 42,
+            width_mult: 0.25,
+            calibration_images: 2,
+            evaluation_images: 6,
+            arch: ArchConfig::paper(),
+        }
+    }
+
+    /// Disables the fidelity evaluation (performance-only runs).
+    #[must_use]
+    pub fn without_fidelity(mut self) -> Self {
+        self.evaluation_images = 0;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::BadConfig`] for unusable settings.
+    pub fn validate(&self) -> Result<(), PipelineError> {
+        if self.classes == 0 {
+            return Err(PipelineError::BadConfig { reason: "classes must be non-zero".to_string() });
+        }
+        if self.calibration_images == 0 {
+            return Err(PipelineError::BadConfig {
+                reason: "at least one calibration image is required".to_string(),
+            });
+        }
+        if self.width_mult <= 0.0 {
+            return Err(PipelineError::BadConfig {
+                reason: "width multiplier must be positive".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Everything the pipeline produces for one model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CodesignResult {
+    /// Name of the evaluated model.
+    pub model_name: String,
+    /// Parameter / MAC summary of the float model.
+    pub summary: ModelSummary,
+    /// FTA sparsity and utilization statistics (Fig. 2(a), Table 3).
+    pub fta_stats: ModelFtaStats,
+    /// Accuracy-fidelity report (Table 2 substitute); `None` when the
+    /// fidelity evaluation was disabled.
+    pub fidelity: Option<FidelityReport>,
+    /// Measured block-wise input bit sparsity per PIM layer (Fig. 2(b)).
+    pub input_sparsity: InputSparsityProfile,
+    /// One simulation run per Fig. 7 configuration, in
+    /// [`SparsityConfig::all`] order.
+    pub runs: Vec<RunReport>,
+}
+
+impl CodesignResult {
+    /// The run for a specific sparsity configuration.
+    #[must_use]
+    pub fn run(&self, sparsity: SparsityConfig) -> Option<&RunReport> {
+        self.runs.iter().find(|r| r.sparsity == sparsity)
+    }
+
+    /// The dense-baseline run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result was built without a baseline run (never produced
+    /// by [`Pipeline::run_model`]).
+    #[must_use]
+    pub fn baseline(&self) -> &RunReport {
+        self.run(SparsityConfig::DenseBaseline).expect("pipeline always simulates the baseline")
+    }
+
+    /// Speedup of a configuration over the dense baseline (Fig. 7(a)).
+    #[must_use]
+    pub fn speedup(&self, sparsity: SparsityConfig) -> f64 {
+        self.run(sparsity).map_or(0.0, |r| r.speedup_over(self.baseline()))
+    }
+
+    /// Energy saving of a configuration over the dense baseline (Fig. 7(b)).
+    #[must_use]
+    pub fn energy_saving(&self, sparsity: SparsityConfig) -> f64 {
+        self.run(sparsity).map_or(0.0, |r| r.energy_saving_over(self.baseline()))
+    }
+
+    /// Actual utilization `U_act` of the FTA-mapped weights (Table 3).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.fta_stats.utilization()
+    }
+}
+
+/// The end-to-end co-design pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::BadConfig`] for unusable settings.
+    pub fn new(config: PipelineConfig) -> Result<Self, PipelineError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The pipeline's configuration.
+    #[must_use]
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Builds a zoo model (honouring the configured width multiplier) and
+    /// runs the full pipeline on it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage failure.
+    pub fn run_kind(&self, kind: ModelKind) -> Result<CodesignResult, PipelineError> {
+        let model =
+            kind.build_with_width(self.config.classes, self.config.seed, self.config.width_mult)?;
+        self.run_model(&model)
+    }
+
+    /// Runs the full pipeline on an already-built model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage failure.
+    pub fn run_model(&self, model: &Model) -> Result<CodesignResult, PipelineError> {
+        let summary = model.summary()?;
+
+        // Synthetic data: calibration batch and (optionally) evaluation batch.
+        let input_shape = model.input_shape();
+        let (channels, height, width) = (input_shape[0], input_shape[1], input_shape[2]);
+        let mut gen = TensorGenerator::new(self.config.seed ^ 0x5eed);
+        let (calibration, _) =
+            gen.labelled_batch(self.config.calibration_images, channels, height, width, self.config.classes)?;
+
+        // Quantization and FTA approximation.
+        let quantized = QuantizedModel::quantize(model, &calibration)?;
+        let approx = ModelApprox::from_quantized(&quantized)?;
+        let fta_stats = ModelFtaStats::from_model(&approx);
+
+        // Fidelity (Table 2 substitute).
+        let fidelity = if self.config.evaluation_images > 0 {
+            let (eval_images, eval_labels) = gen.labelled_batch(
+                self.config.evaluation_images,
+                channels,
+                height,
+                width,
+                self.config.classes,
+            )?;
+            let fta_model = approx.apply(&quantized)?;
+            Some(evaluate_fidelity(&quantized, &fta_model, &eval_images, &eval_labels)?)
+        } else {
+            None
+        };
+
+        // Input bit sparsity (Fig. 2(b)) measured on the calibration batch.
+        let input_sparsity = measure_input_sparsity(&quantized, &calibration)?;
+
+        // Compilation for both mappings and simulation of all four configs.
+        let sparse_workloads = extract_workloads(model, Some(&approx), &input_sparsity)?;
+        let dense_workloads: ModelWorkloads = extract_workloads(model, None, &input_sparsity)?;
+        let compiler = Compiler::new(self.config.arch)?;
+        let sparse_program = compiler.compile(&sparse_workloads, dbpim_compiler::MappingMode::DbPim)?;
+        let dense_program = compiler.compile(&dense_workloads, dbpim_compiler::MappingMode::Dense)?;
+
+        let mut runs = Vec::with_capacity(4);
+        for sparsity in SparsityConfig::all() {
+            let mut sim_config = SimConfig::new(sparsity);
+            sim_config.arch = self.config.arch;
+            let simulator = Simulator::new(sim_config)?;
+            let program = if sparsity.weight_sparsity() { &sparse_program } else { &dense_program };
+            runs.push(simulator.simulate(program)?);
+        }
+
+        Ok(CodesignResult {
+            model_name: model.name().to_string(),
+            summary,
+            fta_stats,
+            fidelity,
+            input_sparsity,
+            runs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpim_nn::zoo;
+
+    #[test]
+    fn config_validation() {
+        assert!(PipelineConfig::paper().validate().is_ok());
+        assert!(PipelineConfig::fast().validate().is_ok());
+        let mut bad = PipelineConfig::fast();
+        bad.classes = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = PipelineConfig::fast();
+        bad.calibration_images = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = PipelineConfig::fast();
+        bad.width_mult = 0.0;
+        assert!(Pipeline::new(bad).is_err());
+        assert_eq!(PipelineConfig::default(), PipelineConfig::paper());
+        assert_eq!(PipelineConfig::fast().without_fidelity().evaluation_images, 0);
+    }
+
+    #[test]
+    fn tiny_cnn_end_to_end() {
+        let mut config = PipelineConfig::fast();
+        config.evaluation_images = 4;
+        let pipeline = Pipeline::new(config).unwrap();
+        let model = zoo::tiny_cnn(10, 7).unwrap();
+        let result = pipeline.run_model(&model).unwrap();
+
+        assert_eq!(result.runs.len(), 4);
+        assert_eq!(result.model_name, "tiny_cnn");
+        assert!(result.utilization() > 0.5 && result.utilization() <= 1.0);
+        let fidelity = result.fidelity.expect("fidelity requested");
+        assert!(fidelity.top1_agreement >= 0.5);
+
+        let hybrid = result.speedup(SparsityConfig::HybridSparsity);
+        let weight = result.speedup(SparsityConfig::WeightSparsity);
+        let input = result.speedup(SparsityConfig::InputSparsity);
+        assert!(weight > 1.0, "weight speedup {weight}");
+        assert!(input > 1.0, "input speedup {input}");
+        assert!(hybrid >= weight, "hybrid {hybrid} vs weight {weight}");
+        assert!(result.energy_saving(SparsityConfig::HybridSparsity) > 0.2);
+        assert!(result.run(SparsityConfig::DenseBaseline).is_some());
+        assert_eq!(result.speedup(SparsityConfig::DenseBaseline), 1.0);
+    }
+
+    #[test]
+    fn fidelity_can_be_skipped() {
+        let config = PipelineConfig::fast().without_fidelity();
+        let pipeline = Pipeline::new(config).unwrap();
+        let model = zoo::tiny_cnn(10, 9).unwrap();
+        let result = pipeline.run_model(&model).unwrap();
+        assert!(result.fidelity.is_none());
+        assert_eq!(result.runs.len(), 4);
+    }
+}

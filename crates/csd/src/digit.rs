@@ -1,0 +1,127 @@
+//! Single CSD digit.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A single canonical-signed-digit value: `-1`, `0` or `+1`.
+///
+/// The paper writes `-1` as `1̄`. Two adjacent digits of a canonical word are
+/// never both non-zero.
+///
+/// # Examples
+///
+/// ```
+/// use dbpim_csd::CsdDigit;
+///
+/// assert_eq!(CsdDigit::PlusOne.value(), 1);
+/// assert_eq!(CsdDigit::MinusOne.value(), -1);
+/// assert!(CsdDigit::Zero.is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub enum CsdDigit {
+    /// The digit `-1` (written `1̄` in the paper).
+    MinusOne,
+    /// The digit `0`.
+    #[default]
+    Zero,
+    /// The digit `+1`.
+    PlusOne,
+}
+
+impl CsdDigit {
+    /// Numeric value of the digit (`-1`, `0` or `1`).
+    #[must_use]
+    pub const fn value(self) -> i32 {
+        match self {
+            CsdDigit::MinusOne => -1,
+            CsdDigit::Zero => 0,
+            CsdDigit::PlusOne => 1,
+        }
+    }
+
+    /// Returns `true` for the zero digit.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        matches!(self, CsdDigit::Zero)
+    }
+
+    /// Returns `true` for `+1` or `-1`.
+    #[must_use]
+    pub const fn is_nonzero(self) -> bool {
+        !self.is_zero()
+    }
+
+    /// Builds a digit from an integer in `{-1, 0, 1}`.
+    ///
+    /// Returns `None` for any other value.
+    #[must_use]
+    pub const fn from_value(value: i32) -> Option<Self> {
+        match value {
+            -1 => Some(CsdDigit::MinusOne),
+            0 => Some(CsdDigit::Zero),
+            1 => Some(CsdDigit::PlusOne),
+            _ => None,
+        }
+    }
+
+    /// The arithmetic negation of the digit.
+    #[must_use]
+    pub const fn negate(self) -> Self {
+        match self {
+            CsdDigit::MinusOne => CsdDigit::PlusOne,
+            CsdDigit::Zero => CsdDigit::Zero,
+            CsdDigit::PlusOne => CsdDigit::MinusOne,
+        }
+    }
+}
+
+impl fmt::Display for CsdDigit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsdDigit::MinusOne => write!(f, "-"),
+            CsdDigit::Zero => write!(f, "0"),
+            CsdDigit::PlusOne => write!(f, "1"),
+        }
+    }
+}
+
+impl From<CsdDigit> for i32 {
+    fn from(d: CsdDigit) -> Self {
+        d.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digit_value_round_trip() {
+        for d in [CsdDigit::MinusOne, CsdDigit::Zero, CsdDigit::PlusOne] {
+            assert_eq!(CsdDigit::from_value(d.value()), Some(d));
+        }
+        assert_eq!(CsdDigit::from_value(2), None);
+        assert_eq!(CsdDigit::from_value(-2), None);
+    }
+
+    #[test]
+    fn negation_is_involutive() {
+        for d in [CsdDigit::MinusOne, CsdDigit::Zero, CsdDigit::PlusOne] {
+            assert_eq!(d.negate().negate(), d);
+            assert_eq!(d.negate().value(), -d.value());
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(CsdDigit::PlusOne.to_string(), "1");
+        assert_eq!(CsdDigit::Zero.to_string(), "0");
+        assert_eq!(CsdDigit::MinusOne.to_string(), "-");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(CsdDigit::default(), CsdDigit::Zero);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for CSD encoding.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while encoding values into CSD form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CsdError {
+    /// The requested digit width cannot represent the value.
+    WidthTooSmall {
+        /// The value that was being encoded.
+        value: i32,
+        /// The requested number of digit positions.
+        width: usize,
+        /// The minimum number of digit positions the canonical form needs.
+        required: usize,
+    },
+    /// A zero-digit width was requested.
+    ZeroWidth,
+    /// A digit sequence violates the canonical (non-adjacent) property.
+    NotCanonical {
+        /// Index of the lower of the two adjacent non-zero digits.
+        position: usize,
+    },
+}
+
+impl fmt::Display for CsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsdError::WidthTooSmall { value, width, required } => write!(
+                f,
+                "value {value} needs {required} CSD digits but only {width} were requested"
+            ),
+            CsdError::ZeroWidth => write!(f, "a CSD word must have at least one digit"),
+            CsdError::NotCanonical { position } => write!(
+                f,
+                "adjacent non-zero digits at positions {position} and {}",
+                position + 1
+            ),
+        }
+    }
+}
+
+impl Error for CsdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = CsdError::WidthTooSmall { value: 300, width: 8, required: 10 };
+        let msg = err.to_string();
+        assert!(msg.contains("300"));
+        assert!(msg.contains('8'));
+        assert!(msg.contains("10"));
+        assert!(msg.chars().next().is_some_and(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CsdError>();
+    }
+}

@@ -1,0 +1,412 @@
+//! Algorithm 1: Fixed Threshold Approximation (FTA).
+//!
+//! Per filter, the algorithm determines a threshold `φ_th ∈ {0, 1, 2}` from
+//! the mode of the per-weight non-zero CSD digit counts and snaps every
+//! weight to the nearest value representable with at most `φ_th` non-zero
+//! digits. The result is *regular* — each weight of a filter contributes the
+//! same number of Complementary Pattern blocks — while the positions of the
+//! non-zero digits remain *unstructured*, which is exactly the property the
+//! DB-PIM macro exploits.
+
+use dbpim_csd::CsdWord;
+use dbpim_nn::{NodeId, QuantizedModel};
+use dbpim_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::error::FtaError;
+use crate::table::{QueryTables, MAX_THRESHOLD};
+
+/// One filter after FTA approximation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterApprox {
+    /// The fixed threshold `φ_th` chosen for this filter.
+    threshold: u32,
+    /// Approximated INT8 weights, in the filter's original flattened order.
+    values: Vec<i8>,
+}
+
+impl FilterApprox {
+    /// Runs Algorithm 1 on one filter's flattened INT8 weights.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for thresholds derived by the algorithm itself; the error
+    /// type is shared with the explicit-threshold constructor.
+    pub fn approximate(weights: &[i8], tables: &QueryTables) -> Result<Self, FtaError> {
+        let threshold = select_threshold(weights);
+        Self::approximate_with_threshold(weights, threshold, tables)
+    }
+
+    /// Approximates one filter with an explicitly chosen threshold (used by
+    /// ablation studies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtaError::InvalidThreshold`] when `threshold > 2`.
+    pub fn approximate_with_threshold(
+        weights: &[i8],
+        threshold: u32,
+        tables: &QueryTables,
+    ) -> Result<Self, FtaError> {
+        let table = tables.table(threshold)?;
+        let values = weights.iter().map(|&w| table.nearest(w)).collect();
+        Ok(Self { threshold, values })
+    }
+
+    /// The filter's fixed threshold `φ_th`.
+    #[must_use]
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// The approximated weights.
+    #[must_use]
+    pub fn values(&self) -> &[i8] {
+        &self.values
+    }
+
+    /// Number of weights in the filter.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` for an empty filter (never produced by the algorithm).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of non-zero CSD digits actually present across the
+    /// filter's approximated weights (each occupies one stored 6T cell).
+    #[must_use]
+    pub fn stored_blocks(&self) -> usize {
+        self.values
+            .iter()
+            .map(|&v| CsdWord::from_i8(v).nonzero_digits() as usize)
+            .sum()
+    }
+
+    /// Number of cell slots the filter occupies in the PIM array
+    /// (`threshold` per weight): padded slots are allocated but idle.
+    #[must_use]
+    pub fn allocated_slots(&self) -> usize {
+        self.values.len() * self.threshold as usize
+    }
+
+    /// Mean absolute approximation error against the original weights.
+    #[must_use]
+    pub fn mean_abs_error(&self, original: &[i8]) -> f64 {
+        if original.is_empty() {
+            return 0.0;
+        }
+        let sum: i64 = original
+            .iter()
+            .zip(&self.values)
+            .map(|(&o, &a)| i64::from((i16::from(o) - i16::from(a)).unsigned_abs()))
+            .sum();
+        sum as f64 / original.len() as f64
+    }
+}
+
+/// Chooses the per-filter threshold `φ_th` exactly as Algorithm 1 does:
+///
+/// * all weights zero → 0,
+/// * mode of the non-zero digit counts is 0 → 1,
+/// * mode in `1..=2` → the mode,
+/// * mode above 2 → 2.
+#[must_use]
+pub fn select_threshold(weights: &[i8]) -> u32 {
+    if weights.is_empty() || weights.iter().all(|&w| w == 0) {
+        return 0;
+    }
+    let mut hist = [0usize; 5];
+    for &w in weights {
+        let phi = CsdWord::from_i8(w).nonzero_digits() as usize;
+        hist[phi.min(4)] += 1;
+    }
+    let mut mode = 0usize;
+    for (phi, &count) in hist.iter().enumerate() {
+        if count > hist[mode] {
+            mode = phi;
+        }
+    }
+    match mode as u32 {
+        0 => 1,
+        m if m <= MAX_THRESHOLD => m,
+        _ => MAX_THRESHOLD,
+    }
+}
+
+/// FTA approximation of one PIM-mapped layer (convolution or linear).
+///
+/// The weight tensor's leading dimension indexes the filters; everything
+/// behind it is flattened into the filter's weight vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerApprox {
+    node_id: NodeId,
+    name: String,
+    weight_shape: Vec<usize>,
+    filter_len: usize,
+    original: Vec<i8>,
+    filters: Vec<FilterApprox>,
+}
+
+impl LayerApprox {
+    /// Approximates the INT8 weight tensor of one layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtaError::BadWeightShape`] for tensors of rank below 2.
+    pub fn from_weights(
+        node_id: NodeId,
+        name: impl Into<String>,
+        weights: &Tensor<i8>,
+        tables: &QueryTables,
+    ) -> Result<Self, FtaError> {
+        let shape = weights.shape().to_vec();
+        if shape.len() < 2 {
+            return Err(FtaError::BadWeightShape { shape });
+        }
+        let filters_count = shape[0];
+        let filter_len = weights.numel() / filters_count;
+        let mut filters = Vec::with_capacity(filters_count);
+        for f in 0..filters_count {
+            let slice = &weights.data()[f * filter_len..(f + 1) * filter_len];
+            filters.push(FilterApprox::approximate(slice, tables)?);
+        }
+        Ok(Self {
+            node_id,
+            name: name.into(),
+            weight_shape: shape,
+            filter_len,
+            original: weights.data().to_vec(),
+            filters,
+        })
+    }
+
+    /// Id of the graph node this layer approximates.
+    #[must_use]
+    pub fn node_id(&self) -> NodeId {
+        self.node_id
+    }
+
+    /// The layer's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of filters (output channels).
+    #[must_use]
+    pub fn filter_count(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// Number of weights per filter.
+    #[must_use]
+    pub fn filter_len(&self) -> usize {
+        self.filter_len
+    }
+
+    /// Per-filter approximations.
+    #[must_use]
+    pub fn filters(&self) -> &[FilterApprox] {
+        &self.filters
+    }
+
+    /// The original (pre-approximation) INT8 weights, flattened.
+    #[must_use]
+    pub fn original_values(&self) -> &[i8] {
+        &self.original
+    }
+
+    /// Per-filter thresholds `φ_th`.
+    #[must_use]
+    pub fn thresholds(&self) -> Vec<u32> {
+        self.filters.iter().map(FilterApprox::threshold).collect()
+    }
+
+    /// Histogram of the per-filter thresholds (`[count_φ0, count_φ1, count_φ2]`).
+    #[must_use]
+    pub fn threshold_histogram(&self) -> [usize; 3] {
+        let mut hist = [0usize; 3];
+        for f in &self.filters {
+            hist[f.threshold() as usize] += 1;
+        }
+        hist
+    }
+
+    /// The approximated weights reassembled into the original tensor shape.
+    #[must_use]
+    pub fn approximated_tensor(&self) -> Tensor<i8> {
+        let mut data = Vec::with_capacity(self.original.len());
+        for f in &self.filters {
+            data.extend_from_slice(f.values());
+        }
+        Tensor::from_vec(data, self.weight_shape.clone())
+            .expect("filter decomposition preserves the element count")
+    }
+}
+
+/// FTA approximation of every PIM-mapped layer of a quantized model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelApprox {
+    model_name: String,
+    layers: Vec<LayerApprox>,
+}
+
+impl ModelApprox {
+    /// Runs Algorithm 1 over every convolution and fully-connected layer of a
+    /// quantized model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates weight-shape errors from the individual layers.
+    pub fn from_quantized(model: &QuantizedModel) -> Result<Self, FtaError> {
+        let tables = QueryTables::new();
+        let mut layers = Vec::new();
+        for &id in &model.pim_node_ids() {
+            let node = &model.nodes()[id];
+            let weight = node
+                .layer
+                .weight()
+                .expect("pim_node_ids only returns layers with weights");
+            layers.push(LayerApprox::from_weights(id, node.name.clone(), weight.values(), &tables)?);
+        }
+        Ok(Self { model_name: model.name().to_string(), layers })
+    }
+
+    /// Name of the approximated model.
+    #[must_use]
+    pub fn model_name(&self) -> &str {
+        &self.model_name
+    }
+
+    /// Per-layer approximations in execution order.
+    #[must_use]
+    pub fn layers(&self) -> &[LayerApprox] {
+        &self.layers
+    }
+
+    /// The approximation for a specific graph node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtaError::UnknownLayer`] when the node was not approximated.
+    pub fn layer(&self, node_id: NodeId) -> Result<&LayerApprox, FtaError> {
+        self.layers
+            .iter()
+            .find(|l| l.node_id == node_id)
+            .ok_or(FtaError::UnknownLayer { node_id })
+    }
+
+    /// Builds the FTA variant of a quantized model by substituting every
+    /// approximated weight tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the model's graph no longer matches the
+    /// approximation (e.g. different shapes).
+    pub fn apply(&self, model: &QuantizedModel) -> Result<QuantizedModel, FtaError> {
+        let mut fta_model = model.clone();
+        for layer in &self.layers {
+            fta_model.replace_weight_values(layer.node_id, layer.approximated_tensor())?;
+        }
+        Ok(fta_model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tables() -> QueryTables {
+        QueryTables::new()
+    }
+
+    #[test]
+    fn threshold_selection_follows_algorithm_1() {
+        // All zeros -> 0.
+        assert_eq!(select_threshold(&[0, 0, 0]), 0);
+        // Mode 0 but not all zero -> 1.
+        assert_eq!(select_threshold(&[0, 0, 0, 1]), 1);
+        // Mode 1 -> 1 (powers of two dominate).
+        assert_eq!(select_threshold(&[1, 2, 4, 8, 7]), 1);
+        // Mode 2 -> 2.
+        assert_eq!(select_threshold(&[3, 5, 6, 9, 1]), 2);
+        // Mode 3 -> clamped to 2. (φ(107) = φ(1101011b -> CSD) = 4)
+        assert_eq!(select_threshold(&[0b0101_0101, 0b0101_0101, 0b0101_0101, 1]), 2);
+        assert_eq!(select_threshold(&[]), 0);
+    }
+
+    #[test]
+    fn approximated_weights_respect_the_threshold() {
+        let weights: Vec<i8> = vec![3, -5, 17, 100, -100, 0, 127, -128];
+        let f = FilterApprox::approximate(&weights, &tables()).unwrap();
+        assert!(f.threshold() <= 2);
+        for &v in f.values() {
+            assert!(CsdWord::from_i8(v).nonzero_digits() <= f.threshold(), "value {v}");
+        }
+        assert_eq!(f.len(), weights.len());
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn zero_filter_gets_threshold_zero() {
+        let f = FilterApprox::approximate(&[0; 16], &tables()).unwrap();
+        assert_eq!(f.threshold(), 0);
+        assert_eq!(f.stored_blocks(), 0);
+        assert_eq!(f.allocated_slots(), 0);
+        assert_eq!(f.mean_abs_error(&[0; 16]), 0.0);
+    }
+
+    #[test]
+    fn explicit_threshold_is_validated() {
+        assert!(FilterApprox::approximate_with_threshold(&[1, 2], 5, &tables()).is_err());
+        let f = FilterApprox::approximate_with_threshold(&[7, 9], 1, &tables()).unwrap();
+        assert_eq!(f.values(), &[8, 8]);
+    }
+
+    #[test]
+    fn stored_blocks_never_exceed_allocated_slots() {
+        let weights: Vec<i8> = (-64..64).collect();
+        let f = FilterApprox::approximate(&weights, &tables()).unwrap();
+        assert!(f.stored_blocks() <= f.allocated_slots());
+        assert!(f.stored_blocks() > 0);
+    }
+
+    #[test]
+    fn approximation_error_is_bounded() {
+        let weights: Vec<i8> = (i8::MIN..=i8::MAX).collect();
+        let f = FilterApprox::approximate_with_threshold(&weights, 2, &tables()).unwrap();
+        // Worst-case error of T(2) is 8 (see table tests).
+        assert!(f.mean_abs_error(&weights) <= 8.0);
+        for (&o, &a) in weights.iter().zip(f.values()) {
+            assert!((i16::from(o) - i16::from(a)).abs() <= 8);
+        }
+    }
+
+    #[test]
+    fn layer_approx_round_trips_shape() {
+        let weights = Tensor::from_vec((0..32).map(|v| (v * 7 % 120) as i8).collect(), vec![4, 8]).unwrap();
+        let layer = LayerApprox::from_weights(3, "conv", &weights, &tables()).unwrap();
+        assert_eq!(layer.node_id(), 3);
+        assert_eq!(layer.name(), "conv");
+        assert_eq!(layer.filter_count(), 4);
+        assert_eq!(layer.filter_len(), 8);
+        assert_eq!(layer.thresholds().len(), 4);
+        assert_eq!(layer.threshold_histogram().iter().sum::<usize>(), 4);
+        let t = layer.approximated_tensor();
+        assert_eq!(t.shape(), weights.shape());
+    }
+
+    #[test]
+    fn rank_one_weights_are_rejected() {
+        let weights = Tensor::from_vec(vec![1i8, 2, 3], vec![3]).unwrap();
+        assert!(matches!(
+            LayerApprox::from_weights(0, "bad", &weights, &tables()),
+            Err(FtaError::BadWeightShape { .. })
+        ));
+    }
+}

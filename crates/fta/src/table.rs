@@ -1,0 +1,256 @@
+//! The query table `T(φ_th)` of Algorithm 1.
+//!
+//! `T(φ_th)` is the set of INT8 values whose canonical signed digit form uses
+//! at most `φ_th` non-zero digits. The FTA algorithm replaces every weight of
+//! a filter with the nearest member of the filter's table, which caps the
+//! number of Complementary Pattern blocks each weight contributes to the PIM
+//! array.
+
+use dbpim_csd::CsdWord;
+use serde::{Deserialize, Serialize};
+
+use crate::error::FtaError;
+
+/// Largest filter threshold the paper's Algorithm 1 allows.
+pub const MAX_THRESHOLD: u32 = 2;
+
+/// The query table `T(φ_th)`: all INT8 values representable with at most
+/// `φ_th` non-zero CSD digits, sorted ascending.
+///
+/// # Examples
+///
+/// ```
+/// use dbpim_fta::QueryTable;
+///
+/// let t1 = QueryTable::new(1)?;
+/// // With one non-zero digit only powers of two (and zero) are available.
+/// assert_eq!(t1.nearest(5), 4);
+/// assert_eq!(t1.nearest(0), 0);
+/// assert!(t1.contains(-64));
+///
+/// let t2 = QueryTable::new(2)?;
+/// assert_eq!(t2.nearest(5), 5); // 5 = 4 + 1 uses two digits
+/// # Ok::<(), dbpim_fta::FtaError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryTable {
+    threshold: u32,
+    values: Vec<i8>,
+}
+
+impl QueryTable {
+    /// Builds the table for a threshold in `0..=2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtaError::InvalidThreshold`] for thresholds above
+    /// [`MAX_THRESHOLD`].
+    pub fn new(threshold: u32) -> Result<Self, FtaError> {
+        if threshold > MAX_THRESHOLD {
+            return Err(FtaError::InvalidThreshold { threshold });
+        }
+        let mut values: Vec<i8> = (i8::MIN..=i8::MAX)
+            .filter(|&v| CsdWord::from_i8(v).nonzero_digits() <= threshold)
+            .collect();
+        values.sort_unstable();
+        Ok(Self { threshold, values })
+    }
+
+    /// The threshold this table was built for.
+    #[must_use]
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// The admissible values, sorted ascending.
+    #[must_use]
+    pub fn values(&self) -> &[i8] {
+        &self.values
+    }
+
+    /// Number of admissible values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// A table is never empty (zero is always admissible).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Returns `true` when `value` is exactly representable under the
+    /// threshold.
+    #[must_use]
+    pub fn contains(&self, value: i8) -> bool {
+        self.values.binary_search(&value).is_ok()
+    }
+
+    /// The admissible value closest to `value` (Algorithm 1 line 16).
+    ///
+    /// Ties are broken towards the value of smaller magnitude, which never
+    /// increases the number of stored non-zero digits.
+    #[must_use]
+    pub fn nearest(&self, value: i8) -> i8 {
+        match self.values.binary_search(&value) {
+            Ok(_) => value,
+            Err(pos) => {
+                let hi = self.values.get(pos).copied();
+                let lo = if pos > 0 { Some(self.values[pos - 1]) } else { None };
+                match (lo, hi) {
+                    (Some(lo), Some(hi)) => {
+                        let dl = i16::from(value) - i16::from(lo);
+                        let dh = i16::from(hi) - i16::from(value);
+                        if dl < dh {
+                            lo
+                        } else if dh < dl {
+                            hi
+                        } else if lo.unsigned_abs() <= hi.unsigned_abs() {
+                            lo
+                        } else {
+                            hi
+                        }
+                    }
+                    (Some(lo), None) => lo,
+                    (None, Some(hi)) => hi,
+                    (None, None) => 0,
+                }
+            }
+        }
+    }
+
+    /// Largest absolute approximation error over the whole INT8 range.
+    #[must_use]
+    pub fn worst_case_error(&self) -> u32 {
+        (i8::MIN..=i8::MAX)
+            .map(|v| (i32::from(v) - i32::from(self.nearest(v))).unsigned_abs())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The three query tables (`φ_th` = 0, 1, 2) built once and shared.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryTables {
+    tables: [QueryTable; 3],
+}
+
+impl QueryTables {
+    /// Builds all three tables.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            tables: [
+                QueryTable::new(0).expect("threshold 0 is valid"),
+                QueryTable::new(1).expect("threshold 1 is valid"),
+                QueryTable::new(2).expect("threshold 2 is valid"),
+            ],
+        }
+    }
+
+    /// The table for a given threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtaError::InvalidThreshold`] for thresholds above
+    /// [`MAX_THRESHOLD`].
+    pub fn table(&self, threshold: u32) -> Result<&QueryTable, FtaError> {
+        self.tables
+            .get(threshold as usize)
+            .ok_or(FtaError::InvalidThreshold { threshold })
+    }
+}
+
+impl Default for QueryTables {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_zero_only_contains_zero() {
+        let t = QueryTable::new(0).unwrap();
+        assert_eq!(t.values(), &[0]);
+        assert_eq!(t.nearest(100), 0);
+        assert_eq!(t.nearest(-128), 0);
+    }
+
+    #[test]
+    fn table_one_contains_signed_powers_of_two() {
+        let t = QueryTable::new(1).unwrap();
+        // 0, ±1, ±2, ±4, ±8, ±16, ±32, ±64, -128 and +128 does not fit i8.
+        assert_eq!(t.len(), 16);
+        assert!(t.contains(-128));
+        assert!(!t.contains(3));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn table_two_members_use_at_most_two_digits() {
+        let t = QueryTable::new(2).unwrap();
+        for &v in t.values() {
+            assert!(CsdWord::from_i8(v).nonzero_digits() <= 2, "value {v}");
+        }
+        assert!(t.contains(96)); // 128 - 32
+        assert!(t.contains(-96));
+        assert!(!t.contains(107));
+    }
+
+    #[test]
+    fn nearest_is_truly_nearest() {
+        for threshold in 0..=2 {
+            let t = QueryTable::new(threshold).unwrap();
+            for v in i8::MIN..=i8::MAX {
+                let n = t.nearest(v);
+                let err = (i32::from(v) - i32::from(n)).abs();
+                for &candidate in t.values() {
+                    assert!(
+                        (i32::from(v) - i32::from(candidate)).abs() >= err,
+                        "threshold {threshold}: {candidate} is closer to {v} than {n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_ties_prefer_smaller_magnitude() {
+        let t = QueryTable::new(1).unwrap();
+        // 3 is equidistant from 2 and 4; expect 2.
+        assert_eq!(t.nearest(3), 2);
+        assert_eq!(t.nearest(-3), -2);
+    }
+
+    #[test]
+    fn exact_values_are_preserved() {
+        let t = QueryTable::new(2).unwrap();
+        for &v in t.values() {
+            assert_eq!(t.nearest(v), v);
+        }
+    }
+
+    #[test]
+    fn worst_case_error_shrinks_with_threshold() {
+        let e0 = QueryTable::new(0).unwrap().worst_case_error();
+        let e1 = QueryTable::new(1).unwrap().worst_case_error();
+        let e2 = QueryTable::new(2).unwrap().worst_case_error();
+        assert!(e0 > e1 && e1 > e2, "{e0} {e1} {e2}");
+        assert_eq!(e0, 128);
+        // The largest gap in T(2) sits between 96 = 128-32 and 112 = 128-16.
+        assert!(e2 <= 8, "phi=2 worst case error {e2}");
+    }
+
+    #[test]
+    fn invalid_threshold_is_rejected() {
+        assert!(QueryTable::new(3).is_err());
+        let tables = QueryTables::new();
+        assert!(tables.table(3).is_err());
+        assert_eq!(tables.table(1).unwrap().threshold(), 1);
+        assert_eq!(QueryTables::default().table(2).unwrap().threshold(), 2);
+    }
+}

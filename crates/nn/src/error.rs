@@ -1,0 +1,86 @@
+//! Error type for the neural-network substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use dbpim_tensor::TensorError;
+
+/// Errors produced while building or executing a model graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// The input tensor does not have the shape a layer expects.
+    InputShape {
+        /// Name of the offending layer.
+        layer: String,
+        /// Expected shape (may use 0 for "any").
+        expected: Vec<usize>,
+        /// Actual shape.
+        actual: Vec<usize>,
+    },
+    /// A graph node references an undefined input node.
+    UnknownNode {
+        /// The referenced node id.
+        id: usize,
+    },
+    /// The graph has no output node or is empty.
+    EmptyGraph,
+    /// A layer's parameter tensors are inconsistent with its configuration.
+    BadParameters {
+        /// Name of the offending layer.
+        layer: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::InputShape { layer, expected, actual } => {
+                write!(f, "layer {layer} expected input shape {expected:?} but got {actual:?}")
+            }
+            NnError::UnknownNode { id } => write!(f, "graph references unknown node {id}"),
+            NnError::EmptyGraph => write!(f, "the model graph has no nodes"),
+            NnError::BadParameters { layer, reason } => {
+                write!(f, "layer {layer} has inconsistent parameters: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_errors_convert() {
+        let e: NnError = TensorError::EmptyShape.into();
+        assert!(matches!(e, NnError::Tensor(_)));
+        assert!(e.to_string().contains("tensor error"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,428 @@
+//! Model graphs and the float-precision executor.
+
+use dbpim_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::error::NnError;
+use crate::layer::Layer;
+use crate::ops;
+use crate::summary::{LayerSummary, ModelSummary};
+
+/// Identifier of a node inside a [`Model`].
+pub type NodeId = usize;
+
+/// One node of the model graph: a named layer plus the ids of the nodes it
+/// reads from. A node with no inputs reads the model input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Node id (equal to the node's position in [`Model::nodes`]).
+    pub id: NodeId,
+    /// Human-readable unique name (e.g. `"stage1.block0.conv1"`).
+    pub name: String,
+    /// The layer executed by this node.
+    pub layer: Layer,
+    /// Ids of producer nodes; empty means "the model input".
+    pub inputs: Vec<NodeId>,
+}
+
+/// A directed acyclic model graph over [`Layer`]s with a single input and a
+/// single output (the last node).
+///
+/// # Examples
+///
+/// ```
+/// use dbpim_nn::{ModelBuilder, Layer, Conv2dCfg, Activation};
+/// use dbpim_tensor::Tensor;
+///
+/// let mut b = ModelBuilder::new("tiny", vec![1, 4, 4]);
+/// b.chain("conv", Layer::Conv2d {
+///     cfg: Conv2dCfg::new(1, 2, 3).with_padding(1),
+///     weight: Tensor::zeros(vec![2, 1, 3, 3])?,
+///     bias: None,
+/// });
+/// b.chain("relu", Layer::Activation(Activation::Relu));
+/// let model = b.build()?;
+/// assert_eq!(model.output_shape()?, vec![2, 4, 4]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Model {
+    name: String,
+    input_shape: Vec<usize>,
+    nodes: Vec<Node>,
+}
+
+impl Model {
+    /// The model's name (e.g. `"resnet18"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Shape of the single model input (`[C, H, W]` for image models).
+    #[must_use]
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// The graph nodes in topological (insertion) order.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Mutable access to the graph nodes (used by weight initialisation and
+    /// batch-norm folding).
+    pub fn nodes_mut(&mut self) -> &mut Vec<Node> {
+        &mut self.nodes
+    }
+
+    /// Id of the output node (the last node).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyGraph`] for a model with no nodes.
+    pub fn output_node(&self) -> Result<NodeId, NnError> {
+        if self.nodes.is_empty() {
+            Err(NnError::EmptyGraph)
+        } else {
+            Ok(self.nodes.len() - 1)
+        }
+    }
+
+    /// Validates the graph structure: node ids are consecutive, every input
+    /// reference points at an earlier node and arities match.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::UnknownNode`], [`NnError::EmptyGraph`] or
+    /// [`NnError::BadParameters`] describing the first problem found.
+    pub fn validate(&self) -> Result<(), NnError> {
+        if self.nodes.is_empty() {
+            return Err(NnError::EmptyGraph);
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.id != i {
+                return Err(NnError::BadParameters {
+                    layer: node.name.clone(),
+                    reason: format!("node id {} does not match position {i}", node.id),
+                });
+            }
+            for &input in &node.inputs {
+                if input >= i {
+                    return Err(NnError::UnknownNode { id: input });
+                }
+            }
+            let expected = node.layer.arity();
+            let actual = node.inputs.len().max(1);
+            if actual != expected {
+                return Err(NnError::BadParameters {
+                    layer: node.name.clone(),
+                    reason: format!("expected {expected} inputs, got {actual}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Infers the output shape of every node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference errors from the individual layers.
+    pub fn node_output_shapes(&self) -> Result<Vec<Vec<usize>>, NnError> {
+        self.validate()?;
+        let mut shapes: Vec<Vec<usize>> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let inputs: Vec<Vec<usize>> = if node.inputs.is_empty() {
+                vec![self.input_shape.clone()]
+            } else {
+                node.inputs.iter().map(|&i| shapes[i].clone()).collect()
+            };
+            shapes.push(node.layer.output_shape(&node.name, &inputs)?);
+        }
+        Ok(shapes)
+    }
+
+    /// Shape of the model output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference errors.
+    pub fn output_shape(&self) -> Result<Vec<usize>, NnError> {
+        let shapes = self.node_output_shapes()?;
+        Ok(shapes.last().cloned().unwrap_or_default())
+    }
+
+    /// Runs the model on one `[C, H, W]` image and returns every node's
+    /// output (used for activation-range calibration).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape or execution error from the first failing layer.
+    pub fn forward_all(&self, input: &Tensor<f32>) -> Result<Vec<Tensor<f32>>, NnError> {
+        self.validate()?;
+        let mut outputs: Vec<Tensor<f32>> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let gathered: Vec<&Tensor<f32>> = if node.inputs.is_empty() {
+                vec![input]
+            } else {
+                node.inputs.iter().map(|&i| &outputs[i]).collect()
+            };
+            outputs.push(execute_layer(&node.layer, &gathered)?);
+        }
+        Ok(outputs)
+    }
+
+    /// Runs the model on one `[C, H, W]` image and returns the output of the
+    /// last node (the logits for classification models).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape or execution error from the first failing layer.
+    pub fn forward(&self, input: &Tensor<f32>) -> Result<Tensor<f32>, NnError> {
+        let mut outputs = self.forward_all(input)?;
+        outputs.pop().ok_or(NnError::EmptyGraph)
+    }
+
+    /// Index of the largest logit for one image (top-1 class).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape or execution error from the first failing layer.
+    pub fn predict(&self, input: &Tensor<f32>) -> Result<usize, NnError> {
+        let logits = self.forward(input)?;
+        Ok(argmax(logits.data()))
+    }
+
+    /// Per-layer and total parameter/MAC summary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference errors.
+    pub fn summary(&self) -> Result<ModelSummary, NnError> {
+        let shapes = self.node_output_shapes()?;
+        let mut layers = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let input_shapes: Vec<Vec<usize>> = if node.inputs.is_empty() {
+                vec![self.input_shape.clone()]
+            } else {
+                node.inputs.iter().map(|&i| shapes[i].clone()).collect()
+            };
+            layers.push(LayerSummary {
+                node_id: node.id,
+                name: node.name.clone(),
+                kind: node.layer.kind_name().to_string(),
+                output_shape: shapes[node.id].clone(),
+                params: node.layer.params(),
+                macs: node.layer.macs(&input_shapes),
+                is_pim: node.layer.is_pim_layer(),
+            });
+        }
+        Ok(ModelSummary::new(self.name.clone(), layers))
+    }
+
+    /// Applies `f` to every node's layer (used for batch-norm folding and
+    /// weight substitution).
+    pub fn map_layers_in_place<F: FnMut(NodeId, &mut Layer)>(&mut self, mut f: F) {
+        for node in &mut self.nodes {
+            f(node.id, &mut node.layer);
+        }
+    }
+}
+
+/// Index of the maximum element (first maximum on ties).
+#[must_use]
+pub fn argmax(values: &[f32]) -> usize {
+    let mut best = 0usize;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn execute_layer(layer: &Layer, inputs: &[&Tensor<f32>]) -> Result<Tensor<f32>, NnError> {
+    let single = || inputs.first().copied().ok_or(NnError::EmptyGraph);
+    match layer {
+        Layer::Conv2d { cfg, weight, bias } => ops::conv2d(single()?, weight, bias.as_deref(), cfg),
+        Layer::Linear { cfg, weight, bias } => {
+            let flat = ops::flatten(single()?);
+            ops::linear(&flat, weight, bias.as_deref(), cfg)
+        }
+        Layer::BatchNorm(bn) => ops::batch_norm(single()?, bn),
+        Layer::Activation(act) => Ok(ops::activation(single()?, *act)),
+        Layer::Pool2d(cfg) => ops::pool2d(single()?, cfg),
+        Layer::GlobalAvgPool => ops::global_avg_pool(single()?),
+        Layer::Flatten => Ok(ops::flatten(single()?)),
+        Layer::Add => ops::add(inputs[0], inputs[1]),
+        Layer::ChannelScale => ops::channel_scale(inputs[0], inputs[1]),
+    }
+}
+
+/// Incremental builder for [`Model`] graphs.
+#[derive(Debug, Clone)]
+pub struct ModelBuilder {
+    name: String,
+    input_shape: Vec<usize>,
+    nodes: Vec<Node>,
+    last: Option<NodeId>,
+}
+
+impl ModelBuilder {
+    /// Starts a model with the given name and input shape.
+    #[must_use]
+    pub fn new(name: impl Into<String>, input_shape: Vec<usize>) -> Self {
+        Self { name: name.into(), input_shape, nodes: Vec::new(), last: None }
+    }
+
+    /// Adds a node reading from explicit producer nodes (empty = model input)
+    /// and returns its id. The new node becomes the "last" node that
+    /// [`ModelBuilder::chain`] appends to.
+    pub fn add(&mut self, name: impl Into<String>, layer: Layer, inputs: Vec<NodeId>) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(Node { id, name: name.into(), layer, inputs });
+        self.last = Some(id);
+        id
+    }
+
+    /// Adds a node reading from the previously added node (or the model input
+    /// for the first node) and returns its id.
+    pub fn chain(&mut self, name: impl Into<String>, layer: Layer) -> NodeId {
+        let inputs = match self.last {
+            Some(last) => vec![last],
+            None => vec![],
+        };
+        self.add(name, layer, inputs)
+    }
+
+    /// Id of the most recently added node.
+    #[must_use]
+    pub fn last(&self) -> Option<NodeId> {
+        self.last
+    }
+
+    /// Overrides which node subsequent [`ModelBuilder::chain`] calls append
+    /// to (used when building residual branches).
+    pub fn set_last(&mut self, id: NodeId) {
+        self.last = Some(id);
+    }
+
+    /// Finalizes and validates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a graph-validation error (see [`Model::validate`]).
+    pub fn build(self) -> Result<Model, NnError> {
+        let model = Model { name: self.name, input_shape: self.input_shape, nodes: self.nodes };
+        model.validate()?;
+        model.node_output_shapes()?;
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Activation, Conv2dCfg, LinearCfg};
+
+    fn conv_layer(inc: usize, outc: usize, k: usize, value: f32) -> Layer {
+        let cfg = Conv2dCfg::new(inc, outc, k).with_padding(k / 2);
+        let weight = Tensor::filled(value, cfg.weight_dims()).unwrap();
+        Layer::Conv2d { cfg, weight, bias: None }
+    }
+
+    fn tiny_model() -> Model {
+        let mut b = ModelBuilder::new("tiny", vec![1, 4, 4]);
+        b.chain("conv1", conv_layer(1, 2, 3, 0.1));
+        b.chain("relu1", Layer::Activation(Activation::Relu));
+        b.chain("flatten", Layer::Flatten);
+        b.chain(
+            "fc",
+            Layer::Linear {
+                cfg: LinearCfg::new(32, 4),
+                weight: Tensor::filled(0.01, vec![4, 32]).unwrap(),
+                bias: Some(vec![0.0, 0.1, 0.2, 0.3]),
+            },
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_valid_graph() {
+        let model = tiny_model();
+        assert_eq!(model.nodes().len(), 4);
+        assert_eq!(model.output_shape().unwrap(), vec![4]);
+        assert!(model.validate().is_ok());
+    }
+
+    #[test]
+    fn forward_produces_expected_values() {
+        let model = tiny_model();
+        let input = Tensor::filled(1.0, vec![1, 4, 4]).unwrap();
+        let out = model.forward(&input).unwrap();
+        assert_eq!(out.shape(), &[4]);
+        // The class with the largest bias wins because all other terms are equal.
+        assert_eq!(model.predict(&input).unwrap(), 3);
+    }
+
+    #[test]
+    fn forward_all_returns_one_output_per_node() {
+        let model = tiny_model();
+        let input = Tensor::filled(1.0, vec![1, 4, 4]).unwrap();
+        let all = model.forward_all(&input).unwrap();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0].shape(), &[2, 4, 4]);
+        assert_eq!(all[3].shape(), &[4]);
+    }
+
+    #[test]
+    fn residual_graph_with_add() {
+        let mut b = ModelBuilder::new("res", vec![2, 4, 4]);
+        let trunk = b.chain("conv", conv_layer(2, 2, 3, 0.0));
+        b.add("add", Layer::Add, vec![trunk, trunk]);
+        let model = b.build().unwrap();
+        let input = Tensor::filled(1.0, vec![2, 4, 4]).unwrap();
+        let out = model.forward(&input).unwrap();
+        assert_eq!(out.shape(), &[2, 4, 4]);
+        assert!(out.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn validation_rejects_forward_references() {
+        let model = Model {
+            name: "bad".to_string(),
+            input_shape: vec![1, 4, 4],
+            nodes: vec![Node {
+                id: 0,
+                name: "add".to_string(),
+                layer: Layer::Add,
+                inputs: vec![0, 1],
+            }],
+        };
+        assert!(matches!(model.validate(), Err(NnError::UnknownNode { .. })));
+    }
+
+    #[test]
+    fn empty_model_is_rejected() {
+        let b = ModelBuilder::new("empty", vec![1, 2, 2]);
+        assert!(matches!(b.build(), Err(NnError::EmptyGraph)));
+    }
+
+    #[test]
+    fn summary_counts_pim_layers() {
+        let model = tiny_model();
+        let summary = model.summary().unwrap();
+        assert_eq!(summary.layers().len(), 4);
+        assert_eq!(summary.pim_layer_count(), 2);
+        assert!(summary.total_macs() > 0);
+        assert!(summary.total_params() > 0);
+    }
+
+    #[test]
+    fn argmax_prefers_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[-1.0]), 0);
+    }
+}

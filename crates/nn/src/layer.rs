@@ -1,0 +1,588 @@
+//! Layer configurations and the float-precision layer type.
+
+use dbpim_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::error::NnError;
+
+/// Configuration of a 2-D convolution (square kernel, symmetric padding).
+///
+/// Grouped convolutions cover both ordinary (`groups == 1`) and depthwise
+/// (`groups == in_channels`) layers, which is all the CIFAR-100 model zoo
+/// needs.
+///
+/// # Examples
+///
+/// ```
+/// use dbpim_nn::Conv2dCfg;
+///
+/// let cfg = Conv2dCfg::new(3, 64, 3).with_stride(1).with_padding(1);
+/// assert_eq!(cfg.output_hw(32, 32), (32, 32));
+/// assert_eq!(cfg.weight_dims(), vec![64, 3, 3, 3]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dCfg {
+    /// Number of input channels.
+    pub in_channels: usize,
+    /// Number of output channels (filters).
+    pub out_channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding in both spatial dimensions.
+    pub padding: usize,
+    /// Number of groups (`1` = dense, `in_channels` = depthwise).
+    pub groups: usize,
+}
+
+impl Conv2dCfg {
+    /// Creates a unit-stride, zero-padding, ungrouped convolution config.
+    #[must_use]
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize) -> Self {
+        Self { in_channels, out_channels, kernel, stride: 1, padding: 0, groups: 1 }
+    }
+
+    /// Sets the stride.
+    #[must_use]
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        self.stride = stride;
+        self
+    }
+
+    /// Sets the padding.
+    #[must_use]
+    pub fn with_padding(mut self, padding: usize) -> Self {
+        self.padding = padding;
+        self
+    }
+
+    /// Sets the group count.
+    #[must_use]
+    pub fn with_groups(mut self, groups: usize) -> Self {
+        self.groups = groups;
+        self
+    }
+
+    /// Shorthand for a depthwise convolution over `channels`.
+    #[must_use]
+    pub fn depthwise(channels: usize, kernel: usize) -> Self {
+        Self::new(channels, channels, kernel).with_groups(channels)
+    }
+
+    /// Output spatial size for an input of `h x w`.
+    #[must_use]
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding).saturating_sub(self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.padding).saturating_sub(self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// Dimension sizes of the weight tensor: `[out, in/groups, k, k]`.
+    #[must_use]
+    pub fn weight_dims(&self) -> Vec<usize> {
+        vec![self.out_channels, self.in_channels / self.groups, self.kernel, self.kernel]
+    }
+
+    /// Number of weight parameters.
+    #[must_use]
+    pub fn params(&self) -> u64 {
+        self.weight_dims().iter().product::<usize>() as u64
+    }
+
+    /// Multiply-accumulate count for an output of `oh x ow`.
+    #[must_use]
+    pub fn macs(&self, oh: usize, ow: usize) -> u64 {
+        self.params() * (oh * ow) as u64
+    }
+
+    /// Length of one filter when flattened for PIM mapping
+    /// (`in/groups * k * k`).
+    #[must_use]
+    pub fn filter_len(&self) -> usize {
+        (self.in_channels / self.groups) * self.kernel * self.kernel
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadParameters`] when a field is zero or the channel
+    /// counts are not divisible by the group count.
+    pub fn validate(&self, layer: &str) -> Result<(), NnError> {
+        let bad = |reason: &str| NnError::BadParameters { layer: layer.to_string(), reason: reason.to_string() };
+        if self.in_channels == 0 || self.out_channels == 0 || self.kernel == 0 || self.stride == 0 {
+            return Err(bad("channel counts, kernel and stride must be non-zero"));
+        }
+        if self.groups == 0 || !self.in_channels.is_multiple_of(self.groups) || !self.out_channels.is_multiple_of(self.groups) {
+            return Err(bad("channel counts must be divisible by the group count"));
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of a fully-connected layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinearCfg {
+    /// Number of input features.
+    pub in_features: usize,
+    /// Number of output features.
+    pub out_features: usize,
+}
+
+impl LinearCfg {
+    /// Creates a fully-connected layer config.
+    #[must_use]
+    pub fn new(in_features: usize, out_features: usize) -> Self {
+        Self { in_features, out_features }
+    }
+
+    /// Number of weight parameters.
+    #[must_use]
+    pub fn params(&self) -> u64 {
+        (self.in_features * self.out_features) as u64
+    }
+
+    /// Multiply-accumulate count for one forward pass.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        self.params()
+    }
+}
+
+/// Pooling flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Max pooling.
+    Max,
+    /// Average pooling.
+    Avg,
+}
+
+/// Configuration of a 2-D pooling layer (square window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pool2dCfg {
+    /// Pooling flavour.
+    pub kind: PoolKind,
+    /// Square window size.
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+}
+
+impl Pool2dCfg {
+    /// Creates a max-pooling config with `stride == kernel`.
+    #[must_use]
+    pub fn max(kernel: usize) -> Self {
+        Self { kind: PoolKind::Max, kernel, stride: kernel }
+    }
+
+    /// Creates an average-pooling config with `stride == kernel`.
+    #[must_use]
+    pub fn avg(kernel: usize) -> Self {
+        Self { kind: PoolKind::Avg, kernel, stride: kernel }
+    }
+
+    /// Output spatial size for an input of `h x w`.
+    #[must_use]
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (h.saturating_sub(self.kernel) / self.stride + 1, w.saturating_sub(self.kernel) / self.stride + 1)
+    }
+}
+
+/// Element-wise activation functions used by the model zoo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// `max(0, x)`.
+    Relu,
+    /// `min(max(0, x), 6)` (MobileNetV2).
+    Relu6,
+    /// `x * sigmoid(x)` (EfficientNet).
+    Silu,
+    /// `1 / (1 + e^-x)` (squeeze-and-excite gate).
+    Sigmoid,
+    /// `x * relu6(x + 3) / 6`.
+    HardSwish,
+}
+
+impl Activation {
+    /// Applies the activation to a single value.
+    #[must_use]
+    pub fn apply(&self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Relu6 => x.clamp(0.0, 6.0),
+            Activation::Silu => x / (1.0 + (-x).exp()),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::HardSwish => x * (x + 3.0).clamp(0.0, 6.0) / 6.0,
+        }
+    }
+
+    /// Returns `true` when the activation's output range is non-negative,
+    /// which the IPU's unsigned bit-serial input encoding relies on.
+    #[must_use]
+    pub fn is_non_negative(&self) -> bool {
+        matches!(self, Activation::Relu | Activation::Relu6 | Activation::Sigmoid)
+    }
+}
+
+/// Per-channel batch-normalization parameters (inference form).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchNormParams {
+    /// Learned scale, one per channel.
+    pub gamma: Vec<f32>,
+    /// Learned shift, one per channel.
+    pub beta: Vec<f32>,
+    /// Running mean, one per channel.
+    pub mean: Vec<f32>,
+    /// Running variance, one per channel.
+    pub var: Vec<f32>,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+}
+
+impl BatchNormParams {
+    /// Identity batch norm (`gamma = 1`, everything else zero) over `channels`.
+    #[must_use]
+    pub fn identity(channels: usize) -> Self {
+        Self {
+            gamma: vec![1.0; channels],
+            beta: vec![0.0; channels],
+            mean: vec![0.0; channels],
+            var: vec![1.0; channels],
+            eps: 1e-5,
+        }
+    }
+
+    /// Number of channels normalized.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// Effective per-channel scale `gamma / sqrt(var + eps)`.
+    #[must_use]
+    pub fn effective_scale(&self, channel: usize) -> f32 {
+        self.gamma[channel] / (self.var[channel] + self.eps).sqrt()
+    }
+
+    /// Effective per-channel shift `beta - mean * effective_scale`.
+    #[must_use]
+    pub fn effective_shift(&self, channel: usize) -> f32 {
+        self.beta[channel] - self.mean[channel] * self.effective_scale(channel)
+    }
+}
+
+/// One layer of a float-precision model graph.
+///
+/// Convolutions and fully-connected layers carry their `f32` parameters; they
+/// are the layers that end up mapped onto the PIM macros after quantization
+/// and FTA approximation. Everything else is executed by the SIMD core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Layer {
+    /// 2-D convolution with optional bias.
+    Conv2d {
+        /// Geometry configuration.
+        cfg: Conv2dCfg,
+        /// Weight tensor of shape `[out, in/groups, k, k]`.
+        weight: Tensor<f32>,
+        /// Optional per-output-channel bias.
+        bias: Option<Vec<f32>>,
+    },
+    /// Fully-connected layer with optional bias.
+    Linear {
+        /// Geometry configuration.
+        cfg: LinearCfg,
+        /// Weight tensor of shape `[out, in]`.
+        weight: Tensor<f32>,
+        /// Optional per-output-feature bias.
+        bias: Option<Vec<f32>>,
+    },
+    /// Per-channel batch normalization (inference form).
+    BatchNorm(BatchNormParams),
+    /// Element-wise activation.
+    Activation(Activation),
+    /// Spatial pooling.
+    Pool2d(Pool2dCfg),
+    /// Global average pooling (`[C, H, W]` to `[C, 1, 1]`).
+    GlobalAvgPool,
+    /// Flattens `[C, H, W]` (or any shape) into a vector.
+    Flatten,
+    /// Element-wise addition of two same-shaped inputs (residual connection).
+    Add,
+    /// Channel-wise multiplication of a `[C, H, W]` feature map by a
+    /// `[C, 1, 1]` (or `[C]`) gate (squeeze-and-excite).
+    ChannelScale,
+}
+
+impl Layer {
+    /// Short kind name used in summaries and reports.
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Layer::Conv2d { .. } => "conv2d",
+            Layer::Linear { .. } => "linear",
+            Layer::BatchNorm(_) => "batchnorm",
+            Layer::Activation(_) => "activation",
+            Layer::Pool2d(_) => "pool2d",
+            Layer::GlobalAvgPool => "global_avg_pool",
+            Layer::Flatten => "flatten",
+            Layer::Add => "add",
+            Layer::ChannelScale => "channel_scale",
+        }
+    }
+
+    /// Returns `true` for layers whose MACs run on the PIM macros
+    /// (convolutions and fully-connected layers).
+    #[must_use]
+    pub fn is_pim_layer(&self) -> bool {
+        matches!(self, Layer::Conv2d { .. } | Layer::Linear { .. })
+    }
+
+    /// Number of expected input nodes (`1` except for `Add`/`ChannelScale`).
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        match self {
+            Layer::Add | Layer::ChannelScale => 2,
+            _ => 1,
+        }
+    }
+
+    /// Number of learned parameters.
+    #[must_use]
+    pub fn params(&self) -> u64 {
+        match self {
+            Layer::Conv2d { cfg, bias, .. } => cfg.params() + bias.as_ref().map_or(0, |b| b.len() as u64),
+            Layer::Linear { cfg, bias, .. } => cfg.params() + bias.as_ref().map_or(0, |b| b.len() as u64),
+            Layer::BatchNorm(bn) => 2 * bn.channels() as u64,
+            _ => 0,
+        }
+    }
+
+    /// Multiply-accumulate count for the given input shapes.
+    ///
+    /// Non-PIM layers report zero: their element-wise work is attributed to
+    /// the SIMD core by the simulator rather than counted as MACs.
+    #[must_use]
+    pub fn macs(&self, input_shapes: &[Vec<usize>]) -> u64 {
+        match self {
+            Layer::Conv2d { cfg, .. } => {
+                let (h, w) = spatial(input_shapes.first());
+                let (oh, ow) = cfg.output_hw(h, w);
+                cfg.macs(oh, ow)
+            }
+            Layer::Linear { cfg, .. } => cfg.macs(),
+            _ => 0,
+        }
+    }
+
+    /// Output shape given the input shapes (one per input node).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShape`] when the inputs do not match the
+    /// layer's expectations, and [`NnError::BadParameters`] for an invalid
+    /// configuration.
+    pub fn output_shape(&self, name: &str, input_shapes: &[Vec<usize>]) -> Result<Vec<usize>, NnError> {
+        let shape_err = |expected: Vec<usize>, actual: &[usize]| NnError::InputShape {
+            layer: name.to_string(),
+            expected,
+            actual: actual.to_vec(),
+        };
+        let single = || -> Result<&Vec<usize>, NnError> {
+            input_shapes.first().ok_or(NnError::EmptyGraph)
+        };
+        match self {
+            Layer::Conv2d { cfg, .. } => {
+                cfg.validate(name)?;
+                let input = single()?;
+                if input.len() != 3 || input[0] != cfg.in_channels {
+                    return Err(shape_err(vec![cfg.in_channels, 0, 0], input));
+                }
+                let (oh, ow) = cfg.output_hw(input[1], input[2]);
+                if oh == 0 || ow == 0 {
+                    return Err(shape_err(vec![cfg.in_channels, cfg.kernel, cfg.kernel], input));
+                }
+                Ok(vec![cfg.out_channels, oh, ow])
+            }
+            Layer::Linear { cfg, .. } => {
+                let input = single()?;
+                let features: usize = input.iter().product();
+                if features != cfg.in_features {
+                    return Err(shape_err(vec![cfg.in_features], input));
+                }
+                Ok(vec![cfg.out_features])
+            }
+            Layer::BatchNorm(bn) => {
+                let input = single()?;
+                if input.is_empty() || input[0] != bn.channels() {
+                    return Err(shape_err(vec![bn.channels(), 0, 0], input));
+                }
+                Ok(input.clone())
+            }
+            Layer::Activation(_) | Layer::Flatten => {
+                let input = single()?;
+                if let Layer::Flatten = self {
+                    Ok(vec![input.iter().product()])
+                } else {
+                    Ok(input.clone())
+                }
+            }
+            Layer::Pool2d(cfg) => {
+                let input = single()?;
+                if input.len() != 3 {
+                    return Err(shape_err(vec![0, 0, 0], input));
+                }
+                let (oh, ow) = cfg.output_hw(input[1], input[2]);
+                if oh == 0 || ow == 0 {
+                    return Err(shape_err(vec![input[0], cfg.kernel, cfg.kernel], input));
+                }
+                Ok(vec![input[0], oh, ow])
+            }
+            Layer::GlobalAvgPool => {
+                let input = single()?;
+                if input.len() != 3 {
+                    return Err(shape_err(vec![0, 0, 0], input));
+                }
+                Ok(vec![input[0], 1, 1])
+            }
+            Layer::Add => {
+                if input_shapes.len() != 2 || input_shapes[0] != input_shapes[1] {
+                    return Err(NnError::InputShape {
+                        layer: name.to_string(),
+                        expected: input_shapes.first().cloned().unwrap_or_default(),
+                        actual: input_shapes.last().cloned().unwrap_or_default(),
+                    });
+                }
+                Ok(input_shapes[0].clone())
+            }
+            Layer::ChannelScale => {
+                if input_shapes.len() != 2 {
+                    return Err(NnError::InputShape {
+                        layer: name.to_string(),
+                        expected: vec![0, 0, 0],
+                        actual: vec![input_shapes.len()],
+                    });
+                }
+                let feat = &input_shapes[0];
+                let gate = &input_shapes[1];
+                let gate_channels = gate.first().copied().unwrap_or(0);
+                if feat.len() != 3 || gate_channels != feat[0] {
+                    return Err(shape_err(feat.clone(), gate));
+                }
+                Ok(feat.clone())
+            }
+        }
+    }
+}
+
+fn spatial(shape: Option<&Vec<usize>>) -> (usize, usize) {
+    match shape {
+        Some(s) if s.len() == 3 => (s[1], s[2]),
+        _ => (0, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_geometry() {
+        let cfg = Conv2dCfg::new(3, 64, 3).with_padding(1);
+        assert_eq!(cfg.output_hw(32, 32), (32, 32));
+        let strided = Conv2dCfg::new(3, 64, 3).with_stride(2).with_padding(1);
+        assert_eq!(strided.output_hw(32, 32), (16, 16));
+        assert_eq!(cfg.filter_len(), 27);
+        assert_eq!(cfg.macs(32, 32), 64 * 27 * 1024);
+    }
+
+    #[test]
+    fn depthwise_config_is_grouped() {
+        let cfg = Conv2dCfg::depthwise(32, 3).with_padding(1);
+        assert_eq!(cfg.groups, 32);
+        assert_eq!(cfg.weight_dims(), vec![32, 1, 3, 3]);
+        assert_eq!(cfg.filter_len(), 9);
+        assert!(cfg.validate("dw").is_ok());
+    }
+
+    #[test]
+    fn conv_validation_rejects_bad_groups() {
+        let cfg = Conv2dCfg::new(6, 9, 3).with_groups(4);
+        assert!(cfg.validate("bad").is_err());
+        let zero = Conv2dCfg::new(0, 9, 3);
+        assert!(zero.validate("zero").is_err());
+    }
+
+    #[test]
+    fn activation_shapes_and_ranges() {
+        assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+        assert_eq!(Activation::Relu6.apply(8.0), 6.0);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-6);
+        assert!(Activation::Silu.apply(-1.0) < 0.0);
+        assert!(Activation::Relu.is_non_negative());
+        assert!(!Activation::Silu.is_non_negative());
+    }
+
+    #[test]
+    fn layer_output_shapes() {
+        let conv = Layer::Conv2d {
+            cfg: Conv2dCfg::new(3, 8, 3).with_padding(1),
+            weight: Tensor::zeros(vec![8, 3, 3, 3]).unwrap(),
+            bias: None,
+        };
+        assert_eq!(conv.output_shape("c", &[vec![3, 32, 32]]).unwrap(), vec![8, 32, 32]);
+        assert!(conv.output_shape("c", &[vec![4, 32, 32]]).is_err());
+
+        let pool = Layer::Pool2d(Pool2dCfg::max(2));
+        assert_eq!(pool.output_shape("p", &[vec![8, 32, 32]]).unwrap(), vec![8, 16, 16]);
+
+        let flat = Layer::Flatten;
+        assert_eq!(flat.output_shape("f", &[vec![8, 4, 4]]).unwrap(), vec![128]);
+
+        let add = Layer::Add;
+        assert_eq!(add.output_shape("a", &[vec![8, 4, 4], vec![8, 4, 4]]).unwrap(), vec![8, 4, 4]);
+        assert!(add.output_shape("a", &[vec![8, 4, 4], vec![8, 2, 2]]).is_err());
+
+        let scale = Layer::ChannelScale;
+        assert_eq!(scale.output_shape("s", &[vec![8, 4, 4], vec![8, 1, 1]]).unwrap(), vec![8, 4, 4]);
+    }
+
+    #[test]
+    fn params_and_macs_counting() {
+        let cfg = Conv2dCfg::new(16, 32, 3).with_padding(1);
+        let conv = Layer::Conv2d {
+            cfg,
+            weight: Tensor::zeros(cfg.weight_dims()).unwrap(),
+            bias: Some(vec![0.0; 32]),
+        };
+        assert_eq!(conv.params(), 32 * 16 * 9 + 32);
+        assert_eq!(conv.macs(&[vec![16, 8, 8]]), 32 * 16 * 9 * 64);
+
+        let linear = Layer::Linear {
+            cfg: LinearCfg::new(128, 10),
+            weight: Tensor::zeros(vec![10, 128]).unwrap(),
+            bias: None,
+        };
+        assert_eq!(linear.params(), 1280);
+        assert_eq!(linear.macs(&[vec![128]]), 1280);
+        assert!(linear.is_pim_layer());
+        assert!(!Layer::Flatten.is_pim_layer());
+    }
+
+    #[test]
+    fn batchnorm_effective_parameters() {
+        let bn = BatchNormParams {
+            gamma: vec![2.0],
+            beta: vec![1.0],
+            mean: vec![0.5],
+            var: vec![4.0],
+            eps: 0.0,
+        };
+        assert!((bn.effective_scale(0) - 1.0).abs() < 1e-6);
+        assert!((bn.effective_shift(0) - 0.5).abs() < 1e-6);
+        let id = BatchNormParams::identity(3);
+        assert_eq!(id.channels(), 3);
+        assert!((id.effective_scale(1) - 1.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,382 @@
+//! Float-precision reference implementations of the layer operations.
+//!
+//! All operations work on a single image in `[C, H, W]` layout; batching is
+//! handled by the callers. These implementations favour clarity over speed:
+//! they serve as the numerical reference for the quantized executor and for
+//! the bit-accurate PIM macro model.
+
+use dbpim_tensor::Tensor;
+
+use crate::error::NnError;
+use crate::layer::{Activation, BatchNormParams, Conv2dCfg, LinearCfg, Pool2dCfg, PoolKind};
+
+/// 2-D convolution of a `[C, H, W]` input with a `[O, C/g, k, k]` weight.
+///
+/// # Errors
+///
+/// Returns [`NnError::InputShape`] when the input is not rank 3 or its channel
+/// count does not match the configuration.
+pub fn conv2d(
+    input: &Tensor<f32>,
+    weight: &Tensor<f32>,
+    bias: Option<&[f32]>,
+    cfg: &Conv2dCfg,
+) -> Result<Tensor<f32>, NnError> {
+    let shape = input.shape();
+    if shape.len() != 3 || shape[0] != cfg.in_channels {
+        return Err(NnError::InputShape {
+            layer: "conv2d".to_string(),
+            expected: vec![cfg.in_channels, 0, 0],
+            actual: shape.to_vec(),
+        });
+    }
+    let (h, w) = (shape[1], shape[2]);
+    let (oh, ow) = cfg.output_hw(h, w);
+    let in_per_group = cfg.in_channels / cfg.groups;
+    let out_per_group = cfg.out_channels / cfg.groups;
+    let in_data = input.data();
+    let w_data = weight.data();
+    let mut out = vec![0.0f32; cfg.out_channels * oh * ow];
+
+    for oc in 0..cfg.out_channels {
+        let group = oc / out_per_group;
+        let ic_base = group * in_per_group;
+        let b = bias.map_or(0.0, |b| b[oc]);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = b;
+                for ic in 0..in_per_group {
+                    for ky in 0..cfg.kernel {
+                        let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..cfg.kernel {
+                            let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let x = in_data[((ic_base + ic) * h + iy as usize) * w + ix as usize];
+                            let wv = w_data[((oc * in_per_group + ic) * cfg.kernel + ky) * cfg.kernel + kx];
+                            acc += x * wv;
+                        }
+                    }
+                }
+                out[(oc * oh + oy) * ow + ox] = acc;
+            }
+        }
+    }
+    Ok(Tensor::from_vec(out, vec![cfg.out_channels, oh, ow])?)
+}
+
+/// Fully-connected layer: `y = W x + b` with `W` of shape `[out, in]`.
+///
+/// # Errors
+///
+/// Returns [`NnError::InputShape`] when the flattened input length does not
+/// match `cfg.in_features`.
+pub fn linear(
+    input: &Tensor<f32>,
+    weight: &Tensor<f32>,
+    bias: Option<&[f32]>,
+    cfg: &LinearCfg,
+) -> Result<Tensor<f32>, NnError> {
+    if input.numel() != cfg.in_features {
+        return Err(NnError::InputShape {
+            layer: "linear".to_string(),
+            expected: vec![cfg.in_features],
+            actual: input.shape().to_vec(),
+        });
+    }
+    let x = input.data();
+    let w = weight.data();
+    let mut out = vec![0.0f32; cfg.out_features];
+    for (o, out_v) in out.iter_mut().enumerate() {
+        let row = &w[o * cfg.in_features..(o + 1) * cfg.in_features];
+        let mut acc = bias.map_or(0.0, |b| b[o]);
+        for (xv, wv) in x.iter().zip(row.iter()) {
+            acc += xv * wv;
+        }
+        *out_v = acc;
+    }
+    Ok(Tensor::from_vec(out, vec![cfg.out_features])?)
+}
+
+/// Per-channel batch normalization of a `[C, ...]` tensor.
+///
+/// # Errors
+///
+/// Returns [`NnError::InputShape`] when the channel count does not match.
+pub fn batch_norm(input: &Tensor<f32>, bn: &BatchNormParams) -> Result<Tensor<f32>, NnError> {
+    let shape = input.shape();
+    if shape.is_empty() || shape[0] != bn.channels() {
+        return Err(NnError::InputShape {
+            layer: "batchnorm".to_string(),
+            expected: vec![bn.channels()],
+            actual: shape.to_vec(),
+        });
+    }
+    let per_channel: usize = shape.iter().skip(1).product::<usize>().max(1);
+    let mut out = input.data().to_vec();
+    for (c, chunk) in out.chunks_mut(per_channel).enumerate() {
+        let scale = bn.effective_scale(c);
+        let shift = bn.effective_shift(c);
+        for v in chunk.iter_mut() {
+            *v = *v * scale + shift;
+        }
+    }
+    Ok(Tensor::from_vec(out, shape.to_vec())?)
+}
+
+/// Element-wise activation.
+#[must_use]
+pub fn activation(input: &Tensor<f32>, act: Activation) -> Tensor<f32> {
+    input.map(|&v| act.apply(v))
+}
+
+/// Spatial pooling of a `[C, H, W]` tensor.
+///
+/// # Errors
+///
+/// Returns [`NnError::InputShape`] for a non-rank-3 input.
+pub fn pool2d(input: &Tensor<f32>, cfg: &Pool2dCfg) -> Result<Tensor<f32>, NnError> {
+    let shape = input.shape();
+    if shape.len() != 3 {
+        return Err(NnError::InputShape {
+            layer: "pool2d".to_string(),
+            expected: vec![0, 0, 0],
+            actual: shape.to_vec(),
+        });
+    }
+    let (c, h, w) = (shape[0], shape[1], shape[2]);
+    let (oh, ow) = cfg.output_hw(h, w);
+    let data = input.data();
+    let mut out = vec![0.0f32; c * oh * ow];
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = match cfg.kind {
+                    PoolKind::Max => f32::NEG_INFINITY,
+                    PoolKind::Avg => 0.0,
+                };
+                let mut count = 0usize;
+                for ky in 0..cfg.kernel {
+                    let iy = oy * cfg.stride + ky;
+                    if iy >= h {
+                        continue;
+                    }
+                    for kx in 0..cfg.kernel {
+                        let ix = ox * cfg.stride + kx;
+                        if ix >= w {
+                            continue;
+                        }
+                        let v = data[(ch * h + iy) * w + ix];
+                        match cfg.kind {
+                            PoolKind::Max => acc = acc.max(v),
+                            PoolKind::Avg => acc += v,
+                        }
+                        count += 1;
+                    }
+                }
+                out[(ch * oh + oy) * ow + ox] = match cfg.kind {
+                    PoolKind::Max => acc,
+                    PoolKind::Avg => acc / count.max(1) as f32,
+                };
+            }
+        }
+    }
+    Ok(Tensor::from_vec(out, vec![c, oh, ow])?)
+}
+
+/// Global average pooling: `[C, H, W]` to `[C, 1, 1]`.
+///
+/// # Errors
+///
+/// Returns [`NnError::InputShape`] for a non-rank-3 input.
+pub fn global_avg_pool(input: &Tensor<f32>) -> Result<Tensor<f32>, NnError> {
+    let shape = input.shape();
+    if shape.len() != 3 {
+        return Err(NnError::InputShape {
+            layer: "global_avg_pool".to_string(),
+            expected: vec![0, 0, 0],
+            actual: shape.to_vec(),
+        });
+    }
+    let (c, h, w) = (shape[0], shape[1], shape[2]);
+    let data = input.data();
+    let mut out = vec![0.0f32; c];
+    for (ch, o) in out.iter_mut().enumerate() {
+        let sum: f32 = data[ch * h * w..(ch + 1) * h * w].iter().sum();
+        *o = sum / (h * w) as f32;
+    }
+    Ok(Tensor::from_vec(out, vec![c, 1, 1])?)
+}
+
+/// Flattens any tensor into a rank-1 vector.
+#[must_use]
+pub fn flatten(input: &Tensor<f32>) -> Tensor<f32> {
+    let numel = input.numel();
+    input
+        .clone()
+        .reshaped(vec![numel])
+        .expect("reshaping to the element count always succeeds")
+}
+
+/// Element-wise addition of two same-shaped tensors.
+///
+/// # Errors
+///
+/// Returns [`NnError::Tensor`] when the shapes differ.
+pub fn add(a: &Tensor<f32>, b: &Tensor<f32>) -> Result<Tensor<f32>, NnError> {
+    Ok(a.zip_map(b, |x, y| x + y)?)
+}
+
+/// Channel-wise scaling of a `[C, H, W]` feature map by a `[C]`-like gate.
+///
+/// # Errors
+///
+/// Returns [`NnError::InputShape`] when the gate length does not equal the
+/// feature map's channel count.
+pub fn channel_scale(features: &Tensor<f32>, gate: &Tensor<f32>) -> Result<Tensor<f32>, NnError> {
+    let shape = features.shape();
+    if shape.len() != 3 || gate.numel() != shape[0] {
+        return Err(NnError::InputShape {
+            layer: "channel_scale".to_string(),
+            expected: vec![shape.first().copied().unwrap_or(0)],
+            actual: gate.shape().to_vec(),
+        });
+    }
+    let per_channel = shape[1] * shape[2];
+    let mut out = features.data().to_vec();
+    for (c, chunk) in out.chunks_mut(per_channel).enumerate() {
+        let g = gate.data()[c];
+        for v in chunk.iter_mut() {
+            *v *= g;
+        }
+    }
+    Ok(Tensor::from_vec(out, shape.to_vec())?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor(data: Vec<f32>, dims: Vec<usize>) -> Tensor<f32> {
+        Tensor::from_vec(data, dims).unwrap()
+    }
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        // 1x1 kernel with weight 1.0 is the identity.
+        let input = tensor((0..9).map(|v| v as f32).collect(), vec![1, 3, 3]);
+        let cfg = Conv2dCfg::new(1, 1, 1);
+        let weight = tensor(vec![1.0], vec![1, 1, 1, 1]);
+        let out = conv2d(&input, &weight, None, &cfg).unwrap();
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn conv2d_sums_receptive_field() {
+        // 3x3 all-ones kernel over an all-ones 3x3 input with padding 1:
+        // centre sees 9 ones, corners see 4.
+        let input = tensor(vec![1.0; 9], vec![1, 3, 3]);
+        let cfg = Conv2dCfg::new(1, 1, 3).with_padding(1);
+        let weight = tensor(vec![1.0; 9], vec![1, 1, 3, 3]);
+        let out = conv2d(&input, &weight, None, &cfg).unwrap();
+        assert_eq!(out.get(&[0, 1, 1]).unwrap(), 9.0);
+        assert_eq!(out.get(&[0, 0, 0]).unwrap(), 4.0);
+        assert_eq!(out.get(&[0, 0, 1]).unwrap(), 6.0);
+    }
+
+    #[test]
+    fn conv2d_bias_and_stride() {
+        let input = tensor(vec![1.0; 16], vec![1, 4, 4]);
+        let cfg = Conv2dCfg::new(1, 2, 2).with_stride(2);
+        let weight = tensor(vec![1.0, 1.0, 1.0, 1.0, 0.5, 0.5, 0.5, 0.5], vec![2, 1, 2, 2]);
+        let out = conv2d(&input, &weight, Some(&[10.0, 0.0]), &cfg).unwrap();
+        assert_eq!(out.shape(), &[2, 2, 2]);
+        assert_eq!(out.get(&[0, 0, 0]).unwrap(), 14.0);
+        assert_eq!(out.get(&[1, 1, 1]).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn depthwise_conv_keeps_channels_independent() {
+        let input = tensor(vec![1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0], vec![2, 2, 2]);
+        let cfg = Conv2dCfg::depthwise(2, 2);
+        let weight = tensor(vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0], vec![2, 1, 2, 2]);
+        let out = conv2d(&input, &weight, None, &cfg).unwrap();
+        assert_eq!(out.shape(), &[2, 1, 1]);
+        assert_eq!(out.get(&[0, 0, 0]).unwrap(), 4.0);
+        assert_eq!(out.get(&[1, 0, 0]).unwrap(), 8.0);
+    }
+
+    #[test]
+    fn conv2d_rejects_wrong_channels() {
+        let input = tensor(vec![1.0; 9], vec![1, 3, 3]);
+        let cfg = Conv2dCfg::new(2, 1, 3);
+        let weight = tensor(vec![0.0; 18], vec![1, 2, 3, 3]);
+        assert!(conv2d(&input, &weight, None, &cfg).is_err());
+    }
+
+    #[test]
+    fn linear_matches_manual_dot_product() {
+        let input = tensor(vec![1.0, 2.0, 3.0], vec![3]);
+        let cfg = LinearCfg::new(3, 2);
+        let weight = tensor(vec![1.0, 0.0, -1.0, 0.5, 0.5, 0.5], vec![2, 3]);
+        let out = linear(&input, &weight, Some(&[0.0, 1.0]), &cfg).unwrap();
+        assert_eq!(out.data(), &[-2.0, 4.0]);
+        assert!(linear(&tensor(vec![1.0], vec![1]), &weight, None, &cfg).is_err());
+    }
+
+    #[test]
+    fn batch_norm_normalizes_per_channel() {
+        let input = tensor(vec![1.0, 1.0, 10.0, 10.0], vec![2, 1, 2]);
+        let bn = BatchNormParams {
+            gamma: vec![1.0, 2.0],
+            beta: vec![0.0, 1.0],
+            mean: vec![1.0, 10.0],
+            var: vec![1.0, 4.0],
+            eps: 0.0,
+        };
+        let out = batch_norm(&input, &bn).unwrap();
+        assert_eq!(out.data(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn pooling_max_and_avg() {
+        let input = tensor(vec![1.0, 2.0, 3.0, 4.0], vec![1, 2, 2]);
+        let max = pool2d(&input, &Pool2dCfg::max(2)).unwrap();
+        assert_eq!(max.data(), &[4.0]);
+        let avg = pool2d(&input, &Pool2dCfg::avg(2)).unwrap();
+        assert_eq!(avg.data(), &[2.5]);
+    }
+
+    #[test]
+    fn global_avg_pool_reduces_spatial_dims() {
+        let input = tensor(vec![1.0, 3.0, 2.0, 2.0], vec![2, 1, 2]);
+        let out = global_avg_pool(&input).unwrap();
+        assert_eq!(out.shape(), &[2, 1, 1]);
+        assert_eq!(out.data(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn add_and_channel_scale() {
+        let a = tensor(vec![1.0, 2.0], vec![2]);
+        let b = tensor(vec![3.0, 4.0], vec![2]);
+        assert_eq!(add(&a, &b).unwrap().data(), &[4.0, 6.0]);
+
+        let features = tensor(vec![1.0, 1.0, 2.0, 2.0], vec![2, 1, 2]);
+        let gate = tensor(vec![0.5, 2.0], vec![2, 1, 1]);
+        let scaled = channel_scale(&features, &gate).unwrap();
+        assert_eq!(scaled.data(), &[0.5, 0.5, 4.0, 4.0]);
+        assert!(channel_scale(&features, &tensor(vec![1.0], vec![1])).is_err());
+    }
+
+    #[test]
+    fn flatten_preserves_data() {
+        let input = tensor(vec![1.0, 2.0, 3.0, 4.0], vec![1, 2, 2]);
+        let flat = flatten(&input);
+        assert_eq!(flat.shape(), &[4]);
+        assert_eq!(flat.data(), input.data());
+    }
+}

@@ -1,0 +1,673 @@
+//! INT8 post-training quantization and the quantized executor.
+//!
+//! The paper evaluates every model at 8b/8b precision: weights are quantized
+//! symmetrically per output channel, activations affinely per tensor. The
+//! convolution and fully-connected layers — the only layers mapped onto the
+//! PIM macros — are executed with true integer arithmetic
+//! (`acc += (q_x - zp_x) * q_w`), exactly the accumulation the DB-PIM macro
+//! performs bit-serially. All other layers belong to the SIMD core and are
+//! executed at float precision between dequantize/requantize steps.
+
+use dbpim_tensor::quant::{QuantParams, QuantizedTensor};
+use dbpim_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::error::NnError;
+use crate::graph::{argmax, Model, NodeId};
+use crate::layer::{Activation, Conv2dCfg, Layer, LinearCfg, Pool2dCfg};
+use crate::ops;
+
+/// One layer of a quantized model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QuantizedLayer {
+    /// INT8 convolution (weights per-output-channel symmetric).
+    Conv2d {
+        /// Geometry configuration.
+        cfg: Conv2dCfg,
+        /// Quantized weights of shape `[out, in/groups, k, k]`.
+        weight: QuantizedTensor,
+        /// Float bias (applied after the integer accumulation, as the
+        /// post-processing units do).
+        bias: Option<Vec<f32>>,
+    },
+    /// INT8 fully-connected layer.
+    Linear {
+        /// Geometry configuration.
+        cfg: LinearCfg,
+        /// Quantized weights of shape `[out, in]`.
+        weight: QuantizedTensor,
+        /// Float bias.
+        bias: Option<Vec<f32>>,
+    },
+    /// Element-wise activation (SIMD core).
+    Activation(Activation),
+    /// Spatial pooling (SIMD core).
+    Pool2d(Pool2dCfg),
+    /// Global average pooling (SIMD core).
+    GlobalAvgPool,
+    /// Flatten (free).
+    Flatten,
+    /// Residual addition (SIMD core).
+    Add,
+    /// Squeeze-and-excite channel scaling (SIMD core).
+    ChannelScale,
+    /// Identity copy — the remnant of a folded batch-norm layer.
+    Identity,
+}
+
+impl QuantizedLayer {
+    /// Short kind name used in reports.
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            QuantizedLayer::Conv2d { .. } => "conv2d",
+            QuantizedLayer::Linear { .. } => "linear",
+            QuantizedLayer::Activation(_) => "activation",
+            QuantizedLayer::Pool2d(_) => "pool2d",
+            QuantizedLayer::GlobalAvgPool => "global_avg_pool",
+            QuantizedLayer::Flatten => "flatten",
+            QuantizedLayer::Add => "add",
+            QuantizedLayer::ChannelScale => "channel_scale",
+            QuantizedLayer::Identity => "identity",
+        }
+    }
+
+    /// Returns `true` when the layer's MACs run on the PIM macros.
+    #[must_use]
+    pub fn is_pim_layer(&self) -> bool {
+        matches!(self, QuantizedLayer::Conv2d { .. } | QuantizedLayer::Linear { .. })
+    }
+
+    /// The quantized weight tensor for PIM layers.
+    #[must_use]
+    pub fn weight(&self) -> Option<&QuantizedTensor> {
+        match self {
+            QuantizedLayer::Conv2d { weight, .. } | QuantizedLayer::Linear { weight, .. } => Some(weight),
+            _ => None,
+        }
+    }
+}
+
+/// One node of a quantized model graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedNode {
+    /// Node id (position in the node list).
+    pub id: NodeId,
+    /// Node name, carried over from the float model.
+    pub name: String,
+    /// Producer node ids; empty means "the model input".
+    pub inputs: Vec<NodeId>,
+    /// The quantized layer.
+    pub layer: QuantizedLayer,
+    /// Quantization parameters of this node's INT8 output.
+    pub output_qp: QuantParams,
+}
+
+/// A fully INT8-quantized model.
+///
+/// Built from a float [`Model`] with [`QuantizedModel::quantize`]; the FTA
+/// algorithm then rewrites the PIM-layer weights in place via
+/// [`QuantizedModel::replace_weight_values`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedModel {
+    name: String,
+    input_shape: Vec<usize>,
+    input_qp: QuantParams,
+    nodes: Vec<QuantizedNode>,
+}
+
+impl QuantizedModel {
+    /// Quantizes a float model using `calibration` images to determine the
+    /// activation ranges of every node.
+    ///
+    /// Batch-norm layers are folded into the preceding convolution before
+    /// quantization (the standard inference-time transformation), leaving an
+    /// identity node in their place so node ids stay aligned with the float
+    /// graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the model fails validation, a calibration
+    /// forward pass fails, or no calibration images are supplied.
+    pub fn quantize(model: &Model, calibration: &[Tensor<f32>]) -> Result<Self, NnError> {
+        if calibration.is_empty() {
+            return Err(NnError::BadParameters {
+                layer: model.name().to_string(),
+                reason: "at least one calibration image is required".to_string(),
+            });
+        }
+        let folded = fold_batch_norm(model)?;
+        folded.validate()?;
+
+        // Calibration: per-node and input min/max over all calibration images.
+        let node_count = folded.nodes().len();
+        let mut node_min = vec![f32::INFINITY; node_count];
+        let mut node_max = vec![f32::NEG_INFINITY; node_count];
+        let mut in_min = f32::INFINITY;
+        let mut in_max = f32::NEG_INFINITY;
+        for image in calibration {
+            let (lo, hi) = image.min_max();
+            in_min = in_min.min(lo);
+            in_max = in_max.max(hi);
+            let outputs = folded.forward_all(image)?;
+            for (i, out) in outputs.iter().enumerate() {
+                let (lo, hi) = out.min_max();
+                node_min[i] = node_min[i].min(lo);
+                node_max[i] = node_max[i].max(hi);
+            }
+        }
+
+        let input_qp = QuantParams::affine_from_range(in_min, in_max);
+        let mut nodes = Vec::with_capacity(node_count);
+        for (i, node) in folded.nodes().iter().enumerate() {
+            let output_qp = QuantParams::affine_from_range(node_min[i], node_max[i]);
+            let layer = match &node.layer {
+                Layer::Conv2d { cfg, weight, bias } => QuantizedLayer::Conv2d {
+                    cfg: *cfg,
+                    weight: QuantizedTensor::quantize_per_channel(weight, 0),
+                    bias: bias.clone(),
+                },
+                Layer::Linear { cfg, weight, bias } => QuantizedLayer::Linear {
+                    cfg: *cfg,
+                    weight: QuantizedTensor::quantize_per_channel(weight, 0),
+                    bias: bias.clone(),
+                },
+                Layer::BatchNorm(_) => QuantizedLayer::Identity,
+                Layer::Activation(act) => QuantizedLayer::Activation(*act),
+                Layer::Pool2d(cfg) => QuantizedLayer::Pool2d(*cfg),
+                Layer::GlobalAvgPool => QuantizedLayer::GlobalAvgPool,
+                Layer::Flatten => QuantizedLayer::Flatten,
+                Layer::Add => QuantizedLayer::Add,
+                Layer::ChannelScale => QuantizedLayer::ChannelScale,
+            };
+            nodes.push(QuantizedNode {
+                id: node.id,
+                name: node.name.clone(),
+                inputs: node.inputs.clone(),
+                layer,
+                output_qp,
+            });
+        }
+        Ok(Self {
+            name: folded.name().to_string(),
+            input_shape: folded.input_shape().to_vec(),
+            input_qp,
+            nodes,
+        })
+    }
+
+    /// The model's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Shape of the model input.
+    #[must_use]
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// Quantization parameters of the model input.
+    #[must_use]
+    pub fn input_qp(&self) -> QuantParams {
+        self.input_qp
+    }
+
+    /// The quantized nodes in graph order.
+    #[must_use]
+    pub fn nodes(&self) -> &[QuantizedNode] {
+        &self.nodes
+    }
+
+    /// Node ids whose layers run on the PIM macros (convolutions and
+    /// fully-connected layers), in execution order.
+    #[must_use]
+    pub fn pim_node_ids(&self) -> Vec<NodeId> {
+        self.nodes.iter().filter(|n| n.layer.is_pim_layer()).map(|n| n.id).collect()
+    }
+
+    /// Replaces the INT8 weight values of a PIM node, keeping the scheme.
+    ///
+    /// This is how the FTA algorithm injects approximated weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::UnknownNode`] for an invalid id,
+    /// [`NnError::BadParameters`] when the node is not a PIM layer or the
+    /// shapes differ.
+    pub fn replace_weight_values(&mut self, id: NodeId, values: Tensor<i8>) -> Result<(), NnError> {
+        let node = self.nodes.get_mut(id).ok_or(NnError::UnknownNode { id })?;
+        let weight = match &mut node.layer {
+            QuantizedLayer::Conv2d { weight, .. } | QuantizedLayer::Linear { weight, .. } => weight,
+            _ => {
+                return Err(NnError::BadParameters {
+                    layer: node.name.clone(),
+                    reason: "node is not a convolution or linear layer".to_string(),
+                })
+            }
+        };
+        if weight.values().shape() != values.shape() {
+            return Err(NnError::BadParameters {
+                layer: node.name.clone(),
+                reason: format!(
+                    "replacement weight shape {:?} does not match {:?}",
+                    values.shape(),
+                    weight.values().shape()
+                ),
+            });
+        }
+        *weight.values_mut() = values;
+        Ok(())
+    }
+
+    /// Runs the quantized model on one `[C, H, W]` float image, returning the
+    /// INT8 output of every node.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape or execution error from the first failing layer.
+    pub fn forward_all(&self, image: &Tensor<f32>) -> Result<Vec<Tensor<i8>>, NnError> {
+        let q_input = self.input_qp.quantize_tensor(image);
+        let mut outputs: Vec<Tensor<i8>> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let out = self.execute_node(node, &q_input, &outputs)?;
+            outputs.push(out);
+        }
+        Ok(outputs)
+    }
+
+    /// Runs the quantized model and returns the dequantized output logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape or execution error from the first failing layer.
+    pub fn forward(&self, image: &Tensor<f32>) -> Result<Tensor<f32>, NnError> {
+        let outputs = self.forward_all(image)?;
+        let last = outputs.last().ok_or(NnError::EmptyGraph)?;
+        let qp = self.nodes.last().ok_or(NnError::EmptyGraph)?.output_qp;
+        Ok(qp.dequantize_tensor(last))
+    }
+
+    /// Top-1 class index for one image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape or execution error from the first failing layer.
+    pub fn predict(&self, image: &Tensor<f32>) -> Result<usize, NnError> {
+        let logits = self.forward(image)?;
+        Ok(argmax(logits.data()))
+    }
+
+    fn execute_node(
+        &self,
+        node: &QuantizedNode,
+        q_input: &Tensor<i8>,
+        outputs: &[Tensor<i8>],
+    ) -> Result<Tensor<i8>, NnError> {
+        let input_of = |slot: usize| -> (&Tensor<i8>, QuantParams) {
+            if node.inputs.is_empty() {
+                (q_input, self.input_qp)
+            } else {
+                let id = node.inputs[slot];
+                (&outputs[id], self.nodes[id].output_qp)
+            }
+        };
+        let (x, x_qp) = input_of(0);
+        match &node.layer {
+            QuantizedLayer::Conv2d { cfg, weight, bias } => {
+                let acc = conv2d_i8(x, x_qp, weight, cfg, &node.name)?;
+                Ok(requantize_acc(&acc, x_qp, weight, bias.as_deref(), node.output_qp, cfg.out_channels))
+            }
+            QuantizedLayer::Linear { cfg, weight, bias } => {
+                let acc = linear_i8(x, x_qp, weight, cfg, &node.name)?;
+                Ok(requantize_acc(&acc, x_qp, weight, bias.as_deref(), node.output_qp, cfg.out_features))
+            }
+            QuantizedLayer::Activation(act) => {
+                let f = x_qp.dequantize_tensor(x);
+                Ok(node.output_qp.quantize_tensor(&ops::activation(&f, *act)))
+            }
+            QuantizedLayer::Pool2d(cfg) => {
+                let f = x_qp.dequantize_tensor(x);
+                Ok(node.output_qp.quantize_tensor(&ops::pool2d(&f, cfg)?))
+            }
+            QuantizedLayer::GlobalAvgPool => {
+                let f = x_qp.dequantize_tensor(x);
+                Ok(node.output_qp.quantize_tensor(&ops::global_avg_pool(&f)?))
+            }
+            QuantizedLayer::Flatten => {
+                let f = x_qp.dequantize_tensor(x);
+                Ok(node.output_qp.quantize_tensor(&ops::flatten(&f)))
+            }
+            QuantizedLayer::Identity => {
+                let f = x_qp.dequantize_tensor(x);
+                Ok(node.output_qp.quantize_tensor(&f))
+            }
+            QuantizedLayer::Add => {
+                let (b, b_qp) = input_of(1);
+                let fa = x_qp.dequantize_tensor(x);
+                let fb = b_qp.dequantize_tensor(b);
+                Ok(node.output_qp.quantize_tensor(&ops::add(&fa, &fb)?))
+            }
+            QuantizedLayer::ChannelScale => {
+                let (b, b_qp) = input_of(1);
+                let fa = x_qp.dequantize_tensor(x);
+                let fb = b_qp.dequantize_tensor(b);
+                Ok(node.output_qp.quantize_tensor(&ops::channel_scale(&fa, &fb)?))
+            }
+        }
+    }
+}
+
+/// Folds every batch-norm layer whose producer is a convolution into that
+/// convolution's weights and bias, replacing the batch norm with an identity.
+///
+/// # Errors
+///
+/// Returns graph-validation errors from the input model.
+pub fn fold_batch_norm(model: &Model) -> Result<Model, NnError> {
+    model.validate()?;
+    let mut folded = model.clone();
+    let node_count = folded.nodes().len();
+    for i in 0..node_count {
+        let (is_bn, producer) = {
+            let node = &folded.nodes()[i];
+            match &node.layer {
+                Layer::BatchNorm(_) if node.inputs.len() == 1 => (true, node.inputs[0]),
+                _ => (false, 0),
+            }
+        };
+        if !is_bn {
+            continue;
+        }
+        let producer_is_conv = matches!(folded.nodes()[producer].layer, Layer::Conv2d { .. });
+        if !producer_is_conv {
+            continue;
+        }
+        // Extract BN parameters, then rewrite the producer conv in place.
+        let bn = match &folded.nodes()[i].layer {
+            Layer::BatchNorm(bn) => bn.clone(),
+            _ => unreachable!("checked above"),
+        };
+        if let Layer::Conv2d { cfg, weight, bias } = &mut folded.nodes_mut()[producer].layer {
+            let out_channels = cfg.out_channels;
+            if bn.channels() != out_channels {
+                return Err(NnError::BadParameters {
+                    layer: format!("batchnorm after node {producer}"),
+                    reason: "channel count does not match the producing convolution".to_string(),
+                });
+            }
+            let per_filter = weight.numel() / out_channels;
+            let data = weight.data_mut();
+            let mut new_bias = bias.clone().unwrap_or_else(|| vec![0.0; out_channels]);
+            for oc in 0..out_channels {
+                let scale = bn.effective_scale(oc);
+                let shift = bn.effective_shift(oc);
+                for v in &mut data[oc * per_filter..(oc + 1) * per_filter] {
+                    *v *= scale;
+                }
+                new_bias[oc] = new_bias[oc] * scale + shift;
+            }
+            *bias = Some(new_bias);
+        }
+        // Neutralize the BN node.
+        folded.nodes_mut()[i].layer = Layer::BatchNorm(crate::layer::BatchNormParams::identity(
+            match &folded.nodes()[producer].layer {
+                Layer::Conv2d { cfg, .. } => cfg.out_channels,
+                _ => unreachable!("producer checked to be a convolution"),
+            },
+        ));
+    }
+    Ok(folded)
+}
+
+/// Integer convolution accumulation: `acc[o, y, x] = Σ (q_x - zp_x) * q_w`.
+fn conv2d_i8(
+    input: &Tensor<i8>,
+    input_qp: QuantParams,
+    weight: &QuantizedTensor,
+    cfg: &Conv2dCfg,
+    name: &str,
+) -> Result<Tensor<i32>, NnError> {
+    let shape = input.shape();
+    if shape.len() != 3 || shape[0] != cfg.in_channels {
+        return Err(NnError::InputShape {
+            layer: name.to_string(),
+            expected: vec![cfg.in_channels, 0, 0],
+            actual: shape.to_vec(),
+        });
+    }
+    let (h, w) = (shape[1], shape[2]);
+    let (oh, ow) = cfg.output_hw(h, w);
+    let in_per_group = cfg.in_channels / cfg.groups;
+    let out_per_group = cfg.out_channels / cfg.groups;
+    let zp = input_qp.zero_point();
+    let x = input.data();
+    let wv = weight.values().data();
+    let mut out = vec![0i32; cfg.out_channels * oh * ow];
+    for oc in 0..cfg.out_channels {
+        let group = oc / out_per_group;
+        let ic_base = group * in_per_group;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0i32;
+                for ic in 0..in_per_group {
+                    for ky in 0..cfg.kernel {
+                        let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..cfg.kernel {
+                            let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let q_x = i32::from(x[((ic_base + ic) * h + iy as usize) * w + ix as usize]) - zp;
+                            let q_w = i32::from(wv[((oc * in_per_group + ic) * cfg.kernel + ky) * cfg.kernel + kx]);
+                            acc += q_x * q_w;
+                        }
+                    }
+                }
+                out[(oc * oh + oy) * ow + ox] = acc;
+            }
+        }
+    }
+    Ok(Tensor::from_vec(out, vec![cfg.out_channels, oh, ow])?)
+}
+
+/// Integer fully-connected accumulation.
+fn linear_i8(
+    input: &Tensor<i8>,
+    input_qp: QuantParams,
+    weight: &QuantizedTensor,
+    cfg: &LinearCfg,
+    name: &str,
+) -> Result<Tensor<i32>, NnError> {
+    if input.numel() != cfg.in_features {
+        return Err(NnError::InputShape {
+            layer: name.to_string(),
+            expected: vec![cfg.in_features],
+            actual: input.shape().to_vec(),
+        });
+    }
+    let zp = input_qp.zero_point();
+    let x = input.data();
+    let wv = weight.values().data();
+    let mut out = vec![0i32; cfg.out_features];
+    for (o, out_v) in out.iter_mut().enumerate() {
+        let row = &wv[o * cfg.in_features..(o + 1) * cfg.in_features];
+        let mut acc = 0i32;
+        for (&q_x, &q_w) in x.iter().zip(row.iter()) {
+            acc += (i32::from(q_x) - zp) * i32::from(q_w);
+        }
+        *out_v = acc;
+    }
+    Ok(Tensor::from_vec(out, vec![cfg.out_features])?)
+}
+
+/// Requantizes an integer accumulator tensor to the output's INT8 domain.
+///
+/// The accumulator is first mapped back to real values with
+/// `acc * s_input * s_weight(channel)` (the per-channel weight scale), the
+/// float bias is added and the result is quantized with the output params.
+fn requantize_acc(
+    acc: &Tensor<i32>,
+    input_qp: QuantParams,
+    weight: &QuantizedTensor,
+    bias: Option<&[f32]>,
+    output_qp: QuantParams,
+    out_channels: usize,
+) -> Tensor<i8> {
+    let per_channel = acc.numel() / out_channels;
+    let mut out = Vec::with_capacity(acc.numel());
+    for (i, &a) in acc.data().iter().enumerate() {
+        let channel = i / per_channel;
+        let w_scale = weight.scheme().params_for_channel(channel).scale();
+        let real = a as f32 * input_qp.scale() * w_scale + bias.map_or(0.0, |b| b[channel]);
+        out.push(output_qp.quantize(real));
+    }
+    Tensor::from_vec(out, acc.shape().to_vec()).expect("accumulator shape is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ModelBuilder;
+    use crate::layer::{BatchNormParams, Layer};
+    use dbpim_tensor::random::TensorGenerator;
+
+    fn small_model(seed: u64) -> Model {
+        let mut gen = TensorGenerator::new(seed);
+        let mut b = ModelBuilder::new("small", vec![3, 8, 8]);
+        let conv_cfg = Conv2dCfg::new(3, 8, 3).with_padding(1);
+        b.chain(
+            "conv1",
+            Layer::Conv2d {
+                cfg: conv_cfg,
+                weight: gen.weight_tensor(conv_cfg.weight_dims()).unwrap(),
+                bias: None,
+            },
+        );
+        b.chain("bn1", Layer::BatchNorm(BatchNormParams::identity(8)));
+        b.chain("relu1", Layer::Activation(Activation::Relu));
+        b.chain("pool1", Layer::Pool2d(Pool2dCfg::max(2)));
+        b.chain("flatten", Layer::Flatten);
+        b.chain(
+            "fc",
+            Layer::Linear {
+                cfg: LinearCfg::new(8 * 4 * 4, 10),
+                weight: gen.weight_tensor(vec![10, 8 * 4 * 4]).unwrap(),
+                bias: Some(vec![0.01; 10]),
+            },
+        );
+        b.build().unwrap()
+    }
+
+    fn calibration(seed: u64, n: usize) -> Vec<Tensor<f32>> {
+        let mut gen = TensorGenerator::new(seed);
+        (0..n).map(|_| gen.tensor(vec![3, 8, 8], dbpim_tensor::random::Distribution::Gaussian { std: 1.0 }).unwrap()).collect()
+    }
+
+    #[test]
+    fn quantized_model_tracks_float_model() {
+        let model = small_model(1);
+        let cal = calibration(2, 4);
+        let q = QuantizedModel::quantize(&model, &cal).unwrap();
+        assert_eq!(q.nodes().len(), model.nodes().len());
+        assert_eq!(q.pim_node_ids().len(), 2);
+
+        // The quantized prediction should agree with the float prediction on
+        // most calibration-like inputs.
+        let mut agree = 0usize;
+        let test = calibration(3, 8);
+        for image in &test {
+            let f = model.predict(image).unwrap();
+            let qi = q.predict(image).unwrap();
+            if f == qi {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 6, "quantized model agrees on only {agree}/8 images");
+    }
+
+    #[test]
+    fn quantization_requires_calibration_images() {
+        let model = small_model(4);
+        assert!(QuantizedModel::quantize(&model, &[]).is_err());
+    }
+
+    #[test]
+    fn logits_are_close_to_float_logits() {
+        let model = small_model(5);
+        let cal = calibration(6, 4);
+        let q = QuantizedModel::quantize(&model, &cal).unwrap();
+        let image = &calibration(7, 1)[0];
+        let f = model.forward(image).unwrap();
+        let ql = q.forward(image).unwrap();
+        let sqnr = f.sqnr_db(&ql).unwrap();
+        assert!(sqnr > 10.0, "INT8 logits too far from float logits (sqnr {sqnr} dB)");
+    }
+
+    #[test]
+    fn fold_batch_norm_preserves_function() {
+        let mut gen = TensorGenerator::new(8);
+        let mut b = ModelBuilder::new("bn", vec![2, 4, 4]);
+        let cfg = Conv2dCfg::new(2, 4, 3).with_padding(1);
+        b.chain(
+            "conv",
+            Layer::Conv2d { cfg, weight: gen.weight_tensor(cfg.weight_dims()).unwrap(), bias: Some(vec![0.1; 4]) },
+        );
+        b.chain(
+            "bn",
+            Layer::BatchNorm(BatchNormParams {
+                gamma: vec![1.5, 0.5, 2.0, 1.0],
+                beta: vec![0.1, -0.1, 0.0, 0.2],
+                mean: vec![0.2, 0.0, -0.1, 0.3],
+                var: vec![1.0, 0.25, 4.0, 0.5],
+                eps: 1e-5,
+            }),
+        );
+        let model = b.build().unwrap();
+        let folded = fold_batch_norm(&model).unwrap();
+        let image = gen.tensor(vec![2, 4, 4], dbpim_tensor::random::Distribution::Gaussian { std: 1.0 }).unwrap();
+        let before = model.forward(&image).unwrap();
+        let after = folded.forward(&image).unwrap();
+        assert!(before.mse(&after).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn replace_weight_values_validates_shape_and_kind() {
+        let model = small_model(9);
+        let cal = calibration(10, 2);
+        let mut q = QuantizedModel::quantize(&model, &cal).unwrap();
+        let pim = q.pim_node_ids();
+        let conv_id = pim[0];
+        let shape = q.nodes()[conv_id].layer.weight().unwrap().values().shape().to_vec();
+        let zeros = Tensor::<i8>::zeros(shape).unwrap();
+        q.replace_weight_values(conv_id, zeros).unwrap();
+
+        let wrong = Tensor::<i8>::zeros(vec![1, 1]).unwrap();
+        assert!(q.replace_weight_values(conv_id, wrong).is_err());
+        // Replacing a non-PIM node's weights is rejected.
+        let flatten_id = q.nodes().iter().find(|n| n.name == "flatten").unwrap().id;
+        let any = Tensor::<i8>::zeros(vec![1]).unwrap();
+        assert!(q.replace_weight_values(flatten_id, any).is_err());
+        assert!(q.replace_weight_values(999, Tensor::<i8>::zeros(vec![1]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn zeroed_weights_change_predictions_structurally() {
+        // Sanity check that replace_weight_values actually affects execution.
+        let model = small_model(11);
+        let cal = calibration(12, 2);
+        let mut q = QuantizedModel::quantize(&model, &cal).unwrap();
+        let image = &cal[0];
+        let before = q.forward(image).unwrap();
+        for id in q.pim_node_ids() {
+            let shape = q.nodes()[id].layer.weight().unwrap().values().shape().to_vec();
+            q.replace_weight_values(id, Tensor::<i8>::zeros(shape).unwrap()).unwrap();
+        }
+        let after = q.forward(image).unwrap();
+        assert!(before.mse(&after).unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Silicon area model (Table 3 die area and the Table 4 breakdown).
+//!
+//! The paper reports a 1.15 mm² die in 28 nm with a detailed breakdown of the
+//! logic DB-PIM adds on top of the dense digital-PIM baseline. This module
+//! reproduces that breakdown from per-unit area constants (mm² per KB of
+//! SRAM buffer, per macro, per post-processing unit, ...) calibrated against
+//! the published numbers, so that changing the architecture configuration
+//! (more macros, larger buffers, more parallel filters) changes the area the
+//! way real layout would.
+
+use dbpim_arch::ArchConfig;
+use serde::{Deserialize, Serialize};
+
+/// Per-unit area constants in mm² (28 nm calibration).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// One 16 Kb PIM macro array including its local drivers.
+    pub macro_mm2: f64,
+    /// One KB of on-chip SRAM buffer (feature / weight / meta / instruction).
+    pub buffer_mm2_per_kb: f64,
+    /// One KB of register file (metadata RFs, output RF).
+    pub rf_mm2_per_kb: f64,
+    /// One post-processing unit (CSD adder tree + shift-add + accumulator).
+    pub ppu_mm2: f64,
+    /// Fixed digital logic: top controller, SIMD core, instruction decode.
+    pub control_simd_mm2: f64,
+    /// Extra DFFs and routing per macro needed to route the `Q̄` outputs and
+    /// metadata into the adder trees.
+    pub dff_routing_mm2_per_macro: f64,
+    /// Input-sparsity support (zero-detection + leading-one detection) per
+    /// macro.
+    pub input_sparsity_mm2_per_macro: f64,
+}
+
+impl AreaModel {
+    /// The 28 nm calibration used throughout the evaluation.
+    ///
+    /// With the paper's geometry this model reproduces Table 4:
+    /// baseline ≈ 1.008 mm², meta RFs ≈ 0.078 mm², extra PPUs ≈ 0.063 mm²,
+    /// DFFs/routing ≈ 0.0055 mm², input-sparsity support ≈ 0.00007 mm².
+    #[must_use]
+    pub fn calibrated_28nm() -> Self {
+        Self {
+            macro_mm2: 0.0430,
+            buffer_mm2_per_kb: 0.00250,
+            rf_mm2_per_kb: 0.00322,
+            ppu_mm2: 0.0011177,
+            control_simd_mm2: 0.1561,
+            dff_routing_mm2_per_macro: 0.001375,
+            input_sparsity_mm2_per_macro: 0.0000175,
+        }
+    }
+
+    /// Area of the dense digital-PIM baseline (macros + buffers + control +
+    /// the two post-processing units per macro the baseline already has).
+    #[must_use]
+    pub fn baseline_mm2(&self, config: &ArchConfig) -> f64 {
+        let buffers_kb = config.sram_bytes() as f64 / 1024.0;
+        let baseline_ppus = config.macros * config.dense_filters_per_macro;
+        self.macro_mm2 * config.macros as f64
+            + self.buffer_mm2_per_kb * buffers_kb
+            + self.control_simd_mm2
+            + self.ppu_mm2 * baseline_ppus as f64
+    }
+
+    /// Area of the metadata register files.
+    #[must_use]
+    pub fn meta_rf_mm2(&self, config: &ArchConfig) -> f64 {
+        let kb = (config.macros * config.meta_rf_bytes) as f64 / 1024.0;
+        self.rf_mm2_per_kb * kb
+    }
+
+    /// Area of the post-processing units DB-PIM adds beyond the baseline's
+    /// two per macro (one per concurrently processed filter).
+    #[must_use]
+    pub fn extra_ppu_mm2(&self, config: &ArchConfig) -> f64 {
+        let per_macro = config.dbmus_per_compartment.saturating_sub(config.dense_filters_per_macro);
+        self.ppu_mm2 * (config.macros * per_macro) as f64
+    }
+
+    /// Area of the extra DFFs and routing resources inside the macros.
+    #[must_use]
+    pub fn dff_routing_mm2(&self, config: &ArchConfig) -> f64 {
+        self.dff_routing_mm2_per_macro * config.macros as f64
+    }
+
+    /// Area of the input-sparsity support logic.
+    #[must_use]
+    pub fn input_sparsity_mm2(&self, config: &ArchConfig) -> f64 {
+        self.input_sparsity_mm2_per_macro * config.macros as f64
+    }
+
+    /// Total DB-PIM die area.
+    #[must_use]
+    pub fn total_mm2(&self, config: &ArchConfig) -> f64 {
+        self.baseline_mm2(config)
+            + self.meta_rf_mm2(config)
+            + self.extra_ppu_mm2(config)
+            + self.dff_routing_mm2(config)
+            + self.input_sparsity_mm2(config)
+    }
+
+    /// The Table 4 breakdown: component name, area in mm² and share of the
+    /// total.
+    #[must_use]
+    pub fn breakdown(&self, config: &ArchConfig) -> Vec<AreaComponent> {
+        let total = self.total_mm2(config);
+        let rows = [
+            ("PIM Baseline", self.baseline_mm2(config)),
+            ("Meta-RFs", self.meta_rf_mm2(config)),
+            ("Extra Post-processing Units", self.extra_ppu_mm2(config)),
+            ("DFFs and Routing Resources", self.dff_routing_mm2(config)),
+            ("Input Sparsity Support", self.input_sparsity_mm2(config)),
+        ];
+        rows.iter()
+            .map(|&(name, mm2)| AreaComponent { name: name.to_string(), mm2, share: mm2 / total })
+            .collect()
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::calibrated_28nm()
+    }
+}
+
+/// One row of the area breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreaComponent {
+    /// Component name (matches the Table 4 row labels).
+    pub name: String,
+    /// Area in mm².
+    pub mm2: f64,
+    /// Fraction of the total die area.
+    pub share: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_reproduces_table_4_magnitudes() {
+        let model = AreaModel::calibrated_28nm();
+        let config = ArchConfig::paper();
+        let baseline = model.baseline_mm2(&config);
+        let total = model.total_mm2(&config);
+        assert!((baseline - 1.008).abs() < 0.02, "baseline {baseline}");
+        assert!((total - 1.155).abs() < 0.03, "total {total}");
+        assert!((model.meta_rf_mm2(&config) - 0.0783).abs() < 0.005);
+        assert!((model.extra_ppu_mm2(&config) - 0.0626).abs() < 0.005);
+        assert!((model.dff_routing_mm2(&config) - 0.0055).abs() < 0.001);
+        assert!(model.input_sparsity_mm2(&config) < 0.001);
+    }
+
+    #[test]
+    fn breakdown_shares_sum_to_one() {
+        let model = AreaModel::default();
+        let config = ArchConfig::paper();
+        let breakdown = model.breakdown(&config);
+        assert_eq!(breakdown.len(), 5);
+        let share_sum: f64 = breakdown.iter().map(|c| c.share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+        // The baseline dominates (~87 %), the input-sparsity support is ~0 %.
+        assert!(breakdown[0].share > 0.82 && breakdown[0].share < 0.92);
+        assert!(breakdown[4].share < 0.001);
+    }
+
+    #[test]
+    fn area_scales_with_macro_count() {
+        let model = AreaModel::default();
+        let small = ArchConfig::paper();
+        let mut big = ArchConfig::paper();
+        big.macros = 8;
+        assert!(model.total_mm2(&big) > model.total_mm2(&small));
+        assert!(model.meta_rf_mm2(&big) > model.meta_rf_mm2(&small));
+    }
+}

@@ -1,0 +1,159 @@
+//! Simulator sparsity configurations.
+//!
+//! Fig. 7 of the paper evaluates four configurations against the same dense
+//! digital-PIM baseline hardware:
+//!
+//! * **base** — the dense baseline itself,
+//! * **input sparsity** — dense weight mapping plus IPU zero-column skipping,
+//! * **weight sparsity** — the DB-PIM weight mapping without input skipping,
+//! * **hybrid sparsity** — both (the full DB-PIM design).
+
+use dbpim_arch::ArchConfig;
+use dbpim_compiler::MappingMode;
+use serde::{Deserialize, Serialize};
+
+/// One of the four sparsity configurations of Fig. 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SparsityConfig {
+    /// Dense digital-PIM baseline: no sparsity support at all.
+    DenseBaseline,
+    /// Dense weight mapping, IPU input zero-column skipping enabled.
+    InputSparsity,
+    /// DB-PIM weight mapping (FTA + dyadic blocks), no input skipping.
+    WeightSparsity,
+    /// Full DB-PIM: weight and input sparsity exploited together.
+    HybridSparsity,
+}
+
+impl SparsityConfig {
+    /// All four configurations in the order Fig. 7 reports them.
+    #[must_use]
+    pub fn all() -> [SparsityConfig; 4] {
+        [
+            SparsityConfig::DenseBaseline,
+            SparsityConfig::InputSparsity,
+            SparsityConfig::WeightSparsity,
+            SparsityConfig::HybridSparsity,
+        ]
+    }
+
+    /// Label used in figures and reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            SparsityConfig::DenseBaseline => "base",
+            SparsityConfig::InputSparsity => "input sparsity",
+            SparsityConfig::WeightSparsity => "weight sparsity",
+            SparsityConfig::HybridSparsity => "hybrid sparsity",
+        }
+    }
+
+    /// Whether the configuration uses the DB-PIM weight mapping.
+    #[must_use]
+    pub fn weight_sparsity(&self) -> bool {
+        matches!(self, SparsityConfig::WeightSparsity | SparsityConfig::HybridSparsity)
+    }
+
+    /// Whether the IPU skips all-zero input bit columns.
+    #[must_use]
+    pub fn input_sparsity(&self) -> bool {
+        matches!(self, SparsityConfig::InputSparsity | SparsityConfig::HybridSparsity)
+    }
+
+    /// The mapping mode a program must be compiled with for this
+    /// configuration.
+    #[must_use]
+    pub fn mapping_mode(&self) -> MappingMode {
+        if self.weight_sparsity() {
+            MappingMode::DbPim
+        } else {
+            MappingMode::Dense
+        }
+    }
+}
+
+impl std::fmt::Display for SparsityConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The full simulator configuration: architecture geometry plus sparsity
+/// setting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Architecture geometry and clocking.
+    pub arch: ArchConfig,
+    /// Sparsity configuration.
+    pub sparsity: SparsityConfig,
+    /// Number of SIMD lanes of the element-wise core.
+    pub simd_lanes: usize,
+    /// Bytes the feature buffer delivers per cycle.
+    pub feature_bytes_per_cycle: usize,
+    /// Bytes the weight/meta path delivers per cycle while loading tiles.
+    pub load_bytes_per_cycle: usize,
+}
+
+impl SimConfig {
+    /// Creates a configuration with the paper's geometry.
+    #[must_use]
+    pub fn new(sparsity: SparsityConfig) -> Self {
+        Self {
+            arch: ArchConfig::paper(),
+            sparsity,
+            simd_lanes: 16,
+            feature_bytes_per_cycle: 16,
+            load_bytes_per_cycle: 32,
+        }
+    }
+
+    /// The dense-baseline configuration.
+    #[must_use]
+    pub fn dense_baseline() -> Self {
+        Self::new(SparsityConfig::DenseBaseline)
+    }
+
+    /// The full DB-PIM (hybrid sparsity) configuration.
+    #[must_use]
+    pub fn hybrid() -> Self {
+        Self::new(SparsityConfig::HybridSparsity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_configurations_with_expected_flags() {
+        let all = SparsityConfig::all();
+        assert_eq!(all.len(), 4);
+        assert!(!SparsityConfig::DenseBaseline.weight_sparsity());
+        assert!(!SparsityConfig::DenseBaseline.input_sparsity());
+        assert!(SparsityConfig::InputSparsity.input_sparsity());
+        assert!(!SparsityConfig::InputSparsity.weight_sparsity());
+        assert!(SparsityConfig::WeightSparsity.weight_sparsity());
+        assert!(!SparsityConfig::WeightSparsity.input_sparsity());
+        assert!(SparsityConfig::HybridSparsity.weight_sparsity());
+        assert!(SparsityConfig::HybridSparsity.input_sparsity());
+    }
+
+    #[test]
+    fn mapping_modes_follow_weight_sparsity() {
+        assert_eq!(SparsityConfig::DenseBaseline.mapping_mode(), MappingMode::Dense);
+        assert_eq!(SparsityConfig::InputSparsity.mapping_mode(), MappingMode::Dense);
+        assert_eq!(SparsityConfig::WeightSparsity.mapping_mode(), MappingMode::DbPim);
+        assert_eq!(SparsityConfig::HybridSparsity.mapping_mode(), MappingMode::DbPim);
+        assert_eq!(SparsityConfig::HybridSparsity.to_string(), "hybrid sparsity");
+    }
+
+    #[test]
+    fn config_presets_use_paper_geometry() {
+        let dense = SimConfig::dense_baseline();
+        assert_eq!(dense.sparsity, SparsityConfig::DenseBaseline);
+        assert_eq!(dense.arch, ArchConfig::paper());
+        let hybrid = SimConfig::hybrid();
+        assert_eq!(hybrid.sparsity, SparsityConfig::HybridSparsity);
+        assert_eq!(hybrid.simd_lanes, 16);
+    }
+}

@@ -1,0 +1,182 @@
+//! Per-event energy cost model.
+//!
+//! The paper extracts macro power from a 28 nm post-layout design and the
+//! digital periphery from synthesis. This reproduction replaces those
+//! measurements with a parametric per-event model: every counted event
+//! (cell compute, adder-tree reduction, PPU shift-add, buffer byte, SIMD
+//! lane-op, leakage cycle) is charged a calibrated energy in picojoules. The
+//! constants are chosen so that the dense baseline and the DB-PIM
+//! configuration land in the power / energy-efficiency ranges Table 3
+//! reports; every *relative* result (energy saving, breakdown shares) is
+//! computed, not assumed.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+
+/// Per-event energies in picojoules (28 nm, 0.8 V class calibration).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// One 6T cell read combined with its LPU AND evaluation.
+    pub cell_compute_pj: f64,
+    /// One 6T cell write (word-line row write is charged per cell).
+    pub cell_write_pj: f64,
+    /// One CSD adder-tree reduction (per filter, per cycle).
+    pub adder_tree_pj: f64,
+    /// One post-processing shift-and-add (per filter, per cycle).
+    pub ppu_pj: f64,
+    /// One byte read from or written to the feature buffer.
+    pub feature_byte_pj: f64,
+    /// One byte read from the weight buffer.
+    pub weight_byte_pj: f64,
+    /// One byte moved through the meta buffer and metadata register files.
+    pub meta_byte_pj: f64,
+    /// One SIMD lane operation (activation, pooling, requantization, ...).
+    pub simd_op_pj: f64,
+    /// One cycle of IPU zero-detection for a 16-feature group.
+    pub ipu_group_pj: f64,
+    /// Static (leakage + clock-tree) energy per cycle for the whole design.
+    pub static_per_cycle_pj: f64,
+}
+
+impl CostModel {
+    /// The calibrated 28 nm cost model used throughout the evaluation.
+    #[must_use]
+    pub fn calibrated_28nm() -> Self {
+        Self {
+            cell_compute_pj: 0.0030,
+            cell_write_pj: 0.0060,
+            adder_tree_pj: 0.0220,
+            ppu_pj: 0.0180,
+            feature_byte_pj: 0.0500,
+            weight_byte_pj: 0.0500,
+            meta_byte_pj: 0.0600,
+            simd_op_pj: 0.0400,
+            ipu_group_pj: 0.0080,
+            static_per_cycle_pj: 4.0,
+        }
+    }
+
+    /// Validates that every parameter is finite and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidCost`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let fields = [
+            ("cell_compute_pj", self.cell_compute_pj),
+            ("cell_write_pj", self.cell_write_pj),
+            ("adder_tree_pj", self.adder_tree_pj),
+            ("ppu_pj", self.ppu_pj),
+            ("feature_byte_pj", self.feature_byte_pj),
+            ("weight_byte_pj", self.weight_byte_pj),
+            ("meta_byte_pj", self.meta_byte_pj),
+            ("simd_op_pj", self.simd_op_pj),
+            ("ipu_group_pj", self.ipu_group_pj),
+            ("static_per_cycle_pj", self.static_per_cycle_pj),
+        ];
+        for (parameter, value) in fields {
+            if !value.is_finite() || value < 0.0 {
+                return Err(SimError::InvalidCost { parameter, value });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::calibrated_28nm()
+    }
+}
+
+/// Energy of one simulated run, split by component.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Dynamic energy of the macro arrays (cells + adder trees + PPUs).
+    pub macro_dynamic_pj: f64,
+    /// Weight-tile loading (cell writes + weight-buffer traffic).
+    pub weight_load_pj: f64,
+    /// Metadata traffic (meta buffer + metadata RFs).
+    pub metadata_pj: f64,
+    /// Feature-buffer traffic (input streaming + IPU).
+    pub feature_traffic_pj: f64,
+    /// Output write-back traffic.
+    pub output_traffic_pj: f64,
+    /// SIMD-core element-wise work.
+    pub simd_pj: f64,
+    /// Static (leakage + clock) energy.
+    pub static_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    #[must_use]
+    pub fn total_pj(&self) -> f64 {
+        self.macro_dynamic_pj
+            + self.weight_load_pj
+            + self.metadata_pj
+            + self.feature_traffic_pj
+            + self.output_traffic_pj
+            + self.simd_pj
+            + self.static_pj
+    }
+
+    /// Total energy in microjoules.
+    #[must_use]
+    pub fn total_uj(&self) -> f64 {
+        self.total_pj() / 1e6
+    }
+
+    /// Element-wise accumulation of another breakdown.
+    pub fn accumulate(&mut self, other: &EnergyBreakdown) {
+        self.macro_dynamic_pj += other.macro_dynamic_pj;
+        self.weight_load_pj += other.weight_load_pj;
+        self.metadata_pj += other.metadata_pj;
+        self.feature_traffic_pj += other.feature_traffic_pj;
+        self.output_traffic_pj += other.output_traffic_pj;
+        self.simd_pj += other.simd_pj;
+        self.static_pj += other.static_pj;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_model_is_valid() {
+        assert!(CostModel::calibrated_28nm().validate().is_ok());
+        assert_eq!(CostModel::default(), CostModel::calibrated_28nm());
+    }
+
+    #[test]
+    fn invalid_parameters_are_named() {
+        let mut model = CostModel::calibrated_28nm();
+        model.ppu_pj = -1.0;
+        let err = model.validate().unwrap_err();
+        assert!(matches!(err, SimError::InvalidCost { parameter: "ppu_pj", .. }));
+        let mut model = CostModel::calibrated_28nm();
+        model.static_per_cycle_pj = f64::NAN;
+        assert!(model.validate().is_err());
+    }
+
+    #[test]
+    fn breakdown_totals_and_accumulation() {
+        let a = EnergyBreakdown {
+            macro_dynamic_pj: 1.0,
+            weight_load_pj: 2.0,
+            metadata_pj: 3.0,
+            feature_traffic_pj: 4.0,
+            output_traffic_pj: 5.0,
+            simd_pj: 6.0,
+            static_pj: 7.0,
+        };
+        assert!((a.total_pj() - 28.0).abs() < 1e-12);
+        assert!((a.total_uj() - 28.0e-6).abs() < 1e-15);
+        let mut b = EnergyBreakdown::default();
+        b.accumulate(&a);
+        b.accumulate(&a);
+        assert!((b.total_pj() - 56.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use dbpim_arch::ArchError;
+use dbpim_compiler::CompileError;
+
+/// Errors produced by the performance simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An architecture constraint was violated.
+    Arch(ArchError),
+    /// Compilation of a workload failed.
+    Compile(CompileError),
+    /// The program's mapping mode does not match the requested sparsity
+    /// configuration (e.g. a dense program run under a weight-sparsity
+    /// configuration).
+    MappingMismatch {
+        /// Mapping mode of the program.
+        program: &'static str,
+        /// Mapping mode the configuration requires.
+        expected: &'static str,
+    },
+    /// A cost-model parameter is invalid (negative or non-finite).
+    InvalidCost {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Arch(e) => write!(f, "architecture error: {e}"),
+            SimError::Compile(e) => write!(f, "compile error: {e}"),
+            SimError::MappingMismatch { program, expected } => {
+                write!(f, "program was compiled for the {program} mapping but the configuration requires {expected}")
+            }
+            SimError::InvalidCost { parameter, value } => {
+                write!(f, "cost-model parameter {parameter} has invalid value {value}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Arch(e) => Some(e),
+            SimError::Compile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArchError> for SimError {
+    fn from(e: ArchError) -> Self {
+        SimError::Arch(e)
+    }
+}
+
+impl From<CompileError> for SimError {
+    fn from(e: CompileError) -> Self {
+        SimError::Compile(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: SimError = ArchError::UnsupportedThreshold { threshold: 4 }.into();
+        assert!(e.to_string().contains("architecture"));
+        let e = SimError::MappingMismatch { program: "dense", expected: "db-pim" };
+        assert!(e.to_string().contains("dense"));
+        let e = SimError::InvalidCost { parameter: "cell_read_pj", value: -1.0 };
+        assert!(e.to_string().contains("cell_read_pj"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

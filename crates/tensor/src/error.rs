@@ -1,0 +1,83 @@
+//! Error type for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor construction and shape manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The element count of the provided data does not match the shape.
+    ShapeMismatch {
+        /// Number of elements supplied.
+        data_len: usize,
+        /// Number of elements the shape requires.
+        expected: usize,
+    },
+    /// Two tensors that must agree in shape do not.
+    IncompatibleShapes {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// An index was out of bounds for the tensor shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor shape.
+        shape: Vec<usize>,
+    },
+    /// The operation requires a tensor of a specific rank.
+    RankMismatch {
+        /// Expected rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+    /// A zero-sized dimension or empty shape was supplied where it is invalid.
+    EmptyShape,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { data_len, expected } => {
+                write!(f, "data length {data_len} does not match shape element count {expected}")
+            }
+            TensorError::IncompatibleShapes { left, right } => {
+                write!(f, "incompatible tensor shapes {left:?} and {right:?}")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} is out of bounds for shape {shape:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "expected a rank-{expected} tensor but got rank {actual}")
+            }
+            TensorError::EmptyShape => write!(f, "tensor shapes must have at least one dimension"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_offending_values() {
+        let err = TensorError::ShapeMismatch { data_len: 3, expected: 4 };
+        assert!(err.to_string().contains('3'));
+        assert!(err.to_string().contains('4'));
+
+        let err = TensorError::RankMismatch { expected: 4, actual: 2 };
+        assert!(err.to_string().contains("rank"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

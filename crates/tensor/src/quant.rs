@@ -1,0 +1,306 @@
+//! INT8 affine and symmetric quantization.
+//!
+//! The paper evaluates every model at 8b/8b precision. Weights use symmetric
+//! per-output-channel quantization (zero point 0), activations use per-tensor
+//! affine quantization; both are standard post-training quantization choices
+//! that the FTA algorithm operates on top of.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+/// Scale/zero-point pair mapping a real value `x` to `q = round(x / scale) + zero_point`.
+///
+/// # Examples
+///
+/// ```
+/// use dbpim_tensor::quant::QuantParams;
+///
+/// let p = QuantParams::new(0.5, 0);
+/// assert_eq!(p.quantize(63.2), 126);
+/// assert_eq!(p.dequantize(126), 63.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    scale: f32,
+    zero_point: i32,
+}
+
+impl QuantParams {
+    /// Creates quantization parameters from a scale and zero point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(scale: f32, zero_point: i32) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "quantization scale must be positive");
+        Self { scale, zero_point }
+    }
+
+    /// The quantization scale.
+    #[must_use]
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The quantization zero point.
+    #[must_use]
+    pub fn zero_point(&self) -> i32 {
+        self.zero_point
+    }
+
+    /// Symmetric parameters (zero point 0) covering `[-abs_max, abs_max]`.
+    ///
+    /// A zero or degenerate `abs_max` falls back to a scale of 1, so an
+    /// all-zero tensor quantizes to all zeros.
+    #[must_use]
+    pub fn symmetric(abs_max: f32) -> Self {
+        let scale = if abs_max > f32::EPSILON { abs_max / 127.0 } else { 1.0 };
+        Self { scale, zero_point: 0 }
+    }
+
+    /// Symmetric parameters calibrated from the absolute maximum of a tensor.
+    #[must_use]
+    pub fn symmetric_from_tensor(tensor: &Tensor<f32>) -> Self {
+        Self::symmetric(tensor.abs_max())
+    }
+
+    /// Affine parameters covering the closed range `[min, max]`.
+    ///
+    /// The range is widened to include zero so that a real zero maps exactly
+    /// onto an integer (required for zero-padding correctness).
+    #[must_use]
+    pub fn affine_from_range(min: f32, max: f32) -> Self {
+        let min = min.min(0.0);
+        let max = max.max(0.0);
+        let range = (max - min).max(f32::EPSILON);
+        let scale = range / 255.0;
+        let zero_point = (-128.0 - min / scale).round() as i32;
+        Self { scale, zero_point: zero_point.clamp(-128, 127) }
+    }
+
+    /// Quantizes one real value to INT8 (round to nearest, saturating).
+    #[must_use]
+    pub fn quantize(&self, value: f32) -> i8 {
+        let q = (value / self.scale).round() as i32 + self.zero_point;
+        q.clamp(i32::from(i8::MIN), i32::from(i8::MAX)) as i8
+    }
+
+    /// Dequantizes one INT8 value back to a real value.
+    #[must_use]
+    pub fn dequantize(&self, value: i8) -> f32 {
+        (i32::from(value) - self.zero_point) as f32 * self.scale
+    }
+
+    /// Quantizes every element of a tensor.
+    #[must_use]
+    pub fn quantize_tensor(&self, tensor: &Tensor<f32>) -> Tensor<i8> {
+        tensor.map(|&v| self.quantize(v))
+    }
+
+    /// Dequantizes every element of a tensor.
+    #[must_use]
+    pub fn dequantize_tensor(&self, tensor: &Tensor<i8>) -> Tensor<f32> {
+        tensor.map(|&v| self.dequantize(v))
+    }
+}
+
+/// Quantization scheme attached to a quantized tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QuantScheme {
+    /// One scale/zero-point pair for the whole tensor.
+    PerTensor(QuantParams),
+    /// One symmetric scale per slice along `axis` (the output-channel axis for
+    /// convolution and linear weights).
+    PerChannel {
+        /// Axis along which parameters vary.
+        axis: usize,
+        /// One parameter set per index of `axis`.
+        params: Vec<QuantParams>,
+    },
+}
+
+impl QuantScheme {
+    /// The parameters applying to the slice `channel` along the scheme's axis.
+    ///
+    /// For a per-tensor scheme the channel is ignored.
+    #[must_use]
+    pub fn params_for_channel(&self, channel: usize) -> QuantParams {
+        match self {
+            QuantScheme::PerTensor(p) => *p,
+            QuantScheme::PerChannel { params, .. } => params[channel % params.len()],
+        }
+    }
+}
+
+/// An INT8 tensor together with the scheme that produced it.
+///
+/// # Examples
+///
+/// ```
+/// use dbpim_tensor::{Tensor, quant::QuantizedTensor};
+///
+/// let w = Tensor::from_vec(vec![0.1f32, -0.9, 0.4, 0.0], vec![2, 2])?;
+/// let q = QuantizedTensor::quantize_per_channel(&w, 0);
+/// let back = q.dequantize();
+/// assert_eq!(back.shape(), w.shape());
+/// # Ok::<(), dbpim_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedTensor {
+    values: Tensor<i8>,
+    scheme: QuantScheme,
+}
+
+impl QuantizedTensor {
+    /// Wraps already-quantized values with their scheme.
+    #[must_use]
+    pub fn new(values: Tensor<i8>, scheme: QuantScheme) -> Self {
+        Self { values, scheme }
+    }
+
+    /// Per-tensor symmetric quantization of a float tensor.
+    #[must_use]
+    pub fn quantize_per_tensor(tensor: &Tensor<f32>) -> Self {
+        let params = QuantParams::symmetric_from_tensor(tensor);
+        Self { values: params.quantize_tensor(tensor), scheme: QuantScheme::PerTensor(params) }
+    }
+
+    /// Per-channel symmetric quantization along `axis` (must be axis 0 of a
+    /// rank >= 1 tensor, the output-channel convention used for weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis != 0`; only the output-channel axis is supported.
+    #[must_use]
+    pub fn quantize_per_channel(tensor: &Tensor<f32>, axis: usize) -> Self {
+        assert_eq!(axis, 0, "per-channel quantization is only supported along axis 0");
+        let channels = tensor.shape()[0];
+        let per_channel = tensor.numel() / channels;
+        let mut params = Vec::with_capacity(channels);
+        let mut values = Vec::with_capacity(tensor.numel());
+        for c in 0..channels {
+            let slice = &tensor.data()[c * per_channel..(c + 1) * per_channel];
+            let abs_max = slice.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let p = QuantParams::symmetric(abs_max);
+            values.extend(slice.iter().map(|&v| p.quantize(v)));
+            params.push(p);
+        }
+        let values = Tensor::from_vec(values, tensor.shape().to_vec())
+            .expect("same element count as the source tensor");
+        Self { values, scheme: QuantScheme::PerChannel { axis, params } }
+    }
+
+    /// The quantized INT8 values.
+    #[must_use]
+    pub fn values(&self) -> &Tensor<i8> {
+        &self.values
+    }
+
+    /// Mutable access to the quantized values (used by the FTA approximation,
+    /// which rewrites weights in place while keeping the original scheme).
+    pub fn values_mut(&mut self) -> &mut Tensor<i8> {
+        &mut self.values
+    }
+
+    /// The quantization scheme.
+    #[must_use]
+    pub fn scheme(&self) -> &QuantScheme {
+        &self.scheme
+    }
+
+    /// Dequantizes back to a float tensor.
+    #[must_use]
+    pub fn dequantize(&self) -> Tensor<f32> {
+        match &self.scheme {
+            QuantScheme::PerTensor(p) => p.dequantize_tensor(&self.values),
+            QuantScheme::PerChannel { params, .. } => {
+                let channels = self.values.shape()[0];
+                let per_channel = self.values.numel() / channels;
+                let mut out = Vec::with_capacity(self.values.numel());
+                for (c, p) in params.iter().enumerate().take(channels) {
+                    out.extend(
+                        self.values.data()[c * per_channel..(c + 1) * per_channel]
+                            .iter()
+                            .map(|&v| p.dequantize(v)),
+                    );
+                }
+                Tensor::from_vec(out, self.values.shape().to_vec())
+                    .expect("same element count as the quantized tensor")
+            }
+        }
+    }
+
+    /// Quantization error (mean squared) introduced relative to `reference`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleShapes`] when shapes differ.
+    pub fn quantization_mse(&self, reference: &Tensor<f32>) -> Result<f32, TensorError> {
+        reference.mse(&self.dequantize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_quantization_round_trips_small_error() {
+        let t = Tensor::from_vec(vec![0.5f32, -1.0, 0.25, 0.0, 0.99, -0.33], vec![6]).unwrap();
+        let q = QuantizedTensor::quantize_per_tensor(&t);
+        let err = q.quantization_mse(&t).unwrap();
+        assert!(err < 1e-4, "quantization error too large: {err}");
+    }
+
+    #[test]
+    fn per_channel_uses_independent_scales() {
+        // Channel 0 has tiny values, channel 1 large ones; per-channel
+        // quantization must not crush channel 0 to zero.
+        let t = Tensor::from_vec(vec![0.01f32, -0.02, 5.0, -4.0], vec![2, 2]).unwrap();
+        let q = QuantizedTensor::quantize_per_channel(&t, 0);
+        assert!(q.values().data()[0].unsigned_abs() > 30);
+        let per_tensor = QuantizedTensor::quantize_per_tensor(&t);
+        assert!(per_tensor.values().data()[0].unsigned_abs() <= 1);
+    }
+
+    #[test]
+    fn affine_range_maps_zero_exactly() {
+        let p = QuantParams::affine_from_range(0.0, 6.0);
+        let zero_q = p.quantize(0.0);
+        assert!((p.dequantize(zero_q)).abs() < 1e-6);
+        assert_eq!(p.quantize(6.0), 127);
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let p = QuantParams::new(0.1, 0);
+        assert_eq!(p.quantize(1e9), 127);
+        assert_eq!(p.quantize(-1e9), -128);
+    }
+
+    #[test]
+    fn all_zero_tensor_stays_zero() {
+        let t = Tensor::<f32>::zeros(vec![4]).unwrap();
+        let q = QuantizedTensor::quantize_per_tensor(&t);
+        assert!(q.values().data().iter().all(|&v| v == 0));
+        assert!(q.dequantize().data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn scheme_lookup_per_channel() {
+        let t = Tensor::from_vec(vec![1.0f32, 2.0, 4.0, 8.0], vec![2, 2]).unwrap();
+        let q = QuantizedTensor::quantize_per_channel(&t, 0);
+        let p0 = q.scheme().params_for_channel(0);
+        let p1 = q.scheme().params_for_channel(1);
+        assert!(p1.scale() > p0.scale());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_panics() {
+        let _ = QuantParams::new(0.0, 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Tensor shapes and row-major stride arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TensorError;
+
+/// The shape of a dense row-major tensor.
+///
+/// # Examples
+///
+/// ```
+/// use dbpim_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3, 4])?;
+/// assert_eq!(s.numel(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// assert_eq!(s.linear_index(&[1, 2, 3])?, 23);
+/// # Ok::<(), dbpim_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from dimension sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyShape`] when `dims` is empty or any
+    /// dimension is zero.
+    pub fn new(dims: Vec<usize>) -> Result<Self, TensorError> {
+        if dims.is_empty() || dims.contains(&0) {
+            return Err(TensorError::EmptyShape);
+        }
+        Ok(Self { dims })
+    }
+
+    /// The dimension sizes.
+    #[must_use]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major strides (in elements) for each dimension.
+    #[must_use]
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index into a linear element offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] when the index rank or any
+    /// component is out of range.
+    pub fn linear_index(&self, index: &[usize]) -> Result<usize, TensorError> {
+        if index.len() != self.dims.len()
+            || index.iter().zip(&self.dims).any(|(&i, &d)| i >= d)
+        {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: self.dims.clone(),
+            });
+        }
+        Ok(index.iter().zip(self.strides()).map(|(&i, s)| i * s).sum())
+    }
+
+    /// Converts a linear element offset back into a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= self.numel()`.
+    #[must_use]
+    pub fn multi_index(&self, mut offset: usize) -> Vec<usize> {
+        assert!(offset < self.numel(), "offset {offset} out of range for {:?}", self.dims);
+        let mut index = Vec::with_capacity(self.dims.len());
+        for stride in self.strides() {
+            index.push(offset / stride);
+            offset %= stride;
+        }
+        index
+    }
+}
+
+impl From<Shape> for Vec<usize> {
+    fn from(shape: Shape) -> Self {
+        shape.dims
+    }
+}
+
+impl TryFrom<Vec<usize>> for Shape {
+    type Error = TensorError;
+
+    fn try_from(dims: Vec<usize>) -> Result<Self, Self::Error> {
+        Self::new(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(vec![2, 3, 4]).unwrap();
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+    }
+
+    #[test]
+    fn linear_and_multi_index_are_inverses() {
+        let s = Shape::new(vec![3, 5, 2]).unwrap();
+        for offset in 0..s.numel() {
+            let idx = s.multi_index(offset);
+            assert_eq!(s.linear_index(&idx).unwrap(), offset);
+        }
+    }
+
+    #[test]
+    fn invalid_shapes_are_rejected() {
+        assert_eq!(Shape::new(vec![]).unwrap_err(), TensorError::EmptyShape);
+        assert_eq!(Shape::new(vec![2, 0]).unwrap_err(), TensorError::EmptyShape);
+    }
+
+    #[test]
+    fn out_of_bounds_index_is_rejected() {
+        let s = Shape::new(vec![2, 2]).unwrap();
+        assert!(s.linear_index(&[2, 0]).is_err());
+        assert!(s.linear_index(&[0]).is_err());
+        assert!(s.linear_index(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn scalar_like_shape() {
+        let s = Shape::new(vec![1]).unwrap();
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.linear_index(&[0]).unwrap(), 0);
+    }
+}

@@ -1,0 +1,300 @@
+//! Dense row-major tensor.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+
+/// A dense, row-major, owned tensor.
+///
+/// The element type is generic; the DB-PIM pipeline uses `f32` for reference
+/// models, `i8` for quantized weights/activations and `i32` for accumulators.
+///
+/// # Examples
+///
+/// ```
+/// use dbpim_tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![1i8, 2, 3, 4, 5, 6], vec![2, 3])?;
+/// assert_eq!(t.get(&[1, 2])?, 6);
+/// let doubled = t.map(|x| x * 2);
+/// assert_eq!(doubled.get(&[0, 1])?, 4);
+/// # Ok::<(), dbpim_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor<T> {
+    shape: Shape,
+    data: Vec<T>,
+}
+
+impl<T> Tensor<T> {
+    /// Creates a tensor from a flat data vector and dimension sizes.
+    ///
+    /// # Errors
+    ///
+    /// * [`TensorError::EmptyShape`] for an empty or zero-sized shape.
+    /// * [`TensorError::ShapeMismatch`] when `data.len()` does not equal the
+    ///   shape's element count.
+    pub fn from_vec(data: Vec<T>, dims: Vec<usize>) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims)?;
+        if data.len() != shape.numel() {
+            return Err(TensorError::ShapeMismatch { data_len: data.len(), expected: shape.numel() });
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// The tensor's shape as a slice of dimension sizes.
+    #[must_use]
+    pub fn shape(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// The tensor's [`Shape`].
+    #[must_use]
+    pub fn shape_ref(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// Flat element storage, row-major.
+    #[must_use]
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable flat element storage, row-major.
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its flat storage.
+    #[must_use]
+    pub fn into_data(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Returns a tensor with the same data reinterpreted under a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the element counts differ.
+    pub fn reshaped(self, dims: Vec<usize>) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims)?;
+        if shape.numel() != self.data.len() {
+            return Err(TensorError::ShapeMismatch { data_len: self.data.len(), expected: shape.numel() });
+        }
+        Ok(Self { shape, data: self.data })
+    }
+
+    /// Applies `f` to every element, producing a new tensor of the same shape.
+    #[must_use]
+    pub fn map<U, F: FnMut(&T) -> U>(&self, f: F) -> Tensor<U> {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(f).collect() }
+    }
+
+    /// Element-wise combination of two same-shaped tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleShapes`] when the shapes differ.
+    pub fn zip_map<U, V, F>(&self, other: &Tensor<U>, mut f: F) -> Result<Tensor<V>, TensorError>
+    where
+        F: FnMut(&T, &U) -> V,
+    {
+        if self.shape() != other.shape() {
+            return Err(TensorError::IncompatibleShapes {
+                left: self.shape().to_vec(),
+                right: other.shape().to_vec(),
+            });
+        }
+        let data = self.data.iter().zip(other.data()).map(|(a, b)| f(a, b)).collect();
+        Ok(Tensor { shape: self.shape.clone(), data })
+    }
+}
+
+impl<T: Copy> Tensor<T> {
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for an invalid index.
+    pub fn get(&self, index: &[usize]) -> Result<T, TensorError> {
+        Ok(self.data[self.shape.linear_index(index)?])
+    }
+
+    /// Writes an element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for an invalid index.
+    pub fn set(&mut self, index: &[usize], value: T) -> Result<(), TensorError> {
+        let offset = self.shape.linear_index(index)?;
+        self.data[offset] = value;
+        Ok(())
+    }
+}
+
+impl<T: Clone + Default> Tensor<T> {
+    /// Creates a tensor of the given shape filled with `T::default()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyShape`] for an invalid shape.
+    pub fn zeros(dims: Vec<usize>) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims)?;
+        Ok(Self { data: vec![T::default(); shape.numel()], shape })
+    }
+}
+
+impl<T: Clone> Tensor<T> {
+    /// Creates a tensor of the given shape filled with copies of `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyShape`] for an invalid shape.
+    pub fn filled(value: T, dims: Vec<usize>) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims)?;
+        Ok(Self { data: vec![value; shape.numel()], shape })
+    }
+}
+
+impl Tensor<f32> {
+    /// Mean of all elements.
+    #[must_use]
+    pub fn mean(&self) -> f32 {
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Minimum and maximum element values.
+    #[must_use]
+    pub fn min_max(&self) -> (f32, f32) {
+        self.data.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        })
+    }
+
+    /// Largest absolute element value.
+    #[must_use]
+    pub fn abs_max(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Mean squared error against another tensor of identical shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleShapes`] when the shapes differ.
+    pub fn mse(&self, other: &Self) -> Result<f32, TensorError> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::IncompatibleShapes {
+                left: self.shape().to_vec(),
+                right: other.shape().to_vec(),
+            });
+        }
+        let sum: f32 = self
+            .data
+            .iter()
+            .zip(other.data())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        Ok(sum / self.data.len() as f32)
+    }
+
+    /// Signal-to-quantization-noise ratio in dB of `other` relative to `self`
+    /// (treating `self` as the reference signal).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleShapes`] when the shapes differ.
+    pub fn sqnr_db(&self, other: &Self) -> Result<f32, TensorError> {
+        let noise = self.mse(other)?;
+        let signal: f32 =
+            self.data.iter().map(|a| a * a).sum::<f32>() / self.data.len() as f32;
+        if noise <= f32::EPSILON {
+            return Ok(f32::INFINITY);
+        }
+        Ok(10.0 * (signal / noise).log10())
+    }
+}
+
+impl Tensor<i8> {
+    /// Fraction of elements equal to zero (value-level sparsity).
+    #[must_use]
+    pub fn zero_value_ratio(&self) -> f64 {
+        let zeros = self.data.iter().filter(|&&v| v == 0).count();
+        zeros as f64 / self.data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_length() {
+        let err = Tensor::from_vec(vec![1, 2, 3], vec![2, 2]).unwrap_err();
+        assert_eq!(err, TensorError::ShapeMismatch { data_len: 3, expected: 4 });
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut t = Tensor::<i32>::zeros(vec![2, 3]).unwrap();
+        t.set(&[1, 2], 42).unwrap();
+        assert_eq!(t.get(&[1, 2]).unwrap(), 42);
+        assert_eq!(t.get(&[0, 0]).unwrap(), 0);
+        assert!(t.get(&[2, 0]).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..12).collect(), vec![3, 4]).unwrap();
+        let r = t.clone().reshaped(vec![2, 6]).unwrap();
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshaped(vec![5, 5]).is_err());
+    }
+
+    #[test]
+    fn zip_map_requires_same_shape() {
+        let a = Tensor::from_vec(vec![1, 2, 3, 4], vec![2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![10, 20, 30, 40], vec![2, 2]).unwrap();
+        let sum = a.zip_map(&b, |x, y| x + y).unwrap();
+        assert_eq!(sum.data(), &[11, 22, 33, 44]);
+
+        let c = Tensor::from_vec(vec![1, 2], vec![2]).unwrap();
+        assert!(a.zip_map(&c, |x, y| x + y).is_err());
+    }
+
+    #[test]
+    fn float_statistics() {
+        let t = Tensor::from_vec(vec![-1.0f32, 0.0, 3.0, 2.0], vec![4]).unwrap();
+        assert_eq!(t.min_max(), (-1.0, 3.0));
+        assert_eq!(t.abs_max(), 3.0);
+        assert!((t.mean() - 1.0).abs() < 1e-6);
+        assert_eq!(t.mse(&t).unwrap(), 0.0);
+        assert_eq!(t.sqnr_db(&t).unwrap(), f32::INFINITY);
+    }
+
+    #[test]
+    fn zero_value_ratio_counts_zeros() {
+        let t = Tensor::from_vec(vec![0i8, 1, 0, -3], vec![4]).unwrap();
+        assert!((t.zero_value_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filled_and_map() {
+        let t = Tensor::filled(7i8, vec![2, 2]).unwrap();
+        let doubled = t.map(|x| i32::from(*x) * 2);
+        assert!(doubled.data().iter().all(|&v| v == 14));
+    }
+}

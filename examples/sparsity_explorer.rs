@@ -1,0 +1,95 @@
+//! Sparsity explorer: how much bit-level sparsity do the paper's models have,
+//! and what does the FTA algorithm do to it?
+//!
+//! ```bash
+//! cargo run --release --example sparsity_explorer [model]
+//! ```
+//!
+//! `model` is one of `alexnet`, `vgg19`, `resnet18`, `mobilenetv2`,
+//! `efficientnetb0` (default `mobilenetv2`). The example reports the
+//! Fig. 2(a) style zero-bit ratios, the per-filter threshold distribution and
+//! a forced-threshold ablation that shows the accuracy/sparsity trade-off
+//! Algorithm 1 navigates.
+
+use std::error::Error;
+
+use db_pim::prelude::*;
+use dbpim_fta::stats::ModelFtaStats;
+use dbpim_fta::{FilterApprox, LayerApprox};
+
+fn parse_model(name: &str) -> ModelKind {
+    match name.to_ascii_lowercase().as_str() {
+        "alexnet" => ModelKind::AlexNet,
+        "vgg19" => ModelKind::Vgg19,
+        "resnet18" => ModelKind::ResNet18,
+        "efficientnetb0" | "efficientnet" => ModelKind::EfficientNetB0,
+        _ => ModelKind::MobileNetV2,
+    }
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let kind = parse_model(&std::env::args().nth(1).unwrap_or_else(|| "mobilenetv2".to_string()));
+    println!("model: {kind} (width 0.5, synthetic weights)");
+    let model = kind.build_with_width(100, 7, 0.5)?;
+
+    let mut gen = TensorGenerator::new(11);
+    let (calibration, _) = gen.labelled_batch(2, 3, 32, 32, 100)?;
+    let quantized = QuantizedModel::quantize(&model, &calibration)?;
+    let approx = ModelApprox::from_quantized(&quantized)?;
+    let stats = ModelFtaStats::from_model(&approx);
+
+    println!("\n== Fig. 2(a): zero-bit ratio of the weights ==");
+    println!("plain binary (Ori_Zero): {:.1} %", 100.0 * stats.binary_zero_ratio());
+    println!("CSD recoded  (CSD_Zero): {:.1} %", 100.0 * stats.csd_zero_ratio());
+    println!("FTA (Ours)             : {:.1} %", 100.0 * stats.fta_zero_ratio());
+    println!("actual utilization     : {:.2} %", 100.0 * stats.utilization());
+    println!("mean |error| per weight: {:.3} LSB", stats.mean_abs_error());
+
+    println!("\n== per-filter threshold distribution ==");
+    let mut histogram = [0usize; 3];
+    for layer in &stats.layers {
+        for (phi, count) in layer.threshold_histogram.iter().enumerate() {
+            histogram[phi] += count;
+        }
+    }
+    let total: usize = histogram.iter().sum();
+    for (phi, count) in histogram.iter().enumerate() {
+        println!("phi_th = {phi}: {count:>6} filters ({:.1} %)", 100.0 * *count as f64 / total.max(1) as f64);
+    }
+
+    println!("\n== forced-threshold ablation on the widest convolution ==");
+    let widest = approx
+        .layers()
+        .iter()
+        .max_by_key(|l| l.filter_count() * l.filter_len())
+        .expect("the model has PIM layers");
+    ablation(widest)?;
+    Ok(())
+}
+
+/// Re-approximates one layer with every forced threshold and reports the
+/// sparsity / error trade-off Algorithm 1 balances automatically.
+fn ablation(layer: &LayerApprox) -> Result<(), Box<dyn Error>> {
+    let tables = QueryTables::new();
+    println!("layer {} ({} filters x {} weights)", layer.name(), layer.filter_count(), layer.filter_len());
+    for forced in 0..=2u32 {
+        let mut stored = 0usize;
+        let mut error_sum = 0.0f64;
+        let mut weights = 0usize;
+        for f in 0..layer.filter_count() {
+            let original = &layer.original_values()[f * layer.filter_len()..(f + 1) * layer.filter_len()];
+            let approx = FilterApprox::approximate_with_threshold(original, forced, &tables)?;
+            stored += approx.stored_blocks();
+            error_sum += approx.mean_abs_error(original) * original.len() as f64;
+            weights += original.len();
+        }
+        println!(
+            "forced phi_th = {forced}: {:>7} stored blocks, zero ratio {:.1} %, mean |error| {:.3} LSB",
+            stored,
+            100.0 * (1.0 - stored as f64 / (weights * 8) as f64),
+            error_sum / weights as f64
+        );
+    }
+    println!("(Algorithm 1 picks the threshold per filter from the mode of its digit counts.)");
+    Ok(())
+}

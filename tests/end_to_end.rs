@@ -1,0 +1,86 @@
+//! Workspace integration test: the full co-design pipeline on a small CNN.
+
+use db_pim::prelude::*;
+
+fn result_for_seed(seed: u64) -> CodesignResult {
+    let mut config = PipelineConfig::fast();
+    config.seed = seed;
+    config.evaluation_images = 6;
+    let pipeline = Pipeline::new(config).expect("valid config");
+    let model = zoo::tiny_cnn(10, seed).expect("model builds");
+    pipeline.run_model(&model).expect("pipeline runs")
+}
+
+#[test]
+fn pipeline_produces_all_four_runs_with_consistent_work() {
+    let result = result_for_seed(1);
+    assert_eq!(result.runs.len(), 4);
+    let macs = result.baseline().total_macs();
+    assert!(macs > 0);
+    for run in &result.runs {
+        assert_eq!(run.total_macs(), macs, "functional work differs for {}", run.sparsity);
+        assert!(run.total_cycles() > 0);
+        assert!(run.total_energy_uj() > 0.0);
+    }
+}
+
+#[test]
+fn sparsity_configurations_are_ordered_as_in_fig7() {
+    let result = result_for_seed(2);
+    let input = result.speedup(SparsityConfig::InputSparsity);
+    let weight = result.speedup(SparsityConfig::WeightSparsity);
+    let hybrid = result.speedup(SparsityConfig::HybridSparsity);
+    assert!(input > 1.0, "input sparsity speedup {input}");
+    assert!(weight > 1.5, "weight sparsity speedup {weight}");
+    assert!(hybrid > weight && hybrid > input, "hybrid {hybrid}, weight {weight}, input {input}");
+    assert!(hybrid < 16.0, "hybrid speedup {hybrid} exceeds the architectural ceiling");
+
+    let e_weight = result.energy_saving(SparsityConfig::WeightSparsity);
+    let e_hybrid = result.energy_saving(SparsityConfig::HybridSparsity);
+    assert!(e_weight > 0.2 && e_weight < 0.95, "weight energy saving {e_weight}");
+    assert!(e_hybrid > e_weight, "hybrid saving {e_hybrid} vs weight {e_weight}");
+}
+
+#[test]
+fn algorithm_statistics_behave_like_fig2a_and_table3() {
+    let result = result_for_seed(3);
+    let stats = &result.fta_stats;
+    assert!(stats.binary_zero_ratio() > 0.5);
+    assert!(stats.csd_zero_ratio() >= stats.binary_zero_ratio());
+    assert!(stats.fta_zero_ratio() >= stats.csd_zero_ratio());
+    assert!(result.utilization() > 0.7 && result.utilization() <= 1.0);
+    let fidelity = result.fidelity.expect("fidelity evaluation enabled");
+    assert!(fidelity.top1_agreement >= 0.5, "agreement {}", fidelity.top1_agreement);
+    assert!(fidelity.images == 6);
+}
+
+#[test]
+fn input_sparsity_profile_matches_pim_layers() {
+    let result = result_for_seed(4);
+    let pim_layers = result.summary.pim_layer_count();
+    assert_eq!(result.input_sparsity.len(), pim_layers);
+    assert!(result.input_sparsity.mean_ratio() > 0.05);
+}
+
+#[test]
+fn codesign_result_serializes_to_json_and_back() {
+    let result = result_for_seed(5);
+    let json = serde_json::to_string(&result).expect("serializes");
+    assert!(json.contains("tiny_cnn"));
+    let parsed: CodesignResult = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(parsed.model_name, result.model_name);
+    assert_eq!(parsed.runs.len(), result.runs.len());
+    assert_eq!(parsed.baseline().total_cycles(), result.baseline().total_cycles());
+}
+
+#[test]
+fn pipeline_is_deterministic_for_a_fixed_seed() {
+    let a = result_for_seed(6);
+    let b = result_for_seed(6);
+    assert_eq!(a.baseline().total_cycles(), b.baseline().total_cycles());
+    assert_eq!(
+        a.run(SparsityConfig::HybridSparsity).unwrap().total_cycles(),
+        b.run(SparsityConfig::HybridSparsity).unwrap().total_cycles()
+    );
+    assert_eq!(a.fta_stats.utilization(), b.fta_stats.utilization());
+}

@@ -1,0 +1,90 @@
+//! Shape-level checks of the paper's headline claims across the model zoo.
+//!
+//! These tests run the full pipeline on width-reduced versions of all five
+//! CIFAR-100 models (synthetic weights) and assert the *qualitative* results
+//! of the evaluation section: every model accelerates, hybrid beats
+//! weight-only which beats the baseline, energy savings sit in the tens of
+//! percent, utilization exceeds 90 %-ish levels, and the FTA sparsity
+//! ordering of Fig. 2(a) holds.
+
+use db_pim::prelude::*;
+
+fn run_all_models() -> Vec<CodesignResult> {
+    let mut config = PipelineConfig::fast().without_fidelity();
+    config.width_mult = 0.25;
+    config.classes = 100;
+    config.calibration_images = 1;
+    let pipeline = Pipeline::new(config).expect("valid config");
+    ModelKind::all()
+        .into_iter()
+        .map(|kind| pipeline.run_kind(kind).unwrap_or_else(|e| panic!("{kind} failed: {e}")))
+        .collect()
+}
+
+#[test]
+fn every_model_accelerates_and_saves_energy() {
+    let results = run_all_models();
+    assert_eq!(results.len(), 5);
+    for result in &results {
+        let weight = result.speedup(SparsityConfig::WeightSparsity);
+        let hybrid = result.speedup(SparsityConfig::HybridSparsity);
+        let saving = result.energy_saving(SparsityConfig::HybridSparsity);
+        assert!(weight > 1.3, "{}: weight-sparsity speedup {weight}", result.model_name);
+        assert!(hybrid >= weight, "{}: hybrid {hybrid} < weight {weight}", result.model_name);
+        assert!(hybrid < 16.0, "{}: hybrid speedup {hybrid} beyond architectural ceiling", result.model_name);
+        assert!(
+            saving > 0.25 && saving < 0.95,
+            "{}: hybrid energy saving {saving}",
+            result.model_name
+        );
+    }
+}
+
+#[test]
+fn fig2a_sparsity_ordering_holds_for_every_model() {
+    let results = run_all_models();
+    for result in &results {
+        let stats = &result.fta_stats;
+        assert!(
+            stats.binary_zero_ratio() > 0.55,
+            "{}: binary zero ratio {}",
+            result.model_name,
+            stats.binary_zero_ratio()
+        );
+        assert!(stats.csd_zero_ratio() >= stats.binary_zero_ratio(), "{}", result.model_name);
+        assert!(stats.fta_zero_ratio() >= stats.csd_zero_ratio(), "{}", result.model_name);
+        assert!(stats.fta_zero_ratio() > 0.7, "{}: FTA zero ratio {}", result.model_name, stats.fta_zero_ratio());
+    }
+}
+
+#[test]
+fn utilization_is_high_across_the_zoo_as_in_table3() {
+    let results = run_all_models();
+    for result in &results {
+        let utilization = result.utilization();
+        assert!(
+            utilization > 0.85 && utilization <= 1.0,
+            "{}: utilization {utilization}",
+            result.model_name
+        );
+    }
+}
+
+#[test]
+fn compact_models_still_benefit_but_standard_models_benefit_more() {
+    let results = run_all_models();
+    let speedup = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.model_name == name)
+            .map(|r| r.speedup(SparsityConfig::HybridSparsity))
+            .unwrap_or_else(|| panic!("missing {name}"))
+    };
+    // The paper: AlexNet/VGG19 gain the most, compact models still gain >3x.
+    let alexnet = speedup("alexnet");
+    let mobilenet = speedup("mobilenet_v2");
+    let efficientnet = speedup("efficientnet_b0");
+    assert!(mobilenet > 1.3, "MobileNetV2 speedup {mobilenet}");
+    assert!(efficientnet > 1.3, "EfficientNetB0 speedup {efficientnet}");
+    assert!(alexnet > 1.3, "AlexNet speedup {alexnet}");
+}
