@@ -70,7 +70,12 @@ impl CsdAdderTree {
     /// bit of significance `bit_position`, except the most significant bit of
     /// a two's-complement weight which carries negative weight.
     #[must_use]
-    pub fn reduce_dense(self, products: &[bool], bit_position: u32, signed_msb: bool) -> (i32, AdderTreeStats) {
+    pub fn reduce_dense(
+        self,
+        products: &[bool],
+        bit_position: u32,
+        signed_msb: bool,
+    ) -> (i32, AdderTreeStats) {
         let ones = products.iter().filter(|&&p| p).count() as i32;
         let magnitude = ones << bit_position;
         let stats = AdderTreeStats { operands: products.len(), effective_operands: ones as usize };

@@ -23,7 +23,14 @@ impl TrackedBuffer {
     /// Creates a buffer with the given name and capacity.
     #[must_use]
     pub fn new(name: impl Into<String>, capacity_bytes: usize) -> Self {
-        Self { name: name.into(), capacity_bytes, reads: 0, writes: 0, bytes_read: 0, bytes_written: 0 }
+        Self {
+            name: name.into(),
+            capacity_bytes,
+            reads: 0,
+            writes: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+        }
     }
 
     /// The buffer's name.

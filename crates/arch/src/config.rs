@@ -156,7 +156,11 @@ impl ArchConfig {
         check(self.rows_per_dbmu, "rows")?;
         check(self.dense_filters_per_macro, "dense filters")?;
         if self.frequency_mhz <= 0.0 {
-            return Err(ArchError::CapacityExceeded { resource: "frequency", requested: 1, available: 0 });
+            return Err(ArchError::CapacityExceeded {
+                resource: "frequency",
+                requested: 1,
+                available: 0,
+            });
         }
         Ok(())
     }

@@ -50,13 +50,19 @@ impl fmt::Display for ArchError {
                 write!(f, "macro capacity exceeded: {requested} {resource} requested, {available} available")
             }
             ArchError::LengthMismatch { left, left_len, right, right_len } => {
-                write!(f, "length mismatch: {left} has {left_len} elements but {right} has {right_len}")
+                write!(
+                    f,
+                    "length mismatch: {left} has {left_len} elements but {right} has {right_len}"
+                )
             }
             ArchError::UnsupportedThreshold { threshold } => {
                 write!(f, "filter threshold {threshold} is not supported by the macro geometry")
             }
             ArchError::BufferOverflow { buffer, requested, capacity } => {
-                write!(f, "buffer {buffer} overflow: {requested} bytes requested, capacity {capacity}")
+                write!(
+                    f,
+                    "buffer {buffer} overflow: {requested} bytes requested, capacity {capacity}"
+                )
             }
         }
     }
@@ -73,7 +79,8 @@ mod tests {
         let e = ArchError::CapacityExceeded { resource: "filters", requested: 20, available: 16 };
         assert!(e.to_string().contains("20"));
         assert!(e.to_string().contains("16"));
-        let e = ArchError::BufferOverflow { buffer: "weight".to_string(), requested: 10, capacity: 5 };
+        let e =
+            ArchError::BufferOverflow { buffer: "weight".to_string(), requested: 10, capacity: 5 };
         assert!(e.to_string().contains("weight"));
     }
 

@@ -137,7 +137,8 @@ mod tests {
         // Features occupying only bits {0, 2, 3, 6}: the other four columns
         // are skipped and the emitted indices are 6, 3, 2, 0 (MSB first).
         let ipu = InputPreprocessor::new();
-        let group = [0b0100_1001u8 as i8, 0b0000_1101u8 as i8, 0b0100_0100u8 as i8, 0b0000_0001u8 as i8];
+        let group =
+            [0b0100_1001u8 as i8, 0b0000_1101u8 as i8, 0b0100_0100u8 as i8, 0b0000_0001u8 as i8];
         let result = ipu.process(&group);
         assert_eq!(result.skipped_columns, 4);
         let positions: Vec<u32> = result.columns.iter().map(|c| c.position).collect();
@@ -182,7 +183,8 @@ mod tests {
     fn skip_ratio_over_a_feature_map() {
         let ipu = InputPreprocessor::new();
         // Half the values are zero, the rest small: high-order columns skip.
-        let values: Vec<i8> = (0..256).map(|i| if i % 2 == 0 { 0 } else { (i % 4) as i8 }).collect();
+        let values: Vec<i8> =
+            (0..256).map(|i| if i % 2 == 0 { 0 } else { (i % 4) as i8 }).collect();
         let ratio = ipu.skip_ratio_over(&values, 16);
         assert!(ratio >= 0.7, "ratio {ratio}");
         assert_eq!(ipu.skip_ratio_over(&[], 16), 0.0);

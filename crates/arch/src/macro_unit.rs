@@ -319,7 +319,8 @@ impl PimMacro {
                             }
                             products.push(out.o_q);
                         }
-                        let (reduced, _) = tree.reduce_dense(&products, b as u32, b == OPERAND_BITS - 1);
+                        let (reduced, _) =
+                            tree.reduce_dense(&products, b as u32, b == OPERAND_BITS - 1);
                         partial += reduced;
                     }
                     stats.adder_reductions += 1;
@@ -363,9 +364,8 @@ mod tests {
             let approx = FilterApprox::approximate(&raw, &tables).unwrap();
             let meta = FilterMetadata::from_filter(0, &approx);
             let mut pim = PimMacro::new(ArchConfig::paper()).unwrap();
-            let exec = pim
-                .execute_sparse_tile(&[meta], &inputs, &InputPreprocessor::new())
-                .unwrap();
+            let exec =
+                pim.execute_sparse_tile(&[meta], &inputs, &InputPreprocessor::new()).unwrap();
             assert_eq!(exec.outputs.len(), 1);
             assert_eq!(exec.outputs[0], reference_dot(approx.values(), &inputs), "trial {trial}");
         }
@@ -401,7 +401,9 @@ mod tests {
         let inputs: Vec<i8> = (0..len).map(|_| rng.gen()).collect();
         let filters: Vec<Vec<i8>> = (0..2).map(|_| (0..len).map(|_| rng.gen()).collect()).collect();
         let mut pim = PimMacro::new(ArchConfig::paper()).unwrap();
-        let exec = pim.execute_dense_tile(&filters, &inputs, &InputPreprocessor::without_sparsity()).unwrap();
+        let exec = pim
+            .execute_dense_tile(&filters, &inputs, &InputPreprocessor::without_sparsity())
+            .unwrap();
         for (out, filter) in exec.outputs.iter().zip(&filters) {
             assert_eq!(*out, reference_dot(filter, &inputs));
         }
@@ -419,12 +421,15 @@ mod tests {
 
         let mut pim = PimMacro::new(ArchConfig::paper()).unwrap();
         let dense_front = pim
-            .execute_sparse_tile(std::slice::from_ref(&meta), &inputs, &InputPreprocessor::without_sparsity())
+            .execute_sparse_tile(
+                std::slice::from_ref(&meta),
+                &inputs,
+                &InputPreprocessor::without_sparsity(),
+            )
             .unwrap();
         let mut pim2 = PimMacro::new(ArchConfig::paper()).unwrap();
-        let sparse_front = pim2
-            .execute_sparse_tile(&[meta], &inputs, &InputPreprocessor::new())
-            .unwrap();
+        let sparse_front =
+            pim2.execute_sparse_tile(&[meta], &inputs, &InputPreprocessor::new()).unwrap();
         assert_eq!(dense_front.outputs, sparse_front.outputs);
         assert!(sparse_front.stats.compute_cycles < dense_front.stats.compute_cycles);
         assert!(sparse_front.stats.skipped_columns > 0);
@@ -439,10 +444,16 @@ mod tests {
         let meta = metadata_for(&raw, 2);
 
         let mut pim = PimMacro::new(ArchConfig::paper()).unwrap();
-        let sparse = pim.execute_sparse_tile(&[meta], &inputs, &InputPreprocessor::without_sparsity()).unwrap();
+        let sparse = pim
+            .execute_sparse_tile(&[meta], &inputs, &InputPreprocessor::without_sparsity())
+            .unwrap();
         let mut pim2 = PimMacro::new(ArchConfig::paper()).unwrap();
         let dense = pim2
-            .execute_dense_tile(std::slice::from_ref(&raw), &inputs, &InputPreprocessor::without_sparsity())
+            .execute_dense_tile(
+                std::slice::from_ref(&raw),
+                &inputs,
+                &InputPreprocessor::without_sparsity(),
+            )
             .unwrap();
         assert!(
             sparse.stats.dynamic_utilization() > dense.stats.dynamic_utilization(),
@@ -475,9 +486,7 @@ mod tests {
             .is_err());
         // Dense: more than two filters.
         let filters: Vec<Vec<i8>> = vec![vec![1i8; 8]; 3];
-        assert!(pim
-            .execute_dense_tile(&filters, &[1i8; 8], &InputPreprocessor::new())
-            .is_err());
+        assert!(pim.execute_dense_tile(&filters, &[1i8; 8], &InputPreprocessor::new()).is_err());
         // Mismatched lengths.
         let approx = FilterApprox::approximate_with_threshold(&[1, 2, 3], 1, &tables).unwrap();
         let meta = FilterMetadata::from_filter(0, &approx);

@@ -39,14 +39,18 @@ fn bench_fig2b_input_sparsity(c: &mut Criterion) {
 fn bench_table2_fidelity(c: &mut Criterion) {
     let options = small_options();
     c.bench_function("table2/mobilenet_quarter_width_fidelity", |b| {
-        b.iter(|| run_pipeline(ModelKind::MobileNetV2, black_box(&options), true).expect("pipeline"))
+        b.iter(|| {
+            run_pipeline(ModelKind::MobileNetV2, black_box(&options), true).expect("pipeline")
+        })
     });
 }
 
 fn bench_fig7_and_table3_pipeline(c: &mut Criterion) {
     let options = small_options();
     c.bench_function("fig7/mobilenet_quarter_width_four_configs", |b| {
-        b.iter(|| run_pipeline(ModelKind::MobileNetV2, black_box(&options), false).expect("pipeline"))
+        b.iter(|| {
+            run_pipeline(ModelKind::MobileNetV2, black_box(&options), false).expect("pipeline")
+        })
     });
 
     // The simulation stage alone (compile + simulate), isolated from model
@@ -61,7 +65,8 @@ fn bench_fig7_and_table3_pipeline(c: &mut Criterion) {
     let compiler = Compiler::new(ArchConfig::paper()).expect("compiler");
     c.bench_function("fig7/tiny_cnn_compile_and_simulate", |b| {
         b.iter(|| {
-            let program = compiler.compile(black_box(&workloads), MappingMode::DbPim).expect("compiles");
+            let program =
+                compiler.compile(black_box(&workloads), MappingMode::DbPim).expect("compiles");
             let sim = Simulator::new(SimConfig::hybrid()).expect("simulator");
             sim.simulate(&program).expect("simulates")
         })

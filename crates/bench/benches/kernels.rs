@@ -50,7 +50,8 @@ fn bench_macro_execution(c: &mut Criterion) {
     let metadata: Vec<FilterMetadata> = (0..8)
         .map(|i| {
             let raw = random_weights(10 + i, len);
-            let approx = FilterApprox::approximate_with_threshold(&raw, 2, &tables).expect("approximates");
+            let approx =
+                FilterApprox::approximate_with_threshold(&raw, 2, &tables).expect("approximates");
             FilterMetadata::from_filter(i as usize, &approx)
         })
         .collect();
@@ -59,8 +60,12 @@ fn bench_macro_execution(c: &mut Criterion) {
     c.bench_function("macro/sparse_tile_8x256_hybrid", |b| {
         b.iter(|| {
             let mut pim = PimMacro::new(ArchConfig::paper()).expect("macro builds");
-            pim.execute_sparse_tile(black_box(&metadata), black_box(&inputs), &InputPreprocessor::new())
-                .expect("executes")
+            pim.execute_sparse_tile(
+                black_box(&metadata),
+                black_box(&inputs),
+                &InputPreprocessor::new(),
+            )
+            .expect("executes")
         })
     });
     c.bench_function("macro/dense_tile_2x256", |b| {

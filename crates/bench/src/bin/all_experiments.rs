@@ -1,4 +1,6 @@
-//! Runs every table and figure generator in sequence.
+//! Runs every table and figure generator in sequence against one shared
+//! simulation session, so each model is built, quantized, approximated and
+//! compiled exactly once across all reports.
 //!
 //! ```bash
 //! cargo run --release -p dbpim-bench --bin all_experiments [-- --width 1.0 --images 8]
@@ -7,32 +9,36 @@
 //! This is the one-shot artifact-evaluation entry point; its output is the
 //! source of the numbers recorded in `EXPERIMENTS.md`.
 
-use dbpim_bench::{experiments, ExperimentOptions};
+use dbpim_bench::{experiments, ExperimentContext, ExperimentOptions};
 
 fn main() {
     let options = ExperimentOptions::from_args();
+    let context = match ExperimentContext::new(options) {
+        Ok(context) => context,
+        Err(e) => {
+            eprintln!("invalid configuration: {e}");
+            std::process::exit(2);
+        }
+    };
     println!("DB-PIM reproduction: all experiments (options: {options:?})\n");
 
     println!("{}", experiments::table1());
-    match experiments::fig2a(&options) {
-        Ok(report) => println!("{report}"),
-        Err(e) => eprintln!("fig2a failed: {e}"),
+    type Generator = fn(&ExperimentContext) -> Result<String, db_pim::PipelineError>;
+    let sections: [(&str, Generator); 4] = [
+        ("fig2a", experiments::fig2a),
+        ("fig2b", experiments::fig2b),
+        ("table2", experiments::table2),
+        ("fig7", experiments::fig7),
+    ];
+    for (name, generate) in sections {
+        match generate(&context) {
+            Ok(report) => println!("{report}"),
+            Err(e) => eprintln!("{name} failed: {e}"),
+        }
     }
-    match experiments::fig2b(&options) {
-        Ok(report) => println!("{report}"),
-        Err(e) => eprintln!("fig2b failed: {e}"),
-    }
-    match experiments::table2(&options) {
-        Ok(report) => println!("{report}"),
-        Err(e) => eprintln!("table2 failed: {e}"),
-    }
-    match experiments::fig7(&options) {
-        Ok(report) => println!("{report}"),
-        Err(e) => eprintln!("fig7 failed: {e}"),
-    }
-    match experiments::table3(&options) {
+    match experiments::table3(&context) {
         Ok(report) => println!("{report}"),
         Err(e) => eprintln!("table3 failed: {e}"),
     }
-    println!("{}", experiments::table4());
+    println!("{}", experiments::table4(&context));
 }

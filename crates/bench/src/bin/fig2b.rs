@@ -4,15 +4,8 @@
 //! cargo run --release -p dbpim-bench --bin fig2b [-- --width 1.0 --cal 2]
 //! ```
 
-use dbpim_bench::{experiments, ExperimentOptions};
+use dbpim_bench::{experiments, run_report_binary};
 
 fn main() {
-    let options = ExperimentOptions::from_args();
-    match experiments::fig2b(&options) {
-        Ok(report) => print!("{report}"),
-        Err(e) => {
-            eprintln!("fig2b failed: {e}");
-            std::process::exit(1);
-        }
-    }
+    run_report_binary("fig2b", experiments::fig2b);
 }

@@ -1,18 +1,12 @@
-//! Regenerates Fig. 7: speedup and energy saving over the dense PIM baseline.
+//! Regenerates Fig. 7: speedup and energy saving over the dense PIM
+//! baseline, swept through the shared batch runner.
 //!
 //! ```bash
 //! cargo run --release -p dbpim-bench --bin fig7 [-- --width 1.0]
 //! ```
 
-use dbpim_bench::{experiments, ExperimentOptions};
+use dbpim_bench::{experiments, run_report_binary};
 
 fn main() {
-    let options = ExperimentOptions::from_args();
-    match experiments::fig7(&options) {
-        Ok(report) => print!("{report}"),
-        Err(e) => {
-            eprintln!("fig7 failed: {e}");
-            std::process::exit(1);
-        }
-    }
+    run_report_binary("fig7", experiments::fig7);
 }

@@ -4,8 +4,8 @@
 //! cargo run --release -p dbpim-bench --bin table1
 //! ```
 
-use dbpim_bench::experiments;
+use dbpim_bench::{experiments, run_report_binary};
 
 fn main() {
-    print!("{}", experiments::table1());
+    run_report_binary("table1", |_context| Ok(experiments::table1()));
 }

@@ -4,15 +4,8 @@
 //! cargo run --release -p dbpim-bench --bin table2 [-- --width 1.0 --images 16]
 //! ```
 
-use dbpim_bench::{experiments, ExperimentOptions};
+use dbpim_bench::{experiments, run_report_binary};
 
 fn main() {
-    let options = ExperimentOptions::from_args();
-    match experiments::table2(&options) {
-        Ok(report) => print!("{report}"),
-        Err(e) => {
-            eprintln!("table2 failed: {e}");
-            std::process::exit(1);
-        }
-    }
+    run_report_binary("table2", experiments::table2);
 }

@@ -4,15 +4,8 @@
 //! cargo run --release -p dbpim-bench --bin table3 [-- --width 1.0]
 //! ```
 
-use dbpim_bench::{experiments, ExperimentOptions};
+use dbpim_bench::{experiments, run_report_binary};
 
 fn main() {
-    let options = ExperimentOptions::from_args();
-    match experiments::table3(&options) {
-        Ok(report) => print!("{report}"),
-        Err(e) => {
-            eprintln!("table3 failed: {e}");
-            std::process::exit(1);
-        }
-    }
+    run_report_binary("table3", experiments::table3);
 }

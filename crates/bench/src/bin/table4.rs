@@ -4,8 +4,8 @@
 //! cargo run --release -p dbpim-bench --bin table4
 //! ```
 
-use dbpim_bench::experiments;
+use dbpim_bench::{experiments, run_report_binary};
 
 fn main() {
-    print!("{}", experiments::table4());
+    run_report_binary("table4", |context| Ok(experiments::table4(context)));
 }

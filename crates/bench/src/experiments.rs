@@ -1,9 +1,15 @@
 //! The experiment generators: one function per table / figure of the paper.
 //!
-//! Every function returns the formatted report as a `String`; the binaries in
+//! Every function renders the formatted report as a `String`; the binaries in
 //! `src/bin/` print it. Each report states which quantity corresponds to
 //! which published number so that `EXPERIMENTS.md` can record paper-vs-
 //! measured pairs directly from the output.
+//!
+//! All generators draw from one [`ExperimentContext`]: models are built
+//! once, pipeline artifacts are prepared once, and the Fig. 7 / Table 2 /
+//! Table 3 sweeps share compiled programs through the context's
+//! [`BatchRunner`](db_pim::BatchRunner) instead of re-running the pipeline
+//! per table.
 
 use std::fmt::Write as _;
 
@@ -11,10 +17,7 @@ use db_pim::prelude::*;
 use db_pim::PipelineError;
 
 use crate::reference;
-use crate::{
-    build_model, input_column_sparsity, paper_models, pct, run_pipeline, weight_sparsity_stats,
-    ExperimentOptions,
-};
+use crate::{input_column_sparsity, paper_models, pct, weight_sparsity_stats, ExperimentContext};
 
 /// Fig. 2(a): zero-bit ratio of the weights of the five models, under plain
 /// binary, CSD recoding and the FTA approximation.
@@ -22,12 +25,13 @@ use crate::{
 /// # Errors
 ///
 /// Propagates model-construction or approximation failures.
-pub fn fig2a(options: &ExperimentOptions) -> Result<String, PipelineError> {
+pub fn fig2a(context: &ExperimentContext) -> Result<String, PipelineError> {
+    let options = context.options();
     let mut out = String::new();
     let _ = writeln!(out, "Fig. 2(a) - zero-bit ratio in weights (width x{})", options.width_mult);
     let _ = writeln!(out, "{:<16} {:>10} {:>10} {:>10}", "model", "Ori_Zero", "CSD_Zero", "Ours");
     for kind in paper_models() {
-        let model = build_model(kind, options)?;
+        let model = context.session().model(kind)?;
         let stats = weight_sparsity_stats(&model)?;
         let _ = writeln!(
             out,
@@ -48,14 +52,20 @@ pub fn fig2a(options: &ExperimentOptions) -> Result<String, PipelineError> {
 /// # Errors
 ///
 /// Propagates quantization or inference failures.
-pub fn fig2b(options: &ExperimentOptions) -> Result<String, PipelineError> {
+pub fn fig2b(context: &ExperimentContext) -> Result<String, PipelineError> {
+    let options = context.options();
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 2(b) - zero bit-columns in input features (width x{})", options.width_mult);
+    let _ = writeln!(
+        out,
+        "Fig. 2(b) - zero bit-columns in input features (width x{})",
+        options.width_mult
+    );
     let _ = writeln!(out, "{:<16} {:>10} {:>10} {:>10}", "model", "group 1", "group 8", "group 16");
     for kind in paper_models() {
-        let model = build_model(kind, options)?;
+        let model = context.session().model(kind)?;
         let [g1, g8, g16] = input_column_sparsity(&model, options)?;
-        let _ = writeln!(out, "{:<16} {:>10} {:>10} {:>10}", kind.name(), pct(g1), pct(g8), pct(g16));
+        let _ =
+            writeln!(out, "{:<16} {:>10} {:>10} {:>10}", kind.name(), pct(g1), pct(g8), pct(g16));
     }
     let _ = writeln!(out, "paper: up to ~80% for groups of 8 and ~70% for groups of 16.");
     Ok(out)
@@ -90,8 +100,10 @@ pub fn table1() -> String {
 /// # Errors
 ///
 /// Propagates pipeline failures.
-pub fn table2(options: &ExperimentOptions) -> Result<String, PipelineError> {
+pub fn table2(context: &ExperimentContext) -> Result<String, PipelineError> {
+    let options = context.options();
     let paper_drop = [0.98, 0.64, 0.56, 0.16, 0.52];
+    let sweep = context.zoo_sweep(true)?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -104,8 +116,11 @@ pub fn table2(options: &ExperimentOptions) -> Result<String, PipelineError> {
         "model", "agreement", "disagreement", "logit SQNR", "label drop", "paper drop"
     );
     for (kind, paper) in paper_models().into_iter().zip(paper_drop) {
-        let result = run_pipeline(kind, options, true)?;
-        let fidelity = result.fidelity.expect("fidelity requested");
+        let result = sweep.result(kind).expect("zoo sweep covers every paper model");
+        let fidelity = result.fidelity.as_ref().ok_or_else(|| PipelineError::BadConfig {
+            reason: "Table 2 needs at least one evaluation image (pass --images 1 or more)"
+                .to_string(),
+        })?;
         let _ = writeln!(
             out,
             "{:<16} {:>12} {:>14} {:>11.1} dB {:>12} {:>11.2}%",
@@ -135,9 +150,15 @@ pub fn table2(options: &ExperimentOptions) -> Result<String, PipelineError> {
 /// # Errors
 ///
 /// Propagates pipeline failures.
-pub fn fig7(options: &ExperimentOptions) -> Result<String, PipelineError> {
+pub fn fig7(context: &ExperimentContext) -> Result<String, PipelineError> {
+    let options = context.options();
+    let sweep = context.zoo_sweep(false)?;
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 7 - speedup and energy saving over the dense PIM baseline (width x{})", options.width_mult);
+    let _ = writeln!(
+        out,
+        "Fig. 7 - speedup and energy saving over the dense PIM baseline (width x{})",
+        options.width_mult
+    );
     let _ = writeln!(
         out,
         "{:<16} {:>8} {:>8} {:>8} {:>10} | {:>9} {:>9} {:>11}",
@@ -145,7 +166,7 @@ pub fn fig7(options: &ExperimentOptions) -> Result<String, PipelineError> {
     );
     let paper = reference::paper_fig7_rows();
     for (kind, paper_row) in paper_models().into_iter().zip(paper) {
-        let result = run_pipeline(kind, options, false)?;
+        let result = sweep.result(kind).expect("zoo sweep covers every paper model");
         let _ = writeln!(
             out,
             "{:<16} {:>7.2}x {:>7.2}x {:>7.2}x {:>10} | {:>8.2}x {:>8.2}x {:>11}",
@@ -159,7 +180,8 @@ pub fn fig7(options: &ExperimentOptions) -> Result<String, PipelineError> {
             pct(paper_row.energy_saving)
         );
     }
-    let _ = writeln!(out, "paper: hybrid speedup up to 7.69x (AlexNet), energy saving 63.49-83.43%.");
+    let _ =
+        writeln!(out, "paper: hybrid speedup up to 7.69x (AlexNet), energy saving 63.49-83.43%.");
     Ok(out)
 }
 
@@ -169,19 +191,23 @@ pub fn fig7(options: &ExperimentOptions) -> Result<String, PipelineError> {
 /// # Errors
 ///
 /// Propagates pipeline failures.
-pub fn table3(options: &ExperimentOptions) -> Result<String, PipelineError> {
-    let arch = ArchConfig::paper();
+pub fn table3(context: &ExperimentContext) -> Result<String, PipelineError> {
+    let options = context.options();
+    let arch = context.arch();
     let area = AreaModel::calibrated_28nm();
     let headline = reference::paper_headline();
 
-    // Per-model utilization (weights only) and hybrid-run efficiency/power.
+    // Per-model utilization (weights only) and hybrid-run efficiency/power,
+    // from the shared zoo sweep (artifacts reused from Fig. 7 / Table 2 when
+    // rendered in the same process).
+    let sweep = context.zoo_sweep(false)?;
     let mut utilization_rows = Vec::new();
     let mut min_eff = f64::INFINITY;
     let mut max_eff = 0.0f64;
     let mut min_power = f64::INFINITY;
     let mut max_power = 0.0f64;
     for kind in paper_models() {
-        let result = run_pipeline(kind, options, false)?;
+        let result = sweep.result(kind).expect("zoo sweep covers every paper model");
         let hybrid = result.run(SparsityConfig::HybridSparsity).expect("hybrid simulated");
         let eff = hybrid.energy_efficiency_tops_per_w();
         let power = hybrid.average_power_mw();
@@ -217,22 +243,43 @@ pub fn table3(options: &ExperimentOptions) -> Result<String, PipelineError> {
     let die = area.total_mm2(&arch);
     let peak = peak_throughput_tops(&arch, PEAK_INPUT_SKIP);
     let per_macro = peak_throughput_per_macro_gops(&arch, PEAK_INPUT_SKIP);
-    let _ = writeln!(out, "\n-- this work (measured by this reproduction, width x{}) --", options.width_mult);
-    let _ = writeln!(out, "technology              : 28 nm (cost-model calibration)");
-    let _ = writeln!(out, "die area                : {die:.3} mm2 (paper {:.3})", headline.die_area_mm2);
-    let _ = writeln!(out, "frequency               : {} MHz", arch.frequency_mhz);
-    let _ = writeln!(out, "power                   : {min_power:.2} - {max_power:.2} mW (paper 1.45 - 11.65)");
-    let _ = writeln!(out, "SRAM size               : {} KB", arch.sram_bytes() / 1024);
-    let _ = writeln!(out, "PIM size                : {} KB across {} macros", arch.pim_bytes() / 1024, arch.macros);
-    let _ = writeln!(out, "dataset                 : synthetic CIFAR-100-shaped batches");
-    let _ = writeln!(out, "peak throughput         : {peak:.3} TOPS (paper {:.2})", headline.peak_tops);
-    let _ = writeln!(out, "peak throughput / macro : {per_macro:.1} GOPS (paper {:.1})", headline.peak_gops_per_macro);
-    let _ = writeln!(out, "energy efficiency       : {min_eff:.2} - {max_eff:.2} TOPS/W (paper 18.14 - 45.20)");
     let _ = writeln!(
         out,
-        "peak EE per unit area   : {:.2} TOPS/W/mm2 (paper 39.30)",
-        max_eff / die
+        "\n-- this work (measured by this reproduction, width x{}) --",
+        options.width_mult
     );
+    let _ = writeln!(out, "technology              : 28 nm (cost-model calibration)");
+    let _ = writeln!(
+        out,
+        "die area                : {die:.3} mm2 (paper {:.3})",
+        headline.die_area_mm2
+    );
+    let _ = writeln!(out, "frequency               : {} MHz", arch.frequency_mhz);
+    let _ = writeln!(
+        out,
+        "power                   : {min_power:.2} - {max_power:.2} mW (paper 1.45 - 11.65)"
+    );
+    let _ = writeln!(out, "SRAM size               : {} KB", arch.sram_bytes() / 1024);
+    let _ = writeln!(
+        out,
+        "PIM size                : {} KB across {} macros",
+        arch.pim_bytes() / 1024,
+        arch.macros
+    );
+    let _ = writeln!(out, "dataset                 : synthetic CIFAR-100-shaped batches");
+    let _ =
+        writeln!(out, "peak throughput         : {peak:.3} TOPS (paper {:.2})", headline.peak_tops);
+    let _ = writeln!(
+        out,
+        "peak throughput / macro : {per_macro:.1} GOPS (paper {:.1})",
+        headline.peak_gops_per_macro
+    );
+    let _ = writeln!(
+        out,
+        "energy efficiency       : {min_eff:.2} - {max_eff:.2} TOPS/W (paper 18.14 - 45.20)"
+    );
+    let _ =
+        writeln!(out, "peak EE per unit area   : {:.2} TOPS/W/mm2 (paper 39.30)", max_eff / die);
     let _ = writeln!(out, "actual utilization U_act (paper 91.95% - 98.42%):");
     for (name, utilization) in utilization_rows {
         let _ = writeln!(out, "  {name:<16} {}", pct(utilization));
@@ -240,11 +287,11 @@ pub fn table3(options: &ExperimentOptions) -> Result<String, PipelineError> {
     Ok(out)
 }
 
-/// Table 4: DB-PIM area breakdown.
+/// Table 4: DB-PIM area breakdown on the context's geometry.
 #[must_use]
-pub fn table4() -> String {
+pub fn table4(context: &ExperimentContext) -> String {
     let area = AreaModel::calibrated_28nm();
-    let arch = ArchConfig::paper();
+    let arch = context.arch();
     let paper = [
         ("PIM Baseline", 1.00809, 87.32),
         ("Meta-RFs", 0.07829, 6.78),
@@ -285,15 +332,17 @@ pub fn table4() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ExperimentOptions;
 
-    fn small_options() -> ExperimentOptions {
-        ExperimentOptions {
+    fn small_context() -> ExperimentContext {
+        let options = ExperimentOptions {
             width_mult: 0.25,
             classes: 10,
             calibration_images: 1,
             evaluation_images: 2,
             seed: 5,
-        }
+        };
+        ExperimentContext::new(options).expect("valid options")
     }
 
     #[test]
@@ -301,14 +350,14 @@ mod tests {
         let t1 = table1();
         assert!(t1.contains("This Work"));
         assert!(t1.contains("Unstructured"));
-        let t4 = table4();
+        let t4 = table4(&small_context());
         assert!(t4.contains("Meta-RFs"));
         assert!(t4.contains("Total"));
     }
 
     #[test]
     fn fig2a_report_renders_for_small_models() {
-        let report = fig2a(&small_options()).unwrap();
+        let report = fig2a(&small_context()).unwrap();
         assert!(report.contains("AlexNet"));
         assert!(report.contains("EfficientNetB0"));
         assert!(report.contains('%'));
@@ -316,9 +365,11 @@ mod tests {
 
     #[test]
     fn fig7_report_renders_for_one_small_run() {
-        // Restrict to the smallest model by running the pipeline directly.
-        let options = small_options();
-        let result = run_pipeline(ModelKind::MobileNetV2, &options, false).unwrap();
+        // Restrict to the smallest model by sweeping it directly.
+        let context = small_context();
+        let report =
+            context.runner().run(&db_pim::SweepSpec::new(vec![ModelKind::MobileNetV2])).unwrap();
+        let result = report.result(ModelKind::MobileNetV2).unwrap();
         assert!(result.speedup(SparsityConfig::HybridSparsity) > 1.0);
     }
 }

@@ -1,14 +1,19 @@
 //! Shared infrastructure for the experiment report generators.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the paper's
-//! evaluation section. This library provides the pieces they share: command
-//! line options, the model list, lightweight weight-only sparsity analysis
-//! (Fig. 2(a)), activation bit-column analysis (Fig. 2(b)), full pipeline
-//! runs (Table 2, Fig. 7, Table 3) and the published reference numbers of the
-//! prior works quoted in Tables 1 and 3.
+//! evaluation section. This library provides the pieces they share: strict
+//! command-line option parsing, the [`ExperimentContext`] (a
+//! [`BatchRunner`]-backed simulation session every generator draws cached
+//! artifacts from), lightweight weight-only sparsity analysis (Fig. 2(a)),
+//! activation bit-column analysis (Fig. 2(b)), full sweeps (Table 2, Fig. 7,
+//! Table 3) and the published reference numbers of the prior works quoted in
+//! Tables 1 and 3.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use std::fmt;
+use std::str::FromStr;
 
 use db_pim::prelude::*;
 use db_pim::PipelineError;
@@ -21,6 +26,23 @@ use dbpim_tensor::stats::zero_bit_column_ratio;
 pub mod experiments;
 pub mod reference;
 
+/// A malformed experiment command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptionsError {
+    /// The flag at fault (e.g. `--width`).
+    pub flag: String,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for OptionsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid value for `{}`: {}", self.flag, self.message)
+    }
+}
+
+impl std::error::Error for OptionsError {}
+
 /// Command-line options shared by every experiment binary.
 ///
 /// ```text
@@ -30,6 +52,11 @@ pub mod reference;
 /// --cal <usize>    calibration images (default 2)
 /// --classes <usize> output classes (default 100)
 /// ```
+///
+/// Unknown flags are ignored (so wrappers can pass extra arguments through),
+/// but a known flag with a missing or malformed value is an error — silently
+/// falling back to defaults would mislabel every number in the generated
+/// report.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExperimentOptions {
     /// Channel width multiplier applied to every zoo model.
@@ -46,40 +73,78 @@ pub struct ExperimentOptions {
 
 impl Default for ExperimentOptions {
     fn default() -> Self {
-        Self { width_mult: 1.0, seed: 42, evaluation_images: 16, calibration_images: 2, classes: 100 }
+        Self {
+            width_mult: 1.0,
+            seed: 42,
+            evaluation_images: 16,
+            calibration_images: 2,
+            classes: 100,
+        }
     }
 }
 
+/// Parses one flag value, attributing failures to the flag.
+fn parse_value<T: FromStr>(flag: &str, raw: &str) -> Result<T, OptionsError>
+where
+    T::Err: fmt::Display,
+{
+    raw.parse().map_err(|e: T::Err| OptionsError {
+        flag: flag.to_string(),
+        message: format!("`{raw}` — {e}"),
+    })
+}
+
 impl ExperimentOptions {
-    /// Parses options from the process arguments, ignoring unknown flags.
+    /// The flags this parser understands.
+    pub const FLAGS: [&'static str; 5] = ["--width", "--seed", "--images", "--cal", "--classes"];
+
+    /// Parses options from the process arguments.
+    ///
+    /// Prints the error and usage to stderr and exits with status 2 on a
+    /// malformed command line.
     #[must_use]
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
-        Self::from_slice(&args)
+        match Self::from_slice(&args) {
+            Ok(options) => options,
+            Err(e) => {
+                eprintln!("{e}");
+                eprintln!("usage: [--width <f32>] [--seed <u64>] [--images <n>] [--cal <n>] [--classes <n>]");
+                std::process::exit(2);
+            }
+        }
     }
 
-    /// Parses options from an explicit argument list (exposed for tests).
-    #[must_use]
-    pub fn from_slice(args: &[String]) -> Self {
+    /// Parses options from an explicit argument list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptionsError`] when a known flag has a missing or
+    /// malformed value. Unknown arguments are ignored.
+    pub fn from_slice(args: &[String]) -> Result<Self, OptionsError> {
         let mut options = Self::default();
         let mut i = 0;
         while i < args.len() {
-            let take = |i: usize| args.get(i + 1).cloned().unwrap_or_default();
-            match args[i].as_str() {
-                "--width" => options.width_mult = take(i).parse().unwrap_or(options.width_mult),
-                "--seed" => options.seed = take(i).parse().unwrap_or(options.seed),
-                "--images" => {
-                    options.evaluation_images = take(i).parse().unwrap_or(options.evaluation_images);
-                }
-                "--cal" => {
-                    options.calibration_images = take(i).parse().unwrap_or(options.calibration_images);
-                }
-                "--classes" => options.classes = take(i).parse().unwrap_or(options.classes),
-                _ => {}
+            let flag = args[i].as_str();
+            if !Self::FLAGS.contains(&flag) {
+                i += 1;
+                continue;
             }
-            i += 1;
+            let raw = args.get(i + 1).ok_or_else(|| OptionsError {
+                flag: flag.to_string(),
+                message: "missing value".to_string(),
+            })?;
+            match flag {
+                "--width" => options.width_mult = parse_value(flag, raw)?,
+                "--seed" => options.seed = parse_value(flag, raw)?,
+                "--images" => options.evaluation_images = parse_value(flag, raw)?,
+                "--cal" => options.calibration_images = parse_value(flag, raw)?,
+                "--classes" => options.classes = parse_value(flag, raw)?,
+                _ => unreachable!("flag list and match arms agree"),
+            }
+            i += 2;
         }
-        options
+        Ok(options)
     }
 
     /// The pipeline configuration equivalent to these options.
@@ -92,6 +157,93 @@ impl ExperimentOptions {
         config.evaluation_images = self.evaluation_images;
         config.classes = self.classes;
         config
+    }
+}
+
+/// The shared state of one experiment invocation: parsed options plus a
+/// [`BatchRunner`] whose [`SimSession`] caches per-model artifacts.
+///
+/// Every table/figure generator takes a context, so a binary that renders
+/// several reports (`all_experiments`) quantizes, approximates and compiles
+/// each model exactly once, however many tables consume it. The zoo sweep
+/// itself is memoized per fidelity flag, so tables sharing the same sweep
+/// (Fig. 7, Table 3) do not re-simulate it.
+#[derive(Debug)]
+pub struct ExperimentContext {
+    options: ExperimentOptions,
+    runner: BatchRunner,
+    /// Memoized zoo sweeps: `[without fidelity, with fidelity]`.
+    zoo_sweeps: std::sync::Mutex<[Option<SweepReport>; 2]>,
+}
+
+impl ExperimentContext {
+    /// Creates the context for the given options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::BadConfig`] for unusable option values.
+    pub fn new(options: ExperimentOptions) -> Result<Self, PipelineError> {
+        let runner = BatchRunner::new(options.pipeline_config())?;
+        Ok(Self { options, runner, zoo_sweeps: std::sync::Mutex::new([None, None]) })
+    }
+
+    /// The parsed command-line options.
+    #[must_use]
+    pub fn options(&self) -> &ExperimentOptions {
+        &self.options
+    }
+
+    /// The batch runner executing sweeps for this context.
+    #[must_use]
+    pub fn runner(&self) -> &BatchRunner {
+        &self.runner
+    }
+
+    /// The underlying simulation session (shared artifact cache).
+    #[must_use]
+    pub fn session(&self) -> &SimSession {
+        self.runner.session()
+    }
+
+    /// The architecture geometry the experiments simulate.
+    #[must_use]
+    pub fn arch(&self) -> ArchConfig {
+        self.session().config().arch
+    }
+
+    /// Sweeps all five paper models over the four Fig. 7 sparsity
+    /// configurations, reusing cached artifacts. The report itself is
+    /// memoized, so repeated calls (Fig. 7 then Table 3) return the cached
+    /// sweep without re-simulating.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline failures.
+    pub fn zoo_sweep(&self, with_fidelity: bool) -> Result<SweepReport, PipelineError> {
+        let slot = usize::from(with_fidelity);
+        if let Some(report) = &self.zoo_sweeps.lock().expect("sweep cache lock")[slot] {
+            return Ok(report.clone());
+        }
+        let report = self.runner.run_with_fidelity(&SweepSpec::zoo(), with_fidelity)?;
+        self.zoo_sweeps.lock().expect("sweep cache lock")[slot] = Some(report.clone());
+        Ok(report)
+    }
+}
+
+/// Shared `main` body of the experiment binaries: parse options, build the
+/// context, render one report, print it (exit status 1 on failure).
+pub fn run_report_binary<F>(name: &str, generate: F)
+where
+    F: FnOnce(&ExperimentContext) -> Result<String, PipelineError>,
+{
+    let options = ExperimentOptions::from_args();
+    let result = ExperimentContext::new(options).and_then(|context| generate(&context));
+    match result {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("{name} failed: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -129,7 +281,8 @@ pub fn weight_sparsity_stats(model: &Model) -> Result<ModelFtaStats, PipelineErr
             _ => continue,
         };
         let quantized = QuantizedTensor::quantize_per_channel(weight, 0);
-        let approx = LayerApprox::from_weights(node.id, node.name.clone(), quantized.values(), &tables)?;
+        let approx =
+            LayerApprox::from_weights(node.id, node.name.clone(), quantized.values(), &tables)?;
         layers.push(LayerFtaStats::from_layer(&approx));
     }
     Ok(ModelFtaStats { model_name: model.name().to_string(), layers })
@@ -185,7 +338,11 @@ pub fn input_column_sparsity(
     Ok(out)
 }
 
-/// Runs the full co-design pipeline for one model.
+/// Runs the full co-design pipeline for one model through a one-shot
+/// session.
+///
+/// Callers rendering several reports should share an [`ExperimentContext`]
+/// instead, so artifacts are cached across reports.
 ///
 /// # Errors
 ///
@@ -195,11 +352,7 @@ pub fn run_pipeline(
     options: &ExperimentOptions,
     with_fidelity: bool,
 ) -> Result<CodesignResult, PipelineError> {
-    let mut config = options.pipeline_config();
-    if !with_fidelity {
-        config = config.without_fidelity();
-    }
-    Pipeline::new(config)?.run_kind(kind)
+    SimSession::new(options.pipeline_config())?.codesign(kind, with_fidelity)
 }
 
 /// Formats a fraction as a percentage with one decimal.
@@ -214,11 +367,25 @@ mod tests {
 
     #[test]
     fn options_parse_known_flags_and_ignore_the_rest() {
-        let args: Vec<String> = ["prog", "--width", "0.5", "--seed", "7", "--images", "4", "--cal", "3", "--classes", "10", "--bogus", "x"]
-            .iter()
-            .map(ToString::to_string)
-            .collect();
-        let options = ExperimentOptions::from_slice(&args);
+        let args: Vec<String> = [
+            "prog",
+            "--width",
+            "0.5",
+            "--seed",
+            "7",
+            "--images",
+            "4",
+            "--cal",
+            "3",
+            "--classes",
+            "10",
+            "--bogus",
+            "x",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        let options = ExperimentOptions::from_slice(&args).unwrap();
         assert!((options.width_mult - 0.5).abs() < 1e-6);
         assert_eq!(options.seed, 7);
         assert_eq!(options.evaluation_images, 4);
@@ -229,16 +396,35 @@ mod tests {
     }
 
     #[test]
-    fn malformed_values_fall_back_to_defaults() {
-        let args: Vec<String> = ["--width", "abc", "--seed"].iter().map(ToString::to_string).collect();
-        let options = ExperimentOptions::from_slice(&args);
-        assert_eq!(options, ExperimentOptions::default());
+    fn malformed_values_are_rejected_not_swallowed() {
+        let args: Vec<String> = ["--width", "abc"].iter().map(ToString::to_string).collect();
+        let err = ExperimentOptions::from_slice(&args).unwrap_err();
+        assert_eq!(err.flag, "--width");
+        assert!(err.message.contains("abc"), "{err}");
+
+        let args: Vec<String> = ["--seed"].iter().map(ToString::to_string).collect();
+        let err = ExperimentOptions::from_slice(&args).unwrap_err();
+        assert_eq!(err.flag, "--seed");
+        assert!(err.to_string().contains("missing"), "{err}");
+
         assert_eq!(pct(0.5), "50.00%");
     }
 
     #[test]
+    fn flag_values_are_consumed_not_reparsed_as_flags() {
+        // A value that happens to look like a flag must not be re-read as
+        // one (the old parser advanced one token at a time).
+        let args: Vec<String> =
+            ["--seed", "3", "--cal", "2"].iter().map(ToString::to_string).collect();
+        let options = ExperimentOptions::from_slice(&args).unwrap();
+        assert_eq!(options.seed, 3);
+        assert_eq!(options.calibration_images, 2);
+    }
+
+    #[test]
     fn weight_stats_follow_fig2a_ordering_on_a_small_model() {
-        let options = ExperimentOptions { width_mult: 0.25, classes: 10, ..ExperimentOptions::default() };
+        let options =
+            ExperimentOptions { width_mult: 0.25, classes: 10, ..ExperimentOptions::default() };
         let model = build_model(ModelKind::ResNet18, &options).unwrap();
         let stats = weight_sparsity_stats(&model).unwrap();
         assert!(stats.binary_zero_ratio() > 0.55);
@@ -259,5 +445,21 @@ mod tests {
         let [g1, g8, g16] = input_column_sparsity(&model, &options).unwrap();
         assert!(g1 >= g8 && g8 >= g16, "{g1} {g8} {g16}");
         assert!(g8 > 0.05, "group-of-8 ratio {g8}");
+    }
+
+    #[test]
+    fn context_shares_one_session_across_reports() {
+        let options = ExperimentOptions {
+            width_mult: 0.25,
+            classes: 10,
+            calibration_images: 1,
+            evaluation_images: 2,
+            seed: 5,
+        };
+        let context = ExperimentContext::new(options).unwrap();
+        let a = context.session().artifacts(ModelKind::AlexNet).unwrap();
+        let b = context.session().artifacts(ModelKind::AlexNet).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        assert_eq!(context.arch(), ArchConfig::paper());
     }
 }

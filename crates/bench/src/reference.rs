@@ -6,10 +6,10 @@
 //! table generators can print the full tables with only the "This Work"
 //! column produced by our simulator.
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// Qualitative sparsity-support description of one design (Table 1).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct SparsitySupport {
     /// Short citation label (e.g. `"Yue et al. [12]"`).
     pub label: &'static str,
@@ -81,7 +81,7 @@ pub fn table1_rows() -> Vec<SparsitySupport> {
 }
 
 /// Published implementation numbers of one prior work (Table 3 columns).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct PriorWork {
     /// Short citation label.
     pub label: &'static str,
@@ -209,7 +209,7 @@ pub fn table3_prior_works() -> Vec<PriorWork> {
 
 /// Headline numbers the paper reports for DB-PIM itself, used by the
 /// experiment reports to print "paper vs measured" side by side.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct PaperHeadline {
     /// Maximum hybrid speedup (AlexNet).
     pub max_hybrid_speedup: f64,
@@ -249,7 +249,7 @@ pub fn paper_headline() -> PaperHeadline {
 
 /// Per-model Fig. 7 values the paper reports (speedup with hybrid sparsity,
 /// speedup with weight sparsity only, energy saving with hybrid sparsity).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct PaperFig7Row {
     /// Model name as printed in the figure.
     pub model: &'static str,
@@ -266,11 +266,36 @@ pub struct PaperFig7Row {
 #[must_use]
 pub fn paper_fig7_rows() -> Vec<PaperFig7Row> {
     vec![
-        PaperFig7Row { model: "AlexNet", weight_speedup: 5.20, hybrid_speedup: 7.69, energy_saving: 0.8343 },
-        PaperFig7Row { model: "VGG19", weight_speedup: 4.46, hybrid_speedup: 6.10, energy_saving: 0.7925 },
-        PaperFig7Row { model: "ResNet18", weight_speedup: 4.0, hybrid_speedup: 5.5, energy_saving: 0.7696 },
-        PaperFig7Row { model: "MobileNetV2", weight_speedup: 3.2, hybrid_speedup: 3.90, energy_saving: 0.6554 },
-        PaperFig7Row { model: "EfficientNetB0", weight_speedup: 3.0, hybrid_speedup: 3.55, energy_saving: 0.6349 },
+        PaperFig7Row {
+            model: "AlexNet",
+            weight_speedup: 5.20,
+            hybrid_speedup: 7.69,
+            energy_saving: 0.8343,
+        },
+        PaperFig7Row {
+            model: "VGG19",
+            weight_speedup: 4.46,
+            hybrid_speedup: 6.10,
+            energy_saving: 0.7925,
+        },
+        PaperFig7Row {
+            model: "ResNet18",
+            weight_speedup: 4.0,
+            hybrid_speedup: 5.5,
+            energy_saving: 0.7696,
+        },
+        PaperFig7Row {
+            model: "MobileNetV2",
+            weight_speedup: 3.2,
+            hybrid_speedup: 3.90,
+            energy_saving: 0.6554,
+        },
+        PaperFig7Row {
+            model: "EfficientNetB0",
+            weight_speedup: 3.0,
+            hybrid_speedup: 3.55,
+            energy_saving: 0.6349,
+        },
     ]
 }
 

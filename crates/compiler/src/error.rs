@@ -84,10 +84,10 @@ mod tests {
         assert!(e.to_string().contains("model error"));
         let e: CompileError = FtaError::InvalidThreshold { threshold: 7 }.into();
         assert!(e.to_string().contains("fta error"));
-        let e: CompileError =
-            ArchError::UnsupportedThreshold { threshold: 3 }.into();
+        let e: CompileError = ArchError::UnsupportedThreshold { threshold: 3 }.into();
         assert!(e.to_string().contains("architecture error"));
-        let e = CompileError::Unmappable { layer: "conv1".to_string(), reason: "too wide".to_string() };
+        let e =
+            CompileError::Unmappable { layer: "conv1".to_string(), reason: "too wide".to_string() };
         assert!(e.to_string().contains("conv1"));
     }
 

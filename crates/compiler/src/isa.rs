@@ -141,10 +141,7 @@ impl LayerProgram {
     /// Number of `Compute` instructions.
     #[must_use]
     pub fn compute_count(&self) -> usize {
-        self.instructions
-            .iter()
-            .filter(|i| matches!(i, Instruction::Compute { .. }))
-            .count()
+        self.instructions.iter().filter(|i| matches!(i, Instruction::Compute { .. })).count()
     }
 
     /// Total nominal MACs issued by this layer's `Compute` instructions.
@@ -212,10 +209,7 @@ mod tests {
         assert_eq!(Instruction::LoadInputs { features: 4 }.mnemonic(), "ldi");
         assert_eq!(Instruction::Accumulate { elements: 4 }.mnemonic(), "acc");
         assert_eq!(Instruction::WriteOutputs { bytes: 4 }.mnemonic(), "sto");
-        assert_eq!(
-            Instruction::Simd { kind: SimdOpKind::Pooling, elements: 4 }.mnemonic(),
-            "simd"
-        );
+        assert_eq!(Instruction::Simd { kind: SimdOpKind::Pooling, elements: 4 }.mnemonic(), "simd");
     }
 
     #[test]

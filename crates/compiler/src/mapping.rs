@@ -81,7 +81,10 @@ impl Compiler {
             node_id: workload.node_id,
             name: workload.name.clone(),
             workload: None,
-            instructions: vec![Instruction::Simd { kind, elements: saturate_u32(workload.elements) }],
+            instructions: vec![Instruction::Simd {
+                kind,
+                elements: saturate_u32(workload.elements),
+            }],
         }
     }
 
@@ -115,7 +118,8 @@ impl Compiler {
                 });
                 continue;
             }
-            let filters_per_macro = self.config.dbmus_per_compartment / group.cells_per_weight as usize;
+            let filters_per_macro =
+                self.config.dbmus_per_compartment / group.cells_per_weight as usize;
             if filters_per_macro == 0 {
                 return Err(CompileError::Unmappable {
                     layer: workload.name.clone(),
@@ -142,7 +146,8 @@ impl Compiler {
                         let metadata_bytes = match mode {
                             MappingMode::DbPim => {
                                 // Three metadata bits per allocated cell.
-                                (in_this_macro * chunk * group.cells_per_weight as usize * 3).div_ceil(8)
+                                (in_this_macro * chunk * group.cells_per_weight as usize * 3)
+                                    .div_ceil(8)
                             }
                             MappingMode::Dense => 0,
                         };
@@ -181,7 +186,9 @@ impl Compiler {
                     }
                     if k_tiles > 1 && k > 0 {
                         instructions.push(Instruction::Accumulate {
-                            elements: saturate_u32(wave_filters as u64 * workload.output_positions as u64),
+                            elements: saturate_u32(
+                                wave_filters as u64 * workload.output_positions as u64,
+                            ),
                         });
                     }
                 }
@@ -218,7 +225,10 @@ impl Compiler {
                     }
                 }
                 (0u8..=2)
-                    .map(|phi| FilterGroup { cells_per_weight: phi, filters: histogram[phi as usize] })
+                    .map(|phi| FilterGroup {
+                        cells_per_weight: phi,
+                        filters: histogram[phi as usize],
+                    })
                     .filter(|g| g.filters > 0)
                     .collect()
             }
@@ -254,7 +264,12 @@ mod tests {
     use super::*;
     use crate::workload::PimLayerKind;
 
-    fn workload(filters: usize, filter_len: usize, positions: usize, thresholds: Vec<u32>) -> PimWorkload {
+    fn workload(
+        filters: usize,
+        filter_len: usize,
+        positions: usize,
+        thresholds: Vec<u32>,
+    ) -> PimWorkload {
         PimWorkload {
             node_id: 0,
             name: "conv".to_string(),
@@ -337,7 +352,9 @@ mod tests {
             }
         }
         // The DB-PIM mapping of the same layer issues 8x fewer computes.
-        let db = compiler.compile(&model_workloads(workload(64, 27, 100, vec![1; 64])), MappingMode::DbPim).unwrap();
+        let db = compiler
+            .compile(&model_workloads(workload(64, 27, 100, vec![1; 64])), MappingMode::DbPim)
+            .unwrap();
         assert_eq!(layer.compute_count() / db.layers[0].compute_count(), 8);
     }
 
@@ -384,7 +401,9 @@ mod tests {
             .instructions
             .iter()
             .filter_map(|i| match i {
-                Instruction::Compute { weights_per_filter, .. } => Some(u64::from(*weights_per_filter)),
+                Instruction::Compute { weights_per_filter, .. } => {
+                    Some(u64::from(*weights_per_filter))
+                }
                 _ => None,
             })
             .sum();

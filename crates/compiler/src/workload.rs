@@ -276,10 +276,7 @@ pub fn extract_workloads(
 }
 
 fn thresholds_for(approx: Option<&ModelApprox>, node_id: NodeId) -> Vec<u32> {
-    approx
-        .and_then(|a| a.layer(node_id).ok())
-        .map(|layer| layer.thresholds())
-        .unwrap_or_default()
+    approx.and_then(|a| a.layer(node_id).ok()).map(|layer| layer.thresholds()).unwrap_or_default()
 }
 
 #[cfg(test)]
@@ -343,10 +340,7 @@ mod tests {
     fn depthwise_convolutions_are_classified() {
         let model = dbpim_nn::ModelKind::MobileNetV2.build_with_width(10, 1, 0.25).unwrap();
         let w = extract_workloads(&model, None, &InputSparsityProfile::new()).unwrap();
-        assert!(w
-            .pim_workloads()
-            .iter()
-            .any(|p| p.kind == PimLayerKind::DepthwiseConv2d));
+        assert!(w.pim_workloads().iter().any(|p| p.kind == PimLayerKind::DepthwiseConv2d));
     }
 
     #[test]

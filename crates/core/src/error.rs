@@ -38,7 +38,9 @@ impl fmt::Display for PipelineError {
             PipelineError::Fta(e) => write!(f, "fta error: {e}"),
             PipelineError::Compile(e) => write!(f, "compile error: {e}"),
             PipelineError::Sim(e) => write!(f, "simulation error: {e}"),
-            PipelineError::BadConfig { reason } => write!(f, "invalid pipeline configuration: {reason}"),
+            PipelineError::BadConfig { reason } => {
+                write!(f, "invalid pipeline configuration: {reason}")
+            }
         }
     }
 }

@@ -16,7 +16,22 @@
 //!   compiler ([`dbpim_compiler`]) and a cycle-accurate performance / energy
 //!   / area simulator ([`dbpim_sim`]).
 //!
-//! This crate ties everything together into a single [`Pipeline`]:
+//! This crate ties everything together into a single [`Pipeline`], and the
+//! [`session`] module scales that flow up: a [`SimSession`] caches the
+//! expensive per-model artifacts (quantization, FTA, compiled programs) so a
+//! [`BatchRunner`] can sweep models × sparsity configurations ×
+//! architectures in parallel and return structured [`SweepReport`]s.
+//!
+//! ```
+//! use db_pim::prelude::*;
+//!
+//! let runner = BatchRunner::new(PipelineConfig::fast().without_fidelity())?;
+//! let report = runner.run(&SweepSpec::new(vec![]))?;
+//! assert!(report.is_empty());
+//! # Ok::<(), db_pim::PipelineError>(())
+//! ```
+//!
+//! Single-model usage:
 //!
 //! ```
 //! use db_pim::prelude::*;
@@ -39,6 +54,10 @@ mod error;
 pub mod measure;
 mod pipeline;
 pub mod prelude;
+pub mod session;
 
 pub use error::PipelineError;
 pub use pipeline::{CodesignResult, Pipeline, PipelineConfig};
+pub use session::{
+    BatchRunner, ModelArtifacts, ModelPrograms, SimSession, SweepEntry, SweepReport, SweepSpec,
+};

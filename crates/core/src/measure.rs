@@ -44,11 +44,8 @@ pub fn measure_input_sparsity(
                 let producer = node.inputs[0];
                 (&outputs[producer], model.nodes()[producer].output_qp.zero_point())
             };
-            let operand: Vec<i8> = tensor
-                .data()
-                .iter()
-                .map(|&v| (i32::from(v) - zero_point) as u8 as i8)
-                .collect();
+            let operand: Vec<i8> =
+                tensor.data().iter().map(|&v| (i32::from(v) - zero_point) as u8 as i8).collect();
             sums[slot] += zero_bit_column_ratio(&operand, IPU_GROUP);
         }
     }

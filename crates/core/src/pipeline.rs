@@ -8,16 +8,15 @@
 //! (Fig. 7).
 
 use dbpim_arch::ArchConfig;
-use dbpim_compiler::{extract_workloads, Compiler, InputSparsityProfile, ModelWorkloads};
+use dbpim_compiler::InputSparsityProfile;
 use dbpim_fta::stats::ModelFtaStats;
-use dbpim_fta::{evaluate_fidelity, FidelityReport, ModelApprox};
-use dbpim_nn::{Model, ModelKind, ModelSummary, QuantizedModel};
-use dbpim_sim::{RunReport, SimConfig, Simulator, SparsityConfig};
-use dbpim_tensor::random::TensorGenerator;
+use dbpim_fta::FidelityReport;
+use dbpim_nn::{Model, ModelKind, ModelSummary};
+use dbpim_sim::{RunReport, SparsityConfig};
 use serde::{Deserialize, Serialize};
 
 use crate::error::PipelineError;
-use crate::measure::measure_input_sparsity;
+use crate::session::ModelArtifacts;
 
 /// Configuration of the end-to-end pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -81,7 +80,9 @@ impl PipelineConfig {
     /// Returns [`PipelineError::BadConfig`] for unusable settings.
     pub fn validate(&self) -> Result<(), PipelineError> {
         if self.classes == 0 {
-            return Err(PipelineError::BadConfig { reason: "classes must be non-zero".to_string() });
+            return Err(PipelineError::BadConfig {
+                reason: "classes must be non-zero".to_string(),
+            });
         }
         if self.calibration_images == 0 {
             return Err(PipelineError::BadConfig {
@@ -196,66 +197,16 @@ impl Pipeline {
 
     /// Runs the full pipeline on an already-built model.
     ///
+    /// This is a thin wrapper over the [`session`](crate::session) layer:
+    /// artifacts are prepared once and all four Fig. 7 configurations are
+    /// simulated from the same compiled programs.
+    ///
     /// # Errors
     ///
     /// Propagates any stage failure.
     pub fn run_model(&self, model: &Model) -> Result<CodesignResult, PipelineError> {
-        let summary = model.summary()?;
-
-        // Synthetic data: calibration batch and (optionally) evaluation batch.
-        let input_shape = model.input_shape();
-        let (channels, height, width) = (input_shape[0], input_shape[1], input_shape[2]);
-        let mut gen = TensorGenerator::new(self.config.seed ^ 0x5eed);
-        let (calibration, _) =
-            gen.labelled_batch(self.config.calibration_images, channels, height, width, self.config.classes)?;
-
-        // Quantization and FTA approximation.
-        let quantized = QuantizedModel::quantize(model, &calibration)?;
-        let approx = ModelApprox::from_quantized(&quantized)?;
-        let fta_stats = ModelFtaStats::from_model(&approx);
-
-        // Fidelity (Table 2 substitute).
-        let fidelity = if self.config.evaluation_images > 0 {
-            let (eval_images, eval_labels) = gen.labelled_batch(
-                self.config.evaluation_images,
-                channels,
-                height,
-                width,
-                self.config.classes,
-            )?;
-            let fta_model = approx.apply(&quantized)?;
-            Some(evaluate_fidelity(&quantized, &fta_model, &eval_images, &eval_labels)?)
-        } else {
-            None
-        };
-
-        // Input bit sparsity (Fig. 2(b)) measured on the calibration batch.
-        let input_sparsity = measure_input_sparsity(&quantized, &calibration)?;
-
-        // Compilation for both mappings and simulation of all four configs.
-        let sparse_workloads = extract_workloads(model, Some(&approx), &input_sparsity)?;
-        let dense_workloads: ModelWorkloads = extract_workloads(model, None, &input_sparsity)?;
-        let compiler = Compiler::new(self.config.arch)?;
-        let sparse_program = compiler.compile(&sparse_workloads, dbpim_compiler::MappingMode::DbPim)?;
-        let dense_program = compiler.compile(&dense_workloads, dbpim_compiler::MappingMode::Dense)?;
-
-        let mut runs = Vec::with_capacity(4);
-        for sparsity in SparsityConfig::all() {
-            let mut sim_config = SimConfig::new(sparsity);
-            sim_config.arch = self.config.arch;
-            let simulator = Simulator::new(sim_config)?;
-            let program = if sparsity.weight_sparsity() { &sparse_program } else { &dense_program };
-            runs.push(simulator.simulate(program)?);
-        }
-
-        Ok(CodesignResult {
-            model_name: model.name().to_string(),
-            summary,
-            fta_stats,
-            fidelity,
-            input_sparsity,
-            runs,
-        })
+        let artifacts = ModelArtifacts::prepare(&self.config, model)?;
+        artifacts.codesign_result(&SparsityConfig::all(), self.config.evaluation_images > 0)
     }
 }
 

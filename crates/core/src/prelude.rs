@@ -12,6 +12,9 @@
 pub use crate::error::PipelineError;
 pub use crate::measure::measure_input_sparsity;
 pub use crate::pipeline::{CodesignResult, Pipeline, PipelineConfig};
+pub use crate::session::{
+    BatchRunner, ModelArtifacts, ModelPrograms, SimSession, SweepEntry, SweepReport, SweepSpec,
+};
 
 pub use dbpim_arch::{ArchConfig, InputPreprocessor, PimMacro};
 pub use dbpim_compiler::{

@@ -1,0 +1,748 @@
+//! Simulation sessions and batched, parallel sweeps.
+//!
+//! Every experiment in the paper's evaluation section is a sweep: models ×
+//! sparsity configurations (× architecture geometries). Before this module
+//! existed, each experiment binary re-ran the full `model → quantize → FTA →
+//! compile → simulate` pipeline per point, recomputing the expensive
+//! model-side stages four times per model (once per Fig. 7 configuration).
+//!
+//! The session layer splits the pipeline at its natural seam:
+//!
+//! * [`ModelArtifacts`] — everything that depends only on the model and the
+//!   [`PipelineConfig`]: the quantized model, its FTA approximation,
+//!   sparsity statistics, the measured input-sparsity profile, and lazily
+//!   compiled per-architecture dense/DB-PIM programs. Prepared **once**,
+//!   simulated many times.
+//! * [`SimSession`] — a cache of artifacts keyed by model, shared by every
+//!   consumer (experiment binaries, examples, benches).
+//! * [`BatchRunner`] — executes a [`SweepSpec`] (models × sparsity × arch)
+//!   in parallel over scoped std threads (see [`par`]; rayon is unavailable
+//!   in the offline build environment) and returns a structured
+//!   [`SweepReport`].
+//!
+//! Results are bit-identical to independent [`Pipeline`](crate::Pipeline)
+//! runs — [`Pipeline::run_model`](crate::Pipeline::run_model) itself is a
+//! thin wrapper over [`ModelArtifacts`] — which the workspace test
+//! `session_sweep.rs` asserts.
+
+pub mod par;
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use dbpim_arch::ArchConfig;
+use dbpim_compiler::{
+    extract_workloads, Compiler, InputSparsityProfile, MappingMode, ModelProgram, ModelWorkloads,
+};
+use dbpim_fta::stats::ModelFtaStats;
+use dbpim_fta::{evaluate_fidelity, FidelityReport, ModelApprox};
+use dbpim_nn::{Model, ModelKind, ModelSummary, QuantizedModel};
+use dbpim_sim::{RunReport, SimConfig, Simulator, SparsityConfig};
+use dbpim_tensor::random::TensorGenerator;
+
+use crate::error::PipelineError;
+use crate::measure::measure_input_sparsity;
+use crate::pipeline::{CodesignResult, PipelineConfig};
+
+/// The dense-baseline and DB-PIM instruction streams of one model compiled
+/// for one architecture geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelPrograms {
+    /// Geometry both programs were compiled for.
+    pub arch: ArchConfig,
+    /// The dense-baseline mapping.
+    pub dense: ModelProgram,
+    /// The DB-PIM (FTA weights + metadata) mapping.
+    pub sparse: ModelProgram,
+}
+
+/// Everything the pipeline derives from one model under one
+/// [`PipelineConfig`], shareable across simulation runs.
+///
+/// Preparation performs the expensive model-side stages exactly once:
+/// synthetic calibration data, INT8 quantization, the FTA approximation,
+/// sparsity statistics and input-sparsity measurement, plus workload
+/// extraction. Compilation is per-architecture and cached on first use;
+/// the fidelity evaluation is cached on first request.
+#[derive(Debug)]
+pub struct ModelArtifacts {
+    config: PipelineConfig,
+    model: Arc<Model>,
+    summary: ModelSummary,
+    quantized: QuantizedModel,
+    approx: ModelApprox,
+    fta_stats: ModelFtaStats,
+    input_sparsity: InputSparsityProfile,
+    /// Generator state right after the calibration draw; cloning it replays
+    /// the exact evaluation batch [`crate::Pipeline::run_model`] would have
+    /// drawn inline, keeping lazy fidelity bit-identical.
+    eval_gen: TensorGenerator,
+    sparse_workloads: ModelWorkloads,
+    dense_workloads: ModelWorkloads,
+    programs: Mutex<Vec<Arc<ModelPrograms>>>,
+    fidelity: Mutex<Option<FidelityReport>>,
+}
+
+impl ModelArtifacts {
+    /// Runs the model-side pipeline stages for `model`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from any stage (data generation, quantization,
+    /// approximation, measurement, workload extraction).
+    pub fn prepare(config: &PipelineConfig, model: &Model) -> Result<Self, PipelineError> {
+        Self::prepare_shared(config, Arc::new(model.clone()))
+    }
+
+    /// [`prepare`](Self::prepare) without cloning an already-shared model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from any stage.
+    pub fn prepare_shared(
+        config: &PipelineConfig,
+        model: Arc<Model>,
+    ) -> Result<Self, PipelineError> {
+        config.validate()?;
+        let summary = model.summary()?;
+
+        // Synthetic calibration batch (same stream the Pipeline always used).
+        let input_shape = model.input_shape();
+        let (channels, height, width) = (input_shape[0], input_shape[1], input_shape[2]);
+        let mut gen = TensorGenerator::new(config.seed ^ 0x5eed);
+        let (calibration, _) =
+            gen.labelled_batch(config.calibration_images, channels, height, width, config.classes)?;
+
+        // Quantization and FTA approximation.
+        let quantized = QuantizedModel::quantize(&model, &calibration)?;
+        let approx = ModelApprox::from_quantized(&quantized)?;
+        let fta_stats = ModelFtaStats::from_model(&approx);
+
+        // The evaluation batch (fidelity) comes later and lazily; snapshot
+        // the generator so the draw matches the historical inline one.
+        let eval_gen = gen.clone();
+
+        // Input bit sparsity (Fig. 2(b)) measured on the calibration batch.
+        let input_sparsity = measure_input_sparsity(&quantized, &calibration)?;
+
+        // Hardware-facing workloads for both mappings.
+        let sparse_workloads = extract_workloads(&model, Some(&approx), &input_sparsity)?;
+        let dense_workloads = extract_workloads(&model, None, &input_sparsity)?;
+
+        Ok(Self {
+            config: *config,
+            model,
+            summary,
+            quantized,
+            approx,
+            fta_stats,
+            input_sparsity,
+            eval_gen,
+            sparse_workloads,
+            dense_workloads,
+            programs: Mutex::new(Vec::new()),
+            fidelity: Mutex::new(None),
+        })
+    }
+
+    /// The configuration the artifacts were prepared under.
+    #[must_use]
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The source model.
+    #[must_use]
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Parameter / MAC summary of the float model.
+    #[must_use]
+    pub fn summary(&self) -> &ModelSummary {
+        &self.summary
+    }
+
+    /// The INT8-quantized model.
+    #[must_use]
+    pub fn quantized(&self) -> &QuantizedModel {
+        &self.quantized
+    }
+
+    /// The FTA approximation of every PIM layer.
+    #[must_use]
+    pub fn approx(&self) -> &ModelApprox {
+        &self.approx
+    }
+
+    /// FTA sparsity and utilization statistics (Fig. 2(a), Table 3).
+    #[must_use]
+    pub fn fta_stats(&self) -> &ModelFtaStats {
+        &self.fta_stats
+    }
+
+    /// Measured block-wise input bit sparsity per PIM layer (Fig. 2(b)).
+    #[must_use]
+    pub fn input_sparsity(&self) -> &InputSparsityProfile {
+        &self.input_sparsity
+    }
+
+    /// The compiled dense + DB-PIM programs for `arch`, compiling (both
+    /// mappings, exactly once per geometry) on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation failures.
+    pub fn programs(&self, arch: ArchConfig) -> Result<Arc<ModelPrograms>, PipelineError> {
+        let mut cache = self.programs.lock().expect("program cache lock");
+        if let Some(found) = cache.iter().find(|p| p.arch == arch) {
+            return Ok(Arc::clone(found));
+        }
+        let compiler = Compiler::new(arch)?;
+        let sparse = compiler.compile(&self.sparse_workloads, MappingMode::DbPim)?;
+        let dense = compiler.compile(&self.dense_workloads, MappingMode::Dense)?;
+        let programs = Arc::new(ModelPrograms { arch, dense, sparse });
+        cache.push(Arc::clone(&programs));
+        Ok(programs)
+    }
+
+    /// Simulates one sparsity configuration on one geometry, reusing the
+    /// cached compiled programs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation or simulation failures.
+    pub fn simulate(
+        &self,
+        arch: ArchConfig,
+        sparsity: SparsityConfig,
+    ) -> Result<RunReport, PipelineError> {
+        let programs = self.programs(arch)?;
+        let mut sim_config = SimConfig::new(sparsity);
+        sim_config.arch = arch;
+        let simulator = Simulator::new(sim_config)?;
+        let program = if sparsity.weight_sparsity() { &programs.sparse } else { &programs.dense };
+        Ok(simulator.simulate(program)?)
+    }
+
+    /// The fidelity report (Table 2 substitute), evaluated on first request
+    /// and cached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::BadConfig`] when the configuration disables
+    /// the fidelity evaluation (`evaluation_images == 0`), and propagates
+    /// evaluation failures.
+    pub fn fidelity(&self) -> Result<FidelityReport, PipelineError> {
+        if self.config.evaluation_images == 0 {
+            return Err(PipelineError::BadConfig {
+                reason: "fidelity requested but evaluation_images is 0".to_string(),
+            });
+        }
+        let mut cache = self.fidelity.lock().expect("fidelity cache lock");
+        if let Some(report) = cache.as_ref() {
+            return Ok(*report);
+        }
+        let input_shape = self.model.input_shape();
+        let mut gen = self.eval_gen.clone();
+        let (eval_images, eval_labels) = gen.labelled_batch(
+            self.config.evaluation_images,
+            input_shape[0],
+            input_shape[1],
+            input_shape[2],
+            self.config.classes,
+        )?;
+        let fta_model = self.approx.apply(&self.quantized)?;
+        let report = evaluate_fidelity(&self.quantized, &fta_model, &eval_images, &eval_labels)?;
+        *cache = Some(report);
+        Ok(report)
+    }
+
+    /// Assembles the classic [`CodesignResult`] from the cached artifacts:
+    /// one run per requested sparsity configuration (canonical
+    /// [`SparsityConfig::all`] order) on the configured geometry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation or fidelity failures.
+    pub fn codesign_result(
+        &self,
+        sparsity: &[SparsityConfig],
+        with_fidelity: bool,
+    ) -> Result<CodesignResult, PipelineError> {
+        let fidelity = if with_fidelity && self.config.evaluation_images > 0 {
+            Some(self.fidelity()?)
+        } else {
+            None
+        };
+        let mut runs = Vec::with_capacity(sparsity.len());
+        for config in SparsityConfig::all() {
+            if sparsity.contains(&config) {
+                runs.push(self.simulate(self.config.arch, config)?);
+            }
+        }
+        Ok(CodesignResult {
+            model_name: self.model.name().to_string(),
+            summary: self.summary.clone(),
+            fta_stats: self.fta_stats.clone(),
+            fidelity,
+            input_sparsity: self.input_sparsity.clone(),
+            runs,
+        })
+    }
+}
+
+/// A shared cache of per-model pipeline artifacts under one configuration.
+///
+/// Sessions are cheap to create and thread-safe to share: artifact
+/// preparation happens on first request per model and every later consumer
+/// (another experiment table, another sparsity configuration, another
+/// thread) reuses the cached value.
+#[derive(Debug)]
+pub struct SimSession {
+    config: PipelineConfig,
+    models: Mutex<HashMap<ModelKind, Arc<Model>>>,
+    artifacts: Mutex<HashMap<String, Arc<ModelArtifacts>>>,
+}
+
+impl SimSession {
+    /// Creates a session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::BadConfig`] for unusable configurations.
+    pub fn new(config: PipelineConfig) -> Result<Self, PipelineError> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            models: Mutex::new(HashMap::new()),
+            artifacts: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The session configuration.
+    #[must_use]
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The built zoo model for `kind` (cached; honours the configured width
+    /// multiplier, classes and seed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction failures.
+    pub fn model(&self, kind: ModelKind) -> Result<Arc<Model>, PipelineError> {
+        if let Some(model) = self.models.lock().expect("model cache lock").get(&kind) {
+            return Ok(Arc::clone(model));
+        }
+        let model = Arc::new(kind.build_with_width(
+            self.config.classes,
+            self.config.seed,
+            self.config.width_mult,
+        )?);
+        Ok(Arc::clone(self.models.lock().expect("model cache lock").entry(kind).or_insert(model)))
+    }
+
+    /// The prepared artifacts for a zoo model (cached).
+    ///
+    /// # Errors
+    ///
+    /// Propagates preparation failures.
+    pub fn artifacts(&self, kind: ModelKind) -> Result<Arc<ModelArtifacts>, PipelineError> {
+        let model = self.model(kind)?;
+        self.artifacts_for_shared(model)
+    }
+
+    /// The prepared artifacts for an arbitrary (non-zoo) model, cached by
+    /// model name. A cache hit is validated against the requested model, so
+    /// two distinct models sharing a name cannot receive each other's
+    /// results — the mismatching one is prepared fresh, uncached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates preparation failures.
+    pub fn artifacts_for_model(&self, model: &Model) -> Result<Arc<ModelArtifacts>, PipelineError> {
+        if let Some(found) = self.artifacts.lock().expect("artifact cache lock").get(model.name()) {
+            if found.model() == model {
+                return Ok(Arc::clone(found));
+            }
+            // Same name, different graph/weights: don't reuse and don't
+            // evict the existing entry — prepare a one-off.
+            return Ok(Arc::new(ModelArtifacts::prepare(&self.config, model)?));
+        }
+        self.artifacts_for_shared(Arc::new(model.clone()))
+    }
+
+    fn artifacts_for_shared(
+        &self,
+        model: Arc<Model>,
+    ) -> Result<Arc<ModelArtifacts>, PipelineError> {
+        let name = model.name().to_string();
+        if let Some(found) = self.artifacts.lock().expect("artifact cache lock").get(&name) {
+            if *found.model() == *model {
+                return Ok(Arc::clone(found));
+            }
+            return Ok(Arc::new(ModelArtifacts::prepare_shared(&self.config, model)?));
+        }
+        // Prepared outside the lock so concurrent callers preparing
+        // *different* models proceed in parallel; a concurrent duplicate of
+        // the *same* model is deterministic, and the first insert wins.
+        let prepared = Arc::new(ModelArtifacts::prepare_shared(&self.config, model)?);
+        let mut cache = self.artifacts.lock().expect("artifact cache lock");
+        match cache.entry(name) {
+            std::collections::hash_map::Entry::Occupied(existing) => {
+                if existing.get().model() == prepared.model() {
+                    Ok(Arc::clone(existing.get()))
+                } else {
+                    Ok(prepared)
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Arc::clone(&prepared));
+                Ok(prepared)
+            }
+        }
+    }
+
+    /// Runs the full co-design flow for one zoo model: all four sparsity
+    /// configurations, optional fidelity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage failure.
+    pub fn codesign(
+        &self,
+        kind: ModelKind,
+        with_fidelity: bool,
+    ) -> Result<CodesignResult, PipelineError> {
+        self.artifacts(kind)?.codesign_result(&SparsityConfig::all(), with_fidelity)
+    }
+
+    /// Runs the full co-design flow for an arbitrary model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage failure.
+    pub fn codesign_model(
+        &self,
+        model: &Model,
+        with_fidelity: bool,
+    ) -> Result<CodesignResult, PipelineError> {
+        self.artifacts_for_model(model)?.codesign_result(&SparsityConfig::all(), with_fidelity)
+    }
+
+    /// Simulates one (model, sparsity) point on the session geometry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage failure.
+    pub fn run(
+        &self,
+        kind: ModelKind,
+        sparsity: SparsityConfig,
+    ) -> Result<RunReport, PipelineError> {
+        self.artifacts(kind)?.simulate(self.config.arch, sparsity)
+    }
+}
+
+/// The point set of a sweep: models × sparsity configurations ×
+/// architecture geometries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Zoo models to sweep (duplicates are executed once).
+    pub models: Vec<ModelKind>,
+    /// Sparsity configurations per model (duplicates are executed once).
+    pub sparsity: Vec<SparsityConfig>,
+    /// Geometries to compile and simulate for; empty means "the session's
+    /// configured architecture".
+    pub archs: Vec<ArchConfig>,
+}
+
+impl SweepSpec {
+    /// A sweep of the given models over all four Fig. 7 sparsity
+    /// configurations on the session geometry.
+    #[must_use]
+    pub fn new(models: Vec<ModelKind>) -> Self {
+        Self { models, sparsity: SparsityConfig::all().to_vec(), archs: Vec::new() }
+    }
+
+    /// The paper's evaluation sweep: all five zoo models × all four
+    /// sparsity configurations.
+    #[must_use]
+    pub fn zoo() -> Self {
+        Self::new(ModelKind::all().to_vec())
+    }
+
+    /// Restricts the sparsity configurations.
+    #[must_use]
+    pub fn with_sparsity(mut self, sparsity: Vec<SparsityConfig>) -> Self {
+        self.sparsity = sparsity;
+        self
+    }
+
+    /// Adds explicit architecture geometries.
+    #[must_use]
+    pub fn with_archs(mut self, archs: Vec<ArchConfig>) -> Self {
+        self.archs = archs;
+        self
+    }
+
+    fn unique_models(&self) -> Vec<ModelKind> {
+        let mut seen = Vec::new();
+        for &kind in &self.models {
+            if !seen.contains(&kind) {
+                seen.push(kind);
+            }
+        }
+        seen
+    }
+
+    fn unique_sparsity(&self) -> Vec<SparsityConfig> {
+        // Canonical Fig. 7 order, filtered to the requested set.
+        SparsityConfig::all().into_iter().filter(|s| self.sparsity.contains(s)).collect()
+    }
+
+    fn effective_archs(&self, session_arch: ArchConfig) -> Vec<ArchConfig> {
+        let mut archs: Vec<ArchConfig> = Vec::new();
+        let requested = if self.archs.is_empty() { vec![session_arch] } else { self.archs.clone() };
+        for arch in requested {
+            if !archs.contains(&arch) {
+                archs.push(arch);
+            }
+        }
+        archs
+    }
+}
+
+/// One (model, geometry) result of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepEntry {
+    /// The swept model.
+    pub kind: ModelKind,
+    /// The geometry this entry was compiled and simulated for.
+    pub arch: ArchConfig,
+    /// The co-design result; `runs` holds the requested sparsity
+    /// configurations in canonical [`SparsityConfig::all`] order.
+    pub result: CodesignResult,
+}
+
+/// The structured outcome of a [`BatchRunner`] sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// One entry per (model, geometry), in spec order (models outer, archs
+    /// inner).
+    pub entries: Vec<SweepEntry>,
+    /// Wall-clock duration of the sweep.
+    pub wall_time: Duration,
+    /// Distinct models prepared.
+    pub prepared_models: usize,
+    /// Simulation runs executed.
+    pub simulated_runs: usize,
+}
+
+impl SweepReport {
+    /// `true` when the sweep contained no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The result for `kind` on the first swept geometry.
+    #[must_use]
+    pub fn result(&self, kind: ModelKind) -> Option<&CodesignResult> {
+        self.entries.iter().find(|e| e.kind == kind).map(|e| &e.result)
+    }
+
+    /// All results in entry order.
+    pub fn results(&self) -> impl Iterator<Item = &CodesignResult> {
+        self.entries.iter().map(|e| &e.result)
+    }
+}
+
+/// Executes [`SweepSpec`]s against a shared [`SimSession`], in parallel.
+///
+/// Parallelism has two phases: artifact preparation (the expensive
+/// model-side stages plus per-geometry compilation) fans out one task per
+/// distinct model, then simulation fans out one task per (model, geometry,
+/// sparsity) point. Compiled programs are reused across every sparsity
+/// configuration of a model — the dense and DB-PIM programs are each built
+/// exactly once per (model, geometry).
+#[derive(Debug)]
+pub struct BatchRunner {
+    session: SimSession,
+    threads: usize,
+}
+
+impl BatchRunner {
+    /// Creates a runner with a fresh session and one worker per hardware
+    /// thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::BadConfig`] for unusable configurations.
+    pub fn new(config: PipelineConfig) -> Result<Self, PipelineError> {
+        Ok(Self::from_session(SimSession::new(config)?))
+    }
+
+    /// Wraps an existing session.
+    #[must_use]
+    pub fn from_session(session: SimSession) -> Self {
+        Self { session, threads: par::default_parallelism() }
+    }
+
+    /// Overrides the worker-thread count (`1` forces sequential execution).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The underlying session (shared artifact cache).
+    #[must_use]
+    pub fn session(&self) -> &SimSession {
+        &self.session
+    }
+
+    /// Runs a sweep without fidelity evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first point failure.
+    pub fn run(&self, spec: &SweepSpec) -> Result<SweepReport, PipelineError> {
+        self.run_with_fidelity(spec, false)
+    }
+
+    /// Runs a sweep, optionally evaluating fidelity per model (honoured only
+    /// when the session configuration has evaluation images).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first point failure.
+    pub fn run_with_fidelity(
+        &self,
+        spec: &SweepSpec,
+        with_fidelity: bool,
+    ) -> Result<SweepReport, PipelineError> {
+        let start = Instant::now();
+        let models = spec.unique_models();
+        let sparsity = spec.unique_sparsity();
+        let archs = spec.effective_archs(self.session.config().arch);
+        let fidelity = with_fidelity && self.session.config().evaluation_images > 0;
+
+        // Phase 1: prepare artifacts, compile every geometry, and (when
+        // requested) evaluate fidelity — one parallel task per model.
+        let prepared = par::par_map(models.clone(), self.threads, |kind| {
+            let artifacts = self.session.artifacts(kind)?;
+            for &arch in &archs {
+                artifacts.programs(arch)?;
+            }
+            if fidelity {
+                artifacts.fidelity()?;
+            }
+            Ok::<_, PipelineError>((kind, artifacts))
+        });
+        let mut artifacts_by_model = Vec::with_capacity(prepared.len());
+        for result in prepared {
+            artifacts_by_model.push(result?);
+        }
+
+        // Phase 2: simulate every (model, arch, sparsity) point in parallel.
+        let mut points = Vec::new();
+        for (slot, (_, artifacts)) in artifacts_by_model.iter().enumerate() {
+            for (arch_slot, &arch) in archs.iter().enumerate() {
+                for &config in &sparsity {
+                    points.push((slot, arch_slot, arch, config, Arc::clone(artifacts)));
+                }
+            }
+        }
+        let simulated_runs = points.len();
+        let runs = par::par_map(points, self.threads, |(slot, arch_slot, arch, config, a)| {
+            a.simulate(arch, config).map(|report| (slot, arch_slot, config, report))
+        });
+
+        // Phase 3: assemble entries in deterministic (model, arch) order.
+        let mut grouped: HashMap<(usize, usize), Vec<(SparsityConfig, RunReport)>> = HashMap::new();
+        for run in runs {
+            let (slot, arch_slot, config, report) = run?;
+            grouped.entry((slot, arch_slot)).or_default().push((config, report));
+        }
+        let mut entries = Vec::new();
+        for (slot, (kind, artifacts)) in artifacts_by_model.iter().enumerate() {
+            for (arch_slot, &arch) in archs.iter().enumerate() {
+                let mut reports = grouped.remove(&(slot, arch_slot)).unwrap_or_default();
+                // Canonical Fig. 7 order.
+                let mut runs = Vec::with_capacity(reports.len());
+                for config in SparsityConfig::all() {
+                    if let Some(pos) = reports.iter().position(|(c, _)| *c == config) {
+                        runs.push(reports.swap_remove(pos).1);
+                    }
+                }
+                let result = CodesignResult {
+                    model_name: artifacts.model().name().to_string(),
+                    summary: artifacts.summary().clone(),
+                    fta_stats: artifacts.fta_stats().clone(),
+                    fidelity: if fidelity { Some(artifacts.fidelity()?) } else { None },
+                    input_sparsity: artifacts.input_sparsity().clone(),
+                    runs,
+                };
+                entries.push(SweepEntry { kind: *kind, arch, result });
+            }
+        }
+
+        Ok(SweepReport {
+            entries,
+            wall_time: start.elapsed(),
+            prepared_models: models.len(),
+            simulated_runs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_dedupes_and_keeps_canonical_order() {
+        let spec = SweepSpec::new(vec![ModelKind::Vgg19, ModelKind::AlexNet, ModelKind::Vgg19])
+            .with_sparsity(vec![
+                SparsityConfig::HybridSparsity,
+                SparsityConfig::DenseBaseline,
+                SparsityConfig::HybridSparsity,
+            ]);
+        assert_eq!(spec.unique_models(), vec![ModelKind::Vgg19, ModelKind::AlexNet]);
+        assert_eq!(
+            spec.unique_sparsity(),
+            vec![SparsityConfig::DenseBaseline, SparsityConfig::HybridSparsity]
+        );
+        let archs = spec.effective_archs(ArchConfig::paper());
+        assert_eq!(archs, vec![ArchConfig::paper()]);
+    }
+
+    #[test]
+    fn zoo_spec_covers_all_models_and_configs() {
+        let spec = SweepSpec::zoo();
+        assert_eq!(spec.models.len(), 5);
+        assert_eq!(spec.sparsity.len(), 4);
+        assert!(spec.archs.is_empty());
+    }
+
+    #[test]
+    fn empty_sweep_returns_empty_report() {
+        let runner = BatchRunner::new(PipelineConfig::fast()).unwrap();
+        let report = runner.run(&SweepSpec::new(Vec::new())).unwrap();
+        assert!(report.is_empty());
+        assert_eq!(report.prepared_models, 0);
+        assert_eq!(report.simulated_runs, 0);
+    }
+
+    #[test]
+    fn session_rejects_bad_config() {
+        let mut config = PipelineConfig::fast();
+        config.classes = 0;
+        assert!(SimSession::new(config).is_err());
+        assert!(BatchRunner::new(config).is_err());
+    }
+}

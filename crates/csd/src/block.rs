@@ -39,7 +39,11 @@ impl Sign {
     /// Decodes the one-bit hardware encoding.
     #[must_use]
     pub const fn from_bit(bit: u8) -> Self {
-        if bit == 0 { Sign::Positive } else { Sign::Negative }
+        if bit == 0 {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        }
     }
 }
 
@@ -216,7 +220,11 @@ impl fmt::Display for DyadicBlock {
         match self.pattern {
             BlockPattern::Zero => write!(f, "DB#{}:00", self.index),
             BlockPattern::Comp { high, sign } => {
-                let (hi, lo) = if high { (sign.to_string(), "0".to_string()) } else { ("0".to_string(), sign.to_string()) };
+                let (hi, lo) = if high {
+                    (sign.to_string(), "0".to_string())
+                } else {
+                    ("0".to_string(), sign.to_string())
+                };
                 write!(f, "DB#{}:{}{}", self.index, hi, lo)
             }
         }
@@ -401,7 +409,9 @@ mod tests {
     #[test]
     fn blocks_collect_from_iterator() {
         let blocks: DyadicBlocks =
-            vec![DyadicBlock::zero(0), DyadicBlock::comp(1, false, Sign::Positive)].into_iter().collect();
+            vec![DyadicBlock::zero(0), DyadicBlock::comp(1, false, Sign::Positive)]
+                .into_iter()
+                .collect();
         assert_eq!(blocks.len(), 2);
         assert_eq!(blocks.value(), 4);
     }

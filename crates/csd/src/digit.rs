@@ -18,7 +18,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(CsdDigit::MinusOne.value(), -1);
 /// assert!(CsdDigit::Zero.is_zero());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub enum CsdDigit {
     /// The digit `-1` (written `1̄` in the paper).
     MinusOne,

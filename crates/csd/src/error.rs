@@ -33,11 +33,9 @@ impl fmt::Display for CsdError {
                 "value {value} needs {required} CSD digits but only {width} were requested"
             ),
             CsdError::ZeroWidth => write!(f, "a CSD word must have at least one digit"),
-            CsdError::NotCanonical { position } => write!(
-                f,
-                "adjacent non-zero digits at positions {position} and {}",
-                position + 1
-            ),
+            CsdError::NotCanonical { position } => {
+                write!(f, "adjacent non-zero digits at positions {position} and {}", position + 1)
+            }
         }
     }
 }

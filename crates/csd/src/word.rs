@@ -131,11 +131,7 @@ impl CsdWord {
     /// Decodes the word back into an integer.
     #[must_use]
     pub fn to_i32(&self) -> i32 {
-        self.digits
-            .iter()
-            .enumerate()
-            .map(|(i, d)| d.value() << i)
-            .sum()
+        self.digits.iter().enumerate().map(|(i, d)| d.value() << i).sum()
     }
 
     /// Number of non-zero digits (the paper's `φ`).
@@ -153,11 +149,7 @@ impl CsdWord {
     /// Iterator over `(position, digit)` pairs of the non-zero digits, from
     /// least to most significant.
     pub fn nonzero_positions(&self) -> impl Iterator<Item = (usize, CsdDigit)> + '_ {
-        self.digits
-            .iter()
-            .copied()
-            .enumerate()
-            .filter(|(_, d)| d.is_nonzero())
+        self.digits.iter().copied().enumerate().filter(|(_, d)| d.is_nonzero())
     }
 
     /// Arithmetic negation (flips every digit); the result is still canonical.
@@ -303,10 +295,7 @@ mod tests {
     fn nonzero_positions_matches_count() {
         let w = CsdWord::from_i8(42);
         assert_eq!(w.nonzero_positions().count() as u32, w.nonzero_digits());
-        assert_eq!(
-            w.nonzero_positions().map(|(p, d)| d.value() << p).sum::<i32>(),
-            42
-        );
+        assert_eq!(w.nonzero_positions().map(|(p, d)| d.value() << p).sum::<i32>(), 42);
     }
 
     #[test]

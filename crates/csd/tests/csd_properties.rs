@@ -1,80 +1,103 @@
-//! Property-based tests for the CSD encoding and dyadic-block decomposition.
+//! Property tests for the CSD encoding and dyadic-block decomposition.
+//!
+//! The original suite used `proptest`; the offline build environment cannot
+//! fetch it, so the i8/i16 properties are checked exhaustively (stronger
+//! than sampling) and the bounded-i32 round trip walks a fixed stride-61
+//! lattice over the former proptest domain (deterministic, same order of
+//! case count as the random suite).
 
 use dbpim_csd::{binary_nonzero_bits, BlockPattern, CsdWord, CSD_WIDTH_I8};
-use proptest::prelude::*;
 
-proptest! {
-    /// Encoding then decoding any i8 value is the identity.
-    #[test]
-    fn i8_round_trip(v in any::<i8>()) {
+/// Encoding then decoding any i8 value is the identity.
+#[test]
+fn i8_round_trip() {
+    for v in i8::MIN..=i8::MAX {
         let w = CsdWord::from_i8(v);
-        prop_assert_eq!(w.to_i32(), i32::from(v));
-        prop_assert_eq!(w.width(), CSD_WIDTH_I8);
+        assert_eq!(w.to_i32(), i32::from(v));
+        assert_eq!(w.width(), CSD_WIDTH_I8);
     }
+}
 
-    /// Any i32 that fits in the requested width round-trips.
-    #[test]
-    fn i32_round_trip(v in -100_000i32..100_000, extra in 0usize..8) {
-        let width = 20 + extra;
-        let w = CsdWord::from_i32(v, width).unwrap();
-        prop_assert_eq!(w.to_i32(), v);
-    }
-
-    /// The canonical property holds for arbitrary values: no adjacent
-    /// non-zero digits.
-    #[test]
-    fn non_adjacent_form(v in any::<i16>()) {
-        let w = CsdWord::from_i32(i32::from(v), 18).unwrap();
-        for pair in w.digits().windows(2) {
-            prop_assert!(!(pair[0].is_nonzero() && pair[1].is_nonzero()));
+/// Any i32 that fits in the requested width round-trips.
+#[test]
+fn i32_round_trip() {
+    for v in (-100_000i32..100_000).step_by(61) {
+        for extra in 0usize..8 {
+            let width = 20 + extra;
+            let w = CsdWord::from_i32(v, width).unwrap();
+            assert_eq!(w.to_i32(), v, "value {v} at width {width}");
         }
     }
+}
 
-    /// CSD never uses more non-zero digits than the plain binary form of the
-    /// magnitude (minimality, the "33 % fewer non-zero bits on average" claim
-    /// is a consequence).
-    #[test]
-    fn csd_is_minimal_vs_binary_magnitude(v in 0i32..=127) {
-        let w = CsdWord::from_i32(v, 8).unwrap();
-        prop_assert!(w.nonzero_digits() <= binary_nonzero_bits(v, 8));
+/// The canonical property holds for arbitrary values: no adjacent non-zero
+/// digits.
+#[test]
+fn non_adjacent_form() {
+    for v in i16::MIN..=i16::MAX {
+        let w = CsdWord::from_i32(i32::from(v), 18).unwrap();
+        for pair in w.digits().windows(2) {
+            assert!(
+                !(pair[0].is_nonzero() && pair[1].is_nonzero()),
+                "adjacent non-zero digits for {v}"
+            );
+        }
     }
+}
 
-    /// The dyadic block decomposition always reconstructs the original value
-    /// and its Comp.-block count equals the word's non-zero digit count.
-    #[test]
-    fn dyadic_blocks_reconstruct(v in any::<i8>()) {
+/// CSD never uses more non-zero digits than the plain binary form of the
+/// magnitude (minimality; the "33 % fewer non-zero bits on average" claim is
+/// a consequence).
+#[test]
+fn csd_is_minimal_vs_binary_magnitude() {
+    for v in 0i32..=127 {
+        let w = CsdWord::from_i32(v, 8).unwrap();
+        assert!(w.nonzero_digits() <= binary_nonzero_bits(v, 8), "value {v}");
+    }
+}
+
+/// The dyadic block decomposition always reconstructs the original value and
+/// its Comp.-block count equals the word's non-zero digit count.
+#[test]
+fn dyadic_blocks_reconstruct() {
+    for v in i8::MIN..=i8::MAX {
         let w = CsdWord::from_i8(v);
         let blocks = w.dyadic_blocks();
-        prop_assert_eq!(blocks.value(), i32::from(v));
-        prop_assert_eq!(blocks.comp_count() as u32, w.nonzero_digits());
-        prop_assert_eq!(blocks.len(), 4);
+        assert_eq!(blocks.value(), i32::from(v));
+        assert_eq!(blocks.comp_count() as u32, w.nonzero_digits());
+        assert_eq!(blocks.len(), 4);
     }
+}
 
-    /// Every Comp. Pattern block stores a complementary (Q, Q̄) pair.
-    #[test]
-    fn comp_blocks_store_complementary_state(v in any::<i8>()) {
+/// Every Comp. Pattern block stores a complementary (Q, Q̄) pair.
+#[test]
+fn comp_blocks_store_complementary_state() {
+    for v in i8::MIN..=i8::MAX {
         let w = CsdWord::from_i8(v);
         for block in w.dyadic_blocks().comp_blocks() {
             let (q, qbar) = block.cell_state().unwrap();
-            prop_assert_ne!(q, qbar);
-            let is_comp = matches!(block.pattern(), BlockPattern::Comp { .. });
-            prop_assert!(is_comp);
+            assert_ne!(q, qbar, "value {v}");
+            assert!(matches!(block.pattern(), BlockPattern::Comp { .. }));
         }
     }
+}
 
-    /// Negation flips the decoded value and keeps the digit count.
-    #[test]
-    fn negation_mirrors_value(v in -127i8..=127) {
+/// Negation flips the decoded value and keeps the digit count.
+#[test]
+fn negation_mirrors_value() {
+    for v in -127i8..=127 {
         let w = CsdWord::from_i8(v);
         let n = w.negated();
-        prop_assert_eq!(n.to_i32(), -i32::from(v));
-        prop_assert_eq!(n.nonzero_digits(), w.nonzero_digits());
+        assert_eq!(n.to_i32(), -i32::from(v));
+        assert_eq!(n.nonzero_digits(), w.nonzero_digits());
     }
+}
 
-    /// φ of an INT8 value never exceeds 4 (one non-zero digit per dyadic
-    /// block at most).
-    #[test]
-    fn phi_at_most_four(v in any::<i8>()) {
-        prop_assert!(CsdWord::from_i8(v).nonzero_digits() <= 4);
+/// φ of an INT8 value never exceeds 4 (one non-zero digit per dyadic block at
+/// most).
+#[test]
+fn phi_at_most_four() {
+    for v in i8::MIN..=i8::MAX {
+        assert!(CsdWord::from_i8(v).nonzero_digits() <= 4);
     }
 }

@@ -81,10 +81,7 @@ impl FilterApprox {
     /// filter's approximated weights (each occupies one stored 6T cell).
     #[must_use]
     pub fn stored_blocks(&self) -> usize {
-        self.values
-            .iter()
-            .map(|&v| CsdWord::from_i8(v).nonzero_digits() as usize)
-            .sum()
+        self.values.iter().map(|&v| CsdWord::from_i8(v).nonzero_digits() as usize).sum()
     }
 
     /// Number of cell slots the filter occupies in the PIM array
@@ -268,11 +265,14 @@ impl ModelApprox {
         let mut layers = Vec::new();
         for &id in &model.pim_node_ids() {
             let node = &model.nodes()[id];
-            let weight = node
-                .layer
-                .weight()
-                .expect("pim_node_ids only returns layers with weights");
-            layers.push(LayerApprox::from_weights(id, node.name.clone(), weight.values(), &tables)?);
+            let weight =
+                node.layer.weight().expect("pim_node_ids only returns layers with weights");
+            layers.push(LayerApprox::from_weights(
+                id,
+                node.name.clone(),
+                weight.values(),
+                &tables,
+            )?);
         }
         Ok(Self { model_name: model.name().to_string(), layers })
     }
@@ -295,10 +295,7 @@ impl ModelApprox {
     ///
     /// Returns [`FtaError::UnknownLayer`] when the node was not approximated.
     pub fn layer(&self, node_id: NodeId) -> Result<&LayerApprox, FtaError> {
-        self.layers
-            .iter()
-            .find(|l| l.node_id == node_id)
-            .ok_or(FtaError::UnknownLayer { node_id })
+        self.layers.iter().find(|l| l.node_id == node_id).ok_or(FtaError::UnknownLayer { node_id })
     }
 
     /// Builds the FTA variant of a quantized model by substituting every
@@ -389,7 +386,8 @@ mod tests {
 
     #[test]
     fn layer_approx_round_trips_shape() {
-        let weights = Tensor::from_vec((0..32).map(|v| (v * 7 % 120) as i8).collect(), vec![4, 8]).unwrap();
+        let weights =
+            Tensor::from_vec((0..32).map(|v| (v * 7 % 120) as i8).collect(), vec![4, 8]).unwrap();
         let layer = LayerApprox::from_weights(3, "conv", &weights, &tables()).unwrap();
         assert_eq!(layer.node_id(), 3);
         assert_eq!(layer.name(), "conv");

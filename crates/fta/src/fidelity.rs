@@ -94,7 +94,11 @@ pub fn evaluate_fidelity(
         top1_agreement: agree as f64 / n,
         baseline_accuracy: baseline_correct as f64 / n,
         fta_accuracy: fta_correct as f64 / n,
-        mean_logit_sqnr_db: if sqnr_count > 0 { sqnr_sum / sqnr_count as f64 } else { f64::INFINITY },
+        mean_logit_sqnr_db: if sqnr_count > 0 {
+            sqnr_sum / sqnr_count as f64
+        } else {
+            f64::INFINITY
+        },
     })
 }
 

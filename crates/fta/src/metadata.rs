@@ -114,11 +114,8 @@ impl FilterMetadata {
     #[must_use]
     pub fn from_filter(filter_index: usize, filter: &FilterApprox) -> Self {
         let threshold = filter.threshold();
-        let weights = filter
-            .values()
-            .iter()
-            .map(|&v| WeightSlots::from_weight(v, threshold))
-            .collect();
+        let weights =
+            filter.values().iter().map(|&v| WeightSlots::from_weight(v, threshold)).collect();
         Self { filter_index, threshold, weights }
     }
 
@@ -274,7 +271,8 @@ mod tests {
         let tables = QueryTables::new();
         let values: Vec<i8> = (0..64).map(|i| ((i * 13 + 7) % 251) as i8).collect();
         let weights = Tensor::from_vec(values, vec![8, 8]).unwrap();
-        let layer = crate::algorithm::LayerApprox::from_weights(1, "conv", &weights, &tables).unwrap();
+        let layer =
+            crate::algorithm::LayerApprox::from_weights(1, "conv", &weights, &tables).unwrap();
         let meta = LayerMetadata::from_layer(&layer);
 
         // Reconstruction equals the approximated tensor.
@@ -295,7 +293,8 @@ mod tests {
     fn all_zero_layer_has_full_utilization_by_convention() {
         let tables = QueryTables::new();
         let weights = Tensor::from_vec(vec![0i8; 16], vec![4, 4]).unwrap();
-        let layer = crate::algorithm::LayerApprox::from_weights(0, "zeros", &weights, &tables).unwrap();
+        let layer =
+            crate::algorithm::LayerApprox::from_weights(0, "zeros", &weights, &tables).unwrap();
         let meta = LayerMetadata::from_layer(&layer);
         assert_eq!(meta.allocated_cells(), 0);
         assert_eq!(meta.utilization(), 1.0);

@@ -159,11 +159,7 @@ impl ModelFtaStats {
         if total == 0 {
             return 0.0;
         }
-        self.layers
-            .iter()
-            .map(|l| f(l) * l.weight_count() as f64)
-            .sum::<f64>()
-            / total as f64
+        self.layers.iter().map(|l| f(l) * l.weight_count() as f64).sum::<f64>() / total as f64
     }
 }
 

@@ -156,9 +156,7 @@ impl QueryTables {
     /// Returns [`FtaError::InvalidThreshold`] for thresholds above
     /// [`MAX_THRESHOLD`].
     pub fn table(&self, threshold: u32) -> Result<&QueryTable, FtaError> {
-        self.tables
-            .get(threshold as usize)
-            .ok_or(FtaError::InvalidThreshold { threshold })
+        self.tables.get(threshold as usize).ok_or(FtaError::InvalidThreshold { threshold })
     }
 }
 

@@ -110,11 +110,17 @@ impl Conv2dCfg {
     /// Returns [`NnError::BadParameters`] when a field is zero or the channel
     /// counts are not divisible by the group count.
     pub fn validate(&self, layer: &str) -> Result<(), NnError> {
-        let bad = |reason: &str| NnError::BadParameters { layer: layer.to_string(), reason: reason.to_string() };
+        let bad = |reason: &str| NnError::BadParameters {
+            layer: layer.to_string(),
+            reason: reason.to_string(),
+        };
         if self.in_channels == 0 || self.out_channels == 0 || self.kernel == 0 || self.stride == 0 {
             return Err(bad("channel counts, kernel and stride must be non-zero"));
         }
-        if self.groups == 0 || !self.in_channels.is_multiple_of(self.groups) || !self.out_channels.is_multiple_of(self.groups) {
+        if self.groups == 0
+            || !self.in_channels.is_multiple_of(self.groups)
+            || !self.out_channels.is_multiple_of(self.groups)
+        {
             return Err(bad("channel counts must be divisible by the group count"));
         }
         Ok(())
@@ -186,7 +192,10 @@ impl Pool2dCfg {
     /// Output spatial size for an input of `h x w`.
     #[must_use]
     pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        (h.saturating_sub(self.kernel) / self.stride + 1, w.saturating_sub(self.kernel) / self.stride + 1)
+        (
+            h.saturating_sub(self.kernel) / self.stride + 1,
+            w.saturating_sub(self.kernel) / self.stride + 1,
+        )
     }
 }
 
@@ -352,8 +361,12 @@ impl Layer {
     #[must_use]
     pub fn params(&self) -> u64 {
         match self {
-            Layer::Conv2d { cfg, bias, .. } => cfg.params() + bias.as_ref().map_or(0, |b| b.len() as u64),
-            Layer::Linear { cfg, bias, .. } => cfg.params() + bias.as_ref().map_or(0, |b| b.len() as u64),
+            Layer::Conv2d { cfg, bias, .. } => {
+                cfg.params() + bias.as_ref().map_or(0, |b| b.len() as u64)
+            }
+            Layer::Linear { cfg, bias, .. } => {
+                cfg.params() + bias.as_ref().map_or(0, |b| b.len() as u64)
+            }
             Layer::BatchNorm(bn) => 2 * bn.channels() as u64,
             _ => 0,
         }
@@ -383,15 +396,18 @@ impl Layer {
     /// Returns [`NnError::InputShape`] when the inputs do not match the
     /// layer's expectations, and [`NnError::BadParameters`] for an invalid
     /// configuration.
-    pub fn output_shape(&self, name: &str, input_shapes: &[Vec<usize>]) -> Result<Vec<usize>, NnError> {
+    pub fn output_shape(
+        &self,
+        name: &str,
+        input_shapes: &[Vec<usize>],
+    ) -> Result<Vec<usize>, NnError> {
         let shape_err = |expected: Vec<usize>, actual: &[usize]| NnError::InputShape {
             layer: name.to_string(),
             expected,
             actual: actual.to_vec(),
         };
-        let single = || -> Result<&Vec<usize>, NnError> {
-            input_shapes.first().ok_or(NnError::EmptyGraph)
-        };
+        let single =
+            || -> Result<&Vec<usize>, NnError> { input_shapes.first().ok_or(NnError::EmptyGraph) };
         match self {
             Layer::Conv2d { cfg, .. } => {
                 cfg.validate(name)?;
@@ -545,7 +561,10 @@ mod tests {
         assert!(add.output_shape("a", &[vec![8, 4, 4], vec![8, 2, 2]]).is_err());
 
         let scale = Layer::ChannelScale;
-        assert_eq!(scale.output_shape("s", &[vec![8, 4, 4], vec![8, 1, 1]]).unwrap(), vec![8, 4, 4]);
+        assert_eq!(
+            scale.output_shape("s", &[vec![8, 4, 4], vec![8, 1, 1]]).unwrap(),
+            vec![8, 4, 4]
+        );
     }
 
     #[test]

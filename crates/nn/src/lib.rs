@@ -43,9 +43,7 @@ pub mod zoo;
 
 pub use error::NnError;
 pub use graph::{argmax, Model, ModelBuilder, Node, NodeId};
-pub use layer::{
-    Activation, BatchNormParams, Conv2dCfg, Layer, LinearCfg, Pool2dCfg, PoolKind,
-};
+pub use layer::{Activation, BatchNormParams, Conv2dCfg, Layer, LinearCfg, Pool2dCfg, PoolKind};
 pub use quantized::{fold_batch_norm, QuantizedLayer, QuantizedModel, QuantizedNode};
 pub use summary::{LayerSummary, ModelSummary};
 pub use zoo::{ModelKind, CIFAR100_CLASSES, CIFAR_INPUT};

@@ -57,7 +57,8 @@ pub fn conv2d(
                                 continue;
                             }
                             let x = in_data[((ic_base + ic) * h + iy as usize) * w + ix as usize];
-                            let wv = w_data[((oc * in_per_group + ic) * cfg.kernel + ky) * cfg.kernel + kx];
+                            let wv = w_data
+                                [((oc * in_per_group + ic) * cfg.kernel + ky) * cfg.kernel + kx];
                             acc += x * wv;
                         }
                     }
@@ -216,10 +217,7 @@ pub fn global_avg_pool(input: &Tensor<f32>) -> Result<Tensor<f32>, NnError> {
 #[must_use]
 pub fn flatten(input: &Tensor<f32>) -> Tensor<f32> {
     let numel = input.numel();
-    input
-        .clone()
-        .reshaped(vec![numel])
-        .expect("reshaping to the element count always succeeds")
+    input.clone().reshaped(vec![numel]).expect("reshaping to the element count always succeeds")
 }
 
 /// Element-wise addition of two same-shaped tensors.

@@ -82,7 +82,9 @@ impl QuantizedLayer {
     #[must_use]
     pub fn weight(&self) -> Option<&QuantizedTensor> {
         match self {
-            QuantizedLayer::Conv2d { weight, .. } | QuantizedLayer::Linear { weight, .. } => Some(weight),
+            QuantizedLayer::Conv2d { weight, .. } | QuantizedLayer::Linear { weight, .. } => {
+                Some(weight)
+            }
             _ => None,
         }
     }
@@ -317,11 +319,25 @@ impl QuantizedModel {
         match &node.layer {
             QuantizedLayer::Conv2d { cfg, weight, bias } => {
                 let acc = conv2d_i8(x, x_qp, weight, cfg, &node.name)?;
-                Ok(requantize_acc(&acc, x_qp, weight, bias.as_deref(), node.output_qp, cfg.out_channels))
+                Ok(requantize_acc(
+                    &acc,
+                    x_qp,
+                    weight,
+                    bias.as_deref(),
+                    node.output_qp,
+                    cfg.out_channels,
+                ))
             }
             QuantizedLayer::Linear { cfg, weight, bias } => {
                 let acc = linear_i8(x, x_qp, weight, cfg, &node.name)?;
-                Ok(requantize_acc(&acc, x_qp, weight, bias.as_deref(), node.output_qp, cfg.out_features))
+                Ok(requantize_acc(
+                    &acc,
+                    x_qp,
+                    weight,
+                    bias.as_deref(),
+                    node.output_qp,
+                    cfg.out_features,
+                ))
             }
             QuantizedLayer::Activation(act) => {
                 let f = x_qp.dequantize_tensor(x);
@@ -462,8 +478,12 @@ fn conv2d_i8(
                             if ix < 0 || ix >= w as isize {
                                 continue;
                             }
-                            let q_x = i32::from(x[((ic_base + ic) * h + iy as usize) * w + ix as usize]) - zp;
-                            let q_w = i32::from(wv[((oc * in_per_group + ic) * cfg.kernel + ky) * cfg.kernel + kx]);
+                            let q_x =
+                                i32::from(x[((ic_base + ic) * h + iy as usize) * w + ix as usize])
+                                    - zp;
+                            let q_w = i32::from(
+                                wv[((oc * in_per_group + ic) * cfg.kernel + ky) * cfg.kernel + kx],
+                            );
                             acc += q_x * q_w;
                         }
                     }
@@ -565,7 +585,12 @@ mod tests {
 
     fn calibration(seed: u64, n: usize) -> Vec<Tensor<f32>> {
         let mut gen = TensorGenerator::new(seed);
-        (0..n).map(|_| gen.tensor(vec![3, 8, 8], dbpim_tensor::random::Distribution::Gaussian { std: 1.0 }).unwrap()).collect()
+        (0..n)
+            .map(|_| {
+                gen.tensor(vec![3, 8, 8], dbpim_tensor::random::Distribution::Gaussian { std: 1.0 })
+                    .unwrap()
+            })
+            .collect()
     }
 
     #[test]
@@ -615,7 +640,11 @@ mod tests {
         let cfg = Conv2dCfg::new(2, 4, 3).with_padding(1);
         b.chain(
             "conv",
-            Layer::Conv2d { cfg, weight: gen.weight_tensor(cfg.weight_dims()).unwrap(), bias: Some(vec![0.1; 4]) },
+            Layer::Conv2d {
+                cfg,
+                weight: gen.weight_tensor(cfg.weight_dims()).unwrap(),
+                bias: Some(vec![0.1; 4]),
+            },
         );
         b.chain(
             "bn",
@@ -629,7 +658,9 @@ mod tests {
         );
         let model = b.build().unwrap();
         let folded = fold_batch_norm(&model).unwrap();
-        let image = gen.tensor(vec![2, 4, 4], dbpim_tensor::random::Distribution::Gaussian { std: 1.0 }).unwrap();
+        let image = gen
+            .tensor(vec![2, 4, 4], dbpim_tensor::random::Distribution::Gaussian { std: 1.0 })
+            .unwrap();
         let before = model.forward(&image).unwrap();
         let after = folded.forward(&image).unwrap();
         assert!(before.mse(&after).unwrap() < 1e-8);

@@ -98,12 +98,8 @@ impl ModelSummary {
             "layer", "kind", "output", "params", "macs"
         ));
         for layer in &self.layers {
-            let shape = layer
-                .output_shape
-                .iter()
-                .map(ToString::to_string)
-                .collect::<Vec<_>>()
-                .join("x");
+            let shape =
+                layer.output_shape.iter().map(ToString::to_string).collect::<Vec<_>>().join("x");
             out.push_str(&format!(
                 "{:<28} {:<16} {:<16} {:>12} {:>14}\n",
                 layer.name, layer.kind, shape, layer.params, layer.macs

@@ -85,7 +85,12 @@ impl ModelKind {
     /// # Errors
     ///
     /// Returns a graph or shape error if construction fails.
-    pub fn build_with_width(&self, classes: usize, seed: u64, width_mult: f32) -> Result<Model, NnError> {
+    pub fn build_with_width(
+        &self,
+        classes: usize,
+        seed: u64,
+        width_mult: f32,
+    ) -> Result<Model, NnError> {
         let mut ctx = BuildCtx::new(seed, width_mult);
         match self {
             ModelKind::AlexNet => alexnet(&mut ctx, classes),
@@ -211,13 +216,38 @@ fn alexnet(ctx: &mut BuildCtx, classes: usize) -> Result<Model, NnError> {
     let mut b = ModelBuilder::new("alexnet", CIFAR_INPUT.to_vec());
     let c = |n: usize| ctx.ch(n);
     let (c64, c192, c384, c256) = (c(64), c(192), c(384), c(256));
-    ctx.conv_bn_act(&mut b, "conv1", Conv2dCfg::new(3, c64, 3).with_stride(2).with_padding(1), Activation::Relu)?;
+    ctx.conv_bn_act(
+        &mut b,
+        "conv1",
+        Conv2dCfg::new(3, c64, 3).with_stride(2).with_padding(1),
+        Activation::Relu,
+    )?;
     b.chain("pool1", Layer::Pool2d(Pool2dCfg::max(2)));
-    ctx.conv_bn_act(&mut b, "conv2", Conv2dCfg::new(c64, c192, 3).with_padding(1), Activation::Relu)?;
+    ctx.conv_bn_act(
+        &mut b,
+        "conv2",
+        Conv2dCfg::new(c64, c192, 3).with_padding(1),
+        Activation::Relu,
+    )?;
     b.chain("pool2", Layer::Pool2d(Pool2dCfg::max(2)));
-    ctx.conv_bn_act(&mut b, "conv3", Conv2dCfg::new(c192, c384, 3).with_padding(1), Activation::Relu)?;
-    ctx.conv_bn_act(&mut b, "conv4", Conv2dCfg::new(c384, c256, 3).with_padding(1), Activation::Relu)?;
-    ctx.conv_bn_act(&mut b, "conv5", Conv2dCfg::new(c256, c256, 3).with_padding(1), Activation::Relu)?;
+    ctx.conv_bn_act(
+        &mut b,
+        "conv3",
+        Conv2dCfg::new(c192, c384, 3).with_padding(1),
+        Activation::Relu,
+    )?;
+    ctx.conv_bn_act(
+        &mut b,
+        "conv4",
+        Conv2dCfg::new(c384, c256, 3).with_padding(1),
+        Activation::Relu,
+    )?;
+    ctx.conv_bn_act(
+        &mut b,
+        "conv5",
+        Conv2dCfg::new(c256, c256, 3).with_padding(1),
+        Activation::Relu,
+    )?;
     b.chain("pool3", Layer::Pool2d(Pool2dCfg::max(2)));
     b.chain("flatten", Layer::Flatten);
     let flat = c256 * 2 * 2;
@@ -267,7 +297,12 @@ fn vgg19(ctx: &mut BuildCtx, classes: usize) -> Result<Model, NnError> {
 fn resnet18(ctx: &mut BuildCtx, classes: usize) -> Result<Model, NnError> {
     let mut b = ModelBuilder::new("resnet18", CIFAR_INPUT.to_vec());
     let stem_ch = ctx.ch(64);
-    ctx.conv_bn_act(&mut b, "stem", Conv2dCfg::new(3, stem_ch, 3).with_padding(1), Activation::Relu)?;
+    ctx.conv_bn_act(
+        &mut b,
+        "stem",
+        Conv2dCfg::new(3, stem_ch, 3).with_padding(1),
+        Activation::Relu,
+    )?;
     let mut in_ch = stem_ch;
     let stages: [(usize, usize); 4] = [(64, 1), (128, 2), (256, 2), (512, 2)];
     for (stage, &(channels, first_stride)) in stages.iter().enumerate() {
@@ -313,7 +348,12 @@ fn resnet18(ctx: &mut BuildCtx, classes: usize) -> Result<Model, NnError> {
 fn mobilenet_v2(ctx: &mut BuildCtx, classes: usize) -> Result<Model, NnError> {
     let mut b = ModelBuilder::new("mobilenet_v2", CIFAR_INPUT.to_vec());
     let stem_ch = ctx.ch(32);
-    ctx.conv_bn_act(&mut b, "stem", Conv2dCfg::new(3, stem_ch, 3).with_padding(1), Activation::Relu6)?;
+    ctx.conv_bn_act(
+        &mut b,
+        "stem",
+        Conv2dCfg::new(3, stem_ch, 3).with_padding(1),
+        Activation::Relu6,
+    )?;
     let mut in_ch = stem_ch;
     // (expansion, output channels, repeats, first stride) — CIFAR strides.
     let blocks: [(usize, usize, usize, usize); 7] = [
@@ -330,7 +370,18 @@ fn mobilenet_v2(ctx: &mut BuildCtx, classes: usize) -> Result<Model, NnError> {
         for r in 0..repeats {
             let stride = if r == 0 { first_stride } else { 1 };
             let prefix = format!("block{}.{r}", bi + 1);
-            inverted_residual(ctx, &mut b, &prefix, in_ch, out_ch, stride, expand, 3, 0.0, Activation::Relu6)?;
+            inverted_residual(
+                ctx,
+                &mut b,
+                &prefix,
+                in_ch,
+                out_ch,
+                stride,
+                expand,
+                3,
+                0.0,
+                Activation::Relu6,
+            )?;
             in_ch = out_ch;
         }
     }
@@ -345,7 +396,12 @@ fn mobilenet_v2(ctx: &mut BuildCtx, classes: usize) -> Result<Model, NnError> {
 fn efficientnet_b0(ctx: &mut BuildCtx, classes: usize) -> Result<Model, NnError> {
     let mut b = ModelBuilder::new("efficientnet_b0", CIFAR_INPUT.to_vec());
     let stem_ch = ctx.ch(32);
-    ctx.conv_bn_act(&mut b, "stem", Conv2dCfg::new(3, stem_ch, 3).with_padding(1), Activation::Silu)?;
+    ctx.conv_bn_act(
+        &mut b,
+        "stem",
+        Conv2dCfg::new(3, stem_ch, 3).with_padding(1),
+        Activation::Silu,
+    )?;
     let mut in_ch = stem_ch;
     // (expansion, output channels, repeats, first stride, kernel).
     let blocks: [(usize, usize, usize, usize, usize); 7] = [
@@ -362,7 +418,18 @@ fn efficientnet_b0(ctx: &mut BuildCtx, classes: usize) -> Result<Model, NnError>
         for r in 0..repeats {
             let stride = if r == 0 { first_stride } else { 1 };
             let prefix = format!("mbconv{}.{r}", bi + 1);
-            inverted_residual(ctx, &mut b, &prefix, in_ch, out_ch, stride, expand, kernel, 0.25, Activation::Silu)?;
+            inverted_residual(
+                ctx,
+                &mut b,
+                &prefix,
+                in_ch,
+                out_ch,
+                stride,
+                expand,
+                kernel,
+                0.25,
+                Activation::Silu,
+            )?;
             in_ch = out_ch;
         }
     }
@@ -396,7 +463,8 @@ fn inverted_residual(
     if expand != 1 {
         ctx.conv_bn_act(b, &format!("{prefix}.expand"), Conv2dCfg::new(in_ch, expanded, 1), act)?;
     }
-    let dw_cfg = Conv2dCfg::depthwise(expanded, kernel).with_stride(stride).with_padding(kernel / 2);
+    let dw_cfg =
+        Conv2dCfg::depthwise(expanded, kernel).with_stride(stride).with_padding(kernel / 2);
     let mut trunk = ctx.conv_bn_act(b, &format!("{prefix}.dw"), dw_cfg, act)?;
     if se_ratio > 0.0 {
         let se_ch = ((in_ch as f32 * se_ratio).round() as usize).max(1);
@@ -409,7 +477,8 @@ fn inverted_residual(
         trunk = b.add(format!("{prefix}.se.scale"), Layer::ChannelScale, vec![trunk, gate]);
     }
     b.set_last(trunk);
-    let projected = ctx.conv_bn(b, &format!("{prefix}.project"), Conv2dCfg::new(expanded, out_ch, 1))?;
+    let projected =
+        ctx.conv_bn(b, &format!("{prefix}.project"), Conv2dCfg::new(expanded, out_ch, 1))?;
     if stride == 1 && in_ch == out_ch {
         Ok(b.add(format!("{prefix}.add"), Layer::Add, vec![projected, block_input]))
     } else {

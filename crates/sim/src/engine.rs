@@ -108,8 +108,9 @@ impl Simulator {
                     metadata_bytes,
                 } => {
                     let rows = f64::from(weights_per_filter) / compartments;
-                    let cells =
-                        f64::from(filters) * f64::from(weights_per_filter) * f64::from(cells_per_weight);
+                    let cells = f64::from(filters)
+                        * f64::from(weights_per_filter)
+                        * f64::from(cells_per_weight);
                     let payload_bytes = cells / 8.0 + f64::from(metadata_bytes);
                     let cycles =
                         rows.ceil().max(payload_bytes / self.config.load_bytes_per_cycle as f64);
@@ -137,8 +138,7 @@ impl Simulator {
                     let slot = usize::from(macro_id).min(arch.macros - 1);
                     busy[slot] += cycles;
                     compute_busy[slot] += cycles;
-                    let cells_per_weight =
-                        threshold.map_or(OPERAND_BITS as f64, f64::from);
+                    let cells_per_weight = threshold.map_or(OPERAND_BITS as f64, f64::from);
                     let active_cells = compartments * f64::from(filters) * cells_per_weight;
                     energy.macro_dynamic_pj += cycles
                         * (active_cells * self.cost.cell_compute_pj
@@ -167,8 +167,7 @@ impl Simulator {
 
         let array_cycles = busy.iter().fold(0.0f64, |m, &b| m.max(b));
         let total_cycles = (array_cycles.max(io_cycles) + serial_cycles).ceil() as u64;
-        let compute_cycles =
-            compute_busy.iter().fold(0.0f64, |m, &b| m.max(b)).ceil() as u64;
+        let compute_cycles = compute_busy.iter().fold(0.0f64, |m, &b| m.max(b)).ceil() as u64;
         energy.static_pj += total_cycles as f64 * self.cost.static_per_cycle_pj;
 
         LayerReport {
@@ -216,7 +215,8 @@ mod tests {
             .into_iter()
             .map(|sparsity| {
                 let sim = Simulator::new(SimConfig::new(sparsity)).unwrap();
-                let program = if sparsity.weight_sparsity() { &sparse_program } else { &dense_program };
+                let program =
+                    if sparsity.weight_sparsity() { &sparse_program } else { &dense_program };
                 sim.simulate(program).unwrap()
             })
             .collect()
@@ -277,7 +277,11 @@ mod tests {
             assert!(!run.layers.is_empty());
             assert!(run.total_cycles() > 0);
             assert!(run.energy().total_pj() > 0.0);
-            assert!(run.energy_efficiency_tops_per_w() > 0.5, "{}", run.energy_efficiency_tops_per_w());
+            assert!(
+                run.energy_efficiency_tops_per_w() > 0.5,
+                "{}",
+                run.energy_efficiency_tops_per_w()
+            );
             assert!(run.average_power_mw() > 0.1);
             // Static energy is attributed to every layer.
             assert!(run.layers.iter().all(|l| l.energy.static_pj > 0.0));

@@ -138,7 +138,13 @@ impl RunReport {
         let mut out = String::new();
         out.push_str(&format!(
             "{} / {} @ {} MHz\n{:<28} {:>12} {:>14} {:>14}\n",
-            self.model_name, self.sparsity, self.frequency_mhz, "layer", "cycles", "macs", "energy (nJ)"
+            self.model_name,
+            self.sparsity,
+            self.frequency_mhz,
+            "layer",
+            "cycles",
+            "macs",
+            "energy (nJ)"
         ));
         for layer in &self.layers {
             out.push_str(&format!(

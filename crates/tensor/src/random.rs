@@ -110,7 +110,11 @@ impl TensorGenerator {
     /// # Errors
     ///
     /// Returns [`TensorError::EmptyShape`] for an invalid shape.
-    pub fn tensor(&mut self, dims: Vec<usize>, dist: Distribution) -> Result<Tensor<f32>, TensorError> {
+    pub fn tensor(
+        &mut self,
+        dims: Vec<usize>,
+        dist: Distribution,
+    ) -> Result<Tensor<f32>, TensorError> {
         let mut t = Tensor::<f32>::zeros(dims)?;
         for v in t.data_mut() {
             *v = dist.sample(&mut self.rng);
@@ -164,7 +168,8 @@ impl TensorGenerator {
         let mut labels = Vec::with_capacity(batch);
         for _ in 0..batch {
             let label = self.rng.gen_range(0..classes);
-            let mut img = self.tensor(vec![channels, height, width], Distribution::Gaussian { std: 0.5 })?;
+            let mut img =
+                self.tensor(vec![channels, height, width], Distribution::Gaussian { std: 0.5 })?;
             // Class-dependent structure: a deterministic low-frequency pattern.
             let phase = label as f32 / classes as f32;
             for (i, v) in img.data_mut().iter_mut().enumerate() {
@@ -205,7 +210,8 @@ mod tests {
         let mut g = TensorGenerator::new(1);
         let t = g.tensor(vec![20_000], Distribution::Gaussian { std: 2.0 }).unwrap();
         let mean = t.mean();
-        let var: f32 = t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.numel() as f32;
+        let var: f32 =
+            t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.numel() as f32;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }

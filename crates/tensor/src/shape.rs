@@ -71,9 +71,7 @@ impl Shape {
     /// Returns [`TensorError::IndexOutOfBounds`] when the index rank or any
     /// component is out of range.
     pub fn linear_index(&self, index: &[usize]) -> Result<usize, TensorError> {
-        if index.len() != self.dims.len()
-            || index.iter().zip(&self.dims).any(|(&i, &d)| i >= d)
-        {
+        if index.len() != self.dims.len() || index.iter().zip(&self.dims).any(|(&i, &d)| i >= d) {
             return Err(TensorError::IndexOutOfBounds {
                 index: index.to_vec(),
                 shape: self.dims.clone(),

@@ -52,7 +52,12 @@ impl WeightBitStats {
             binary += u64::from(v.unsigned_abs().count_ones());
             csd += u64::from(CsdWord::from_i8(v).nonzero_digits());
         }
-        Self { total_values: values.len(), zero_values, binary_nonzero_bits: binary, csd_nonzero_bits: csd }
+        Self {
+            total_values: values.len(),
+            zero_values,
+            binary_nonzero_bits: binary,
+            csd_nonzero_bits: csd,
+        }
     }
 
     /// Computes statistics over an INT8 tensor.
@@ -211,8 +216,8 @@ fn ratio(num: u64, den: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::random::{Distribution, TensorGenerator};
     use crate::quant::QuantizedTensor;
+    use crate::random::{Distribution, TensorGenerator};
 
     #[test]
     fn csd_zero_ratio_is_at_least_binary_for_realistic_weights() {

@@ -38,7 +38,10 @@ impl<T> Tensor<T> {
     pub fn from_vec(data: Vec<T>, dims: Vec<usize>) -> Result<Self, TensorError> {
         let shape = Shape::new(dims)?;
         if data.len() != shape.numel() {
-            return Err(TensorError::ShapeMismatch { data_len: data.len(), expected: shape.numel() });
+            return Err(TensorError::ShapeMismatch {
+                data_len: data.len(),
+                expected: shape.numel(),
+            });
         }
         Ok(Self { shape, data })
     }
@@ -92,7 +95,10 @@ impl<T> Tensor<T> {
     pub fn reshaped(self, dims: Vec<usize>) -> Result<Self, TensorError> {
         let shape = Shape::new(dims)?;
         if shape.numel() != self.data.len() {
-            return Err(TensorError::ShapeMismatch { data_len: self.data.len(), expected: shape.numel() });
+            return Err(TensorError::ShapeMismatch {
+                data_len: self.data.len(),
+                expected: shape.numel(),
+            });
         }
         Ok(Self { shape, data: self.data })
     }
@@ -179,9 +185,9 @@ impl Tensor<f32> {
     /// Minimum and maximum element values.
     #[must_use]
     pub fn min_max(&self) -> (f32, f32) {
-        self.data.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
-            (lo.min(v), hi.max(v))
-        })
+        self.data
+            .iter()
+            .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)))
     }
 
     /// Largest absolute element value.
@@ -202,12 +208,7 @@ impl Tensor<f32> {
                 right: other.shape().to_vec(),
             });
         }
-        let sum: f32 = self
-            .data
-            .iter()
-            .zip(other.data())
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum();
+        let sum: f32 = self.data.iter().zip(other.data()).map(|(a, b)| (a - b) * (a - b)).sum();
         Ok(sum / self.data.len() as f32)
     }
 
@@ -219,8 +220,7 @@ impl Tensor<f32> {
     /// Returns [`TensorError::IncompatibleShapes`] when the shapes differ.
     pub fn sqnr_db(&self, other: &Self) -> Result<f32, TensorError> {
         let noise = self.mse(other)?;
-        let signal: f32 =
-            self.data.iter().map(|a| a * a).sum::<f32>() / self.data.len() as f32;
+        let signal: f32 = self.data.iter().map(|a| a * a).sum::<f32>() / self.data.len() as f32;
         if noise <= f32::EPSILON {
             return Ok(f32::INFINITY);
         }

@@ -57,7 +57,8 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // DB-PIM sparse execution, with and without the IPU skipping columns.
     let mut pim = PimMacro::new(ArchConfig::paper())?;
-    let weight_only = pim.execute_sparse_tile(&metadata, &inputs, &InputPreprocessor::without_sparsity())?;
+    let weight_only =
+        pim.execute_sparse_tile(&metadata, &inputs, &InputPreprocessor::without_sparsity())?;
     let mut pim = PimMacro::new(ArchConfig::paper())?;
     let hybrid = pim.execute_sparse_tile(&metadata, &inputs, &InputPreprocessor::new())?;
 

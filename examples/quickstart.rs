@@ -4,9 +4,10 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! The pipeline builds a model with synthetic weights, quantizes it to INT8,
+//! The session builds a model with synthetic weights, quantizes it to INT8,
 //! applies the FTA algorithm, compiles the result for the DB-PIM macros and
-//! the dense baseline, and simulates all four Fig. 7 sparsity configurations.
+//! the dense baseline, and simulates all four Fig. 7 sparsity configurations
+//! from the same compiled programs.
 
 use std::error::Error;
 
@@ -16,11 +17,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     // A fast configuration: 10 classes, a handful of synthetic images.
     let mut config = PipelineConfig::fast();
     config.evaluation_images = 8;
-    let pipeline = Pipeline::new(config)?;
+    let session = SimSession::new(config)?;
 
     let model = zoo::tiny_cnn(10, 42)?;
     println!("model: {} ({} nodes)", model.name(), model.nodes().len());
-    let result = pipeline.run_model(&model)?;
+    let result = session.codesign_model(&model, true)?;
 
     println!("\n== model summary ==");
     print!("{}", result.summary.to_table());
@@ -55,7 +56,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("\n== area (Table 4 style) ==");
     let area = AreaModel::calibrated_28nm();
     for component in area.breakdown(&ArchConfig::paper()) {
-        println!("{:<32} {:>8.5} mm^2  {:>5.2} %", component.name, component.mm2, 100.0 * component.share);
+        println!(
+            "{:<32} {:>8.5} mm^2  {:>5.2} %",
+            component.name,
+            component.mm2,
+            100.0 * component.share
+        );
     }
     Ok(())
 }

@@ -19,10 +19,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     config.width_mult = 0.5;
     config.calibration_images = 2;
     config.evaluation_images = 4;
-    let pipeline = Pipeline::new(config)?;
+    let session = SimSession::new(config)?;
 
     println!("building ResNet-18 (width 0.5) with synthetic weights...");
-    let result = pipeline.run_kind(ModelKind::ResNet18)?;
+    let result = session.codesign(ModelKind::ResNet18, true)?;
 
     println!("\n== per-layer FTA statistics ==");
     println!(
@@ -53,7 +53,11 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     println!("\n== Fig. 7 comparison ==");
     let baseline = result.baseline();
-    println!("dense baseline: {} cycles, {:.2} uJ", baseline.total_cycles(), baseline.total_energy_uj());
+    println!(
+        "dense baseline: {} cycles, {:.2} uJ",
+        baseline.total_cycles(),
+        baseline.total_energy_uj()
+    );
     for sparsity in [
         SparsityConfig::InputSparsity,
         SparsityConfig::WeightSparsity,

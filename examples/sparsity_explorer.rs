@@ -7,14 +7,14 @@
 //!
 //! `model` is one of `alexnet`, `vgg19`, `resnet18`, `mobilenetv2`,
 //! `efficientnetb0` (default `mobilenetv2`). The example reports the
-//! Fig. 2(a) style zero-bit ratios, the per-filter threshold distribution and
-//! a forced-threshold ablation that shows the accuracy/sparsity trade-off
-//! Algorithm 1 navigates.
+//! Fig. 2(a) style zero-bit ratios, the per-filter threshold distribution, a
+//! forced-threshold ablation that shows the accuracy/sparsity trade-off
+//! Algorithm 1 navigates, and a four-configuration sweep rendered from a
+//! [`BatchRunner`] `SweepReport`.
 
 use std::error::Error;
 
 use db_pim::prelude::*;
-use dbpim_fta::stats::ModelFtaStats;
 use dbpim_fta::{FilterApprox, LayerApprox};
 
 fn parse_model(name: &str) -> ModelKind {
@@ -30,13 +30,18 @@ fn parse_model(name: &str) -> ModelKind {
 fn main() -> Result<(), Box<dyn Error>> {
     let kind = parse_model(&std::env::args().nth(1).unwrap_or_else(|| "mobilenetv2".to_string()));
     println!("model: {kind} (width 0.5, synthetic weights)");
-    let model = kind.build_with_width(100, 7, 0.5)?;
 
-    let mut gen = TensorGenerator::new(11);
-    let (calibration, _) = gen.labelled_batch(2, 3, 32, 32, 100)?;
-    let quantized = QuantizedModel::quantize(&model, &calibration)?;
-    let approx = ModelApprox::from_quantized(&quantized)?;
-    let stats = ModelFtaStats::from_model(&approx);
+    // One session backs the whole exploration: the quantized model, the FTA
+    // approximation and the compiled programs are prepared once and shared
+    // by the statistics below and by the sweep at the end.
+    let mut config = PipelineConfig::paper();
+    config.seed = 7;
+    config.width_mult = 0.5;
+    config.calibration_images = 2;
+    let runner = BatchRunner::new(config.without_fidelity())?;
+    let artifacts = runner.session().artifacts(kind)?;
+    let approx = artifacts.approx();
+    let stats = artifacts.fta_stats();
 
     println!("\n== Fig. 2(a): zero-bit ratio of the weights ==");
     println!("plain binary (Ori_Zero): {:.1} %", 100.0 * stats.binary_zero_ratio());
@@ -54,7 +59,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
     let total: usize = histogram.iter().sum();
     for (phi, count) in histogram.iter().enumerate() {
-        println!("phi_th = {phi}: {count:>6} filters ({:.1} %)", 100.0 * *count as f64 / total.max(1) as f64);
+        println!(
+            "phi_th = {phi}: {count:>6} filters ({:.1} %)",
+            100.0 * *count as f64 / total.max(1) as f64
+        );
     }
 
     println!("\n== forced-threshold ablation on the widest convolution ==");
@@ -64,6 +72,26 @@ fn main() -> Result<(), Box<dyn Error>> {
         .max_by_key(|l| l.filter_count() * l.filter_len())
         .expect("the model has PIM layers");
     ablation(widest)?;
+
+    println!("\n== Fig. 7 sweep (batch runner, artifacts reused) ==");
+    let report = runner.run(&SweepSpec::new(vec![kind]))?;
+    let result = report.result(kind).expect("model swept");
+    for sparsity in SparsityConfig::all() {
+        let run = result.run(sparsity).expect("all four configurations simulated");
+        println!(
+            "{:<16} {:>10} cycles  speedup {:>5.2}x  energy saving {:>5.1} %",
+            sparsity.label(),
+            run.total_cycles(),
+            result.speedup(sparsity),
+            100.0 * result.energy_saving(sparsity)
+        );
+    }
+    println!(
+        "sweep: {} model(s), {} simulation run(s) in {:.1} ms",
+        report.prepared_models,
+        report.simulated_runs,
+        report.wall_time.as_secs_f64() * 1e3
+    );
     Ok(())
 }
 
@@ -71,13 +99,19 @@ fn main() -> Result<(), Box<dyn Error>> {
 /// sparsity / error trade-off Algorithm 1 balances automatically.
 fn ablation(layer: &LayerApprox) -> Result<(), Box<dyn Error>> {
     let tables = QueryTables::new();
-    println!("layer {} ({} filters x {} weights)", layer.name(), layer.filter_count(), layer.filter_len());
+    println!(
+        "layer {} ({} filters x {} weights)",
+        layer.name(),
+        layer.filter_count(),
+        layer.filter_len()
+    );
     for forced in 0..=2u32 {
         let mut stored = 0usize;
         let mut error_sum = 0.0f64;
         let mut weights = 0usize;
         for f in 0..layer.filter_count() {
-            let original = &layer.original_values()[f * layer.filter_len()..(f + 1) * layer.filter_len()];
+            let original =
+                &layer.original_values()[f * layer.filter_len()..(f + 1) * layer.filter_len()];
             let approx = FilterApprox::approximate_with_threshold(original, forced, &tables)?;
             stored += approx.stored_blocks();
             error_sum += approx.mean_abs_error(original) * original.len() as f64;

@@ -40,9 +40,8 @@ fn macro_reproduces_the_fc_layer_integer_accumulation() {
     let mut macro_outputs: Vec<i64> = Vec::new();
     for chunk in metadata.chunks(8) {
         let mut pim = PimMacro::new(MacroConfig::paper()).expect("macro builds");
-        let exec = pim
-            .execute_sparse_tile(chunk, &inputs, &InputPreprocessor::new())
-            .expect("tile fits");
+        let exec =
+            pim.execute_sparse_tile(chunk, &inputs, &InputPreprocessor::new()).expect("tile fits");
         macro_outputs.extend(exec.outputs);
     }
 

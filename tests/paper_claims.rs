@@ -31,7 +31,11 @@ fn every_model_accelerates_and_saves_energy() {
         let saving = result.energy_saving(SparsityConfig::HybridSparsity);
         assert!(weight > 1.3, "{}: weight-sparsity speedup {weight}", result.model_name);
         assert!(hybrid >= weight, "{}: hybrid {hybrid} < weight {weight}", result.model_name);
-        assert!(hybrid < 16.0, "{}: hybrid speedup {hybrid} beyond architectural ceiling", result.model_name);
+        assert!(
+            hybrid < 16.0,
+            "{}: hybrid speedup {hybrid} beyond architectural ceiling",
+            result.model_name
+        );
         assert!(
             saving > 0.25 && saving < 0.95,
             "{}: hybrid energy saving {saving}",
@@ -53,7 +57,12 @@ fn fig2a_sparsity_ordering_holds_for_every_model() {
         );
         assert!(stats.csd_zero_ratio() >= stats.binary_zero_ratio(), "{}", result.model_name);
         assert!(stats.fta_zero_ratio() >= stats.csd_zero_ratio(), "{}", result.model_name);
-        assert!(stats.fta_zero_ratio() > 0.7, "{}: FTA zero ratio {}", result.model_name, stats.fta_zero_ratio());
+        assert!(
+            stats.fta_zero_ratio() > 0.7,
+            "{}: FTA zero ratio {}",
+            result.model_name,
+            stats.fta_zero_ratio()
+        );
     }
 }
 

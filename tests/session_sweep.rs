@@ -1,0 +1,126 @@
+//! Workspace integration tests for the simulation-session layer: batched
+//! sweeps must be bit-identical to independent `Pipeline` runs, artifact
+//! caching must actually share work, and degenerate sweeps must behave.
+
+use std::sync::Arc;
+
+use db_pim::prelude::*;
+
+fn small_config() -> PipelineConfig {
+    let mut config = PipelineConfig::fast();
+    config.width_mult = 0.25;
+    config.calibration_images = 1;
+    config.evaluation_images = 2;
+    config
+}
+
+/// Artifact reuse across the four sparsity configurations produces
+/// bit-identical `CodesignResult`s (including every `RunReport`) to
+/// independent `Pipeline` runs.
+#[test]
+fn batch_runner_matches_independent_pipeline_runs() {
+    let config = small_config();
+    let runner = BatchRunner::new(config).expect("valid config");
+    let kinds = vec![ModelKind::AlexNet, ModelKind::MobileNetV2];
+    let report =
+        runner.run_with_fidelity(&SweepSpec::new(kinds.clone()), true).expect("sweep runs");
+    assert_eq!(report.entries.len(), 2);
+    assert_eq!(report.prepared_models, 2);
+    assert_eq!(report.simulated_runs, 8);
+
+    let pipeline = Pipeline::new(config).expect("valid config");
+    for kind in kinds {
+        let independent = pipeline.run_kind(kind).expect("pipeline runs");
+        let swept = report.result(kind).expect("model swept");
+        assert_eq!(swept, &independent, "{kind:?} sweep result diverges from Pipeline");
+    }
+}
+
+/// An empty sweep returns an empty report.
+#[test]
+fn empty_sweep_returns_empty_report() {
+    let runner = BatchRunner::new(small_config()).expect("valid config");
+    let report = runner.run(&SweepSpec::new(Vec::new())).expect("empty sweep runs");
+    assert!(report.is_empty());
+    assert_eq!(report.prepared_models, 0);
+    assert_eq!(report.simulated_runs, 0);
+    assert!(report.results().next().is_none());
+}
+
+/// The session hands out the *same* artifacts (pointer-equal) on repeated
+/// requests, and the runner reuses them across sparsity configurations.
+#[test]
+fn session_caches_artifacts_per_model() {
+    let session = SimSession::new(small_config()).expect("valid config");
+    let first = session.artifacts(ModelKind::AlexNet).expect("prepares");
+    let second = session.artifacts(ModelKind::AlexNet).expect("cached");
+    assert!(Arc::ptr_eq(&first, &second), "artifacts were re-prepared");
+
+    // Compiled programs are cached per geometry too.
+    let arch = session.config().arch;
+    let p1 = first.programs(arch).expect("compiles");
+    let p2 = first.programs(arch).expect("cached");
+    assert!(Arc::ptr_eq(&p1, &p2), "programs were re-compiled");
+}
+
+/// Parallel and sequential execution of the same sweep agree exactly.
+#[test]
+fn parallelism_does_not_change_results() {
+    let spec = SweepSpec::new(vec![ModelKind::AlexNet]);
+    let sequential = BatchRunner::new(small_config())
+        .expect("valid config")
+        .with_threads(1)
+        .run(&spec)
+        .expect("sequential sweep");
+    let parallel = BatchRunner::new(small_config())
+        .expect("valid config")
+        .with_threads(8)
+        .run(&spec)
+        .expect("parallel sweep");
+    assert_eq!(sequential.entries, parallel.entries);
+}
+
+/// A sparsity subset sweeps only the requested configurations, in canonical
+/// Fig. 7 order.
+#[test]
+fn sparsity_subset_is_honoured() {
+    let runner = BatchRunner::new(small_config()).expect("valid config");
+    let spec = SweepSpec::new(vec![ModelKind::AlexNet])
+        .with_sparsity(vec![SparsityConfig::HybridSparsity, SparsityConfig::DenseBaseline]);
+    let report = runner.run(&spec).expect("subset sweep");
+    let result = report.result(ModelKind::AlexNet).expect("model swept");
+    assert_eq!(result.runs.len(), 2);
+    assert_eq!(result.runs[0].sparsity, SparsityConfig::DenseBaseline);
+    assert_eq!(result.runs[1].sparsity, SparsityConfig::HybridSparsity);
+    assert!(result.speedup(SparsityConfig::HybridSparsity) > 1.0);
+}
+
+/// Two distinct models sharing a name must not receive each other's cached
+/// artifacts.
+#[test]
+fn same_name_different_model_is_not_served_from_cache() {
+    let config = small_config();
+    let session = SimSession::new(config).expect("valid config");
+    // Both builders produce a model named "tiny_cnn", with different weights.
+    let a = zoo::tiny_cnn(10, 3).expect("model builds");
+    let b = zoo::tiny_cnn(10, 7).expect("model builds");
+    let result_a = session.codesign_model(&a, true).expect("a runs");
+    let result_b = session.codesign_model(&b, true).expect("b runs");
+    assert_ne!(result_a.fta_stats, result_b.fta_stats, "b was served a's cached artifacts");
+
+    let expected_b =
+        Pipeline::new(config).expect("valid config").run_model(&b).expect("pipeline runs");
+    assert_eq!(result_b, expected_b);
+}
+
+/// `SimSession::codesign` on a non-zoo model matches `Pipeline::run_model`.
+#[test]
+fn session_codesign_model_matches_pipeline() {
+    let config = small_config();
+    let session = SimSession::new(config).expect("valid config");
+    let model = zoo::tiny_cnn(10, 3).expect("model builds");
+    let via_session = session.codesign_model(&model, true).expect("session runs");
+    let via_pipeline =
+        Pipeline::new(config).expect("valid config").run_model(&model).expect("pipeline runs");
+    assert_eq!(via_session, via_pipeline);
+}

@@ -1,0 +1,125 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API the DB-PIM benches use —
+//! `Criterion::default().sample_size(n)`, `bench_function`, `Bencher::iter`,
+//! `black_box` and the `criterion_group!`/`criterion_main!` macros — as a
+//! small wall-clock harness: per sample it times one closure invocation and
+//! reports min / median / mean over the sample set. No statistics beyond
+//! that, no HTML reports, no outlier analysis.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark configuration and runner.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warmup: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 30, warmup: 3 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { elapsed: Duration::ZERO, iterations: 0 };
+        for _ in 0..self.warmup {
+            bencher.elapsed = Duration::ZERO;
+            bencher.iterations = 0;
+            routine(&mut bencher);
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.elapsed = Duration::ZERO;
+            bencher.iterations = 0;
+            routine(&mut bencher);
+            if bencher.iterations > 0 {
+                samples.push(bencher.elapsed / u32::try_from(bencher.iterations).unwrap_or(1));
+            }
+        }
+        if samples.is_empty() {
+            println!("{name:<48} (no iterations)");
+            return self;
+        }
+        samples.sort();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / u32::try_from(samples.len()).unwrap_or(1);
+        println!(
+            "{name:<48} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+            min,
+            median,
+            mean,
+            samples.len()
+        );
+        self
+    }
+}
+
+/// Times closure invocations for one sample.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times one invocation of `routine`, keeping its output alive so the
+    /// optimizer cannot elide the work.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+        black_box(out);
+    }
+}
+
+/// Declares a benchmark group: a function running each target against a
+/// shared [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

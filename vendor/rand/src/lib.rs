@@ -1,0 +1,237 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the trait surface the DB-PIM workspace uses — [`RngCore`],
+//! [`Rng`] (`gen`, `gen_range`, `gen_bool`) and [`SeedableRng`] — backed by
+//! textbook uniform-sampling conversions (24/53-bit mantissa floats,
+//! widening-multiply bounded integers). The concrete generator lives in the
+//! sibling `rand_chacha` stand-in.
+//!
+//! Streams are *not* bit-compatible with upstream rand; every consumer in
+//! this workspace only relies on determinism-per-seed and distribution
+//! quality, both of which hold.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random bits.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed, expanding it to the full
+    /// internal key (SplitMix64, as upstream rand does).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable uniformly over their whole domain (the `Standard`
+/// distribution of upstream rand).
+pub trait StandardSample: Sized {
+    /// Draws one uniform sample.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($ty:ty => $via:ident),*) => {$(
+        impl StandardSample for $ty {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $ty
+            }
+        }
+    )*};
+}
+
+standard_int!(i8 => next_u32, u8 => next_u32, i16 => next_u32, u16 => next_u32,
+              i32 => next_u32, u32 => next_u32, i64 => next_u64, u64 => next_u64,
+              usize => next_u64, isize => next_u64);
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 random mantissa bits in [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+
+    /// Draws one uniform sample from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Uniform integer in `[0, bound)` by widening multiply (Lemire's method
+/// without the rejection step; the bias is < 2^-64 per draw, far below
+/// anything the statistical tests in this workspace can resolve).
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    ((u128::from(rng.next_u64()) * u128::from(bound)) >> 64) as u64
+}
+
+macro_rules! int_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange for Range<$ty> {
+            type Output = $ty;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range called with empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let offset = bounded_u64(rng, span);
+                (self.start as i128 + offset as i128) as $ty
+            }
+        }
+        impl SampleRange for RangeInclusive<$ty> {
+            type Output = $ty;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range called with empty range");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                if span > u128::from(u64::MAX) {
+                    // Full u64/i64 domain: a raw draw is already uniform.
+                    return <$ty as StandardSample>::sample(rng);
+                }
+                let offset = bounded_u64(rng, span as u64);
+                (start as i128 + offset as i128) as $ty
+            }
+        }
+    )*};
+}
+
+int_range!(i8, u8, i16, u16, i32, u32, i64, u64, usize, isize);
+
+impl SampleRange for Range<f32> {
+    type Output = f32;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        let u: f32 = StandardSample::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        let u: f64 = StandardSample::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample over the full domain of `T`.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniform sample from `range` (half-open or inclusive).
+    fn gen_range<Rg: SampleRange>(&mut self, range: Rg) -> Rg::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool called with p = {p}");
+        let u: f64 = StandardSample::sample(self);
+        u < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// SplitMix64: the seed-expansion generator upstream rand uses for
+/// `seed_from_u64`.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the expander from a 64-bit state.
+    #[must_use]
+    pub fn new(state: u64) -> Self {
+        Self { state }
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_sampling_stays_in_range() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..10_000 {
+            let x: usize = rng.gen_range(0usize..17);
+            assert!(x < 17);
+            let y: i8 = rng.gen_range(-5i8..=5);
+            assert!((-5..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut rng = SplitMix64::new(2);
+        let mut sum = 0.0f64;
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = SplitMix64::new(3);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+        let ratio = hits as f64 / 20_000.0;
+        assert!((ratio - 0.3).abs() < 0.02, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,59 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! the workspace vendors a minimal, self-contained replacement that keeps the
+//! public surface the DB-PIM crates rely on: the `Serialize` / `Deserialize`
+//! traits, `#[derive(Serialize, Deserialize)]`, and (via the sibling
+//! `serde_json` stand-in) JSON round-tripping.
+//!
+//! Unlike real serde, serialization goes through an explicit dynamic
+//! [`value::Value`] tree instead of a visitor pair. That keeps the hand-rolled
+//! derive macro (no `syn`/`quote` offline) small while preserving the
+//! externally-tagged data model real serde_json produces for the shapes used
+//! in this workspace: structs become JSON objects, unit enum variants become
+//! strings, and data-carrying variants become single-entry objects.
+
+#![forbid(unsafe_code)]
+
+mod error;
+mod impls;
+pub mod value;
+
+pub use error::Error;
+pub use serde_derive::{Deserialize, Serialize};
+
+use value::Value;
+
+/// A type that can be converted into a dynamic [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a dynamic [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value tree does not match `Self`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+
+    /// Called by derived struct impls when a field is absent from the map.
+    ///
+    /// The default is an error; `Option<T>` overrides it to produce `None`,
+    /// matching serde's treatment of missing optional fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] unless the implementor supports absent fields.
+    fn missing_field(field: &str) -> Result<Self, Error> {
+        Err(Error::custom(format!("missing field `{field}`")))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}

@@ -1,0 +1,542 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which are unavailable in
+//! this offline build environment. This implementation parses the item
+//! declaration directly from the `proc_macro` token stream — which is
+//! sufficient because, for derive purposes, only *structure* matters: the
+//! item's name, generic parameters, and field/variant names. Field types are
+//! never needed; the generated code lets trait dispatch
+//! (`serde::Serialize::to_value` / `serde::Deserialize::from_value`) resolve
+//! them through inference.
+//!
+//! Supported shapes (everything the DB-PIM workspace uses):
+//! * unit / tuple / named-field structs, with optional generic parameters;
+//! * enums with any mix of unit, tuple and struct variants.
+//!
+//! The serialized data model matches serde_json's externally tagged default:
+//! structs are maps, unit variants are strings, data variants are
+//! single-entry maps.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by generating a `to_value` conversion.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+/// Derives `serde::Deserialize` by generating a `from_value` conversion.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+/// The shape of a struct body or an enum variant payload.
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Generic parameter names, e.g. `["T"]` for `Tensor<T>`.
+    params: Vec<String>,
+    /// Any declared bounds per parameter, verbatim, e.g. `"Clone + Default"`.
+    bounds: Vec<String>,
+    body: Body,
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let item = parse_item(input);
+    let code = match which {
+        Trait::Serialize => gen_serialize(&item),
+        Trait::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().expect("derive output parses")
+}
+
+// ------------------------------------------------------------------ parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attrs_and_vis(&tokens, &mut pos);
+    let keyword = match &tokens[pos] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    };
+    pos += 1;
+
+    let name = match &tokens[pos] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("expected item name, found `{other}`"),
+    };
+    pos += 1;
+
+    let (params, bounds) = parse_generics(&tokens, &mut pos);
+
+    let body = match keyword.as_str() {
+        "struct" => Body::Struct(parse_struct_body(&tokens, &mut pos)),
+        "enum" => Body::Enum(parse_enum_body(&tokens[pos..])),
+        other => panic!("cannot derive for `{other}` items"),
+    };
+
+    Item { name, params, bounds, body }
+}
+
+/// Skips outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // `#` + bracketed group
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *pos += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Parses `<A, B: Bound, ...>` if present, returning parameter names and
+/// their verbatim bound strings (empty when unbounded).
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> (Vec<String>, Vec<String>) {
+    let mut params = Vec::new();
+    let mut bounds = Vec::new();
+    if !matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return (params, bounds);
+    }
+    *pos += 1;
+    let mut depth = 1usize;
+    let mut current_name: Option<String> = None;
+    let mut current_bound = String::new();
+    let mut in_bound = false;
+    while depth > 0 {
+        let token = tokens.get(*pos).expect("unterminated generic parameter list");
+        *pos += 1;
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                if in_bound {
+                    current_bound.push('<');
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    if let Some(name) = current_name.take() {
+                        params.push(name);
+                        bounds.push(current_bound.trim().to_string());
+                    }
+                } else if in_bound {
+                    current_bound.push('>');
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                if let Some(name) = current_name.take() {
+                    params.push(name);
+                    bounds.push(current_bound.trim().to_string());
+                }
+                current_bound = String::new();
+                in_bound = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 && !in_bound => {
+                in_bound = true;
+            }
+            other => {
+                if in_bound {
+                    current_bound.push_str(&other.to_string());
+                    current_bound.push(' ');
+                } else if current_name.is_none() {
+                    let text = other.to_string();
+                    if text == "'" || text.starts_with('\'') {
+                        panic!("lifetime parameters are not supported by the offline serde derive");
+                    }
+                    current_name = Some(text);
+                }
+            }
+        }
+    }
+    (params, bounds)
+}
+
+fn parse_struct_body(tokens: &[TokenTree], pos: &mut usize) -> Fields {
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Fields::Named(parse_named_fields(&inner))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Fields::Tuple(count_tuple_fields(&inner))
+        }
+        other => panic!("unsupported struct body: {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` field lists, skipping attributes, visibility and
+/// type tokens (types may contain `<...>` with nested commas).
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(ident) => ident.to_string(),
+            other => panic!("expected field name, found `{other}`"),
+        };
+        pos += 1;
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field `{name}`, found `{other}`"),
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct/variant payload.
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for token in tokens {
+        trailing_comma = false;
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_enum_body(tokens: &[TokenTree]) -> Vec<Variant> {
+    let group = match tokens.first() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("expected enum body, found {other:?}"),
+    };
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < inner.len() {
+        skip_attrs_and_vis(&inner, &mut pos);
+        if pos >= inner.len() {
+            break;
+        }
+        let name = match &inner[pos] {
+            TokenTree::Ident(ident) => ident.to_string(),
+            other => panic!("expected variant name, found `{other}`"),
+        };
+        pos += 1;
+        let fields = match inner.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                pos += 1;
+                Fields::Named(parse_named_fields(&body))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(&body))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        while pos < inner.len() {
+            match &inner[pos] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    pos += 1;
+                    break;
+                }
+                _ => pos += 1,
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// --------------------------------------------------------------- generation
+
+impl Item {
+    /// `impl<T: Bound + ::serde::Serialize> ... for Name<T>` header pieces.
+    fn impl_header(&self, trait_bound: &str) -> (String, String) {
+        if self.params.is_empty() {
+            return (String::new(), String::new());
+        }
+        let decls: Vec<String> = self
+            .params
+            .iter()
+            .zip(&self.bounds)
+            .map(|(param, bound)| {
+                if bound.is_empty() {
+                    format!("{param}: {trait_bound}")
+                } else {
+                    format!("{param}: {bound} + {trait_bound}")
+                }
+            })
+            .collect();
+        (format!("<{}>", decls.join(", ")), format!("<{}>", self.params.join(", ")))
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (impl_generics, type_generics) = item.impl_header("::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => gen_serialize_fields(fields, "self.", None),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|variant| {
+                    let vname = &variant.name;
+                    match &variant.fields {
+                        Fields::Unit => format!(
+                            "Self::{vname} => ::serde::value::Value::Str(\"{vname}\".to_string()),"
+                        ),
+                        Fields::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let values: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "Self::{vname}({binds}) => ::serde::value::Value::Map(vec![(\
+                                 \"{vname}\".to_string(), ::serde::value::Value::Seq(vec![{values}]))]),",
+                                binds = binds.join(", "),
+                                values = values.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "Self::{vname} {{ {binds} }} => ::serde::value::Value::Map(vec![(\
+                                 \"{vname}\".to_string(), ::serde::value::Value::Map(vec![{entries}]))]),",
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Serialize for {name}{type_generics} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Serialization body for struct-shaped fields. `accessor` prefixes each
+/// field (`self.` for structs, empty for bound variant fields).
+fn gen_serialize_fields(fields: &Fields, accessor: &str, _variant: Option<&str>) -> String {
+    match fields {
+        Fields::Unit => "::serde::value::Value::Null".to_string(),
+        Fields::Tuple(arity) => {
+            let values: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&{accessor}{i})"))
+                .collect();
+            format!("::serde::value::Value::Seq(vec![{}])", values.join(", "))
+        }
+        Fields::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&{accessor}{f}))")
+                })
+                .collect();
+            format!("::serde::value::Value::Map(vec![{}])", entries.join(", "))
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (impl_generics, type_generics) = item.impl_header("::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => gen_deserialize_struct(name, fields),
+        Body::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Deserialize for {name}{type_generics} {{\n\
+             fn from_value(__value: &::serde::value::Value) -> Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_struct(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!(
+            "match __value {{\n\
+                 ::serde::value::Value::Null | ::serde::value::Value::Map(_) => Ok(Self),\n\
+                 other => Err(::serde::value::type_error(\"unit struct {name}\", other)),\n\
+             }}"
+        ),
+        Fields::Tuple(arity) => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "let __seq = __value.as_seq().ok_or_else(|| \
+                     ::serde::value::type_error(\"tuple struct {name}\", __value))?;\n\
+                 if __seq.len() != {arity} {{\n\
+                     return Err(::serde::Error::custom(format!(\
+                         \"expected {arity} elements for {name}, found {{}}\", __seq.len())));\n\
+                 }}\n\
+                 Ok(Self({elems}))",
+                elems = elems.join(", ")
+            )
+        }
+        Fields::Named(fields) => {
+            let inits: Vec<String> = fields.iter().map(|f| gen_field_init(f)).collect();
+            format!(
+                "let __map = __value.as_map().ok_or_else(|| \
+                     ::serde::value::type_error(\"struct {name}\", __value))?;\n\
+                 Ok(Self {{ {inits} }})",
+                inits = inits.join(", ")
+            )
+        }
+    }
+}
+
+/// `field: <lookup + deserialize>` initializer for one named field.
+fn gen_field_init(field: &str) -> String {
+    format!(
+        "{field}: match ::serde::value::get_field(__map, \"{field}\") {{\n\
+             Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+             None => ::serde::Deserialize::missing_field(\"{field}\")?,\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| format!("\"{vname}\" => return Ok(Self::{vname}),", vname = v.name))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|variant| {
+            let vname = &variant.name;
+            match &variant.fields {
+                Fields::Unit => None,
+                Fields::Tuple(arity) => {
+                    let elems: Vec<String> = (0..*arity)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => {{\n\
+                             let __seq = __payload.as_seq().ok_or_else(|| \
+                                 ::serde::value::type_error(\"payload of {name}::{vname}\", __payload))?;\n\
+                             if __seq.len() != {arity} {{\n\
+                                 return Err(::serde::Error::custom(\
+                                     \"wrong payload arity for {name}::{vname}\"));\n\
+                             }}\n\
+                             Ok(Self::{vname}({elems}))\n\
+                         }}",
+                        elems = elems.join(", ")
+                    ))
+                }
+                Fields::Named(fields) => {
+                    let inits: Vec<String> = fields.iter().map(|f| gen_field_init(f)).collect();
+                    Some(format!(
+                        "\"{vname}\" => {{\n\
+                             let __map = __payload.as_map().ok_or_else(|| \
+                                 ::serde::value::type_error(\"payload of {name}::{vname}\", __payload))?;\n\
+                             Ok(Self::{vname} {{ {inits} }})\n\
+                         }}",
+                        inits = inits.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+
+    format!(
+        "if let Some(__variant) = __value.as_str() {{\n\
+             match __variant {{\n\
+                 {unit_arms}\n\
+                 other => return Err(::serde::Error::custom(format!(\
+                     \"unknown unit variant `{{other}}` for {name}\"))),\n\
+             }}\n\
+         }}\n\
+         let (__variant, __payload) = __value.as_variant().ok_or_else(|| \
+             ::serde::value::type_error(\"enum {name}\", __value))?;\n\
+         match __variant {{\n\
+             {data_arms}\n\
+             other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{other}}` for {name}\"))),\n\
+         }}",
+        unit_arms = unit_arms.join("\n"),
+        data_arms = data_arms.join("\n")
+    )
+}
