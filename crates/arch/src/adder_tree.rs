@@ -14,10 +14,13 @@ use serde::{Deserialize, Serialize};
 use crate::lpu::LpuOutput;
 
 /// Metadata attached to one occupied cell, as held in the metadata register
-/// file: the dyadic-block index (two bits) and the digit sign (one bit).
+/// file: the dyadic-block index (two bits for the paper's INT8 layout,
+/// `OperandWidth::index_bits` in general) and the digit sign (one bit).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CellMeta {
-    /// Dyadic-block index `0..=3`.
+    /// Dyadic-block index (`0..=3` at INT8, up to `0..=7` at INT16). The
+    /// reduction shifts by `2 * db_index (+ 1)`, so the tree's precision
+    /// follows the operand width automatically.
     pub db_index: u8,
     /// Sign of the stored non-zero digit.
     pub sign: Sign,

@@ -4,14 +4,17 @@
 //! 500 MHz in 28 nm, a 128 KB feature buffer, 16 KB instruction buffer, 32 KB
 //! weight buffer, 96 KB meta buffer and four 6 KB metadata register files.
 
+use dbpim_csd::OperandWidth;
 use serde::{Deserialize, Serialize};
 
 use crate::error::ArchError;
 
-/// Number of dyadic blocks per INT8 weight (8 digits / 2 digits per block).
-pub const BLOCKS_PER_WEIGHT: usize = 4;
-/// Bit width of weights and input features (8b/8b evaluation).
-pub const OPERAND_BITS: usize = 8;
+/// Number of dyadic blocks per INT8 weight (8 digits / 2 digits per block);
+/// the `OperandWidth::Int8` instance of [`OperandWidth::blocks`].
+pub const BLOCKS_PER_WEIGHT: usize = OperandWidth::Int8.blocks();
+/// Bit width of the paper's 8b/8b evaluation. Input features are always
+/// streamed at this width; weight widths vary per [`OperandWidth`].
+pub const OPERAND_BITS: usize = OperandWidth::Int8.bits() as usize;
 
 /// Geometry and clocking of the DB-PIM accelerator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -112,6 +115,30 @@ impl ArchConfig {
         self.rows_per_dbmu * self.compartments_per_macro
     }
 
+    /// Number of filters the *dense* baseline packs per macro at a weight
+    /// width: the reference design's [`dense_filters_per_macro`]
+    /// (`ArchConfig::dense_filters_per_macro`), capped by how many
+    /// `width.bits()`-column weights fit the compartment.
+    ///
+    /// At INT8 on the paper geometry this is the historical 2; INT12/INT16
+    /// weights leave room for only one filter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::CapacityExceeded`] when even a single weight's
+    /// bit columns exceed the compartment.
+    pub fn dense_filters_per_macro_for(&self, width: OperandWidth) -> Result<usize, ArchError> {
+        let bits = width.bits() as usize;
+        if bits > self.dbmus_per_compartment {
+            return Err(ArchError::CapacityExceeded {
+                resource: "weight bit columns",
+                requested: bits,
+                available: self.dbmus_per_compartment,
+            });
+        }
+        Ok(self.dense_filters_per_macro.min(self.dbmus_per_compartment / bits))
+    }
+
     /// Clock period in nanoseconds.
     #[must_use]
     pub fn clock_period_ns(&self) -> f64 {
@@ -192,6 +219,18 @@ mod tests {
         assert_eq!(cfg.sram_bytes(), 272 * 1024);
         assert_eq!(cfg.register_file_bytes(), 4 * 6 * 1024 + 256);
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn dense_filters_scale_down_with_operand_width() {
+        let cfg = ArchConfig::paper();
+        assert_eq!(cfg.dense_filters_per_macro_for(OperandWidth::Int4).unwrap(), 2);
+        assert_eq!(cfg.dense_filters_per_macro_for(OperandWidth::Int8).unwrap(), 2);
+        assert_eq!(cfg.dense_filters_per_macro_for(OperandWidth::Int12).unwrap(), 1);
+        assert_eq!(cfg.dense_filters_per_macro_for(OperandWidth::Int16).unwrap(), 1);
+        let mut narrow = ArchConfig::paper();
+        narrow.dbmus_per_compartment = 8;
+        assert!(narrow.dense_filters_per_macro_for(OperandWidth::Int16).is_err());
     }
 
     #[test]

@@ -32,6 +32,13 @@ pub enum ArchError {
         /// The offending threshold.
         threshold: u32,
     },
+    /// A weight value outside the operand width's two's-complement range.
+    OperandOutOfRange {
+        /// The offending weight value.
+        value: i32,
+        /// The operand bit width whose range was exceeded.
+        bits: u32,
+    },
     /// A buffer access beyond the modelled capacity.
     BufferOverflow {
         /// Buffer name.
@@ -57,6 +64,9 @@ impl fmt::Display for ArchError {
             }
             ArchError::UnsupportedThreshold { threshold } => {
                 write!(f, "filter threshold {threshold} is not supported by the macro geometry")
+            }
+            ArchError::OperandOutOfRange { value, bits } => {
+                write!(f, "weight {value} is outside the {bits}-bit two's-complement range")
             }
             ArchError::BufferOverflow { buffer, requested, capacity } => {
                 write!(

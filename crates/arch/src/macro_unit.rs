@@ -12,11 +12,12 @@
 //! paper compares against: eight plain binary bit-cells per weight, two
 //! filters per macro, no zero-bit skipping.
 
+use dbpim_csd::OperandWidth;
 use dbpim_fta::metadata::FilterMetadata;
 use serde::{Deserialize, Serialize};
 
 use crate::adder_tree::{CellMeta, CsdAdderTree};
-use crate::config::{ArchConfig, OPERAND_BITS};
+use crate::config::ArchConfig;
 use crate::dbmu::Dbmu;
 use crate::error::ArchError;
 use crate::ipu::InputPreprocessor;
@@ -232,6 +233,9 @@ impl PimMacro {
     /// Executes one dense-baseline tile: weights are stored as eight plain
     /// binary bit-cells each, `dense_filters_per_macro` filters at a time.
     ///
+    /// This is the INT8 instance of
+    /// [`execute_dense_tile_for_width`](Self::execute_dense_tile_for_width).
+    ///
     /// # Errors
     ///
     /// * [`ArchError::CapacityExceeded`] when the filters or weights do not
@@ -244,6 +248,33 @@ impl PimMacro {
         inputs: &[i8],
         ipu: &InputPreprocessor,
     ) -> Result<TileExecution, ArchError> {
+        let wide: Vec<Vec<i32>> =
+            filters.iter().map(|f| f.iter().map(|&w| i32::from(w)).collect()).collect();
+        self.execute_dense_tile_for_width(&wide, inputs, ipu, OperandWidth::Int8)
+    }
+
+    /// Executes one dense-baseline tile at an arbitrary weight width:
+    /// every weight occupies `width.bits()` plain binary bit-cells (its
+    /// two's-complement representation over that width), so wider operands
+    /// consume proportionally more DBMU columns per filter.
+    ///
+    /// # Errors
+    ///
+    /// * [`ArchError::CapacityExceeded`] when the filters, weights or weight
+    ///   bit columns do not fit the macro geometry.
+    /// * [`ArchError::LengthMismatch`] when a filter's weight count differs
+    ///   from the number of inputs.
+    /// * [`ArchError::OperandOutOfRange`] when a weight lies outside the
+    ///   width's two's-complement range (truncating it to `width.bits()`
+    ///   bits would silently change its value).
+    pub fn execute_dense_tile_for_width(
+        &mut self,
+        filters: &[Vec<i32>],
+        inputs: &[i8],
+        ipu: &InputPreprocessor,
+        width: OperandWidth,
+    ) -> Result<TileExecution, ArchError> {
+        let weight_bits = width.bits() as usize;
         if filters.len() > self.config.dense_filters_per_macro {
             return Err(ArchError::CapacityExceeded {
                 resource: "filters",
@@ -258,10 +289,10 @@ impl PimMacro {
                 available: self.config.weights_per_filter_capacity(),
             });
         }
-        if OPERAND_BITS * filters.len() > self.config.dbmus_per_compartment {
+        if weight_bits * filters.len() > self.config.dbmus_per_compartment {
             return Err(ArchError::CapacityExceeded {
                 resource: "weight bit columns",
-                requested: OPERAND_BITS * filters.len(),
+                requested: weight_bits * filters.len(),
                 available: self.config.dbmus_per_compartment,
             });
         }
@@ -274,20 +305,24 @@ impl PimMacro {
                     right_len: inputs.len(),
                 });
             }
+            if let Some(&value) = filter.iter().find(|&&w| !width.contains(w)) {
+                return Err(ArchError::OperandOutOfRange { value, bits: width.bits() });
+            }
         }
 
         self.reset();
         let mut stats = MacroComputeStats::default();
         let compartments = self.config.compartments_per_macro;
         // Load: weight bit b of weight j of filter f in compartment (j mod C),
-        // row (j div C), column f*8 + b.
+        // row (j div C), column f*bits + b. The low `width.bits()` bits of
+        // the two's-complement value are exact for any in-range weight.
         for (f, filter) in filters.iter().enumerate() {
             for (j, &w) in filter.iter().enumerate() {
                 let compartment = j % compartments;
                 let row = j / compartments;
-                for b in 0..OPERAND_BITS {
-                    let column = f * OPERAND_BITS + b;
-                    let bit = (w as u8 >> b) & 1 == 1;
+                for b in 0..weight_bits {
+                    let column = f * weight_bits + b;
+                    let bit = (w as u32 >> b) & 1 == 1;
                     self.compartments[compartment].dbmus[column].write_row(row, bit)?;
                     stats.cell_writes += 1;
                 }
@@ -307,8 +342,8 @@ impl PimMacro {
                 stats.compute_cycles += 1;
                 for (f, ppu) in ppus.iter_mut().enumerate() {
                     let mut partial = 0i32;
-                    for b in 0..OPERAND_BITS {
-                        let column = f * OPERAND_BITS + b;
+                    for b in 0..weight_bits {
+                        let column = f * weight_bits + b;
                         let mut products = Vec::with_capacity(group.len());
                         for (c, &input_bit) in column_bits.bits.iter().enumerate() {
                             // In dense mode the stored bit is the cell's Q node.
@@ -320,7 +355,7 @@ impl PimMacro {
                             products.push(out.o_q);
                         }
                         let (reduced, _) =
-                            tree.reduce_dense(&products, b as u32, b == OPERAND_BITS - 1);
+                            tree.reduce_dense(&products, b as u32, b == weight_bits - 1);
                         partial += reduced;
                     }
                     stats.adder_reductions += 1;
@@ -341,8 +376,8 @@ mod tests {
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
 
-    fn reference_dot(weights: &[i8], inputs: &[i8]) -> i64 {
-        weights.iter().zip(inputs).map(|(&w, &x)| i64::from(w) * i64::from(x)).sum()
+    fn reference_dot<T: Into<i64> + Copy>(weights: &[T], inputs: &[i8]) -> i64 {
+        weights.iter().zip(inputs).map(|(&w, &x)| w.into() * i64::from(x)).sum()
     }
 
     fn metadata_for(weights: &[i8], threshold: u32) -> FilterMetadata {
@@ -406,6 +441,60 @@ mod tests {
             .unwrap();
         for (out, filter) in exec.outputs.iter().zip(&filters) {
             assert_eq!(*out, reference_dot(filter, &inputs));
+        }
+    }
+
+    #[test]
+    fn wide_dense_tiles_match_reference_dot_products() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let len = 29usize;
+        let inputs: Vec<i8> = (0..len).map(|_| rng.gen()).collect();
+        for width in OperandWidth::all() {
+            let filters_per_macro = (ArchConfig::paper().dbmus_per_compartment
+                / width.bits() as usize)
+                .min(ArchConfig::paper().dense_filters_per_macro);
+            let filters: Vec<Vec<i32>> = (0..filters_per_macro)
+                .map(|_| {
+                    (0..len).map(|_| rng.gen_range(width.min_value()..=width.max_value())).collect()
+                })
+                .collect();
+            let mut pim = PimMacro::new(ArchConfig::paper()).unwrap();
+            let exec = pim
+                .execute_dense_tile_for_width(
+                    &filters,
+                    &inputs,
+                    &InputPreprocessor::without_sparsity(),
+                    width,
+                )
+                .unwrap();
+            for (out, filter) in exec.outputs.iter().zip(&filters) {
+                assert_eq!(*out, reference_dot(filter, &inputs), "{width}");
+            }
+        }
+        // Two INT16 filters exceed the 16 DBMU columns of a compartment.
+        let mut pim = PimMacro::new(ArchConfig::paper()).unwrap();
+        let too_many = vec![vec![1i32; 4]; 2];
+        assert!(matches!(
+            pim.execute_dense_tile_for_width(
+                &too_many,
+                &[1i8; 4],
+                &InputPreprocessor::new(),
+                OperandWidth::Int16,
+            ),
+            Err(ArchError::CapacityExceeded { resource: "weight bit columns", .. })
+        ));
+        // Out-of-range weights are rejected instead of silently truncated
+        // (8 would read back as -8 from four bit-cells).
+        for value in [8i32, -9] {
+            assert_eq!(
+                pim.execute_dense_tile_for_width(
+                    &[vec![value]],
+                    &[1i8],
+                    &InputPreprocessor::new(),
+                    OperandWidth::Int4,
+                ),
+                Err(ArchError::OperandOutOfRange { value, bits: 4 })
+            );
         }
     }
 

@@ -17,6 +17,7 @@ fn small_options() -> ExperimentOptions {
         calibration_images: 1,
         evaluation_images: 2,
         seed: 42,
+        ..ExperimentOptions::default()
     }
 }
 

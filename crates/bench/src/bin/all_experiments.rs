@@ -41,4 +41,8 @@ fn main() {
         Err(e) => eprintln!("table3 failed: {e}"),
     }
     println!("{}", experiments::table4(&context));
+    match experiments::width_sweep(&context) {
+        Ok(report) => println!("{report}"),
+        Err(e) => eprintln!("width_sweep failed: {e}"),
+    }
 }

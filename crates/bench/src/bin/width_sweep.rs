@@ -1,0 +1,8 @@
+//! Width sweep: DB-PIM quality and speedups across weight operand widths
+//! (INT4/INT8/INT12/INT16) for the five paper models.
+
+use dbpim_bench::{experiments, run_report_binary};
+
+fn main() {
+    run_report_binary("width_sweep", experiments::width_sweep);
+}

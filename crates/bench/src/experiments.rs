@@ -118,8 +118,14 @@ pub fn table2(context: &ExperimentContext) -> Result<String, PipelineError> {
     for (kind, paper) in paper_models().into_iter().zip(paper_drop) {
         let result = sweep.result(kind).expect("zoo sweep covers every paper model");
         let fidelity = result.fidelity.as_ref().ok_or_else(|| PipelineError::BadConfig {
-            reason: "Table 2 needs at least one evaluation image (pass --images 1 or more)"
-                .to_string(),
+            reason: if options.operand_width == OperandWidth::Int8 {
+                "Table 2 needs at least one evaluation image (pass --images 1 or more)".to_string()
+            } else {
+                format!(
+                    "Table 2 (fidelity) is INT8-only; remove `--operand-width {}`",
+                    options.operand_width
+                )
+            },
         })?;
         let _ = writeln!(
             out,
@@ -287,6 +293,64 @@ pub fn table3(context: &ExperimentContext) -> Result<String, PipelineError> {
     Ok(out)
 }
 
+/// Width sweep: per-model DB-PIM quality across operand widths
+/// (INT4/INT8/INT12/INT16) — the precision axis the ROADMAP's "CSD-width
+/// scenarios" item asked for.
+///
+/// For every paper model and every supported width, the sweep reports the
+/// actual utilization `U_act`, the FTA zero-digit ratio, and the weight /
+/// hybrid speedups plus hybrid energy saving over the dense baseline *at
+/// the same width* (wider dense mappings fit fewer filters per macro, so
+/// the baseline slows down with width while the DB-PIM cost tracks `φ_th`).
+/// Fidelity is INT8-only and therefore omitted here.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn width_sweep(context: &ExperimentContext) -> Result<String, PipelineError> {
+    let options = context.options();
+    let spec =
+        db_pim::SweepSpec::new(paper_models().to_vec()).with_widths(OperandWidth::all().to_vec());
+    let report = context.runner().run(&spec)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Width sweep - DB-PIM across weight operand widths (channel width x{})",
+        options.width_mult
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>6} {:>8} {:>9} {:>9} {:>9} {:>9}",
+        "model", "width", "U_act", "FTA_zero", "weight x", "hybrid x", "saving"
+    );
+    for kind in paper_models() {
+        for width in OperandWidth::all() {
+            let result = report
+                .result_at_width(kind, width)
+                .expect("width sweep covers every (model, width)");
+            let _ = writeln!(
+                out,
+                "{:<16} {:>6} {:>8} {:>9} {:>8.2}x {:>8.2}x {:>9}",
+                kind.name(),
+                width.to_string(),
+                pct(result.utilization()),
+                pct(result.fta_stats.fta_zero_ratio()),
+                result.speedup(SparsityConfig::WeightSparsity),
+                result.speedup(SparsityConfig::HybridSparsity),
+                pct(result.energy_saving(SparsityConfig::HybridSparsity)),
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "note: INT8 is the paper's setting; other widths quantize the float\n\
+         weights per output channel at that width. Speedups are relative to\n\
+         the dense baseline of the same width."
+    );
+    Ok(out)
+}
+
 /// Table 4: DB-PIM area breakdown on the context's geometry.
 #[must_use]
 pub fn table4(context: &ExperimentContext) -> String {
@@ -341,6 +405,7 @@ mod tests {
             calibration_images: 1,
             evaluation_images: 2,
             seed: 5,
+            ..ExperimentOptions::default()
         };
         ExperimentContext::new(options).expect("valid options")
     }

@@ -51,12 +51,14 @@ impl std::error::Error for OptionsError {}
 /// --images <usize> evaluation images for fidelity experiments (default 16)
 /// --cal <usize>    calibration images (default 2)
 /// --classes <usize> output classes (default 100)
+/// --operand-width <4|8|12|16>  weight operand width (default 8 = the paper)
 /// ```
 ///
 /// Unknown flags are ignored (so wrappers can pass extra arguments through),
 /// but a known flag with a missing or malformed value is an error — silently
 /// falling back to defaults would mislabel every number in the generated
-/// report.
+/// report. `--operand-width` in particular rejects anything that is not one
+/// of the supported widths (e.g. `--operand-width 10` or `wide`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExperimentOptions {
     /// Channel width multiplier applied to every zoo model.
@@ -69,6 +71,8 @@ pub struct ExperimentOptions {
     pub calibration_images: usize,
     /// Number of output classes.
     pub classes: usize,
+    /// Weight operand width the pipeline runs at (INT8 = the paper).
+    pub operand_width: OperandWidth,
 }
 
 impl Default for ExperimentOptions {
@@ -79,6 +83,7 @@ impl Default for ExperimentOptions {
             evaluation_images: 16,
             calibration_images: 2,
             classes: 100,
+            operand_width: OperandWidth::Int8,
         }
     }
 }
@@ -96,7 +101,8 @@ where
 
 impl ExperimentOptions {
     /// The flags this parser understands.
-    pub const FLAGS: [&'static str; 5] = ["--width", "--seed", "--images", "--cal", "--classes"];
+    pub const FLAGS: [&'static str; 6] =
+        ["--width", "--seed", "--images", "--cal", "--classes", "--operand-width"];
 
     /// Parses options from the process arguments.
     ///
@@ -109,7 +115,10 @@ impl ExperimentOptions {
             Ok(options) => options,
             Err(e) => {
                 eprintln!("{e}");
-                eprintln!("usage: [--width <f32>] [--seed <u64>] [--images <n>] [--cal <n>] [--classes <n>]");
+                eprintln!(
+                    "usage: [--width <f32>] [--seed <u64>] [--images <n>] [--cal <n>] \
+                     [--classes <n>] [--operand-width <4|8|12|16>]"
+                );
                 std::process::exit(2);
             }
         }
@@ -140,6 +149,7 @@ impl ExperimentOptions {
                 "--images" => options.evaluation_images = parse_value(flag, raw)?,
                 "--cal" => options.calibration_images = parse_value(flag, raw)?,
                 "--classes" => options.classes = parse_value(flag, raw)?,
+                "--operand-width" => options.operand_width = parse_value(flag, raw)?,
                 _ => unreachable!("flag list and match arms agree"),
             }
             i += 2;
@@ -156,6 +166,7 @@ impl ExperimentOptions {
         config.calibration_images = self.calibration_images.max(1);
         config.evaluation_images = self.evaluation_images;
         config.classes = self.classes;
+        config.operand_width = self.operand_width;
         config
     }
 }
@@ -411,6 +422,56 @@ mod tests {
     }
 
     #[test]
+    fn operand_width_flag_accepts_supported_widths() {
+        for (raw, expected) in [
+            ("4", OperandWidth::Int4),
+            ("8", OperandWidth::Int8),
+            ("12", OperandWidth::Int12),
+            ("16", OperandWidth::Int16),
+            ("int12", OperandWidth::Int12),
+            ("INT16", OperandWidth::Int16),
+        ] {
+            let args: Vec<String> =
+                ["--operand-width", raw].iter().map(ToString::to_string).collect();
+            let options = ExperimentOptions::from_slice(&args).unwrap();
+            assert_eq!(options.operand_width, expected, "raw `{raw}`");
+            assert_eq!(options.pipeline_config().operand_width, expected);
+        }
+        // The default is the paper's INT8.
+        assert_eq!(ExperimentOptions::default().operand_width, OperandWidth::Int8);
+    }
+
+    #[test]
+    fn operand_width_flag_rejects_malformed_and_unsupported_values() {
+        // Unsupported bit counts.
+        for raw in ["0", "2", "10", "32", "-8"] {
+            let args: Vec<String> =
+                ["--operand-width", raw].iter().map(ToString::to_string).collect();
+            let err = ExperimentOptions::from_slice(&args).unwrap_err();
+            assert_eq!(err.flag, "--operand-width");
+            assert!(err.message.contains(raw), "{err}");
+        }
+        // Non-numeric garbage.
+        let args: Vec<String> =
+            ["--operand-width", "wide"].iter().map(ToString::to_string).collect();
+        let err = ExperimentOptions::from_slice(&args).unwrap_err();
+        assert_eq!(err.flag, "--operand-width");
+        assert!(err.to_string().contains("wide"), "{err}");
+        // Missing value.
+        let args: Vec<String> = ["--operand-width"].iter().map(ToString::to_string).collect();
+        let err = ExperimentOptions::from_slice(&args).unwrap_err();
+        assert_eq!(err.flag, "--operand-width");
+        assert!(err.to_string().contains("missing"), "{err}");
+        // The channel multiplier flag is unaffected: `--width` still parses
+        // floats and never consumes operand widths.
+        let args: Vec<String> =
+            ["--width", "0.5", "--operand-width", "4"].iter().map(ToString::to_string).collect();
+        let options = ExperimentOptions::from_slice(&args).unwrap();
+        assert!((options.width_mult - 0.5).abs() < 1e-6);
+        assert_eq!(options.operand_width, OperandWidth::Int4);
+    }
+
+    #[test]
     fn flag_values_are_consumed_not_reparsed_as_flags() {
         // A value that happens to look like a flag must not be re-read as
         // one (the old parser advanced one token at a time).
@@ -455,6 +516,7 @@ mod tests {
             calibration_images: 1,
             evaluation_images: 2,
             seed: 5,
+            ..ExperimentOptions::default()
         };
         let context = ExperimentContext::new(options).unwrap();
         let a = context.session().artifacts(ModelKind::AlexNet).unwrap();

@@ -158,6 +158,10 @@ pub struct ModelProgram {
     pub model_name: String,
     /// Mapping mode the program was generated for.
     pub mode: MappingMode,
+    /// Weight operand bit width the program was compiled for (8 for the
+    /// paper's INT8 mapping). The simulator uses this as the dense
+    /// cells-per-weight when a `Compute` carries no threshold.
+    pub operand_bits: u32,
     /// Per-layer programs in execution order.
     pub layers: Vec<LayerProgram>,
 }
@@ -235,6 +239,7 @@ mod tests {
         let program = ModelProgram {
             model_name: "m".to_string(),
             mode: MappingMode::Dense,
+            operand_bits: 8,
             layers: vec![layer],
         };
         assert_eq!(program.instruction_count(), 3);

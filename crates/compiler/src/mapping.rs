@@ -5,7 +5,8 @@
 //! 1. Filters are grouped by their FTA threshold `φ_th`. A macro processes
 //!    `16 / φ_th` filters in parallel (16 at `φ_th = 1`, 8 at `φ_th = 2`);
 //!    all-zero filters (`φ_th = 0`) never touch the array. The dense baseline
-//!    always packs two filters per macro (eight bit-cells per weight).
+//!    packs `width.bits()` bit-cells per weight — two filters per macro at
+//!    the paper's INT8, one at INT12/INT16 on the paper geometry.
 //! 2. A filter's weights are split into tiles of at most
 //!    `rows × compartments` weights — the macro's per-filter capacity.
 //! 3. For every (filter wave, weight tile) the compiler emits `LoadWeights`
@@ -14,7 +15,8 @@
 //!    when partial sums from several weight tiles must be merged and a final
 //!    `WriteOutputs`.
 
-use dbpim_arch::{ArchConfig, OPERAND_BITS};
+use dbpim_arch::ArchConfig;
+use dbpim_csd::OperandWidth;
 use serde::{Deserialize, Serialize};
 
 use crate::error::CompileError;
@@ -29,23 +31,48 @@ pub const DEFAULT_THRESHOLD: u32 = 2;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Compiler {
     config: ArchConfig,
+    width: OperandWidth,
 }
 
 impl Compiler {
-    /// Creates a compiler for the given architecture geometry.
+    /// Creates an INT8 compiler for the given architecture geometry (the
+    /// paper's setting).
     ///
     /// # Errors
     ///
     /// Returns a validation error for a degenerate configuration.
     pub fn new(config: ArchConfig) -> Result<Self, CompileError> {
+        Self::with_width(config, OperandWidth::Int8)
+    }
+
+    /// Creates a compiler for an arbitrary weight operand width.
+    ///
+    /// The width shapes the dense mapping (one bit-cell column per weight
+    /// bit, so fewer filters per macro at wider operands) and the metadata
+    /// cost of the DB-PIM mapping (`width.metadata_bits_per_cell()` bits per
+    /// allocated cell).
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error for a degenerate configuration or when a
+    /// single dense weight's bit columns exceed the compartment.
+    pub fn with_width(config: ArchConfig, width: OperandWidth) -> Result<Self, CompileError> {
         config.validate()?;
-        Ok(Self { config })
+        // Fails when width.bits() > dbmus_per_compartment.
+        config.dense_filters_per_macro_for(width)?;
+        Ok(Self { config, width })
     }
 
     /// The architecture geometry the compiler maps onto.
     #[must_use]
     pub fn config(&self) -> &ArchConfig {
         &self.config
+    }
+
+    /// The weight operand width the compiler maps for.
+    #[must_use]
+    pub fn width(&self) -> OperandWidth {
+        self.width
     }
 
     /// Compiles every workload of a model under the given mapping mode.
@@ -67,7 +94,12 @@ impl Compiler {
             };
             layers.push(layer);
         }
-        Ok(ModelProgram { model_name: workloads.model_name.clone(), mode, layers })
+        Ok(ModelProgram {
+            model_name: workloads.model_name.clone(),
+            mode,
+            operand_bits: self.width.bits(),
+            layers,
+        })
     }
 
     fn compile_simd_layer(workload: &SimdWorkload) -> LayerProgram {
@@ -131,7 +163,10 @@ impl Compiler {
             }
             let filters_per_macro = match mode {
                 MappingMode::DbPim => filters_per_macro,
-                MappingMode::Dense => self.config.dense_filters_per_macro,
+                MappingMode::Dense => self
+                    .config
+                    .dense_filters_per_macro_for(self.width)
+                    .expect("checked at construction"),
             };
             let wave_capacity = filters_per_macro * self.config.macros;
             let mut remaining = group.filters;
@@ -145,8 +180,12 @@ impl Compiler {
                         let in_this_macro = (wave_filters - assigned).min(filters_per_macro);
                         let metadata_bytes = match mode {
                             MappingMode::DbPim => {
-                                // Three metadata bits per allocated cell.
-                                (in_this_macro * chunk * group.cells_per_weight as usize * 3)
+                                // Sign + block index per allocated cell
+                                // (three bits for the paper's INT8 layout).
+                                (in_this_macro
+                                    * chunk
+                                    * group.cells_per_weight as usize
+                                    * self.width.metadata_bits_per_cell() as usize)
                                     .div_ceil(8)
                             }
                             MappingMode::Dense => 0,
@@ -212,7 +251,7 @@ impl Compiler {
     fn filter_groups(&self, workload: &PimWorkload, mode: MappingMode) -> Vec<FilterGroup> {
         match mode {
             MappingMode::Dense => vec![FilterGroup {
-                cells_per_weight: OPERAND_BITS as u8,
+                cells_per_weight: self.width.bits() as u8,
                 filters: workload.filters,
             }],
             MappingMode::DbPim => {
@@ -331,6 +370,50 @@ mod tests {
             .count();
         assert_eq!(loads, 8);
         assert_eq!(layer.compute_count(), 8);
+    }
+
+    #[test]
+    fn wide_dense_mappings_scale_filters_and_metadata() {
+        // INT16: one filter per macro densely, 4 metadata bits per cell in
+        // DB-PIM mode.
+        let compiler = Compiler::with_width(ArchConfig::paper(), OperandWidth::Int16).unwrap();
+        assert_eq!(compiler.width(), OperandWidth::Int16);
+        let w = workload(16, 27, 10, vec![1; 16]);
+        let dense = compiler.compile(&model_workloads(w.clone()), MappingMode::Dense).unwrap();
+        assert_eq!(dense.operand_bits, 16);
+        for inst in &dense.layers[0].instructions {
+            if let Instruction::Compute { filters, .. } = inst {
+                assert_eq!(*filters, 1);
+            }
+            if let Instruction::LoadWeights { cells_per_weight, .. } = inst {
+                assert_eq!(*cells_per_weight, 16);
+            }
+        }
+        let sparse = compiler.compile(&model_workloads(w), MappingMode::DbPim).unwrap();
+        for inst in &sparse.layers[0].instructions {
+            if let Instruction::LoadWeights {
+                filters, weights_per_filter, metadata_bytes, ..
+            } = inst
+            {
+                // 4 bits per allocated cell, one cell per weight at φ=1.
+                let cells = u32::from(*filters) * *weights_per_filter;
+                assert_eq!(*metadata_bytes, (cells * 4).div_ceil(8));
+            }
+        }
+
+        // INT8 via with_width is identical to the historical constructor.
+        let int8 = Compiler::with_width(ArchConfig::paper(), OperandWidth::Int8).unwrap();
+        let legacy = Compiler::new(ArchConfig::paper()).unwrap();
+        let w = workload(64, 27, 100, vec![2; 64]);
+        assert_eq!(
+            int8.compile(&model_workloads(w.clone()), MappingMode::Dense).unwrap(),
+            legacy.compile(&model_workloads(w), MappingMode::Dense).unwrap()
+        );
+
+        // A width wider than the compartment is rejected up front.
+        let mut narrow = ArchConfig::paper();
+        narrow.dbmus_per_compartment = 8;
+        assert!(Compiler::with_width(narrow, OperandWidth::Int16).is_err());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use dbpim_arch::ArchConfig;
 use dbpim_compiler::InputSparsityProfile;
+use dbpim_csd::OperandWidth;
 use dbpim_fta::stats::ModelFtaStats;
 use dbpim_fta::FidelityReport;
 use dbpim_nn::{Model, ModelKind, ModelSummary};
@@ -35,6 +36,11 @@ pub struct PipelineConfig {
     pub evaluation_images: usize,
     /// Architecture geometry to compile for and simulate.
     pub arch: ArchConfig,
+    /// Weight operand width the FTA/compile/simulate stages run at. The
+    /// INT8 default reproduces the paper; other widths quantize the float
+    /// weights per channel at that width and disable the (INT8-only)
+    /// fidelity evaluation.
+    pub operand_width: OperandWidth,
 }
 
 impl PipelineConfig {
@@ -49,6 +55,7 @@ impl PipelineConfig {
             calibration_images: 4,
             evaluation_images: 16,
             arch: ArchConfig::paper(),
+            operand_width: OperandWidth::Int8,
         }
     }
 
@@ -63,6 +70,7 @@ impl PipelineConfig {
             calibration_images: 2,
             evaluation_images: 6,
             arch: ArchConfig::paper(),
+            operand_width: OperandWidth::Int8,
         }
     }
 
@@ -70,6 +78,13 @@ impl PipelineConfig {
     #[must_use]
     pub fn without_fidelity(mut self) -> Self {
         self.evaluation_images = 0;
+        self
+    }
+
+    /// Sets the weight operand width.
+    #[must_use]
+    pub fn with_operand_width(mut self, width: OperandWidth) -> Self {
+        self.operand_width = width;
         self
     }
 

@@ -20,7 +20,7 @@ pub use dbpim_arch::{ArchConfig, InputPreprocessor, PimMacro};
 pub use dbpim_compiler::{
     extract_workloads, Compiler, InputSparsityProfile, MappingMode, ModelProgram,
 };
-pub use dbpim_csd::{CsdWord, DyadicBlock, Sign};
+pub use dbpim_csd::{CsdWord, DyadicBlock, OperandWidth, Sign};
 pub use dbpim_fta::{evaluate_fidelity, FidelityReport, ModelApprox, QueryTables};
 pub use dbpim_nn::{zoo, Model, ModelKind, QuantizedModel};
 pub use dbpim_sim::{

@@ -15,10 +15,11 @@
 //!   simulated many times.
 //! * [`SimSession`] — a cache of artifacts keyed by model, shared by every
 //!   consumer (experiment binaries, examples, benches).
-//! * [`BatchRunner`] — executes a [`SweepSpec`] (models × sparsity × arch)
-//!   in parallel over scoped std threads (see [`par`]; rayon is unavailable
-//!   in the offline build environment) and returns a structured
-//!   [`SweepReport`].
+//! * [`BatchRunner`] — executes a [`SweepSpec`] (models × sparsity × arch ×
+//!   operand width) in parallel over scoped std threads (see [`par`]; rayon
+//!   is unavailable in the offline build environment) and returns a
+//!   structured [`SweepReport`] that serializes and [`SweepReport::merge`]s
+//!   for sharded sweeps.
 //!
 //! Results are bit-identical to independent [`Pipeline`](crate::Pipeline)
 //! runs — [`Pipeline::run_model`](crate::Pipeline::run_model) itself is a
@@ -35,11 +36,13 @@ use dbpim_arch::ArchConfig;
 use dbpim_compiler::{
     extract_workloads, Compiler, InputSparsityProfile, MappingMode, ModelProgram, ModelWorkloads,
 };
+use dbpim_csd::OperandWidth;
 use dbpim_fta::stats::ModelFtaStats;
 use dbpim_fta::{evaluate_fidelity, FidelityReport, ModelApprox};
 use dbpim_nn::{Model, ModelKind, ModelSummary, QuantizedModel};
 use dbpim_sim::{RunReport, SimConfig, Simulator, SparsityConfig};
 use dbpim_tensor::random::TensorGenerator;
+use serde::{Deserialize, Serialize};
 
 use crate::error::PipelineError;
 use crate::measure::measure_input_sparsity;
@@ -114,9 +117,16 @@ impl ModelArtifacts {
         let (calibration, _) =
             gen.labelled_batch(config.calibration_images, channels, height, width, config.classes)?;
 
-        // Quantization and FTA approximation.
+        // Quantization and FTA approximation. Activations are always INT8;
+        // the weight-side approximation runs at the configured operand
+        // width. The INT8 path goes through the quantized model exactly as
+        // the paper's pipeline always has, so its results stay bit-identical.
         let quantized = QuantizedModel::quantize(&model, &calibration)?;
-        let approx = ModelApprox::from_quantized(&quantized)?;
+        let approx = if config.operand_width == OperandWidth::Int8 {
+            ModelApprox::from_quantized(&quantized)?
+        } else {
+            ModelApprox::from_model_wide(&model, config.operand_width)?
+        };
         let fta_stats = ModelFtaStats::from_model(&approx);
 
         // The evaluation batch (fidelity) comes later and lazily; snapshot
@@ -199,7 +209,7 @@ impl ModelArtifacts {
         if let Some(found) = cache.iter().find(|p| p.arch == arch) {
             return Ok(Arc::clone(found));
         }
-        let compiler = Compiler::new(arch)?;
+        let compiler = Compiler::with_width(arch, self.config.operand_width)?;
         let sparse = compiler.compile(&self.sparse_workloads, MappingMode::DbPim)?;
         let dense = compiler.compile(&self.dense_workloads, MappingMode::Dense)?;
         let programs = Arc::new(ModelPrograms { arch, dense, sparse });
@@ -232,12 +242,21 @@ impl ModelArtifacts {
     /// # Errors
     ///
     /// Returns [`PipelineError::BadConfig`] when the configuration disables
-    /// the fidelity evaluation (`evaluation_images == 0`), and propagates
-    /// evaluation failures.
+    /// the fidelity evaluation (`evaluation_images == 0`) or runs at a
+    /// non-INT8 operand width (the quantized executor is INT8-only), and
+    /// propagates evaluation failures.
     pub fn fidelity(&self) -> Result<FidelityReport, PipelineError> {
         if self.config.evaluation_images == 0 {
             return Err(PipelineError::BadConfig {
                 reason: "fidelity requested but evaluation_images is 0".to_string(),
+            });
+        }
+        if self.config.operand_width != OperandWidth::Int8 {
+            return Err(PipelineError::BadConfig {
+                reason: format!(
+                    "fidelity is only defined for the INT8 executor, not {}",
+                    self.config.operand_width
+                ),
             });
         }
         let mut cache = self.fidelity.lock().expect("fidelity cache lock");
@@ -271,7 +290,10 @@ impl ModelArtifacts {
         sparsity: &[SparsityConfig],
         with_fidelity: bool,
     ) -> Result<CodesignResult, PipelineError> {
-        let fidelity = if with_fidelity && self.config.evaluation_images > 0 {
+        let fidelity = if with_fidelity
+            && self.config.evaluation_images > 0
+            && self.config.operand_width == OperandWidth::Int8
+        {
             Some(self.fidelity()?)
         } else {
             None
@@ -448,7 +470,7 @@ impl SimSession {
 }
 
 /// The point set of a sweep: models × sparsity configurations ×
-/// architecture geometries.
+/// architecture geometries × operand widths.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepSpec {
     /// Zoo models to sweep (duplicates are executed once).
@@ -458,6 +480,9 @@ pub struct SweepSpec {
     /// Geometries to compile and simulate for; empty means "the session's
     /// configured architecture".
     pub archs: Vec<ArchConfig>,
+    /// Weight operand widths to sweep; empty means "the session's
+    /// configured width". Non-INT8 widths skip the fidelity evaluation.
+    pub widths: Vec<OperandWidth>,
 }
 
 impl SweepSpec {
@@ -465,7 +490,12 @@ impl SweepSpec {
     /// configurations on the session geometry.
     #[must_use]
     pub fn new(models: Vec<ModelKind>) -> Self {
-        Self { models, sparsity: SparsityConfig::all().to_vec(), archs: Vec::new() }
+        Self {
+            models,
+            sparsity: SparsityConfig::all().to_vec(),
+            archs: Vec::new(),
+            widths: Vec::new(),
+        }
     }
 
     /// The paper's evaluation sweep: all five zoo models × all four
@@ -486,6 +516,13 @@ impl SweepSpec {
     #[must_use]
     pub fn with_archs(mut self, archs: Vec<ArchConfig>) -> Self {
         self.archs = archs;
+        self
+    }
+
+    /// Adds explicit operand widths (the precision axis).
+    #[must_use]
+    pub fn with_widths(mut self, widths: Vec<OperandWidth>) -> Self {
+        self.widths = widths;
         self
     }
 
@@ -514,13 +551,23 @@ impl SweepSpec {
         }
         archs
     }
+
+    fn effective_widths(&self, session_width: OperandWidth) -> Vec<OperandWidth> {
+        if self.widths.is_empty() {
+            return vec![session_width];
+        }
+        // Canonical narrow-to-wide order, deduplicated.
+        OperandWidth::all().into_iter().filter(|w| self.widths.contains(w)).collect()
+    }
 }
 
-/// One (model, geometry) result of a sweep.
-#[derive(Debug, Clone, PartialEq)]
+/// One (model, width, geometry) result of a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepEntry {
     /// The swept model.
     pub kind: ModelKind,
+    /// The weight operand width this entry was approximated and compiled at.
+    pub width: OperandWidth,
     /// The geometry this entry was compiled and simulated for.
     pub arch: ArchConfig,
     /// The co-design result; `runs` holds the requested sparsity
@@ -529,14 +576,19 @@ pub struct SweepEntry {
 }
 
 /// The structured outcome of a [`BatchRunner`] sweep.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Reports serialize through the vendored `serde_json`
+/// (`serde_json::to_string` / `from_str` round-trips are exercised by the
+/// workspace test suite), so sharded sweeps can persist their partial
+/// reports and [`merge`](Self::merge) them afterwards.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepReport {
-    /// One entry per (model, geometry), in spec order (models outer, archs
-    /// inner).
+    /// One entry per (model, width, geometry), in spec order (models outer,
+    /// then widths, then archs).
     pub entries: Vec<SweepEntry>,
     /// Wall-clock duration of the sweep.
     pub wall_time: Duration,
-    /// Distinct models prepared.
+    /// Distinct (model, width) artifact sets prepared.
     pub prepared_models: usize,
     /// Simulation runs executed.
     pub simulated_runs: usize,
@@ -549,15 +601,37 @@ impl SweepReport {
         self.entries.is_empty()
     }
 
-    /// The result for `kind` on the first swept geometry.
+    /// The result for `kind` on the first swept width and geometry.
     #[must_use]
     pub fn result(&self, kind: ModelKind) -> Option<&CodesignResult> {
         self.entries.iter().find(|e| e.kind == kind).map(|e| &e.result)
     }
 
+    /// The result for `kind` at a specific operand width (first swept
+    /// geometry).
+    #[must_use]
+    pub fn result_at_width(&self, kind: ModelKind, width: OperandWidth) -> Option<&CodesignResult> {
+        self.entries.iter().find(|e| e.kind == kind && e.width == width).map(|e| &e.result)
+    }
+
     /// All results in entry order.
     pub fn results(&self) -> impl Iterator<Item = &CodesignResult> {
         self.entries.iter().map(|e| &e.result)
+    }
+
+    /// Merges another report into this one (sharded sweeps: independent
+    /// processes split a sweep and combine their reports afterwards).
+    ///
+    /// Entries are concatenated in order; preparation and simulation counts
+    /// add up; the wall time is the maximum of the two (shards run in
+    /// parallel).
+    #[must_use]
+    pub fn merge(mut self, other: SweepReport) -> SweepReport {
+        self.entries.extend(other.entries);
+        self.wall_time = self.wall_time.max(other.wall_time);
+        self.prepared_models += other.prepared_models;
+        self.simulated_runs += other.simulated_runs;
+        self
     }
 }
 
@@ -565,14 +639,21 @@ impl SweepReport {
 ///
 /// Parallelism has two phases: artifact preparation (the expensive
 /// model-side stages plus per-geometry compilation) fans out one task per
-/// distinct model, then simulation fans out one task per (model, geometry,
-/// sparsity) point. Compiled programs are reused across every sparsity
-/// configuration of a model — the dense and DB-PIM programs are each built
-/// exactly once per (model, geometry).
+/// distinct (model, width), then simulation fans out one task per (model,
+/// width, geometry, sparsity) point. Compiled programs are reused across
+/// every sparsity configuration of a model — the dense and DB-PIM programs
+/// are each built exactly once per (model, width, geometry).
+///
+/// The runner keeps one [`SimSession`] per swept operand width (the base
+/// session serves its configured width), so artifacts are cached and reused
+/// across repeated sweeps at every width.
 #[derive(Debug)]
 pub struct BatchRunner {
-    session: SimSession,
+    session: Arc<SimSession>,
     threads: usize,
+    /// Lazily created sessions for widths other than the base session's,
+    /// kept alive so repeated sweeps reuse their artifact caches.
+    width_sessions: Mutex<Vec<(OperandWidth, Arc<SimSession>)>>,
 }
 
 impl BatchRunner {
@@ -589,7 +670,11 @@ impl BatchRunner {
     /// Wraps an existing session.
     #[must_use]
     pub fn from_session(session: SimSession) -> Self {
-        Self { session, threads: par::default_parallelism() }
+        Self {
+            session: Arc::new(session),
+            threads: par::default_parallelism(),
+            width_sessions: Mutex::new(Vec::new()),
+        }
     }
 
     /// Overrides the worker-thread count (`1` forces sequential execution).
@@ -599,10 +684,33 @@ impl BatchRunner {
         self
     }
 
-    /// The underlying session (shared artifact cache).
+    /// The underlying session (shared artifact cache at the configured
+    /// width).
     #[must_use]
     pub fn session(&self) -> &SimSession {
         &self.session
+    }
+
+    /// The session caching artifacts for one operand width, created on
+    /// first use. The base session serves its own configured width; every
+    /// other width gets a sibling session with an identical configuration
+    /// apart from `operand_width`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::BadConfig`] for unusable configurations.
+    pub fn session_for_width(&self, width: OperandWidth) -> Result<Arc<SimSession>, PipelineError> {
+        if width == self.session.config().operand_width {
+            return Ok(Arc::clone(&self.session));
+        }
+        let mut cache = self.width_sessions.lock().expect("width session lock");
+        if let Some((_, session)) = cache.iter().find(|(w, _)| *w == width) {
+            return Ok(Arc::clone(session));
+        }
+        let config = self.session.config().with_operand_width(width);
+        let session = Arc::new(SimSession::new(config)?);
+        cache.push((width, Arc::clone(&session)));
+        Ok(session)
     }
 
     /// Runs a sweep without fidelity evaluation.
@@ -629,28 +737,38 @@ impl BatchRunner {
         let models = spec.unique_models();
         let sparsity = spec.unique_sparsity();
         let archs = spec.effective_archs(self.session.config().arch);
+        let widths = spec.effective_widths(self.session.config().operand_width);
         let fidelity = with_fidelity && self.session.config().evaluation_images > 0;
 
         // Phase 1: prepare artifacts, compile every geometry, and (when
-        // requested) evaluate fidelity — one parallel task per model.
-        let prepared = par::par_map(models.clone(), self.threads, |kind| {
-            let artifacts = self.session.artifacts(kind)?;
+        // requested) evaluate fidelity — one parallel task per (model,
+        // width). Fidelity only exists on the INT8 executor.
+        let mut tasks = Vec::with_capacity(models.len() * widths.len());
+        for &kind in &models {
+            for &width in &widths {
+                tasks.push((kind, width));
+            }
+        }
+        let prepared = par::par_map(tasks, self.threads, |(kind, width)| {
+            let session = self.session_for_width(width)?;
+            let artifacts = session.artifacts(kind)?;
             for &arch in &archs {
                 artifacts.programs(arch)?;
             }
-            if fidelity {
+            if fidelity && width == OperandWidth::Int8 {
                 artifacts.fidelity()?;
             }
-            Ok::<_, PipelineError>((kind, artifacts))
+            Ok::<_, PipelineError>((kind, width, artifacts))
         });
-        let mut artifacts_by_model = Vec::with_capacity(prepared.len());
+        let mut artifacts_by_point = Vec::with_capacity(prepared.len());
         for result in prepared {
-            artifacts_by_model.push(result?);
+            artifacts_by_point.push(result?);
         }
 
-        // Phase 2: simulate every (model, arch, sparsity) point in parallel.
+        // Phase 2: simulate every (model, width, arch, sparsity) point in
+        // parallel.
         let mut points = Vec::new();
-        for (slot, (_, artifacts)) in artifacts_by_model.iter().enumerate() {
+        for (slot, (_, _, artifacts)) in artifacts_by_point.iter().enumerate() {
             for (arch_slot, &arch) in archs.iter().enumerate() {
                 for &config in &sparsity {
                     points.push((slot, arch_slot, arch, config, Arc::clone(artifacts)));
@@ -662,14 +780,15 @@ impl BatchRunner {
             a.simulate(arch, config).map(|report| (slot, arch_slot, config, report))
         });
 
-        // Phase 3: assemble entries in deterministic (model, arch) order.
+        // Phase 3: assemble entries in deterministic (model, width, arch)
+        // order.
         let mut grouped: HashMap<(usize, usize), Vec<(SparsityConfig, RunReport)>> = HashMap::new();
         for run in runs {
             let (slot, arch_slot, config, report) = run?;
             grouped.entry((slot, arch_slot)).or_default().push((config, report));
         }
         let mut entries = Vec::new();
-        for (slot, (kind, artifacts)) in artifacts_by_model.iter().enumerate() {
+        for (slot, (kind, width, artifacts)) in artifacts_by_point.iter().enumerate() {
             for (arch_slot, &arch) in archs.iter().enumerate() {
                 let mut reports = grouped.remove(&(slot, arch_slot)).unwrap_or_default();
                 // Canonical Fig. 7 order.
@@ -683,18 +802,22 @@ impl BatchRunner {
                     model_name: artifacts.model().name().to_string(),
                     summary: artifacts.summary().clone(),
                     fta_stats: artifacts.fta_stats().clone(),
-                    fidelity: if fidelity { Some(artifacts.fidelity()?) } else { None },
+                    fidelity: if fidelity && *width == OperandWidth::Int8 {
+                        Some(artifacts.fidelity()?)
+                    } else {
+                        None
+                    },
                     input_sparsity: artifacts.input_sparsity().clone(),
                     runs,
                 };
-                entries.push(SweepEntry { kind: *kind, arch, result });
+                entries.push(SweepEntry { kind: *kind, width: *width, arch, result });
             }
         }
 
         Ok(SweepReport {
             entries,
             wall_time: start.elapsed(),
-            prepared_models: models.len(),
+            prepared_models: models.len() * widths.len(),
             simulated_runs,
         })
     }
@@ -719,6 +842,25 @@ mod tests {
         );
         let archs = spec.effective_archs(ArchConfig::paper());
         assert_eq!(archs, vec![ArchConfig::paper()]);
+    }
+
+    #[test]
+    fn width_axis_defaults_to_the_session_width_and_dedupes() {
+        let spec = SweepSpec::new(vec![ModelKind::AlexNet]);
+        assert!(spec.widths.is_empty());
+        assert_eq!(spec.effective_widths(OperandWidth::Int8), vec![OperandWidth::Int8]);
+        assert_eq!(spec.effective_widths(OperandWidth::Int4), vec![OperandWidth::Int4]);
+        let spec = spec.with_widths(vec![
+            OperandWidth::Int16,
+            OperandWidth::Int4,
+            OperandWidth::Int16,
+            OperandWidth::Int8,
+        ]);
+        // Canonical narrow-to-wide order, duplicates executed once.
+        assert_eq!(
+            spec.effective_widths(OperandWidth::Int8),
+            vec![OperandWidth::Int4, OperandWidth::Int8, OperandWidth::Int16]
+        );
     }
 
     #[test]

@@ -23,6 +23,23 @@ pub enum CsdError {
         /// Index of the lower of the two adjacent non-zero digits.
         position: usize,
     },
+    /// A value lies outside the two's-complement range of an operand width.
+    ValueOutOfRange {
+        /// The value that was being encoded.
+        value: i32,
+        /// The operand bit width whose range was exceeded.
+        bits: u32,
+    },
+    /// A bit count that is not one of the supported operand widths.
+    UnsupportedWidth {
+        /// The requested bit count.
+        bits: u32,
+    },
+    /// An operand-width specification that could not be parsed at all.
+    InvalidWidthSpec {
+        /// The offending input.
+        spec: String,
+    },
 }
 
 impl fmt::Display for CsdError {
@@ -35,6 +52,15 @@ impl fmt::Display for CsdError {
             CsdError::ZeroWidth => write!(f, "a CSD word must have at least one digit"),
             CsdError::NotCanonical { position } => {
                 write!(f, "adjacent non-zero digits at positions {position} and {}", position + 1)
+            }
+            CsdError::ValueOutOfRange { value, bits } => {
+                write!(f, "value {value} is outside the {bits}-bit two's-complement range")
+            }
+            CsdError::UnsupportedWidth { bits } => {
+                write!(f, "operand width {bits} is not supported (expected 4, 8, 12 or 16)")
+            }
+            CsdError::InvalidWidthSpec { spec } => {
+                write!(f, "`{spec}` is not an operand width (expected e.g. `8` or `int8`)")
             }
         }
     }

@@ -37,12 +37,14 @@
 mod block;
 mod digit;
 mod error;
+mod width;
 mod word;
 
 pub use block::{BlockPattern, DyadicBlock, DyadicBlocks, Sign};
 pub use digit::CsdDigit;
 pub use error::CsdError;
-pub use word::{CsdWord, CSD_WIDTH_I8};
+pub use width::OperandWidth;
+pub use word::{phi, CsdWord, CSD_WIDTH_I8};
 
 /// Counts the non-zero bits of the plain two's-complement representation of
 /// `value` over `width` bits.

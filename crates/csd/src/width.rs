@@ -1,0 +1,240 @@
+//! Operand widths: the precision axis of the CSD pipeline.
+//!
+//! The paper evaluates DB-PIM at 8b/8b precision, but the dyadic-block
+//! machinery is defined for any even digit count. [`OperandWidth`] names the
+//! weight precisions the reproduction supports and centralizes every derived
+//! quantity the rest of the workspace needs: the two's-complement value
+//! range, the dyadic-block count, and the per-cell metadata cost (one sign
+//! bit plus enough bits to address a block index).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CsdError;
+
+/// A supported weight operand width.
+///
+/// Widths are even so every CSD word splits into whole dyadic blocks, and a
+/// `w`-bit two's-complement value always fits in `w` CSD digit positions
+/// (verified exhaustively by the cross-width test suite).
+///
+/// # Examples
+///
+/// ```
+/// use dbpim_csd::OperandWidth;
+///
+/// let w = OperandWidth::Int12;
+/// assert_eq!(w.bits(), 12);
+/// assert_eq!(w.blocks(), 6);
+/// assert_eq!((w.min_value(), w.max_value()), (-2048, 2047));
+/// assert_eq!("12".parse::<OperandWidth>()?, w);
+/// # Ok::<(), dbpim_csd::CsdError>(())
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum OperandWidth {
+    /// 4-bit weights (two dyadic blocks).
+    Int4,
+    /// 8-bit weights — the paper's evaluation precision (four dyadic blocks).
+    #[default]
+    Int8,
+    /// 12-bit weights (six dyadic blocks).
+    Int12,
+    /// 16-bit weights (eight dyadic blocks).
+    Int16,
+}
+
+impl OperandWidth {
+    /// Every supported width, narrowest first.
+    #[must_use]
+    pub const fn all() -> [OperandWidth; 4] {
+        [OperandWidth::Int4, OperandWidth::Int8, OperandWidth::Int12, OperandWidth::Int16]
+    }
+
+    /// Bit width of the two's-complement operand.
+    #[must_use]
+    pub const fn bits(self) -> u32 {
+        match self {
+            OperandWidth::Int4 => 4,
+            OperandWidth::Int8 => 8,
+            OperandWidth::Int12 => 12,
+            OperandWidth::Int16 => 16,
+        }
+    }
+
+    /// Number of CSD digit positions of a word at this width (equals
+    /// [`bits`](Self::bits): every `w`-bit value has a canonical form of at
+    /// most `w` digits).
+    #[must_use]
+    pub const fn digits(self) -> usize {
+        self.bits() as usize
+    }
+
+    /// Number of dyadic blocks per word (`digits / 2`).
+    #[must_use]
+    pub const fn blocks(self) -> usize {
+        self.digits() / 2
+    }
+
+    /// Smallest representable value, `-2^(bits-1)`.
+    #[must_use]
+    pub const fn min_value(self) -> i32 {
+        -(1 << (self.bits() - 1))
+    }
+
+    /// Largest representable value, `2^(bits-1) - 1`.
+    #[must_use]
+    pub const fn max_value(self) -> i32 {
+        (1 << (self.bits() - 1)) - 1
+    }
+
+    /// Returns `true` when `value` lies in the width's two's-complement
+    /// range.
+    #[must_use]
+    pub const fn contains(self, value: i32) -> bool {
+        value >= self.min_value() && value <= self.max_value()
+    }
+
+    /// Bits needed to address a dyadic-block index in the metadata register
+    /// file (`ceil(log2(blocks))`).
+    #[must_use]
+    pub const fn index_bits(self) -> u32 {
+        match self {
+            OperandWidth::Int4 => 1,
+            OperandWidth::Int8 => 2,
+            OperandWidth::Int12 | OperandWidth::Int16 => 3,
+        }
+    }
+
+    /// Metadata bits stored per allocated 6T cell: one sign bit plus the
+    /// block index ([`index_bits`](Self::index_bits)). The paper's INT8
+    /// layout uses 3 bits.
+    #[must_use]
+    pub const fn metadata_bits_per_cell(self) -> u32 {
+        1 + self.index_bits()
+    }
+
+    /// Largest possible non-zero digit count `φ` of a canonical word at this
+    /// width (`ceil(digits / 2)`, by the non-adjacency property).
+    #[must_use]
+    pub const fn max_phi(self) -> u32 {
+        self.bits().div_ceil(2)
+    }
+
+    /// The width with the given bit count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsdError::UnsupportedWidth`] for anything other than 4, 8,
+    /// 12 or 16.
+    pub const fn from_bits(bits: u32) -> Result<Self, CsdError> {
+        match bits {
+            4 => Ok(OperandWidth::Int4),
+            8 => Ok(OperandWidth::Int8),
+            12 => Ok(OperandWidth::Int12),
+            16 => Ok(OperandWidth::Int16),
+            _ => Err(CsdError::UnsupportedWidth { bits }),
+        }
+    }
+
+    /// Lower-case display / flag name, e.g. `"int8"`.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            OperandWidth::Int4 => "int4",
+            OperandWidth::Int8 => "int8",
+            OperandWidth::Int12 => "int12",
+            OperandWidth::Int16 => "int16",
+        }
+    }
+}
+
+impl fmt::Display for OperandWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for OperandWidth {
+    type Err = CsdError;
+
+    /// Accepts a bare bit count (`"8"`) or an `int`-prefixed name
+    /// (`"int8"`, `"INT8"`), rejecting everything else.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim();
+        let digits = trimmed
+            .strip_prefix("int")
+            .or_else(|| trimmed.strip_prefix("INT"))
+            .or_else(|| trimmed.strip_prefix("Int"))
+            .unwrap_or(trimmed);
+        match digits.parse::<u32>() {
+            Ok(bits) => Self::from_bits(bits),
+            Err(_) => Err(CsdError::InvalidWidthSpec { spec: s.to_string() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities_are_consistent() {
+        for width in OperandWidth::all() {
+            assert_eq!(width.digits(), width.bits() as usize);
+            assert_eq!(width.blocks() * 2, width.digits());
+            assert_eq!(width.min_value(), -(width.max_value() + 1));
+            assert!(width.contains(0));
+            assert!(width.contains(width.min_value()));
+            assert!(width.contains(width.max_value()));
+            assert!(!width.contains(width.max_value() + 1));
+            assert!(!width.contains(width.min_value() - 1));
+            // index_bits really addresses every block.
+            assert!(1usize << width.index_bits() >= width.blocks());
+            assert!(1usize << (width.index_bits() - 1) < width.blocks() || width.blocks() == 1);
+            assert_eq!(width.metadata_bits_per_cell(), 1 + width.index_bits());
+            assert_eq!(Some(width), OperandWidth::from_bits(width.bits()).ok());
+        }
+        assert_eq!(OperandWidth::Int8.metadata_bits_per_cell(), 3);
+        assert_eq!(OperandWidth::default(), OperandWidth::Int8);
+    }
+
+    #[test]
+    fn ordering_follows_bit_count() {
+        let all = OperandWidth::all();
+        for pair in all.windows(2) {
+            assert!(pair[0] < pair[1]);
+            assert!(pair[0].bits() < pair[1].bits());
+        }
+    }
+
+    #[test]
+    fn parsing_accepts_numbers_and_names() {
+        assert_eq!("4".parse::<OperandWidth>().unwrap(), OperandWidth::Int4);
+        assert_eq!("int12".parse::<OperandWidth>().unwrap(), OperandWidth::Int12);
+        assert_eq!("INT16".parse::<OperandWidth>().unwrap(), OperandWidth::Int16);
+        assert_eq!(" 8 ".parse::<OperandWidth>().unwrap(), OperandWidth::Int8);
+        assert_eq!(OperandWidth::Int4.to_string(), "int4");
+    }
+
+    #[test]
+    fn parsing_rejects_unsupported_and_malformed_specs() {
+        assert_eq!("10".parse::<OperandWidth>(), Err(CsdError::UnsupportedWidth { bits: 10 }));
+        assert_eq!("0".parse::<OperandWidth>(), Err(CsdError::UnsupportedWidth { bits: 0 }));
+        assert!(matches!("wide".parse::<OperandWidth>(), Err(CsdError::InvalidWidthSpec { .. })));
+        assert!(matches!("".parse::<OperandWidth>(), Err(CsdError::InvalidWidthSpec { .. })));
+        assert!(matches!("-8".parse::<OperandWidth>(), Err(CsdError::InvalidWidthSpec { .. })));
+        assert!(OperandWidth::from_bits(32).is_err());
+    }
+
+    #[test]
+    fn max_phi_matches_the_non_adjacency_bound() {
+        assert_eq!(OperandWidth::Int4.max_phi(), 2);
+        assert_eq!(OperandWidth::Int8.max_phi(), 4);
+        assert_eq!(OperandWidth::Int12.max_phi(), 6);
+        assert_eq!(OperandWidth::Int16.max_phi(), 8);
+    }
+}

@@ -7,13 +7,15 @@ use serde::{Deserialize, Serialize};
 use crate::block::{DyadicBlock, DyadicBlocks};
 use crate::digit::CsdDigit;
 use crate::error::CsdError;
+use crate::width::OperandWidth;
 
 /// Number of CSD digit positions used for INT8 weights.
 ///
 /// Every value in `[-128, 127]` has a canonical signed-digit form whose most
 /// significant non-zero digit sits at position 7 or below, so four dyadic
 /// blocks always suffice. This is verified exhaustively by the test suite.
-pub const CSD_WIDTH_I8: usize = 8;
+/// Equals [`OperandWidth::Int8.digits()`](OperandWidth::digits).
+pub const CSD_WIDTH_I8: usize = OperandWidth::Int8.digits();
 
 /// A canonical signed digit (CSD) word of fixed width.
 ///
@@ -72,11 +74,41 @@ impl CsdWord {
 
     /// Encodes an INT8 value into the paper's 8-digit CSD representation.
     ///
-    /// This never fails: every `i8` value fits in [`CSD_WIDTH_I8`] digits.
+    /// This is the `w = 8` instance of a general property: every `w`-bit
+    /// two's-complement value has a canonical form of at most `w` digit
+    /// positions, so [`CsdWord::encode`] never fails for an in-range value of
+    /// any supported [`OperandWidth`]. For `i8` specifically, the input type
+    /// already guarantees the range, so this constructor is infallible.
     #[must_use]
     pub fn from_i8(value: i8) -> Self {
         Self::from_i32(i32::from(value), CSD_WIDTH_I8)
             .expect("every i8 value fits in 8 CSD digit positions")
+    }
+
+    /// Encodes a value into the canonical word of an operand width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsdError::ValueOutOfRange`] when `value` does not fit the
+    /// width's two's-complement range. In-range values always encode: a
+    /// `w`-bit value needs at most `w` CSD digit positions.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dbpim_csd::{CsdWord, OperandWidth};
+    ///
+    /// let w = CsdWord::encode(-2048, OperandWidth::Int12)?;
+    /// assert_eq!(w.width(), 12);
+    /// assert_eq!(w.to_i32(), -2048);
+    /// assert!(CsdWord::encode(2048, OperandWidth::Int12).is_err());
+    /// # Ok::<(), dbpim_csd::CsdError>(())
+    /// ```
+    pub fn encode(value: i32, width: OperandWidth) -> Result<Self, CsdError> {
+        if !width.contains(value) {
+            return Err(CsdError::ValueOutOfRange { value, bits: width.bits() });
+        }
+        Self::from_i32(value, width.digits())
     }
 
     /// Builds a word from raw digits (least-significant first), validating the
@@ -201,6 +233,25 @@ impl From<i8> for CsdWord {
     }
 }
 
+/// Number of non-zero digits in the canonical signed-digit form of `value`
+/// (the paper's `φ`), independent of any word width.
+///
+/// Unlike [`CsdWord::encode`], this never fails: the non-adjacent form of any
+/// `i32` is well defined, and padding a word with zero digits does not change
+/// its non-zero digit count.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dbpim_csd::phi(0), 0);
+/// assert_eq!(dbpim_csd::phi(125), 3); // 128 - 4 + 1
+/// assert_eq!(dbpim_csd::phi(-1), 1);
+/// ```
+#[must_use]
+pub fn phi(value: i32) -> u32 {
+    non_adjacent_form(i64::from(value)).iter().filter(|d| d.is_nonzero()).count() as u32
+}
+
 /// Canonical non-adjacent-form recoding (least-significant digit first).
 ///
 /// The returned vector has no trailing zero digits.
@@ -311,6 +362,74 @@ mod tests {
         for v in [-32768, -12345, -1, 0, 1, 9999, 32767] {
             let w = CsdWord::from_i32(v, 17).unwrap();
             assert_eq!(w.to_i32(), v);
+        }
+    }
+
+    #[test]
+    fn from_i32_width_overflow_errors_at_every_width_boundary() {
+        // For every supported width, the extreme in-range magnitudes encode
+        // and the first out-of-range NAF lengths are reported as errors
+        // rather than panicking (the generalization of the `from_i8`
+        // "never fails" claim).
+        for width in OperandWidth::all() {
+            let digits = width.digits();
+            let max = width.max_value();
+            let min = width.min_value();
+            assert_eq!(CsdWord::from_i32(max, digits).unwrap().to_i32(), max);
+            assert_eq!(CsdWord::from_i32(min, digits).unwrap().to_i32(), min);
+            // One digit fewer cannot hold the extreme magnitudes.
+            assert!(matches!(
+                CsdWord::from_i32(min, digits - 1),
+                Err(CsdError::WidthTooSmall { required, .. }) if required == digits
+            ));
+            // Slightly out-of-range values like `max + 1 = 2^(w-1)` or
+            // `min - 1` still fit `w` digit positions (CSD reaches past the
+            // two's-complement range); only `encode`'s range check rejects
+            // them. `±2^w` genuinely overflows the digit count.
+            assert_eq!(CsdWord::from_i32(max + 1, digits).unwrap().to_i32(), max + 1);
+            assert_eq!(CsdWord::from_i32(min - 1, digits).unwrap().to_i32(), min - 1);
+            for value in [1 << digits, -(1 << digits)] {
+                assert_eq!(
+                    CsdWord::from_i32(value, digits),
+                    Err(CsdError::WidthTooSmall { value, width: digits, required: digits + 1 })
+                );
+            }
+        }
+        // Spot-check a reported minimum width away from a power of two: the
+        // canonical form of 300 = 256 + 64 - 16 - 4 needs digit position 8.
+        let err = CsdWord::from_i32(300, 8).unwrap_err();
+        assert_eq!(err, CsdError::WidthTooSmall { value: 300, width: 8, required: 9 });
+    }
+
+    #[test]
+    fn encode_enforces_the_twos_complement_range() {
+        for width in OperandWidth::all() {
+            for value in [width.min_value(), -1, 0, 1, width.max_value()] {
+                let word = CsdWord::encode(value, width).unwrap();
+                assert_eq!(word.width(), width.digits());
+                assert_eq!(word.to_i32(), value);
+            }
+            for value in [width.min_value() - 1, width.max_value() + 1] {
+                assert_eq!(
+                    CsdWord::encode(value, width),
+                    Err(CsdError::ValueOutOfRange { value, bits: width.bits() })
+                );
+            }
+        }
+        // 2^(w-1) is representable in w digits but not in the w-bit range:
+        // the range check must reject it even though the NAF would fit.
+        assert!(CsdWord::from_i32(128, 8).is_ok());
+        assert!(CsdWord::encode(128, OperandWidth::Int8).is_err());
+    }
+
+    #[test]
+    fn phi_matches_word_nonzero_digits() {
+        for v in i8::MIN..=i8::MAX {
+            assert_eq!(phi(i32::from(v)), CsdWord::from_i8(v).nonzero_digits());
+        }
+        for v in [-32768, -4096, -100, 4095, 32767] {
+            let word = CsdWord::encode(v, OperandWidth::Int16).unwrap();
+            assert_eq!(phi(v), word.nonzero_digits(), "value {v}");
         }
     }
 

@@ -1,4 +1,4 @@
-//! Algorithm 1: Fixed Threshold Approximation (FTA).
+//! Algorithm 1: Fixed Threshold Approximation (FTA), over any operand width.
 //!
 //! Per filter, the algorithm determines a threshold `φ_th ∈ {0, 1, 2}` from
 //! the mode of the per-weight non-zero CSD digit counts and snaps every
@@ -7,9 +7,16 @@
 //! same number of Complementary Pattern blocks — while the positions of the
 //! non-zero digits remain *unstructured*, which is exactly the property the
 //! DB-PIM macro exploits.
+//!
+//! The paper runs the algorithm on INT8 weights; every type here carries an
+//! [`OperandWidth`] (taken from the [`QueryTables`] it was built with) so the
+//! same code serves INT4/INT12/INT16 weight tensors. Approximated values are
+//! stored as `i32` regardless of width; at [`OperandWidth::Int8`] they are
+//! numerically identical to the historical `i8` pipeline.
 
-use dbpim_csd::CsdWord;
+use dbpim_csd::OperandWidth;
 use dbpim_nn::{NodeId, QuantizedModel};
+use dbpim_tensor::quant::WideQuantizedTensor;
 use dbpim_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -21,20 +28,30 @@ use crate::table::{QueryTables, MAX_THRESHOLD};
 pub struct FilterApprox {
     /// The fixed threshold `φ_th` chosen for this filter.
     threshold: u32,
-    /// Approximated INT8 weights, in the filter's original flattened order.
-    values: Vec<i8>,
+    /// Operand width of the approximated weights.
+    width: OperandWidth,
+    /// Approximated weights, in the filter's original flattened order.
+    values: Vec<i32>,
 }
 
 impl FilterApprox {
-    /// Runs Algorithm 1 on one filter's flattened INT8 weights.
+    /// Runs Algorithm 1 on one filter's flattened weights.
+    ///
+    /// Accepts any integer type that widens to `i32` (`i8` for the INT8
+    /// pipeline, `i32` for the width-generic one); the operand width is the
+    /// one the `tables` were built for.
     ///
     /// # Errors
     ///
     /// Never fails for thresholds derived by the algorithm itself; the error
     /// type is shared with the explicit-threshold constructor.
-    pub fn approximate(weights: &[i8], tables: &QueryTables) -> Result<Self, FtaError> {
-        let threshold = select_threshold(weights);
-        Self::approximate_with_threshold(weights, threshold, tables)
+    pub fn approximate<T: Into<i32> + Copy>(
+        weights: &[T],
+        tables: &QueryTables,
+    ) -> Result<Self, FtaError> {
+        let wide: Vec<i32> = weights.iter().map(|&w| w.into()).collect();
+        let threshold = select_threshold(&wide);
+        Self::approximate_wide_with_threshold(&wide, threshold, tables)
     }
 
     /// Approximates one filter with an explicitly chosen threshold (used by
@@ -43,14 +60,23 @@ impl FilterApprox {
     /// # Errors
     ///
     /// Returns [`FtaError::InvalidThreshold`] when `threshold > 2`.
-    pub fn approximate_with_threshold(
-        weights: &[i8],
+    pub fn approximate_with_threshold<T: Into<i32> + Copy>(
+        weights: &[T],
+        threshold: u32,
+        tables: &QueryTables,
+    ) -> Result<Self, FtaError> {
+        let wide: Vec<i32> = weights.iter().map(|&w| w.into()).collect();
+        Self::approximate_wide_with_threshold(&wide, threshold, tables)
+    }
+
+    fn approximate_wide_with_threshold(
+        weights: &[i32],
         threshold: u32,
         tables: &QueryTables,
     ) -> Result<Self, FtaError> {
         let table = tables.table(threshold)?;
         let values = weights.iter().map(|&w| table.nearest(w)).collect();
-        Ok(Self { threshold, values })
+        Ok(Self { threshold, width: tables.width(), values })
     }
 
     /// The filter's fixed threshold `φ_th`.
@@ -59,9 +85,15 @@ impl FilterApprox {
         self.threshold
     }
 
+    /// The operand width of the approximated weights.
+    #[must_use]
+    pub fn width(&self) -> OperandWidth {
+        self.width
+    }
+
     /// The approximated weights.
     #[must_use]
-    pub fn values(&self) -> &[i8] {
+    pub fn values(&self) -> &[i32] {
         &self.values
     }
 
@@ -81,7 +113,7 @@ impl FilterApprox {
     /// filter's approximated weights (each occupies one stored 6T cell).
     #[must_use]
     pub fn stored_blocks(&self) -> usize {
-        self.values.iter().map(|&v| CsdWord::from_i8(v).nonzero_digits() as usize).sum()
+        self.values.iter().map(|&v| dbpim_csd::phi(v) as usize).sum()
     }
 
     /// Number of cell slots the filter occupies in the PIM array
@@ -93,14 +125,14 @@ impl FilterApprox {
 
     /// Mean absolute approximation error against the original weights.
     #[must_use]
-    pub fn mean_abs_error(&self, original: &[i8]) -> f64 {
+    pub fn mean_abs_error(&self, original: &[i32]) -> f64 {
         if original.is_empty() {
             return 0.0;
         }
         let sum: i64 = original
             .iter()
             .zip(&self.values)
-            .map(|(&o, &a)| i64::from((i16::from(o) - i16::from(a)).unsigned_abs()))
+            .map(|(&o, &a)| (i64::from(o) - i64::from(a)).abs())
             .sum();
         sum as f64 / original.len() as f64
     }
@@ -112,15 +144,22 @@ impl FilterApprox {
 /// * mode of the non-zero digit counts is 0 → 1,
 /// * mode in `1..=2` → the mode,
 /// * mode above 2 → 2.
+///
+/// Width-independent: the non-zero digit count of a value's canonical form
+/// does not depend on how many zero digits pad the word.
 #[must_use]
-pub fn select_threshold(weights: &[i8]) -> u32 {
-    if weights.is_empty() || weights.iter().all(|&w| w == 0) {
+pub fn select_threshold<T: Into<i32> + Copy>(weights: &[T]) -> u32 {
+    if weights.is_empty() || weights.iter().all(|&w| w.into() == 0) {
         return 0;
     }
-    let mut hist = [0usize; 5];
+    // One bucket per possible φ: canonical words of the widest supported
+    // operand (INT16) never exceed eight non-zero digits. Stack-allocated —
+    // this runs once per filter on the hot FTA path.
+    const CAP: usize = OperandWidth::Int16.max_phi() as usize;
+    let mut hist = [0usize; CAP + 1];
     for &w in weights {
-        let phi = CsdWord::from_i8(w).nonzero_digits() as usize;
-        hist[phi.min(4)] += 1;
+        let phi = dbpim_csd::phi(w.into()) as usize;
+        hist[phi.min(CAP)] += 1;
     }
     let mut mode = 0usize;
     for (phi, &count) in hist.iter().enumerate() {
@@ -143,9 +182,10 @@ pub fn select_threshold(weights: &[i8]) -> u32 {
 pub struct LayerApprox {
     node_id: NodeId,
     name: String,
+    width: OperandWidth,
     weight_shape: Vec<usize>,
     filter_len: usize,
-    original: Vec<i8>,
+    original: Vec<i32>,
     filters: Vec<FilterApprox>,
 }
 
@@ -159,6 +199,24 @@ impl LayerApprox {
         node_id: NodeId,
         name: impl Into<String>,
         weights: &Tensor<i8>,
+        tables: &QueryTables,
+    ) -> Result<Self, FtaError> {
+        let wide: Vec<i32> = weights.data().iter().map(|&w| i32::from(w)).collect();
+        let wide = Tensor::from_vec(wide, weights.shape().to_vec())
+            .expect("same element count as the source tensor");
+        Self::from_wide_weights(node_id, name, &wide, tables)
+    }
+
+    /// Approximates a width-generic weight tensor (`i32` values in the range
+    /// of the `tables`' operand width).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtaError::BadWeightShape`] for tensors of rank below 2.
+    pub fn from_wide_weights(
+        node_id: NodeId,
+        name: impl Into<String>,
+        weights: &Tensor<i32>,
         tables: &QueryTables,
     ) -> Result<Self, FtaError> {
         let shape = weights.shape().to_vec();
@@ -175,6 +233,7 @@ impl LayerApprox {
         Ok(Self {
             node_id,
             name: name.into(),
+            width: tables.width(),
             weight_shape: shape,
             filter_len,
             original: weights.data().to_vec(),
@@ -192,6 +251,12 @@ impl LayerApprox {
     #[must_use]
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The operand width of the approximated weights.
+    #[must_use]
+    pub fn width(&self) -> OperandWidth {
+        self.width
     }
 
     /// Number of filters (output channels).
@@ -212,9 +277,9 @@ impl LayerApprox {
         &self.filters
     }
 
-    /// The original (pre-approximation) INT8 weights, flattened.
+    /// The original (pre-approximation) weights, flattened.
     #[must_use]
-    pub fn original_values(&self) -> &[i8] {
+    pub fn original_values(&self) -> &[i32] {
         &self.original
     }
 
@@ -234,9 +299,10 @@ impl LayerApprox {
         hist
     }
 
-    /// The approximated weights reassembled into the original tensor shape.
+    /// The approximated weights reassembled into the original tensor shape,
+    /// at the layer's width.
     #[must_use]
-    pub fn approximated_tensor(&self) -> Tensor<i8> {
+    pub fn wide_tensor(&self) -> Tensor<i32> {
         let mut data = Vec::with_capacity(self.original.len());
         for f in &self.filters {
             data.extend_from_slice(f.values());
@@ -244,18 +310,42 @@ impl LayerApprox {
         Tensor::from_vec(data, self.weight_shape.clone())
             .expect("filter decomposition preserves the element count")
     }
+
+    /// The approximated weights reassembled into the original tensor shape
+    /// as INT8 values.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the layer's width exceeds [`OperandWidth::Int8`]: wider
+    /// values do not fit `i8`. Use [`wide_tensor`](Self::wide_tensor) for
+    /// width-generic consumers.
+    #[must_use]
+    pub fn approximated_tensor(&self) -> Tensor<i8> {
+        assert!(
+            self.width <= OperandWidth::Int8,
+            "{} values do not fit an INT8 tensor; use wide_tensor()",
+            self.width
+        );
+        let mut data = Vec::with_capacity(self.original.len());
+        for f in &self.filters {
+            data.extend(f.values().iter().map(|&v| v as i8));
+        }
+        Tensor::from_vec(data, self.weight_shape.clone())
+            .expect("filter decomposition preserves the element count")
+    }
 }
 
-/// FTA approximation of every PIM-mapped layer of a quantized model.
+/// FTA approximation of every PIM-mapped layer of a model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelApprox {
     model_name: String,
+    width: OperandWidth,
     layers: Vec<LayerApprox>,
 }
 
 impl ModelApprox {
-    /// Runs Algorithm 1 over every convolution and fully-connected layer of a
-    /// quantized model.
+    /// Runs Algorithm 1 over every convolution and fully-connected layer of
+    /// an INT8-quantized model (the paper's pipeline).
     ///
     /// # Errors
     ///
@@ -274,13 +364,54 @@ impl ModelApprox {
                 &tables,
             )?);
         }
-        Ok(Self { model_name: model.name().to_string(), layers })
+        Ok(Self { model_name: model.name().to_string(), width: OperandWidth::Int8, layers })
+    }
+
+    /// Runs Algorithm 1 at an arbitrary operand width, quantizing the float
+    /// weights of every PIM layer per output channel at that width first.
+    ///
+    /// This is the entry point for INT4/INT12/INT16 workloads: the float
+    /// model provides the weights (batch norms folded into their producing
+    /// convolutions first, exactly as the INT8 quantizer does),
+    /// [`WideQuantizedTensor`] clamps them to the width's range, and the
+    /// approximation proceeds exactly as the INT8 pipeline does.
+    ///
+    /// # Errors
+    ///
+    /// Propagates weight-shape errors from the individual layers and graph
+    /// validation errors from the batch-norm fold.
+    pub fn from_model_wide(model: &dbpim_nn::Model, width: OperandWidth) -> Result<Self, FtaError> {
+        let model = dbpim_nn::fold_batch_norm(model)?;
+        let tables = QueryTables::for_width(width);
+        let mut layers = Vec::new();
+        for node in model.nodes() {
+            let weight = match &node.layer {
+                dbpim_nn::Layer::Conv2d { weight, .. } | dbpim_nn::Layer::Linear { weight, .. } => {
+                    weight
+                }
+                _ => continue,
+            };
+            let quantized = WideQuantizedTensor::quantize_per_channel(weight, 0, width);
+            layers.push(LayerApprox::from_wide_weights(
+                node.id,
+                node.name.clone(),
+                quantized.values(),
+                &tables,
+            )?);
+        }
+        Ok(Self { model_name: model.name().to_string(), width, layers })
     }
 
     /// Name of the approximated model.
     #[must_use]
     pub fn model_name(&self) -> &str {
         &self.model_name
+    }
+
+    /// The operand width the approximation was computed at.
+    #[must_use]
+    pub fn width(&self) -> OperandWidth {
+        self.width
     }
 
     /// Per-layer approximations in execution order.
@@ -303,9 +434,15 @@ impl ModelApprox {
     ///
     /// # Errors
     ///
-    /// Returns an error when the model's graph no longer matches the
-    /// approximation (e.g. different shapes).
+    /// Returns [`FtaError::UnsupportedWidth`] for non-INT8 approximations —
+    /// the quantized executor stores INT8 weights with INT8 scales, so even
+    /// narrower (INT4) values would be installed against mismatched
+    /// per-channel scales — and an error when the model's graph no longer
+    /// matches the approximation (e.g. different shapes).
     pub fn apply(&self, model: &QuantizedModel) -> Result<QuantizedModel, FtaError> {
+        if self.width != OperandWidth::Int8 {
+            return Err(FtaError::UnsupportedWidth { bits: self.width.bits() });
+        }
         let mut fta_model = model.clone();
         for layer in &self.layers {
             fta_model.replace_weight_values(layer.node_id, layer.approximated_tensor())?;
@@ -317,6 +454,7 @@ impl ModelApprox {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dbpim_csd::CsdWord;
 
     fn tables() -> QueryTables {
         QueryTables::new()
@@ -325,16 +463,19 @@ mod tests {
     #[test]
     fn threshold_selection_follows_algorithm_1() {
         // All zeros -> 0.
-        assert_eq!(select_threshold(&[0, 0, 0]), 0);
+        assert_eq!(select_threshold(&[0i8, 0, 0]), 0);
         // Mode 0 but not all zero -> 1.
-        assert_eq!(select_threshold(&[0, 0, 0, 1]), 1);
+        assert_eq!(select_threshold(&[0i8, 0, 0, 1]), 1);
         // Mode 1 -> 1 (powers of two dominate).
-        assert_eq!(select_threshold(&[1, 2, 4, 8, 7]), 1);
+        assert_eq!(select_threshold(&[1i8, 2, 4, 8, 7]), 1);
         // Mode 2 -> 2.
-        assert_eq!(select_threshold(&[3, 5, 6, 9, 1]), 2);
+        assert_eq!(select_threshold(&[3i8, 5, 6, 9, 1]), 2);
         // Mode 3 -> clamped to 2. (φ(107) = φ(1101011b -> CSD) = 4)
-        assert_eq!(select_threshold(&[0b0101_0101, 0b0101_0101, 0b0101_0101, 1]), 2);
-        assert_eq!(select_threshold(&[]), 0);
+        assert_eq!(select_threshold(&[0b0101_0101i8, 0b0101_0101, 0b0101_0101, 1]), 2);
+        assert_eq!(select_threshold::<i8>(&[]), 0);
+        // Wide values select thresholds the same way.
+        assert_eq!(select_threshold(&[1024i32, 2048, 4096]), 1);
+        assert_eq!(select_threshold(&[1025i32, 2050, 4100, 1]), 2);
     }
 
     #[test]
@@ -342,8 +483,9 @@ mod tests {
         let weights: Vec<i8> = vec![3, -5, 17, 100, -100, 0, 127, -128];
         let f = FilterApprox::approximate(&weights, &tables()).unwrap();
         assert!(f.threshold() <= 2);
+        assert_eq!(f.width(), OperandWidth::Int8);
         for &v in f.values() {
-            assert!(CsdWord::from_i8(v).nonzero_digits() <= f.threshold(), "value {v}");
+            assert!(dbpim_csd::phi(v) <= f.threshold(), "value {v}");
         }
         assert_eq!(f.len(), weights.len());
         assert!(!f.is_empty());
@@ -351,7 +493,7 @@ mod tests {
 
     #[test]
     fn zero_filter_gets_threshold_zero() {
-        let f = FilterApprox::approximate(&[0; 16], &tables()).unwrap();
+        let f = FilterApprox::approximate(&[0i8; 16], &tables()).unwrap();
         assert_eq!(f.threshold(), 0);
         assert_eq!(f.stored_blocks(), 0);
         assert_eq!(f.allocated_slots(), 0);
@@ -360,8 +502,8 @@ mod tests {
 
     #[test]
     fn explicit_threshold_is_validated() {
-        assert!(FilterApprox::approximate_with_threshold(&[1, 2], 5, &tables()).is_err());
-        let f = FilterApprox::approximate_with_threshold(&[7, 9], 1, &tables()).unwrap();
+        assert!(FilterApprox::approximate_with_threshold(&[1i8, 2], 5, &tables()).is_err());
+        let f = FilterApprox::approximate_with_threshold(&[7i8, 9], 1, &tables()).unwrap();
         assert_eq!(f.values(), &[8, 8]);
     }
 
@@ -377,10 +519,27 @@ mod tests {
     fn approximation_error_is_bounded() {
         let weights: Vec<i8> = (i8::MIN..=i8::MAX).collect();
         let f = FilterApprox::approximate_with_threshold(&weights, 2, &tables()).unwrap();
+        let wide: Vec<i32> = weights.iter().map(|&w| i32::from(w)).collect();
         // Worst-case error of T(2) is 8 (see table tests).
-        assert!(f.mean_abs_error(&weights) <= 8.0);
-        for (&o, &a) in weights.iter().zip(f.values()) {
-            assert!((i16::from(o) - i16::from(a)).abs() <= 8);
+        assert!(f.mean_abs_error(&wide) <= 8.0);
+        for (&o, &a) in wide.iter().zip(f.values()) {
+            assert!((o - a).abs() <= 8);
+        }
+    }
+
+    #[test]
+    fn wide_filters_respect_their_width_tables() {
+        for width in OperandWidth::all() {
+            let tables = QueryTables::for_width(width);
+            let weights: Vec<i32> = (0..64)
+                .map(|i| (i * 37 + 11) % (width.max_value() + 1) * if i % 2 == 0 { 1 } else { -1 })
+                .collect();
+            let f = FilterApprox::approximate(&weights, &tables).unwrap();
+            assert_eq!(f.width(), width);
+            for &v in f.values() {
+                assert!(width.contains(v));
+                assert!(dbpim_csd::phi(v) <= f.threshold());
+            }
         }
     }
 
@@ -391,12 +550,50 @@ mod tests {
         let layer = LayerApprox::from_weights(3, "conv", &weights, &tables()).unwrap();
         assert_eq!(layer.node_id(), 3);
         assert_eq!(layer.name(), "conv");
+        assert_eq!(layer.width(), OperandWidth::Int8);
         assert_eq!(layer.filter_count(), 4);
         assert_eq!(layer.filter_len(), 8);
         assert_eq!(layer.thresholds().len(), 4);
         assert_eq!(layer.threshold_histogram().iter().sum::<usize>(), 4);
         let t = layer.approximated_tensor();
         assert_eq!(t.shape(), weights.shape());
+        let wide = layer.wide_tensor();
+        for (&a, &b) in t.data().iter().zip(wide.data()) {
+            assert_eq!(i32::from(a), b);
+        }
+    }
+
+    #[test]
+    fn apply_rejects_any_non_int8_approximation() {
+        use dbpim_nn::zoo;
+        use dbpim_tensor::random::TensorGenerator;
+        let model = zoo::tiny_cnn(10, 31).unwrap();
+        let mut gen = TensorGenerator::new(32);
+        let (calibration, _) = gen.labelled_batch(1, 3, 32, 32, 10).unwrap();
+        let quantized = QuantizedModel::quantize(&model, &calibration).unwrap();
+        // Narrower approximations carry non-INT8 scales and must be rejected
+        // just like wider ones, not silently installed.
+        for width in [OperandWidth::Int4, OperandWidth::Int12, OperandWidth::Int16] {
+            let approx = ModelApprox::from_model_wide(&model, width).unwrap();
+            assert!(
+                matches!(
+                    approx.apply(&quantized),
+                    Err(FtaError::UnsupportedWidth { bits }) if bits == width.bits()
+                ),
+                "{width} approximation was applied to the INT8 executor"
+            );
+        }
+        let int8 = ModelApprox::from_quantized(&quantized).unwrap();
+        assert!(int8.apply(&quantized).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit an INT8 tensor")]
+    fn wide_layers_refuse_the_int8_tensor_view() {
+        let tables = QueryTables::for_width(OperandWidth::Int16);
+        let weights = Tensor::from_vec(vec![1024i32, -2048, 0, 512], vec![2, 2]).unwrap();
+        let layer = LayerApprox::from_wide_weights(0, "wide", &weights, &tables).unwrap();
+        let _ = layer.approximated_tensor();
     }
 
     #[test]
@@ -406,5 +603,12 @@ mod tests {
             LayerApprox::from_weights(0, "bad", &weights, &tables()),
             Err(FtaError::BadWeightShape { .. })
         ));
+    }
+
+    #[test]
+    fn phi_equals_word_nonzero_digits_for_i8() {
+        for v in i8::MIN..=i8::MAX {
+            assert_eq!(dbpim_csd::phi(i32::from(v)), CsdWord::from_i8(v).nonzero_digits());
+        }
     }
 }

@@ -1,15 +1,16 @@
-//! Dyadic-block metadata extraction.
+//! Dyadic-block metadata extraction, parameterized over operand width.
 //!
 //! After the FTA approximation every weight of a filter carries at most
 //! `φ_th` Complementary Pattern blocks. The compiler stores, per occupied 6T
-//! cell, the block's *sign* (one bit) and *dyadic-block index* (two bits) in
+//! cell, the block's *sign* (one bit) and *dyadic-block index*
+//! ([`OperandWidth::index_bits`] bits — two for the paper's INT8 layout) in
 //! the metadata register files, while the cell itself holds the pattern bits
 //! `Q/Q̄` that encode which of the block's two digit positions is non-zero.
 //! This module extracts exactly that information and provides the inverse
 //! (reconstruction), which the bit-accurate architecture model and the test
 //! suite use to prove the compression is lossless.
 
-use dbpim_csd::{BlockPattern, CsdWord, Sign};
+use dbpim_csd::{BlockPattern, CsdWord, OperandWidth, Sign};
 use serde::{Deserialize, Serialize};
 
 use crate::algorithm::{FilterApprox, LayerApprox};
@@ -17,8 +18,8 @@ use crate::algorithm::{FilterApprox, LayerApprox};
 /// Metadata of one stored Complementary Pattern block (one occupied 6T cell).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct StoredBlock {
-    /// Dyadic-block index `0..=3`; the block covers digit positions
-    /// `2*index` and `2*index + 1`.
+    /// Dyadic-block index (`0..width.blocks()`); the block covers digit
+    /// positions `2*index` and `2*index + 1`.
     pub db_index: u8,
     /// `true` when the non-zero digit sits in the block's high position.
     /// This is the information carried by the cell's `Q/Q̄` pair.
@@ -48,21 +49,24 @@ impl StoredBlock {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WeightSlots {
     /// The approximated weight value the slots encode.
-    pub value: i8,
+    pub value: i32,
     /// One entry per allocated cell (`φ_th` of them).
     pub slots: Vec<Option<StoredBlock>>,
 }
 
 impl WeightSlots {
-    /// Extracts the slots of one approximated weight for a given threshold.
+    /// Extracts the slots of one approximated weight for a given threshold
+    /// and operand width.
     ///
     /// # Panics
     ///
-    /// Panics if the weight needs more than `threshold` blocks, which the FTA
-    /// approximation guarantees never happens.
+    /// Panics if the weight needs more than `threshold` blocks or lies
+    /// outside the width's range, both of which the FTA approximation
+    /// guarantees never happen.
     #[must_use]
-    pub fn from_weight(value: i8, threshold: u32) -> Self {
-        let word = CsdWord::from_i8(value);
+    pub fn from_weight(value: i32, threshold: u32, width: OperandWidth) -> Self {
+        let word = CsdWord::encode(value, width)
+            .expect("FTA-approximated weights lie in the operand range");
         let blocks = word.dyadic_blocks();
         let mut slots: Vec<Option<StoredBlock>> = Vec::with_capacity(threshold as usize);
         for block in blocks.iter() {
@@ -105,6 +109,8 @@ pub struct FilterMetadata {
     pub filter_index: usize,
     /// The filter's fixed threshold `φ_th`.
     pub threshold: u32,
+    /// Operand width of the encoded weights.
+    pub width: OperandWidth,
     /// Per-weight slot assignments, in the filter's weight order.
     pub weights: Vec<WeightSlots>,
 }
@@ -114,9 +120,13 @@ impl FilterMetadata {
     #[must_use]
     pub fn from_filter(filter_index: usize, filter: &FilterApprox) -> Self {
         let threshold = filter.threshold();
-        let weights =
-            filter.values().iter().map(|&v| WeightSlots::from_weight(v, threshold)).collect();
-        Self { filter_index, threshold, weights }
+        let width = filter.width();
+        let weights = filter
+            .values()
+            .iter()
+            .map(|&v| WeightSlots::from_weight(v, threshold, width))
+            .collect();
+        Self { filter_index, threshold, width, weights }
     }
 
     /// Total occupied cells.
@@ -137,11 +147,12 @@ impl FilterMetadata {
         self.allocated_cells() - self.stored_cells()
     }
 
-    /// Metadata storage in bits: three bits (sign + 2-bit index) per
+    /// Metadata storage in bits: one sign bit plus the block index
+    /// ([`OperandWidth::metadata_bits_per_cell`] — three bits for INT8) per
     /// allocated cell.
     #[must_use]
     pub fn metadata_bits(&self) -> usize {
-        3 * self.allocated_cells()
+        self.width.metadata_bits_per_cell() as usize * self.allocated_cells()
     }
 }
 
@@ -152,6 +163,8 @@ pub struct LayerMetadata {
     pub node_id: usize,
     /// Weights per filter.
     pub filter_len: usize,
+    /// Operand width of the encoded weights.
+    pub width: OperandWidth,
     /// Per-filter metadata.
     pub filters: Vec<FilterMetadata>,
 }
@@ -166,7 +179,12 @@ impl LayerMetadata {
             .enumerate()
             .map(|(i, f)| FilterMetadata::from_filter(i, f))
             .collect();
-        Self { node_id: layer.node_id(), filter_len: layer.filter_len(), filters }
+        Self {
+            node_id: layer.node_id(),
+            filter_len: layer.filter_len(),
+            width: layer.width(),
+            filters,
+        }
     }
 
     /// Total occupied cells across all filters.
@@ -198,20 +216,20 @@ impl LayerMetadata {
         self.filters.iter().map(FilterMetadata::metadata_bits).sum()
     }
 
-    /// Dense cell count for the same layer (8 bit-cells per weight), the
-    /// denominator of the compression-ratio statistic.
+    /// Dense cell count for the same layer (one bit-cell per weight bit),
+    /// the denominator of the compression-ratio statistic.
     #[must_use]
     pub fn dense_cells(&self) -> usize {
-        self.filters.len() * self.filter_len * 8
+        self.filters.len() * self.filter_len * self.width.bits() as usize
     }
 
     /// Storage compression ratio of the dyadic-block format relative to a
-    /// dense 8-bit mapping (larger is better).
+    /// dense mapping at the same width (larger is better).
     #[must_use]
     pub fn compression_ratio(&self) -> f64 {
         let allocated = self.allocated_cells();
         if allocated == 0 {
-            return 8.0;
+            return f64::from(self.width.bits());
         }
         self.dense_cells() as f64 / allocated as f64
     }
@@ -230,7 +248,7 @@ mod tests {
             if phi > 2 {
                 continue;
             }
-            let slots = WeightSlots::from_weight(v, 2);
+            let slots = WeightSlots::from_weight(i32::from(v), 2, OperandWidth::Int8);
             assert_eq!(slots.reconstruct(), i32::from(v), "value {v}");
             assert_eq!(slots.stored() as u32, phi);
             assert_eq!(slots.padded() as u32, 2 - phi);
@@ -238,10 +256,24 @@ mod tests {
     }
 
     #[test]
+    fn slots_reconstruct_wide_weights() {
+        for width in OperandWidth::all() {
+            for shift in 0..width.bits() - 1 {
+                let v = 1i32 << shift;
+                for value in [v, -v, width.min_value()] {
+                    let slots = WeightSlots::from_weight(value, 1, width);
+                    assert_eq!(slots.reconstruct(), value, "{width} value {value}");
+                    assert_eq!(slots.stored(), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "needs")]
     fn slots_panic_when_threshold_is_too_small() {
         // 0b0101_0101 = 85 needs four blocks.
-        let _ = WeightSlots::from_weight(85, 1);
+        let _ = WeightSlots::from_weight(85, 1, OperandWidth::Int8);
     }
 
     #[test]
@@ -251,6 +283,9 @@ mod tests {
         assert_eq!(b.value(), -32);
         let b = StoredBlock { db_index: 0, high: false, sign: Sign::Positive };
         assert_eq!(b.value(), 1);
+        // INT16 reaches block index 7 (digit positions 14/15).
+        let b = StoredBlock { db_index: 7, high: true, sign: Sign::Negative };
+        assert_eq!(b.value(), -32768);
     }
 
     #[test]
@@ -258,12 +293,29 @@ mod tests {
         let tables = QueryTables::new();
         // Filter of weights {1, 5}: threshold 2; 1 stores one block (one pad),
         // 5 stores two blocks.
-        let filter = FilterApprox::approximate_with_threshold(&[1, 5], 2, &tables).unwrap();
+        let filter = FilterApprox::approximate_with_threshold(&[1i8, 5], 2, &tables).unwrap();
         let meta = FilterMetadata::from_filter(0, &filter);
         assert_eq!(meta.allocated_cells(), 4);
         assert_eq!(meta.stored_cells(), 3);
         assert_eq!(meta.padded_cells(), 1);
         assert_eq!(meta.metadata_bits(), 12);
+        assert_eq!(meta.width, OperandWidth::Int8);
+    }
+
+    #[test]
+    fn metadata_bits_follow_the_width_layout() {
+        for (width, expected_bits_per_cell) in [
+            (OperandWidth::Int4, 2),
+            (OperandWidth::Int8, 3),
+            (OperandWidth::Int12, 4),
+            (OperandWidth::Int16, 4),
+        ] {
+            let tables = QueryTables::for_width(width);
+            let filter = FilterApprox::approximate_with_threshold(&[1i32, 3], 2, &tables).unwrap();
+            let meta = FilterMetadata::from_filter(0, &filter);
+            assert_eq!(meta.allocated_cells(), 4);
+            assert_eq!(meta.metadata_bits(), expected_bits_per_cell * 4, "{width}");
+        }
     }
 
     #[test]

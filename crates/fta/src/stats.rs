@@ -7,6 +7,7 @@
 //! * the per-layer threshold distribution that Section 4.3 uses to explain
 //!   why AlexNet accelerates more than VGG-19.
 
+use dbpim_csd::OperandWidth;
 use dbpim_tensor::stats::WeightBitStats;
 use serde::{Deserialize, Serialize};
 
@@ -20,6 +21,8 @@ pub struct LayerFtaStats {
     pub node_id: usize,
     /// Layer name.
     pub name: String,
+    /// Operand width the layer was approximated at.
+    pub width: OperandWidth,
     /// Number of filters (output channels).
     pub filter_count: usize,
     /// Weights per filter.
@@ -46,10 +49,11 @@ impl LayerFtaStats {
     /// Computes the statistics of one approximated layer.
     #[must_use]
     pub fn from_layer(layer: &LayerApprox) -> Self {
+        let width = layer.width();
         let meta = LayerMetadata::from_layer(layer);
-        let original = WeightBitStats::from_values(layer.original_values());
+        let original = WeightBitStats::from_wide_values(layer.original_values(), width);
         let total_weights = layer.filter_count() * layer.filter_len();
-        let total_bits = (total_weights * 8) as f64;
+        let total_bits = (total_weights * width.bits() as usize) as f64;
         let stored = meta.stored_cells();
         let mut error_sum = 0.0f64;
         for (filter, approx) in layer.filters().iter().enumerate() {
@@ -61,6 +65,7 @@ impl LayerFtaStats {
         Self {
             node_id: layer.node_id(),
             name: layer.name().to_string(),
+            width,
             filter_count: layer.filter_count(),
             filter_len: layer.filter_len(),
             threshold_histogram: layer.threshold_histogram(),

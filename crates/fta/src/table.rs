@@ -1,59 +1,82 @@
-//! The query table `T(φ_th)` of Algorithm 1.
+//! The query table `T(φ_th)` of Algorithm 1, parameterized over operand
+//! width.
 //!
-//! `T(φ_th)` is the set of INT8 values whose canonical signed digit form uses
-//! at most `φ_th` non-zero digits. The FTA algorithm replaces every weight of
-//! a filter with the nearest member of the filter's table, which caps the
-//! number of Complementary Pattern blocks each weight contributes to the PIM
-//! array.
+//! `T(φ_th)` is the set of values of one [`OperandWidth`] whose canonical
+//! signed digit form uses at most `φ_th` non-zero digits. The FTA algorithm
+//! replaces every weight of a filter with the nearest member of the filter's
+//! table, which caps the number of Complementary Pattern blocks each weight
+//! contributes to the PIM array. The paper builds the tables for INT8;
+//! [`QueryTable::for_width`] generalizes the construction to
+//! INT4/INT12/INT16.
 
-use dbpim_csd::CsdWord;
+use dbpim_csd::OperandWidth;
 use serde::{Deserialize, Serialize};
 
 use crate::error::FtaError;
 
-/// Largest filter threshold the paper's Algorithm 1 allows.
+/// Largest filter threshold the paper's Algorithm 1 allows (at any width).
 pub const MAX_THRESHOLD: u32 = 2;
 
-/// The query table `T(φ_th)`: all INT8 values representable with at most
-/// `φ_th` non-zero CSD digits, sorted ascending.
+/// The query table `T(φ_th)`: all values of one operand width representable
+/// with at most `φ_th` non-zero CSD digits, sorted ascending.
 ///
 /// # Examples
 ///
 /// ```
+/// use dbpim_csd::OperandWidth;
 /// use dbpim_fta::QueryTable;
 ///
-/// let t1 = QueryTable::new(1)?;
+/// let t1 = QueryTable::new(1)?; // INT8
 /// // With one non-zero digit only powers of two (and zero) are available.
 /// assert_eq!(t1.nearest(5), 4);
 /// assert_eq!(t1.nearest(0), 0);
 /// assert!(t1.contains(-64));
 ///
-/// let t2 = QueryTable::new(2)?;
+/// let t2 = QueryTable::for_width(OperandWidth::Int12, 2)?;
 /// assert_eq!(t2.nearest(5), 5); // 5 = 4 + 1 uses two digits
+/// assert!(t2.contains(1920)); // 2048 - 128
 /// # Ok::<(), dbpim_fta::FtaError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QueryTable {
+    width: OperandWidth,
     threshold: u32,
-    values: Vec<i8>,
+    values: Vec<i32>,
 }
 
 impl QueryTable {
-    /// Builds the table for a threshold in `0..=2`.
+    /// Builds the INT8 table for a threshold in `0..=2`.
     ///
     /// # Errors
     ///
     /// Returns [`FtaError::InvalidThreshold`] for thresholds above
     /// [`MAX_THRESHOLD`].
     pub fn new(threshold: u32) -> Result<Self, FtaError> {
+        Self::for_width(OperandWidth::Int8, threshold)
+    }
+
+    /// Builds the table of an operand width for a threshold in `0..=2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtaError::InvalidThreshold`] for thresholds above
+    /// [`MAX_THRESHOLD`].
+    pub fn for_width(width: OperandWidth, threshold: u32) -> Result<Self, FtaError> {
         if threshold > MAX_THRESHOLD {
             return Err(FtaError::InvalidThreshold { threshold });
         }
-        let mut values: Vec<i8> = (i8::MIN..=i8::MAX)
-            .filter(|&v| CsdWord::from_i8(v).nonzero_digits() <= threshold)
+        // Exhaustive scan of the width's range: ascending, so the result is
+        // already sorted. At most 2^16 φ computations (INT16).
+        let values: Vec<i32> = (width.min_value()..=width.max_value())
+            .filter(|&v| dbpim_csd::phi(v) <= threshold)
             .collect();
-        values.sort_unstable();
-        Ok(Self { threshold, values })
+        Ok(Self { width, threshold, values })
+    }
+
+    /// The operand width this table was built for.
+    #[must_use]
+    pub fn width(&self) -> OperandWidth {
+        self.width
     }
 
     /// The threshold this table was built for.
@@ -64,7 +87,7 @@ impl QueryTable {
 
     /// The admissible values, sorted ascending.
     #[must_use]
-    pub fn values(&self) -> &[i8] {
+    pub fn values(&self) -> &[i32] {
         &self.values
     }
 
@@ -83,7 +106,7 @@ impl QueryTable {
     /// Returns `true` when `value` is exactly representable under the
     /// threshold.
     #[must_use]
-    pub fn contains(&self, value: i8) -> bool {
+    pub fn contains(&self, value: i32) -> bool {
         self.values.binary_search(&value).is_ok()
     }
 
@@ -92,7 +115,7 @@ impl QueryTable {
     /// Ties are broken towards the value of smaller magnitude, which never
     /// increases the number of stored non-zero digits.
     #[must_use]
-    pub fn nearest(&self, value: i8) -> i8 {
+    pub fn nearest(&self, value: i32) -> i32 {
         match self.values.binary_search(&value) {
             Ok(_) => value,
             Err(pos) => {
@@ -100,8 +123,8 @@ impl QueryTable {
                 let lo = if pos > 0 { Some(self.values[pos - 1]) } else { None };
                 match (lo, hi) {
                     (Some(lo), Some(hi)) => {
-                        let dl = i16::from(value) - i16::from(lo);
-                        let dh = i16::from(hi) - i16::from(value);
+                        let dl = i64::from(value) - i64::from(lo);
+                        let dh = i64::from(hi) - i64::from(value);
                         if dl < dh {
                             lo
                         } else if dh < dl {
@@ -120,33 +143,48 @@ impl QueryTable {
         }
     }
 
-    /// Largest absolute approximation error over the whole INT8 range.
+    /// Largest absolute approximation error over the width's whole range.
     #[must_use]
     pub fn worst_case_error(&self) -> u32 {
-        (i8::MIN..=i8::MAX)
-            .map(|v| (i32::from(v) - i32::from(self.nearest(v))).unsigned_abs())
+        (self.width.min_value()..=self.width.max_value())
+            .map(|v| (i64::from(v) - i64::from(self.nearest(v))).unsigned_abs() as u32)
             .max()
             .unwrap_or(0)
     }
 }
 
-/// The three query tables (`φ_th` = 0, 1, 2) built once and shared.
+/// The three query tables (`φ_th` = 0, 1, 2) of one operand width, built
+/// once and shared.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QueryTables {
+    width: OperandWidth,
     tables: [QueryTable; 3],
 }
 
 impl QueryTables {
-    /// Builds all three tables.
+    /// Builds all three INT8 tables.
     #[must_use]
     pub fn new() -> Self {
+        Self::for_width(OperandWidth::Int8)
+    }
+
+    /// Builds all three tables of an operand width.
+    #[must_use]
+    pub fn for_width(width: OperandWidth) -> Self {
         Self {
+            width,
             tables: [
-                QueryTable::new(0).expect("threshold 0 is valid"),
-                QueryTable::new(1).expect("threshold 1 is valid"),
-                QueryTable::new(2).expect("threshold 2 is valid"),
+                QueryTable::for_width(width, 0).expect("threshold 0 is valid"),
+                QueryTable::for_width(width, 1).expect("threshold 1 is valid"),
+                QueryTable::for_width(width, 2).expect("threshold 2 is valid"),
             ],
         }
+    }
+
+    /// The operand width the tables were built for.
+    #[must_use]
+    pub fn width(&self) -> OperandWidth {
+        self.width
     }
 
     /// The table for a given threshold.
@@ -169,6 +207,7 @@ impl Default for QueryTables {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dbpim_csd::CsdWord;
 
     #[test]
     fn table_zero_only_contains_zero() {
@@ -176,6 +215,7 @@ mod tests {
         assert_eq!(t.values(), &[0]);
         assert_eq!(t.nearest(100), 0);
         assert_eq!(t.nearest(-128), 0);
+        assert_eq!(t.width(), OperandWidth::Int8);
     }
 
     #[test]
@@ -192,7 +232,7 @@ mod tests {
     fn table_two_members_use_at_most_two_digits() {
         let t = QueryTable::new(2).unwrap();
         for &v in t.values() {
-            assert!(CsdWord::from_i8(v).nonzero_digits() <= 2, "value {v}");
+            assert!(CsdWord::from_i8(v as i8).nonzero_digits() <= 2, "value {v}");
         }
         assert!(t.contains(96)); // 128 - 32
         assert!(t.contains(-96));
@@ -200,15 +240,38 @@ mod tests {
     }
 
     #[test]
+    fn per_width_tables_respect_threshold_and_range() {
+        for width in OperandWidth::all() {
+            for threshold in 0..=MAX_THRESHOLD {
+                let t = QueryTable::for_width(width, threshold).unwrap();
+                assert!(t.contains(0));
+                for &v in t.values() {
+                    assert!(width.contains(v), "{width} value {v}");
+                    assert!(dbpim_csd::phi(v) <= threshold, "{width} value {v}");
+                }
+                // Every power of two in range belongs to T(1) and above.
+                if threshold >= 1 {
+                    for shift in 0..width.bits() - 1 {
+                        assert!(t.contains(1 << shift));
+                        assert!(t.contains(-(1 << shift)));
+                    }
+                    assert!(t.contains(width.min_value()));
+                }
+            }
+        }
+    }
+
+    #[test]
     fn nearest_is_truly_nearest() {
         for threshold in 0..=2 {
             let t = QueryTable::new(threshold).unwrap();
             for v in i8::MIN..=i8::MAX {
+                let v = i32::from(v);
                 let n = t.nearest(v);
-                let err = (i32::from(v) - i32::from(n)).abs();
+                let err = (v - n).abs();
                 for &candidate in t.values() {
                     assert!(
-                        (i32::from(v) - i32::from(candidate)).abs() >= err,
+                        (v - candidate).abs() >= err,
                         "threshold {threshold}: {candidate} is closer to {v} than {n}"
                     );
                 }
@@ -244,11 +307,24 @@ mod tests {
     }
 
     #[test]
+    fn worst_case_error_scales_with_width() {
+        let mut previous = 0u32;
+        for width in OperandWidth::all() {
+            let e = QueryTable::for_width(width, 2).unwrap().worst_case_error();
+            assert!(e >= previous, "{width}: {e} < {previous}");
+            previous = e;
+        }
+        // INT4: every value within [-8, 7] uses at most two digits.
+        assert_eq!(QueryTable::for_width(OperandWidth::Int4, 2).unwrap().worst_case_error(), 0);
+    }
+
+    #[test]
     fn invalid_threshold_is_rejected() {
         assert!(QueryTable::new(3).is_err());
         let tables = QueryTables::new();
         assert!(tables.table(3).is_err());
         assert_eq!(tables.table(1).unwrap().threshold(), 1);
         assert_eq!(QueryTables::default().table(2).unwrap().threshold(), 2);
+        assert_eq!(QueryTables::for_width(OperandWidth::Int16).width(), OperandWidth::Int16);
     }
 }

@@ -73,7 +73,11 @@ impl Simulator {
                 expected: expected.name(),
             });
         }
-        let layers = program.layers.iter().map(|layer| self.simulate_layer(layer)).collect();
+        let layers = program
+            .layers
+            .iter()
+            .map(|layer| self.simulate_layer(layer, program.operand_bits))
+            .collect();
         Ok(RunReport {
             model_name: program.model_name.clone(),
             sparsity: self.config.sparsity,
@@ -82,7 +86,7 @@ impl Simulator {
         })
     }
 
-    fn simulate_layer(&self, layer: &LayerProgram) -> LayerReport {
+    fn simulate_layer(&self, layer: &LayerProgram, operand_bits: u32) -> LayerReport {
         let arch = &self.config.arch;
         let compartments = arch.compartments_per_macro as f64;
         let input_skip = if self.config.sparsity.input_sparsity() {
@@ -90,6 +94,8 @@ impl Simulator {
         } else {
             0.0
         };
+        // Input features are always streamed bit-serially at INT8; only the
+        // weight width (`operand_bits`) varies per program.
         let bit_columns = (OPERAND_BITS as f64 * (1.0 - input_skip)).max(0.0);
 
         let mut busy = vec![0.0f64; arch.macros];
@@ -138,7 +144,7 @@ impl Simulator {
                     let slot = usize::from(macro_id).min(arch.macros - 1);
                     busy[slot] += cycles;
                     compute_busy[slot] += cycles;
-                    let cells_per_weight = threshold.map_or(OPERAND_BITS as f64, f64::from);
+                    let cells_per_weight = threshold.map_or(f64::from(operand_bits), f64::from);
                     let active_cells = compartments * f64::from(filters) * cells_per_weight;
                     energy.macro_dynamic_pj += cycles
                         * (active_cells * self.cost.cell_compute_pj
@@ -294,6 +300,7 @@ mod tests {
         let program = dbpim_compiler::ModelProgram {
             model_name: "empty".to_string(),
             mode: MappingMode::Dense,
+            operand_bits: 8,
             layers: vec![],
         };
         let report = sim.simulate(&program).unwrap();
@@ -306,6 +313,7 @@ mod tests {
         let program = dbpim_compiler::ModelProgram {
             model_name: "simd".to_string(),
             mode: MappingMode::Dense,
+            operand_bits: 8,
             layers: vec![dbpim_compiler::LayerProgram {
                 node_id: 0,
                 name: "relu".to_string(),

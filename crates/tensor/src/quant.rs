@@ -1,10 +1,18 @@
-//! INT8 affine and symmetric quantization.
+//! Affine and symmetric quantization, parameterized over operand width.
 //!
-//! The paper evaluates every model at 8b/8b precision. Weights use symmetric
+//! The paper evaluates every model at 8b/8b precision; [`QuantParams`] and
+//! [`QuantizedTensor`] implement that INT8 path. Weights use symmetric
 //! per-output-channel quantization (zero point 0), activations use per-tensor
 //! affine quantization; both are standard post-training quantization choices
 //! that the FTA algorithm operates on top of.
+//!
+//! [`WideQuantizedTensor`] generalizes the *weight* side to any supported
+//! [`OperandWidth`] (INT4/INT8/INT12/INT16): values are stored as `i32`
+//! clamped to the width's two's-complement range, with per-channel symmetric
+//! scales whose `q_max` is the width's largest value. At [`OperandWidth::Int8`]
+//! the produced values are numerically identical to the INT8 path.
 
+use dbpim_csd::OperandWidth;
 use serde::{Deserialize, Serialize};
 
 use crate::error::TensorError;
@@ -57,7 +65,17 @@ impl QuantParams {
     /// all-zero tensor quantizes to all zeros.
     #[must_use]
     pub fn symmetric(abs_max: f32) -> Self {
-        let scale = if abs_max > f32::EPSILON { abs_max / 127.0 } else { 1.0 };
+        Self::symmetric_for_width(abs_max, OperandWidth::Int8)
+    }
+
+    /// Symmetric parameters whose `q_max` is the largest value of an operand
+    /// width, so `abs_max` maps onto `width.max_value()`.
+    ///
+    /// At [`OperandWidth::Int8`] this is identical to
+    /// [`symmetric`](Self::symmetric).
+    #[must_use]
+    pub fn symmetric_for_width(abs_max: f32, width: OperandWidth) -> Self {
+        let scale = if abs_max > f32::EPSILON { abs_max / width.max_value() as f32 } else { 1.0 };
         Self { scale, zero_point: 0 }
     }
 
@@ -84,8 +102,21 @@ impl QuantParams {
     /// Quantizes one real value to INT8 (round to nearest, saturating).
     #[must_use]
     pub fn quantize(&self, value: f32) -> i8 {
+        self.quantize_wide(value, OperandWidth::Int8) as i8
+    }
+
+    /// Quantizes one real value to the given operand width (round to
+    /// nearest, saturating at the width's two's-complement range).
+    #[must_use]
+    pub fn quantize_wide(&self, value: f32, width: OperandWidth) -> i32 {
         let q = (value / self.scale).round() as i32 + self.zero_point;
-        q.clamp(i32::from(i8::MIN), i32::from(i8::MAX)) as i8
+        q.clamp(width.min_value(), width.max_value())
+    }
+
+    /// Dequantizes one width-generic value back to a real value.
+    #[must_use]
+    pub fn dequantize_wide(&self, value: i32) -> f32 {
+        (value - self.zero_point) as f32 * self.scale
     }
 
     /// Dequantizes one INT8 value back to a real value.
@@ -171,26 +202,17 @@ impl QuantizedTensor {
     /// Per-channel symmetric quantization along `axis` (must be axis 0 of a
     /// rank >= 1 tensor, the output-channel convention used for weights).
     ///
+    /// This is the INT8 instance of
+    /// [`WideQuantizedTensor::quantize_per_channel`] — one algorithm, so the
+    /// two paths cannot drift apart; INT8 values always fit `i8`.
+    ///
     /// # Panics
     ///
     /// Panics if `axis != 0`; only the output-channel axis is supported.
     #[must_use]
     pub fn quantize_per_channel(tensor: &Tensor<f32>, axis: usize) -> Self {
-        assert_eq!(axis, 0, "per-channel quantization is only supported along axis 0");
-        let channels = tensor.shape()[0];
-        let per_channel = tensor.numel() / channels;
-        let mut params = Vec::with_capacity(channels);
-        let mut values = Vec::with_capacity(tensor.numel());
-        for c in 0..channels {
-            let slice = &tensor.data()[c * per_channel..(c + 1) * per_channel];
-            let abs_max = slice.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
-            let p = QuantParams::symmetric(abs_max);
-            values.extend(slice.iter().map(|&v| p.quantize(v)));
-            params.push(p);
-        }
-        let values = Tensor::from_vec(values, tensor.shape().to_vec())
-            .expect("same element count as the source tensor");
-        Self { values, scheme: QuantScheme::PerChannel { axis, params } }
+        let wide = WideQuantizedTensor::quantize_per_channel(tensor, axis, OperandWidth::Int8);
+        Self { values: wide.values.map(|&v| v as i8), scheme: wide.scheme }
     }
 
     /// The quantized INT8 values.
@@ -240,6 +262,99 @@ impl QuantizedTensor {
     /// Returns [`TensorError::IncompatibleShapes`] when shapes differ.
     pub fn quantization_mse(&self, reference: &Tensor<f32>) -> Result<f32, TensorError> {
         reference.mse(&self.dequantize())
+    }
+}
+
+/// A width-generic quantized weight tensor: `i32` values clamped to an
+/// [`OperandWidth`]'s range, with per-channel symmetric scales.
+///
+/// This is the INT4/INT12/INT16 counterpart of [`QuantizedTensor`]; at
+/// [`OperandWidth::Int8`] the values agree element-wise with
+/// [`QuantizedTensor::quantize_per_channel`].
+///
+/// # Examples
+///
+/// ```
+/// use dbpim_csd::OperandWidth;
+/// use dbpim_tensor::{Tensor, quant::WideQuantizedTensor};
+///
+/// let w = Tensor::from_vec(vec![0.1f32, -0.9, 0.4, 0.0], vec![2, 2])?;
+/// let q = WideQuantizedTensor::quantize_per_channel(&w, 0, OperandWidth::Int12);
+/// assert!(q.values().data().iter().all(|&v| OperandWidth::Int12.contains(v)));
+/// assert_eq!(q.dequantize().shape(), w.shape());
+/// # Ok::<(), dbpim_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WideQuantizedTensor {
+    width: OperandWidth,
+    values: Tensor<i32>,
+    scheme: QuantScheme,
+}
+
+impl WideQuantizedTensor {
+    /// Per-channel symmetric quantization along `axis` (must be axis 0, the
+    /// output-channel convention used for weights) at the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis != 0`; only the output-channel axis is supported.
+    #[must_use]
+    pub fn quantize_per_channel(tensor: &Tensor<f32>, axis: usize, width: OperandWidth) -> Self {
+        assert_eq!(axis, 0, "per-channel quantization is only supported along axis 0");
+        let channels = tensor.shape()[0];
+        let per_channel = tensor.numel() / channels;
+        let mut params = Vec::with_capacity(channels);
+        let mut values = Vec::with_capacity(tensor.numel());
+        for c in 0..channels {
+            let slice = &tensor.data()[c * per_channel..(c + 1) * per_channel];
+            let abs_max = slice.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let p = QuantParams::symmetric_for_width(abs_max, width);
+            values.extend(slice.iter().map(|&v| p.quantize_wide(v, width)));
+            params.push(p);
+        }
+        let values = Tensor::from_vec(values, tensor.shape().to_vec())
+            .expect("same element count as the source tensor");
+        Self { width, values, scheme: QuantScheme::PerChannel { axis, params } }
+    }
+
+    /// The operand width the values are clamped to.
+    #[must_use]
+    pub fn width(&self) -> OperandWidth {
+        self.width
+    }
+
+    /// The quantized values.
+    #[must_use]
+    pub fn values(&self) -> &Tensor<i32> {
+        &self.values
+    }
+
+    /// The quantization scheme.
+    #[must_use]
+    pub fn scheme(&self) -> &QuantScheme {
+        &self.scheme
+    }
+
+    /// Dequantizes back to a float tensor.
+    #[must_use]
+    pub fn dequantize(&self) -> Tensor<f32> {
+        match &self.scheme {
+            QuantScheme::PerTensor(p) => self.values.map(|&v| p.dequantize_wide(v)),
+            QuantScheme::PerChannel { params, .. } => {
+                let channels = self.values.shape()[0];
+                let per_channel = self.values.numel() / channels;
+                let mut out = Vec::with_capacity(self.values.numel());
+                for (c, p) in params.iter().enumerate().take(channels) {
+                    out.extend(
+                        self.values.data()[c * per_channel..(c + 1) * per_channel]
+                            .iter()
+                            .map(|&v| p.dequantize_wide(v)),
+                    );
+                }
+                Tensor::from_vec(out, self.values.shape().to_vec())
+                    .expect("same element count as the quantized tensor")
+            }
+        }
     }
 }
 
@@ -302,5 +417,41 @@ mod tests {
     #[should_panic(expected = "scale must be positive")]
     fn zero_scale_panics() {
         let _ = QuantParams::new(0.0, 0);
+    }
+
+    #[test]
+    fn wide_int8_matches_the_int8_path_elementwise() {
+        let t = Tensor::from_vec(vec![0.01f32, -0.02, 5.0, -4.0, 0.7, -0.7], vec![2, 3]).unwrap();
+        let narrow = QuantizedTensor::quantize_per_channel(&t, 0);
+        let wide = WideQuantizedTensor::quantize_per_channel(&t, 0, OperandWidth::Int8);
+        for (&a, &b) in narrow.values().data().iter().zip(wide.values().data()) {
+            assert_eq!(i32::from(a), b);
+        }
+        assert_eq!(wide.width(), OperandWidth::Int8);
+    }
+
+    #[test]
+    fn wide_widths_respect_their_ranges_and_resolution_order() {
+        let t = Tensor::from_vec((0..32).map(|i| (i as f32 - 16.0) / 5.0).collect(), vec![2, 16])
+            .unwrap();
+        let mut previous_mse = f32::INFINITY;
+        for width in OperandWidth::all() {
+            let q = WideQuantizedTensor::quantize_per_channel(&t, 0, width);
+            assert!(q.values().data().iter().all(|&v| width.contains(v)), "{width}");
+            let mse = t.mse(&q.dequantize()).unwrap();
+            assert!(mse <= previous_mse, "{width}: mse {mse} > previous {previous_mse}");
+            previous_mse = mse;
+        }
+        // INT16 resolution on this tensor is essentially exact.
+        assert!(previous_mse < 1e-6);
+    }
+
+    #[test]
+    fn quantize_wide_saturates_at_the_width_range() {
+        let p = QuantParams::new(0.1, 0);
+        assert_eq!(p.quantize_wide(1e9, OperandWidth::Int4), 7);
+        assert_eq!(p.quantize_wide(-1e9, OperandWidth::Int4), -8);
+        assert_eq!(p.quantize_wide(1e9, OperandWidth::Int16), 32767);
+        assert_eq!(p.dequantize_wide(100), 10.0);
     }
 }

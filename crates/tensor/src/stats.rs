@@ -1,11 +1,13 @@
 //! Bit-level sparsity statistics (Fig. 2 of the paper).
 
-use dbpim_csd::CsdWord;
+use dbpim_csd::{CsdWord, OperandWidth};
 use serde::{Deserialize, Serialize};
 
 use crate::tensor::Tensor;
 
-/// Bit width of the quantized values all statistics are computed over.
+/// Bit width of the quantized *input-feature* values the bit-column
+/// statistics are computed over, and the default weight width of
+/// [`WeightBitStats::from_values`].
 pub const BIT_WIDTH: u32 = 8;
 
 /// Bit-level sparsity statistics of a quantized weight tensor.
@@ -32,6 +34,7 @@ pub const BIT_WIDTH: u32 = 8;
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct WeightBitStats {
+    bit_width: u32,
     total_values: usize,
     zero_values: usize,
     binary_nonzero_bits: u64,
@@ -42,6 +45,17 @@ impl WeightBitStats {
     /// Computes statistics over a slice of INT8 values.
     #[must_use]
     pub fn from_values(values: &[i8]) -> Self {
+        let wide: Vec<i32> = values.iter().map(|&v| i32::from(v)).collect();
+        Self::from_wide_values(&wide, OperandWidth::Int8)
+    }
+
+    /// Computes statistics over width-generic quantized values.
+    ///
+    /// Values are expected to lie in `width`'s two's-complement range; the
+    /// statistics count the non-zero magnitude bits and the non-zero
+    /// canonical signed digits over `width.bits()` positions per value.
+    #[must_use]
+    pub fn from_wide_values(values: &[i32], width: OperandWidth) -> Self {
         let mut binary = 0u64;
         let mut csd = 0u64;
         let mut zero_values = 0usize;
@@ -50,9 +64,10 @@ impl WeightBitStats {
                 zero_values += 1;
             }
             binary += u64::from(v.unsigned_abs().count_ones());
-            csd += u64::from(CsdWord::from_i8(v).nonzero_digits());
+            csd += u64::from(dbpim_csd::phi(v));
         }
         Self {
+            bit_width: width.bits(),
             total_values: values.len(),
             zero_values,
             binary_nonzero_bits: binary,
@@ -67,9 +82,12 @@ impl WeightBitStats {
     }
 
     /// Merges statistics from another set of values (e.g. another layer).
+    /// Both sets must cover the same bit width for the ratios to stay
+    /// meaningful; the merged statistics keep `self`'s width.
     #[must_use]
     pub fn merge(self, other: Self) -> Self {
         Self {
+            bit_width: self.bit_width,
             total_values: self.total_values + other.total_values,
             zero_values: self.zero_values + other.zero_values,
             binary_nonzero_bits: self.binary_nonzero_bits + other.binary_nonzero_bits,
@@ -77,16 +95,22 @@ impl WeightBitStats {
         }
     }
 
-    /// Number of INT8 values covered.
+    /// Number of quantized values covered.
     #[must_use]
     pub fn total_values(&self) -> usize {
         self.total_values
     }
 
-    /// Total number of bit positions covered (`values * 8`).
+    /// The per-value bit width the statistics were computed over.
+    #[must_use]
+    pub fn bit_width(&self) -> u32 {
+        self.bit_width
+    }
+
+    /// Total number of bit positions covered (`values * bit_width`).
     #[must_use]
     pub fn total_bits(&self) -> u64 {
-        self.total_values as u64 * u64::from(BIT_WIDTH)
+        self.total_values as u64 * u64::from(self.bit_width)
     }
 
     /// Fraction of values that are exactly zero (value-level sparsity).
@@ -228,6 +252,22 @@ mod tests {
         assert!(s.csd_zero_ratio() >= s.binary_zero_ratio());
         // Fig. 2(a): realistic weights show at least ~60 % zero bits.
         assert!(s.binary_zero_ratio() > 0.6, "binary zero ratio {}", s.binary_zero_ratio());
+    }
+
+    #[test]
+    fn wide_stats_agree_with_the_int8_path_and_scale_with_width() {
+        let values: Vec<i8> = (-60..=60).map(|v| (v * 2) as i8).collect();
+        let wide: Vec<i32> = values.iter().map(|&v| i32::from(v)).collect();
+        let narrow = WeightBitStats::from_values(&values);
+        let at8 = WeightBitStats::from_wide_values(&wide, OperandWidth::Int8);
+        assert_eq!(narrow, at8);
+        assert_eq!(narrow.bit_width(), 8);
+
+        // The same values over a wider word have more zero positions.
+        let at16 = WeightBitStats::from_wide_values(&wide, OperandWidth::Int16);
+        assert_eq!(at16.total_bits(), wide.len() as u64 * 16);
+        assert!(at16.csd_zero_ratio() > at8.csd_zero_ratio());
+        assert_eq!(at16.mean_phi(), at8.mean_phi());
     }
 
     #[test]

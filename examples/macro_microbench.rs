@@ -19,8 +19,8 @@ use dbpim_fta::FilterApprox;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-fn dot(weights: &[i8], inputs: &[i8]) -> i64 {
-    weights.iter().zip(inputs).map(|(&w, &x)| i64::from(w) * i64::from(x)).sum()
+fn dot<T: Into<i64> + Copy>(weights: &[T], inputs: &[i8]) -> i64 {
+    weights.iter().zip(inputs).map(|(&w, &x)| w.into() * i64::from(x)).sum()
 }
 
 fn describe(label: &str, stats: &MacroComputeStats) {

@@ -54,11 +54,11 @@ fn fta_respects_threshold_and_metadata_reconstructs() {
         assert!(threshold <= 2);
         assert_eq!(threshold, select_threshold(&weights));
         for &v in filter.values() {
-            assert!(CsdWord::from_i8(v).nonzero_digits() <= threshold);
+            assert!(dbpim_csd::phi(v) <= threshold);
         }
         let metadata = FilterMetadata::from_filter(0, &filter);
         for (slots, &approx) in metadata.weights.iter().zip(filter.values()) {
-            assert_eq!(slots.reconstruct(), i32::from(approx));
+            assert_eq!(slots.reconstruct(), approx);
         }
         assert!(metadata.stored_cells() <= metadata.allocated_cells());
     }
@@ -77,7 +77,7 @@ fn fta_error_is_bounded() {
             _ => 8,
         };
         for (&w, &a) in weights.iter().zip(filter.values()) {
-            assert!((i32::from(w) - i32::from(a)).abs() <= bound);
+            assert!((i32::from(w) - a).abs() <= bound);
         }
     }
 }

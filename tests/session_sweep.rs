@@ -124,3 +124,87 @@ fn session_codesign_model_matches_pipeline() {
         Pipeline::new(config).expect("valid config").run_model(&model).expect("pipeline runs");
     assert_eq!(via_session, via_pipeline);
 }
+
+/// The runner keeps one artifact cache per operand width: repeated sweeps
+/// at the same widths reuse both the per-width sessions and the prepared
+/// artifacts (no re-preparation), and the base width is served by the base
+/// session itself.
+#[test]
+fn width_sweeps_reuse_cached_artifacts_across_runs() {
+    let runner = BatchRunner::new(small_config()).expect("valid config");
+    let spec = SweepSpec::new(vec![ModelKind::AlexNet])
+        .with_sparsity(vec![SparsityConfig::DenseBaseline])
+        .with_widths(vec![OperandWidth::Int4, OperandWidth::Int8]);
+
+    let first = runner.run(&spec).expect("first sweep runs");
+    assert_eq!(first.entries.len(), 2);
+    assert_eq!(first.prepared_models, 2);
+
+    // The base session serves its own configured width (INT8)...
+    let int8_session = runner.session_for_width(OperandWidth::Int8).expect("int8 session");
+    assert!(std::ptr::eq(&*int8_session, runner.session()), "INT8 must reuse the base session");
+    // ...and sibling widths keep a stable session across calls.
+    let int4_a = runner.session_for_width(OperandWidth::Int4).expect("int4 session");
+    let int4_b = runner.session_for_width(OperandWidth::Int4).expect("int4 session again");
+    assert!(Arc::ptr_eq(&int4_a, &int4_b), "per-width sessions were re-created");
+    assert_eq!(int4_a.config().operand_width, OperandWidth::Int4);
+
+    // Artifacts prepared by the sweep are pointer-identical on re-request,
+    // and a second identical sweep reproduces the first bit-for-bit.
+    let cached_a = int4_a.artifacts(ModelKind::AlexNet).expect("cached artifacts");
+    let cached_b = int4_a.artifacts(ModelKind::AlexNet).expect("cached artifacts again");
+    assert!(Arc::ptr_eq(&cached_a, &cached_b), "artifacts were re-prepared");
+    let second = runner.run(&spec).expect("second sweep runs");
+    assert_eq!(first.entries, second.entries);
+}
+
+/// A `SweepReport` round-trips through the vendored serde_json and merges
+/// shard-style: entries concatenate, counters add up, wall time is the
+/// shard maximum.
+#[test]
+fn sweep_report_merges_and_round_trips_through_serde_json() {
+    let runner = BatchRunner::new(small_config()).expect("valid config");
+    let sparsity = vec![SparsityConfig::DenseBaseline, SparsityConfig::HybridSparsity];
+    // Two shards of a models × widths sweep, split by model.
+    let shard_a = runner
+        .run(
+            &SweepSpec::new(vec![ModelKind::AlexNet])
+                .with_sparsity(sparsity.clone())
+                .with_widths(vec![OperandWidth::Int8, OperandWidth::Int16]),
+        )
+        .expect("shard a runs");
+    let shard_b = runner
+        .run(
+            &SweepSpec::new(vec![ModelKind::MobileNetV2])
+                .with_sparsity(sparsity)
+                .with_widths(vec![OperandWidth::Int8, OperandWidth::Int16]),
+        )
+        .expect("shard b runs");
+
+    // Serialization round-trip is lossless for every field.
+    for shard in [&shard_a, &shard_b] {
+        let json = serde_json::to_string(shard).expect("serializes");
+        let back: SweepReport = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(shard, &back, "sweep report did not survive the JSON round trip");
+    }
+
+    // Merge combines the shards without touching their entries.
+    let expected_wall = shard_a.wall_time.max(shard_b.wall_time);
+    let merged = shard_a.clone().merge(shard_b.clone());
+    assert_eq!(merged.entries.len(), shard_a.entries.len() + shard_b.entries.len());
+    assert_eq!(merged.prepared_models, shard_a.prepared_models + shard_b.prepared_models);
+    assert_eq!(merged.simulated_runs, shard_a.simulated_runs + shard_b.simulated_runs);
+    assert_eq!(merged.wall_time, expected_wall);
+    assert_eq!(
+        merged.result_at_width(ModelKind::AlexNet, OperandWidth::Int16),
+        shard_a.result_at_width(ModelKind::AlexNet, OperandWidth::Int16)
+    );
+    assert_eq!(
+        merged.result_at_width(ModelKind::MobileNetV2, OperandWidth::Int8),
+        shard_b.result_at_width(ModelKind::MobileNetV2, OperandWidth::Int8)
+    );
+    // The merged report still round-trips.
+    let json = serde_json::to_string(&merged).expect("serializes");
+    let back: SweepReport = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(merged, back);
+}

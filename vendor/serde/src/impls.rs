@@ -350,3 +350,32 @@ impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
         entries.iter().map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?))).collect()
     }
 }
+
+// --------------------------------------------------------------- durations
+
+/// `std::time::Duration` uses real serde's struct representation:
+/// `{"secs": u64, "nanos": u32}`.
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("secs".to_string(), Value::U64(self.as_secs())),
+            ("nanos".to_string(), Value::U64(u64::from(self.subsec_nanos()))),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let entries = value.as_map().ok_or_else(|| type_error("duration map", value))?;
+        let field = |name: &str| -> Result<u64, Error> {
+            entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| expect_u64(v))
+                .ok_or_else(|| Error::custom(format!("missing field `{name}`")))?
+        };
+        let nanos = u32::try_from(field("nanos")?)
+            .map_err(|_| Error::custom("duration nanos out of range"))?;
+        Ok(std::time::Duration::new(field("secs")?, nanos))
+    }
+}
