@@ -1,0 +1,203 @@
+//! Load generator for the `dbpim-serve` daemon.
+//!
+//! Spawns an in-process daemon, then measures what the warm artifact cache
+//! buys: the cold first request per model (full quantize → FTA → compile →
+//! simulate), warm repeats of the same query, and aggregate requests/sec
+//! under concurrent clients. Results are recorded in EXPERIMENTS.md
+//! ("Serving layer: cold vs. warm request latency").
+//!
+//! ```text
+//! serve_bench [--clients <n>] [--requests <n>] [standard experiment flags]
+//! ```
+//!
+//! The standard flags (`--width`, `--seed`, `--cal`, `--classes`,
+//! `--operand-width`, …) shape the daemon's pipeline exactly as they shape
+//! every other experiment binary.
+
+use std::time::{Duration, Instant};
+
+use dbpim_bench::ExperimentOptions;
+use dbpim_nn::ModelKind;
+use dbpim_serve::options::parse_value;
+use dbpim_serve::{Client, RunQuery, ServeConfig, Server};
+
+/// Extra load-shape flags on top of the standard experiment options.
+struct LoadOptions {
+    /// Concurrent clients in the throughput phase.
+    clients: usize,
+    /// Warm requests per client in the throughput phase (and warm repeats
+    /// in the latency phase).
+    requests: usize,
+}
+
+impl LoadOptions {
+    fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut options = Self { clients: 4, requests: 16 };
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            if flag != "--clients" && flag != "--requests" {
+                i += 1;
+                continue;
+            }
+            let result = args
+                .get(i + 1)
+                .ok_or_else(|| dbpim_serve::OptionsError {
+                    flag: flag.to_string(),
+                    message: "missing value".to_string(),
+                })
+                .and_then(|raw| parse_value::<usize>(flag, raw));
+            match result {
+                Ok(value) if value > 0 => {
+                    if flag == "--clients" {
+                        options.clients = value;
+                    } else {
+                        options.requests = value;
+                    }
+                }
+                Ok(_) => {
+                    eprintln!("invalid value for `{flag}`: must be positive");
+                    std::process::exit(2);
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
+            i += 2;
+        }
+        options
+    }
+}
+
+fn millis(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Min / median / mean of a latency sample.
+fn summarize(mut samples: Vec<Duration>) -> (f64, f64, f64) {
+    samples.sort();
+    let min = millis(samples[0]);
+    let median = millis(samples[samples.len() / 2]);
+    let mean = millis(samples.iter().sum::<Duration>()) / samples.len() as f64;
+    (min, median, mean)
+}
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    let load = LoadOptions::from_args();
+    // Fidelity is a per-request opt-in over the wire; the load shapes below
+    // never request it, so the daemon keeps evaluation capacity configured
+    // but idle.
+    let pipeline = options.pipeline_config();
+
+    let handle = Server::spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: load.clients.max(2),
+        poll_interval: Duration::from_millis(100),
+        pipeline,
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("serve_bench: cannot start daemon: {e}");
+        std::process::exit(1);
+    });
+    let addr = handle.addr();
+
+    println!("# Serving layer: cold vs. warm request latency\n");
+    println!(
+        "In-process `dbpim-served` on {addr}, width_mult {}, {} classes, operand width {}, \
+         {} warm repeats, {} concurrent clients.\n",
+        options.width_mult, options.classes, options.operand_width, load.requests, load.clients,
+    );
+    println!(
+        "| model | cold first request | warm min | warm median | warm mean | cold / warm median |"
+    );
+    println!("|---|---|---|---|---|---|");
+
+    let mut client = Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("serve_bench: cannot connect: {e}");
+        std::process::exit(1);
+    });
+
+    for kind in ModelKind::all() {
+        let query = RunQuery::new(kind);
+        let cold_start = Instant::now();
+        if let Err(e) = client.run_model(&query) {
+            eprintln!("serve_bench: cold {} failed: {e}", kind.name());
+            std::process::exit(1);
+        }
+        let cold = cold_start.elapsed();
+
+        let mut warm = Vec::with_capacity(load.requests);
+        for _ in 0..load.requests {
+            let start = Instant::now();
+            if let Err(e) = client.run_model(&query) {
+                eprintln!("serve_bench: warm {} failed: {e}", kind.name());
+                std::process::exit(1);
+            }
+            warm.push(start.elapsed());
+        }
+        let (min, median, mean) = summarize(warm);
+        println!(
+            "| {} | {:.1} ms | {:.1} ms | {:.1} ms | {:.1} ms | {:.1}x |",
+            kind.name(),
+            millis(cold),
+            min,
+            median,
+            mean,
+            millis(cold) / median,
+        );
+    }
+
+    // Throughput phase: every client hammers the same warm (model, width)
+    // point concurrently.
+    let total_requests = load.clients * load.requests;
+    let throughput_start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..load.clients {
+            scope.spawn(|| {
+                let mut client = Client::connect(addr).expect("throughput client connects");
+                let query = RunQuery::new(ModelKind::AlexNet);
+                for _ in 0..load.requests {
+                    client.run_model(&query).expect("throughput request succeeds");
+                }
+            });
+        }
+    });
+    let elapsed = throughput_start.elapsed();
+    println!(
+        "\nThroughput: {} clients x {} warm `RunModel` requests = {} requests in {:.2} s \
+         -> **{:.1} requests/sec** (single AlexNet artifact set, all served from cache).",
+        load.clients,
+        load.requests,
+        total_requests,
+        elapsed.as_secs_f64(),
+        total_requests as f64 / elapsed.as_secs_f64(),
+    );
+
+    match client.cache_stats() {
+        Ok(stats) => println!(
+            "\nDaemon counters: {} requests, {} errors, {} connections; cache: {} artifact \
+             builds, {} artifact hits, {} compilations, {} program hits, {} resident artifact sets.",
+            stats.requests,
+            stats.errors,
+            stats.connections,
+            stats.cache.artifact_misses,
+            stats.cache.artifact_hits,
+            stats.cache.program_misses,
+            stats.cache.program_hits,
+            stats.cache.resident_artifacts,
+        ),
+        Err(e) => eprintln!("serve_bench: stats failed: {e}"),
+    }
+
+    if let Err(e) = client.shutdown() {
+        eprintln!("serve_bench: shutdown failed: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = handle.join() {
+        eprintln!("serve_bench: daemon exit failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -59,5 +59,6 @@ pub mod session;
 pub use error::PipelineError;
 pub use pipeline::{CodesignResult, Pipeline, PipelineConfig};
 pub use session::{
-    BatchRunner, ModelArtifacts, ModelPrograms, SimSession, SweepEntry, SweepReport, SweepSpec,
+    BatchRunner, ModelArtifacts, ModelPrograms, SessionCacheStats, SimSession, SweepEntry,
+    SweepReport, SweepSpec,
 };

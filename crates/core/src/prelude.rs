@@ -13,7 +13,8 @@ pub use crate::error::PipelineError;
 pub use crate::measure::measure_input_sparsity;
 pub use crate::pipeline::{CodesignResult, Pipeline, PipelineConfig};
 pub use crate::session::{
-    BatchRunner, ModelArtifacts, ModelPrograms, SimSession, SweepEntry, SweepReport, SweepSpec,
+    BatchRunner, ModelArtifacts, ModelPrograms, SessionCacheStats, SimSession, SweepEntry,
+    SweepReport, SweepSpec,
 };
 
 pub use dbpim_arch::{ArchConfig, InputPreprocessor, PimMacro};

@@ -29,7 +29,9 @@
 pub mod par;
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use dbpim_arch::ArchConfig;
@@ -47,6 +49,46 @@ use serde::{Deserialize, Serialize};
 use crate::error::PipelineError;
 use crate::measure::measure_input_sparsity;
 use crate::pipeline::{CodesignResult, PipelineConfig};
+
+/// A snapshot of a cache's hit/miss counters.
+///
+/// "Artifacts" count [`ModelArtifacts`] preparations (the expensive
+/// quantize → FTA → measure → extract stages); "programs" count per-geometry
+/// compilations inside prepared artifacts. A *miss* is an actual build, so
+/// `artifact_misses` equals the number of times the pipeline front end ran —
+/// the serving layer asserts warm-cache behaviour against exactly these
+/// numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionCacheStats {
+    /// Artifact requests answered from cache.
+    pub artifact_hits: u64,
+    /// Artifact requests that had to prepare fresh artifacts.
+    pub artifact_misses: u64,
+    /// Program requests answered from a compiled-program cache.
+    pub program_hits: u64,
+    /// Program requests that had to compile.
+    pub program_misses: u64,
+    /// Prepared artifact sets currently resident in the cache.
+    pub resident_artifacts: u64,
+}
+
+impl SessionCacheStats {
+    /// Adds another snapshot's counters into this one (aggregation across
+    /// the per-width sessions of a [`BatchRunner`]).
+    pub fn absorb(&mut self, other: SessionCacheStats) {
+        self.artifact_hits += other.artifact_hits;
+        self.artifact_misses += other.artifact_misses;
+        self.program_hits += other.program_hits;
+        self.program_misses += other.program_misses;
+        self.resident_artifacts += other.resident_artifacts;
+    }
+
+    /// Total requests observed (artifact and program layers combined).
+    #[must_use]
+    pub fn total_requests(&self) -> u64 {
+        self.artifact_hits + self.artifact_misses + self.program_hits + self.program_misses
+    }
+}
 
 /// The dense-baseline and DB-PIM instruction streams of one model compiled
 /// for one architecture geometry.
@@ -85,6 +127,8 @@ pub struct ModelArtifacts {
     dense_workloads: ModelWorkloads,
     programs: Mutex<Vec<Arc<ModelPrograms>>>,
     fidelity: Mutex<Option<FidelityReport>>,
+    program_hits: AtomicU64,
+    program_misses: AtomicU64,
 }
 
 impl ModelArtifacts {
@@ -153,6 +197,8 @@ impl ModelArtifacts {
             dense_workloads,
             programs: Mutex::new(Vec::new()),
             fidelity: Mutex::new(None),
+            program_hits: AtomicU64::new(0),
+            program_misses: AtomicU64::new(0),
         })
     }
 
@@ -207,8 +253,10 @@ impl ModelArtifacts {
     pub fn programs(&self, arch: ArchConfig) -> Result<Arc<ModelPrograms>, PipelineError> {
         let mut cache = self.programs.lock().expect("program cache lock");
         if let Some(found) = cache.iter().find(|p| p.arch == arch) {
+            self.program_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(found));
         }
+        self.program_misses.fetch_add(1, Ordering::Relaxed);
         let compiler = Compiler::with_width(arch, self.config.operand_width)?;
         let sparse = compiler.compile(&self.sparse_workloads, MappingMode::DbPim)?;
         let dense = compiler.compile(&self.dense_workloads, MappingMode::Dense)?;
@@ -290,6 +338,21 @@ impl ModelArtifacts {
         sparsity: &[SparsityConfig],
         with_fidelity: bool,
     ) -> Result<CodesignResult, PipelineError> {
+        self.codesign_result_for_arch(self.config.arch, sparsity, with_fidelity)
+    }
+
+    /// [`codesign_result`](Self::codesign_result) on an explicit geometry
+    /// instead of the configured one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation or fidelity failures.
+    pub fn codesign_result_for_arch(
+        &self,
+        arch: ArchConfig,
+        sparsity: &[SparsityConfig],
+        with_fidelity: bool,
+    ) -> Result<CodesignResult, PipelineError> {
         let fidelity = if with_fidelity
             && self.config.evaluation_images > 0
             && self.config.operand_width == OperandWidth::Int8
@@ -301,7 +364,7 @@ impl ModelArtifacts {
         let mut runs = Vec::with_capacity(sparsity.len());
         for config in SparsityConfig::all() {
             if sparsity.contains(&config) {
-                runs.push(self.simulate(self.config.arch, config)?);
+                runs.push(self.simulate(arch, config)?);
             }
         }
         Ok(CodesignResult {
@@ -315,17 +378,29 @@ impl ModelArtifacts {
     }
 }
 
+/// One artifact-cache slot: filled exactly once, concurrent requests for the
+/// same model wait on the slot instead of duplicating the preparation.
+type ArtifactSlot = Arc<Mutex<Option<Arc<ModelArtifacts>>>>;
+
 /// A shared cache of per-model pipeline artifacts under one configuration.
 ///
 /// Sessions are cheap to create and thread-safe to share: artifact
 /// preparation happens on first request per model and every later consumer
 /// (another experiment table, another sparsity configuration, another
-/// thread) reuses the cached value.
+/// thread) reuses the cached value. Preparation is *single-flight*: N
+/// concurrent requests for the same model perform exactly one build — the
+/// others block on the model's cache slot and receive the shared artifacts —
+/// while requests for different models proceed in parallel (the slot map
+/// itself is behind a read-mostly [`RwLock`]). [`Self::cache_stats`]
+/// snapshots the hit/miss counters, which the serving layer exposes over the
+/// wire.
 #[derive(Debug)]
 pub struct SimSession {
     config: PipelineConfig,
     models: Mutex<HashMap<ModelKind, Arc<Model>>>,
-    artifacts: Mutex<HashMap<String, Arc<ModelArtifacts>>>,
+    artifacts: RwLock<HashMap<String, ArtifactSlot>>,
+    artifact_hits: AtomicU64,
+    artifact_misses: AtomicU64,
 }
 
 impl SimSession {
@@ -339,7 +414,9 @@ impl SimSession {
         Ok(Self {
             config,
             models: Mutex::new(HashMap::new()),
-            artifacts: Mutex::new(HashMap::new()),
+            artifacts: RwLock::new(HashMap::new()),
+            artifact_hits: AtomicU64::new(0),
+            artifact_misses: AtomicU64::new(0),
         })
     }
 
@@ -386,46 +463,97 @@ impl SimSession {
     ///
     /// Propagates preparation failures.
     pub fn artifacts_for_model(&self, model: &Model) -> Result<Arc<ModelArtifacts>, PipelineError> {
-        if let Some(found) = self.artifacts.lock().expect("artifact cache lock").get(model.name()) {
-            if found.model() == model {
-                return Ok(Arc::clone(found));
+        // Fast path first: a warm hit (or a same-name one-off) must not pay
+        // the full weight-tensor clone the shared path needs.
+        let existing =
+            self.artifacts.read().expect("artifact cache lock").get(model.name()).cloned();
+        if let Some(slot) = existing {
+            let filled_with_other_model = {
+                let guard = slot.lock().expect("artifact slot lock");
+                match guard.as_ref() {
+                    Some(found) if found.model() == model => {
+                        self.artifact_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(Arc::clone(found));
+                    }
+                    Some(_) => true,
+                    None => false,
+                }
+            };
+            if filled_with_other_model {
+                // Same name, different graph/weights: don't reuse and don't
+                // evict the existing entry — prepare a one-off (outside the
+                // slot lock, so warm hits for the cached model keep flowing).
+                self.artifact_misses.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::new(ModelArtifacts::prepare(&self.config, model)?));
             }
-            // Same name, different graph/weights: don't reuse and don't
-            // evict the existing entry — prepare a one-off.
-            return Ok(Arc::new(ModelArtifacts::prepare(&self.config, model)?));
         }
         self.artifacts_for_shared(Arc::new(model.clone()))
+    }
+
+    /// The cache slot for `name`, inserting an empty one if absent. Readers
+    /// share the map lock; only the first request for a new name takes the
+    /// write lock.
+    fn artifact_slot(&self, name: &str) -> ArtifactSlot {
+        if let Some(slot) = self.artifacts.read().expect("artifact cache lock").get(name) {
+            return Arc::clone(slot);
+        }
+        let mut cache = self.artifacts.write().expect("artifact cache lock");
+        Arc::clone(cache.entry(name.to_string()).or_default())
     }
 
     fn artifacts_for_shared(
         &self,
         model: Arc<Model>,
     ) -> Result<Arc<ModelArtifacts>, PipelineError> {
-        let name = model.name().to_string();
-        if let Some(found) = self.artifacts.lock().expect("artifact cache lock").get(&name) {
-            if *found.model() == *model {
+        let slot = self.artifact_slot(model.name());
+        // Holding the slot lock during preparation makes the build
+        // single-flight per model name: a concurrent duplicate request waits
+        // here and receives the shared artifacts instead of re-preparing.
+        // Different models use different slots, so they still prepare in
+        // parallel.
+        let mut guard = slot.lock().expect("artifact slot lock");
+        let filled_with_other_model = match guard.as_ref() {
+            Some(found) if *found.model() == *model => {
+                self.artifact_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(Arc::clone(found));
             }
+            Some(_) => true,
+            None => false,
+        };
+        self.artifact_misses.fetch_add(1, Ordering::Relaxed);
+        if filled_with_other_model {
+            // Same name, different graph/weights: don't reuse and don't
+            // evict the existing entry — prepare a one-off, outside the
+            // slot lock so warm hits for the cached model keep flowing.
+            drop(guard);
             return Ok(Arc::new(ModelArtifacts::prepare_shared(&self.config, model)?));
         }
-        // Prepared outside the lock so concurrent callers preparing
-        // *different* models proceed in parallel; a concurrent duplicate of
-        // the *same* model is deterministic, and the first insert wins.
         let prepared = Arc::new(ModelArtifacts::prepare_shared(&self.config, model)?);
-        let mut cache = self.artifacts.lock().expect("artifact cache lock");
-        match cache.entry(name) {
-            std::collections::hash_map::Entry::Occupied(existing) => {
-                if existing.get().model() == prepared.model() {
-                    Ok(Arc::clone(existing.get()))
-                } else {
-                    Ok(prepared)
-                }
-            }
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                slot.insert(Arc::clone(&prepared));
-                Ok(prepared)
+        *guard = Some(Arc::clone(&prepared));
+        Ok(prepared)
+    }
+
+    /// A snapshot of the session's cache counters.
+    ///
+    /// Program counters aggregate over every resident artifact set. A slot
+    /// whose preparation is still in flight is skipped (its counters are all
+    /// zero anyway) so the snapshot never blocks behind a running build.
+    #[must_use]
+    pub fn cache_stats(&self) -> SessionCacheStats {
+        let mut stats = SessionCacheStats {
+            artifact_hits: self.artifact_hits.load(Ordering::Relaxed),
+            artifact_misses: self.artifact_misses.load(Ordering::Relaxed),
+            ..SessionCacheStats::default()
+        };
+        for slot in self.artifacts.read().expect("artifact cache lock").values() {
+            let Ok(guard) = slot.try_lock() else { continue };
+            if let Some(artifacts) = guard.as_ref() {
+                stats.resident_artifacts += 1;
+                stats.program_hits += artifacts.program_hits.load(Ordering::Relaxed);
+                stats.program_misses += artifacts.program_misses.load(Ordering::Relaxed);
             }
         }
+        stats
     }
 
     /// Runs the full co-design flow for one zoo model: all four sparsity
@@ -471,7 +599,10 @@ impl SimSession {
 
 /// The point set of a sweep: models × sparsity configurations ×
 /// architecture geometries × operand widths.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Specs serialize (vendored serde_json), so a sweep request can travel over
+/// the wire to a serving daemon or be persisted next to its report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepSpec {
     /// Zoo models to sweep (duplicates are executed once).
     pub models: Vec<ModelKind>,
@@ -526,7 +657,9 @@ impl SweepSpec {
         self
     }
 
-    fn unique_models(&self) -> Vec<ModelKind> {
+    /// The requested models with duplicates removed, in first-seen order.
+    #[must_use]
+    pub fn unique_models(&self) -> Vec<ModelKind> {
         let mut seen = Vec::new();
         for &kind in &self.models {
             if !seen.contains(&kind) {
@@ -536,12 +669,18 @@ impl SweepSpec {
         seen
     }
 
-    fn unique_sparsity(&self) -> Vec<SparsityConfig> {
+    /// The requested sparsity configurations in canonical Fig. 7 order,
+    /// duplicates removed.
+    #[must_use]
+    pub fn unique_sparsity(&self) -> Vec<SparsityConfig> {
         // Canonical Fig. 7 order, filtered to the requested set.
         SparsityConfig::all().into_iter().filter(|s| self.sparsity.contains(s)).collect()
     }
 
-    fn effective_archs(&self, session_arch: ArchConfig) -> Vec<ArchConfig> {
+    /// The geometries the sweep actually runs: the explicit list (deduped,
+    /// in request order), or `session_arch` when none were given.
+    #[must_use]
+    pub fn effective_archs(&self, session_arch: ArchConfig) -> Vec<ArchConfig> {
         let mut archs: Vec<ArchConfig> = Vec::new();
         let requested = if self.archs.is_empty() { vec![session_arch] } else { self.archs.clone() };
         for arch in requested {
@@ -552,7 +691,11 @@ impl SweepSpec {
         archs
     }
 
-    fn effective_widths(&self, session_width: OperandWidth) -> Vec<OperandWidth> {
+    /// The operand widths the sweep actually runs: the explicit list in
+    /// canonical narrow-to-wide order, or `session_width` when none were
+    /// given.
+    #[must_use]
+    pub fn effective_widths(&self, session_width: OperandWidth) -> Vec<OperandWidth> {
         if self.widths.is_empty() {
             return vec![session_width];
         }
@@ -633,6 +776,42 @@ impl SweepReport {
         self.simulated_runs += other.simulated_runs;
         self
     }
+
+    /// Persists the report as JSON (vendored serde_json) at `path`.
+    ///
+    /// Together with [`load`](Self::load) and [`merge`](Self::merge) this is
+    /// the disk half of sharded sweeps: each shard saves its partial report
+    /// and a combiner loads and merges them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::BadConfig`] when serialization or the write
+    /// fails (the path is included in the message).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PipelineError> {
+        let path = path.as_ref();
+        let json = serde_json::to_string(self).map_err(|e| PipelineError::BadConfig {
+            reason: format!("cannot serialize sweep report: {e}"),
+        })?;
+        std::fs::write(path, json).map_err(|e| PipelineError::BadConfig {
+            reason: format!("cannot write sweep report to {}: {e}", path.display()),
+        })
+    }
+
+    /// Loads a report previously persisted with [`save`](Self::save).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::BadConfig`] when the file cannot be read or
+    /// does not parse as a sweep report.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PipelineError> {
+        let path = path.as_ref();
+        let json = std::fs::read_to_string(path).map_err(|e| PipelineError::BadConfig {
+            reason: format!("cannot read sweep report from {}: {e}", path.display()),
+        })?;
+        serde_json::from_str(&json).map_err(|e| PipelineError::BadConfig {
+            reason: format!("malformed sweep report in {}: {e}", path.display()),
+        })
+    }
 }
 
 /// Executes [`SweepSpec`]s against a shared [`SimSession`], in parallel.
@@ -652,8 +831,9 @@ pub struct BatchRunner {
     session: Arc<SimSession>,
     threads: usize,
     /// Lazily created sessions for widths other than the base session's,
-    /// kept alive so repeated sweeps reuse their artifact caches.
-    width_sessions: Mutex<Vec<(OperandWidth, Arc<SimSession>)>>,
+    /// kept alive so repeated sweeps reuse their artifact caches. Read-mostly
+    /// after warm-up, hence the [`RwLock`].
+    width_sessions: RwLock<Vec<(OperandWidth, Arc<SimSession>)>>,
 }
 
 impl BatchRunner {
@@ -673,7 +853,7 @@ impl BatchRunner {
         Self {
             session: Arc::new(session),
             threads: par::default_parallelism(),
-            width_sessions: Mutex::new(Vec::new()),
+            width_sessions: RwLock::new(Vec::new()),
         }
     }
 
@@ -703,7 +883,16 @@ impl BatchRunner {
         if width == self.session.config().operand_width {
             return Ok(Arc::clone(&self.session));
         }
-        let mut cache = self.width_sessions.lock().expect("width session lock");
+        if let Some((_, session)) = self
+            .width_sessions
+            .read()
+            .expect("width session lock")
+            .iter()
+            .find(|(w, _)| *w == width)
+        {
+            return Ok(Arc::clone(session));
+        }
+        let mut cache = self.width_sessions.write().expect("width session lock");
         if let Some((_, session)) = cache.iter().find(|(w, _)| *w == width) {
             return Ok(Arc::clone(session));
         }
@@ -711,6 +900,45 @@ impl BatchRunner {
         let session = Arc::new(SimSession::new(config)?);
         cache.push((width, Arc::clone(&session)));
         Ok(session)
+    }
+
+    /// Aggregated cache counters across the base session and every
+    /// lazily-created width session.
+    #[must_use]
+    pub fn cache_stats(&self) -> SessionCacheStats {
+        let mut stats = self.session.cache_stats();
+        for (_, session) in self.width_sessions.read().expect("width session lock").iter() {
+            stats.absorb(session.cache_stats());
+        }
+        stats
+    }
+
+    /// Runs one (model, width, geometry) sweep point and returns its entry,
+    /// reusing every cached artifact. `arch == None` means "the session's
+    /// configured geometry". The entry content is bit-identical to the
+    /// corresponding entry of a full [`Self::run_with_fidelity`] sweep —
+    /// both paths draw from the same [`ModelArtifacts`] — which the serving
+    /// layer's round-trip test asserts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage failure.
+    pub fn run_point(
+        &self,
+        kind: ModelKind,
+        width: OperandWidth,
+        arch: Option<ArchConfig>,
+        sparsity: &[SparsityConfig],
+        with_fidelity: bool,
+    ) -> Result<SweepEntry, PipelineError> {
+        let session = self.session_for_width(width)?;
+        let arch = arch.unwrap_or(session.config().arch);
+        let artifacts = session.artifacts(kind)?;
+        let fidelity = with_fidelity && session.config().evaluation_images > 0;
+        // codesign_result_for_arch canonicalizes the sparsity order and
+        // collapses duplicates itself.
+        let result = artifacts.codesign_result_for_arch(arch, sparsity, fidelity)?;
+        Ok(SweepEntry { kind, width, arch, result })
     }
 
     /// Runs a sweep without fidelity evaluation.

@@ -34,6 +34,12 @@ pub enum NnError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A model name does not match any zoo topology (see
+    /// [`ModelKind::from_str`](crate::ModelKind)).
+    UnknownModel {
+        /// The unrecognized name.
+        name: String,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -47,6 +53,9 @@ impl fmt::Display for NnError {
             NnError::EmptyGraph => write!(f, "the model graph has no nodes"),
             NnError::BadParameters { layer, reason } => {
                 write!(f, "layer {layer} has inconsistent parameters: {reason}")
+            }
+            NnError::UnknownModel { name } => {
+                write!(f, "unknown model `{name}` (expected one of: alexnet, vgg19, resnet18, mobilenetv2, efficientnetb0)")
             }
         }
     }

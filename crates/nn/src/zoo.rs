@@ -108,6 +108,30 @@ impl std::fmt::Display for ModelKind {
     }
 }
 
+impl std::str::FromStr for ModelKind {
+    type Err = NnError;
+
+    /// Parses a zoo model name, case-insensitively and ignoring `-`/`_`
+    /// separators: `"AlexNet"`, `"vgg19"`, `"resnet-18"`,
+    /// `"mobilenet_v2"` and `"EfficientNet-B0"` all resolve.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let folded: String = s
+            .trim()
+            .chars()
+            .filter(|c| !matches!(c, '-' | '_'))
+            .flat_map(char::to_lowercase)
+            .collect();
+        match folded.as_str() {
+            "alexnet" => Ok(ModelKind::AlexNet),
+            "vgg19" => Ok(ModelKind::Vgg19),
+            "resnet18" => Ok(ModelKind::ResNet18),
+            "mobilenetv2" => Ok(ModelKind::MobileNetV2),
+            "efficientnetb0" => Ok(ModelKind::EfficientNetB0),
+            _ => Err(NnError::UnknownModel { name: s.to_string() }),
+        }
+    }
+}
+
 /// A small three-convolution CNN used by tests and the quickstart example.
 ///
 /// # Errors
@@ -489,6 +513,34 @@ fn inverted_residual(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn model_kind_parses_common_spellings_and_rejects_garbage() {
+        use std::str::FromStr;
+        for (raw, expected) in [
+            ("alexnet", ModelKind::AlexNet),
+            ("AlexNet", ModelKind::AlexNet),
+            ("vgg19", ModelKind::Vgg19),
+            ("VGG-19", ModelKind::Vgg19),
+            ("resnet18", ModelKind::ResNet18),
+            ("ResNet-18", ModelKind::ResNet18),
+            ("mobilenet_v2", ModelKind::MobileNetV2),
+            ("MobileNetV2", ModelKind::MobileNetV2),
+            ("efficientnet-b0", ModelKind::EfficientNetB0),
+            (" EfficientNetB0 ", ModelKind::EfficientNetB0),
+        ] {
+            assert_eq!(ModelKind::from_str(raw).unwrap(), expected, "raw `{raw}`");
+        }
+        // Every display name round-trips.
+        for kind in ModelKind::all() {
+            assert_eq!(ModelKind::from_str(kind.name()).unwrap(), kind);
+        }
+        for raw in ["", "vgg", "resnet50", "alex net", "lenet"] {
+            let err = ModelKind::from_str(raw).unwrap_err();
+            assert!(matches!(err, NnError::UnknownModel { .. }), "raw `{raw}`");
+            assert!(err.to_string().contains("unknown model"), "{err}");
+        }
+    }
 
     #[test]
     fn tiny_cnn_builds_and_classifies() {

@@ -1,0 +1,349 @@
+//! `dbpim-cli` — command-line client for the `dbpim-served` daemon.
+//!
+//! ```text
+//! dbpim-cli [--addr <ip>] [--port <u16>] <command> [flags]
+//!
+//! commands:
+//!   ping                       liveness + protocol-version check
+//!   models                     list the servable zoo models
+//!   run --model <name>         run one model (all four sparsity configs)
+//!       [--sparsity <name>]    restrict to one configuration
+//!       [--operand-width <w>]  override the daemon's default width
+//!       [--fidelity]           request the accuracy-fidelity evaluation
+//!   sweep [--models a,b,c]     sweep models (default: all five)
+//!       [--sparsity <name>]    restrict to one configuration
+//!       [--widths 4,8,...]     sweep several operand widths
+//!       [--fidelity]           request fidelity where defined
+//!   stats                      daemon request counters + cache statistics
+//!   shutdown                   stop the daemon
+//! ```
+//!
+//! Flag parsing is strict in the `ExperimentOptions` tradition: unknown
+//! `--flag value` pairs are ignored (so wrappers can pass extra arguments
+//! through), but a known flag with a missing or malformed value aborts with
+//! usage on stderr (exit status 2).
+
+use std::str::FromStr;
+use std::time::Duration;
+
+use db_pim::{SweepReport, SweepSpec};
+use dbpim_csd::OperandWidth;
+use dbpim_nn::ModelKind;
+use dbpim_serve::options::{parse_value, OptionsError};
+use dbpim_serve::{Client, RunQuery};
+use dbpim_sim::SparsityConfig;
+
+const USAGE: &str = "usage: dbpim-cli [--addr <ip>] [--port <u16>] \
+     <ping|models|run|sweep|stats|shutdown> [--model <name>] [--models a,b,c] \
+     [--sparsity <name>] [--operand-width <4|8|12|16>] [--widths 4,8,...] [--fidelity]";
+
+#[derive(Debug, Clone, PartialEq)]
+enum Command {
+    Ping,
+    Models,
+    Run,
+    Sweep,
+    Stats,
+    Shutdown,
+}
+
+#[derive(Debug, Clone)]
+struct CliOptions {
+    addr: String,
+    port: u16,
+    command: Command,
+    model: Option<ModelKind>,
+    models: Option<Vec<ModelKind>>,
+    sparsity: Option<SparsityConfig>,
+    width: Option<OperandWidth>,
+    widths: Option<Vec<OperandWidth>>,
+    fidelity: bool,
+}
+
+impl CliOptions {
+    const VALUE_FLAGS: [&'static str; 7] =
+        ["--addr", "--port", "--model", "--models", "--sparsity", "--operand-width", "--widths"];
+
+    fn from_slice(args: &[String]) -> Result<Self, OptionsError> {
+        let mut options = Self {
+            addr: "127.0.0.1".to_string(),
+            port: 7531,
+            command: Command::Ping,
+            model: None,
+            models: None,
+            sparsity: None,
+            width: None,
+            widths: None,
+            fidelity: false,
+        };
+        let mut command = None;
+        let mut i = 0;
+        while i < args.len() {
+            let arg = args[i].as_str();
+            if arg == "--fidelity" {
+                options.fidelity = true;
+                i += 1;
+                continue;
+            }
+            if !Self::VALUE_FLAGS.contains(&arg) {
+                if arg.starts_with("--") {
+                    // Unknown flag: skip it together with its value (when
+                    // one follows), so the value cannot be mistaken for the
+                    // command.
+                    let has_value = args.get(i + 1).is_some_and(|next| !next.starts_with("--"));
+                    i += if has_value { 2 } else { 1 };
+                    continue;
+                }
+                if command.is_none() {
+                    command = match arg {
+                        "ping" => Some(Command::Ping),
+                        "models" => Some(Command::Models),
+                        "run" => Some(Command::Run),
+                        "sweep" => Some(Command::Sweep),
+                        "stats" => Some(Command::Stats),
+                        "shutdown" => Some(Command::Shutdown),
+                        _ => None,
+                    };
+                }
+                i += 1;
+                continue;
+            }
+            let raw = args.get(i + 1).ok_or_else(|| OptionsError {
+                flag: arg.to_string(),
+                message: "missing value".to_string(),
+            })?;
+            match arg {
+                "--addr" => options.addr = raw.clone(),
+                "--port" => options.port = parse_value(arg, raw)?,
+                "--model" => options.model = Some(parse_value(arg, raw)?),
+                "--models" => options.models = Some(parse_list(arg, raw)?),
+                "--sparsity" => options.sparsity = Some(parse_value(arg, raw)?),
+                "--operand-width" => options.width = Some(parse_value(arg, raw)?),
+                "--widths" => options.widths = Some(parse_list(arg, raw)?),
+                _ => unreachable!("flag list and match arms agree"),
+            }
+            i += 2;
+        }
+        options.command = command.ok_or_else(|| OptionsError {
+            flag: "<command>".to_string(),
+            message: "expected one of: ping, models, run, sweep, stats, shutdown".to_string(),
+        })?;
+        if options.command == Command::Run && options.model.is_none() {
+            return Err(OptionsError {
+                flag: "--model".to_string(),
+                message: "required for `run`".to_string(),
+            });
+        }
+        Ok(options)
+    }
+}
+
+/// Parses a comma-separated list, attributing the failing element to the
+/// flag.
+fn parse_list<T: FromStr>(flag: &str, raw: &str) -> Result<Vec<T>, OptionsError>
+where
+    T::Err: std::fmt::Display,
+{
+    raw.split(',').map(str::trim).filter(|s| !s.is_empty()).map(|s| parse_value(flag, s)).collect()
+}
+
+fn print_report(report: &SweepReport) {
+    println!("| model | width | arch macros | sparsity | cycles | speedup | energy saving |");
+    println!("|---|---|---|---|---|---|---|");
+    for entry in &report.entries {
+        // Speedups are relative to the dense baseline; a query restricted
+        // to a non-baseline sparsity configuration has nothing to compare
+        // against.
+        let has_baseline = entry.result.run(SparsityConfig::DenseBaseline).is_some();
+        for run in &entry.result.runs {
+            let (speedup, saving) = if has_baseline {
+                (
+                    format!("{:.2}x", entry.result.speedup(run.sparsity)),
+                    format!("{:.2}%", 100.0 * entry.result.energy_saving(run.sparsity)),
+                )
+            } else {
+                ("n/a".to_string(), "n/a".to_string())
+            };
+            println!(
+                "| {} | {} | {} | {} | {} | {} | {} |",
+                entry.kind.name(),
+                entry.width,
+                entry.arch.macros,
+                run.sparsity,
+                run.total_cycles(),
+                speedup,
+                saving,
+            );
+        }
+    }
+    println!(
+        "({} entries, {} prepared model/width artifact sets, {} simulated runs, server wall time {:?})",
+        report.entries.len(),
+        report.prepared_models,
+        report.simulated_runs,
+        report.wall_time,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match CliOptions::from_slice(&args) {
+        Ok(options) => options,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let addr = format!("{}:{}", options.addr, options.port);
+    let mut client = match Client::connect_timeout(addr.as_str(), Duration::from_secs(5)) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("dbpim-cli: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let outcome = match options.command {
+        Command::Ping => client.ping().map(|version| {
+            println!("pong (protocol v{version}) from {addr}");
+        }),
+        Command::Models => client.list_models().map(|models| {
+            for kind in models {
+                println!("{} (compact: {})", kind.name(), kind.is_compact());
+            }
+        }),
+        Command::Run => {
+            let mut query = RunQuery::new(options.model.expect("validated by the parser"));
+            query.sparsity = options.sparsity;
+            query.width = options.width;
+            query.fidelity = options.fidelity;
+            client.run_model(&query).map(|entry| {
+                if let Some(fidelity) = &entry.result.fidelity {
+                    println!("fidelity: top-1 agreement {:.2}%", 100.0 * fidelity.top1_agreement);
+                }
+                let report = SweepReport {
+                    wall_time: Duration::ZERO,
+                    prepared_models: 1,
+                    simulated_runs: entry.result.runs.len(),
+                    entries: vec![entry],
+                };
+                print_report(&report);
+            })
+        }
+        Command::Sweep => {
+            let models = options.models.unwrap_or_else(|| ModelKind::all().to_vec());
+            let mut spec = SweepSpec::new(models);
+            if let Some(sparsity) = options.sparsity {
+                spec = spec.with_sparsity(vec![sparsity]);
+            }
+            if let Some(widths) = options.widths {
+                spec = spec.with_widths(widths);
+            }
+            client
+                .sweep_streaming(&spec, options.fidelity, |index, entry| {
+                    eprintln!("… entry {index}: {} @ {} done", entry.kind.name(), entry.width);
+                })
+                .map(|report| print_report(&report))
+        }
+        Command::Stats => client.cache_stats().map(|stats| {
+            println!("requests:           {}", stats.requests);
+            println!("errors:             {}", stats.errors);
+            println!("connections:        {}", stats.connections);
+            println!("uptime:             {:?}", stats.uptime);
+            println!("artifact hits:      {}", stats.cache.artifact_hits);
+            println!("artifact misses:    {}", stats.cache.artifact_misses);
+            println!("program hits:       {}", stats.cache.program_hits);
+            println!("program misses:     {}", stats.cache.program_misses);
+            println!("resident artifacts: {}", stats.cache.resident_artifacts);
+        }),
+        Command::Shutdown => client.shutdown().map(|()| {
+            println!("daemon at {addr} is shutting down");
+        }),
+    };
+
+    if let Err(e) = outcome {
+        eprintln!("dbpim-cli: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn commands_and_flags_parse_strictly() {
+        let options = CliOptions::from_slice(&args(&[
+            "run",
+            "--model",
+            "resnet-18",
+            "--sparsity",
+            "hybrid",
+            "--operand-width",
+            "4",
+            "--fidelity",
+            "--port",
+            "9000",
+        ]))
+        .unwrap();
+        assert_eq!(options.command, Command::Run);
+        assert_eq!(options.model, Some(ModelKind::ResNet18));
+        assert_eq!(options.sparsity, Some(SparsityConfig::HybridSparsity));
+        assert_eq!(options.width, Some(OperandWidth::Int4));
+        assert!(options.fidelity);
+        assert_eq!(options.port, 9000);
+
+        let options = CliOptions::from_slice(&args(&[
+            "sweep",
+            "--models",
+            "alexnet,vgg19",
+            "--widths",
+            "4,16",
+        ]))
+        .unwrap();
+        assert_eq!(options.command, Command::Sweep);
+        assert_eq!(options.models, Some(vec![ModelKind::AlexNet, ModelKind::Vgg19]));
+        assert_eq!(options.widths, Some(vec![OperandWidth::Int4, OperandWidth::Int16]));
+    }
+
+    #[test]
+    fn unknown_flag_values_are_not_mistaken_for_commands() {
+        // `--mytag run` is an unknown flag/value pair; the command is the
+        // next free-standing word.
+        let options = CliOptions::from_slice(&args(&["--mytag", "run", "shutdown"])).unwrap();
+        assert_eq!(options.command, Command::Shutdown);
+        // An unknown flag directly followed by another flag consumes
+        // nothing extra.
+        let options =
+            CliOptions::from_slice(&args(&["--verbose", "--port", "9000", "ping"])).unwrap();
+        assert_eq!(options.command, Command::Ping);
+        assert_eq!(options.port, 9000);
+    }
+
+    #[test]
+    fn malformed_command_lines_are_rejected() {
+        // No command at all.
+        let err = CliOptions::from_slice(&args(&["--port", "9000"])).unwrap_err();
+        assert_eq!(err.flag, "<command>");
+        // `run` without a model.
+        let err = CliOptions::from_slice(&args(&["run"])).unwrap_err();
+        assert_eq!(err.flag, "--model");
+        // Unknown model name.
+        let err = CliOptions::from_slice(&args(&["run", "--model", "lenet"])).unwrap_err();
+        assert_eq!(err.flag, "--model");
+        assert!(err.message.contains("lenet"), "{err}");
+        // Bad element inside a list.
+        let err = CliOptions::from_slice(&args(&["sweep", "--widths", "4,10"])).unwrap_err();
+        assert_eq!(err.flag, "--widths");
+        // Missing value.
+        let err = CliOptions::from_slice(&args(&["sweep", "--models"])).unwrap_err();
+        assert_eq!(err.flag, "--models");
+        assert!(err.to_string().contains("missing"), "{err}");
+    }
+}

@@ -1,0 +1,39 @@
+//! `dbpim-served` — the sweep-serving daemon.
+//!
+//! Binds a TCP socket, builds the warm artifact cache lazily, and serves
+//! the NDJSON protocol until a `Shutdown` request arrives. See the README's
+//! "Serving" section for the wire-protocol specification.
+
+use dbpim_serve::{ServeOptions, Server};
+
+fn main() {
+    let options = ServeOptions::from_args();
+    let server = match Server::bind(options.serve_config()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("dbpim-served: cannot start: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = server.local_addr();
+    let config = options.pipeline;
+    println!(
+        "dbpim-served listening on {addr} ({} worker threads, width_mult {}, seed {}, \
+         {} classes, {} operand width, fidelity {})",
+        options.threads,
+        config.width_mult,
+        config.seed,
+        config.classes,
+        config.operand_width,
+        if config.evaluation_images > 0 {
+            format!("on ({} images)", config.evaluation_images)
+        } else {
+            "off".to_string()
+        },
+    );
+    if let Err(e) = server.run() {
+        eprintln!("dbpim-served: serving failed: {e}");
+        std::process::exit(1);
+    }
+    println!("dbpim-served: shut down cleanly");
+}

@@ -1,0 +1,321 @@
+//! Blocking client for the `dbpim-serve` daemon.
+//!
+//! One [`Client`] wraps one TCP connection; every method sends one request
+//! line and reads the response line(s), so a client is cheap to keep around
+//! for many queries — the daemon's warm cache does the heavy lifting.
+
+use std::fmt;
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use db_pim::{SweepEntry, SweepReport, SweepSpec};
+use dbpim_arch::ArchConfig;
+use dbpim_csd::OperandWidth;
+use dbpim_nn::ModelKind;
+use dbpim_sim::SparsityConfig;
+
+use crate::protocol::{
+    read_message, write_message, ErrorResponse, Request, Response, ServerStats, WireError,
+    PROTOCOL_VERSION,
+};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed.
+    Io(std::io::Error),
+    /// The server sent something the client cannot interpret (malformed
+    /// line, unexpected response variant, protocol-version mismatch).
+    Protocol(String),
+    /// The server answered with a structured error.
+    Server(ErrorResponse),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(io) => ClientError::Io(io),
+            WireError::Malformed(m) => ClientError::Protocol(m),
+        }
+    }
+}
+
+/// The query parameters of a [`Client::run_model`] request; the builders
+/// mirror the daemon's defaulting (session width / geometry, all four
+/// sparsity configurations).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunQuery {
+    /// The zoo model to run.
+    pub model: ModelKind,
+    /// Restrict to one sparsity configuration (`None` = all four).
+    pub sparsity: Option<SparsityConfig>,
+    /// Operand-width override.
+    pub width: Option<OperandWidth>,
+    /// Geometry override.
+    pub arch: Option<ArchConfig>,
+    /// Request the fidelity evaluation.
+    pub fidelity: bool,
+}
+
+impl RunQuery {
+    /// A query for `model` with every field at the daemon's default.
+    #[must_use]
+    pub fn new(model: ModelKind) -> Self {
+        Self { model, sparsity: None, width: None, arch: None, fidelity: false }
+    }
+
+    /// Restricts the query to one sparsity configuration.
+    #[must_use]
+    pub fn with_sparsity(mut self, sparsity: SparsityConfig) -> Self {
+        self.sparsity = Some(sparsity);
+        self
+    }
+
+    /// Overrides the operand width.
+    #[must_use]
+    pub fn with_width(mut self, width: OperandWidth) -> Self {
+        self.width = Some(width);
+        self
+    }
+
+    /// Overrides the geometry.
+    #[must_use]
+    pub fn with_arch(mut self, arch: ArchConfig) -> Self {
+        self.arch = Some(arch);
+        self
+    }
+
+    /// Requests the fidelity evaluation.
+    #[must_use]
+    pub fn with_fidelity(mut self) -> Self {
+        self.fidelity = true;
+        self
+    }
+}
+
+/// A blocking connection to a `dbpim-serve` daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Self { reader: BufReader::new(stream), writer })
+    }
+
+    /// [`connect`](Self::connect) with a connection timeout (tries every
+    /// resolved address before giving up).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<Self, ClientError> {
+        let mut last = None;
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true).ok();
+                    let writer = stream.try_clone()?;
+                    return Ok(Self { reader: BufReader::new(stream), writer });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ClientError::Io(
+            last.unwrap_or_else(|| {
+                std::io::Error::other("address resolved to no socket addresses")
+            }),
+        ))
+    }
+
+    /// Sends one request line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        write_message(&mut self.writer, request)?;
+        Ok(())
+    }
+
+    /// Reads one response line; end-of-stream is a protocol error (the
+    /// daemon never half-closes mid-exchange).
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures and malformed responses.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        read_message::<Response>(&mut self.reader)?
+            .ok_or_else(|| ClientError::Protocol("server closed the connection".to_string()))
+    }
+
+    /// One request, one response.
+    fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.send(request)?;
+        match self.recv()? {
+            Response::Error { error } => Err(ClientError::Server(error)),
+            response => Ok(response),
+        }
+    }
+
+    /// Pings the daemon; checks the protocol version and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection problems or a version mismatch.
+    pub fn ping(&mut self) -> Result<u32, ClientError> {
+        match self.round_trip(&Request::Ping)? {
+            Response::Pong { version } if version == PROTOCOL_VERSION => Ok(version),
+            Response::Pong { version } => Err(ClientError::Protocol(format!(
+                "server speaks protocol v{version}, this client v{PROTOCOL_VERSION}"
+            ))),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// The zoo models the daemon serves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and server failures.
+    pub fn list_models(&mut self) -> Result<Vec<ModelKind>, ClientError> {
+        match self.round_trip(&Request::ListModels)? {
+            Response::Models { models } => Ok(models),
+            other => Err(unexpected("Models", &other)),
+        }
+    }
+
+    /// Runs one model query and returns its entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures and server-side pipeline errors.
+    pub fn run_model(&mut self, query: &RunQuery) -> Result<SweepEntry, ClientError> {
+        let request = Request::RunModel {
+            model: query.model,
+            sparsity: query.sparsity,
+            width: query.width,
+            arch: query.arch,
+            fidelity: query.fidelity,
+        };
+        match self.round_trip(&request)? {
+            Response::RunResult { entry } => Ok(entry),
+            other => Err(unexpected("RunResult", &other)),
+        }
+    }
+
+    /// Runs a sweep, discarding the stream granularity and returning the
+    /// reassembled report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures and server-side pipeline errors.
+    pub fn sweep(&mut self, spec: &SweepSpec, fidelity: bool) -> Result<SweepReport, ClientError> {
+        self.sweep_streaming(spec, fidelity, |_, _| {})
+    }
+
+    /// Runs a sweep, invoking `on_entry(index, entry)` as each streamed
+    /// entry arrives, then returns the reassembled report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures and server-side pipeline errors.
+    pub fn sweep_streaming(
+        &mut self,
+        spec: &SweepSpec,
+        fidelity: bool,
+        mut on_entry: impl FnMut(usize, &SweepEntry),
+    ) -> Result<SweepReport, ClientError> {
+        self.send(&Request::Sweep { spec: spec.clone(), fidelity })?;
+        let expected = match self.recv()? {
+            Response::SweepStarted { entries } => entries,
+            Response::Error { error } => return Err(ClientError::Server(error)),
+            other => return Err(unexpected("SweepStarted", &other)),
+        };
+        let mut entries = Vec::with_capacity(expected);
+        loop {
+            match self.recv()? {
+                Response::SweepPoint { index, entry } => {
+                    if index != entries.len() {
+                        return Err(ClientError::Protocol(format!(
+                            "sweep entries arrived out of order: got {index}, expected {}",
+                            entries.len()
+                        )));
+                    }
+                    on_entry(index, &entry);
+                    entries.push(entry);
+                }
+                Response::SweepFinished { prepared_models, simulated_runs, wall_time } => {
+                    if entries.len() != expected {
+                        return Err(ClientError::Protocol(format!(
+                            "sweep finished after {} of {expected} entries",
+                            entries.len()
+                        )));
+                    }
+                    return Ok(SweepReport { entries, wall_time, prepared_models, simulated_runs });
+                }
+                Response::Error { error } => return Err(ClientError::Server(error)),
+                other => return Err(unexpected("SweepPoint or SweepFinished", &other)),
+            }
+        }
+    }
+
+    /// Snapshots the daemon's counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and server failures.
+    pub fn cache_stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.round_trip(&Request::CacheStats)? {
+            Response::Stats { stats } => Ok(stats),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Asks the daemon to exit; returns once the shutdown is acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted}, got {got:?}"))
+}

@@ -1,0 +1,247 @@
+//! Strict command-line parsing for the serving binaries.
+//!
+//! Same conventions as the experiment binaries' `ExperimentOptions`
+//! (`dbpim-bench`): unknown flags are ignored so wrappers can pass extra
+//! arguments through, but a known flag with a missing or malformed value is
+//! an error — silently falling back to a default would start the daemon
+//! with a different model zoo than the operator asked for.
+
+use std::fmt;
+use std::str::FromStr;
+use std::time::Duration;
+
+use db_pim::PipelineConfig;
+use dbpim_csd::OperandWidth;
+
+use crate::server::ServeConfig;
+
+/// A malformed serving command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptionsError {
+    /// The flag at fault (e.g. `--port`).
+    pub flag: String,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for OptionsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid value for `{}`: {}", self.flag, self.message)
+    }
+}
+
+impl std::error::Error for OptionsError {}
+
+/// Parses one flag value, attributing failures to the flag (shared by the
+/// daemon's and the CLI's parsers).
+///
+/// # Errors
+///
+/// Returns [`OptionsError`] naming `flag` when `raw` does not parse as `T`.
+pub fn parse_value<T: FromStr>(flag: &str, raw: &str) -> Result<T, OptionsError>
+where
+    T::Err: fmt::Display,
+{
+    raw.parse().map_err(|e: T::Err| OptionsError {
+        flag: flag.to_string(),
+        message: format!("`{raw}` — {e}"),
+    })
+}
+
+/// Command-line options of the `dbpim-served` daemon.
+///
+/// ```text
+/// --addr <ip>       bind address (default 127.0.0.1)
+/// --port <u16>      bind port (default 7531; 0 picks a free port)
+/// --threads <n>     worker threads (default 4)
+/// --width <f32>     channel width multiplier (default 1.0)
+/// --seed <u64>      synthetic-weight seed (default 42)
+/// --images <usize>  evaluation images for fidelity queries (default 16)
+/// --cal <usize>     calibration images (default 4)
+/// --classes <usize> output classes (default 100)
+/// --operand-width <4|8|12|16>  default weight operand width (default 8)
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Bind address.
+    pub addr: String,
+    /// Bind port (`0` picks a free one).
+    pub port: u16,
+    /// Worker threads.
+    pub threads: usize,
+    /// The pipeline configuration the daemon's sessions derive from.
+    pub pipeline: PipelineConfig,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1".to_string(),
+            port: 7531,
+            threads: 4,
+            pipeline: PipelineConfig::paper(),
+        }
+    }
+}
+
+impl ServeOptions {
+    /// The flags this parser understands.
+    pub const FLAGS: [&'static str; 9] = [
+        "--addr",
+        "--port",
+        "--threads",
+        "--width",
+        "--seed",
+        "--images",
+        "--cal",
+        "--classes",
+        "--operand-width",
+    ];
+
+    /// One-line usage text for the daemon binary.
+    pub const USAGE: &'static str = "usage: dbpim-served [--addr <ip>] [--port <u16>] \
+         [--threads <n>] [--width <f32>] [--seed <u64>] [--images <n>] [--cal <n>] \
+         [--classes <n>] [--operand-width <4|8|12|16>]";
+
+    /// Parses options from the process arguments, exiting with status 2 and
+    /// usage on stderr for a malformed command line.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        match Self::from_slice(&args) {
+            Ok(options) => options,
+            Err(e) => {
+                eprintln!("{e}");
+                eprintln!("{}", Self::USAGE);
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses options from an explicit argument list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptionsError`] when a known flag has a missing or
+    /// malformed value. Unknown arguments are ignored.
+    pub fn from_slice(args: &[String]) -> Result<Self, OptionsError> {
+        let mut options = Self::default();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            if !Self::FLAGS.contains(&flag) {
+                i += 1;
+                continue;
+            }
+            let raw = args.get(i + 1).ok_or_else(|| OptionsError {
+                flag: flag.to_string(),
+                message: "missing value".to_string(),
+            })?;
+            match flag {
+                "--addr" => options.addr = raw.clone(),
+                "--port" => options.port = parse_value(flag, raw)?,
+                "--threads" => options.threads = parse_value::<usize>(flag, raw)?.max(1),
+                "--width" => options.pipeline.width_mult = parse_value(flag, raw)?,
+                "--seed" => options.pipeline.seed = parse_value(flag, raw)?,
+                "--images" => options.pipeline.evaluation_images = parse_value(flag, raw)?,
+                "--cal" => {
+                    options.pipeline.calibration_images = parse_value::<usize>(flag, raw)?.max(1);
+                }
+                "--classes" => options.pipeline.classes = parse_value(flag, raw)?,
+                "--operand-width" => {
+                    options.pipeline.operand_width = parse_value::<OperandWidth>(flag, raw)?;
+                }
+                _ => unreachable!("flag list and match arms agree"),
+            }
+            i += 2;
+        }
+        Ok(options)
+    }
+
+    /// The serving configuration equivalent to these options.
+    #[must_use]
+    pub fn serve_config(&self) -> ServeConfig {
+        ServeConfig {
+            addr: format!("{}:{}", self.addr, self.port),
+            threads: self.threads,
+            poll_interval: Duration::from_millis(200),
+            pipeline: self.pipeline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_serving_and_pipeline_flags_and_ignores_the_rest() {
+        let options = ServeOptions::from_slice(&args(&[
+            "dbpim-served",
+            "--addr",
+            "0.0.0.0",
+            "--port",
+            "0",
+            "--threads",
+            "2",
+            "--width",
+            "0.25",
+            "--seed",
+            "7",
+            "--images",
+            "0",
+            "--cal",
+            "1",
+            "--classes",
+            "10",
+            "--operand-width",
+            "int4",
+            "--bogus",
+            "x",
+        ]))
+        .unwrap();
+        assert_eq!(options.addr, "0.0.0.0");
+        assert_eq!(options.port, 0);
+        assert_eq!(options.threads, 2);
+        assert!((options.pipeline.width_mult - 0.25).abs() < 1e-6);
+        assert_eq!(options.pipeline.seed, 7);
+        assert_eq!(options.pipeline.evaluation_images, 0);
+        assert_eq!(options.pipeline.calibration_images, 1);
+        assert_eq!(options.pipeline.classes, 10);
+        assert_eq!(options.pipeline.operand_width, OperandWidth::Int4);
+        assert_eq!(options.serve_config().addr, "0.0.0.0:0");
+        assert_eq!(options.serve_config().threads, 2);
+    }
+
+    #[test]
+    fn malformed_values_are_rejected_not_swallowed() {
+        let err = ServeOptions::from_slice(&args(&["--port", "notaport"])).unwrap_err();
+        assert_eq!(err.flag, "--port");
+        assert!(err.message.contains("notaport"), "{err}");
+
+        let err = ServeOptions::from_slice(&args(&["--port", "65536"])).unwrap_err();
+        assert_eq!(err.flag, "--port");
+
+        let err = ServeOptions::from_slice(&args(&["--threads"])).unwrap_err();
+        assert_eq!(err.flag, "--threads");
+        assert!(err.to_string().contains("missing"), "{err}");
+
+        let err = ServeOptions::from_slice(&args(&["--operand-width", "10"])).unwrap_err();
+        assert_eq!(err.flag, "--operand-width");
+    }
+
+    #[test]
+    fn defaults_match_the_paper_pipeline() {
+        let options = ServeOptions::from_slice(&args(&[])).unwrap();
+        assert_eq!(options, ServeOptions::default());
+        assert_eq!(options.pipeline, PipelineConfig::paper());
+        assert_eq!(options.serve_config().addr, "127.0.0.1:7531");
+        // Zero threads is clamped: a daemon with no workers would hang.
+        let options = ServeOptions::from_slice(&args(&["--threads", "0"])).unwrap();
+        assert_eq!(options.threads, 1);
+    }
+}

@@ -1,0 +1,345 @@
+//! The `dbpim-serve` wire protocol.
+//!
+//! Newline-delimited JSON over a plain TCP stream: every message is one JSON
+//! value on one line, terminated by `\n`. Requests and responses use the
+//! externally-tagged enum encoding the vendored serde derive produces — a
+//! unit variant is its name as a JSON string (`"Ping"`), a data-carrying
+//! variant is a single-entry object (`{"RunModel":{...}}`).
+//!
+//! A connection carries any number of requests, answered in order. Most
+//! requests produce exactly one response line; [`Request::Sweep`] streams:
+//! one [`Response::SweepStarted`], then one [`Response::SweepPoint`] per
+//! (model, width, geometry) entry *as each completes*, then one
+//! [`Response::SweepFinished`]. Malformed input never drops the connection —
+//! the server answers with a structured [`Response::Error`] and keeps
+//! reading (mirroring the strict-parse behaviour of the experiment binaries'
+//! option parsing: bad input is reported, not silently swallowed).
+
+use std::fmt;
+use std::io::{BufRead, Write};
+use std::time::Duration;
+
+use db_pim::{SessionCacheStats, SweepEntry, SweepSpec};
+use dbpim_arch::ArchConfig;
+use dbpim_csd::OperandWidth;
+use dbpim_nn::ModelKind;
+use dbpim_sim::SparsityConfig;
+use serde::{Deserialize, Serialize};
+
+/// Version of the wire protocol; bumped on incompatible changes. The server
+/// reports it in [`Response::Pong`] so clients can refuse to talk to a
+/// daemon they do not understand.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// One client request, one JSON line on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness / version probe.
+    Ping,
+    /// The zoo models the daemon can serve.
+    ListModels,
+    /// Run the co-design flow for one model and return the result entry.
+    RunModel {
+        /// The zoo model to run.
+        model: ModelKind,
+        /// Restrict to one sparsity configuration; `None` runs all four
+        /// Fig. 7 configurations (exactly what `Pipeline::run_model` does).
+        sparsity: Option<SparsityConfig>,
+        /// Weight operand width; `None` uses the daemon's configured width.
+        width: Option<OperandWidth>,
+        /// Geometry override; `None` uses the daemon's configured geometry.
+        arch: Option<ArchConfig>,
+        /// Evaluate accuracy fidelity (honoured only when the daemon was
+        /// started with evaluation images and the width is INT8).
+        fidelity: bool,
+    },
+    /// Run a full sweep; results stream incrementally.
+    Sweep {
+        /// The point set (models × sparsity × archs × widths).
+        spec: SweepSpec,
+        /// Evaluate accuracy fidelity per model where defined.
+        fidelity: bool,
+    },
+    /// Snapshot the daemon's request counters and warm-cache statistics.
+    CacheStats,
+    /// Stop accepting connections and exit the daemon.
+    Shutdown,
+}
+
+/// What went wrong with a request, coarsely classified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// The request line was not valid JSON or not a known request shape.
+    BadRequest,
+    /// The request was well-formed but the pipeline rejected or failed it.
+    Pipeline,
+}
+
+/// A structured error answer; malformed or failing requests receive this
+/// instead of a dropped connection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Coarse classification.
+    pub kind: ErrorKind,
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for ErrorResponse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            ErrorKind::BadRequest => "bad request",
+            ErrorKind::Pipeline => "pipeline error",
+        };
+        write!(f, "{kind}: {}", self.message)
+    }
+}
+
+/// Daemon-side request counters and cache statistics
+/// ([`Request::CacheStats`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Requests processed (including ones answered with an error).
+    pub requests: u64,
+    /// Requests answered with [`Response::Error`].
+    pub errors: u64,
+    /// Connections accepted since start-up.
+    pub connections: u64,
+    /// Time since the daemon started.
+    pub uptime: Duration,
+    /// Warm-cache counters aggregated across every per-width session.
+    pub cache: SessionCacheStats,
+}
+
+/// One server response line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong {
+        /// The server's wire-protocol version.
+        version: u32,
+    },
+    /// Answer to [`Request::ListModels`].
+    Models {
+        /// The servable zoo models, in canonical figure order.
+        models: Vec<ModelKind>,
+    },
+    /// Answer to [`Request::RunModel`].
+    RunResult {
+        /// The computed (model, width, geometry) entry.
+        entry: SweepEntry,
+    },
+    /// First line of a sweep stream: how many entries will follow.
+    SweepStarted {
+        /// Number of (model, width, geometry) entries the sweep produces.
+        entries: usize,
+    },
+    /// One completed sweep entry (streamed as soon as it is computed).
+    SweepPoint {
+        /// Position of this entry in the sweep's deterministic order.
+        index: usize,
+        /// The computed entry.
+        entry: SweepEntry,
+    },
+    /// Last line of a sweep stream: the report-level counters, mirroring
+    /// `SweepReport`'s fields so the client can reassemble one.
+    SweepFinished {
+        /// Distinct (model, width) artifact sets the sweep drew from.
+        prepared_models: usize,
+        /// Simulation runs the sweep covers.
+        simulated_runs: usize,
+        /// Server-side wall-clock duration of the sweep.
+        wall_time: Duration,
+    },
+    /// Answer to [`Request::CacheStats`].
+    Stats {
+        /// The counters snapshot.
+        stats: ServerStats,
+    },
+    /// Answer to [`Request::Shutdown`]; the daemon exits after sending it.
+    ShuttingDown,
+    /// A structured failure answer (malformed request, pipeline failure).
+    Error {
+        /// The error payload.
+        error: ErrorResponse,
+    },
+}
+
+/// A framing-layer failure while reading a message.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying stream failed.
+    Io(std::io::Error),
+    /// A line arrived but did not parse as the expected message type.
+    Malformed(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Malformed(m) => write!(f, "malformed message: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Serializes `message` as one JSON line and flushes it.
+///
+/// # Errors
+///
+/// Propagates stream write failures.
+pub fn write_message<T: Serialize>(writer: &mut impl Write, message: &T) -> std::io::Result<()> {
+    let json = serde_json::to_string(message)
+        .map_err(|e| std::io::Error::other(format!("serialize message: {e}")))?;
+    writer.write_all(json.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Reads one JSON line and parses it as `T`. Returns `Ok(None)` on a clean
+/// end of stream.
+///
+/// # Errors
+///
+/// Returns [`WireError::Io`] on stream failures and [`WireError::Malformed`]
+/// when the line is not valid JSON for `T` (including a truncated final line
+/// with no newline).
+pub fn read_message<T: Deserialize>(reader: &mut impl BufRead) -> Result<Option<T>, WireError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    match serde_json::from_str(line.trim_end_matches(['\r', '\n'])) {
+        Ok(message) => Ok(Some(message)),
+        Err(e) => Err(WireError::Malformed(e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + fmt::Debug>(message: &T) {
+        let json = serde_json::to_string(message).expect("serializes");
+        assert!(!json.contains('\n'), "one line on the wire: {json}");
+        let back: T = serde_json::from_str(&json).expect("parses");
+        assert_eq!(&back, message, "wire round-trip changed the message");
+    }
+
+    #[test]
+    fn requests_round_trip_through_the_wire_encoding() {
+        round_trip(&Request::Ping);
+        round_trip(&Request::ListModels);
+        round_trip(&Request::CacheStats);
+        round_trip(&Request::Shutdown);
+        round_trip(&Request::RunModel {
+            model: ModelKind::AlexNet,
+            sparsity: Some(SparsityConfig::HybridSparsity),
+            width: Some(OperandWidth::Int4),
+            arch: Some(ArchConfig::paper()),
+            fidelity: true,
+        });
+        round_trip(&Request::RunModel {
+            model: ModelKind::EfficientNetB0,
+            sparsity: None,
+            width: None,
+            arch: None,
+            fidelity: false,
+        });
+        round_trip(&Request::Sweep {
+            spec: SweepSpec::zoo().with_widths(vec![OperandWidth::Int4, OperandWidth::Int16]),
+            fidelity: true,
+        });
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_wire_encoding() {
+        round_trip(&Response::Pong { version: PROTOCOL_VERSION });
+        round_trip(&Response::Models { models: ModelKind::all().to_vec() });
+        round_trip(&Response::SweepStarted { entries: 20 });
+        round_trip(&Response::SweepFinished {
+            prepared_models: 5,
+            simulated_runs: 20,
+            wall_time: Duration::from_millis(1234),
+        });
+        round_trip(&Response::ShuttingDown);
+        round_trip(&Response::Error {
+            error: ErrorResponse {
+                kind: ErrorKind::BadRequest,
+                message: "expected `,` or `}` at byte 7".to_string(),
+            },
+        });
+        round_trip(&Response::Stats {
+            stats: ServerStats {
+                requests: 42,
+                errors: 2,
+                connections: 7,
+                uptime: Duration::from_secs(3600),
+                cache: SessionCacheStats {
+                    artifact_hits: 40,
+                    artifact_misses: 2,
+                    program_hits: 38,
+                    program_misses: 4,
+                    resident_artifacts: 2,
+                },
+            },
+        });
+    }
+
+    #[test]
+    fn unit_variants_use_the_compact_string_encoding() {
+        assert_eq!(serde_json::to_string(&Request::Ping).unwrap(), "\"Ping\"");
+        assert_eq!(serde_json::to_string(&Request::Shutdown).unwrap(), "\"Shutdown\"");
+        assert_eq!(serde_json::to_string(&Response::ShuttingDown).unwrap(), "\"ShuttingDown\"");
+    }
+
+    #[test]
+    fn missing_optional_fields_default_to_none() {
+        let request: Request =
+            serde_json::from_str("{\"RunModel\":{\"model\":\"AlexNet\",\"fidelity\":false}}")
+                .expect("optional fields may be omitted");
+        assert_eq!(
+            request,
+            Request::RunModel {
+                model: ModelKind::AlexNet,
+                sparsity: None,
+                width: None,
+                arch: None,
+                fidelity: false,
+            }
+        );
+    }
+
+    #[test]
+    fn framing_reads_lines_and_reports_eof() {
+        let mut buffer = Vec::new();
+        write_message(&mut buffer, &Request::Ping).unwrap();
+        write_message(&mut buffer, &Request::ListModels).unwrap();
+        let mut reader = std::io::BufReader::new(buffer.as_slice());
+        assert_eq!(read_message::<Request>(&mut reader).unwrap(), Some(Request::Ping));
+        assert_eq!(read_message::<Request>(&mut reader).unwrap(), Some(Request::ListModels));
+        assert_eq!(read_message::<Request>(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn framing_rejects_garbage_without_panicking() {
+        let mut reader = std::io::BufReader::new("this is not json\n".as_bytes());
+        let err = read_message::<Request>(&mut reader).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(_)), "{err}");
+        // A truncated line (no trailing newline) still parses if complete…
+        let mut reader = std::io::BufReader::new("\"Ping\"".as_bytes());
+        assert_eq!(read_message::<Request>(&mut reader).unwrap(), Some(Request::Ping));
+        // …and reports malformed if cut mid-value.
+        let mut reader = std::io::BufReader::new("{\"RunModel\":{\"mo".as_bytes());
+        let err = read_message::<Request>(&mut reader).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(_)), "{err}");
+    }
+}

@@ -1,0 +1,439 @@
+//! The sweep-serving daemon.
+//!
+//! A [`Server`] owns one [`BatchRunner`] — and through it one warm
+//! [`db_pim::SimSession`] artifact cache per operand width — and serves the
+//! [`protocol`](crate::protocol) over TCP. Connections are dispatched to a
+//! fixed worker pool; every worker answers requests against the *same*
+//! shared session caches, so N clients asking for the same (model, width)
+//! trigger exactly one artifact preparation (the session layer's
+//! single-flight guarantee) and every later request is served warm.
+//!
+//! Sweeps stream: each (model, width, geometry) entry is written to the
+//! client as soon as it is computed, so a long sweep delivers its first
+//! results while the rest are still simulating.
+
+use std::io::{BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use db_pim::{BatchRunner, PipelineConfig, PipelineError};
+use dbpim_nn::ModelKind;
+use dbpim_sim::SparsityConfig;
+
+use crate::protocol::{
+    write_message, ErrorKind, ErrorResponse, Request, Response, ServerStats, PROTOCOL_VERSION,
+};
+
+/// Configuration of a serving daemon.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (e.g. `"127.0.0.1:7531"`; port `0` picks a free one).
+    pub addr: String,
+    /// Worker threads answering requests (each handles one connection at a
+    /// time).
+    pub threads: usize,
+    /// How often an idle connection wakes up to check for daemon shutdown.
+    /// This is *not* an idle-disconnect limit — a quiet client stays
+    /// connected indefinitely.
+    pub poll_interval: Duration,
+    /// The pipeline configuration every session is derived from.
+    pub pipeline: PipelineConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7531".to_string(),
+            threads: 4,
+            poll_interval: Duration::from_millis(200),
+            pipeline: PipelineConfig::paper(),
+        }
+    }
+}
+
+/// A serving failure.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket set-up or accept failure.
+    Io(std::io::Error),
+    /// The pipeline configuration was rejected.
+    Pipeline(PipelineError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<PipelineError> for ServeError {
+    fn from(e: PipelineError) -> Self {
+        ServeError::Pipeline(e)
+    }
+}
+
+/// State shared by the acceptor and every worker.
+struct Shared {
+    runner: BatchRunner,
+    local_addr: SocketAddr,
+    poll_interval: Duration,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    connections: AtomicU64,
+    started: Instant,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            uptime: self.started.elapsed(),
+            cache: self.runner.cache_stats(),
+        }
+    }
+
+    /// Flags shutdown and wakes the blocked acceptor with a dummy
+    /// connection.
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+/// A bound (not yet running) sweep-serving daemon.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    threads: usize,
+}
+
+impl Server {
+    /// Binds the listening socket and builds the warm-cache session state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Pipeline`] for an unusable pipeline
+    /// configuration and [`ServeError::Io`] when the socket cannot be bound.
+    pub fn bind(config: ServeConfig) -> Result<Self, ServeError> {
+        let runner = BatchRunner::new(config.pipeline)?;
+        let listener =
+            TcpListener::bind(config.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                std::io::Error::other(format!("unresolvable address {}", config.addr))
+            })?)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            shared: Arc::new(Shared {
+                runner,
+                local_addr,
+                poll_interval: config.poll_interval,
+                shutdown: AtomicBool::new(false),
+                requests: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+                connections: AtomicU64::new(0),
+                started: Instant::now(),
+            }),
+            threads: config.threads.max(1),
+        })
+    }
+
+    /// The address the daemon is listening on (useful with port `0`).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Serves connections until a [`Request::Shutdown`] arrives, then joins
+    /// the worker pool and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates acceptor I/O failures (individual connection failures are
+    /// answered on the connection and never abort the daemon).
+    pub fn run(self) -> std::io::Result<()> {
+        let (sender, receiver) = mpsc::channel::<TcpStream>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let mut workers = Vec::with_capacity(self.threads);
+        for worker in 0..self.threads {
+            let receiver = Arc::clone(&receiver);
+            let shared = Arc::clone(&self.shared);
+            workers.push(
+                std::thread::Builder::new().name(format!("dbpim-serve-worker-{worker}")).spawn(
+                    move || loop {
+                        let stream = {
+                            let guard = receiver.lock().expect("worker queue lock");
+                            guard.recv()
+                        };
+                        match stream {
+                            Ok(stream) => handle_connection(stream, &shared),
+                            Err(_) => break, // acceptor hung up: drain done
+                        }
+                    },
+                )?,
+            );
+        }
+
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break; // the wake-up connection (or any later one) lands here
+            }
+            match stream {
+                Ok(stream) => {
+                    self.shared.connections.fetch_add(1, Ordering::Relaxed);
+                    if sender.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => {
+                    // Transient accept failure (e.g. EMFILE under fd
+                    // exhaustion): keep serving, but back off instead of
+                    // spinning hot on an error that fails instantly.
+                    std::thread::sleep(Duration::from_millis(50));
+                    continue;
+                }
+            }
+        }
+
+        drop(sender);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+
+    /// Binds and runs the daemon on a background thread, returning a handle
+    /// with the bound address — the in-process form used by tests and the
+    /// `serve_bench` load generator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::bind`] failures (the spawn itself is infallible).
+    pub fn spawn(config: ServeConfig) -> Result<ServerHandle, ServeError> {
+        let server = Self::bind(config)?;
+        let addr = server.local_addr();
+        let shared = Arc::clone(&server.shared);
+        let thread = std::thread::Builder::new()
+            .name("dbpim-serve-acceptor".to_string())
+            .spawn(move || server.run())
+            .map_err(ServeError::Io)?;
+        Ok(ServerHandle { addr, shared, thread })
+    }
+}
+
+/// Handle to a daemon running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The address the daemon is listening on.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown without needing a client connection.
+    pub fn request_shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Waits for the daemon to exit (send [`Request::Shutdown`] first, or
+    /// call [`Self::request_shutdown`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the acceptor's exit status.
+    pub fn join(self) -> std::io::Result<()> {
+        match self.thread.join() {
+            Ok(result) => result,
+            Err(_) => Err(std::io::Error::other("server thread panicked")),
+        }
+    }
+}
+
+/// Serves one connection until the peer disconnects or the daemon shuts
+/// down. Malformed lines are answered with [`Response::Error`]; the
+/// connection stays open.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    // A finite read timeout turns a blocked read into a periodic shutdown
+    // check, so a quiet connection cannot pin a worker past daemon exit.
+    let _ = stream.set_read_timeout(Some(shared.poll_interval));
+    let mut writer = match stream.try_clone() {
+        Ok(writer) => writer,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        // `read_line` appends, so a timeout mid-line keeps the partial data
+        // and the next pass continues the same line.
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+        let text = line.trim_end_matches(['\r', '\n']).trim();
+        if text.is_empty() {
+            line.clear();
+            continue;
+        }
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let disconnect = match serde_json::from_str::<Request>(text) {
+            Ok(request) => handle_request(request, &mut writer, shared),
+            Err(e) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                respond(
+                    &mut writer,
+                    &Response::Error {
+                        error: ErrorResponse {
+                            kind: ErrorKind::BadRequest,
+                            message: format!("unparseable request: {e}"),
+                        },
+                    },
+                )
+            }
+        };
+        line.clear();
+        if disconnect {
+            break;
+        }
+    }
+}
+
+/// Writes one response; returns `true` when the connection should close
+/// (write failure — the peer is gone).
+fn respond(writer: &mut TcpStream, response: &Response) -> bool {
+    write_message(writer, response).is_err()
+}
+
+/// Handles one parsed request; returns `true` when the connection should
+/// close afterwards.
+fn handle_request(request: Request, writer: &mut TcpStream, shared: &Shared) -> bool {
+    match request {
+        Request::Ping => respond(writer, &Response::Pong { version: PROTOCOL_VERSION }),
+        Request::ListModels => {
+            respond(writer, &Response::Models { models: ModelKind::all().to_vec() })
+        }
+        Request::CacheStats => respond(writer, &Response::Stats { stats: shared.stats() }),
+        Request::Shutdown => {
+            let _ = respond(writer, &Response::ShuttingDown);
+            shared.request_shutdown();
+            true
+        }
+        Request::RunModel { model, sparsity, width, arch, fidelity } => {
+            let width = width.unwrap_or(shared.runner.session().config().operand_width);
+            let sparsity = match sparsity {
+                Some(one) => vec![one],
+                None => SparsityConfig::all().to_vec(),
+            };
+            match shared.runner.run_point(model, width, arch, &sparsity, fidelity) {
+                Ok(entry) => respond(writer, &Response::RunResult { entry }),
+                Err(e) => {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    respond(
+                        writer,
+                        &Response::Error {
+                            error: ErrorResponse {
+                                kind: ErrorKind::Pipeline,
+                                message: e.to_string(),
+                            },
+                        },
+                    )
+                }
+            }
+        }
+        Request::Sweep { spec, fidelity } => handle_sweep(&spec, fidelity, writer, shared),
+    }
+}
+
+/// Streams one sweep: `SweepStarted`, one `SweepPoint` per entry as it
+/// completes, then `SweepFinished`. A failing point is answered with a
+/// pipeline error and ends the stream (but not the connection).
+fn handle_sweep(
+    spec: &db_pim::SweepSpec,
+    fidelity: bool,
+    writer: &mut TcpStream,
+    shared: &Shared,
+) -> bool {
+    let session_config = *shared.runner.session().config();
+    let models = spec.unique_models();
+    let sparsity = spec.unique_sparsity();
+    let archs = spec.effective_archs(session_config.arch);
+    let widths = spec.effective_widths(session_config.operand_width);
+
+    let entries = models.len() * widths.len() * archs.len();
+    if respond(writer, &Response::SweepStarted { entries }) {
+        return true;
+    }
+
+    let start = Instant::now();
+    let mut index = 0usize;
+    // Deterministic (model, width, arch) order — identical to the entry
+    // order `BatchRunner::run_with_fidelity` assembles.
+    for &model in &models {
+        for &width in &widths {
+            for &arch in &archs {
+                match shared.runner.run_point(model, width, Some(arch), &sparsity, fidelity) {
+                    Ok(entry) => {
+                        if respond(writer, &Response::SweepPoint { index, entry }) {
+                            return true;
+                        }
+                    }
+                    Err(e) => {
+                        shared.errors.fetch_add(1, Ordering::Relaxed);
+                        return respond(
+                            writer,
+                            &Response::Error {
+                                error: ErrorResponse {
+                                    kind: ErrorKind::Pipeline,
+                                    message: format!("sweep point {index} failed: {e}"),
+                                },
+                            },
+                        );
+                    }
+                }
+                index += 1;
+            }
+        }
+    }
+
+    respond(
+        writer,
+        &Response::SweepFinished {
+            prepared_models: models.len() * widths.len(),
+            simulated_runs: entries * sparsity.len(),
+            wall_time: start.elapsed(),
+        },
+    )
+}

@@ -78,6 +78,30 @@ impl std::fmt::Display for SparsityConfig {
     }
 }
 
+impl std::str::FromStr for SparsityConfig {
+    type Err = crate::SimError;
+
+    /// Parses a configuration name, case-insensitively and ignoring
+    /// ` `/`-`/`_` separators: `"base"` / `"dense"` / `"dense-baseline"`,
+    /// `"input"` / `"input sparsity"`, `"weight"` / `"weight-sparsity"` and
+    /// `"hybrid"` / `"hybrid_sparsity"` all resolve.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let folded: String = s
+            .trim()
+            .chars()
+            .filter(|c| !matches!(c, ' ' | '-' | '_'))
+            .flat_map(char::to_lowercase)
+            .collect();
+        match folded.as_str() {
+            "base" | "baseline" | "dense" | "densebaseline" => Ok(SparsityConfig::DenseBaseline),
+            "input" | "inputsparsity" => Ok(SparsityConfig::InputSparsity),
+            "weight" | "weightsparsity" => Ok(SparsityConfig::WeightSparsity),
+            "hybrid" | "hybridsparsity" => Ok(SparsityConfig::HybridSparsity),
+            _ => Err(crate::SimError::UnknownSparsity { name: s.to_string() }),
+        }
+    }
+}
+
 /// The full simulator configuration: architecture geometry plus sparsity
 /// setting.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -145,6 +169,32 @@ mod tests {
         assert_eq!(SparsityConfig::WeightSparsity.mapping_mode(), MappingMode::DbPim);
         assert_eq!(SparsityConfig::HybridSparsity.mapping_mode(), MappingMode::DbPim);
         assert_eq!(SparsityConfig::HybridSparsity.to_string(), "hybrid sparsity");
+    }
+
+    #[test]
+    fn sparsity_parses_labels_aliases_and_rejects_garbage() {
+        use std::str::FromStr;
+        for (raw, expected) in [
+            ("base", SparsityConfig::DenseBaseline),
+            ("dense", SparsityConfig::DenseBaseline),
+            ("dense-baseline", SparsityConfig::DenseBaseline),
+            ("input", SparsityConfig::InputSparsity),
+            ("input sparsity", SparsityConfig::InputSparsity),
+            ("weight", SparsityConfig::WeightSparsity),
+            ("Weight_Sparsity", SparsityConfig::WeightSparsity),
+            ("hybrid", SparsityConfig::HybridSparsity),
+            ("HybridSparsity", SparsityConfig::HybridSparsity),
+        ] {
+            assert_eq!(SparsityConfig::from_str(raw).unwrap(), expected, "raw `{raw}`");
+        }
+        // Every figure label round-trips.
+        for config in SparsityConfig::all() {
+            assert_eq!(SparsityConfig::from_str(config.label()).unwrap(), config);
+        }
+        for raw in ["", "sparse", "all", "dense+input"] {
+            let err = SparsityConfig::from_str(raw).unwrap_err();
+            assert!(err.to_string().contains("unknown sparsity"), "raw `{raw}`: {err}");
+        }
     }
 
     #[test]

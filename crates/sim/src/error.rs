@@ -30,6 +30,12 @@ pub enum SimError {
         /// The offending value.
         value: f64,
     },
+    /// A sparsity-configuration name does not match any of the four Fig. 7
+    /// configurations (see [`SparsityConfig::from_str`](crate::SparsityConfig)).
+    UnknownSparsity {
+        /// The unrecognized name.
+        name: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -42,6 +48,9 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidCost { parameter, value } => {
                 write!(f, "cost-model parameter {parameter} has invalid value {value}")
+            }
+            SimError::UnknownSparsity { name } => {
+                write!(f, "unknown sparsity configuration `{name}` (expected one of: base, input, weight, hybrid)")
             }
         }
     }

@@ -1,0 +1,142 @@
+//! Wire-level behaviour of the daemon: malformed input of every shape gets
+//! a structured `ErrorResponse` on the same connection (never a disconnect,
+//! never a panic), pipeline failures are classified separately from parse
+//! failures, and shutdown is acknowledged before the daemon exits.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use db_pim::PipelineConfig;
+use dbpim_nn::ModelKind;
+use dbpim_serve::protocol::{ErrorKind, Response};
+use dbpim_serve::{Client, RunQuery, ServeConfig, Server, ServerHandle};
+
+fn spawn_server() -> ServerHandle {
+    let mut pipeline = PipelineConfig::fast().without_fidelity();
+    pipeline.width_mult = 0.25;
+    pipeline.calibration_images = 1;
+    Server::spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        poll_interval: Duration::from_millis(50),
+        pipeline,
+    })
+    .expect("server spawns")
+}
+
+/// Sends one raw line and reads one response line.
+fn raw_exchange(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, line: &str) -> Response {
+    writer.write_all(line.as_bytes()).expect("write");
+    writer.write_all(b"\n").expect("write newline");
+    writer.flush().expect("flush");
+    let mut answer = String::new();
+    reader.read_line(&mut answer).expect("read response line");
+    serde_json::from_str(answer.trim_end()).expect("server speaks valid JSON")
+}
+
+fn assert_bad_request(response: &Response) {
+    match response {
+        Response::Error { error } => {
+            assert_eq!(error.kind, ErrorKind::BadRequest, "wrong kind: {error}");
+            assert!(!error.message.is_empty());
+        }
+        other => panic!("expected a structured BadRequest error, got {other:?}"),
+    }
+}
+
+/// Garbage, truncated JSON, unknown variants and mistyped payloads each get
+/// a structured error, and the connection keeps working afterwards.
+#[test]
+fn malformed_requests_get_structured_errors_not_disconnects() {
+    let handle = spawn_server();
+    let stream = TcpStream::connect(handle.addr()).expect("connects");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+
+    // Not JSON at all.
+    assert_bad_request(&raw_exchange(&mut reader, &mut writer, "this is not json"));
+    // A JSON line truncated mid-object (the newline arrived, the braces
+    // didn't) — the strict parser reports it instead of guessing.
+    assert_bad_request(&raw_exchange(&mut reader, &mut writer, "{\"RunModel\":{\"mo"));
+    // Well-formed JSON, unknown request variant.
+    assert_bad_request(&raw_exchange(&mut reader, &mut writer, "\"Frobnicate\""));
+    // Known variant, malformed payload (model name outside the zoo).
+    assert_bad_request(&raw_exchange(
+        &mut reader,
+        &mut writer,
+        "{\"RunModel\":{\"model\":\"LeNet5\",\"fidelity\":false}}",
+    ));
+    // Known variant, payload of the wrong JSON type.
+    assert_bad_request(&raw_exchange(&mut reader, &mut writer, "{\"Sweep\":[1,2,3]}"));
+
+    // The same connection still answers real requests.
+    match raw_exchange(&mut reader, &mut writer, "\"Ping\"") {
+        Response::Pong { version } => assert_eq!(version, dbpim_serve::PROTOCOL_VERSION),
+        other => panic!("connection should have survived the garbage, got {other:?}"),
+    }
+
+    // The daemon counted the failures.
+    let mut client = Client::connect(handle.addr()).expect("connects");
+    let stats = client.cache_stats().expect("stats");
+    assert_eq!(stats.errors, 5, "every malformed line is counted");
+    assert!(stats.requests >= 6, "malformed lines still count as requests");
+
+    client.shutdown().expect("shutdown acknowledged");
+    handle.join().expect("daemon exits cleanly");
+}
+
+/// A well-formed request that fails inside the pipeline is classified as a
+/// pipeline error, not a bad request, and includes the cause.
+#[test]
+fn pipeline_failures_are_classified_and_survivable() {
+    let handle = spawn_server();
+    let mut client = Client::connect(handle.addr()).expect("connects");
+
+    // A degenerate geometry override: zero macros fails arch validation
+    // inside the compiler.
+    let mut broken_arch = db_pim::prelude::ArchConfig::paper();
+    broken_arch.macros = 0;
+    let query = RunQuery::new(ModelKind::AlexNet).with_arch(broken_arch);
+    match client.run_model(&query) {
+        Err(dbpim_serve::ClientError::Server(error)) => {
+            assert_eq!(error.kind, ErrorKind::Pipeline, "wrong kind: {error}");
+        }
+        other => panic!("expected a structured pipeline error, got {other:?}"),
+    }
+
+    // The failure neither killed the connection nor poisoned the daemon.
+    let entry = client.run_model(&RunQuery::new(ModelKind::AlexNet)).expect("healthy run");
+    assert_eq!(entry.kind, ModelKind::AlexNet);
+
+    client.shutdown().expect("shutdown acknowledged");
+    handle.join().expect("daemon exits cleanly");
+}
+
+/// Empty lines are ignored rather than answered, and a client that
+/// disconnects abruptly does not take the daemon down.
+#[test]
+fn blank_lines_and_abrupt_disconnects_are_tolerated() {
+    let handle = spawn_server();
+
+    {
+        let stream = TcpStream::connect(handle.addr()).expect("connects");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        // Blank lines produce no response; the next real request answers
+        // immediately (nothing queued in between).
+        writer.write_all(b"\n\r\n   \n").expect("write blanks");
+        match raw_exchange(&mut reader, &mut writer, "\"Ping\"") {
+            Response::Pong { .. } => {}
+            other => panic!("expected Pong, got {other:?}"),
+        }
+        // Drop mid-connection without a goodbye.
+        writer.write_all(b"{\"RunModel\":").expect("write a torn prefix");
+    }
+
+    // The daemon is still healthy for the next client.
+    let mut client = Client::connect(handle.addr()).expect("connects");
+    client.ping().expect("daemon survived the abrupt disconnect");
+    client.shutdown().expect("shutdown acknowledged");
+    handle.join().expect("daemon exits cleanly");
+}

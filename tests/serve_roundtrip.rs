@@ -1,0 +1,164 @@
+//! The serving layer's headline contract: a daemon-served answer is
+//! bit-identical to the same query run directly through `Pipeline` /
+//! `BatchRunner`, repeated requests are served from the warm artifact cache
+//! (asserted via the session cache-hit counters, not timing), and N
+//! concurrent clients asking for the same (model, width) trigger exactly
+//! one artifact build.
+
+use std::time::Duration;
+
+use db_pim::prelude::*;
+use dbpim_serve::{Client, RunQuery, ServeConfig, Server};
+
+fn small_config() -> PipelineConfig {
+    let mut config = PipelineConfig::fast();
+    config.width_mult = 0.25;
+    config.calibration_images = 1;
+    config.evaluation_images = 2;
+    config
+}
+
+fn spawn_server(pipeline: PipelineConfig, threads: usize) -> dbpim_serve::ServerHandle {
+    Server::spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads,
+        poll_interval: Duration::from_millis(50),
+        pipeline,
+    })
+    .expect("server spawns")
+}
+
+/// A served `RunModel` (all four sparsity configurations, fidelity on) is
+/// bit-identical to `Pipeline::run_model` on the same configuration.
+#[test]
+fn served_run_model_matches_direct_pipeline() {
+    let config = small_config();
+    let handle = spawn_server(config, 2);
+    let mut client = Client::connect(handle.addr()).expect("connects");
+    assert_eq!(client.ping().expect("pings"), dbpim_serve::PROTOCOL_VERSION);
+
+    let entry = client
+        .run_model(&RunQuery::new(ModelKind::AlexNet).with_fidelity())
+        .expect("served run succeeds");
+    assert_eq!(entry.kind, ModelKind::AlexNet);
+    assert_eq!(entry.width, config.operand_width);
+    assert_eq!(entry.arch, config.arch);
+
+    let direct = Pipeline::new(config)
+        .expect("valid config")
+        .run_kind(ModelKind::AlexNet)
+        .expect("direct run succeeds");
+    assert_eq!(entry.result, direct, "served result diverges from the direct pipeline");
+
+    client.shutdown().expect("shutdown acknowledged");
+    handle.join().expect("daemon exits cleanly");
+}
+
+/// A served sweep streams its entries in deterministic order and reassembles
+/// into exactly the report `BatchRunner` produces locally (modulo wall time,
+/// which is measured, not computed).
+#[test]
+fn served_sweep_matches_direct_batch_runner() {
+    let config = small_config().without_fidelity();
+    let spec = SweepSpec::new(vec![ModelKind::AlexNet, ModelKind::MobileNetV2])
+        .with_widths(vec![OperandWidth::Int4, OperandWidth::Int8]);
+
+    let handle = spawn_server(config, 2);
+    let mut client = Client::connect(handle.addr()).expect("connects");
+    let mut streamed = Vec::new();
+    let served = client
+        .sweep_streaming(&spec, false, |index, entry| streamed.push((index, entry.kind)))
+        .expect("served sweep succeeds");
+
+    let runner = BatchRunner::new(config).expect("valid config");
+    let direct = runner.run(&spec).expect("direct sweep succeeds");
+
+    assert_eq!(served.entries, direct.entries, "served sweep diverges from BatchRunner");
+    assert_eq!(served.prepared_models, direct.prepared_models);
+    assert_eq!(served.simulated_runs, direct.simulated_runs);
+
+    // The stream arrived incrementally and in entry order.
+    assert_eq!(streamed.len(), served.entries.len());
+    for (position, (index, kind)) in streamed.iter().enumerate() {
+        assert_eq!(*index, position);
+        assert_eq!(*kind, served.entries[position].kind);
+    }
+
+    client.shutdown().expect("shutdown acknowledged");
+    handle.join().expect("daemon exits cleanly");
+}
+
+/// Repeating a request hits the warm cache: the artifact-build counter does
+/// not move, the hit counter does, and no recompilation happens.
+#[test]
+fn repeated_requests_are_served_from_warm_cache() {
+    let config = small_config().without_fidelity();
+    let handle = spawn_server(config, 2);
+    let mut client = Client::connect(handle.addr()).expect("connects");
+
+    let query = RunQuery::new(ModelKind::AlexNet);
+    let cold = client.run_model(&query).expect("cold run succeeds");
+    let after_cold = client.cache_stats().expect("stats").cache;
+    assert_eq!(after_cold.artifact_misses, 1, "first request builds once");
+    assert_eq!(after_cold.program_misses, 1, "first request compiles once");
+    assert_eq!(after_cold.resident_artifacts, 1);
+
+    let warm = client.run_model(&query).expect("warm run succeeds");
+    assert_eq!(warm, cold, "warm result diverges from the cold one");
+    let after_warm = client.cache_stats().expect("stats").cache;
+    assert_eq!(after_warm.artifact_misses, 1, "no re-preparation on a repeat");
+    assert_eq!(after_warm.program_misses, 1, "no recompilation on a repeat");
+    assert!(after_warm.artifact_hits > after_cold.artifact_hits, "repeat was a cache hit");
+    assert!(after_warm.program_hits > after_cold.program_hits);
+
+    // A second client shares the same warm cache.
+    let mut other = Client::connect(handle.addr()).expect("second client connects");
+    other.run_model(&query).expect("other client's run succeeds");
+    let after_other = other.cache_stats().expect("stats").cache;
+    assert_eq!(after_other.artifact_misses, 1, "second client reuses the same artifacts");
+
+    client.shutdown().expect("shutdown acknowledged");
+    handle.join().expect("daemon exits cleanly");
+}
+
+/// N concurrent clients requesting the same (model, width) cause exactly one
+/// artifact preparation — the session layer's single-flight guarantee,
+/// observed through the daemon's counters.
+#[test]
+fn concurrent_clients_share_one_artifact_build() {
+    const CLIENTS: usize = 4;
+    let config = small_config().without_fidelity();
+    let handle = spawn_server(config, CLIENTS);
+    let addr = handle.addr();
+
+    let results: Vec<SweepEntry> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connects");
+                    client
+                        .run_model(&RunQuery::new(ModelKind::MobileNetV2))
+                        .expect("concurrent run succeeds")
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("client thread")).collect()
+    });
+
+    // Every client got the same bits.
+    for entry in &results[1..] {
+        assert_eq!(entry, &results[0], "concurrent clients disagree");
+    }
+
+    let mut client = Client::connect(addr).expect("connects");
+    let stats = client.cache_stats().expect("stats");
+    assert_eq!(
+        stats.cache.artifact_misses, 1,
+        "{CLIENTS} concurrent requests must build artifacts exactly once"
+    );
+    assert_eq!(stats.cache.program_misses, 1, "and compile exactly once");
+    assert_eq!(stats.cache.artifact_hits as usize, CLIENTS - 1);
+
+    client.shutdown().expect("shutdown acknowledged");
+    handle.join().expect("daemon exits cleanly");
+}

@@ -208,3 +208,80 @@ fn sweep_report_merges_and_round_trips_through_serde_json() {
     let back: SweepReport = serde_json::from_str(&json).expect("deserializes");
     assert_eq!(merged, back);
 }
+
+/// The disk half of sharded sweeps: two shards `save` their partial
+/// reports, a combiner `load`s and `merge`s them, and the result is
+/// bit-identical to merging in memory.
+#[test]
+fn sweep_report_shards_round_trip_through_disk_snapshots() {
+    let runner = BatchRunner::new(small_config()).expect("valid config");
+    let sparsity = vec![SparsityConfig::DenseBaseline, SparsityConfig::WeightSparsity];
+    let shard_a = runner
+        .run(&SweepSpec::new(vec![ModelKind::AlexNet]).with_sparsity(sparsity.clone()))
+        .expect("shard a runs");
+    let shard_b = runner
+        .run(&SweepSpec::new(vec![ModelKind::MobileNetV2]).with_sparsity(sparsity))
+        .expect("shard b runs");
+
+    let dir =
+        std::env::temp_dir().join(format!("dbpim-shard-test-{}-{}", std::process::id(), line!()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path_a = dir.join("shard_a.json");
+    let path_b = dir.join("shard_b.json");
+    shard_a.save(&path_a).expect("shard a saves");
+    shard_b.save(&path_b).expect("shard b saves");
+
+    let loaded_a = SweepReport::load(&path_a).expect("shard a loads");
+    let loaded_b = SweepReport::load(&path_b).expect("shard b loads");
+    assert_eq!(loaded_a, shard_a, "shard a did not survive the disk round trip");
+    assert_eq!(loaded_b, shard_b, "shard b did not survive the disk round trip");
+
+    let merged_from_disk = loaded_a.merge(loaded_b);
+    let merged_in_memory = shard_a.merge(shard_b);
+    assert_eq!(merged_from_disk, merged_in_memory);
+
+    // Failure shapes are structured errors, not panics.
+    assert!(SweepReport::load(dir.join("missing.json")).is_err());
+    let torn = dir.join("torn.json");
+    std::fs::write(&torn, "{\"entries\":[").expect("write torn file");
+    let err = SweepReport::load(&torn).unwrap_err();
+    assert!(err.to_string().contains("torn.json"), "error names the file: {err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The session cache counters observe exactly what happened: one miss per
+/// distinct model, hits on re-request, and program compilations counted
+/// separately per geometry.
+#[test]
+fn session_cache_stats_count_builds_and_hits() {
+    let session = SimSession::new(small_config()).expect("valid config");
+    assert_eq!(session.cache_stats(), SessionCacheStats::default());
+
+    session.artifacts(ModelKind::AlexNet).expect("prepares");
+    let stats = session.cache_stats();
+    assert_eq!(stats.artifact_misses, 1);
+    assert_eq!(stats.artifact_hits, 0);
+    assert_eq!(stats.resident_artifacts, 1);
+    assert_eq!(stats.program_misses, 0, "no compilation before the first simulate");
+
+    let artifacts = session.artifacts(ModelKind::AlexNet).expect("cached");
+    let arch = session.config().arch;
+    artifacts.simulate(arch, SparsityConfig::DenseBaseline).expect("simulates");
+    artifacts.simulate(arch, SparsityConfig::HybridSparsity).expect("simulates");
+    let stats = session.cache_stats();
+    assert_eq!(stats.artifact_hits, 1);
+    assert_eq!(stats.program_misses, 1, "both mappings compile under one miss");
+    assert_eq!(stats.program_hits, 1);
+
+    // A second model is a second miss; the aggregate `absorb` adds fields.
+    session.artifacts(ModelKind::MobileNetV2).expect("prepares");
+    let stats = session.cache_stats();
+    assert_eq!(stats.artifact_misses, 2);
+    assert_eq!(stats.resident_artifacts, 2);
+    let mut total = SessionCacheStats::default();
+    total.absorb(stats);
+    total.absorb(stats);
+    assert_eq!(total.artifact_misses, 4);
+    assert_eq!(total.total_requests(), 2 * stats.total_requests());
+}
