@@ -165,10 +165,19 @@ impl ArchConfig {
 
     /// Validates the configuration.
     ///
+    /// Beyond rejecting zero structural parameters, every buffer must be
+    /// large enough for a single tile of its stream — a geometry whose
+    /// weight buffer cannot hold one `rows × compartments` weight tile (or
+    /// whose feature buffer cannot hold one broadcast input vector, or whose
+    /// meta buffer cannot hold one macro's worth of cell metadata) can never
+    /// execute a layer, and rejecting it here gives sweeps and the serving
+    /// layer a structured error instead of a mid-compile failure.
+    ///
     /// # Errors
     ///
-    /// Returns [`ArchError::CapacityExceeded`] with a zero `available` field
-    /// when a mandatory parameter is zero.
+    /// Returns [`ArchError::CapacityExceeded`] naming the zero parameter, or
+    /// [`ArchError::BufferOverflow`] naming the undersized buffer and the
+    /// single-tile minimum it must hold.
     pub fn validate(&self) -> Result<(), ArchError> {
         let check = |value: usize, resource: &'static str| {
             if value == 0 {
@@ -182,13 +191,34 @@ impl ArchConfig {
         check(self.dbmus_per_compartment, "dbmu columns")?;
         check(self.rows_per_dbmu, "rows")?;
         check(self.dense_filters_per_macro, "dense filters")?;
-        if self.frequency_mhz <= 0.0 {
+        if !(self.frequency_mhz > 0.0 && self.frequency_mhz.is_finite()) {
             return Err(ArchError::CapacityExceeded {
                 resource: "frequency",
                 requested: 1,
                 available: 0,
             });
         }
+        // Single-tile buffer floors. One weight tile is `rows × compartments`
+        // weights at one byte each; one input vector broadcasts one byte per
+        // compartment; one macro load carries at least one metadata bit per
+        // allocated cell.
+        let tile = |buffer: &'static str, capacity: usize, minimum: usize| {
+            if capacity < minimum {
+                Err(ArchError::BufferOverflow {
+                    buffer: format!("{buffer} (single-tile minimum)"),
+                    requested: minimum,
+                    capacity,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        tile("weight buffer", self.weight_buffer_bytes, self.weights_per_filter_capacity())?;
+        tile("feature buffer", self.feature_buffer_bytes, self.compartments_per_macro)?;
+        tile("meta buffer", self.meta_buffer_bytes, self.cells_per_macro().div_ceil(8))?;
+        tile("instruction buffer", self.instruction_buffer_bytes, 1)?;
+        tile("meta register file", self.meta_rf_bytes, 1)?;
+        tile("output register file", self.output_rf_bytes, 1)?;
         Ok(())
     }
 }
@@ -241,8 +271,74 @@ mod tests {
         let mut cfg = ArchConfig::paper();
         cfg.frequency_mhz = 0.0;
         assert!(cfg.validate().is_err());
+        let mut cfg = ArchConfig::paper();
+        cfg.frequency_mhz = f64::NAN;
+        assert!(cfg.validate().is_err());
         let cfg = ArchConfig::paper();
         assert!(cfg.filters_per_macro(17).is_err());
+    }
+
+    #[test]
+    fn zero_structural_parameters_are_each_rejected() {
+        for mutate in [
+            (|c: &mut ArchConfig| c.compartments_per_macro = 0) as fn(&mut ArchConfig),
+            |c| c.dbmus_per_compartment = 0,
+            |c| c.rows_per_dbmu = 0,
+            |c| c.dense_filters_per_macro = 0,
+        ] {
+            let mut cfg = ArchConfig::paper();
+            mutate(&mut cfg);
+            let err = cfg.validate().unwrap_err();
+            assert!(matches!(err, ArchError::CapacityExceeded { available: 0, .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn buffers_too_small_for_a_single_tile_are_rejected() {
+        // A zero-sized buffer of any kind is unusable.
+        for mutate in [
+            (|c: &mut ArchConfig| c.feature_buffer_bytes = 0) as fn(&mut ArchConfig),
+            |c| c.weight_buffer_bytes = 0,
+            |c| c.meta_buffer_bytes = 0,
+            |c| c.instruction_buffer_bytes = 0,
+            |c| c.meta_rf_bytes = 0,
+            |c| c.output_rf_bytes = 0,
+        ] {
+            let mut cfg = ArchConfig::paper();
+            mutate(&mut cfg);
+            let err = cfg.validate().unwrap_err();
+            assert!(matches!(err, ArchError::BufferOverflow { .. }), "{err}");
+        }
+
+        // The weight buffer must hold one rows × compartments tile: 1024
+        // bytes on the paper geometry.
+        let mut cfg = ArchConfig::paper();
+        cfg.weight_buffer_bytes = cfg.weights_per_filter_capacity() - 1;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("weight buffer"), "{err}");
+        cfg.weight_buffer_bytes = cfg.weights_per_filter_capacity();
+        assert!(cfg.validate().is_ok(), "exactly one tile is acceptable");
+
+        // The feature buffer must hold one broadcast input vector.
+        let mut cfg = ArchConfig::paper();
+        cfg.feature_buffer_bytes = cfg.compartments_per_macro - 1;
+        assert!(cfg.validate().unwrap_err().to_string().contains("feature buffer"));
+
+        // The meta buffer must hold one macro's worth of cell metadata.
+        let mut cfg = ArchConfig::paper();
+        cfg.meta_buffer_bytes = cfg.cells_per_macro() / 8 - 1;
+        assert!(cfg.validate().unwrap_err().to_string().contains("meta buffer"));
+
+        // Fewer than 8 cells per macro still needs a non-zero meta buffer
+        // (the minimum rounds up, never down to zero).
+        let mut cfg = ArchConfig::paper();
+        cfg.compartments_per_macro = 1;
+        cfg.dbmus_per_compartment = 1;
+        cfg.rows_per_dbmu = 4;
+        cfg.meta_buffer_bytes = 0;
+        assert!(cfg.validate().unwrap_err().to_string().contains("meta buffer"));
+        cfg.meta_buffer_bytes = 1;
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

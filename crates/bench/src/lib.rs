@@ -23,6 +23,7 @@ use dbpim_nn::Layer;
 use dbpim_tensor::quant::QuantizedTensor;
 use dbpim_tensor::stats::zero_bit_column_ratio;
 
+pub mod dse;
 pub mod experiments;
 pub mod reference;
 

@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use dbpim_arch::ArchError;
 use dbpim_compiler::CompileError;
 use dbpim_fta::FtaError;
 use dbpim_nn::NnError;
@@ -15,6 +16,9 @@ use dbpim_tensor::TensorError;
 pub enum PipelineError {
     /// Tensor substrate failure.
     Tensor(TensorError),
+    /// An architecture geometry failed validation (zero parameters, buffers
+    /// too small for a single tile, ...).
+    Arch(ArchError),
     /// Model graph or inference failure.
     Nn(NnError),
     /// FTA approximation failure.
@@ -34,6 +38,7 @@ impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PipelineError::Tensor(e) => write!(f, "tensor error: {e}"),
+            PipelineError::Arch(e) => write!(f, "architecture error: {e}"),
             PipelineError::Nn(e) => write!(f, "model error: {e}"),
             PipelineError::Fta(e) => write!(f, "fta error: {e}"),
             PipelineError::Compile(e) => write!(f, "compile error: {e}"),
@@ -49,6 +54,7 @@ impl Error for PipelineError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             PipelineError::Tensor(e) => Some(e),
+            PipelineError::Arch(e) => Some(e),
             PipelineError::Nn(e) => Some(e),
             PipelineError::Fta(e) => Some(e),
             PipelineError::Compile(e) => Some(e),
@@ -61,6 +67,12 @@ impl Error for PipelineError {
 impl From<TensorError> for PipelineError {
     fn from(e: TensorError) -> Self {
         PipelineError::Tensor(e)
+    }
+}
+
+impl From<ArchError> for PipelineError {
+    fn from(e: ArchError) -> Self {
+        PipelineError::Arch(e)
     }
 }
 
@@ -96,6 +108,9 @@ mod tests {
     fn conversions_and_display() {
         let e: PipelineError = TensorError::EmptyShape.into();
         assert!(e.to_string().contains("tensor"));
+        let e: PipelineError =
+            ArchError::CapacityExceeded { resource: "macros", requested: 1, available: 0 }.into();
+        assert!(e.to_string().contains("architecture"));
         let e: PipelineError = NnError::EmptyGraph.into();
         assert!(e.to_string().contains("model"));
         let e: PipelineError = FtaError::InvalidThreshold { threshold: 3 }.into();

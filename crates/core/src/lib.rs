@@ -50,12 +50,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dse;
 mod error;
 pub mod measure;
 mod pipeline;
 pub mod prelude;
 pub mod session;
 
+pub use dse::{DseDriver, DseEntry, DsePoint, DseReport, DseSpec};
 pub use error::PipelineError;
 pub use pipeline::{CodesignResult, Pipeline, PipelineConfig};
 pub use session::{

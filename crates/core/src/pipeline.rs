@@ -109,6 +109,7 @@ impl PipelineConfig {
                 reason: "width multiplier must be positive".to_string(),
             });
         }
+        self.arch.validate()?;
         Ok(())
     }
 }
@@ -242,6 +243,14 @@ mod tests {
         assert!(bad.validate().is_err());
         let mut bad = PipelineConfig::fast();
         bad.width_mult = 0.0;
+        assert!(Pipeline::new(bad).is_err());
+        // Invalid geometries are caught at configuration time, not deep in
+        // the compiler.
+        let mut bad = PipelineConfig::fast();
+        bad.arch.macros = 0;
+        assert!(matches!(bad.validate(), Err(PipelineError::Arch(_))));
+        let mut bad = PipelineConfig::fast();
+        bad.arch.weight_buffer_bytes = 1;
         assert!(Pipeline::new(bad).is_err());
         assert_eq!(PipelineConfig::default(), PipelineConfig::paper());
         assert_eq!(PipelineConfig::fast().without_fidelity().evaluation_images, 0);

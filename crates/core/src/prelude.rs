@@ -9,6 +9,7 @@
 //! # Ok::<(), db_pim::PipelineError>(())
 //! ```
 
+pub use crate::dse::{DseDriver, DseEntry, DsePoint, DseReport, DseSpec};
 pub use crate::error::PipelineError;
 pub use crate::measure::measure_input_sparsity;
 pub use crate::pipeline::{CodesignResult, Pipeline, PipelineConfig};
@@ -25,7 +26,8 @@ pub use dbpim_csd::{CsdWord, DyadicBlock, OperandWidth, Sign};
 pub use dbpim_fta::{evaluate_fidelity, FidelityReport, ModelApprox, QueryTables};
 pub use dbpim_nn::{zoo, Model, ModelKind, QuantizedModel};
 pub use dbpim_sim::{
-    peak_throughput_per_macro_gops, peak_throughput_tops, AreaModel, CostModel, RunReport,
-    SimConfig, Simulator, SparsityConfig, PEAK_INPUT_SKIP,
+    pareto_frontier, peak_throughput_per_macro_gops, peak_throughput_tops, ArchGrid, AreaModel,
+    CostModel, GridError, ParetoMetrics, RunReport, SimConfig, Simulator, SparsityConfig,
+    MAX_GRID_POINTS, PEAK_INPUT_SKIP,
 };
 pub use dbpim_tensor::{random::TensorGenerator, Tensor};

@@ -765,15 +765,34 @@ impl SweepReport {
     /// Merges another report into this one (sharded sweeps: independent
     /// processes split a sweep and combine their reports afterwards).
     ///
-    /// Entries are concatenated in order; preparation and simulation counts
-    /// add up; the wall time is the maximum of the two (shards run in
-    /// parallel).
+    /// Entries concatenate in order — `self`'s entries first, then `other`'s
+    /// — except that an entry of `other` identical to one already present is
+    /// dropped: overlapping shards of the same deterministic sweep dedupe
+    /// instead of double-counting, and merging a report with itself is the
+    /// identity. Entries that merely share a (model, width, geometry) key
+    /// but differ in content (e.g. shards split by sparsity configuration)
+    /// are both kept.
+    ///
+    /// The wall time is the maximum of the two (shards run in parallel);
+    /// `prepared_models` and `simulated_runs` are recomputed from the
+    /// retained entries (distinct (model, width) pairs and total simulation
+    /// runs respectively), so they stay consistent under overlap.
     #[must_use]
     pub fn merge(mut self, other: SweepReport) -> SweepReport {
-        self.entries.extend(other.entries);
+        for entry in other.entries {
+            if !self.entries.contains(&entry) {
+                self.entries.push(entry);
+            }
+        }
         self.wall_time = self.wall_time.max(other.wall_time);
-        self.prepared_models += other.prepared_models;
-        self.simulated_runs += other.simulated_runs;
+        let mut prepared: Vec<(ModelKind, OperandWidth)> = Vec::new();
+        for entry in &self.entries {
+            if !prepared.contains(&(entry.kind, entry.width)) {
+                prepared.push((entry.kind, entry.width));
+            }
+        }
+        self.prepared_models = prepared.len();
+        self.simulated_runs = self.entries.iter().map(|e| e.result.runs.len()).sum();
         self
     }
 
@@ -933,6 +952,7 @@ impl BatchRunner {
     ) -> Result<SweepEntry, PipelineError> {
         let session = self.session_for_width(width)?;
         let arch = arch.unwrap_or(session.config().arch);
+        arch.validate()?;
         let artifacts = session.artifacts(kind)?;
         let fidelity = with_fidelity && session.config().evaluation_images > 0;
         // codesign_result_for_arch canonicalizes the sparsity order and
@@ -967,6 +987,10 @@ impl BatchRunner {
         let archs = spec.effective_archs(self.session.config().arch);
         let widths = spec.effective_widths(self.session.config().operand_width);
         let fidelity = with_fidelity && self.session.config().evaluation_images > 0;
+        // Reject infeasible geometry overrides before any expensive work.
+        for arch in &archs {
+            arch.validate()?;
+        }
 
         // Phase 1: prepare artifacts, compile every geometry, and (when
         // requested) evaluate fidelity — one parallel task per (model,

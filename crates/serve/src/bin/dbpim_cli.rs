@@ -14,6 +14,16 @@
 //!       [--sparsity <name>]    restrict to one configuration
 //!       [--widths 4,8,...]     sweep several operand widths
 //!       [--fidelity]           request fidelity where defined
+//!   explore                    stream a design-space exploration
+//!       [--macros 2,4,8]       macro-count axis (default: paper value)
+//!       [--compartments a,b]   compartments-per-macro axis
+//!       [--dbmus a,b]          DBMU-columns axis
+//!       [--rows 32,64]         rows-per-DBMU axis
+//!       [--freqs 250,500]      frequency axis in MHz
+//!       [--models a,b,c]       models (default: all five)
+//!       [--sparsity <name>]    restrict to one configuration
+//!       [--widths 4,8,...]     operand-width axis
+//!       [--fidelity]           request fidelity where defined
 //!   stats                      daemon request counters + cache statistics
 //!   shutdown                   stop the daemon
 //! ```
@@ -26,16 +36,18 @@
 use std::str::FromStr;
 use std::time::Duration;
 
-use db_pim::{SweepReport, SweepSpec};
+use db_pim::{DseSpec, SweepReport, SweepSpec};
+use dbpim_arch::ArchConfig;
 use dbpim_csd::OperandWidth;
 use dbpim_nn::ModelKind;
 use dbpim_serve::options::{parse_value, OptionsError};
 use dbpim_serve::{Client, RunQuery};
-use dbpim_sim::SparsityConfig;
+use dbpim_sim::{ArchGrid, SparsityConfig};
 
 const USAGE: &str = "usage: dbpim-cli [--addr <ip>] [--port <u16>] \
-     <ping|models|run|sweep|stats|shutdown> [--model <name>] [--models a,b,c] \
-     [--sparsity <name>] [--operand-width <4|8|12|16>] [--widths 4,8,...] [--fidelity]";
+     <ping|models|run|sweep|explore|stats|shutdown> [--model <name>] [--models a,b,c] \
+     [--sparsity <name>] [--operand-width <4|8|12|16>] [--widths 4,8,...] \
+     [--macros a,b] [--compartments a,b] [--dbmus a,b] [--rows a,b] [--freqs a,b] [--fidelity]";
 
 #[derive(Debug, Clone, PartialEq)]
 enum Command {
@@ -43,6 +55,7 @@ enum Command {
     Models,
     Run,
     Sweep,
+    Explore,
     Stats,
     Shutdown,
 }
@@ -57,12 +70,29 @@ struct CliOptions {
     sparsity: Option<SparsityConfig>,
     width: Option<OperandWidth>,
     widths: Option<Vec<OperandWidth>>,
+    macros: Option<Vec<usize>>,
+    compartments: Option<Vec<usize>>,
+    dbmus: Option<Vec<usize>>,
+    rows: Option<Vec<usize>>,
+    freqs: Option<Vec<f64>>,
     fidelity: bool,
 }
 
 impl CliOptions {
-    const VALUE_FLAGS: [&'static str; 7] =
-        ["--addr", "--port", "--model", "--models", "--sparsity", "--operand-width", "--widths"];
+    const VALUE_FLAGS: [&'static str; 12] = [
+        "--addr",
+        "--port",
+        "--model",
+        "--models",
+        "--sparsity",
+        "--operand-width",
+        "--widths",
+        "--macros",
+        "--compartments",
+        "--dbmus",
+        "--rows",
+        "--freqs",
+    ];
 
     fn from_slice(args: &[String]) -> Result<Self, OptionsError> {
         let mut options = Self {
@@ -74,6 +104,11 @@ impl CliOptions {
             sparsity: None,
             width: None,
             widths: None,
+            macros: None,
+            compartments: None,
+            dbmus: None,
+            rows: None,
+            freqs: None,
             fidelity: false,
         };
         let mut command = None;
@@ -100,6 +135,7 @@ impl CliOptions {
                         "models" => Some(Command::Models),
                         "run" => Some(Command::Run),
                         "sweep" => Some(Command::Sweep),
+                        "explore" => Some(Command::Explore),
                         "stats" => Some(Command::Stats),
                         "shutdown" => Some(Command::Shutdown),
                         _ => None,
@@ -120,6 +156,11 @@ impl CliOptions {
                 "--sparsity" => options.sparsity = Some(parse_value(arg, raw)?),
                 "--operand-width" => options.width = Some(parse_value(arg, raw)?),
                 "--widths" => options.widths = Some(parse_list(arg, raw)?),
+                "--macros" => options.macros = Some(parse_list(arg, raw)?),
+                "--compartments" => options.compartments = Some(parse_list(arg, raw)?),
+                "--dbmus" => options.dbmus = Some(parse_list(arg, raw)?),
+                "--rows" => options.rows = Some(parse_list(arg, raw)?),
+                "--freqs" => options.freqs = Some(parse_list(arg, raw)?),
                 _ => unreachable!("flag list and match arms agree"),
             }
             i += 2;
@@ -185,6 +226,63 @@ fn print_report(report: &SweepReport) {
     );
 }
 
+fn print_explore(report: &db_pim::DseReport) {
+    println!("| model | width | macros | comp | dbmus | rows | MHz | hybrid cycles | speedup |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+    for entry in &report.entries {
+        let hybrid = entry.result.run(SparsityConfig::HybridSparsity);
+        let has_baseline = entry.result.run(SparsityConfig::DenseBaseline).is_some();
+        let cycles = hybrid.map_or("n/a".to_string(), |run| run.total_cycles().to_string());
+        let speedup = if hybrid.is_some() && has_baseline {
+            format!("{:.2}x", entry.result.speedup(SparsityConfig::HybridSparsity))
+        } else {
+            "n/a".to_string()
+        };
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            entry.kind.name(),
+            entry.width,
+            entry.arch.macros,
+            entry.arch.compartments_per_macro,
+            entry.arch.dbmus_per_compartment,
+            entry.arch.rows_per_dbmu,
+            entry.arch.frequency_mhz,
+            cycles,
+            speedup,
+        );
+    }
+    println!(
+        "({} of {} grid points, server wall time {:?})",
+        report.entries.len(),
+        report.total_points,
+        report.wall_time,
+    );
+    for &kind in &report.spec.unique_models() {
+        for sparsity in report.spec.unique_sparsity() {
+            let frontier = report.pareto_frontier(kind, sparsity);
+            if frontier.is_empty() {
+                continue;
+            }
+            let labels: Vec<String> = frontier
+                .iter()
+                .map(|(i, m)| {
+                    let e = &report.entries[*i];
+                    format!(
+                        "{}m/{}r@{} ({:.3} ms, {:.2} uJ, {:.3} mm2)",
+                        e.arch.macros,
+                        e.arch.rows_per_dbmu,
+                        e.arch.frequency_mhz,
+                        m.latency_ms,
+                        m.energy_uj,
+                        m.area_mm2
+                    )
+                })
+                .collect();
+            println!("pareto[{} / {}]: {}", kind.name(), sparsity, labels.join(", "));
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let options = match CliOptions::from_slice(&args) {
@@ -246,6 +344,47 @@ fn main() {
                     eprintln!("… entry {index}: {} @ {} done", entry.kind.name(), entry.width);
                 })
                 .map(|report| print_report(&report))
+        }
+        Command::Explore => {
+            let mut grid = ArchGrid::around(ArchConfig::paper());
+            if let Some(macros) = options.macros {
+                grid = grid.with_macros(macros);
+            }
+            if let Some(compartments) = options.compartments {
+                grid = grid.with_compartments(compartments);
+            }
+            if let Some(dbmus) = options.dbmus {
+                grid = grid.with_dbmus(dbmus);
+            }
+            if let Some(rows) = options.rows {
+                grid = grid.with_rows(rows);
+            }
+            if let Some(freqs) = options.freqs {
+                grid = grid.with_frequencies(freqs);
+            }
+            let models = options.models.unwrap_or_else(|| ModelKind::all().to_vec());
+            let mut spec = DseSpec::new(grid, models);
+            if let Some(sparsity) = options.sparsity {
+                spec = spec.with_sparsity(vec![sparsity]);
+            }
+            if let Some(widths) = options.widths {
+                spec = spec.with_widths(widths);
+            }
+            if options.fidelity {
+                spec = spec.with_fidelity();
+            }
+            client
+                .explore_streaming(&spec, |index, entry| {
+                    eprintln!(
+                        "… point {index}: {} @ {} on {} macros x {} rows @ {} MHz done",
+                        entry.kind.name(),
+                        entry.width,
+                        entry.arch.macros,
+                        entry.arch.rows_per_dbmu,
+                        entry.arch.frequency_mhz,
+                    );
+                })
+                .map(|report| print_explore(&report))
         }
         Command::Stats => client.cache_stats().map(|stats| {
             println!("requests:           {}", stats.requests);
@@ -310,6 +449,34 @@ mod tests {
         assert_eq!(options.command, Command::Sweep);
         assert_eq!(options.models, Some(vec![ModelKind::AlexNet, ModelKind::Vgg19]));
         assert_eq!(options.widths, Some(vec![OperandWidth::Int4, OperandWidth::Int16]));
+    }
+
+    #[test]
+    fn explore_grid_flags_parse_strictly() {
+        let options = CliOptions::from_slice(&args(&[
+            "explore",
+            "--macros",
+            "2,4,8",
+            "--rows",
+            "32,64",
+            "--freqs",
+            "250,500",
+            "--models",
+            "alexnet",
+            "--sparsity",
+            "hybrid",
+        ]))
+        .unwrap();
+        assert_eq!(options.command, Command::Explore);
+        assert_eq!(options.macros, Some(vec![2, 4, 8]));
+        assert_eq!(options.rows, Some(vec![32, 64]));
+        assert_eq!(options.freqs, Some(vec![250.0, 500.0]));
+        assert_eq!(options.models, Some(vec![ModelKind::AlexNet]));
+        assert_eq!(options.sparsity, Some(SparsityConfig::HybridSparsity));
+
+        let err = CliOptions::from_slice(&args(&["explore", "--macros", "2,x"])).unwrap_err();
+        assert_eq!(err.flag, "--macros");
+        assert!(err.message.contains('x'), "{err}");
     }
 
     #[test]

@@ -9,7 +9,7 @@ use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use db_pim::{SweepEntry, SweepReport, SweepSpec};
+use db_pim::{DseEntry, DseReport, DseSpec, SweepEntry, SweepReport, SweepSpec};
 use dbpim_arch::ArchConfig;
 use dbpim_csd::OperandWidth;
 use dbpim_nn::ModelKind;
@@ -287,6 +287,67 @@ impl Client {
                 }
                 Response::Error { error } => return Err(ClientError::Server(error)),
                 other => return Err(unexpected("SweepPoint or SweepFinished", &other)),
+            }
+        }
+    }
+
+    /// Runs a design-space exploration, discarding the stream granularity
+    /// and returning the reassembled [`DseReport`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures and server-side pipeline errors
+    /// (oversized / infeasible grids, failing points).
+    pub fn explore(&mut self, spec: &DseSpec) -> Result<DseReport, ClientError> {
+        self.explore_streaming(spec, |_, _| {})
+    }
+
+    /// Runs a design-space exploration, invoking `on_entry(index, entry)`
+    /// as each streamed grid point arrives, then returns the reassembled
+    /// report — entry-for-entry identical (timestamps aside) to a local
+    /// [`db_pim::DseDriver`] run of the same spec, which the protocol test
+    /// suite asserts via [`DseReport::results_match`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures and server-side pipeline errors.
+    pub fn explore_streaming(
+        &mut self,
+        spec: &DseSpec,
+        mut on_entry: impl FnMut(usize, &DseEntry),
+    ) -> Result<DseReport, ClientError> {
+        self.send(&Request::Explore { spec: Box::new(spec.clone()) })?;
+        let expected = match self.recv()? {
+            Response::ExploreStarted { total_points } => total_points,
+            Response::Error { error } => return Err(ClientError::Server(error)),
+            other => return Err(unexpected("ExploreStarted", &other)),
+        };
+        let mut report = DseReport::empty(spec.clone(), expected);
+        loop {
+            match self.recv()? {
+                Response::ExplorePoint { index, entry } => {
+                    if index != report.entries.len() {
+                        return Err(ClientError::Protocol(format!(
+                            "exploration points arrived out of order: got {index}, expected {}",
+                            report.entries.len()
+                        )));
+                    }
+                    on_entry(index, &entry);
+                    report.entries.push(entry);
+                }
+                Response::ExploreFinished { total_points, wall_time } => {
+                    if report.entries.len() != expected || total_points != expected {
+                        return Err(ClientError::Protocol(format!(
+                            "exploration finished after {} of {expected} points",
+                            report.entries.len()
+                        )));
+                    }
+                    report.fresh_points = report.entries.len();
+                    report.wall_time = wall_time;
+                    return Ok(report);
+                }
+                Response::Error { error } => return Err(ClientError::Server(error)),
+                other => return Err(unexpected("ExplorePoint or ExploreFinished", &other)),
             }
         }
     }

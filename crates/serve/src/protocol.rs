@@ -19,7 +19,7 @@ use std::fmt;
 use std::io::{BufRead, Write};
 use std::time::Duration;
 
-use db_pim::{SessionCacheStats, SweepEntry, SweepSpec};
+use db_pim::{DseEntry, DseSpec, SessionCacheStats, SweepEntry, SweepSpec};
 use dbpim_arch::ArchConfig;
 use dbpim_csd::OperandWidth;
 use dbpim_nn::ModelKind;
@@ -29,7 +29,11 @@ use serde::{Deserialize, Serialize};
 /// Version of the wire protocol; bumped on incompatible changes. The server
 /// reports it in [`Response::Pong`] so clients can refuse to talk to a
 /// daemon they do not understand.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2 added the design-space-exploration stream ([`Request::Explore`],
+/// [`Response::ExploreStarted`] / [`Response::ExplorePoint`] /
+/// [`Response::ExploreFinished`]).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// One client request, one JSON line on the wire.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -59,6 +63,15 @@ pub enum Request {
         spec: SweepSpec,
         /// Evaluate accuracy fidelity per model where defined.
         fidelity: bool,
+    },
+    /// Run a design-space exploration; grid entries stream incrementally
+    /// from the daemon's warm artifact cache.
+    Explore {
+        /// The exploration point set (geometry grid × models × sparsity ×
+        /// widths). Oversized or infeasible grids are answered with a
+        /// structured [`Response::Error`] before any point executes.
+        /// (Boxed: the grid axes dwarf every other request variant.)
+        spec: Box<DseSpec>,
     },
     /// Snapshot the daemon's request counters and warm-cache statistics.
     CacheStats,
@@ -149,6 +162,27 @@ pub enum Response {
         /// Simulation runs the sweep covers.
         simulated_runs: usize,
         /// Server-side wall-clock duration of the sweep.
+        wall_time: Duration,
+    },
+    /// First line of an exploration stream: how many grid points will
+    /// follow.
+    ExploreStarted {
+        /// Number of (model, width, geometry) points the spec enumerates.
+        total_points: usize,
+    },
+    /// One completed exploration point (streamed as soon as it is
+    /// computed, in the spec's canonical point order).
+    ExplorePoint {
+        /// Position of this point in the spec's canonical order.
+        index: usize,
+        /// The computed entry (timestamped server-side).
+        entry: DseEntry,
+    },
+    /// Last line of an exploration stream.
+    ExploreFinished {
+        /// Points the stream covered.
+        total_points: usize,
+        /// Server-side wall-clock duration of the exploration.
         wall_time: Duration,
     },
     /// Answer to [`Request::CacheStats`].
@@ -258,6 +292,18 @@ mod tests {
             spec: SweepSpec::zoo().with_widths(vec![OperandWidth::Int4, OperandWidth::Int16]),
             fidelity: true,
         });
+        round_trip(&Request::Explore {
+            spec: Box::new(
+                DseSpec::new(
+                    dbpim_sim::ArchGrid::around(ArchConfig::paper())
+                        .with_macros(vec![2, 4, 8])
+                        .with_frequencies(vec![250.0, 500.0]),
+                    vec![ModelKind::AlexNet, ModelKind::MobileNetV2],
+                )
+                .with_widths(vec![OperandWidth::Int4])
+                .with_fidelity(),
+            ),
+        });
     }
 
     #[test]
@@ -269,6 +315,11 @@ mod tests {
             prepared_models: 5,
             simulated_runs: 20,
             wall_time: Duration::from_millis(1234),
+        });
+        round_trip(&Response::ExploreStarted { total_points: 48 });
+        round_trip(&Response::ExploreFinished {
+            total_points: 48,
+            wall_time: Duration::from_secs(7),
         });
         round_trip(&Response::ShuttingDown);
         round_trip(&Response::Error {

@@ -374,7 +374,74 @@ fn handle_request(request: Request, writer: &mut TcpStream, shared: &Shared) -> 
             }
         }
         Request::Sweep { spec, fidelity } => handle_sweep(&spec, fidelity, writer, shared),
+        Request::Explore { spec } => handle_explore(&spec, writer, shared),
     }
+}
+
+/// Streams one design-space exploration: `ExploreStarted`, one
+/// `ExplorePoint` per grid point as it completes (canonical spec order,
+/// warm-cache artifacts reused across geometries), then `ExploreFinished`.
+/// An oversized or infeasible grid is answered with a structured pipeline
+/// error before any point executes; a failing point ends the stream (but
+/// not the connection) the same way.
+fn handle_explore(spec: &db_pim::DseSpec, writer: &mut TcpStream, shared: &Shared) -> bool {
+    let session_width = shared.runner.session().config().operand_width;
+    let points = match spec.points(session_width) {
+        Ok(points) => points,
+        Err(e) => {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            return respond(
+                writer,
+                &Response::Error {
+                    error: ErrorResponse { kind: ErrorKind::Pipeline, message: e.to_string() },
+                },
+            );
+        }
+    };
+    let sparsity = spec.unique_sparsity();
+    let total_points = points.len();
+    if respond(writer, &Response::ExploreStarted { total_points }) {
+        return true;
+    }
+
+    let start = Instant::now();
+    for (index, point) in points.into_iter().enumerate() {
+        let computed = shared.runner.run_point(
+            point.kind,
+            point.width,
+            Some(point.arch),
+            &sparsity,
+            spec.fidelity,
+        );
+        match computed {
+            Ok(entry) => {
+                let entry = db_pim::DseEntry {
+                    kind: entry.kind,
+                    width: entry.width,
+                    arch: entry.arch,
+                    result: entry.result,
+                    computed_at_ms: db_pim::dse::unix_time_ms(),
+                };
+                if respond(writer, &Response::ExplorePoint { index, entry }) {
+                    return true;
+                }
+            }
+            Err(e) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                return respond(
+                    writer,
+                    &Response::Error {
+                        error: ErrorResponse {
+                            kind: ErrorKind::Pipeline,
+                            message: format!("exploration point {index} failed: {e}"),
+                        },
+                    },
+                );
+            }
+        }
+    }
+
+    respond(writer, &Response::ExploreFinished { total_points, wall_time: start.elapsed() })
 }
 
 /// Streams one sweep: `SweepStarted`, one `SweepPoint` per entry as it

@@ -37,6 +37,7 @@
 
 mod area;
 mod config;
+pub mod dse;
 mod energy;
 mod engine;
 mod error;
@@ -44,6 +45,7 @@ mod report;
 
 pub use area::{AreaComponent, AreaModel};
 pub use config::{SimConfig, SparsityConfig};
+pub use dse::{pareto_frontier, ArchGrid, GridError, ParetoMetrics, MAX_GRID_POINTS};
 pub use energy::{CostModel, EnergyBreakdown};
 pub use engine::Simulator;
 pub use error::SimError;

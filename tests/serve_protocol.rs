@@ -7,20 +7,25 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use db_pim::PipelineConfig;
+use db_pim::prelude::{ArchConfig, ArchGrid, SparsityConfig};
+use db_pim::{DseDriver, DseSpec, PipelineConfig};
 use dbpim_nn::ModelKind;
 use dbpim_serve::protocol::{ErrorKind, Response};
-use dbpim_serve::{Client, RunQuery, ServeConfig, Server, ServerHandle};
+use dbpim_serve::{Client, ClientError, RunQuery, ServeConfig, Server, ServerHandle};
 
-fn spawn_server() -> ServerHandle {
+fn server_pipeline() -> PipelineConfig {
     let mut pipeline = PipelineConfig::fast().without_fidelity();
     pipeline.width_mult = 0.25;
     pipeline.calibration_images = 1;
+    pipeline
+}
+
+fn spawn_server() -> ServerHandle {
     Server::spawn(ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         threads: 2,
         poll_interval: Duration::from_millis(50),
-        pipeline,
+        pipeline: server_pipeline(),
     })
     .expect("server spawns")
 }
@@ -108,6 +113,125 @@ fn pipeline_failures_are_classified_and_survivable() {
     // The failure neither killed the connection nor poisoned the daemon.
     let entry = client.run_model(&RunQuery::new(ModelKind::AlexNet)).expect("healthy run");
     assert_eq!(entry.kind, ModelKind::AlexNet);
+
+    client.shutdown().expect("shutdown acknowledged");
+    handle.join().expect("daemon exits cleanly");
+}
+
+/// `Explore` requests with malformed grids get a `BadRequest`, and
+/// well-formed requests whose grids are infeasible or oversized get a
+/// structured pipeline error naming the problem — in every case the
+/// connection survives and later requests are answered.
+#[test]
+fn explore_grid_failures_are_structured_errors_not_disconnects() {
+    let handle = spawn_server();
+    let stream = TcpStream::connect(handle.addr()).expect("connects");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+
+    // Structurally malformed spec (missing fields): a parse-level error.
+    assert_bad_request(&raw_exchange(
+        &mut reader,
+        &mut writer,
+        "{\"Explore\":{\"spec\":{\"bogus\":true}}}",
+    ));
+    // Wrong payload type entirely.
+    assert_bad_request(&raw_exchange(&mut reader, &mut writer, "{\"Explore\":[1,2]}"));
+
+    // Well-formed spec, infeasible geometry (zero macros): a pipeline
+    // error that names the offending grid point.
+    let mut client = Client::connect(handle.addr()).expect("connects");
+    let infeasible = DseSpec::new(
+        ArchGrid::around(ArchConfig::paper()).with_macros(vec![4, 0]),
+        vec![ModelKind::AlexNet],
+    );
+    match client.explore(&infeasible) {
+        Err(ClientError::Server(error)) => {
+            assert_eq!(error.kind, ErrorKind::Pipeline, "wrong kind: {error}");
+            assert!(error.message.contains("infeasible"), "{error}");
+        }
+        other => panic!("expected a structured pipeline error, got {other:?}"),
+    }
+
+    // An undersized buffer axis is rejected the same way.
+    let undersized = DseSpec::new(
+        ArchGrid::around(ArchConfig::paper()).with_rows(vec![64]).with_weight_buffers(vec![16]),
+        vec![ModelKind::AlexNet],
+    );
+    match client.explore(&undersized) {
+        Err(ClientError::Server(error)) => {
+            assert!(error.message.contains("weight buffer"), "{error}");
+        }
+        other => panic!("expected a structured pipeline error, got {other:?}"),
+    }
+
+    // An oversized cross product is refused before any point executes.
+    let oversized = DseSpec::new(
+        ArchGrid::around(ArchConfig::paper())
+            .with_macros((1..=20).collect())
+            .with_rows((1..=20).map(|i| i * 8).collect())
+            .with_frequencies((1..=20).map(|i| f64::from(i) * 50.0).collect()),
+        vec![ModelKind::AlexNet],
+    );
+    match client.explore(&oversized) {
+        Err(ClientError::Server(error)) => {
+            assert!(error.message.contains("maximum"), "{error}");
+        }
+        other => panic!("expected a structured pipeline error, got {other:?}"),
+    }
+
+    // Both connections survived all of it.
+    match raw_exchange(&mut reader, &mut writer, "\"Ping\"") {
+        Response::Pong { .. } => {}
+        other => panic!("raw connection should have survived, got {other:?}"),
+    }
+    client.ping().expect("client connection survived");
+    let stats = client.cache_stats().expect("stats");
+    assert_eq!(stats.errors, 5, "every failed explore is counted");
+
+    client.shutdown().expect("shutdown acknowledged");
+    handle.join().expect("daemon exits cleanly");
+}
+
+/// Streamed `Explore` entries arrive in canonical order and reassemble
+/// into the same `DseReport` a local driver produces for the same spec
+/// (timestamps aside).
+#[test]
+fn explore_stream_merges_into_the_same_report_as_a_local_run() {
+    let handle = spawn_server();
+    let spec = DseSpec::new(
+        ArchGrid::around(ArchConfig::paper()).with_macros(vec![2, 4]),
+        vec![ModelKind::AlexNet],
+    )
+    .with_sparsity(vec![SparsityConfig::DenseBaseline, SparsityConfig::HybridSparsity]);
+
+    let mut client = Client::connect(handle.addr()).expect("connects");
+    let mut streamed_indices = Vec::new();
+    let remote = client
+        .explore_streaming(&spec, |index, entry| {
+            streamed_indices.push((index, entry.arch.macros));
+        })
+        .expect("explore runs");
+    assert_eq!(streamed_indices, vec![(0, 2), (1, 4)], "stream order is canonical");
+    assert_eq!(remote.total_points, 2);
+    assert!(remote.is_complete());
+
+    // A local driver over the same pipeline configuration produces the
+    // same report, bit-identical results at every point.
+    let local =
+        DseDriver::new(server_pipeline()).expect("valid config").run(&spec).expect("local run");
+    assert!(remote.results_match(&local), "served exploration diverges from the local driver");
+
+    // Streamed entries merge into a local (e.g. partially resumed) report
+    // without duplicating points.
+    let merged = local.clone().merge(remote.clone()).expect("same spec merges");
+    assert_eq!(merged.entries.len(), 2);
+    assert!(merged.results_match(&local));
+
+    // The daemon served the whole grid from one artifact build.
+    let stats = client.cache_stats().expect("stats");
+    assert_eq!(stats.cache.artifact_misses, 1);
+    assert_eq!(stats.cache.program_misses, 2, "one compilation per geometry");
 
     client.shutdown().expect("shutdown acknowledged");
     handle.join().expect("daemon exits cleanly");

@@ -250,6 +250,88 @@ fn sweep_report_shards_round_trip_through_disk_snapshots() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Overlapping shards: a point present in both shards appears once in the
+/// merged report, counters do not double-count, and merging is idempotent
+/// and deterministic.
+#[test]
+fn overlapping_shards_dedupe_deterministically_on_merge() {
+    let runner = BatchRunner::new(small_config()).expect("valid config");
+    let sparsity = vec![SparsityConfig::DenseBaseline, SparsityConfig::HybridSparsity];
+    let shard_ab = runner
+        .run(
+            &SweepSpec::new(vec![ModelKind::AlexNet, ModelKind::MobileNetV2])
+                .with_sparsity(sparsity.clone()),
+        )
+        .expect("shard ab runs");
+    let shard_b = runner
+        .run(&SweepSpec::new(vec![ModelKind::MobileNetV2]).with_sparsity(sparsity.clone()))
+        .expect("shard b runs");
+    assert_eq!(shard_ab.entries.len(), 2);
+    assert_eq!(shard_b.entries.len(), 1);
+
+    // The overlapping MobileNetV2 entry is identical in both shards (same
+    // cached artifacts), so the merge drops the duplicate.
+    let merged = shard_ab.clone().merge(shard_b.clone());
+    assert_eq!(merged.entries, shard_ab.entries, "duplicate point was not deduped");
+    assert_eq!(merged.prepared_models, 2, "prepared count double-counted the overlap");
+    assert_eq!(merged.simulated_runs, 4, "simulated count double-counted the overlap");
+
+    // Merge order only affects entry order, never the content: b-then-ab
+    // keeps b's copy first, then adopts ab's non-duplicates.
+    let merged_rev = shard_b.clone().merge(shard_ab.clone());
+    assert_eq!(merged_rev.entries.len(), 2);
+    assert_eq!(merged_rev.entries[0], shard_b.entries[0]);
+    assert_eq!(merged_rev.prepared_models, merged.prepared_models);
+    assert_eq!(merged_rev.simulated_runs, merged.simulated_runs);
+
+    // Self-merge is the identity (up to the recomputed counters, which for
+    // a driver-produced report already equal the content-derived values).
+    let self_merged = shard_ab.clone().merge(shard_ab.clone());
+    assert_eq!(self_merged, shard_ab);
+
+    // A merged report still snapshots and reloads losslessly.
+    let path = std::env::temp_dir().join(format!(
+        "dbpim-overlap-test-{}-{}.json",
+        std::process::id(),
+        line!()
+    ));
+    merged.save(&path).expect("merged report saves");
+    assert_eq!(SweepReport::load(&path).expect("merged report loads"), merged);
+    std::fs::remove_file(&path).ok();
+}
+
+/// Entries that share a (model, width, geometry) key but carry different
+/// content — shards split by sparsity configuration — are both kept:
+/// dedup only ever removes exact duplicates.
+#[test]
+fn sparsity_split_shards_are_not_collapsed_by_merge() {
+    let runner = BatchRunner::new(small_config()).expect("valid config");
+    let dense = runner
+        .run(
+            &SweepSpec::new(vec![ModelKind::AlexNet])
+                .with_sparsity(vec![SparsityConfig::DenseBaseline]),
+        )
+        .expect("dense shard runs");
+    let hybrid = runner
+        .run(
+            &SweepSpec::new(vec![ModelKind::AlexNet])
+                .with_sparsity(vec![SparsityConfig::HybridSparsity]),
+        )
+        .expect("hybrid shard runs");
+
+    let merged = dense.clone().merge(hybrid.clone());
+    assert_eq!(merged.entries.len(), 2, "distinct results for one key must both survive");
+    assert_eq!(merged.prepared_models, 1, "one (model, width) pair across both entries");
+    assert_eq!(merged.simulated_runs, 2);
+    assert_eq!(merged.entries[0], dense.entries[0], "self's entry comes first");
+    assert_eq!(merged.entries[1], hybrid.entries[0]);
+
+    // Merging an empty report in either direction changes nothing.
+    let empty = runner.run(&SweepSpec::new(Vec::new())).expect("empty sweep");
+    assert_eq!(empty.clone().merge(merged.clone()).entries, merged.entries);
+    assert_eq!(merged.clone().merge(empty).entries, merged.entries);
+}
+
 /// The session cache counters observe exactly what happened: one miss per
 /// distinct model, hits on re-request, and program compilations counted
 /// separately per geometry.
