@@ -1,0 +1,126 @@
+//! `dbpim-fleet` — the sharded sweep orchestrator binary.
+//!
+//! Takes the same grid / pipeline flags as `dse_sweep` (they describe the
+//! *what*) plus the fleet flags (the *who*):
+//!
+//! ```text
+//! dbpim-fleet [dse_sweep grid/pipeline flags]
+//!             [--workers <n>] [--endpoints host:port,...]
+//!             [--strategy round-robin|contiguous|cost-weighted]
+//!             [--snapshot-dir <dir>] [--fleet-id <name>]
+//!             [--point-timeout-ms <n>] [--retries <n>]
+//! ```
+//!
+//! The rendered report (stdout) is the same pure-function-of-the-results
+//! table `dse_sweep` prints, so CI can `diff` a fleet run byte-for-byte
+//! against a cold single-driver run of the same grid. Worker narration,
+//! retirement notices and statistics go to stderr.
+//!
+//! With `--snapshot-dir`, each shard persists `shard-NNN.json` after every
+//! completed point and the run resumes from whatever those snapshots
+//! already cover — including snapshots written by a previous run with a
+//! different worker count.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use dbpim_bench::dse::{render_report, DseSweepOptions};
+use dbpim_fleet::{FleetDriver, FleetEvent, FleetOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (sweep, fleet) = match (DseSweepOptions::from_slice(&args), FleetOptions::from_slice(&args))
+    {
+        (Ok(sweep), Ok(fleet)) => (sweep, fleet),
+        (Err(e), _) => usage_error(&e.to_string()),
+        (_, Err(e)) => usage_error(&e.to_string()),
+    };
+    // The driver-local knobs of dse_sweep make no sense across a fleet.
+    for (flag, set) in [
+        ("--snapshot", sweep.snapshot.is_some()),
+        ("--limit-points", sweep.limit_points.is_some()),
+        ("--batch", sweep.batch.is_some()),
+        ("--threads", sweep.threads.is_some()),
+    ] {
+        if set {
+            usage_error(&format!(
+                "`{flag}` is a dse_sweep driver flag; fleets shard with --snapshot-dir and \
+                 --workers instead"
+            ));
+        }
+    }
+
+    let spec = sweep.spec();
+    let config = fleet.fleet_config(sweep.base.pipeline_config());
+    eprintln!(
+        "dbpim-fleet {}: {} workers ({} remote), strategy {}, snapshots {}",
+        config.fleet_id,
+        config.workers.len(),
+        fleet.endpoints.len(),
+        config.strategy,
+        config.snapshot_dir.as_ref().map_or("off".to_string(), |d| d.display().to_string()),
+    );
+
+    let driver = FleetDriver::new(config).with_observer(move |event| match event {
+        FleetEvent::WorkerReady { worker, label } => {
+            eprintln!("worker {worker} ({label}) ready");
+        }
+        FleetEvent::WorkerRetired { worker, label, reason } => {
+            eprintln!("worker {worker} ({label}) retired: {reason}");
+        }
+        FleetEvent::PointDone { completed, total, worker, shard, stolen } => {
+            let tag = if *stolen { " (stolen)" } else { "" };
+            eprintln!("… {completed}/{total} points (worker {worker}, shard {shard}{tag})");
+        }
+        FleetEvent::PointRetried { worker, shard, attempt, error } => {
+            eprintln!("retry: worker {worker}, shard {shard}, attempt {attempt}: {error}");
+        }
+        FleetEvent::SnapshotSkipped { path, reason } => {
+            eprintln!("skipped snapshot {}: {reason}", path.display());
+        }
+    });
+
+    let start = Instant::now();
+    match driver.run(&spec) {
+        Ok(outcome) => {
+            print!("{}", render_report(&outcome.report));
+            std::io::stdout().flush().ok();
+            let stats = &outcome.stats;
+            eprintln!(
+                "dbpim-fleet: {} fresh + {} resumed of {} points in {:.2?}; {} reassigned, \
+                 {} retried attempts",
+                stats.fresh_points,
+                stats.resumed_points,
+                outcome.report.total_points,
+                start.elapsed(),
+                stats.reassigned_points,
+                stats.retried_attempts,
+            );
+            for (index, worker) in stats.workers.iter().enumerate() {
+                match &worker.retired {
+                    Some(reason) => eprintln!(
+                        "  worker {index} ({}): {} points, retired: {reason}",
+                        worker.label, worker.points
+                    ),
+                    None => {
+                        eprintln!("  worker {index} ({}): {} points", worker.label, worker.points)
+                    }
+                }
+            }
+            for diagnostic in &stats.diagnostics {
+                eprintln!("  note: {diagnostic}");
+            }
+        }
+        Err(e) => {
+            eprintln!("dbpim-fleet failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!("{}", DseSweepOptions::USAGE.replace("dse_sweep", "dbpim-fleet"));
+    eprintln!("       plus {}", FleetOptions::USAGE);
+    std::process::exit(2);
+}

@@ -97,6 +97,7 @@ fn main() {
         threads: load.clients.max(2),
         poll_interval: Duration::from_millis(100),
         pipeline,
+        cache_cap: None,
     })
     .unwrap_or_else(|e| {
         eprintln!("serve_bench: cannot start daemon: {e}");

@@ -38,7 +38,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::PipelineError;
 use crate::pipeline::{CodesignResult, PipelineConfig};
-use crate::session::{par, BatchRunner, SessionCacheStats, SweepSpec};
+use crate::session::{par, BatchRunner, SessionCacheStats, SweepEntry, SweepSpec};
 
 /// Milliseconds since the Unix epoch — the timestamp resolution of DSE
 /// snapshots. Timestamps record *when* a point was computed; every equality
@@ -199,7 +199,24 @@ impl DsePoint {
     fn key(&self) -> PointKey {
         point_key(self.kind, self.width, &self.arch)
     }
+
+    /// The point's opaque hashable identity — what deduplication across
+    /// shard reports keys on.
+    #[must_use]
+    pub fn canonical_key(&self) -> DsePointKey {
+        DsePointKey(self.key())
+    }
 }
+
+/// An opaque, hashable identity of one (model, width, geometry) point.
+///
+/// `ArchConfig` cannot implement `Hash`/`Eq` (its frequency is an `f64`),
+/// so consumers that need set/map semantics over points — the fleet
+/// orchestrator's exactly-once bookkeeping, shard dedup — go through this
+/// key instead. Two points compare equal here iff they compare equal
+/// field-for-field (frequency by bit pattern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DsePointKey(PointKey);
 
 /// One computed point of a [`DseReport`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -219,6 +236,22 @@ pub struct DseEntry {
 }
 
 impl DseEntry {
+    /// Adopts a freshly computed sweep entry, timestamping it now. This is
+    /// *the* conversion every execution path — the local driver, the serve
+    /// daemon's `Explore` stream, the fleet's workers — must share, so a
+    /// future `DseEntry` field or timestamping change can never make one
+    /// path silently diverge from the others.
+    #[must_use]
+    pub fn from_sweep(entry: SweepEntry) -> Self {
+        Self {
+            kind: entry.kind,
+            width: entry.width,
+            arch: entry.arch,
+            result: entry.result,
+            computed_at_ms: unix_time_ms(),
+        }
+    }
+
     /// The point this entry answers.
     #[must_use]
     pub fn point(&self) -> DsePoint {
@@ -227,6 +260,13 @@ impl DseEntry {
 
     fn key(&self) -> PointKey {
         point_key(self.kind, self.width, &self.arch)
+    }
+
+    /// The opaque hashable identity of the entry's point (see
+    /// [`DsePointKey`]).
+    #[must_use]
+    pub fn canonical_key(&self) -> DsePointKey {
+        DsePointKey(self.key())
     }
 
     /// The entry's position in the DSE objective space for one sparsity
@@ -405,6 +445,88 @@ impl DseReport {
         pareto_frontier(&metrics).into_iter().map(|i| candidates[i]).collect()
     }
 
+    /// The objective-space position of every (width, geometry) pair under a
+    /// *workload mix*: the report's entries for all mix models at that pair,
+    /// aggregated as if the mix ran back-to-back on one chip. Latency and
+    /// energy are weight-scaled sums (weight = how often the model appears
+    /// in the mix), area is the geometry's (it is shared), and fidelity
+    /// loss is the weighted mean. Pairs missing an entry for any mix model
+    /// — or any run for `sparsity` — are excluded rather than filled with
+    /// guesses; mix members with non-positive or non-finite weights are
+    /// ignored, and an effectively empty mix aggregates nothing.
+    ///
+    /// Candidates are returned in first-seen entry order, which is grid
+    /// enumeration order on a canonically sorted report.
+    #[must_use]
+    pub fn aggregate_metrics(
+        &self,
+        mix: &[(ModelKind, f64)],
+        sparsity: SparsityConfig,
+    ) -> Vec<MixCandidate> {
+        let area = AreaModel::calibrated_28nm();
+        let mix: Vec<(ModelKind, f64)> =
+            mix.iter().filter(|(_, weight)| weight.is_finite() && *weight > 0.0).copied().collect();
+        if mix.is_empty() {
+            return Vec::new();
+        }
+        // Hashed entry lookup (linear ArchConfig scans per candidate would
+        // be quadratic in the grid size).
+        let by_key: HashMap<PointKey, &DseEntry> =
+            self.entries.iter().map(|e| (e.key(), e)).collect();
+        let mut seen: HashSet<(u32, [u64; 12])> = HashSet::new();
+        let mut candidates = Vec::new();
+        for entry in &self.entries {
+            let (_, width_bits, arch_bits) = entry.key();
+            if !seen.insert((width_bits, arch_bits)) {
+                continue;
+            }
+            let mut metrics = ParetoMetrics {
+                latency_ms: 0.0,
+                energy_uj: 0.0,
+                area_mm2: area.total_mm2(&entry.arch),
+                fidelity_loss: 0.0,
+            };
+            let mut total_weight = 0.0;
+            let mut complete = true;
+            for &(kind, weight) in &mix {
+                let Some(member) = by_key.get(&point_key(kind, entry.width, &entry.arch)) else {
+                    complete = false;
+                    break;
+                };
+                let Some(m) = member.metrics(sparsity, &area) else {
+                    complete = false;
+                    break;
+                };
+                metrics.latency_ms += weight * m.latency_ms;
+                metrics.energy_uj += weight * m.energy_uj;
+                metrics.fidelity_loss += weight * m.fidelity_loss;
+                total_weight += weight;
+            }
+            if complete {
+                metrics.fidelity_loss /= total_weight;
+                candidates.push(MixCandidate { width: entry.width, arch: entry.arch, metrics });
+            }
+        }
+        candidates
+    }
+
+    /// The Pareto frontier of [`aggregate_metrics`](Self::aggregate_metrics):
+    /// the non-dominated (width, geometry) pairs for a workload mix —
+    /// "which chip should serve this traffic blend", rather than the
+    /// per-model frontier [`pareto_frontier`](Self::pareto_frontier)
+    /// answers. Verified against a brute-force reference in
+    /// `tests/dse_exploration.rs`.
+    #[must_use]
+    pub fn aggregate_pareto_frontier(
+        &self,
+        mix: &[(ModelKind, f64)],
+        sparsity: SparsityConfig,
+    ) -> Vec<MixCandidate> {
+        let candidates = self.aggregate_metrics(mix, sparsity);
+        let metrics: Vec<ParetoMetrics> = candidates.iter().map(|c| c.metrics).collect();
+        pareto_frontier(&metrics).into_iter().map(|i| candidates[i]).collect()
+    }
+
     /// Persists the report as JSON at `path` (atomically: written to a
     /// sibling temp file, then renamed, so a kill mid-save never leaves a
     /// torn snapshot).
@@ -442,6 +564,19 @@ impl DseReport {
             reason: format!("malformed DSE snapshot in {}: {e}", path.display()),
         })
     }
+}
+
+/// One aggregated (width, geometry) candidate of a workload mix (see
+/// [`DseReport::aggregate_metrics`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixCandidate {
+    /// The operand width of every aggregated entry.
+    pub width: OperandWidth,
+    /// The shared geometry.
+    pub arch: ArchConfig,
+    /// The mix-aggregated objective values (latency/energy weight-summed,
+    /// area shared, fidelity loss weight-averaged).
+    pub metrics: ParetoMetrics,
 }
 
 /// Executes [`DseSpec`]s against a warm [`BatchRunner`] cache, persisting a
@@ -567,13 +702,7 @@ impl DseDriver {
             let computed = par::par_map(batch.to_vec(), self.threads, |point| {
                 self.runner
                     .run_point(point.kind, point.width, Some(point.arch), &sparsity, spec.fidelity)
-                    .map(|entry| DseEntry {
-                        kind: entry.kind,
-                        width: entry.width,
-                        arch: entry.arch,
-                        result: entry.result,
-                        computed_at_ms: unix_time_ms(),
-                    })
+                    .map(DseEntry::from_sweep)
             });
             let mut failure = None;
             for result in computed {

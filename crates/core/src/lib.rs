@@ -57,7 +57,7 @@ mod pipeline;
 pub mod prelude;
 pub mod session;
 
-pub use dse::{DseDriver, DseEntry, DsePoint, DseReport, DseSpec};
+pub use dse::{DseDriver, DseEntry, DsePoint, DsePointKey, DseReport, DseSpec, MixCandidate};
 pub use error::PipelineError;
 pub use pipeline::{CodesignResult, Pipeline, PipelineConfig};
 pub use session::{

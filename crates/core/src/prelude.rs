@@ -9,7 +9,9 @@
 //! # Ok::<(), db_pim::PipelineError>(())
 //! ```
 
-pub use crate::dse::{DseDriver, DseEntry, DsePoint, DseReport, DseSpec};
+pub use crate::dse::{
+    DseDriver, DseEntry, DsePoint, DsePointKey, DseReport, DseSpec, MixCandidate,
+};
 pub use crate::error::PipelineError;
 pub use crate::measure::measure_input_sparsity;
 pub use crate::pipeline::{CodesignResult, Pipeline, PipelineConfig};

@@ -30,7 +30,7 @@ pub mod par;
 
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -70,6 +70,10 @@ pub struct SessionCacheStats {
     pub program_misses: u64,
     /// Prepared artifact sets currently resident in the cache.
     pub resident_artifacts: u64,
+    /// Prepared artifact sets evicted by the LRU capacity cap (see
+    /// [`SimSession::set_cache_capacity`]); `0` while the cache is
+    /// unbounded.
+    pub artifact_evictions: u64,
 }
 
 impl SessionCacheStats {
@@ -81,6 +85,7 @@ impl SessionCacheStats {
         self.program_hits += other.program_hits;
         self.program_misses += other.program_misses;
         self.resident_artifacts += other.resident_artifacts;
+        self.artifact_evictions += other.artifact_evictions;
     }
 
     /// Total requests observed (artifact and program layers combined).
@@ -379,8 +384,18 @@ impl ModelArtifacts {
 }
 
 /// One artifact-cache slot: filled exactly once, concurrent requests for the
-/// same model wait on the slot instead of duplicating the preparation.
-type ArtifactSlot = Arc<Mutex<Option<Arc<ModelArtifacts>>>>;
+/// same model wait on the slot instead of duplicating the preparation. The
+/// recency stamp orders filled slots for LRU eviction when a capacity cap is
+/// configured.
+#[derive(Debug, Default)]
+struct ArtifactSlotEntry {
+    cell: Mutex<Option<Arc<ModelArtifacts>>>,
+    /// Logical time of the last hit or fill (from [`SimSession::clock`]);
+    /// the smallest stamp among filled slots is the eviction victim.
+    last_used: AtomicU64,
+}
+
+type ArtifactSlot = Arc<ArtifactSlotEntry>;
 
 /// A shared cache of per-model pipeline artifacts under one configuration.
 ///
@@ -401,6 +416,17 @@ pub struct SimSession {
     artifacts: RwLock<HashMap<String, ArtifactSlot>>,
     artifact_hits: AtomicU64,
     artifact_misses: AtomicU64,
+    /// Maximum number of *filled* artifact slots kept resident;
+    /// `usize::MAX` means unbounded (the historical behaviour).
+    capacity: AtomicUsize,
+    /// Logical clock stamping artifact hits/fills for LRU ordering.
+    clock: AtomicU64,
+    artifact_evictions: AtomicU64,
+    /// Program counters of evicted artifact sets, folded in at eviction
+    /// time so [`Self::cache_stats`] totals never decrease when a model
+    /// leaves the cache.
+    evicted_program_hits: AtomicU64,
+    evicted_program_misses: AtomicU64,
 }
 
 impl SimSession {
@@ -417,7 +443,85 @@ impl SimSession {
             artifacts: RwLock::new(HashMap::new()),
             artifact_hits: AtomicU64::new(0),
             artifact_misses: AtomicU64::new(0),
+            capacity: AtomicUsize::new(usize::MAX),
+            clock: AtomicU64::new(0),
+            artifact_evictions: AtomicU64::new(0),
+            evicted_program_hits: AtomicU64::new(0),
+            evicted_program_misses: AtomicU64::new(0),
         })
+    }
+
+    /// Caps the number of prepared artifact sets kept resident: once more
+    /// than `cap` slots are filled, the least-recently-used one is evicted
+    /// (and counted in [`SessionCacheStats::artifact_evictions`]). `None`
+    /// removes the cap; a cap of `0` is clamped to `1` — a session that can
+    /// cache nothing would silently degrade every request to a cold build.
+    ///
+    /// In-flight users of an evicted artifact set keep their `Arc` and are
+    /// unaffected; the next request for that model simply rebuilds.
+    pub fn set_cache_capacity(&self, cap: Option<usize>) {
+        self.capacity.store(cap.map_or(usize::MAX, |c| c.max(1)), Ordering::Relaxed);
+    }
+
+    /// The configured artifact-cache capacity (`None` = unbounded).
+    #[must_use]
+    pub fn cache_capacity(&self) -> Option<usize> {
+        match self.capacity.load(Ordering::Relaxed) {
+            usize::MAX => None,
+            cap => Some(cap),
+        }
+    }
+
+    /// Stamps a slot as just-used for LRU ordering.
+    fn touch(&self, slot: &ArtifactSlotEntry) {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        slot.last_used.store(now, Ordering::Relaxed);
+    }
+
+    /// Evicts least-recently-used filled slots until at most the configured
+    /// capacity remain. `keep` names the slot that must survive (the one the
+    /// caller just filled and still holds locked — its cell `try_lock` fails,
+    /// so it is invisible to the candidate scan and exempted by name).
+    fn enforce_capacity(&self, keep: &str) {
+        let cap = self.capacity.load(Ordering::Relaxed);
+        if cap == usize::MAX {
+            return;
+        }
+        let mut cache = self.artifacts.write().expect("artifact cache lock");
+        loop {
+            // Filled slots other than `keep` that are not mid-preparation
+            // (an un-lockable cell is either being filled or being read;
+            // both make it a poor eviction victim right now). The victim's
+            // artifacts are captured here so its program counters can be
+            // folded into the session-level accumulators — evicting a model
+            // must never make the cache statistics go backwards.
+            let mut victim: Option<(String, u64, Arc<ModelArtifacts>)> = None;
+            let mut filled_others = 0usize;
+            for (name, slot) in cache.iter() {
+                if name == keep {
+                    continue;
+                }
+                let Ok(guard) = slot.cell.try_lock() else { continue };
+                if let Some(artifacts) = guard.as_ref() {
+                    filled_others += 1;
+                    let stamp = slot.last_used.load(Ordering::Relaxed);
+                    if victim.as_ref().is_none_or(|(_, best, _)| stamp < *best) {
+                        victim = Some((name.clone(), stamp, Arc::clone(artifacts)));
+                    }
+                }
+            }
+            // `keep` itself occupies one capacity unit.
+            if filled_others < cap {
+                return;
+            }
+            let Some((name, _, artifacts)) = victim else { return };
+            cache.remove(&name);
+            self.evicted_program_hits
+                .fetch_add(artifacts.program_hits.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.evicted_program_misses
+                .fetch_add(artifacts.program_misses.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.artifact_evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// The session configuration.
@@ -469,10 +573,11 @@ impl SimSession {
             self.artifacts.read().expect("artifact cache lock").get(model.name()).cloned();
         if let Some(slot) = existing {
             let filled_with_other_model = {
-                let guard = slot.lock().expect("artifact slot lock");
+                let guard = slot.cell.lock().expect("artifact slot lock");
                 match guard.as_ref() {
                     Some(found) if found.model() == model => {
                         self.artifact_hits.fetch_add(1, Ordering::Relaxed);
+                        self.touch(&slot);
                         return Ok(Arc::clone(found));
                     }
                     Some(_) => true,
@@ -505,16 +610,18 @@ impl SimSession {
         &self,
         model: Arc<Model>,
     ) -> Result<Arc<ModelArtifacts>, PipelineError> {
-        let slot = self.artifact_slot(model.name());
+        let name = model.name().to_string();
+        let slot = self.artifact_slot(&name);
         // Holding the slot lock during preparation makes the build
         // single-flight per model name: a concurrent duplicate request waits
         // here and receives the shared artifacts instead of re-preparing.
         // Different models use different slots, so they still prepare in
         // parallel.
-        let mut guard = slot.lock().expect("artifact slot lock");
+        let mut guard = slot.cell.lock().expect("artifact slot lock");
         let filled_with_other_model = match guard.as_ref() {
             Some(found) if *found.model() == *model => {
                 self.artifact_hits.fetch_add(1, Ordering::Relaxed);
+                self.touch(&slot);
                 return Ok(Arc::clone(found));
             }
             Some(_) => true,
@@ -530,23 +637,33 @@ impl SimSession {
         }
         let prepared = Arc::new(ModelArtifacts::prepare_shared(&self.config, model)?);
         *guard = Some(Arc::clone(&prepared));
+        self.touch(&slot);
+        // The fill may have pushed the cache over its LRU cap; the slot lock
+        // is still held, so the freshly filled entry is exempt by name and
+        // invisible to the victim scan.
+        self.enforce_capacity(&name);
         Ok(prepared)
     }
 
     /// A snapshot of the session's cache counters.
     ///
-    /// Program counters aggregate over every resident artifact set. A slot
-    /// whose preparation is still in flight is skipped (its counters are all
-    /// zero anyway) so the snapshot never blocks behind a running build.
+    /// Program counters aggregate over every resident artifact set plus the
+    /// fold-in of every evicted one, so totals are monotone even under an
+    /// LRU cap. A slot whose preparation is still in flight is skipped (its
+    /// counters are all zero anyway) so the snapshot never blocks behind a
+    /// running build.
     #[must_use]
     pub fn cache_stats(&self) -> SessionCacheStats {
         let mut stats = SessionCacheStats {
             artifact_hits: self.artifact_hits.load(Ordering::Relaxed),
             artifact_misses: self.artifact_misses.load(Ordering::Relaxed),
+            artifact_evictions: self.artifact_evictions.load(Ordering::Relaxed),
+            program_hits: self.evicted_program_hits.load(Ordering::Relaxed),
+            program_misses: self.evicted_program_misses.load(Ordering::Relaxed),
             ..SessionCacheStats::default()
         };
         for slot in self.artifacts.read().expect("artifact cache lock").values() {
-            let Ok(guard) = slot.try_lock() else { continue };
+            let Ok(guard) = slot.cell.try_lock() else { continue };
             if let Some(artifacts) = guard.as_ref() {
                 stats.resident_artifacts += 1;
                 stats.program_hits += artifacts.program_hits.load(Ordering::Relaxed);
@@ -853,6 +970,9 @@ pub struct BatchRunner {
     /// kept alive so repeated sweeps reuse their artifact caches. Read-mostly
     /// after warm-up, hence the [`RwLock`].
     width_sessions: RwLock<Vec<(OperandWidth, Arc<SimSession>)>>,
+    /// Per-session artifact-cache LRU cap applied to the base session and to
+    /// every lazily created width session (`None` = unbounded).
+    cache_cap: Option<usize>,
 }
 
 impl BatchRunner {
@@ -873,6 +993,7 @@ impl BatchRunner {
             session: Arc::new(session),
             threads: par::default_parallelism(),
             width_sessions: RwLock::new(Vec::new()),
+            cache_cap: None,
         }
     }
 
@@ -880,6 +1001,18 @@ impl BatchRunner {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Caps every per-width session's artifact cache at `cap` resident
+    /// models, LRU-evicting beyond it (see
+    /// [`SimSession::set_cache_capacity`]); `None` restores the unbounded
+    /// default. Applies to the base session immediately and to width
+    /// sessions as they are created.
+    #[must_use]
+    pub fn with_cache_cap(mut self, cap: Option<usize>) -> Self {
+        self.session.set_cache_capacity(cap);
+        self.cache_cap = cap;
         self
     }
 
@@ -917,6 +1050,7 @@ impl BatchRunner {
         }
         let config = self.session.config().with_operand_width(width);
         let session = Arc::new(SimSession::new(config)?);
+        session.set_cache_capacity(self.cache_cap);
         cache.push((width, Arc::clone(&session)));
         Ok(session)
     }
@@ -1130,6 +1264,19 @@ mod tests {
         assert!(report.is_empty());
         assert_eq!(report.prepared_models, 0);
         assert_eq!(report.simulated_runs, 0);
+    }
+
+    #[test]
+    fn cache_capacity_is_clamped_and_reported() {
+        let session = SimSession::new(PipelineConfig::fast()).unwrap();
+        assert_eq!(session.cache_capacity(), None, "unbounded by default");
+        session.set_cache_capacity(Some(0));
+        assert_eq!(session.cache_capacity(), Some(1), "a zero cap would cache nothing");
+        session.set_cache_capacity(Some(3));
+        assert_eq!(session.cache_capacity(), Some(3));
+        session.set_cache_capacity(None);
+        assert_eq!(session.cache_capacity(), None);
+        assert_eq!(session.cache_stats().artifact_evictions, 0);
     }
 
     #[test]

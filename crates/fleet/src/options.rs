@@ -1,0 +1,278 @@
+//! Strict command-line parsing for the fleet-specific flags.
+//!
+//! ```text
+//! --workers <n>           local in-process workers (default: 1 when no
+//!                         endpoints are given, else 0)
+//! --endpoints a:p,b:p     remote dbpim-served endpoints, one worker each
+//! --strategy <name>       round-robin | contiguous | cost-weighted
+//! --snapshot-dir <dir>    per-shard snapshots + merged report; enables resume
+//! --fleet-id <name>       identifier shard-tagged requests carry
+//! --point-timeout-ms <n>  remote per-point deadline / liveness timeout
+//! --retries <n>           attempts per point before the run aborts
+//! --save-every <n>        new points per shard between snapshot saves
+//! ```
+//!
+//! Same conventions as every other parser in the workspace: unknown flags
+//! are ignored (the `dbpim-fleet` binary layers these on top of the
+//! `dse_sweep` grid/pipeline flags), a known flag with a missing or
+//! malformed value is an error.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use db_pim::PipelineConfig;
+use dbpim_serve::options::{parse_value, OptionsError};
+
+use crate::driver::FleetConfig;
+use crate::shard::ShardStrategy;
+use crate::worker::WorkerSpec;
+
+/// Parsed fleet flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOptions {
+    /// Local in-process workers (`None` = default: 1 without endpoints,
+    /// 0 with).
+    pub workers: Option<usize>,
+    /// Remote daemon endpoints, one worker each.
+    pub endpoints: Vec<String>,
+    /// Shard strategy.
+    pub strategy: ShardStrategy,
+    /// Snapshot directory (enables persistence and resume).
+    pub snapshot_dir: Option<PathBuf>,
+    /// Fleet identifier override.
+    pub fleet_id: Option<String>,
+    /// Per-point timeout in milliseconds.
+    pub point_timeout_ms: u64,
+    /// Attempts per point before the run aborts.
+    pub retries: usize,
+    /// New points per shard between snapshot saves.
+    pub save_every: usize,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        Self {
+            workers: None,
+            endpoints: Vec::new(),
+            strategy: ShardStrategy::default(),
+            snapshot_dir: None,
+            fleet_id: None,
+            point_timeout_ms: 120_000,
+            retries: 3,
+            save_every: 1,
+        }
+    }
+}
+
+impl FleetOptions {
+    /// The flags this parser understands.
+    pub const FLAGS: [&'static str; 8] = [
+        "--workers",
+        "--endpoints",
+        "--strategy",
+        "--snapshot-dir",
+        "--fleet-id",
+        "--point-timeout-ms",
+        "--retries",
+        "--save-every",
+    ];
+
+    /// One-line usage fragment (the binary prepends the grid/pipeline
+    /// flags).
+    pub const USAGE: &'static str = "[--workers <n>] [--endpoints host:port,...] \
+         [--strategy round-robin|contiguous|cost-weighted] [--snapshot-dir <dir>] \
+         [--fleet-id <name>] [--point-timeout-ms <n>] [--retries <n>] [--save-every <n>]";
+
+    /// Parses the fleet flags from an explicit argument list. Unknown
+    /// arguments are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptionsError`] when a known flag has a missing or
+    /// malformed value.
+    pub fn from_slice(args: &[String]) -> Result<Self, OptionsError> {
+        let mut options = Self::default();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            if !Self::FLAGS.contains(&flag) {
+                i += 1;
+                continue;
+            }
+            let raw = args.get(i + 1).ok_or_else(|| OptionsError {
+                flag: flag.to_string(),
+                message: "missing value".to_string(),
+            })?;
+            match flag {
+                "--workers" => options.workers = Some(parse_value(flag, raw)?),
+                "--endpoints" => {
+                    options.endpoints = raw
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|part| !part.is_empty())
+                        .map(ToString::to_string)
+                        .collect();
+                    if options.endpoints.is_empty() {
+                        return Err(OptionsError {
+                            flag: flag.to_string(),
+                            message: format!("`{raw}` names no endpoints"),
+                        });
+                    }
+                }
+                "--strategy" => options.strategy = parse_value(flag, raw)?,
+                "--snapshot-dir" => options.snapshot_dir = Some(PathBuf::from(raw)),
+                "--fleet-id" => options.fleet_id = Some(raw.clone()),
+                "--point-timeout-ms" => {
+                    options.point_timeout_ms = parse_value::<u64>(flag, raw)?.max(1);
+                }
+                "--retries" => options.retries = parse_value::<usize>(flag, raw)?.max(1),
+                "--save-every" => options.save_every = parse_value::<usize>(flag, raw)?.max(1),
+                _ => unreachable!("flag list and match arms agree"),
+            }
+            i += 2;
+        }
+        Ok(options)
+    }
+
+    /// The worker roster: one remote worker per endpoint (in request
+    /// order), then the local workers. With neither endpoints nor an
+    /// explicit `--workers`, a single local worker keeps the binary useful
+    /// out of the box.
+    #[must_use]
+    pub fn worker_specs(&self) -> Vec<WorkerSpec> {
+        let locals = self.workers.unwrap_or(usize::from(self.endpoints.is_empty()));
+        let mut specs: Vec<WorkerSpec> =
+            self.endpoints.iter().cloned().map(WorkerSpec::Remote).collect();
+        specs.extend(std::iter::repeat_n(WorkerSpec::Local, locals));
+        specs
+    }
+
+    /// The fleet configuration these options describe for `pipeline`.
+    #[must_use]
+    pub fn fleet_config(&self, pipeline: PipelineConfig) -> FleetConfig {
+        let mut config = FleetConfig::new(pipeline, self.worker_specs())
+            .with_strategy(self.strategy)
+            .with_point_timeout(Duration::from_millis(self.point_timeout_ms))
+            .with_max_point_attempts(self.retries)
+            .with_save_every(self.save_every);
+        if let Some(dir) = &self.snapshot_dir {
+            config = config.with_snapshot_dir(dir);
+        }
+        if let Some(fleet_id) = &self.fleet_id {
+            config = config.with_fleet_id(fleet_id.clone());
+        }
+        config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn fleet_flags_parse_strictly_and_ignore_the_rest() {
+        let options = FleetOptions::from_slice(&args(&[
+            "--width",
+            "0.25",
+            "--workers",
+            "2",
+            "--endpoints",
+            "127.0.0.1:7641, 127.0.0.1:7642",
+            "--strategy",
+            "cost-weighted",
+            "--snapshot-dir",
+            "/tmp/fleet",
+            "--fleet-id",
+            "ci-run",
+            "--point-timeout-ms",
+            "5000",
+            "--retries",
+            "5",
+        ]))
+        .unwrap();
+        assert_eq!(options.workers, Some(2));
+        assert_eq!(options.endpoints, vec!["127.0.0.1:7641", "127.0.0.1:7642"]);
+        assert_eq!(options.strategy, ShardStrategy::CostWeighted);
+        assert_eq!(options.snapshot_dir, Some(PathBuf::from("/tmp/fleet")));
+        assert_eq!(options.fleet_id.as_deref(), Some("ci-run"));
+        assert_eq!(options.point_timeout_ms, 5000);
+        assert_eq!(options.retries, 5);
+        // Remotes first, then the locals.
+        assert_eq!(
+            options.worker_specs(),
+            vec![
+                WorkerSpec::Remote("127.0.0.1:7641".to_string()),
+                WorkerSpec::Remote("127.0.0.1:7642".to_string()),
+                WorkerSpec::Local,
+                WorkerSpec::Local,
+            ]
+        );
+        let config = options.fleet_config(PipelineConfig::fast());
+        assert_eq!(config.fleet_id, "ci-run");
+        assert_eq!(config.point_timeout, Duration::from_millis(5000));
+        assert_eq!(config.max_point_attempts, 5);
+    }
+
+    #[test]
+    fn worker_roster_defaults_depend_on_endpoints() {
+        let bare = FleetOptions::from_slice(&args(&[])).unwrap();
+        assert_eq!(bare.worker_specs(), vec![WorkerSpec::Local], "one local worker by default");
+
+        let remote_only =
+            FleetOptions::from_slice(&args(&["--endpoints", "127.0.0.1:7641"])).unwrap();
+        assert_eq!(
+            remote_only.worker_specs(),
+            vec![WorkerSpec::Remote("127.0.0.1:7641".to_string())],
+            "endpoints displace the default local worker"
+        );
+
+        let mixed =
+            FleetOptions::from_slice(&args(&["--endpoints", "127.0.0.1:7641", "--workers", "1"]))
+                .unwrap();
+        assert_eq!(mixed.worker_specs().len(), 2);
+    }
+
+    #[test]
+    fn malformed_fleet_values_are_rejected_not_swallowed() {
+        let err = FleetOptions::from_slice(&args(&["--workers", "two"])).unwrap_err();
+        assert_eq!(err.flag, "--workers");
+
+        let err = FleetOptions::from_slice(&args(&["--strategy", "random"])).unwrap_err();
+        assert_eq!(err.flag, "--strategy");
+        assert!(err.message.contains("random"), "{err}");
+
+        let err = FleetOptions::from_slice(&args(&["--endpoints", " , "])).unwrap_err();
+        assert_eq!(err.flag, "--endpoints");
+
+        let err = FleetOptions::from_slice(&args(&["--retries"])).unwrap_err();
+        assert_eq!(err.flag, "--retries");
+        assert!(err.to_string().contains("missing"), "{err}");
+
+        // Zero-valued knobs that would hang or never run (or never save)
+        // are clamped.
+        let options = FleetOptions::from_slice(&args(&[
+            "--retries",
+            "0",
+            "--point-timeout-ms",
+            "0",
+            "--save-every",
+            "0",
+        ]))
+        .unwrap();
+        assert_eq!(options.retries, 1);
+        assert_eq!(options.point_timeout_ms, 1);
+        assert_eq!(options.save_every, 1);
+    }
+
+    #[test]
+    fn save_every_reaches_the_config() {
+        let options = FleetOptions::from_slice(&args(&["--save-every", "8"])).unwrap();
+        assert_eq!(options.save_every, 8);
+        assert_eq!(options.fleet_config(PipelineConfig::fast()).save_every, 8);
+        assert_eq!(FleetOptions::default().save_every, 1, "maximum durability by default");
+    }
+}

@@ -25,7 +25,12 @@
 //!       [--widths 4,8,...]     operand-width axis
 //!       [--fidelity]           request fidelity where defined
 //!   stats                      daemon request counters + cache statistics
+//!   shard-status               progress of shard-tagged fleet explorations
 //!   shutdown                   stop the daemon
+//!
+//! `run`, `sweep` and `explore` additionally accept `--deadline-ms <n>`:
+//! the daemon answers with a structured `DeadlineExceeded` error instead of
+//! streaming past the deadline.
 //! ```
 //!
 //! Flag parsing is strict in the `ExperimentOptions` tradition: unknown
@@ -45,9 +50,10 @@ use dbpim_serve::{Client, RunQuery};
 use dbpim_sim::{ArchGrid, SparsityConfig};
 
 const USAGE: &str = "usage: dbpim-cli [--addr <ip>] [--port <u16>] \
-     <ping|models|run|sweep|explore|stats|shutdown> [--model <name>] [--models a,b,c] \
-     [--sparsity <name>] [--operand-width <4|8|12|16>] [--widths 4,8,...] \
-     [--macros a,b] [--compartments a,b] [--dbmus a,b] [--rows a,b] [--freqs a,b] [--fidelity]";
+     <ping|models|run|sweep|explore|stats|shard-status|shutdown> [--model <name>] \
+     [--models a,b,c] [--sparsity <name>] [--operand-width <4|8|12|16>] [--widths 4,8,...] \
+     [--macros a,b] [--compartments a,b] [--dbmus a,b] [--rows a,b] [--freqs a,b] \
+     [--deadline-ms <n>] [--fidelity]";
 
 #[derive(Debug, Clone, PartialEq)]
 enum Command {
@@ -57,6 +63,7 @@ enum Command {
     Sweep,
     Explore,
     Stats,
+    ShardStatus,
     Shutdown,
 }
 
@@ -75,11 +82,12 @@ struct CliOptions {
     dbmus: Option<Vec<usize>>,
     rows: Option<Vec<usize>>,
     freqs: Option<Vec<f64>>,
+    deadline_ms: Option<u64>,
     fidelity: bool,
 }
 
 impl CliOptions {
-    const VALUE_FLAGS: [&'static str; 12] = [
+    const VALUE_FLAGS: [&'static str; 13] = [
         "--addr",
         "--port",
         "--model",
@@ -92,6 +100,7 @@ impl CliOptions {
         "--dbmus",
         "--rows",
         "--freqs",
+        "--deadline-ms",
     ];
 
     fn from_slice(args: &[String]) -> Result<Self, OptionsError> {
@@ -109,6 +118,7 @@ impl CliOptions {
             dbmus: None,
             rows: None,
             freqs: None,
+            deadline_ms: None,
             fidelity: false,
         };
         let mut command = None;
@@ -137,6 +147,7 @@ impl CliOptions {
                         "sweep" => Some(Command::Sweep),
                         "explore" => Some(Command::Explore),
                         "stats" => Some(Command::Stats),
+                        "shard-status" => Some(Command::ShardStatus),
                         "shutdown" => Some(Command::Shutdown),
                         _ => None,
                     };
@@ -161,13 +172,16 @@ impl CliOptions {
                 "--dbmus" => options.dbmus = Some(parse_list(arg, raw)?),
                 "--rows" => options.rows = Some(parse_list(arg, raw)?),
                 "--freqs" => options.freqs = Some(parse_list(arg, raw)?),
+                "--deadline-ms" => options.deadline_ms = Some(parse_value(arg, raw)?),
                 _ => unreachable!("flag list and match arms agree"),
             }
             i += 2;
         }
         options.command = command.ok_or_else(|| OptionsError {
             flag: "<command>".to_string(),
-            message: "expected one of: ping, models, run, sweep, stats, shutdown".to_string(),
+            message: "expected one of: ping, models, run, sweep, explore, stats, shard-status, \
+                      shutdown"
+                .to_string(),
         })?;
         if options.command == Command::Run && options.model.is_none() {
             return Err(OptionsError {
@@ -317,6 +331,7 @@ fn main() {
             query.sparsity = options.sparsity;
             query.width = options.width;
             query.fidelity = options.fidelity;
+            query.deadline_ms = options.deadline_ms;
             client.run_model(&query).map(|entry| {
                 if let Some(fidelity) = &entry.result.fidelity {
                     println!("fidelity: top-1 agreement {:.2}%", 100.0 * fidelity.top1_agreement);
@@ -340,9 +355,14 @@ fn main() {
                 spec = spec.with_widths(widths);
             }
             client
-                .sweep_streaming(&spec, options.fidelity, |index, entry| {
-                    eprintln!("… entry {index}: {} @ {} done", entry.kind.name(), entry.width);
-                })
+                .sweep_streaming_with(
+                    &spec,
+                    options.fidelity,
+                    options.deadline_ms,
+                    |index, entry| {
+                        eprintln!("… entry {index}: {} @ {} done", entry.kind.name(), entry.width);
+                    },
+                )
                 .map(|report| print_report(&report))
         }
         Command::Explore => {
@@ -374,7 +394,7 @@ fn main() {
                 spec = spec.with_fidelity();
             }
             client
-                .explore_streaming(&spec, |index, entry| {
+                .explore_streaming_with(&spec, options.deadline_ms, None, |index, entry| {
                     eprintln!(
                         "… point {index}: {} @ {} on {} macros x {} rows @ {} MHz done",
                         entry.kind.name(),
@@ -396,6 +416,27 @@ fn main() {
             println!("program hits:       {}", stats.cache.program_hits);
             println!("program misses:     {}", stats.cache.program_misses);
             println!("resident artifacts: {}", stats.cache.resident_artifacts);
+            println!("artifact evictions: {}", stats.cache.artifact_evictions);
+        }),
+        Command::ShardStatus => client.shard_statuses().map(|shards| {
+            if shards.is_empty() {
+                println!("no shard-tagged explorations served yet");
+                return;
+            }
+            println!("| fleet | shard | points done | state | updated (unix ms) |");
+            println!("|---|---|---|---|---|");
+            for status in shards {
+                println!(
+                    "| {} | {}/{} | {}/{} | {:?} | {} |",
+                    status.fleet,
+                    status.shard,
+                    status.of,
+                    status.completed_points,
+                    status.total_points,
+                    status.state,
+                    status.updated_at_ms,
+                );
+            }
         }),
         Command::Shutdown => client.shutdown().map(|()| {
             println!("daemon at {addr} is shutting down");
@@ -477,6 +518,20 @@ mod tests {
         let err = CliOptions::from_slice(&args(&["explore", "--macros", "2,x"])).unwrap_err();
         assert_eq!(err.flag, "--macros");
         assert!(err.message.contains('x'), "{err}");
+    }
+
+    #[test]
+    fn shard_status_and_deadline_flags_parse() {
+        let options = CliOptions::from_slice(&args(&["shard-status", "--port", "7641"])).unwrap();
+        assert_eq!(options.command, Command::ShardStatus);
+        assert_eq!(options.port, 7641);
+
+        let options = CliOptions::from_slice(&args(&["sweep", "--deadline-ms", "2500"])).unwrap();
+        assert_eq!(options.command, Command::Sweep);
+        assert_eq!(options.deadline_ms, Some(2500));
+
+        let err = CliOptions::from_slice(&args(&["sweep", "--deadline-ms", "soon"])).unwrap_err();
+        assert_eq!(err.flag, "--deadline-ms");
     }
 
     #[test]

@@ -16,8 +16,8 @@ use dbpim_nn::ModelKind;
 use dbpim_sim::SparsityConfig;
 
 use crate::protocol::{
-    read_message, write_message, ErrorResponse, Request, Response, ServerStats, WireError,
-    PROTOCOL_VERSION,
+    read_message, write_message, ErrorResponse, Request, Response, ServerStats, ShardAnnotation,
+    ShardStatus, WireError, PROTOCOL_VERSION,
 };
 
 /// A client-side failure.
@@ -74,13 +74,17 @@ pub struct RunQuery {
     pub arch: Option<ArchConfig>,
     /// Request the fidelity evaluation.
     pub fidelity: bool,
+    /// Server-side deadline in milliseconds (`None` = no deadline); an
+    /// expired request is answered with a structured
+    /// [`ErrorKind::DeadlineExceeded`](crate::protocol::ErrorKind) error.
+    pub deadline_ms: Option<u64>,
 }
 
 impl RunQuery {
     /// A query for `model` with every field at the daemon's default.
     #[must_use]
     pub fn new(model: ModelKind) -> Self {
-        Self { model, sparsity: None, width: None, arch: None, fidelity: false }
+        Self { model, sparsity: None, width: None, arch: None, fidelity: false, deadline_ms: None }
     }
 
     /// Restricts the query to one sparsity configuration.
@@ -108,6 +112,13 @@ impl RunQuery {
     #[must_use]
     pub fn with_fidelity(mut self) -> Self {
         self.fidelity = true;
+        self
+    }
+
+    /// Sets a server-side deadline in milliseconds.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
         self
     }
 }
@@ -228,6 +239,7 @@ impl Client {
             width: query.width,
             arch: query.arch,
             fidelity: query.fidelity,
+            deadline_ms: query.deadline_ms,
         };
         match self.round_trip(&request)? {
             Response::RunResult { entry } => Ok(entry),
@@ -257,7 +269,25 @@ impl Client {
         fidelity: bool,
         mut on_entry: impl FnMut(usize, &SweepEntry),
     ) -> Result<SweepReport, ClientError> {
-        self.send(&Request::Sweep { spec: spec.clone(), fidelity })?;
+        self.sweep_streaming_with(spec, fidelity, None, &mut on_entry)
+    }
+
+    /// [`sweep_streaming`](Self::sweep_streaming) with a server-side
+    /// deadline: the daemon ends the stream with a structured
+    /// `DeadlineExceeded` error once `deadline_ms` elapses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures and server-side errors (including
+    /// the deadline).
+    pub fn sweep_streaming_with(
+        &mut self,
+        spec: &SweepSpec,
+        fidelity: bool,
+        deadline_ms: Option<u64>,
+        mut on_entry: impl FnMut(usize, &SweepEntry),
+    ) -> Result<SweepReport, ClientError> {
+        self.send(&Request::Sweep { spec: spec.clone(), fidelity, deadline_ms })?;
         let expected = match self.recv()? {
             Response::SweepStarted { entries } => entries,
             Response::Error { error } => return Err(ClientError::Server(error)),
@@ -316,7 +346,26 @@ impl Client {
         spec: &DseSpec,
         mut on_entry: impl FnMut(usize, &DseEntry),
     ) -> Result<DseReport, ClientError> {
-        self.send(&Request::Explore { spec: Box::new(spec.clone()) })?;
+        self.explore_streaming_with(spec, None, None, &mut on_entry)
+    }
+
+    /// [`explore_streaming`](Self::explore_streaming) with the protocol-v3
+    /// extras: an optional server-side deadline and an optional fleet shard
+    /// tag (the daemon records tagged progress for
+    /// [`shard_statuses`](Self::shard_statuses)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures and server-side errors (including
+    /// the deadline).
+    pub fn explore_streaming_with(
+        &mut self,
+        spec: &DseSpec,
+        deadline_ms: Option<u64>,
+        shard: Option<ShardAnnotation>,
+        mut on_entry: impl FnMut(usize, &DseEntry),
+    ) -> Result<DseReport, ClientError> {
+        self.send(&Request::Explore { spec: Box::new(spec.clone()), deadline_ms, shard })?;
         let expected = match self.recv()? {
             Response::ExploreStarted { total_points } => total_points,
             Response::Error { error } => return Err(ClientError::Server(error)),
@@ -352,6 +401,20 @@ impl Client {
         }
     }
 
+    /// Bounds how long [`recv`](Self::recv) (and with it every streaming
+    /// call) blocks waiting for the next response line; a daemon that goes
+    /// quiet for longer surfaces as a [`ClientError::Io`] timeout instead
+    /// of hanging the caller forever. `None` restores unbounded blocking.
+    /// The fleet driver uses this as its liveness detector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option failures.
+    pub fn set_response_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
     /// Snapshots the daemon's counters.
     ///
     /// # Errors
@@ -361,6 +424,19 @@ impl Client {
         match self.round_trip(&Request::CacheStats)? {
             Response::Stats { stats } => Ok(stats),
             other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// The daemon's shard-progress registry (most recently updated first):
+    /// one entry per shard-tagged exploration it has served.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and server failures.
+    pub fn shard_statuses(&mut self) -> Result<Vec<ShardStatus>, ClientError> {
+        match self.round_trip(&Request::ShardStatus)? {
+            Response::ShardStatuses { shards } => Ok(shards),
+            other => Err(unexpected("ShardStatuses", &other)),
         }
     }
 

@@ -50,6 +50,7 @@ pub mod server;
 pub use client::{Client, ClientError, RunQuery};
 pub use options::{OptionsError, ServeOptions};
 pub use protocol::{
-    ErrorKind, ErrorResponse, Request, Response, ServerStats, WireError, PROTOCOL_VERSION,
+    ErrorKind, ErrorResponse, Request, Response, ServerStats, ShardAnnotation, ShardState,
+    ShardStatus, WireError, PROTOCOL_VERSION,
 };
 pub use server::{ServeConfig, ServeError, Server, ServerHandle};

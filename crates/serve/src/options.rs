@@ -60,6 +60,8 @@ where
 /// --cal <usize>     calibration images (default 4)
 /// --classes <usize> output classes (default 100)
 /// --operand-width <4|8|12|16>  default weight operand width (default 8)
+/// --cache-cap <n>   LRU cap on resident prepared models per width session
+///                   (default unbounded; 0 is clamped to 1)
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeOptions {
@@ -71,6 +73,8 @@ pub struct ServeOptions {
     pub threads: usize,
     /// The pipeline configuration the daemon's sessions derive from.
     pub pipeline: PipelineConfig,
+    /// LRU cap on resident prepared models per per-width session cache.
+    pub cache_cap: Option<usize>,
 }
 
 impl Default for ServeOptions {
@@ -80,13 +84,14 @@ impl Default for ServeOptions {
             port: 7531,
             threads: 4,
             pipeline: PipelineConfig::paper(),
+            cache_cap: None,
         }
     }
 }
 
 impl ServeOptions {
     /// The flags this parser understands.
-    pub const FLAGS: [&'static str; 9] = [
+    pub const FLAGS: [&'static str; 10] = [
         "--addr",
         "--port",
         "--threads",
@@ -96,12 +101,13 @@ impl ServeOptions {
         "--cal",
         "--classes",
         "--operand-width",
+        "--cache-cap",
     ];
 
     /// One-line usage text for the daemon binary.
     pub const USAGE: &'static str = "usage: dbpim-served [--addr <ip>] [--port <u16>] \
          [--threads <n>] [--width <f32>] [--seed <u64>] [--images <n>] [--cal <n>] \
-         [--classes <n>] [--operand-width <4|8|12|16>]";
+         [--classes <n>] [--operand-width <4|8|12|16>] [--cache-cap <n>]";
 
     /// Parses options from the process arguments, exiting with status 2 and
     /// usage on stderr for a malformed command line.
@@ -151,6 +157,7 @@ impl ServeOptions {
                 "--operand-width" => {
                     options.pipeline.operand_width = parse_value::<OperandWidth>(flag, raw)?;
                 }
+                "--cache-cap" => options.cache_cap = Some(parse_value::<usize>(flag, raw)?.max(1)),
                 _ => unreachable!("flag list and match arms agree"),
             }
             i += 2;
@@ -166,6 +173,7 @@ impl ServeOptions {
             threads: self.threads,
             poll_interval: Duration::from_millis(200),
             pipeline: self.pipeline,
+            cache_cap: self.cache_cap,
         }
     }
 }
@@ -232,6 +240,20 @@ mod tests {
 
         let err = ServeOptions::from_slice(&args(&["--operand-width", "10"])).unwrap_err();
         assert_eq!(err.flag, "--operand-width");
+    }
+
+    #[test]
+    fn cache_cap_parses_strictly_and_clamps_zero() {
+        let options = ServeOptions::from_slice(&args(&["--cache-cap", "3"])).unwrap();
+        assert_eq!(options.cache_cap, Some(3));
+        assert_eq!(options.serve_config().cache_cap, Some(3));
+        // A zero cap would cache nothing and silently degrade every request
+        // to a cold build; clamp it like `--threads 0`.
+        let options = ServeOptions::from_slice(&args(&["--cache-cap", "0"])).unwrap();
+        assert_eq!(options.cache_cap, Some(1));
+        let err = ServeOptions::from_slice(&args(&["--cache-cap", "lots"])).unwrap_err();
+        assert_eq!(err.flag, "--cache-cap");
+        assert_eq!(ServeOptions::default().cache_cap, None, "unbounded by default");
     }
 
     #[test]

@@ -33,7 +33,14 @@ use serde::{Deserialize, Serialize};
 /// v2 added the design-space-exploration stream ([`Request::Explore`],
 /// [`Response::ExploreStarted`] / [`Response::ExplorePoint`] /
 /// [`Response::ExploreFinished`]).
-pub const PROTOCOL_VERSION: u32 = 2;
+///
+/// v3 added request deadlines (`deadline_ms` on [`Request::RunModel`] /
+/// [`Request::Sweep`] / [`Request::Explore`], answered with
+/// [`ErrorKind::DeadlineExceeded`] when exceeded), the fleet-orchestration
+/// shard tag on `Explore` ([`ShardAnnotation`]) and the
+/// [`Request::ShardStatus`] progress probe the `dbpim-fleet` driver and
+/// `dbpim-cli shard-status` use to watch a sharded sweep.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// One client request, one JSON line on the wire.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -56,6 +63,11 @@ pub enum Request {
         /// Evaluate accuracy fidelity (honoured only when the daemon was
         /// started with evaluation images and the width is INT8).
         fidelity: bool,
+        /// Give up after this many milliseconds: an expired request is
+        /// answered with [`ErrorKind::DeadlineExceeded`] instead of running
+        /// to completion. `None` (and omitted on the wire) means no
+        /// deadline.
+        deadline_ms: Option<u64>,
     },
     /// Run a full sweep; results stream incrementally.
     Sweep {
@@ -63,6 +75,10 @@ pub enum Request {
         spec: SweepSpec,
         /// Evaluate accuracy fidelity per model where defined.
         fidelity: bool,
+        /// Streaming deadline in milliseconds: the stream ends with a
+        /// [`ErrorKind::DeadlineExceeded`] error once it expires (already
+        /// streamed entries stand). `None` means no deadline.
+        deadline_ms: Option<u64>,
     },
     /// Run a design-space exploration; grid entries stream incrementally
     /// from the daemon's warm artifact cache.
@@ -72,11 +88,72 @@ pub enum Request {
         /// structured [`Response::Error`] before any point executes.
         /// (Boxed: the grid axes dwarf every other request variant.)
         spec: Box<DseSpec>,
+        /// Streaming deadline in milliseconds (see [`Request::Sweep`]).
+        deadline_ms: Option<u64>,
+        /// Fleet-orchestration tag: when present, the daemon records the
+        /// stream's progress under this shard so [`Request::ShardStatus`]
+        /// can report it.
+        shard: Option<ShardAnnotation>,
     },
     /// Snapshot the daemon's request counters and warm-cache statistics.
     CacheStats,
+    /// Report the progress of every shard-tagged exploration this daemon
+    /// has served (see [`ShardAnnotation`]); the fleet CLI polls this to
+    /// watch a sharded sweep.
+    ShardStatus,
     /// Stop accepting connections and exit the daemon.
     Shutdown,
+}
+
+/// The fleet-orchestration tag a sharded exploration request carries so a
+/// daemon can attribute streamed work to one shard of one fleet run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardAnnotation {
+    /// Identifier of the fleet run (all shards of one `dbpim-fleet`
+    /// invocation share it).
+    pub fleet: String,
+    /// The shard this work belongs to (`0..of`).
+    pub shard: usize,
+    /// Total shards of the fleet run.
+    pub of: usize,
+    /// Points the shard contains in total (the per-request grid may be a
+    /// single point; completion accumulates across requests).
+    pub points: usize,
+}
+
+/// Lifecycle of a shard as observed by one daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardState {
+    /// Points are still being streamed (or were, when the fleet moved on).
+    Running,
+    /// Every point of the shard this daemon saw completed successfully.
+    Finished,
+    /// The most recent tagged request for the shard failed.
+    Failed,
+}
+
+/// Progress of one shard on one daemon ([`Request::ShardStatus`]).
+///
+/// A daemon only sees the points dispatched *to it*, so under straggler
+/// reassignment `completed_points` across daemons can sum to more than
+/// `total_points` — the fleet driver's merge dedups; this is a monitoring
+/// surface, not the source of truth.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStatus {
+    /// The fleet run the shard belongs to.
+    pub fleet: String,
+    /// The shard index (`0..of`).
+    pub shard: usize,
+    /// Total shards of the fleet run.
+    pub of: usize,
+    /// Points the shard contains in total.
+    pub total_points: usize,
+    /// Points this daemon has completed for the shard.
+    pub completed_points: usize,
+    /// Lifecycle state as last observed.
+    pub state: ShardState,
+    /// Unix-epoch milliseconds of the last progress update.
+    pub updated_at_ms: u64,
 }
 
 /// What went wrong with a request, coarsely classified.
@@ -86,6 +163,9 @@ pub enum ErrorKind {
     BadRequest,
     /// The request was well-formed but the pipeline rejected or failed it.
     Pipeline,
+    /// The request carried a `deadline_ms` and exceeded it before (or
+    /// while) producing its results.
+    DeadlineExceeded,
 }
 
 /// A structured error answer; malformed or failing requests receive this
@@ -103,6 +183,7 @@ impl fmt::Display for ErrorResponse {
         let kind = match self.kind {
             ErrorKind::BadRequest => "bad request",
             ErrorKind::Pipeline => "pipeline error",
+            ErrorKind::DeadlineExceeded => "deadline exceeded",
         };
         write!(f, "{kind}: {}", self.message)
     }
@@ -190,6 +271,12 @@ pub enum Response {
         /// The counters snapshot.
         stats: ServerStats,
     },
+    /// Answer to [`Request::ShardStatus`]: every shard-tagged exploration
+    /// this daemon has served, most recently updated first.
+    ShardStatuses {
+        /// The progress snapshot.
+        shards: Vec<ShardStatus>,
+    },
     /// Answer to [`Request::Shutdown`]; the daemon exits after sending it.
     ShuttingDown,
     /// A structured failure answer (malformed request, pipeline failure).
@@ -274,12 +361,14 @@ mod tests {
         round_trip(&Request::ListModels);
         round_trip(&Request::CacheStats);
         round_trip(&Request::Shutdown);
+        round_trip(&Request::ShardStatus);
         round_trip(&Request::RunModel {
             model: ModelKind::AlexNet,
             sparsity: Some(SparsityConfig::HybridSparsity),
             width: Some(OperandWidth::Int4),
             arch: Some(ArchConfig::paper()),
             fidelity: true,
+            deadline_ms: Some(2_500),
         });
         round_trip(&Request::RunModel {
             model: ModelKind::EfficientNetB0,
@@ -287,10 +376,12 @@ mod tests {
             width: None,
             arch: None,
             fidelity: false,
+            deadline_ms: None,
         });
         round_trip(&Request::Sweep {
             spec: SweepSpec::zoo().with_widths(vec![OperandWidth::Int4, OperandWidth::Int16]),
             fidelity: true,
+            deadline_ms: Some(60_000),
         });
         round_trip(&Request::Explore {
             spec: Box::new(
@@ -303,6 +394,13 @@ mod tests {
                 .with_widths(vec![OperandWidth::Int4])
                 .with_fidelity(),
             ),
+            deadline_ms: None,
+            shard: Some(ShardAnnotation {
+                fleet: "fleet-20260731".to_string(),
+                shard: 1,
+                of: 4,
+                points: 12,
+            }),
         });
     }
 
@@ -328,6 +426,23 @@ mod tests {
                 message: "expected `,` or `}` at byte 7".to_string(),
             },
         });
+        round_trip(&Response::Error {
+            error: ErrorResponse {
+                kind: ErrorKind::DeadlineExceeded,
+                message: "sweep exceeded its 100 ms deadline after 3 entries".to_string(),
+            },
+        });
+        round_trip(&Response::ShardStatuses {
+            shards: vec![ShardStatus {
+                fleet: "fleet-20260731".to_string(),
+                shard: 0,
+                of: 2,
+                total_points: 24,
+                completed_points: 7,
+                state: ShardState::Running,
+                updated_at_ms: 1_750_000_000_000,
+            }],
+        });
         round_trip(&Response::Stats {
             stats: ServerStats {
                 requests: 42,
@@ -340,6 +455,7 @@ mod tests {
                     program_hits: 38,
                     program_misses: 4,
                     resident_artifacts: 2,
+                    artifact_evictions: 1,
                 },
             },
         });
@@ -354,6 +470,7 @@ mod tests {
 
     #[test]
     fn missing_optional_fields_default_to_none() {
+        // A v1/v2 client's RunModel (no deadline field) still parses.
         let request: Request =
             serde_json::from_str("{\"RunModel\":{\"model\":\"AlexNet\",\"fidelity\":false}}")
                 .expect("optional fields may be omitted");
@@ -365,7 +482,19 @@ mod tests {
                 width: None,
                 arch: None,
                 fidelity: false,
+                deadline_ms: None,
             }
+        );
+        // A v2 client's Explore (no deadline, no shard tag) still parses.
+        let spec = DseSpec::new(
+            dbpim_sim::ArchGrid::around(ArchConfig::paper()),
+            vec![ModelKind::AlexNet],
+        );
+        let v2 = format!("{{\"Explore\":{{\"spec\":{}}}}}", serde_json::to_string(&spec).unwrap());
+        let request: Request = serde_json::from_str(&v2).expect("v2 Explore still parses");
+        assert_eq!(
+            request,
+            Request::Explore { spec: Box::new(spec), deadline_ms: None, shard: None }
         );
     }
 

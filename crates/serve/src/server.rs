@@ -24,8 +24,43 @@ use dbpim_nn::ModelKind;
 use dbpim_sim::SparsityConfig;
 
 use crate::protocol::{
-    write_message, ErrorKind, ErrorResponse, Request, Response, ServerStats, PROTOCOL_VERSION,
+    write_message, ErrorKind, ErrorResponse, Request, Response, ServerStats, ShardAnnotation,
+    ShardState, ShardStatus, PROTOCOL_VERSION,
 };
+
+/// Upper bound on distinct shards the progress registry remembers; beyond
+/// it the stalest entry is dropped — the registry is a monitoring surface,
+/// not the fleet's source of truth, so bounded forgetting beats unbounded
+/// growth in a long-lived daemon.
+const MAX_TRACKED_SHARDS: usize = 256;
+
+/// A server-side request deadline, armed from a request's `deadline_ms`.
+#[derive(Debug, Clone, Copy)]
+struct Deadline {
+    expires: Option<Instant>,
+}
+
+impl Deadline {
+    fn new(deadline_ms: Option<u64>) -> Self {
+        Self {
+            expires: deadline_ms
+                .map(|ms| Instant::now() + Duration::from_millis(ms.min(u64::from(u32::MAX)))),
+        }
+    }
+
+    fn expired(&self) -> bool {
+        self.expires.is_some_and(|at| Instant::now() >= at)
+    }
+
+    fn error(context: &str) -> Response {
+        Response::Error {
+            error: ErrorResponse {
+                kind: ErrorKind::DeadlineExceeded,
+                message: format!("{context} exceeded its deadline"),
+            },
+        }
+    }
+}
 
 /// Configuration of a serving daemon.
 #[derive(Debug, Clone)]
@@ -41,6 +76,10 @@ pub struct ServeConfig {
     pub poll_interval: Duration,
     /// The pipeline configuration every session is derived from.
     pub pipeline: PipelineConfig,
+    /// LRU cap on resident prepared models per per-width session cache
+    /// (`None` = unbounded, the historical behaviour). Evictions are
+    /// counted in the `CacheStats` response.
+    pub cache_cap: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -50,6 +89,7 @@ impl Default for ServeConfig {
             threads: 4,
             poll_interval: Duration::from_millis(200),
             pipeline: PipelineConfig::paper(),
+            cache_cap: None,
         }
     }
 }
@@ -96,6 +136,8 @@ struct Shared {
     errors: AtomicU64,
     connections: AtomicU64,
     started: Instant,
+    /// Progress of shard-tagged explorations, keyed by (fleet, shard).
+    shards: Mutex<Vec<ShardStatus>>,
 }
 
 impl Shared {
@@ -107,6 +149,56 @@ impl Shared {
             uptime: self.started.elapsed(),
             cache: self.runner.cache_stats(),
         }
+    }
+
+    /// Records shard progress: `completed_delta` freshly finished points
+    /// and a lifecycle observation. A non-failed shard auto-promotes to
+    /// `Finished` once its completed count reaches its total.
+    fn shard_touch(&self, tag: &ShardAnnotation, completed_delta: usize, state: ShardState) {
+        let now = db_pim::dse::unix_time_ms();
+        let mut shards = self.shards.lock().expect("shard registry lock");
+        let entry = match shards.iter_mut().find(|s| s.fleet == tag.fleet && s.shard == tag.shard) {
+            Some(entry) => entry,
+            None => {
+                if shards.len() >= MAX_TRACKED_SHARDS {
+                    if let Some(stalest) = shards
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, s)| s.updated_at_ms)
+                        .map(|(i, _)| i)
+                    {
+                        shards.remove(stalest);
+                    }
+                }
+                shards.push(ShardStatus {
+                    fleet: tag.fleet.clone(),
+                    shard: tag.shard,
+                    of: tag.of,
+                    total_points: tag.points,
+                    completed_points: 0,
+                    state: ShardState::Running,
+                    updated_at_ms: now,
+                });
+                shards.last_mut().expect("just pushed")
+            }
+        };
+        entry.of = tag.of;
+        entry.total_points = entry.total_points.max(tag.points);
+        entry.completed_points += completed_delta;
+        entry.state = match state {
+            ShardState::Failed => ShardState::Failed,
+            _ if entry.completed_points >= entry.total_points => ShardState::Finished,
+            other => other,
+        };
+        entry.updated_at_ms = now;
+    }
+
+    /// The registry snapshot, most recently updated first (stable for
+    /// equal timestamps).
+    fn shard_statuses(&self) -> Vec<ShardStatus> {
+        let mut shards = self.shards.lock().expect("shard registry lock").clone();
+        shards.sort_by_key(|s| std::cmp::Reverse(s.updated_at_ms));
+        shards
     }
 
     /// Flags shutdown and wakes the blocked acceptor with a dummy
@@ -132,7 +224,7 @@ impl Server {
     /// Returns [`ServeError::Pipeline`] for an unusable pipeline
     /// configuration and [`ServeError::Io`] when the socket cannot be bound.
     pub fn bind(config: ServeConfig) -> Result<Self, ServeError> {
-        let runner = BatchRunner::new(config.pipeline)?;
+        let runner = BatchRunner::new(config.pipeline)?.with_cache_cap(config.cache_cap);
         let listener =
             TcpListener::bind(config.addr.to_socket_addrs()?.next().ok_or_else(|| {
                 std::io::Error::other(format!("unresolvable address {}", config.addr))
@@ -149,6 +241,7 @@ impl Server {
                 errors: AtomicU64::new(0),
                 connections: AtomicU64::new(0),
                 started: Instant::now(),
+                shards: Mutex::new(Vec::new()),
             }),
             threads: config.threads.max(1),
         })
@@ -308,6 +401,13 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             line.clear();
             continue;
         }
+        // A shutdown daemon answers nothing further — even on connections
+        // that kept the pipe busy. Dropping the connection (rather than
+        // draining queued requests) is what lets a fleet's failure
+        // detector notice a dying worker promptly.
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
         shared.requests.fetch_add(1, Ordering::Relaxed);
         let disconnect = match serde_json::from_str::<Request>(text) {
             Ok(request) => handle_request(request, &mut writer, shared),
@@ -346,18 +446,32 @@ fn handle_request(request: Request, writer: &mut TcpStream, shared: &Shared) -> 
             respond(writer, &Response::Models { models: ModelKind::all().to_vec() })
         }
         Request::CacheStats => respond(writer, &Response::Stats { stats: shared.stats() }),
+        Request::ShardStatus => {
+            respond(writer, &Response::ShardStatuses { shards: shared.shard_statuses() })
+        }
         Request::Shutdown => {
             let _ = respond(writer, &Response::ShuttingDown);
             shared.request_shutdown();
             true
         }
-        Request::RunModel { model, sparsity, width, arch, fidelity } => {
+        Request::RunModel { model, sparsity, width, arch, fidelity, deadline_ms } => {
+            let deadline = Deadline::new(deadline_ms);
+            if deadline.expired() {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                return respond(writer, &Deadline::error("RunModel"));
+            }
             let width = width.unwrap_or(shared.runner.session().config().operand_width);
             let sparsity = match sparsity {
                 Some(one) => vec![one],
                 None => SparsityConfig::all().to_vec(),
             };
             match shared.runner.run_point(model, width, arch, &sparsity, fidelity) {
+                // A result the client gave up on is withheld: the deadline
+                // is a promise about when the answer stops being useful.
+                Ok(_) if deadline.expired() => {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    respond(writer, &Deadline::error("RunModel"))
+                }
                 Ok(entry) => respond(writer, &Response::RunResult { entry }),
                 Err(e) => {
                     shared.errors.fetch_add(1, Ordering::Relaxed);
@@ -373,8 +487,12 @@ fn handle_request(request: Request, writer: &mut TcpStream, shared: &Shared) -> 
                 }
             }
         }
-        Request::Sweep { spec, fidelity } => handle_sweep(&spec, fidelity, writer, shared),
-        Request::Explore { spec } => handle_explore(&spec, writer, shared),
+        Request::Sweep { spec, fidelity, deadline_ms } => {
+            handle_sweep(&spec, fidelity, Deadline::new(deadline_ms), writer, shared)
+        }
+        Request::Explore { spec, deadline_ms, shard } => {
+            handle_explore(&spec, Deadline::new(deadline_ms), shard.as_ref(), writer, shared)
+        }
     }
 }
 
@@ -382,14 +500,33 @@ fn handle_request(request: Request, writer: &mut TcpStream, shared: &Shared) -> 
 /// `ExplorePoint` per grid point as it completes (canonical spec order,
 /// warm-cache artifacts reused across geometries), then `ExploreFinished`.
 /// An oversized or infeasible grid is answered with a structured pipeline
-/// error before any point executes; a failing point ends the stream (but
-/// not the connection) the same way.
-fn handle_explore(spec: &db_pim::DseSpec, writer: &mut TcpStream, shared: &Shared) -> bool {
+/// error before any point executes; a failing point or an expired deadline
+/// ends the stream (but not the connection) the same way. A shard-tagged
+/// request additionally reports its progress into the daemon's
+/// `ShardStatus` registry.
+fn handle_explore(
+    spec: &db_pim::DseSpec,
+    deadline: Deadline,
+    shard: Option<&ShardAnnotation>,
+    writer: &mut TcpStream,
+    shared: &Shared,
+) -> bool {
+    let shard_fail = |state: ShardState| {
+        if let Some(tag) = shard {
+            shared.shard_touch(tag, 0, state);
+        }
+    };
+    if deadline.expired() {
+        shared.errors.fetch_add(1, Ordering::Relaxed);
+        shard_fail(ShardState::Failed);
+        return respond(writer, &Deadline::error("Explore"));
+    }
     let session_width = shared.runner.session().config().operand_width;
     let points = match spec.points(session_width) {
         Ok(points) => points,
         Err(e) => {
             shared.errors.fetch_add(1, Ordering::Relaxed);
+            shard_fail(ShardState::Failed);
             return respond(
                 writer,
                 &Response::Error {
@@ -398,6 +535,9 @@ fn handle_explore(spec: &db_pim::DseSpec, writer: &mut TcpStream, shared: &Share
             );
         }
     };
+    if let Some(tag) = shard {
+        shared.shard_touch(tag, 0, ShardState::Running);
+    }
     let sparsity = spec.unique_sparsity();
     let total_points = points.len();
     if respond(writer, &Response::ExploreStarted { total_points }) {
@@ -406,6 +546,11 @@ fn handle_explore(spec: &db_pim::DseSpec, writer: &mut TcpStream, shared: &Share
 
     let start = Instant::now();
     for (index, point) in points.into_iter().enumerate() {
+        if deadline.expired() {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            shard_fail(ShardState::Failed);
+            return respond(writer, &Deadline::error("Explore"));
+        }
         let computed = shared.runner.run_point(
             point.kind,
             point.width,
@@ -414,20 +559,27 @@ fn handle_explore(spec: &db_pim::DseSpec, writer: &mut TcpStream, shared: &Share
             spec.fidelity,
         );
         match computed {
+            // A point the client gave up on mid-compute is withheld, same
+            // policy as RunModel: the deadline promises when answers stop
+            // being useful, and the fleet has already requeued the point
+            // elsewhere by now.
+            Ok(_) if deadline.expired() => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                shard_fail(ShardState::Failed);
+                return respond(writer, &Deadline::error("Explore"));
+            }
             Ok(entry) => {
-                let entry = db_pim::DseEntry {
-                    kind: entry.kind,
-                    width: entry.width,
-                    arch: entry.arch,
-                    result: entry.result,
-                    computed_at_ms: db_pim::dse::unix_time_ms(),
-                };
+                let entry = db_pim::DseEntry::from_sweep(entry);
                 if respond(writer, &Response::ExplorePoint { index, entry }) {
                     return true;
+                }
+                if let Some(tag) = shard {
+                    shared.shard_touch(tag, 1, ShardState::Running);
                 }
             }
             Err(e) => {
                 shared.errors.fetch_add(1, Ordering::Relaxed);
+                shard_fail(ShardState::Failed);
                 return respond(
                     writer,
                     &Response::Error {
@@ -446,13 +598,19 @@ fn handle_explore(spec: &db_pim::DseSpec, writer: &mut TcpStream, shared: &Share
 
 /// Streams one sweep: `SweepStarted`, one `SweepPoint` per entry as it
 /// completes, then `SweepFinished`. A failing point is answered with a
-/// pipeline error and ends the stream (but not the connection).
+/// pipeline error and ends the stream (but not the connection); an expired
+/// deadline ends it with a `DeadlineExceeded` error the same way.
 fn handle_sweep(
     spec: &db_pim::SweepSpec,
     fidelity: bool,
+    deadline: Deadline,
     writer: &mut TcpStream,
     shared: &Shared,
 ) -> bool {
+    if deadline.expired() {
+        shared.errors.fetch_add(1, Ordering::Relaxed);
+        return respond(writer, &Deadline::error("Sweep"));
+    }
     let session_config = *shared.runner.session().config();
     let models = spec.unique_models();
     let sparsity = spec.unique_sparsity();
@@ -471,7 +629,17 @@ fn handle_sweep(
     for &model in &models {
         for &width in &widths {
             for &arch in &archs {
+                if deadline.expired() {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    return respond(writer, &Deadline::error("Sweep"));
+                }
                 match shared.runner.run_point(model, width, Some(arch), &sparsity, fidelity) {
+                    // Same withhold policy as RunModel for a point that
+                    // overran the deadline while computing.
+                    Ok(_) if deadline.expired() => {
+                        shared.errors.fetch_add(1, Ordering::Relaxed);
+                        return respond(writer, &Deadline::error("Sweep"));
+                    }
                     Ok(entry) => {
                         if respond(writer, &Response::SweepPoint { index, entry }) {
                             return true;

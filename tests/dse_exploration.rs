@@ -192,6 +192,91 @@ fn pareto_frontier_matches_brute_force_reference() {
     }
 }
 
+/// The cross-model aggregate Pareto frontier — "which (width, geometry)
+/// should serve this workload mix" — matches a from-scratch brute-force
+/// reference: independently aggregated metrics, independently extracted
+/// non-dominated set.
+#[test]
+fn aggregate_frontier_matches_a_brute_force_reference() {
+    let config = small_config().without_fidelity();
+    let driver = DseDriver::new(config).expect("valid config");
+    let grid =
+        ArchGrid::around(ArchConfig::paper()).with_macros(vec![2, 4, 8]).with_rows(vec![32, 64]);
+    let spec = DseSpec::new(grid, vec![ModelKind::AlexNet, ModelKind::MobileNetV2])
+        .with_sparsity(vec![SparsityConfig::DenseBaseline, SparsityConfig::HybridSparsity]);
+    let report = driver.run(&spec).expect("exploration runs");
+    assert_eq!(report.entries.len(), 12);
+
+    // A traffic blend: twice as many MobileNetV2 requests as AlexNet.
+    let mix = [(ModelKind::AlexNet, 1.0), (ModelKind::MobileNetV2, 2.0)];
+    let sparsity = SparsityConfig::HybridSparsity;
+    let candidates = report.aggregate_metrics(&mix, sparsity);
+    assert_eq!(candidates.len(), 6, "one candidate per (width, geometry)");
+
+    // Brute-force aggregation: recompute each candidate from the raw
+    // entries with independent arithmetic.
+    let area = AreaModel::calibrated_28nm();
+    for candidate in &candidates {
+        let mut latency = 0.0;
+        let mut energy = 0.0;
+        let mut loss = 0.0;
+        let mut weight_total = 0.0;
+        for &(kind, weight) in &mix {
+            let entry = report
+                .entries
+                .iter()
+                .find(|e| e.kind == kind && e.width == candidate.width && e.arch == candidate.arch)
+                .expect("mix member present");
+            let run = entry.result.run(sparsity).expect("hybrid simulated");
+            latency += weight * run.latency_ms();
+            energy += weight * run.total_energy_uj();
+            loss += weight * entry.result.fidelity.as_ref().map_or(1.0, |f| 1.0 - f.top1_agreement);
+            weight_total += weight;
+        }
+        assert!((candidate.metrics.latency_ms - latency).abs() < 1e-9, "latency aggregation");
+        assert!((candidate.metrics.energy_uj - energy).abs() < 1e-9, "energy aggregation");
+        assert!(
+            (candidate.metrics.fidelity_loss - loss / weight_total).abs() < 1e-12,
+            "fidelity aggregation"
+        );
+        assert!(
+            (candidate.metrics.area_mm2 - area.total_mm2(&candidate.arch)).abs() < 1e-12,
+            "area is the shared geometry's"
+        );
+    }
+
+    // Brute-force frontier over the aggregated candidates with an
+    // independently written dominance check.
+    let beats = |a: &ParetoMetrics, b: &ParetoMetrics| {
+        let no_worse = a.latency_ms <= b.latency_ms
+            && a.energy_uj <= b.energy_uj
+            && a.area_mm2 <= b.area_mm2
+            && a.fidelity_loss <= b.fidelity_loss;
+        let better = a.latency_ms < b.latency_ms
+            || a.energy_uj < b.energy_uj
+            || a.area_mm2 < b.area_mm2
+            || a.fidelity_loss < b.fidelity_loss;
+        no_worse && better
+    };
+    let brute: Vec<&MixCandidate> = candidates
+        .iter()
+        .filter(|c| !candidates.iter().any(|other| beats(&other.metrics, &c.metrics)))
+        .collect();
+    let frontier = report.aggregate_pareto_frontier(&mix, sparsity);
+    assert!(!frontier.is_empty());
+    assert_eq!(
+        frontier.iter().collect::<Vec<_>>(),
+        brute,
+        "aggregate frontier diverges from the O(n^2) reference"
+    );
+
+    // Degenerate mixes behave: an empty mix (or all-zero weights)
+    // aggregates nothing, a missing model yields no candidates.
+    assert!(report.aggregate_metrics(&[], sparsity).is_empty());
+    assert!(report.aggregate_metrics(&[(ModelKind::AlexNet, 0.0)], sparsity).is_empty());
+    assert!(report.aggregate_metrics(&[(ModelKind::Vgg19, 1.0)], sparsity).is_empty());
+}
+
 /// Structured failure shapes: infeasible grids are rejected before any
 /// work, and a snapshot recorded under a different spec refuses to resume
 /// instead of silently mixing results.

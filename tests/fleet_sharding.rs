@@ -1,0 +1,256 @@
+//! The fleet orchestrator's contract:
+//!
+//! * every partition strategy covers the spec with no duplicates and no
+//!   gaps;
+//! * a merged fleet report is bit-identical (timestamps ignored) to a
+//!   single `DseDriver` run of the same spec;
+//! * killing a worker mid-run still completes with every point exactly
+//!   once (straggler reassignment + worker retirement);
+//! * adversarial shard directories — overlapping shards, half-written
+//!   snapshots, snapshots answering a different spec — resume cleanly,
+//!   are skipped with a diagnostic, or error, respectively.
+
+use std::collections::HashSet;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use db_pim::prelude::*;
+use dbpim_fleet::{
+    FleetConfig, FleetDriver, FleetError, FleetEvent, ShardPlan, ShardStrategy, WorkerSpec,
+};
+use dbpim_serve::{ServeConfig, Server};
+
+fn small_config() -> PipelineConfig {
+    let mut config = PipelineConfig::fast().without_fidelity();
+    config.width_mult = 0.25;
+    config.calibration_images = 1;
+    config.classes = 10;
+    config
+}
+
+fn small_spec() -> DseSpec {
+    DseSpec::new(
+        ArchGrid::around(ArchConfig::paper()).with_macros(vec![2, 4]).with_rows(vec![32, 64]),
+        vec![ModelKind::AlexNet, ModelKind::MobileNetV2],
+    )
+    .with_sparsity(vec![SparsityConfig::DenseBaseline, SparsityConfig::HybridSparsity])
+}
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dbpim-fleet-test-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// Every strategy partitions the spec's canonical point list completely:
+/// each point in exactly one shard, across a range of worker counts.
+#[test]
+fn every_strategy_covers_the_spec_with_no_duplicates_or_gaps() {
+    let spec = small_spec().with_widths(vec![OperandWidth::Int4, OperandWidth::Int8]);
+    let points = spec.points(OperandWidth::Int8).expect("feasible spec");
+    assert_eq!(points.len(), 16, "2 models x 2 widths x 4 geometries");
+    for strategy in ShardStrategy::all() {
+        for workers in [1, 2, 3, 7, 16, 21] {
+            let plan = ShardPlan::partition(&points, workers, strategy);
+            assert!(
+                plan.is_complete_partition(),
+                "{strategy} over {workers} workers is not a complete partition"
+            );
+            // The invariant the helper checks, re-asserted independently:
+            // indices 0..N each appear exactly once across all shards.
+            let mut seen = HashSet::new();
+            for shard in &plan.shards {
+                for &point in &shard.points {
+                    assert!(seen.insert(point), "{strategy}: point {point} in two shards");
+                }
+            }
+            assert_eq!(seen.len(), points.len(), "{strategy}: gaps over {workers} workers");
+        }
+    }
+}
+
+/// The headline bit-identity contract: a fleet of local workers produces a
+/// merged report whose results match a single-driver run exactly, for
+/// every partition strategy.
+#[test]
+fn fleet_merge_is_bit_identical_to_a_single_driver_run() {
+    let config = small_config();
+    let spec = small_spec();
+    let single = DseDriver::new(config).expect("valid config").run(&spec).expect("single run");
+    assert!(single.is_complete());
+
+    for strategy in ShardStrategy::all() {
+        let fleet_config = FleetConfig::new(config, vec![WorkerSpec::Local, WorkerSpec::Local])
+            .with_strategy(strategy);
+        let outcome = FleetDriver::new(fleet_config).run(&spec).expect("fleet run");
+        assert!(outcome.report.is_complete(), "{strategy}: incomplete report");
+        assert!(
+            outcome.report.results_match(&single),
+            "{strategy}: merged fleet report diverges from the single-driver run"
+        );
+        // Exactly-once: no duplicate keys survived the merge.
+        let keys: HashSet<DsePointKey> =
+            outcome.report.entries.iter().map(|e| e.canonical_key()).collect();
+        assert_eq!(keys.len(), outcome.report.entries.len(), "{strategy}: duplicate entries");
+        assert_eq!(outcome.stats.fresh_points, single.entries.len());
+        assert_eq!(outcome.stats.resumed_points, 0);
+        let worked: usize = outcome.stats.workers.iter().map(|w| w.points).sum();
+        assert_eq!(worked, single.entries.len(), "{strategy}: worker counters disagree");
+    }
+}
+
+/// Killing a serve daemon mid-run retires its remote worker; the local
+/// worker steals the unfinished points and the merged report still covers
+/// every point exactly once, bit-identical to a single-driver run.
+#[test]
+fn killing_a_worker_mid_run_reassigns_its_points() {
+    let config = small_config();
+    let spec = DseSpec::new(
+        ArchGrid::around(ArchConfig::paper()).with_macros(vec![2, 4, 8]).with_rows(vec![32, 64]),
+        vec![ModelKind::AlexNet, ModelKind::MobileNetV2],
+    )
+    .with_sparsity(vec![SparsityConfig::DenseBaseline, SparsityConfig::HybridSparsity]);
+    let total = spec.points(config.operand_width).expect("feasible").len();
+    assert_eq!(total, 12);
+
+    let handle = Server::spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        poll_interval: Duration::from_millis(50),
+        pipeline: config,
+        cache_cap: None,
+    })
+    .expect("server spawns");
+    let addr = handle.addr().to_string();
+
+    // Kill the daemon as soon as the remote worker (index 0) completes its
+    // first point — deterministically "mid-run" because its contiguous
+    // shard holds half the grid.
+    let (kill_tx, kill_rx) = mpsc::channel::<()>();
+    let killer = std::thread::spawn(move || {
+        // Even if the signal never arrives (remote worker dead on arrival),
+        // shut the daemon down so the test cannot leak it.
+        let _ = kill_rx.recv_timeout(Duration::from_secs(120));
+        handle.request_shutdown();
+        handle.join()
+    });
+
+    let fleet_config = FleetConfig::new(config, vec![WorkerSpec::Remote(addr), WorkerSpec::Local])
+        .with_strategy(ShardStrategy::Contiguous)
+        .with_point_timeout(Duration::from_secs(30))
+        .with_fleet_id("kill-test");
+    let driver = FleetDriver::new(fleet_config).with_observer(move |event| {
+        if let FleetEvent::PointDone { worker: 0, .. } = event {
+            let _ = kill_tx.send(());
+        }
+    });
+    let outcome = driver.run(&spec).expect("fleet survives the worker kill");
+    killer.join().expect("killer thread").expect("daemon exits cleanly");
+
+    assert!(outcome.report.is_complete(), "killed worker left gaps");
+    let keys: HashSet<DsePointKey> =
+        outcome.report.entries.iter().map(|e| e.canonical_key()).collect();
+    assert_eq!(keys.len(), total, "a point ran twice into the merged report");
+
+    // The remote worker died before finishing its 6-point shard, so the
+    // local worker must have stolen work; the run records both.
+    let remote = &outcome.stats.workers[0];
+    let local = &outcome.stats.workers[1];
+    assert!(remote.points < 6, "remote finished its whole shard before the kill: {remote:?}");
+    assert!(remote.retired.is_some(), "remote worker never retired: {remote:?}");
+    assert!(local.points > 6, "local worker stole nothing: {local:?}");
+    assert!(outcome.stats.reassigned_points >= 1, "{:?}", outcome.stats);
+    assert!(outcome.stats.retried_attempts >= 1, "{:?}", outcome.stats);
+
+    // And none of it changed the numbers.
+    let single = DseDriver::new(config).expect("valid config").run(&spec).expect("single run");
+    assert!(outcome.report.results_match(&single), "kill/reassign changed results");
+}
+
+/// Overlapping shard snapshots dedupe on adoption, a half-written snapshot
+/// is skipped with a diagnostic (and recomputed), and the resumed fleet
+/// recomputes only the genuinely missing points.
+#[test]
+fn overlapping_and_half_written_shard_snapshots_resume_cleanly() {
+    let config = small_config();
+    let spec = small_spec();
+    let single = DseDriver::new(config).expect("valid config").run(&spec).expect("single run");
+    let total = single.entries.len();
+    assert_eq!(total, 8);
+
+    let dir = temp_dir("adversarial");
+    // Shard 0 and shard 1 snapshots overlap at entry 2; together they cover
+    // entries 0..5.
+    let mut shard_a = DseReport::empty(spec.clone(), total);
+    shard_a.entries = single.entries[0..3].to_vec();
+    shard_a.save(dir.join("shard-000.json")).expect("shard a saves");
+    let mut shard_b = DseReport::empty(spec.clone(), total);
+    shard_b.entries = single.entries[2..5].to_vec();
+    shard_b.save(dir.join("shard-001.json")).expect("shard b saves");
+    // A half-written snapshot, as a kill mid-`write` would leave without
+    // the atomic rename: valid prefix, torn tail.
+    std::fs::write(dir.join("shard-002.json"), "{\"spec\":{\"grid\":{\"base\"")
+        .expect("torn snapshot writes");
+
+    let fleet_config = FleetConfig::new(config, vec![WorkerSpec::Local])
+        .with_snapshot_dir(&dir)
+        .with_strategy(ShardStrategy::RoundRobin);
+    let outcome = FleetDriver::new(fleet_config).run(&spec).expect("resume runs");
+
+    assert!(outcome.report.results_match(&single), "resumed fleet diverges");
+    assert_eq!(outcome.stats.resumed_points, 5, "overlap was not deduped: {:?}", outcome.stats);
+    assert_eq!(outcome.stats.fresh_points, total - 5, "resume recomputed adopted points");
+    assert!(
+        outcome.stats.diagnostics.iter().any(|d| d.contains("shard-002")),
+        "torn snapshot was not diagnosed: {:?}",
+        outcome.stats.diagnostics
+    );
+
+    // The run left a fresh, valid merged snapshot behind.
+    let merged = DseReport::load(dir.join("merged.json")).expect("merged snapshot loads");
+    assert!(merged.results_match(&single));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A shard snapshot recorded under a different spec refuses to resume —
+/// a structured error, never a silent partial mix.
+#[test]
+fn mismatched_spec_shards_are_refused() {
+    let config = small_config();
+    let spec = small_spec();
+    let foreign_spec = small_spec().with_sparsity(vec![SparsityConfig::HybridSparsity]);
+    let dir = temp_dir("mismatch");
+    DseReport::empty(foreign_spec, 4).save(dir.join("shard-000.json")).expect("foreign saves");
+
+    let fleet_config = FleetConfig::new(config, vec![WorkerSpec::Local]).with_snapshot_dir(&dir);
+    let err = FleetDriver::new(fleet_config).run(&spec).expect_err("foreign shard must refuse");
+    assert!(matches!(err, FleetError::SnapshotSpecMismatch { .. }), "{err}");
+    assert!(err.to_string().contains("different spec"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A fleet whose only worker is a dead endpoint stalls with a structured
+/// error naming the diagnostics instead of hanging or panicking.
+#[test]
+fn a_fleet_of_only_dead_endpoints_stalls_with_diagnostics() {
+    let config = small_config();
+    let spec = DseSpec::new(ArchGrid::around(ArchConfig::paper()), vec![ModelKind::AlexNet])
+        .with_sparsity(vec![SparsityConfig::HybridSparsity]);
+    // Port 9 (discard) on loopback: nothing is listening.
+    let fleet_config =
+        FleetConfig::new(config, vec![WorkerSpec::Remote("127.0.0.1:9".to_string())])
+            .with_point_timeout(Duration::from_millis(300));
+    let err = FleetDriver::new(fleet_config).run(&spec).expect_err("dead fleet must stall");
+    match &err {
+        FleetError::Stalled { completed, total, diagnostics } => {
+            assert_eq!(*completed, 0);
+            assert_eq!(*total, 1);
+            assert!(
+                diagnostics.iter().any(|d| d.contains("127.0.0.1:9")),
+                "diagnostics do not name the dead endpoint: {diagnostics:?}"
+            );
+        }
+        other => panic!("expected Stalled, got {other}"),
+    }
+}

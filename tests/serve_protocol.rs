@@ -8,9 +8,9 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 use db_pim::prelude::{ArchConfig, ArchGrid, SparsityConfig};
-use db_pim::{DseDriver, DseSpec, PipelineConfig};
+use db_pim::{DseDriver, DseSpec, PipelineConfig, SweepSpec};
 use dbpim_nn::ModelKind;
-use dbpim_serve::protocol::{ErrorKind, Response};
+use dbpim_serve::protocol::{ErrorKind, Response, ShardAnnotation, ShardState};
 use dbpim_serve::{Client, ClientError, RunQuery, ServeConfig, Server, ServerHandle};
 
 fn server_pipeline() -> PipelineConfig {
@@ -26,6 +26,7 @@ fn spawn_server() -> ServerHandle {
         threads: 2,
         poll_interval: Duration::from_millis(50),
         pipeline: server_pipeline(),
+        cache_cap: None,
     })
     .expect("server spawns")
 }
@@ -232,6 +233,110 @@ fn explore_stream_merges_into_the_same_report_as_a_local_run() {
     let stats = client.cache_stats().expect("stats");
     assert_eq!(stats.cache.artifact_misses, 1);
     assert_eq!(stats.cache.program_misses, 2, "one compilation per geometry");
+
+    client.shutdown().expect("shutdown acknowledged");
+    handle.join().expect("daemon exits cleanly");
+}
+
+/// An already-expired deadline (0 ms) gets a structured `DeadlineExceeded`
+/// error on every deadline-aware request — and the connection survives to
+/// serve an identical request without a deadline immediately afterwards.
+#[test]
+fn expired_deadlines_are_structured_errors_not_hangs() {
+    let handle = spawn_server();
+    let mut client = Client::connect(handle.addr()).expect("connects");
+
+    let expect_deadline = |outcome: Result<&str, ClientError>| match outcome {
+        Err(ClientError::Server(error)) => {
+            assert_eq!(error.kind, ErrorKind::DeadlineExceeded, "wrong kind: {error}");
+            assert!(error.to_string().contains("deadline"), "{error}");
+        }
+        Ok(what) => panic!("{what} ignored its expired deadline"),
+        Err(other) => panic!("expected a structured deadline error, got {other:?}"),
+    };
+
+    let query = RunQuery::new(ModelKind::AlexNet).with_deadline_ms(0);
+    expect_deadline(client.run_model(&query).map(|_| "RunModel"));
+
+    let sweep = SweepSpec::new(vec![ModelKind::AlexNet])
+        .with_sparsity(vec![SparsityConfig::HybridSparsity]);
+    expect_deadline(
+        client.sweep_streaming_with(&sweep, false, Some(0), |_, _| {}).map(|_| "Sweep"),
+    );
+
+    let spec = DseSpec::new(ArchGrid::around(ArchConfig::paper()), vec![ModelKind::AlexNet]);
+    expect_deadline(
+        client.explore_streaming_with(&spec, Some(0), None, |_, _| {}).map(|_| "Explore"),
+    );
+
+    // A generous deadline changes nothing about the result.
+    let entry = client
+        .run_model(&RunQuery::new(ModelKind::AlexNet).with_deadline_ms(120_000))
+        .expect("a generous deadline still answers");
+    let direct = client.run_model(&RunQuery::new(ModelKind::AlexNet)).expect("no deadline");
+    assert_eq!(entry, direct, "a deadline must never change the computed result");
+
+    let stats = client.cache_stats().expect("stats");
+    assert_eq!(stats.errors, 3, "every expired deadline is counted");
+
+    client.shutdown().expect("shutdown acknowledged");
+    handle.join().expect("daemon exits cleanly");
+}
+
+/// Shard-tagged explorations surface in the `ShardStatus` registry with
+/// accumulated completion counts; untagged requests never appear.
+#[test]
+fn shard_tagged_explorations_report_progress() {
+    let handle = spawn_server();
+    let mut client = Client::connect(handle.addr()).expect("connects");
+    assert!(client.shard_statuses().expect("empty registry").is_empty());
+
+    let spec = DseSpec::new(
+        ArchGrid::around(ArchConfig::paper()).with_macros(vec![2, 4]),
+        vec![ModelKind::AlexNet],
+    )
+    .with_sparsity(vec![SparsityConfig::HybridSparsity]);
+    // An untagged exploration leaves no trace.
+    client.explore(&spec).expect("untagged explore");
+    assert!(client.shard_statuses().expect("still empty").is_empty());
+
+    // Two tagged requests for the same shard accumulate; `points` is the
+    // shard's full size, so completing 2 of 3 leaves it Running.
+    let tag = ShardAnnotation { fleet: "progress-test".to_string(), shard: 1, of: 2, points: 3 };
+    client
+        .explore_streaming_with(&spec, None, Some(tag.clone()), |_, _| {})
+        .expect("tagged explore");
+    let statuses = client.shard_statuses().expect("registry");
+    assert_eq!(statuses.len(), 1);
+    assert_eq!(statuses[0].fleet, "progress-test");
+    assert_eq!((statuses[0].shard, statuses[0].of), (1, 2));
+    assert_eq!(statuses[0].completed_points, 2);
+    assert_eq!(statuses[0].total_points, 3);
+    assert_eq!(statuses[0].state, ShardState::Running);
+
+    // One more tagged point finishes the shard.
+    let single = DseSpec::new(ArchGrid::around(ArchConfig::paper()), vec![ModelKind::AlexNet])
+        .with_sparsity(vec![SparsityConfig::HybridSparsity]);
+    client.explore_streaming_with(&single, None, Some(tag), |_, _| {}).expect("finishing point");
+    let statuses = client.shard_statuses().expect("registry");
+    assert_eq!(statuses[0].completed_points, 3);
+    assert_eq!(statuses[0].state, ShardState::Finished);
+
+    // A tagged request that fails marks the shard Failed.
+    let infeasible = DseSpec::new(
+        ArchGrid::around(ArchConfig::paper()).with_macros(vec![0]),
+        vec![ModelKind::AlexNet],
+    );
+    let failing_tag =
+        ShardAnnotation { fleet: "progress-test".to_string(), shard: 0, of: 2, points: 3 };
+    client
+        .explore_streaming_with(&infeasible, None, Some(failing_tag), |_, _| {})
+        .expect_err("infeasible grid fails");
+    let statuses = client.shard_statuses().expect("registry");
+    assert_eq!(statuses.len(), 2, "two shards tracked");
+    let failed = statuses.iter().find(|s| s.shard == 0).expect("failed shard tracked");
+    assert_eq!(failed.state, ShardState::Failed);
+    assert_eq!(failed.completed_points, 0);
 
     client.shutdown().expect("shutdown acknowledged");
     handle.join().expect("daemon exits cleanly");

@@ -24,6 +24,7 @@ fn spawn_server(pipeline: PipelineConfig, threads: usize) -> dbpim_serve::Server
         threads,
         poll_interval: Duration::from_millis(50),
         pipeline,
+        cache_cap: None,
     })
     .expect("server spawns")
 }

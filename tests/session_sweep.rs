@@ -36,6 +36,76 @@ fn batch_runner_matches_independent_pipeline_runs() {
     }
 }
 
+/// The LRU cap actually evicts: a capacity-1 session holds one prepared
+/// model at a time, counts each eviction, rebuilds an evicted model on
+/// re-request — and none of it changes the computed results.
+#[test]
+fn capped_sessions_evict_least_recently_used_artifacts() {
+    let config = small_config();
+    let session = SimSession::new(config).expect("valid config");
+    session.set_cache_capacity(Some(1));
+
+    let alexnet_cold = session.artifacts(ModelKind::AlexNet).expect("prepares A");
+    let stats = session.cache_stats();
+    assert_eq!((stats.resident_artifacts, stats.artifact_evictions), (1, 0));
+
+    // Preparing a second model evicts the first (cap 1).
+    session.artifacts(ModelKind::MobileNetV2).expect("prepares B");
+    let stats = session.cache_stats();
+    assert_eq!(stats.resident_artifacts, 1, "cap was not enforced: {stats:?}");
+    assert_eq!(stats.artifact_evictions, 1, "{stats:?}");
+
+    // The evicted model is a miss again — rebuilt, not resurrected — and
+    // the rebuild evicts the other model in turn.
+    let alexnet_again = session.artifacts(ModelKind::AlexNet).expect("rebuilds A");
+    assert!(!Arc::ptr_eq(&alexnet_cold, &alexnet_again), "evicted artifacts were resurrected");
+    let stats = session.cache_stats();
+    assert_eq!(stats.artifact_misses, 3, "A, B, then A again: {stats:?}");
+    assert_eq!(stats.artifact_evictions, 2, "{stats:?}");
+    assert_eq!(stats.resident_artifacts, 1);
+
+    // Eviction must never change results: the rebuilt artifacts simulate
+    // bit-identically to an uncapped session's.
+    let uncapped = SimSession::new(config).expect("valid config");
+    let reference = uncapped.artifacts(ModelKind::AlexNet).expect("prepares");
+    let run_a = alexnet_again
+        .simulate(config.arch, SparsityConfig::HybridSparsity)
+        .expect("capped simulates");
+    let run_b = reference.simulate(config.arch, SparsityConfig::HybridSparsity).expect("uncapped");
+    assert_eq!(run_a, run_b, "eviction changed simulation results");
+
+    // LRU order: with cap 2, touching A makes B the eviction victim.
+    let session = SimSession::new(config).expect("valid config");
+    session.set_cache_capacity(Some(2));
+    session.artifacts(ModelKind::AlexNet).expect("A");
+    session.artifacts(ModelKind::MobileNetV2).expect("B");
+    session.artifacts(ModelKind::AlexNet).expect("touch A");
+    session.artifacts(ModelKind::ResNet18).expect("C evicts B");
+    let stats = session.cache_stats();
+    assert_eq!(stats.artifact_evictions, 1);
+    // A survived (hit), B is gone (miss on re-request).
+    let before = session.cache_stats().artifact_misses;
+    session.artifacts(ModelKind::AlexNet).expect("A still cached");
+    assert_eq!(session.cache_stats().artifact_misses, before, "A was wrongly evicted");
+    session.artifacts(ModelKind::MobileNetV2).expect("B rebuilt");
+    assert_eq!(session.cache_stats().artifact_misses, before + 1, "B should have been evicted");
+}
+
+/// A capped `BatchRunner` propagates the cap to its per-width sessions and
+/// aggregates their eviction counters.
+#[test]
+fn batch_runner_cache_cap_reaches_width_sessions() {
+    let runner = BatchRunner::new(small_config()).expect("valid config").with_cache_cap(Some(1));
+    let spec = SweepSpec::new(vec![ModelKind::AlexNet, ModelKind::MobileNetV2])
+        .with_sparsity(vec![SparsityConfig::HybridSparsity])
+        .with_widths(vec![OperandWidth::Int4]);
+    let report = runner.run(&spec).expect("sweep runs");
+    assert_eq!(report.entries.len(), 2);
+    let stats = runner.cache_stats();
+    assert!(stats.artifact_evictions >= 1, "the INT4 width session ignored the cap: {stats:?}");
+    assert!(stats.resident_artifacts <= 2, "one per session at most: {stats:?}");
+}
+
 /// An empty sweep returns an empty report.
 #[test]
 fn empty_sweep_returns_empty_report() {
