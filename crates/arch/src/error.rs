@@ -39,6 +39,8 @@ pub enum ArchError {
         /// The operand bit width whose range was exceeded.
         bits: u32,
     },
+    /// Execution was requested before any tile was loaded.
+    NoTileLoaded,
     /// A buffer access beyond the modelled capacity.
     BufferOverflow {
         /// Buffer name.
@@ -67,6 +69,9 @@ impl fmt::Display for ArchError {
             }
             ArchError::OperandOutOfRange { value, bits } => {
                 write!(f, "weight {value} is outside the {bits}-bit two's-complement range")
+            }
+            ArchError::NoTileLoaded => {
+                write!(f, "no tile loaded: load a sparse or dense tile before executing")
             }
             ArchError::BufferOverflow { buffer, requested, capacity } => {
                 write!(

@@ -11,16 +11,34 @@
 //! The same storage array also supports the *dense baseline* mapping the
 //! paper compares against: eight plain binary bit-cells per weight, two
 //! filters per macro, no zero-bit skipping.
+//!
+//! # Bit-plane execution
+//!
+//! Internally the macro stores a loaded tile as packed `u64` *bit-planes*
+//! rather than individual cells: for every `(filter, row)` pair there is one
+//! plane per CSD shift amount `k = 2·db_index + high` and digit sign, whose
+//! bit `c` says "compartment `c` holds an occupied cell contributing
+//! `±2^k`". One compute column then reduces to a word-wide AND against the
+//! IPU's packed input mask followed by popcounts — the same arithmetic the
+//! cell-at-a-time model performs, several dozen cells per machine
+//! instruction. The cell-level implementation is preserved as
+//! [`ScalarPimMacro`](crate::reference::ScalarPimMacro) (under
+//! `cfg(any(test, feature = "scalar-reference"))`) and the differential suite
+//! `tests/kernel_equivalence.rs` proves outputs and every
+//! [`MacroComputeStats`] counter bit-identical between the two.
+//!
+//! Loading is split from execution ([`PimMacro::load_sparse_tile`] /
+//! [`PimMacro::execute_loaded`]) so callers multiplying one weight tile
+//! against many input vectors no longer re-write identical weights per tile.
 
-use dbpim_csd::OperandWidth;
+use dbpim_csd::{OperandWidth, Sign};
 use dbpim_fta::metadata::FilterMetadata;
 use serde::{Deserialize, Serialize};
 
-use crate::adder_tree::{CellMeta, CsdAdderTree};
+use crate::adder_tree::CsdAdderTree;
 use crate::config::ArchConfig;
-use crate::dbmu::Dbmu;
 use crate::error::ArchError;
-use crate::ipu::InputPreprocessor;
+use crate::ipu::{InputPreprocessor, PackedColumns};
 use crate::ppu::PostProcessingUnit;
 
 /// Event counts of one tile execution on a macro.
@@ -63,25 +81,54 @@ pub struct TileExecution {
     pub stats: MacroComputeStats,
 }
 
-/// One compartment: a row of DBMU columns sharing the broadcast input.
+/// A sparse (DB-PIM) tile packed into sign-split CSD shift planes.
+///
+/// `planes` is indexed `[filter][row][shift k][sign][word]` (row-major): bit
+/// `c % 64` of word `c / 64` is set when compartment `c` holds an occupied
+/// cell whose contribution is `±2^k` (`k = 2·db_index + high`).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-struct Compartment {
-    dbmus: Vec<Dbmu>,
+struct SparsePlanes {
+    filters: usize,
+    weights_len: usize,
+    /// Column stride per filter (`φ_th` of the tile), charged per cell read
+    /// whether or not a slot is occupied.
+    slots: usize,
+    /// Number of CSD shift planes (`2 × blocks` of the widest filter).
+    shifts: usize,
+    rows: usize,
+    words: usize,
+    planes: Vec<u64>,
+    cell_writes: u64,
 }
 
-impl Compartment {
-    fn new(columns: usize, rows: usize) -> Self {
-        Self { dbmus: (0..columns).map(|_| Dbmu::new(rows)).collect() }
-    }
+/// A dense-baseline tile packed into weight-bit planes.
+///
+/// `planes` is indexed `[filter][row][bit][word]`; bit `c` of a word is the
+/// two's-complement weight bit `b` of the weight held by compartment `c`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct DensePlanes {
+    filters: usize,
+    weights_len: usize,
+    weight_bits: usize,
+    rows: usize,
+    words: usize,
+    planes: Vec<u64>,
+    cell_writes: u64,
+}
+
+/// The tile currently held by the macro's storage array.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+enum LoadedTile {
+    None,
+    Sparse(SparsePlanes),
+    Dense(DensePlanes),
 }
 
 /// The bit-accurate PIM macro model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PimMacro {
     config: ArchConfig,
-    compartments: Vec<Compartment>,
-    /// Metadata mirror: `meta[compartment][column][row]`.
-    meta: Vec<Vec<Vec<Option<CellMeta>>>>,
+    tile: LoadedTile,
 }
 
 impl PimMacro {
@@ -92,14 +139,7 @@ impl PimMacro {
     /// Returns a validation error for a degenerate configuration.
     pub fn new(config: ArchConfig) -> Result<Self, ArchError> {
         config.validate()?;
-        let compartments = (0..config.compartments_per_macro)
-            .map(|_| Compartment::new(config.dbmus_per_compartment, config.rows_per_dbmu))
-            .collect();
-        let meta = vec![
-            vec![vec![None; config.rows_per_dbmu]; config.dbmus_per_compartment];
-            config.compartments_per_macro
-        ];
-        Ok(Self { config, compartments, meta })
+        Ok(Self { config, tile: LoadedTile::None })
     }
 
     /// The macro's geometry.
@@ -108,18 +148,103 @@ impl PimMacro {
         &self.config
     }
 
-    /// Clears every cell and its metadata.
+    /// Clears every cell and its metadata (drops the loaded tile).
     pub fn reset(&mut self) {
-        for compartment in &mut self.compartments {
-            for dbmu in &mut compartment.dbmus {
-                dbmu.reset();
-            }
+        self.tile = LoadedTile::None;
+    }
+
+    /// Loads one DB-PIM (sparse) tile without executing it, returning the
+    /// number of word-line writes performed. Every filter of the tile must
+    /// carry the same number of weights.
+    ///
+    /// Pair with [`execute_loaded`](Self::execute_loaded) to multiply the
+    /// same weight tile against many input vectors without re-writing cells.
+    ///
+    /// # Errors
+    ///
+    /// * [`ArchError::CapacityExceeded`] when the filters or weights do not
+    ///   fit the macro geometry.
+    /// * [`ArchError::LengthMismatch`] when the filters disagree on their
+    ///   weight count.
+    pub fn load_sparse_tile(&mut self, filters: &[FilterMetadata]) -> Result<u64, ArchError> {
+        let weights_len = filters.first().map_or(0, |f| f.weights.len());
+        self.validate_sparse(filters, weights_len, "tile weights")?;
+        Ok(self.load_sparse_planes(filters, weights_len))
+    }
+
+    /// Loads one dense-baseline INT8 tile without executing it, returning
+    /// the number of word-line writes performed.
+    ///
+    /// # Errors
+    ///
+    /// As [`load_dense_tile_for_width`](Self::load_dense_tile_for_width) at
+    /// [`OperandWidth::Int8`].
+    pub fn load_dense_tile(&mut self, filters: &[Vec<i8>]) -> Result<u64, ArchError> {
+        let refs: Vec<&[i8]> = filters.iter().map(Vec::as_slice).collect();
+        let weights_len = refs.first().map_or(0, |f| f.len());
+        self.validate_dense(&refs, weights_len, OperandWidth::Int8, "tile weights")?;
+        Ok(self.load_dense_planes(&refs, OperandWidth::Int8))
+    }
+
+    /// Loads one dense-baseline tile at an arbitrary weight width without
+    /// executing it, returning the number of word-line writes performed.
+    ///
+    /// # Errors
+    ///
+    /// * [`ArchError::CapacityExceeded`] when the filters, weights or weight
+    ///   bit columns do not fit the macro geometry.
+    /// * [`ArchError::LengthMismatch`] when the filters disagree on their
+    ///   weight count.
+    /// * [`ArchError::OperandOutOfRange`] when a weight lies outside the
+    ///   width's two's-complement range.
+    pub fn load_dense_tile_for_width(
+        &mut self,
+        filters: &[Vec<i32>],
+        width: OperandWidth,
+    ) -> Result<u64, ArchError> {
+        let refs: Vec<&[i32]> = filters.iter().map(Vec::as_slice).collect();
+        let weights_len = refs.first().map_or(0, |f| f.len());
+        self.validate_dense(&refs, weights_len, width, "tile weights")?;
+        Ok(self.load_dense_planes(&refs, width))
+    }
+
+    /// Executes the currently loaded tile against one input vector.
+    ///
+    /// The returned [`MacroComputeStats::cell_writes`] is zero — the write
+    /// cost was already paid (and reported) by the load call.
+    ///
+    /// # Errors
+    ///
+    /// * [`ArchError::NoTileLoaded`] when no tile has been loaded.
+    /// * [`ArchError::CapacityExceeded`] /
+    ///   [`ArchError::LengthMismatch`] when the input vector does not match
+    ///   the loaded tile.
+    pub fn execute_loaded(
+        &self,
+        inputs: &[i8],
+        ipu: &InputPreprocessor,
+    ) -> Result<TileExecution, ArchError> {
+        let (filters, weights_len) = match &self.tile {
+            LoadedTile::None => return Err(ArchError::NoTileLoaded),
+            LoadedTile::Sparse(t) => (t.filters, t.weights_len),
+            LoadedTile::Dense(t) => (t.filters, t.weights_len),
+        };
+        if inputs.len() > self.config.weights_per_filter_capacity() {
+            return Err(ArchError::CapacityExceeded {
+                resource: "weights per filter",
+                requested: inputs.len(),
+                available: self.config.weights_per_filter_capacity(),
+            });
         }
-        for compartment in &mut self.meta {
-            for column in compartment {
-                column.fill(None);
-            }
+        if filters > 0 && inputs.len() != weights_len {
+            return Err(ArchError::LengthMismatch {
+                left: "loaded tile weights",
+                left_len: weights_len,
+                right: "inputs",
+                right_len: inputs.len(),
+            });
         }
+        Ok(self.execute_planes(inputs, ipu))
     }
 
     /// Executes one DB-PIM (sparse) tile: `filters` hold the dyadic-block
@@ -140,101 +265,20 @@ impl PimMacro {
         inputs: &[i8],
         ipu: &InputPreprocessor,
     ) -> Result<TileExecution, ArchError> {
-        let threshold = filters.iter().map(|f| f.threshold).max().unwrap_or(0).max(1);
-        let capacity = self.config.filters_per_macro(threshold)?;
-        if filters.len() > capacity {
-            return Err(ArchError::CapacityExceeded {
-                resource: "filters",
-                requested: filters.len(),
-                available: capacity,
-            });
-        }
-        if inputs.len() > self.config.weights_per_filter_capacity() {
-            return Err(ArchError::CapacityExceeded {
-                resource: "weights per filter",
-                requested: inputs.len(),
-                available: self.config.weights_per_filter_capacity(),
-            });
-        }
-        for filter in filters {
-            if filter.weights.len() != inputs.len() {
-                return Err(ArchError::LengthMismatch {
-                    left: "filter weights",
-                    left_len: filter.weights.len(),
-                    right: "inputs",
-                    right_len: inputs.len(),
-                });
-            }
-        }
-
-        self.reset();
-        let mut stats = MacroComputeStats::default();
-        let compartments = self.config.compartments_per_macro;
-        let slots = threshold as usize;
-
-        // Load phase: weight j of filter f goes to compartment (j mod C),
-        // row (j div C), columns [f*slots, f*slots + slots).
-        for (f, filter) in filters.iter().enumerate() {
-            for (j, weight) in filter.weights.iter().enumerate() {
-                let compartment = j % compartments;
-                let row = j / compartments;
-                for (s, slot) in weight.slots.iter().enumerate() {
-                    let column = f * slots + s;
-                    if let Some(block) = slot {
-                        self.compartments[compartment].dbmus[column].write_row(row, block.high)?;
-                        self.meta[compartment][column][row] =
-                            Some(CellMeta::new(block.db_index, block.sign));
-                        stats.cell_writes += 1;
-                    } else {
-                        self.compartments[compartment].dbmus[column].clear_row(row)?;
-                        self.meta[compartment][column][row] = None;
-                    }
-                }
-            }
-        }
-
-        // Compute phase: bit-serial over the IPU-selected columns, row by row.
-        let tree = CsdAdderTree;
-        let mut ppus: Vec<PostProcessingUnit> = vec![PostProcessingUnit::new(); filters.len()];
-        let rows_used = inputs.len().div_ceil(compartments);
-        for row in 0..rows_used {
-            let start = row * compartments;
-            let end = (start + compartments).min(inputs.len());
-            let group = &inputs[start..end];
-            let ipu_result = ipu.process(group);
-            stats.skipped_columns += ipu_result.skipped_columns as u64;
-            for column_bits in &ipu_result.columns {
-                stats.compute_cycles += 1;
-                for (f, ppu) in ppus.iter_mut().enumerate() {
-                    let mut operands = Vec::with_capacity(group.len() * slots);
-                    for (c, &input_bit) in column_bits.bits.iter().enumerate() {
-                        for s in 0..slots {
-                            let column = f * slots + s;
-                            let out = self.compartments[c].dbmus[column].compute(row, input_bit)?;
-                            let meta = self.meta[c][column][row];
-                            stats.cell_reads += 1;
-                            if meta.is_some() && out.block_magnitude() != 0 {
-                                stats.effective_cell_ops += 1;
-                            }
-                            operands.push((out, meta));
-                        }
-                    }
-                    let (partial, _) = tree.reduce(&operands);
-                    stats.adder_reductions += 1;
-                    ppu.accumulate_bit(partial, column_bits.position);
-                    stats.ppu_operations += 1;
-                }
-            }
-        }
-        let outputs = ppus.iter_mut().map(PostProcessingUnit::drain).collect();
-        Ok(TileExecution { outputs, stats })
+        self.validate_sparse(filters, inputs.len(), "inputs")?;
+        let writes = self.load_sparse_planes(filters, inputs.len());
+        let mut exec = self.execute_planes(inputs, ipu);
+        exec.stats.cell_writes = writes;
+        Ok(exec)
     }
 
     /// Executes one dense-baseline tile: weights are stored as eight plain
     /// binary bit-cells each, `dense_filters_per_macro` filters at a time.
     ///
     /// This is the INT8 instance of
-    /// [`execute_dense_tile_for_width`](Self::execute_dense_tile_for_width).
+    /// [`execute_dense_tile_for_width`](Self::execute_dense_tile_for_width);
+    /// the i8 weights are read through a borrowing width-generic path, no
+    /// widened copy of the filters is made.
     ///
     /// # Errors
     ///
@@ -248,9 +292,8 @@ impl PimMacro {
         inputs: &[i8],
         ipu: &InputPreprocessor,
     ) -> Result<TileExecution, ArchError> {
-        let wide: Vec<Vec<i32>> =
-            filters.iter().map(|f| f.iter().map(|&w| i32::from(w)).collect()).collect();
-        self.execute_dense_tile_for_width(&wide, inputs, ipu, OperandWidth::Int8)
+        let refs: Vec<&[i8]> = filters.iter().map(Vec::as_slice).collect();
+        self.dense_tile_impl(&refs, inputs, ipu, OperandWidth::Int8)
     }
 
     /// Executes one dense-baseline tile at an arbitrary weight width:
@@ -274,6 +317,69 @@ impl PimMacro {
         ipu: &InputPreprocessor,
         width: OperandWidth,
     ) -> Result<TileExecution, ArchError> {
+        let refs: Vec<&[i32]> = filters.iter().map(Vec::as_slice).collect();
+        self.dense_tile_impl(&refs, inputs, ipu, width)
+    }
+
+    fn dense_tile_impl<T: Copy + Into<i32>>(
+        &mut self,
+        filters: &[&[T]],
+        inputs: &[i8],
+        ipu: &InputPreprocessor,
+        width: OperandWidth,
+    ) -> Result<TileExecution, ArchError> {
+        self.validate_dense(filters, inputs.len(), width, "inputs")?;
+        let writes = self.load_dense_planes(filters, width);
+        let mut exec = self.execute_planes(inputs, ipu);
+        exec.stats.cell_writes = writes;
+        Ok(exec)
+    }
+
+    /// Shared sparse validation; `weights_len` is the reference length every
+    /// filter must match (the input count for the monolithic entry points,
+    /// the first filter's weight count for load-only).
+    fn validate_sparse(
+        &self,
+        filters: &[FilterMetadata],
+        weights_len: usize,
+        right: &'static str,
+    ) -> Result<(), ArchError> {
+        let threshold = filters.iter().map(|f| f.threshold).max().unwrap_or(0).max(1);
+        let capacity = self.config.filters_per_macro(threshold)?;
+        if filters.len() > capacity {
+            return Err(ArchError::CapacityExceeded {
+                resource: "filters",
+                requested: filters.len(),
+                available: capacity,
+            });
+        }
+        if weights_len > self.config.weights_per_filter_capacity() {
+            return Err(ArchError::CapacityExceeded {
+                resource: "weights per filter",
+                requested: weights_len,
+                available: self.config.weights_per_filter_capacity(),
+            });
+        }
+        for filter in filters {
+            if filter.weights.len() != weights_len {
+                return Err(ArchError::LengthMismatch {
+                    left: "filter weights",
+                    left_len: filter.weights.len(),
+                    right,
+                    right_len: weights_len,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_dense<T: Copy + Into<i32>>(
+        &self,
+        filters: &[&[T]],
+        weights_len: usize,
+        width: OperandWidth,
+        right: &'static str,
+    ) -> Result<(), ArchError> {
         let weight_bits = width.bits() as usize;
         if filters.len() > self.config.dense_filters_per_macro {
             return Err(ArchError::CapacityExceeded {
@@ -282,10 +388,10 @@ impl PimMacro {
                 available: self.config.dense_filters_per_macro,
             });
         }
-        if inputs.len() > self.config.weights_per_filter_capacity() {
+        if weights_len > self.config.weights_per_filter_capacity() {
             return Err(ArchError::CapacityExceeded {
                 resource: "weights per filter",
-                requested: inputs.len(),
+                requested: weights_len,
                 available: self.config.weights_per_filter_capacity(),
             });
         }
@@ -297,75 +403,167 @@ impl PimMacro {
             });
         }
         for filter in filters {
-            if filter.len() != inputs.len() {
+            if filter.len() != weights_len {
                 return Err(ArchError::LengthMismatch {
                     left: "filter weights",
                     left_len: filter.len(),
-                    right: "inputs",
-                    right_len: inputs.len(),
+                    right,
+                    right_len: weights_len,
                 });
             }
-            if let Some(&value) = filter.iter().find(|&&w| !width.contains(w)) {
-                return Err(ArchError::OperandOutOfRange { value, bits: width.bits() });
+            if let Some(&value) = filter.iter().find(|&&w| !width.contains(w.into())) {
+                return Err(ArchError::OperandOutOfRange {
+                    value: value.into(),
+                    bits: width.bits(),
+                });
             }
         }
+        Ok(())
+    }
 
-        self.reset();
-        let mut stats = MacroComputeStats::default();
+    /// Packs a validated sparse tile into shift/sign bit-planes. Weight `j`
+    /// of filter `f` maps to compartment `j mod C`, row `j div C`, columns
+    /// `[f·slots, f·slots + slots)` — the same mapping the scalar reference
+    /// writes cell by cell.
+    fn load_sparse_planes(&mut self, filters: &[FilterMetadata], weights_len: usize) -> u64 {
         let compartments = self.config.compartments_per_macro;
-        // Load: weight bit b of weight j of filter f in compartment (j mod C),
-        // row (j div C), column f*bits + b. The low `width.bits()` bits of
-        // the two's-complement value are exact for any in-range weight.
+        let threshold = filters.iter().map(|f| f.threshold).max().unwrap_or(0).max(1);
+        let slots = threshold as usize;
+        let rows = weights_len.div_ceil(compartments);
+        let words = compartments.div_ceil(64);
+        let shifts = filters.iter().map(|f| 2 * f.width.blocks()).max().unwrap_or(0);
+        let mut planes = vec![0u64; filters.len() * rows * shifts * 2 * words];
+        let mut cell_writes = 0u64;
         for (f, filter) in filters.iter().enumerate() {
-            for (j, &w) in filter.iter().enumerate() {
-                let compartment = j % compartments;
-                let row = j / compartments;
-                for b in 0..weight_bits {
-                    let column = f * weight_bits + b;
-                    let bit = (w as u32 >> b) & 1 == 1;
-                    self.compartments[compartment].dbmus[column].write_row(row, bit)?;
-                    stats.cell_writes += 1;
+            for (j, weight) in filter.weights.iter().enumerate() {
+                let c = j % compartments;
+                let r = j / compartments;
+                for block in weight.slots.iter().flatten() {
+                    let k = 2 * usize::from(block.db_index) + usize::from(block.high);
+                    let sign = usize::from(matches!(block.sign, Sign::Negative));
+                    let idx = (((f * rows + r) * shifts + k) * 2 + sign) * words + c / 64;
+                    planes[idx] |= 1u64 << (c % 64);
+                    cell_writes += 1;
                 }
             }
         }
+        self.tile = LoadedTile::Sparse(SparsePlanes {
+            filters: filters.len(),
+            weights_len,
+            slots,
+            shifts,
+            rows,
+            words,
+            planes,
+            cell_writes,
+        });
+        cell_writes
+    }
 
+    /// Packs a validated dense tile into weight-bit planes (same weight →
+    /// compartment/row mapping as the sparse load, columns `f·bits + b`).
+    fn load_dense_planes<T: Copy + Into<i32>>(
+        &mut self,
+        filters: &[&[T]],
+        width: OperandWidth,
+    ) -> u64 {
+        let compartments = self.config.compartments_per_macro;
+        let weight_bits = width.bits() as usize;
+        let weights_len = filters.first().map_or(0, |f| f.len());
+        let rows = weights_len.div_ceil(compartments);
+        let words = compartments.div_ceil(64);
+        let mut planes = vec![0u64; filters.len() * rows * weight_bits * words];
+        for (f, filter) in filters.iter().enumerate() {
+            for (j, &w) in filter.iter().enumerate() {
+                let c = j % compartments;
+                let r = j / compartments;
+                let w: i32 = w.into();
+                for b in 0..weight_bits {
+                    if (w as u32 >> b) & 1 == 1 {
+                        let idx = ((f * rows + r) * weight_bits + b) * words + c / 64;
+                        planes[idx] |= 1u64 << (c % 64);
+                    }
+                }
+            }
+        }
+        // Every bit-cell of every weight is written, set or not.
+        let cell_writes = (filters.len() * weights_len * weight_bits) as u64;
+        self.tile = LoadedTile::Dense(DensePlanes {
+            filters: filters.len(),
+            weights_len,
+            weight_bits,
+            rows,
+            words,
+            planes,
+            cell_writes,
+        });
+        cell_writes
+    }
+
+    /// The word-packed compute phase. Bit-serial over the IPU-selected
+    /// columns, row by row, exactly like the scalar reference — but each
+    /// `(filter, column)` reduction is a handful of AND + popcount words.
+    fn execute_planes(&self, inputs: &[i8], ipu: &InputPreprocessor) -> TileExecution {
+        let compartments = self.config.compartments_per_macro;
         let tree = CsdAdderTree;
-        let mut ppus: Vec<PostProcessingUnit> = vec![PostProcessingUnit::new(); filters.len()];
+        let mut stats = MacroComputeStats::default();
+        let filter_count = match &self.tile {
+            LoadedTile::None => 0,
+            LoadedTile::Sparse(t) => t.filters,
+            LoadedTile::Dense(t) => t.filters,
+        };
+        let mut ppus: Vec<PostProcessingUnit> = vec![PostProcessingUnit::new(); filter_count];
+        let mut packed = PackedColumns::new();
         let rows_used = inputs.len().div_ceil(compartments);
         for row in 0..rows_used {
             let start = row * compartments;
             let end = (start + compartments).min(inputs.len());
             let group = &inputs[start..end];
-            let ipu_result = ipu.process(group);
-            stats.skipped_columns += ipu_result.skipped_columns as u64;
-            for column_bits in &ipu_result.columns {
+            ipu.process_packed(group, &mut packed);
+            stats.skipped_columns += packed.skipped_columns() as u64;
+            for col in 0..packed.len() {
                 stats.compute_cycles += 1;
-                for (f, ppu) in ppus.iter_mut().enumerate() {
-                    let mut partial = 0i32;
-                    for b in 0..weight_bits {
-                        let column = f * weight_bits + b;
-                        let mut products = Vec::with_capacity(group.len());
-                        for (c, &input_bit) in column_bits.bits.iter().enumerate() {
-                            // In dense mode the stored bit is the cell's Q node.
-                            let out = self.compartments[c].dbmus[column].compute(row, input_bit)?;
-                            stats.cell_reads += 1;
-                            if out.o_q {
-                                stats.effective_cell_ops += 1;
-                            }
-                            products.push(out.o_q);
+                let mask = packed.mask(col);
+                let position = packed.position(col);
+                match &self.tile {
+                    LoadedTile::None => {}
+                    LoadedTile::Sparse(t) => {
+                        let per_filter = t.shifts * 2 * t.words;
+                        for (f, ppu) in ppus.iter_mut().enumerate() {
+                            let base = (f * t.rows + row) * per_filter;
+                            let (partial, effective) = tree.reduce_planes(
+                                mask,
+                                &t.planes[base..base + per_filter],
+                                t.words,
+                            );
+                            stats.cell_reads += (group.len() * t.slots) as u64;
+                            stats.effective_cell_ops += effective;
+                            stats.adder_reductions += 1;
+                            ppu.accumulate_bit(partial, position);
+                            stats.ppu_operations += 1;
                         }
-                        let (reduced, _) =
-                            tree.reduce_dense(&products, b as u32, b == weight_bits - 1);
-                        partial += reduced;
                     }
-                    stats.adder_reductions += 1;
-                    ppu.accumulate_bit(partial, column_bits.position);
-                    stats.ppu_operations += 1;
+                    LoadedTile::Dense(t) => {
+                        let per_filter = t.weight_bits * t.words;
+                        for (f, ppu) in ppus.iter_mut().enumerate() {
+                            let base = (f * t.rows + row) * per_filter;
+                            let (partial, effective) = tree.reduce_dense_planes(
+                                mask,
+                                &t.planes[base..base + per_filter],
+                                t.words,
+                            );
+                            stats.cell_reads += (group.len() * t.weight_bits) as u64;
+                            stats.effective_cell_ops += effective;
+                            stats.adder_reductions += 1;
+                            ppu.accumulate_bit(partial, position);
+                            stats.ppu_operations += 1;
+                        }
+                    }
                 }
             }
         }
         let outputs = ppus.iter_mut().map(PostProcessingUnit::drain).collect();
-        Ok(TileExecution { outputs, stats })
+        TileExecution { outputs, stats }
     }
 }
 
@@ -427,6 +625,78 @@ mod tests {
         }
         assert!(exec.stats.compute_cycles > 0);
         assert!(exec.stats.dynamic_utilization() <= 1.0);
+    }
+
+    #[test]
+    fn load_once_execute_many_matches_monolithic_execution() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let len = 48usize;
+        let metas: Vec<FilterMetadata> = (0..4)
+            .map(|_| {
+                let raw: Vec<i8> = (0..len).map(|_| rng.gen()).collect();
+                metadata_for(&raw, 2)
+            })
+            .collect();
+        let mut loaded = PimMacro::new(ArchConfig::paper()).unwrap();
+        let writes = loaded.load_sparse_tile(&metas).unwrap();
+        assert!(writes > 0);
+        for _ in 0..3 {
+            let inputs: Vec<i8> = (0..len).map(|_| rng.gen()).collect();
+            let split = loaded.execute_loaded(&inputs, &InputPreprocessor::new()).unwrap();
+            let mut fresh = PimMacro::new(ArchConfig::paper()).unwrap();
+            let mono =
+                fresh.execute_sparse_tile(&metas, &inputs, &InputPreprocessor::new()).unwrap();
+            assert_eq!(split.outputs, mono.outputs);
+            // The split execution pays no write cost; everything else matches.
+            assert_eq!(split.stats.cell_writes, 0);
+            assert_eq!(writes, mono.stats.cell_writes);
+            let mut adjusted = split.stats;
+            adjusted.cell_writes = mono.stats.cell_writes;
+            assert_eq!(adjusted, mono.stats);
+        }
+    }
+
+    #[test]
+    fn execute_without_load_and_mismatched_inputs_error() {
+        let pim = PimMacro::new(ArchConfig::paper()).unwrap();
+        assert_eq!(
+            pim.execute_loaded(&[1i8, 2], &InputPreprocessor::new()),
+            Err(ArchError::NoTileLoaded)
+        );
+        let mut pim = PimMacro::new(ArchConfig::paper()).unwrap();
+        pim.load_sparse_tile(&[metadata_for(&[1, 2, 3], 1)]).unwrap();
+        assert!(matches!(
+            pim.execute_loaded(&[1i8, 2], &InputPreprocessor::new()),
+            Err(ArchError::LengthMismatch { .. })
+        ));
+        pim.reset();
+        assert_eq!(
+            pim.execute_loaded(&[1i8, 2, 3], &InputPreprocessor::new()),
+            Err(ArchError::NoTileLoaded)
+        );
+        // Filters disagreeing on weight count are rejected at load time.
+        let mut pim = PimMacro::new(ArchConfig::paper()).unwrap();
+        assert!(matches!(
+            pim.load_sparse_tile(&[metadata_for(&[1, 2, 3], 1), metadata_for(&[1, 2], 1)]),
+            Err(ArchError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn dense_load_execute_split_matches_monolithic_execution() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let len = 37usize;
+        let filters: Vec<Vec<i8>> = (0..2).map(|_| (0..len).map(|_| rng.gen()).collect()).collect();
+        let inputs: Vec<i8> = (0..len).map(|_| rng.gen()).collect();
+        let mut loaded = PimMacro::new(ArchConfig::paper()).unwrap();
+        let writes = loaded.load_dense_tile(&filters).unwrap();
+        let split = loaded.execute_loaded(&inputs, &InputPreprocessor::without_sparsity()).unwrap();
+        let mut fresh = PimMacro::new(ArchConfig::paper()).unwrap();
+        let mono = fresh
+            .execute_dense_tile(&filters, &inputs, &InputPreprocessor::without_sparsity())
+            .unwrap();
+        assert_eq!(split.outputs, mono.outputs);
+        assert_eq!(writes, mono.stats.cell_writes);
     }
 
     #[test]

@@ -57,27 +57,30 @@ fn bench_macro_execution(c: &mut Criterion) {
         .collect();
     let dense_filters: Vec<Vec<i8>> = (0..2).map(|i| random_weights(20 + i, len)).collect();
 
-    c.bench_function("macro/sparse_tile_8x256_hybrid", |b| {
-        b.iter(|| {
-            let mut pim = PimMacro::new(ArchConfig::paper()).expect("macro builds");
-            pim.execute_sparse_tile(
-                black_box(&metadata),
-                black_box(&inputs),
-                &InputPreprocessor::new(),
-            )
-            .expect("executes")
-        })
+    // Load and compute phases are timed separately: a real inference loads a
+    // tile once and executes it against every im2col patch, so folding the
+    // (allocation-heavy) load into the timed region would hide the hot path.
+    let mut loader = PimMacro::new(ArchConfig::paper()).expect("macro builds");
+    c.bench_function("macro/sparse_tile_load_8x256", |b| {
+        b.iter(|| loader.load_sparse_tile(black_box(&metadata)).expect("loads"))
     });
-    c.bench_function("macro/dense_tile_2x256", |b| {
-        b.iter(|| {
-            let mut pim = PimMacro::new(ArchConfig::paper()).expect("macro builds");
-            pim.execute_dense_tile(
-                black_box(&dense_filters),
-                black_box(&inputs),
-                &InputPreprocessor::without_sparsity(),
-            )
-            .expect("executes")
-        })
+
+    let mut pim = PimMacro::new(ArchConfig::paper()).expect("macro builds");
+    pim.load_sparse_tile(&metadata).expect("loads");
+    let ipu = InputPreprocessor::new();
+    c.bench_function("macro/sparse_tile_compute_8x256_hybrid", |b| {
+        b.iter(|| pim.execute_loaded(black_box(&inputs), &ipu).expect("executes"))
+    });
+
+    c.bench_function("macro/dense_tile_load_2x256", |b| {
+        b.iter(|| loader.load_dense_tile(black_box(&dense_filters)).expect("loads"))
+    });
+
+    let mut pim = PimMacro::new(ArchConfig::paper()).expect("macro builds");
+    pim.load_dense_tile(&dense_filters).expect("loads");
+    let dense_ipu = InputPreprocessor::without_sparsity();
+    c.bench_function("macro/dense_tile_compute_2x256", |b| {
+        b.iter(|| pim.execute_loaded(black_box(&inputs), &dense_ipu).expect("executes"))
     });
 }
 

@@ -461,34 +461,44 @@ fn conv2d_i8(
     let x = input.data();
     let wv = weight.values().data();
     let mut out = vec![0i32; cfg.out_channels * oh * ow];
-    for oc in 0..cfg.out_channels {
-        let group = oc / out_per_group;
+    // Im2col structure: one zero-centered `(q_x - zp)` patch per output
+    // position (padding taps stored as 0, which contributes exactly the
+    // terms the bounds checks used to skip), built once and reused across
+    // every out-channel of the group. The scratch allocation is hoisted out
+    // of the whole position loop.
+    let patch_len = in_per_group * cfg.kernel * cfg.kernel;
+    let mut patch = vec![0i32; patch_len];
+    for group in 0..cfg.groups {
         let ic_base = group * in_per_group;
         for oy in 0..oh {
             for ox in 0..ow {
-                let mut acc = 0i32;
+                let mut idx = 0usize;
                 for ic in 0..in_per_group {
                     for ky in 0..cfg.kernel {
                         let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
                         for kx in 0..cfg.kernel {
                             let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            let q_x =
+                            patch[idx] = if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize
+                            {
+                                0
+                            } else {
                                 i32::from(x[((ic_base + ic) * h + iy as usize) * w + ix as usize])
-                                    - zp;
-                            let q_w = i32::from(
-                                wv[((oc * in_per_group + ic) * cfg.kernel + ky) * cfg.kernel + kx],
-                            );
-                            acc += q_x * q_w;
+                                    - zp
+                            };
+                            idx += 1;
                         }
                     }
                 }
-                out[(oc * oh + oy) * ow + ox] = acc;
+                for oc in group * out_per_group..(group + 1) * out_per_group {
+                    // The filter's weights share the patch's (ic, ky, kx)
+                    // layout, so the dot product is one linear scan.
+                    let row = &wv[oc * patch_len..(oc + 1) * patch_len];
+                    let mut acc = 0i32;
+                    for (&p, &q_w) in patch.iter().zip(row) {
+                        acc += p * i32::from(q_w);
+                    }
+                    out[(oc * oh + oy) * ow + ox] = acc;
+                }
             }
         }
     }
@@ -539,12 +549,21 @@ fn requantize_acc(
     out_channels: usize,
 ) -> Tensor<i8> {
     let per_channel = acc.numel() / out_channels;
+    if per_channel == 0 {
+        return Tensor::from_vec(Vec::new(), acc.shape().to_vec())
+            .expect("accumulator shape is valid");
+    }
+    let input_scale = input_qp.scale();
     let mut out = Vec::with_capacity(acc.numel());
-    for (i, &a) in acc.data().iter().enumerate() {
-        let channel = i / per_channel;
+    // Channel-major walk so the per-channel scheme lookup is hoisted out of
+    // the element loop; the float expression per element is unchanged.
+    for (channel, chunk) in acc.data().chunks(per_channel).enumerate() {
         let w_scale = weight.scheme().params_for_channel(channel).scale();
-        let real = a as f32 * input_qp.scale() * w_scale + bias.map_or(0.0, |b| b[channel]);
-        out.push(output_qp.quantize(real));
+        let channel_bias = bias.map_or(0.0, |b| b[channel]);
+        for &a in chunk {
+            let real = a as f32 * input_scale * w_scale + channel_bias;
+            out.push(output_qp.quantize(real));
+        }
     }
     Tensor::from_vec(out, acc.shape().to_vec()).expect("accumulator shape is valid")
 }

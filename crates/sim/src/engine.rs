@@ -24,6 +24,25 @@ pub struct Simulator {
     cost: CostModel,
 }
 
+/// Per-macro busy-time accumulators, allocated once per simulation and
+/// cleared per layer instead of reallocated.
+#[derive(Debug)]
+struct MacroBusy {
+    busy: Vec<f64>,
+    compute_busy: Vec<f64>,
+}
+
+impl MacroBusy {
+    fn new(macros: usize) -> Self {
+        Self { busy: vec![0.0; macros], compute_busy: vec![0.0; macros] }
+    }
+
+    fn clear(&mut self) {
+        self.busy.fill(0.0);
+        self.compute_busy.fill(0.0);
+    }
+}
+
 impl Simulator {
     /// Creates a simulator with the calibrated 28 nm cost model.
     ///
@@ -73,10 +92,13 @@ impl Simulator {
                 expected: expected.name(),
             });
         }
+        // Per-macro busy scratch reused across layers instead of allocating
+        // two vectors per layer.
+        let mut busy = MacroBusy::new(self.config.arch.macros);
         let layers = program
             .layers
             .iter()
-            .map(|layer| self.simulate_layer(layer, program.operand_bits))
+            .map(|layer| self.simulate_layer(layer, program.operand_bits, &mut busy))
             .collect();
         Ok(RunReport {
             model_name: program.model_name.clone(),
@@ -86,7 +108,12 @@ impl Simulator {
         })
     }
 
-    fn simulate_layer(&self, layer: &LayerProgram, operand_bits: u32) -> LayerReport {
+    fn simulate_layer(
+        &self,
+        layer: &LayerProgram,
+        operand_bits: u32,
+        macro_busy: &mut MacroBusy,
+    ) -> LayerReport {
         let arch = &self.config.arch;
         let compartments = arch.compartments_per_macro as f64;
         let input_skip = if self.config.sparsity.input_sparsity() {
@@ -98,8 +125,8 @@ impl Simulator {
         // weight width (`operand_bits`) varies per program.
         let bit_columns = (OPERAND_BITS as f64 * (1.0 - input_skip)).max(0.0);
 
-        let mut busy = vec![0.0f64; arch.macros];
-        let mut compute_busy = vec![0.0f64; arch.macros];
+        macro_busy.clear();
+        let MacroBusy { busy, compute_busy } = macro_busy;
         let mut io_cycles = 0.0f64;
         let mut serial_cycles = 0.0f64;
         let mut energy = EnergyBreakdown::default();
