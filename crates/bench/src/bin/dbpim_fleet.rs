@@ -8,8 +8,16 @@
 //!             [--workers <n>] [--endpoints host:port,...]
 //!             [--strategy round-robin|contiguous|cost-weighted]
 //!             [--snapshot-dir <dir>] [--fleet-id <name>]
+//!             [--auth-token <secret>]
 //!             [--point-timeout-ms <n>] [--retries <n>]
+//! dbpim-fleet --status --endpoints host:port,... [--auth-token <secret>]
+//!             [--fleet-id <name>]
 //! ```
+//!
+//! `--status` skips the sweep entirely: it asks every endpoint for its
+//! shard registry, folds the answers into one deduplicated progress view
+//! per fleet ([`FleetProgress`]) and prints it — the monitoring
+//! counterpart to a fleet running elsewhere.
 //!
 //! The rendered report (stdout) is the same pure-function-of-the-results
 //! table `dse_sweep` prints, so CI can `diff` a fleet run byte-for-byte
@@ -25,7 +33,7 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use dbpim_bench::dse::{render_report, DseSweepOptions};
-use dbpim_fleet::{FleetDriver, FleetEvent, FleetOptions};
+use dbpim_fleet::{FleetDriver, FleetEvent, FleetOptions, FleetProgress};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +43,9 @@ fn main() {
         (Err(e), _) => usage_error(&e.to_string()),
         (_, Err(e)) => usage_error(&e.to_string()),
     };
+    if args.iter().any(|arg| arg == "--status") {
+        status_mode(&fleet);
+    }
     // The driver-local knobs of dse_sweep make no sense across a fleet.
     for (flag, set) in [
         ("--snapshot", sweep.snapshot.is_some()),
@@ -116,6 +127,57 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+/// `--status`: fetch every endpoint's shard registry, aggregate, print.
+fn status_mode(fleet: &FleetOptions) -> ! {
+    use std::time::Duration;
+
+    if fleet.endpoints.is_empty() {
+        usage_error("--status needs --endpoints to know which daemons to ask");
+    }
+    let mut views = Vec::new();
+    let mut unreachable = 0usize;
+    for endpoint in &fleet.endpoints {
+        let statuses =
+            dbpim_serve::Client::connect_timeout(endpoint.as_str(), Duration::from_secs(5))
+                .map_err(|e| e.to_string())
+                .and_then(|mut client| {
+                    if let Some(token) = &fleet.auth_token {
+                        client.authenticate(token).map_err(|e| e.to_string())?;
+                    }
+                    client.shard_statuses().map_err(|e| e.to_string())
+                });
+        match statuses {
+            Ok(statuses) => views.push(statuses),
+            Err(e) => {
+                unreachable += 1;
+                eprintln!("dbpim-fleet: {endpoint}: {e}");
+            }
+        }
+    }
+    if views.is_empty() {
+        eprintln!("dbpim-fleet: no endpoint answered");
+        std::process::exit(1);
+    }
+    let mut fleets = FleetProgress::aggregate(&views);
+    if let Some(id) = &fleet.fleet_id {
+        fleets.retain(|progress| &progress.fleet == id);
+        if fleets.is_empty() {
+            eprintln!("dbpim-fleet: no endpoint reports fleet {id}");
+            std::process::exit(1);
+        }
+    }
+    if fleets.is_empty() {
+        println!("no shard-tagged work reported by {} endpoint(s)", views.len());
+    }
+    for progress in &fleets {
+        print!("{progress}");
+    }
+    std::io::stdout().flush().ok();
+    // Partial coverage is an error exit so scripts don't mistake a view
+    // missing daemons for the whole story.
+    std::process::exit(i32::from(unreachable > 0));
 }
 
 fn usage_error(message: &str) -> ! {

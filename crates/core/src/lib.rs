@@ -56,6 +56,7 @@ pub mod measure;
 mod pipeline;
 pub mod prelude;
 pub mod session;
+pub mod stats;
 
 pub use dse::{DseDriver, DseEntry, DsePoint, DsePointKey, DseReport, DseSpec, MixCandidate};
 pub use error::PipelineError;
@@ -64,3 +65,4 @@ pub use session::{
     BatchRunner, ModelArtifacts, ModelPrograms, SessionCacheStats, SimSession, SweepEntry,
     SweepReport, SweepSpec,
 };
+pub use stats::LatencyHistogram;

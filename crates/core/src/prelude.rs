@@ -19,6 +19,7 @@ pub use crate::session::{
     BatchRunner, ModelArtifacts, ModelPrograms, SessionCacheStats, SimSession, SweepEntry,
     SweepReport, SweepSpec,
 };
+pub use crate::stats::LatencyHistogram;
 
 pub use dbpim_arch::{ArchConfig, InputPreprocessor, PimMacro};
 pub use dbpim_compiler::{

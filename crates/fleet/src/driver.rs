@@ -222,6 +222,10 @@ pub struct FleetConfig {
     /// Identifier shard-tagged remote requests carry (shows up in
     /// `dbpim-cli shard-status`).
     pub fleet_id: String,
+    /// Shared secret presented to every remote daemon on (re)connect.
+    /// Required when the endpoints run `dbpim-served --auth-token`; open
+    /// daemons accept any token, so setting it is always safe.
+    pub auth_token: Option<String>,
     /// Per-point remote deadline *and* response timeout — the failure
     /// detector for wedged or dead daemons.
     pub point_timeout: Duration,
@@ -250,6 +254,7 @@ impl FleetConfig {
             strategy: ShardStrategy::default(),
             snapshot_dir: None,
             fleet_id: format!("fleet-{}", unix_time_ms()),
+            auth_token: None,
             point_timeout: Duration::from_secs(120),
             max_point_attempts: 3,
             worker_failure_limit: 2,
@@ -275,6 +280,13 @@ impl FleetConfig {
     #[must_use]
     pub fn with_fleet_id(mut self, fleet_id: impl Into<String>) -> Self {
         self.fleet_id = fleet_id.into();
+        self
+    }
+
+    /// Sets the shared secret presented to remote daemons.
+    #[must_use]
+    pub fn with_auth_token(mut self, token: impl Into<String>) -> Self {
+        self.auth_token = Some(token.into());
         self
     }
 
@@ -604,7 +616,11 @@ impl FleetDriver {
                 runner: local_runner.expect("a local worker implies a shared runner"),
             }),
             WorkerSpec::Remote(addr) => {
-                let mut remote = RemoteExecutor::new(addr.clone(), self.config.point_timeout);
+                let mut remote = RemoteExecutor::new(
+                    addr.clone(),
+                    self.config.point_timeout,
+                    self.config.auth_token.clone(),
+                );
                 // Fail fast on an endpoint that was never alive: the
                 // heartbeat is a connect + version-checked ping.
                 if let Err(reason) = remote.heartbeat() {

@@ -19,12 +19,17 @@
 //! * [`WorkerSpec`] — where points execute: in-process (every local worker
 //!   shares one warm [`BatchRunner`](db_pim::BatchRunner) cache) or against
 //!   a daemon endpoint via single-point, shard-tagged `Explore` streams
-//!   (protocol v3), each bounded by a per-point deadline.
+//!   (protocol v4, authenticating with [`FleetConfig::auth_token`] when
+//!   the daemons require it), each bounded by a per-point deadline.
 //! * [`FleetDriver`] — the orchestrator: per-shard work queues with
 //!   straggler reassignment (an idle worker steals from the largest
 //!   backlog), per-point retry with a global attempt budget,
 //!   heartbeat-based worker retirement, per-shard snapshot persistence
 //!   after every point, and the final exactly-once-verified merge.
+//! * [`FleetProgress`] — the monitoring surface: per-daemon `ShardStatus`
+//!   answers folded into one deduplicated fleet-wide view (completions
+//!   capped per shard, failure dominating), rendered by
+//!   `dbpim-fleet --status`.
 //!
 //! SparseP (Giannoula et al.) reports the same lesson for real PIM
 //! hardware: once the per-point kernel is fixed, the partitioning and
@@ -58,6 +63,7 @@
 
 pub mod driver;
 pub mod options;
+pub mod progress;
 pub mod shard;
 mod worker;
 
@@ -65,5 +71,6 @@ pub use driver::{
     FleetConfig, FleetDriver, FleetError, FleetEvent, FleetOutcome, FleetStats, WorkerStats,
 };
 pub use options::FleetOptions;
+pub use progress::{FleetProgress, ShardProgress};
 pub use shard::{point_cost, Shard, ShardPlan, ShardStrategy};
 pub use worker::WorkerSpec;

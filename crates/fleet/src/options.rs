@@ -7,6 +7,7 @@
 //! --strategy <name>       round-robin | contiguous | cost-weighted
 //! --snapshot-dir <dir>    per-shard snapshots + merged report; enables resume
 //! --fleet-id <name>       identifier shard-tagged requests carry
+//! --auth-token <secret>   shared secret presented to every remote daemon
 //! --point-timeout-ms <n>  remote per-point deadline / liveness timeout
 //! --retries <n>           attempts per point before the run aborts
 //! --save-every <n>        new points per shard between snapshot saves
@@ -41,6 +42,8 @@ pub struct FleetOptions {
     pub snapshot_dir: Option<PathBuf>,
     /// Fleet identifier override.
     pub fleet_id: Option<String>,
+    /// Shared secret presented to every remote daemon.
+    pub auth_token: Option<String>,
     /// Per-point timeout in milliseconds.
     pub point_timeout_ms: u64,
     /// Attempts per point before the run aborts.
@@ -57,6 +60,7 @@ impl Default for FleetOptions {
             strategy: ShardStrategy::default(),
             snapshot_dir: None,
             fleet_id: None,
+            auth_token: None,
             point_timeout_ms: 120_000,
             retries: 3,
             save_every: 1,
@@ -66,12 +70,13 @@ impl Default for FleetOptions {
 
 impl FleetOptions {
     /// The flags this parser understands.
-    pub const FLAGS: [&'static str; 8] = [
+    pub const FLAGS: [&'static str; 9] = [
         "--workers",
         "--endpoints",
         "--strategy",
         "--snapshot-dir",
         "--fleet-id",
+        "--auth-token",
         "--point-timeout-ms",
         "--retries",
         "--save-every",
@@ -81,7 +86,8 @@ impl FleetOptions {
     /// flags).
     pub const USAGE: &'static str = "[--workers <n>] [--endpoints host:port,...] \
          [--strategy round-robin|contiguous|cost-weighted] [--snapshot-dir <dir>] \
-         [--fleet-id <name>] [--point-timeout-ms <n>] [--retries <n>] [--save-every <n>]";
+         [--fleet-id <name>] [--auth-token <secret>] [--point-timeout-ms <n>] [--retries <n>] \
+         [--save-every <n>]";
 
     /// Parses the fleet flags from an explicit argument list. Unknown
     /// arguments are ignored.
@@ -122,6 +128,7 @@ impl FleetOptions {
                 "--strategy" => options.strategy = parse_value(flag, raw)?,
                 "--snapshot-dir" => options.snapshot_dir = Some(PathBuf::from(raw)),
                 "--fleet-id" => options.fleet_id = Some(raw.clone()),
+                "--auth-token" => options.auth_token = Some(raw.clone()),
                 "--point-timeout-ms" => {
                     options.point_timeout_ms = parse_value::<u64>(flag, raw)?.max(1);
                 }
@@ -161,6 +168,9 @@ impl FleetOptions {
         if let Some(fleet_id) = &self.fleet_id {
             config = config.with_fleet_id(fleet_id.clone());
         }
+        if let Some(token) = &self.auth_token {
+            config = config.with_auth_token(token.clone());
+        }
         config
     }
 }
@@ -188,6 +198,8 @@ mod tests {
             "/tmp/fleet",
             "--fleet-id",
             "ci-run",
+            "--auth-token",
+            "sesame",
             "--point-timeout-ms",
             "5000",
             "--retries",
@@ -199,6 +211,7 @@ mod tests {
         assert_eq!(options.strategy, ShardStrategy::CostWeighted);
         assert_eq!(options.snapshot_dir, Some(PathBuf::from("/tmp/fleet")));
         assert_eq!(options.fleet_id.as_deref(), Some("ci-run"));
+        assert_eq!(options.auth_token.as_deref(), Some("sesame"));
         assert_eq!(options.point_timeout_ms, 5000);
         assert_eq!(options.retries, 5);
         // Remotes first, then the locals.
@@ -213,6 +226,7 @@ mod tests {
         );
         let config = options.fleet_config(PipelineConfig::fast());
         assert_eq!(config.fleet_id, "ci-run");
+        assert_eq!(config.auth_token.as_deref(), Some("sesame"));
         assert_eq!(config.point_timeout, Duration::from_millis(5000));
         assert_eq!(config.max_point_attempts, 5);
     }

@@ -1,0 +1,236 @@
+//! Fleet-level progress: aggregating per-daemon [`ShardStatus`] answers.
+//!
+//! Every daemon only sees the shard-tagged requests dispatched *to it*, so
+//! under straggler reassignment the same shard reports progress from
+//! several daemons and the naive sum over-counts. This module folds the
+//! per-endpoint views into one [`FleetProgress`]: per shard, completions
+//! are summed across endpoints and **capped at the shard's point total**
+//! (a completed point is completed no matter how many daemons touched the
+//! shard), failure dominates the merged state, and per-fleet totals fall
+//! out of the shard rows.
+//!
+//! The aggregation is a pure function of the collected statuses — the
+//! `dbpim-fleet --status` mode does the fetching, the tests feed it
+//! scripted views.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dbpim_serve::{ShardState, ShardStatus};
+
+/// One shard's progress merged across every endpoint that saw it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardProgress {
+    /// The shard index (`0..of`).
+    pub shard: usize,
+    /// Total shards of the fleet run (as reported; the largest wins when
+    /// endpoints disagree mid-resize).
+    pub of: usize,
+    /// Points the shard contains.
+    pub total_points: usize,
+    /// Points completed across all endpoints, capped at `total_points`.
+    pub completed_points: usize,
+    /// Merged lifecycle: `Failed` if any endpoint reports a failure,
+    /// otherwise `Finished` once every point is covered, otherwise
+    /// `Running`.
+    pub state: ShardState,
+    /// Endpoints that reported this shard (> 1 means reassignment).
+    pub endpoints: usize,
+    /// Unix-epoch milliseconds of the freshest update any endpoint saw.
+    pub updated_at_ms: u64,
+}
+
+/// One fleet run's progress: its shard rows plus the derived totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetProgress {
+    /// The fleet identifier the shard tags carried.
+    pub fleet: String,
+    /// Per-shard merged progress, ordered by shard index.
+    pub shards: Vec<ShardProgress>,
+}
+
+impl FleetProgress {
+    /// Folds per-endpoint status answers into one view per fleet, keyed
+    /// and ordered by fleet identifier. The input is whatever each
+    /// endpoint's `ShardStatus` request returned — endpoints that answered
+    /// nothing contribute nothing.
+    #[must_use]
+    pub fn aggregate(per_endpoint: &[Vec<ShardStatus>]) -> Vec<FleetProgress> {
+        let mut fleets: BTreeMap<String, BTreeMap<usize, ShardProgress>> = BTreeMap::new();
+        for statuses in per_endpoint {
+            for status in statuses {
+                let row = fleets
+                    .entry(status.fleet.clone())
+                    .or_default()
+                    .entry(status.shard)
+                    .or_insert_with(|| ShardProgress {
+                        shard: status.shard,
+                        of: status.of,
+                        total_points: status.total_points,
+                        completed_points: 0,
+                        state: ShardState::Running,
+                        endpoints: 0,
+                        updated_at_ms: 0,
+                    });
+                row.of = row.of.max(status.of);
+                row.total_points = row.total_points.max(status.total_points);
+                row.completed_points =
+                    (row.completed_points + status.completed_points).min(row.total_points);
+                row.endpoints += 1;
+                row.updated_at_ms = row.updated_at_ms.max(status.updated_at_ms);
+                if status.state == ShardState::Failed {
+                    row.state = ShardState::Failed;
+                }
+            }
+        }
+        fleets
+            .into_iter()
+            .map(|(fleet, shards)| {
+                let mut shards: Vec<ShardProgress> = shards.into_values().collect();
+                for shard in &mut shards {
+                    if shard.state != ShardState::Failed
+                        && shard.completed_points >= shard.total_points
+                        && shard.total_points > 0
+                    {
+                        shard.state = ShardState::Finished;
+                    }
+                }
+                FleetProgress { fleet, shards }
+            })
+            .collect()
+    }
+
+    /// Points completed across every shard (already deduplicated by the
+    /// per-shard cap).
+    #[must_use]
+    pub fn completed_points(&self) -> usize {
+        self.shards.iter().map(|s| s.completed_points).sum()
+    }
+
+    /// Points the fleet's shards contain in total.
+    #[must_use]
+    pub fn total_points(&self) -> usize {
+        self.shards.iter().map(|s| s.total_points).sum()
+    }
+
+    /// `true` once every shard finished (and none failed).
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        !self.shards.is_empty() && self.shards.iter().all(|s| s.state == ShardState::Finished)
+    }
+}
+
+impl fmt::Display for FleetProgress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet {}: {}/{} points",
+            self.fleet,
+            self.completed_points(),
+            self.total_points()
+        )?;
+        for shard in &self.shards {
+            let state = match shard.state {
+                ShardState::Running => "running",
+                ShardState::Finished => "finished",
+                ShardState::Failed => "failed",
+            };
+            writeln!(
+                f,
+                "  shard {}/{}: {}/{} points, {state}, {} endpoint(s)",
+                shard.shard, shard.of, shard.completed_points, shard.total_points, shard.endpoints
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn status(
+        fleet: &str,
+        shard: usize,
+        of: usize,
+        total: usize,
+        completed: usize,
+        state: ShardState,
+    ) -> ShardStatus {
+        ShardStatus {
+            fleet: fleet.to_string(),
+            shard,
+            of,
+            total_points: total,
+            completed_points: completed,
+            state,
+            updated_at_ms: 100,
+        }
+    }
+
+    #[test]
+    fn reassigned_shards_never_over_count() {
+        // Shard 0 ran on two daemons: 4 points on one, 3 on the other —
+        // but the shard only *has* 5 points (2 were recomputed after a
+        // straggler steal). The merged view caps at the total.
+        let views = vec![
+            vec![status("run-a", 0, 2, 5, 4, ShardState::Running)],
+            vec![
+                status("run-a", 0, 2, 5, 3, ShardState::Finished),
+                status("run-a", 1, 2, 5, 5, ShardState::Finished),
+            ],
+        ];
+        let fleets = FleetProgress::aggregate(&views);
+        assert_eq!(fleets.len(), 1);
+        let fleet = &fleets[0];
+        assert_eq!(fleet.fleet, "run-a");
+        assert_eq!(fleet.shards.len(), 2);
+        assert_eq!(fleet.shards[0].completed_points, 5, "capped at the shard total");
+        assert_eq!(fleet.shards[0].endpoints, 2);
+        assert_eq!(fleet.shards[0].state, ShardState::Finished, "all points covered");
+        assert_eq!(fleet.completed_points(), 10);
+        assert_eq!(fleet.total_points(), 10);
+        assert!(fleet.is_complete());
+    }
+
+    #[test]
+    fn failure_dominates_and_partial_progress_stays_running() {
+        let views = vec![
+            vec![status("run-b", 0, 2, 4, 4, ShardState::Failed)],
+            vec![
+                status("run-b", 0, 2, 4, 1, ShardState::Running),
+                status("run-b", 1, 2, 4, 2, ShardState::Running),
+            ],
+        ];
+        let fleets = FleetProgress::aggregate(&views);
+        let fleet = &fleets[0];
+        assert_eq!(fleet.shards[0].state, ShardState::Failed, "one failure taints the shard");
+        assert_eq!(fleet.shards[1].state, ShardState::Running);
+        assert_eq!(fleet.shards[1].completed_points, 2);
+        assert!(!fleet.is_complete());
+    }
+
+    #[test]
+    fn distinct_fleets_stay_separate_and_ordered() {
+        let views = vec![vec![
+            status("zeta", 0, 1, 2, 2, ShardState::Finished),
+            status("alpha", 0, 1, 3, 1, ShardState::Running),
+        ]];
+        let fleets = FleetProgress::aggregate(&views);
+        assert_eq!(fleets.len(), 2);
+        assert_eq!(fleets[0].fleet, "alpha");
+        assert_eq!(fleets[1].fleet, "zeta");
+        assert!(fleets[1].is_complete());
+        assert!(!fleets[0].is_complete());
+
+        let rendered = fleets[0].to_string();
+        assert!(rendered.contains("fleet alpha: 1/3 points"), "{rendered}");
+        assert!(rendered.contains("shard 0/1: 1/3 points, running, 1 endpoint(s)"), "{rendered}");
+    }
+
+    #[test]
+    fn empty_views_aggregate_to_nothing() {
+        assert!(FleetProgress::aggregate(&[]).is_empty());
+        assert!(FleetProgress::aggregate(&[Vec::new(), Vec::new()]).is_empty());
+    }
+}

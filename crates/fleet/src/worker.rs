@@ -107,15 +107,21 @@ impl PointExecutor for LocalExecutor {
 pub(crate) struct RemoteExecutor {
     addr: String,
     timeout: Duration,
+    auth_token: Option<String>,
     client: Option<Client>,
 }
 
 impl RemoteExecutor {
-    pub fn new(addr: String, timeout: Duration) -> Self {
-        Self { addr, timeout, client: None }
+    pub fn new(addr: String, timeout: Duration, auth_token: Option<String>) -> Self {
+        Self { addr, timeout, auth_token, client: None }
     }
 
-    /// The live connection, (re)established and version-checked on demand.
+    /// The live connection, (re)established, version-checked and — when the
+    /// fleet carries a token — authenticated on demand. Open daemons accept
+    /// any token, so presenting one is always safe; a daemon *requiring*
+    /// auth rejects every work request until the handshake lands, which is
+    /// why it happens here, inside the reconnect path, and not once at
+    /// startup.
     fn client(&mut self) -> Result<&mut Client, String> {
         if self.client.is_none() {
             let mut client = Client::connect_timeout(self.addr.as_str(), self.timeout)
@@ -124,6 +130,9 @@ impl RemoteExecutor {
                 .set_response_timeout(Some(self.timeout))
                 .map_err(|e| format!("configure {}: {e}", self.addr))?;
             client.ping().map_err(|e| format!("ping {}: {e}", self.addr))?;
+            if let Some(token) = &self.auth_token {
+                client.authenticate(token).map_err(|e| format!("auth {}: {e}", self.addr))?;
+            }
             self.client = Some(client);
         }
         Ok(self.client.as_mut().expect("just ensured"))
@@ -228,7 +237,7 @@ mod tests {
     fn dead_endpoints_fail_with_a_named_address() {
         // A port from the reserved test range nothing listens on.
         let mut executor =
-            RemoteExecutor::new("127.0.0.1:9".to_string(), Duration::from_millis(200));
+            RemoteExecutor::new("127.0.0.1:9".to_string(), Duration::from_millis(200), None);
         let err = executor.heartbeat().unwrap_err();
         assert!(err.contains("127.0.0.1:9"), "{err}");
     }

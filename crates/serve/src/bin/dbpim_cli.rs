@@ -1,7 +1,7 @@
 //! `dbpim-cli` — command-line client for the `dbpim-served` daemon.
 //!
 //! ```text
-//! dbpim-cli [--addr <ip>] [--port <u16>] <command> [flags]
+//! dbpim-cli [--addr <ip>] [--port <u16>] [--auth-token <secret>] <command> [flags]
 //!
 //! commands:
 //!   ping                       liveness + protocol-version check
@@ -24,13 +24,16 @@
 //!       [--sparsity <name>]    restrict to one configuration
 //!       [--widths 4,8,...]     operand-width axis
 //!       [--fidelity]           request fidelity where defined
-//!   stats                      daemon request counters + cache statistics
+//!   stats                      daemon counters, queue depths, rejection
+//!                              counts, per-request latency + cache stats
 //!   shard-status               progress of shard-tagged fleet explorations
 //!   shutdown                   stop the daemon
 //!
 //! `run`, `sweep` and `explore` additionally accept `--deadline-ms <n>`:
 //! the daemon answers with a structured `DeadlineExceeded` error instead of
-//! streaming past the deadline.
+//! streaming past the deadline. `--auth-token` authenticates the connection
+//! before the command runs — required against a daemon started with
+//! `--auth-token`, harmless against an open one.
 //! ```
 //!
 //! Flag parsing is strict in the `ExperimentOptions` tradition: unknown
@@ -49,7 +52,7 @@ use dbpim_serve::options::{parse_value, OptionsError};
 use dbpim_serve::{Client, RunQuery};
 use dbpim_sim::{ArchGrid, SparsityConfig};
 
-const USAGE: &str = "usage: dbpim-cli [--addr <ip>] [--port <u16>] \
+const USAGE: &str = "usage: dbpim-cli [--addr <ip>] [--port <u16>] [--auth-token <secret>] \
      <ping|models|run|sweep|explore|stats|shard-status|shutdown> [--model <name>] \
      [--models a,b,c] [--sparsity <name>] [--operand-width <4|8|12|16>] [--widths 4,8,...] \
      [--macros a,b] [--compartments a,b] [--dbmus a,b] [--rows a,b] [--freqs a,b] \
@@ -83,11 +86,12 @@ struct CliOptions {
     rows: Option<Vec<usize>>,
     freqs: Option<Vec<f64>>,
     deadline_ms: Option<u64>,
+    auth_token: Option<String>,
     fidelity: bool,
 }
 
 impl CliOptions {
-    const VALUE_FLAGS: [&'static str; 13] = [
+    const VALUE_FLAGS: [&'static str; 14] = [
         "--addr",
         "--port",
         "--model",
@@ -101,6 +105,7 @@ impl CliOptions {
         "--rows",
         "--freqs",
         "--deadline-ms",
+        "--auth-token",
     ];
 
     fn from_slice(args: &[String]) -> Result<Self, OptionsError> {
@@ -119,6 +124,7 @@ impl CliOptions {
             rows: None,
             freqs: None,
             deadline_ms: None,
+            auth_token: None,
             fidelity: false,
         };
         let mut command = None;
@@ -173,6 +179,7 @@ impl CliOptions {
                 "--rows" => options.rows = Some(parse_list(arg, raw)?),
                 "--freqs" => options.freqs = Some(parse_list(arg, raw)?),
                 "--deadline-ms" => options.deadline_ms = Some(parse_value(arg, raw)?),
+                "--auth-token" => options.auth_token = Some(raw.clone()),
                 _ => unreachable!("flag list and match arms agree"),
             }
             i += 2;
@@ -317,6 +324,13 @@ fn main() {
         }
     };
 
+    if let Some(token) = &options.auth_token {
+        if let Err(e) = client.authenticate(token) {
+            eprintln!("dbpim-cli: authentication against {addr} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
     let outcome = match options.command {
         Command::Ping => client.ping().map(|version| {
             println!("pong (protocol v{version}) from {addr}");
@@ -406,17 +420,38 @@ fn main() {
                 })
                 .map(|report| print_explore(&report))
         }
-        Command::Stats => client.cache_stats().map(|stats| {
-            println!("requests:           {}", stats.requests);
-            println!("errors:             {}", stats.errors);
-            println!("connections:        {}", stats.connections);
-            println!("uptime:             {:?}", stats.uptime);
-            println!("artifact hits:      {}", stats.cache.artifact_hits);
-            println!("artifact misses:    {}", stats.cache.artifact_misses);
-            println!("program hits:       {}", stats.cache.program_hits);
-            println!("program misses:     {}", stats.cache.program_misses);
-            println!("resident artifacts: {}", stats.cache.resident_artifacts);
-            println!("artifact evictions: {}", stats.cache.artifact_evictions);
+        Command::Stats => client.stats().map(|stats| {
+            println!("requests:             {}", stats.requests);
+            println!("errors:               {}", stats.errors);
+            println!("connections:          {}", stats.connections);
+            println!("active connections:   {}", stats.active_connections);
+            println!("queued connections:   {}", stats.queued_connections);
+            println!("rejected overloaded:  {}", stats.rejected_overloaded);
+            println!("rejected unauthorized:{}", stats.rejected_unauthorized);
+            println!("rejected frames:      {}", stats.rejected_frames);
+            println!("uptime:               {:?}", stats.uptime);
+            println!("artifact hits:        {}", stats.cache.artifact_hits);
+            println!("artifact misses:      {}", stats.cache.artifact_misses);
+            println!("program hits:         {}", stats.cache.program_hits);
+            println!("program misses:       {}", stats.cache.program_misses);
+            println!("resident artifacts:   {}", stats.cache.resident_artifacts);
+            println!("artifact evictions:   {}", stats.cache.artifact_evictions);
+            if !stats.latency.is_empty() {
+                println!("| request | count | mean us | p50 us | p99 us | max us |");
+                println!("|---|---|---|---|---|---|");
+                for entry in &stats.latency {
+                    let h = &entry.histogram;
+                    println!(
+                        "| {} | {} | {:.1} | {} | {} | {} |",
+                        entry.request,
+                        h.count,
+                        h.mean_micros(),
+                        h.percentile_micros(0.5),
+                        h.percentile_micros(0.99),
+                        h.max_micros,
+                    );
+                }
+            }
         }),
         Command::ShardStatus => client.shard_statuses().map(|shards| {
             if shards.is_empty() {
@@ -532,6 +567,21 @@ mod tests {
 
         let err = CliOptions::from_slice(&args(&["sweep", "--deadline-ms", "soon"])).unwrap_err();
         assert_eq!(err.flag, "--deadline-ms");
+    }
+
+    #[test]
+    fn auth_token_flag_parses_for_every_command() {
+        let options =
+            CliOptions::from_slice(&args(&["stats", "--auth-token", "fleet-secret"])).unwrap();
+        assert_eq!(options.command, Command::Stats);
+        assert_eq!(options.auth_token.as_deref(), Some("fleet-secret"));
+
+        let options = CliOptions::from_slice(&args(&["ping"])).unwrap();
+        assert_eq!(options.auth_token, None);
+
+        let err = CliOptions::from_slice(&args(&["stats", "--auth-token"])).unwrap_err();
+        assert_eq!(err.flag, "--auth-token");
+        assert!(err.to_string().contains("missing"), "{err}");
     }
 
     #[test]

@@ -31,6 +31,14 @@ fn main() {
             "off".to_string()
         },
     );
+    println!(
+        "dbpim-served hardening: auth {}, max frame {} bytes, max pending {}, \
+         per-client connections {}",
+        if options.auth_token.is_some() { "required" } else { "off" },
+        options.max_frame_bytes,
+        options.max_pending,
+        options.max_client_conns.map_or("unlimited".to_string(), |cap| cap.to_string()),
+    );
     if let Err(e) = server.run() {
         eprintln!("dbpim-served: serving failed: {e}");
         std::process::exit(1);

@@ -215,6 +215,24 @@ impl Client {
         }
     }
 
+    /// Presents the daemon's shared secret ([`Request::Auth`]). Required
+    /// before anything but [`ping`](Self::ping) on a daemon started with
+    /// `--auth-token`; harmless (accepted with any token) on an open
+    /// daemon, so callers can authenticate unconditionally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Server`] with an
+    /// [`ErrorKind::Unauthorized`](crate::protocol::ErrorKind) payload on a
+    /// wrong token (the daemon closes the connection afterwards), and
+    /// propagates connection failures.
+    pub fn authenticate(&mut self, token: &str) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Auth { token: token.to_string() })? {
+            Response::AuthOk => Ok(()),
+            other => Err(unexpected("AuthOk", &other)),
+        }
+    }
+
     /// The zoo models the daemon serves.
     ///
     /// # Errors
@@ -422,6 +440,20 @@ impl Client {
     /// Propagates connection and server failures.
     pub fn cache_stats(&mut self) -> Result<ServerStats, ClientError> {
         match self.round_trip(&Request::CacheStats)? {
+            Response::Stats { stats } => Ok(stats),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Snapshots the daemon's full observability surface ([`Request::Stats`]):
+    /// request counters, queue depths, rejection counters and the
+    /// per-request-type latency histograms.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and server failures.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.round_trip(&Request::Stats)? {
             Response::Stats { stats } => Ok(stats),
             other => Err(unexpected("Stats", &other)),
         }

@@ -14,7 +14,9 @@
 //!   framing ([`protocol::read_message`] / [`protocol::write_message`]).
 //! * [`server`] — the daemon: a TCP acceptor feeding a worker thread pool,
 //!   the shared warm cache ([`db_pim::BatchRunner`] inside), incremental
-//!   result streaming for sweeps, and graceful shutdown.
+//!   result streaming for sweeps, graceful shutdown, and the production
+//!   hardening (admission control, shared-secret auth, bounded request
+//!   framing, per-request-type latency histograms).
 //! * [`client`] — a blocking client library the `dbpim-cli` binary and the
 //!   `serve_bench` load generator are built on.
 //!
@@ -50,7 +52,7 @@ pub mod server;
 pub use client::{Client, ClientError, RunQuery};
 pub use options::{OptionsError, ServeOptions};
 pub use protocol::{
-    ErrorKind, ErrorResponse, Request, Response, ServerStats, ShardAnnotation, ShardState,
-    ShardStatus, WireError, PROTOCOL_VERSION,
+    ErrorKind, ErrorResponse, Request, RequestLatency, Response, ServerStats, ShardAnnotation,
+    ShardState, ShardStatus, WireError, PROTOCOL_VERSION,
 };
 pub use server::{ServeConfig, ServeError, Server, ServerHandle};

@@ -62,6 +62,14 @@ where
 /// --operand-width <4|8|12|16>  default weight operand width (default 8)
 /// --cache-cap <n>   LRU cap on resident prepared models per width session
 ///                   (default unbounded; 0 is clamped to 1)
+/// --auth-token <s>  shared secret clients must present via Auth (default
+///                   none: open daemon)
+/// --max-frame-bytes <n>  request-line size limit; longer frames are
+///                   answered FrameTooLarge and disconnected (default 1 MiB)
+/// --max-pending <n> admission-control backlog bound once every worker is
+///                   busy (default 64)
+/// --max-client-conns <n>  per-client-IP cap on open connections (default
+///                   unlimited)
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeOptions {
@@ -75,6 +83,14 @@ pub struct ServeOptions {
     pub pipeline: PipelineConfig,
     /// LRU cap on resident prepared models per per-width session cache.
     pub cache_cap: Option<usize>,
+    /// Shared secret clients must present; `None` runs an open daemon.
+    pub auth_token: Option<String>,
+    /// Request-line size limit in bytes.
+    pub max_frame_bytes: usize,
+    /// Admission-control backlog bound.
+    pub max_pending: usize,
+    /// Per-client-IP cap on simultaneously open connections.
+    pub max_client_conns: Option<usize>,
 }
 
 impl Default for ServeOptions {
@@ -85,13 +101,17 @@ impl Default for ServeOptions {
             threads: 4,
             pipeline: PipelineConfig::paper(),
             cache_cap: None,
+            auth_token: None,
+            max_frame_bytes: ServeConfig::DEFAULT_MAX_FRAME_BYTES,
+            max_pending: ServeConfig::DEFAULT_MAX_PENDING,
+            max_client_conns: None,
         }
     }
 }
 
 impl ServeOptions {
     /// The flags this parser understands.
-    pub const FLAGS: [&'static str; 10] = [
+    pub const FLAGS: [&'static str; 14] = [
         "--addr",
         "--port",
         "--threads",
@@ -102,12 +122,18 @@ impl ServeOptions {
         "--classes",
         "--operand-width",
         "--cache-cap",
+        "--auth-token",
+        "--max-frame-bytes",
+        "--max-pending",
+        "--max-client-conns",
     ];
 
     /// One-line usage text for the daemon binary.
     pub const USAGE: &'static str = "usage: dbpim-served [--addr <ip>] [--port <u16>] \
          [--threads <n>] [--width <f32>] [--seed <u64>] [--images <n>] [--cal <n>] \
-         [--classes <n>] [--operand-width <4|8|12|16>] [--cache-cap <n>]";
+         [--classes <n>] [--operand-width <4|8|12|16>] [--cache-cap <n>] \
+         [--auth-token <secret>] [--max-frame-bytes <n>] [--max-pending <n>] \
+         [--max-client-conns <n>]";
 
     /// Parses options from the process arguments, exiting with status 2 and
     /// usage on stderr for a malformed command line.
@@ -158,6 +184,14 @@ impl ServeOptions {
                     options.pipeline.operand_width = parse_value::<OperandWidth>(flag, raw)?;
                 }
                 "--cache-cap" => options.cache_cap = Some(parse_value::<usize>(flag, raw)?.max(1)),
+                "--auth-token" => options.auth_token = Some(raw.clone()),
+                "--max-frame-bytes" => {
+                    options.max_frame_bytes = parse_value::<usize>(flag, raw)?.max(1);
+                }
+                "--max-pending" => options.max_pending = parse_value(flag, raw)?,
+                "--max-client-conns" => {
+                    options.max_client_conns = Some(parse_value::<usize>(flag, raw)?.max(1));
+                }
                 _ => unreachable!("flag list and match arms agree"),
             }
             i += 2;
@@ -174,6 +208,10 @@ impl ServeOptions {
             poll_interval: Duration::from_millis(200),
             pipeline: self.pipeline,
             cache_cap: self.cache_cap,
+            auth_token: self.auth_token.clone(),
+            max_frame_bytes: self.max_frame_bytes,
+            max_pending_connections: self.max_pending,
+            max_connections_per_client: self.max_client_conns,
         }
     }
 }
@@ -254,6 +292,49 @@ mod tests {
         let err = ServeOptions::from_slice(&args(&["--cache-cap", "lots"])).unwrap_err();
         assert_eq!(err.flag, "--cache-cap");
         assert_eq!(ServeOptions::default().cache_cap, None, "unbounded by default");
+    }
+
+    #[test]
+    fn hardening_flags_parse_strictly() {
+        let options = ServeOptions::from_slice(&args(&[
+            "--auth-token",
+            "fleet-secret",
+            "--max-frame-bytes",
+            "4096",
+            "--max-pending",
+            "8",
+            "--max-client-conns",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(options.auth_token.as_deref(), Some("fleet-secret"));
+        assert_eq!(options.max_frame_bytes, 4096);
+        assert_eq!(options.max_pending, 8);
+        assert_eq!(options.max_client_conns, Some(2));
+        let config = options.serve_config();
+        assert_eq!(config.auth_token.as_deref(), Some("fleet-secret"));
+        assert_eq!(config.max_frame_bytes, 4096);
+        assert_eq!(config.max_pending_connections, 8);
+        assert_eq!(config.max_connections_per_client, Some(2));
+
+        // Defaults: open daemon, 1 MiB frames, 64 pending, no per-client cap.
+        let defaults = ServeOptions::default();
+        assert_eq!(defaults.auth_token, None);
+        assert_eq!(defaults.max_frame_bytes, ServeConfig::DEFAULT_MAX_FRAME_BYTES);
+        assert_eq!(defaults.max_pending, ServeConfig::DEFAULT_MAX_PENDING);
+        assert_eq!(defaults.max_client_conns, None);
+
+        let err = ServeOptions::from_slice(&args(&["--max-frame-bytes", "big"])).unwrap_err();
+        assert_eq!(err.flag, "--max-frame-bytes");
+        let err = ServeOptions::from_slice(&args(&["--auth-token"])).unwrap_err();
+        assert_eq!(err.flag, "--auth-token");
+        assert!(err.to_string().contains("missing"), "{err}");
+        // Zero would make every frame oversized / cap everyone out.
+        let options =
+            ServeOptions::from_slice(&args(&["--max-frame-bytes", "0", "--max-client-conns", "0"]))
+                .unwrap();
+        assert_eq!(options.max_frame_bytes, 1);
+        assert_eq!(options.max_client_conns, Some(1));
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::fmt;
 use std::io::{BufRead, Write};
 use std::time::Duration;
 
-use db_pim::{DseEntry, DseSpec, SessionCacheStats, SweepEntry, SweepSpec};
+use db_pim::{DseEntry, DseSpec, LatencyHistogram, SessionCacheStats, SweepEntry, SweepSpec};
 use dbpim_arch::ArchConfig;
 use dbpim_csd::OperandWidth;
 use dbpim_nn::ModelKind;
@@ -40,13 +40,32 @@ use serde::{Deserialize, Serialize};
 /// shard tag on `Explore` ([`ShardAnnotation`]) and the
 /// [`Request::ShardStatus`] progress probe the `dbpim-fleet` driver and
 /// `dbpim-cli shard-status` use to watch a sharded sweep.
-pub const PROTOCOL_VERSION: u32 = 3;
+///
+/// v4 production-hardens the daemon: the shared-secret handshake
+/// ([`Request::Auth`] / [`Response::AuthOk`], rejected with
+/// [`ErrorKind::Unauthorized`]), admission control ([`ErrorKind::Overloaded`]
+/// when the accept queue or a per-client cap is exceeded), bounded request
+/// framing ([`ErrorKind::FrameTooLarge`] for frames above the daemon's
+/// `--max-frame-bytes`), and the full observability snapshot
+/// ([`Request::Stats`]) with per-request-type latency histograms, queue
+/// depths and rejection counters.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// One client request, one JSON line on the wire.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
     /// Liveness / version probe.
     Ping,
+    /// Present the daemon's shared secret. On a daemon started with
+    /// `--auth-token`, every request except `Ping` and `Auth` is answered
+    /// with [`ErrorKind::Unauthorized`] until the connection authenticates;
+    /// a *wrong* token additionally closes the connection. On an open
+    /// daemon `Auth` is accepted (and answered with [`Response::AuthOk`])
+    /// regardless of token, so clients can authenticate unconditionally.
+    Auth {
+        /// The shared secret.
+        token: String,
+    },
     /// The zoo models the daemon can serve.
     ListModels,
     /// Run the co-design flow for one model and return the result entry.
@@ -97,6 +116,12 @@ pub enum Request {
     },
     /// Snapshot the daemon's request counters and warm-cache statistics.
     CacheStats,
+    /// Snapshot the daemon's full observability surface: everything
+    /// [`Request::CacheStats`] reports plus queue depths, rejection
+    /// counters and per-request-type latency histograms. Both requests are
+    /// answered with [`Response::Stats`]; `CacheStats` is kept for v3
+    /// clients.
+    Stats,
     /// Report the progress of every shard-tagged exploration this daemon
     /// has served (see [`ShardAnnotation`]); the fleet CLI polls this to
     /// watch a sharded sweep.
@@ -166,6 +191,16 @@ pub enum ErrorKind {
     /// The request carried a `deadline_ms` and exceeded it before (or
     /// while) producing its results.
     DeadlineExceeded,
+    /// The daemon requires authentication ([`Request::Auth`]) and the
+    /// connection has not presented the correct token.
+    Unauthorized,
+    /// Admission control rejected the connection or request: the accept
+    /// queue is at capacity or the client is over its per-client
+    /// connection cap. Back off and retry.
+    Overloaded,
+    /// The request line exceeded the daemon's maximum frame size; the
+    /// connection is closed after this answer.
+    FrameTooLarge,
 }
 
 /// A structured error answer; malformed or failing requests receive this
@@ -184,13 +219,25 @@ impl fmt::Display for ErrorResponse {
             ErrorKind::BadRequest => "bad request",
             ErrorKind::Pipeline => "pipeline error",
             ErrorKind::DeadlineExceeded => "deadline exceeded",
+            ErrorKind::Unauthorized => "unauthorized",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::FrameTooLarge => "frame too large",
         };
         write!(f, "{kind}: {}", self.message)
     }
 }
 
-/// Daemon-side request counters and cache statistics
-/// ([`Request::CacheStats`]).
+/// Latency distribution of one request type ([`ServerStats::latency`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestLatency {
+    /// The request variant name (`"Ping"`, `"RunModel"`, …).
+    pub request: String,
+    /// Handling-time distribution (request parsed → response written).
+    pub histogram: LatencyHistogram,
+}
+
+/// Daemon-side request counters, admission gauges, latency histograms and
+/// cache statistics ([`Request::Stats`] / [`Request::CacheStats`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerStats {
     /// Requests processed (including ones answered with an error).
@@ -203,6 +250,22 @@ pub struct ServerStats {
     pub uptime: Duration,
     /// Warm-cache counters aggregated across every per-width session.
     pub cache: SessionCacheStats,
+    /// Connections currently being served by a worker.
+    pub active_connections: u64,
+    /// Accepted connections waiting for a free worker.
+    pub queued_connections: u64,
+    /// Connections rejected by admission control
+    /// ([`ErrorKind::Overloaded`]).
+    pub rejected_overloaded: u64,
+    /// Requests rejected for missing or wrong credentials
+    /// ([`ErrorKind::Unauthorized`]).
+    pub rejected_unauthorized: u64,
+    /// Frames rejected for exceeding the size limit
+    /// ([`ErrorKind::FrameTooLarge`]).
+    pub rejected_frames: u64,
+    /// Per-request-type handling-latency histograms; request types the
+    /// daemon has not served yet are omitted.
+    pub latency: Vec<RequestLatency>,
 }
 
 /// One server response line.
@@ -213,6 +276,8 @@ pub enum Response {
         /// The server's wire-protocol version.
         version: u32,
     },
+    /// Answer to a successful [`Request::Auth`].
+    AuthOk,
     /// Answer to [`Request::ListModels`].
     Models {
         /// The servable zoo models, in canonical figure order.
@@ -266,7 +331,7 @@ pub enum Response {
         /// Server-side wall-clock duration of the exploration.
         wall_time: Duration,
     },
-    /// Answer to [`Request::CacheStats`].
+    /// Answer to [`Request::Stats`] and [`Request::CacheStats`].
     Stats {
         /// The counters snapshot.
         stats: ServerStats,
@@ -358,8 +423,10 @@ mod tests {
     #[test]
     fn requests_round_trip_through_the_wire_encoding() {
         round_trip(&Request::Ping);
+        round_trip(&Request::Auth { token: "fleet-secret-42".to_string() });
         round_trip(&Request::ListModels);
         round_trip(&Request::CacheStats);
+        round_trip(&Request::Stats);
         round_trip(&Request::Shutdown);
         round_trip(&Request::ShardStatus);
         round_trip(&Request::RunModel {
@@ -443,6 +510,27 @@ mod tests {
                 updated_at_ms: 1_750_000_000_000,
             }],
         });
+        round_trip(&Response::AuthOk);
+        round_trip(&Response::Error {
+            error: ErrorResponse {
+                kind: ErrorKind::Unauthorized,
+                message: "this daemon requires an auth token".to_string(),
+            },
+        });
+        round_trip(&Response::Error {
+            error: ErrorResponse {
+                kind: ErrorKind::Overloaded,
+                message: "accept queue full (64 pending)".to_string(),
+            },
+        });
+        round_trip(&Response::Error {
+            error: ErrorResponse {
+                kind: ErrorKind::FrameTooLarge,
+                message: "frame exceeds 1048576 bytes".to_string(),
+            },
+        });
+        let mut ping_latency = LatencyHistogram::new();
+        ping_latency.record(Duration::from_micros(180));
         round_trip(&Response::Stats {
             stats: ServerStats {
                 requests: 42,
@@ -457,6 +545,15 @@ mod tests {
                     resident_artifacts: 2,
                     artifact_evictions: 1,
                 },
+                active_connections: 3,
+                queued_connections: 1,
+                rejected_overloaded: 5,
+                rejected_unauthorized: 2,
+                rejected_frames: 1,
+                latency: vec![RequestLatency {
+                    request: "Ping".to_string(),
+                    histogram: ping_latency,
+                }],
             },
         });
     }
@@ -464,7 +561,9 @@ mod tests {
     #[test]
     fn unit_variants_use_the_compact_string_encoding() {
         assert_eq!(serde_json::to_string(&Request::Ping).unwrap(), "\"Ping\"");
+        assert_eq!(serde_json::to_string(&Request::Stats).unwrap(), "\"Stats\"");
         assert_eq!(serde_json::to_string(&Request::Shutdown).unwrap(), "\"Shutdown\"");
+        assert_eq!(serde_json::to_string(&Response::AuthOk).unwrap(), "\"AuthOk\"");
         assert_eq!(serde_json::to_string(&Response::ShuttingDown).unwrap(), "\"ShuttingDown\"");
     }
 

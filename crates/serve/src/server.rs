@@ -11,21 +11,45 @@
 //! Sweeps stream: each (model, width, geometry) entry is written to the
 //! client as soon as it is computed, so a long sweep delivers its first
 //! results while the rest are still simulating.
+//!
+//! The daemon is production-hardened along three axes:
+//!
+//! * **Admission control** — the acceptor rejects (with a structured
+//!   [`ErrorKind::Overloaded`] answer) rather than queues once every worker
+//!   is busy and the pending backlog reaches
+//!   [`ServeConfig::max_pending_connections`], or when one client IP
+//!   exceeds [`ServeConfig::max_connections_per_client`]. Load shedding at
+//!   the door keeps tail latency bounded instead of letting the queue grow
+//!   without bound.
+//! * **Auth** — with [`ServeConfig::auth_token`] set, connections must
+//!   present the shared secret ([`Request::Auth`]) before anything but
+//!   `Ping`; wrong tokens are answered [`ErrorKind::Unauthorized`] and
+//!   disconnected.
+//! * **Bounded framing** — request lines are read through a byte-level
+//!   frame reader that enforces [`ServeConfig::max_frame_bytes`]
+//!   ([`ErrorKind::FrameTooLarge`] + close instead of unbounded
+//!   accumulation) and keeps partial frames deterministically attached to
+//!   the frame they belong to across read timeouts.
+//!
+//! Every request type's handling latency is recorded into a
+//! log₂ [`LatencyHistogram`] and exposed — together with queue depths and
+//! rejection counters — through [`Request::Stats`].
 
-use std::io::{BufRead, BufReader};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-use db_pim::{BatchRunner, PipelineConfig, PipelineError};
+use db_pim::{BatchRunner, LatencyHistogram, PipelineConfig, PipelineError};
 use dbpim_nn::ModelKind;
 use dbpim_sim::SparsityConfig;
 
 use crate::protocol::{
-    write_message, ErrorKind, ErrorResponse, Request, Response, ServerStats, ShardAnnotation,
-    ShardState, ShardStatus, PROTOCOL_VERSION,
+    write_message, ErrorKind, ErrorResponse, Request, RequestLatency, Response, ServerStats,
+    ShardAnnotation, ShardState, ShardStatus, PROTOCOL_VERSION,
 };
 
 /// Upper bound on distinct shards the progress registry remembers; beyond
@@ -33,6 +57,47 @@ use crate::protocol::{
 /// not the fleet's source of truth, so bounded forgetting beats unbounded
 /// growth in a long-lived daemon.
 const MAX_TRACKED_SHARDS: usize = 256;
+
+/// Request variant names, in the order the latency registry indexes them
+/// (see [`request_type_index`]).
+const REQUEST_TYPES: [&str; 10] = [
+    "Ping",
+    "Auth",
+    "ListModels",
+    "RunModel",
+    "Sweep",
+    "Explore",
+    "CacheStats",
+    "Stats",
+    "ShardStatus",
+    "Shutdown",
+];
+
+/// The latency-registry slot of one request variant.
+fn request_type_index(request: &Request) -> usize {
+    match request {
+        Request::Ping => 0,
+        Request::Auth { .. } => 1,
+        Request::ListModels => 2,
+        Request::RunModel { .. } => 3,
+        Request::Sweep { .. } => 4,
+        Request::Explore { .. } => 5,
+        Request::CacheStats => 6,
+        Request::Stats => 7,
+        Request::ShardStatus => 8,
+        Request::Shutdown => 9,
+    }
+}
+
+/// Locks a mutex, recovering the guard from a poisoned lock.
+///
+/// Every critical section guarded this way leaves its state consistent at
+/// all exit points (counters bumped, entries pushed — no multi-step
+/// invariants), so a handler that panicked while holding the lock must not
+/// cascade that panic into every later request via [`PoisonError`].
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A server-side request deadline, armed from a request's `deadline_ms`.
 #[derive(Debug, Clone, Copy)]
@@ -53,13 +118,13 @@ impl Deadline {
     }
 
     fn error(context: &str) -> Response {
-        Response::Error {
-            error: ErrorResponse {
-                kind: ErrorKind::DeadlineExceeded,
-                message: format!("{context} exceeded its deadline"),
-            },
-        }
+        error_response(ErrorKind::DeadlineExceeded, format!("{context} exceeded its deadline"))
     }
+}
+
+/// Builds a structured [`Response::Error`].
+fn error_response(kind: ErrorKind, message: String) -> Response {
+    Response::Error { error: ErrorResponse { kind, message } }
 }
 
 /// Configuration of a serving daemon.
@@ -80,6 +145,21 @@ pub struct ServeConfig {
     /// (`None` = unbounded, the historical behaviour). Evictions are
     /// counted in the `CacheStats` response.
     pub cache_cap: Option<usize>,
+    /// Shared secret clients must present via [`Request::Auth`] before any
+    /// request other than `Ping`; `None` serves everyone (the historical
+    /// behaviour).
+    pub auth_token: Option<String>,
+    /// Maximum request-line size in bytes; longer frames are answered with
+    /// [`ErrorKind::FrameTooLarge`] and the connection is closed.
+    pub max_frame_bytes: usize,
+    /// Admission-control backlog bound: once every worker is busy, at most
+    /// this many further connections are queued — beyond it new
+    /// connections are rejected with [`ErrorKind::Overloaded`].
+    pub max_pending_connections: usize,
+    /// Per-client cap on simultaneously open connections (keyed by peer
+    /// IP); connections beyond it are rejected with
+    /// [`ErrorKind::Overloaded`]. `None` means no per-client cap.
+    pub max_connections_per_client: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -90,8 +170,21 @@ impl Default for ServeConfig {
             poll_interval: Duration::from_millis(200),
             pipeline: PipelineConfig::paper(),
             cache_cap: None,
+            auth_token: None,
+            max_frame_bytes: ServeConfig::DEFAULT_MAX_FRAME_BYTES,
+            max_pending_connections: ServeConfig::DEFAULT_MAX_PENDING,
+            max_connections_per_client: None,
         }
     }
+}
+
+impl ServeConfig {
+    /// Default [`Self::max_frame_bytes`]: 1 MiB comfortably fits the
+    /// largest legitimate request (a dense exploration grid) with two
+    /// orders of magnitude to spare.
+    pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 20;
+    /// Default [`Self::max_pending_connections`].
+    pub const DEFAULT_MAX_PENDING: usize = 64;
 }
 
 /// A serving failure.
@@ -131,23 +224,102 @@ struct Shared {
     runner: BatchRunner,
     local_addr: SocketAddr,
     poll_interval: Duration,
+    threads: usize,
+    auth_token: Option<String>,
+    max_frame_bytes: usize,
+    max_pending: usize,
+    max_per_client: Option<usize>,
     shutdown: AtomicBool,
     requests: AtomicU64,
     errors: AtomicU64,
     connections: AtomicU64,
+    /// Connections currently being served by a worker.
+    active: AtomicU64,
+    /// Connections accepted and queued but not yet claimed by a worker.
+    queued: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    rejected_unauthorized: AtomicU64,
+    rejected_frames: AtomicU64,
     started: Instant,
+    /// Open-connection counts per peer IP (maintained only when
+    /// `max_per_client` is set).
+    per_client: Mutex<HashMap<IpAddr, usize>>,
+    /// Handling-latency histograms, indexed like [`REQUEST_TYPES`].
+    latency: Mutex<Vec<LatencyHistogram>>,
     /// Progress of shard-tagged explorations, keyed by (fleet, shard).
     shards: Mutex<Vec<ShardStatus>>,
 }
 
 impl Shared {
     fn stats(&self) -> ServerStats {
+        let latency = lock_unpoisoned(&self.latency);
+        let latency = REQUEST_TYPES
+            .iter()
+            .zip(latency.iter())
+            .filter(|(_, histogram)| !histogram.is_empty())
+            .map(|(name, histogram)| RequestLatency {
+                request: (*name).to_string(),
+                histogram: histogram.clone(),
+            })
+            .collect();
         ServerStats {
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
             uptime: self.started.elapsed(),
             cache: self.runner.cache_stats(),
+            active_connections: self.active.load(Ordering::Relaxed),
+            queued_connections: self.queued.load(Ordering::Relaxed),
+            rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
+            rejected_unauthorized: self.rejected_unauthorized.load(Ordering::Relaxed),
+            rejected_frames: self.rejected_frames.load(Ordering::Relaxed),
+            latency,
+        }
+    }
+
+    /// Records one request's handling time into its per-type histogram.
+    fn record_latency(&self, type_index: usize, elapsed: Duration) {
+        let mut latency = lock_unpoisoned(&self.latency);
+        if let Some(histogram) = latency.get_mut(type_index) {
+            histogram.record(elapsed);
+        }
+    }
+
+    /// Admission: `true` when the backlog still has room — every worker
+    /// busy *and* a full pending queue means reject, not wait.
+    fn queue_admits(&self) -> bool {
+        let active = self.active.load(Ordering::Relaxed) as usize;
+        let queued = self.queued.load(Ordering::Relaxed) as usize;
+        active < self.threads || queued < self.max_pending
+    }
+
+    /// Admission: registers one connection from `ip` against the
+    /// per-client cap; `false` means the client is over its cap and
+    /// nothing was registered.
+    fn try_admit_client(&self, ip: Option<IpAddr>) -> bool {
+        let (Some(cap), Some(ip)) = (self.max_per_client, ip) else {
+            return true;
+        };
+        let mut per_client = lock_unpoisoned(&self.per_client);
+        let count = per_client.entry(ip).or_insert(0);
+        if *count >= cap {
+            return false;
+        }
+        *count += 1;
+        true
+    }
+
+    /// Releases one [`Self::try_admit_client`] registration.
+    fn release_client(&self, ip: Option<IpAddr>) {
+        let (Some(_), Some(ip)) = (self.max_per_client, ip) else {
+            return;
+        };
+        let mut per_client = lock_unpoisoned(&self.per_client);
+        if let Some(count) = per_client.get_mut(&ip) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                per_client.remove(&ip);
+            }
         }
     }
 
@@ -156,7 +328,7 @@ impl Shared {
     /// `Finished` once its completed count reaches its total.
     fn shard_touch(&self, tag: &ShardAnnotation, completed_delta: usize, state: ShardState) {
         let now = db_pim::dse::unix_time_ms();
-        let mut shards = self.shards.lock().expect("shard registry lock");
+        let mut shards = lock_unpoisoned(&self.shards);
         let entry = match shards.iter_mut().find(|s| s.fleet == tag.fleet && s.shard == tag.shard) {
             Some(entry) => entry,
             None => {
@@ -196,7 +368,7 @@ impl Shared {
     /// The registry snapshot, most recently updated first (stable for
     /// equal timestamps).
     fn shard_statuses(&self) -> Vec<ShardStatus> {
-        let mut shards = self.shards.lock().expect("shard registry lock").clone();
+        let mut shards = lock_unpoisoned(&self.shards).clone();
         shards.sort_by_key(|s| std::cmp::Reverse(s.updated_at_ms));
         shards
     }
@@ -213,7 +385,6 @@ impl Shared {
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
-    threads: usize,
 }
 
 impl Server {
@@ -236,14 +407,25 @@ impl Server {
                 runner,
                 local_addr,
                 poll_interval: config.poll_interval,
+                threads: config.threads.max(1),
+                auth_token: config.auth_token,
+                max_frame_bytes: config.max_frame_bytes.max(1),
+                max_pending: config.max_pending_connections,
+                max_per_client: config.max_connections_per_client,
                 shutdown: AtomicBool::new(false),
                 requests: AtomicU64::new(0),
                 errors: AtomicU64::new(0),
                 connections: AtomicU64::new(0),
+                active: AtomicU64::new(0),
+                queued: AtomicU64::new(0),
+                rejected_overloaded: AtomicU64::new(0),
+                rejected_unauthorized: AtomicU64::new(0),
+                rejected_frames: AtomicU64::new(0),
                 started: Instant::now(),
+                per_client: Mutex::new(HashMap::new()),
+                latency: Mutex::new(vec![LatencyHistogram::new(); REQUEST_TYPES.len()]),
                 shards: Mutex::new(Vec::new()),
             }),
-            threads: config.threads.max(1),
         })
     }
 
@@ -261,21 +443,32 @@ impl Server {
     /// Propagates acceptor I/O failures (individual connection failures are
     /// answered on the connection and never abort the daemon).
     pub fn run(self) -> std::io::Result<()> {
-        let (sender, receiver) = mpsc::channel::<TcpStream>();
+        let (sender, receiver) = mpsc::channel::<(TcpStream, Option<IpAddr>)>();
         let receiver = Arc::new(Mutex::new(receiver));
-        let mut workers = Vec::with_capacity(self.threads);
-        for worker in 0..self.threads {
+        let threads = self.shared.threads;
+        let mut workers = Vec::with_capacity(threads);
+        for worker in 0..threads {
             let receiver = Arc::clone(&receiver);
             let shared = Arc::clone(&self.shared);
             workers.push(
                 std::thread::Builder::new().name(format!("dbpim-serve-worker-{worker}")).spawn(
                     move || loop {
-                        let stream = {
-                            let guard = receiver.lock().expect("worker queue lock");
+                        let next = {
+                            let guard = lock_unpoisoned(&receiver);
                             guard.recv()
                         };
-                        match stream {
-                            Ok(stream) => handle_connection(stream, &shared),
+                        match next {
+                            Ok((stream, ip)) => {
+                                shared.queued.fetch_sub(1, Ordering::Relaxed);
+                                shared.active.fetch_add(1, Ordering::Relaxed);
+                                // A panicking handler must not shrink the
+                                // worker pool: catch, account, move on.
+                                let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                    handle_connection(stream, &shared);
+                                }));
+                                shared.active.fetch_sub(1, Ordering::Relaxed);
+                                shared.release_client(ip);
+                            }
                             Err(_) => break, // acceptor hung up: drain done
                         }
                     },
@@ -290,7 +483,26 @@ impl Server {
             match stream {
                 Ok(stream) => {
                     self.shared.connections.fetch_add(1, Ordering::Relaxed);
-                    if sender.send(stream).is_err() {
+                    let ip = stream.peer_addr().ok().map(|addr| addr.ip());
+                    if !self.shared.try_admit_client(ip) {
+                        reject_overloaded(
+                            stream,
+                            &self.shared,
+                            "per-client connection cap reached".to_string(),
+                        );
+                        continue;
+                    }
+                    if !self.shared.queue_admits() {
+                        self.shared.release_client(ip);
+                        reject_overloaded(
+                            stream,
+                            &self.shared,
+                            format!("accept queue full ({} pending)", self.shared.max_pending),
+                        );
+                        continue;
+                    }
+                    self.shared.queued.fetch_add(1, Ordering::Relaxed);
+                    if sender.send((stream, ip)).is_err() {
                         break;
                     }
                 }
@@ -330,6 +542,16 @@ impl Server {
     }
 }
 
+/// Answers a connection admission control turned away, without ever letting
+/// the rejected peer block the acceptor: the write gets a short timeout and
+/// the connection is dropped either way.
+fn reject_overloaded(stream: TcpStream, shared: &Shared, why: String) {
+    shared.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let mut stream = stream;
+    let _ = write_message(&mut stream, &error_response(ErrorKind::Overloaded, why));
+}
+
 /// Handle to a daemon running on a background thread.
 pub struct ServerHandle {
     addr: SocketAddr,
@@ -363,9 +585,98 @@ impl ServerHandle {
     }
 }
 
-/// Serves one connection until the peer disconnects or the daemon shuts
-/// down. Malformed lines are answered with [`Response::Error`]; the
-/// connection stays open.
+/// What [`FrameReader::next_frame`] produced.
+enum FrameOutcome {
+    /// One complete line (newline stripped, valid UTF-8).
+    Frame(String),
+    /// A complete line arrived but was not valid UTF-8 — answerable as a
+    /// structured bad request; the connection survives.
+    Invalid,
+    /// The current frame exceeded the size limit; the connection must
+    /// close after the structured answer.
+    TooLarge,
+    /// The read timed out before a complete frame arrived; any partial
+    /// bytes stay buffered with *this* frame. Check for shutdown and poll
+    /// again.
+    Timeout,
+    /// Clean end of stream. Partial trailing bytes (a frame the peer never
+    /// terminated) are discarded deterministically — they belong to no
+    /// request.
+    Eof,
+    /// Hard stream failure; close without answering.
+    Disconnect,
+}
+
+/// Byte-level newline framing with an explicit size bound.
+///
+/// Unlike `BufRead::read_line`, this reader (a) never accumulates more than
+/// `limit` bytes per frame — a giant or never-terminated line is reported
+/// as [`FrameOutcome::TooLarge`] instead of growing without bound — and
+/// (b) owns its buffer across read timeouts, so bytes of a half-received
+/// frame can never be misattributed to a *later* request: a frame is either
+/// completed (and consumed exactly up to its newline) or discarded with the
+/// connection.
+struct FrameReader {
+    stream: TcpStream,
+    chunk: [u8; 4096],
+    /// Bytes received but not yet consumed into frames.
+    pending: Vec<u8>,
+    /// How far `pending` has been scanned for a newline (avoids rescanning
+    /// under byte-at-a-time arrival).
+    scanned: usize,
+    limit: usize,
+}
+
+impl FrameReader {
+    fn new(stream: TcpStream, limit: usize) -> Self {
+        Self { stream, chunk: [0u8; 4096], pending: Vec::new(), scanned: 0, limit }
+    }
+
+    fn next_frame(&mut self) -> FrameOutcome {
+        loop {
+            // Complete frame already buffered?
+            if let Some(offset) =
+                self.pending[self.scanned..].iter().position(|&byte| byte == b'\n')
+            {
+                let end = self.scanned + offset;
+                let rest = self.pending.split_off(end + 1);
+                let mut frame = std::mem::replace(&mut self.pending, rest);
+                frame.pop(); // strip the newline
+                self.scanned = 0;
+                if frame.len() > self.limit {
+                    return FrameOutcome::TooLarge;
+                }
+                return match String::from_utf8(frame) {
+                    Ok(text) => FrameOutcome::Frame(text),
+                    Err(_) => FrameOutcome::Invalid,
+                };
+            }
+            self.scanned = self.pending.len();
+            // Even an unterminated line must not buffer past the limit.
+            if self.pending.len() > self.limit {
+                return FrameOutcome::TooLarge;
+            }
+            match self.stream.read(&mut self.chunk) {
+                Ok(0) => return FrameOutcome::Eof,
+                Ok(n) => self.pending.extend_from_slice(&self.chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return FrameOutcome::Timeout;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return FrameOutcome::Disconnect,
+            }
+        }
+    }
+}
+
+/// Serves one connection until the peer disconnects, violates a hard limit
+/// (frame size, wrong auth token) or the daemon shuts down. Malformed lines
+/// are answered with [`Response::Error`]; the connection stays open.
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     // A finite read timeout turns a blocked read into a periodic shutdown
     // check, so a quiet connection cannot pin a worker past daemon exit.
@@ -374,31 +685,45 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         Ok(writer) => writer,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut frames = FrameReader::new(stream, shared.max_frame_bytes);
+    // An open daemon treats every connection as authenticated.
+    let mut authed = shared.auth_token.is_none();
     loop {
-        // `read_line` appends, so a timeout mid-line keeps the partial data
-        // and the next pass continues the same line.
-        match reader.read_line(&mut line) {
-            Ok(0) => break, // EOF
-            Ok(_) => {}
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
+        let text = match frames.next_frame() {
+            FrameOutcome::Frame(text) => text,
+            FrameOutcome::Timeout => {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
                 continue;
             }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(_) => break,
-        }
-        let text = line.trim_end_matches(['\r', '\n']).trim();
+            FrameOutcome::Invalid => {
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                let response = error_response(
+                    ErrorKind::BadRequest,
+                    "request line is not valid UTF-8".to_string(),
+                );
+                if respond(&mut writer, &response) {
+                    break;
+                }
+                continue;
+            }
+            FrameOutcome::TooLarge => {
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                shared.rejected_frames.fetch_add(1, Ordering::Relaxed);
+                let response = error_response(
+                    ErrorKind::FrameTooLarge,
+                    format!("frame exceeds {} bytes; closing connection", shared.max_frame_bytes),
+                );
+                let _ = respond(&mut writer, &response);
+                break;
+            }
+            FrameOutcome::Eof | FrameOutcome::Disconnect => break,
+        };
+        let text = text.trim_end_matches('\r').trim();
         if text.is_empty() {
-            line.clear();
             continue;
         }
         // A shutdown daemon answers nothing further — even on connections
@@ -410,21 +735,21 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         }
         shared.requests.fetch_add(1, Ordering::Relaxed);
         let disconnect = match serde_json::from_str::<Request>(text) {
-            Ok(request) => handle_request(request, &mut writer, shared),
+            Ok(request) => {
+                let type_index = request_type_index(&request);
+                let started = Instant::now();
+                let disconnect = dispatch(request, &mut authed, &mut writer, shared);
+                shared.record_latency(type_index, started.elapsed());
+                disconnect
+            }
             Err(e) => {
                 shared.errors.fetch_add(1, Ordering::Relaxed);
                 respond(
                     &mut writer,
-                    &Response::Error {
-                        error: ErrorResponse {
-                            kind: ErrorKind::BadRequest,
-                            message: format!("unparseable request: {e}"),
-                        },
-                    },
+                    &error_response(ErrorKind::BadRequest, format!("unparseable request: {e}")),
                 )
             }
         };
-        line.clear();
         if disconnect {
             break;
         }
@@ -437,15 +762,68 @@ fn respond(writer: &mut TcpStream, response: &Response) -> bool {
     write_message(writer, response).is_err()
 }
 
-/// Handles one parsed request; returns `true` when the connection should
-/// close afterwards.
+/// Applies the connection's auth state machine, then hands authorized
+/// requests to [`handle_request`]; returns `true` when the connection
+/// should close afterwards.
+///
+/// Unauthenticated connections may `Ping` (liveness probing predates
+/// credentials) and `Auth`; everything else is answered
+/// [`ErrorKind::Unauthorized`] but keeps the connection open so the client
+/// can still authenticate. A *wrong* token closes the connection — a peer
+/// guessing secrets gets no second try on the same socket.
+fn dispatch(request: Request, authed: &mut bool, writer: &mut TcpStream, shared: &Shared) -> bool {
+    match request {
+        Request::Auth { token } => match &shared.auth_token {
+            Some(expected) if &token == expected => {
+                *authed = true;
+                respond(writer, &Response::AuthOk)
+            }
+            Some(_) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                shared.rejected_unauthorized.fetch_add(1, Ordering::Relaxed);
+                let _ = respond(
+                    writer,
+                    &error_response(
+                        ErrorKind::Unauthorized,
+                        "invalid auth token; closing connection".to_string(),
+                    ),
+                );
+                true
+            }
+            // An open daemon accepts any credentials, so clients can
+            // authenticate unconditionally.
+            None => respond(writer, &Response::AuthOk),
+        },
+        Request::Ping => respond(writer, &Response::Pong { version: PROTOCOL_VERSION }),
+        _ if !*authed => {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            shared.rejected_unauthorized.fetch_add(1, Ordering::Relaxed);
+            respond(
+                writer,
+                &error_response(
+                    ErrorKind::Unauthorized,
+                    "this daemon requires authentication; send Auth first".to_string(),
+                ),
+            )
+        }
+        request => handle_request(request, writer, shared),
+    }
+}
+
+/// Handles one parsed, authorized request; returns `true` when the
+/// connection should close afterwards.
 fn handle_request(request: Request, writer: &mut TcpStream, shared: &Shared) -> bool {
     match request {
         Request::Ping => respond(writer, &Response::Pong { version: PROTOCOL_VERSION }),
+        // `dispatch` resolves credentials; reaching here means the
+        // connection is already authorized, so re-auth is a cheap yes.
+        Request::Auth { .. } => respond(writer, &Response::AuthOk),
         Request::ListModels => {
             respond(writer, &Response::Models { models: ModelKind::all().to_vec() })
         }
-        Request::CacheStats => respond(writer, &Response::Stats { stats: shared.stats() }),
+        Request::CacheStats | Request::Stats => {
+            respond(writer, &Response::Stats { stats: shared.stats() })
+        }
         Request::ShardStatus => {
             respond(writer, &Response::ShardStatuses { shards: shared.shard_statuses() })
         }
@@ -475,15 +853,7 @@ fn handle_request(request: Request, writer: &mut TcpStream, shared: &Shared) -> 
                 Ok(entry) => respond(writer, &Response::RunResult { entry }),
                 Err(e) => {
                     shared.errors.fetch_add(1, Ordering::Relaxed);
-                    respond(
-                        writer,
-                        &Response::Error {
-                            error: ErrorResponse {
-                                kind: ErrorKind::Pipeline,
-                                message: e.to_string(),
-                            },
-                        },
-                    )
+                    respond(writer, &error_response(ErrorKind::Pipeline, e.to_string()))
                 }
             }
         }
@@ -527,12 +897,7 @@ fn handle_explore(
         Err(e) => {
             shared.errors.fetch_add(1, Ordering::Relaxed);
             shard_fail(ShardState::Failed);
-            return respond(
-                writer,
-                &Response::Error {
-                    error: ErrorResponse { kind: ErrorKind::Pipeline, message: e.to_string() },
-                },
-            );
+            return respond(writer, &error_response(ErrorKind::Pipeline, e.to_string()));
         }
     };
     if let Some(tag) = shard {
@@ -582,12 +947,10 @@ fn handle_explore(
                 shard_fail(ShardState::Failed);
                 return respond(
                     writer,
-                    &Response::Error {
-                        error: ErrorResponse {
-                            kind: ErrorKind::Pipeline,
-                            message: format!("exploration point {index} failed: {e}"),
-                        },
-                    },
+                    &error_response(
+                        ErrorKind::Pipeline,
+                        format!("exploration point {index} failed: {e}"),
+                    ),
                 );
             }
         }
@@ -649,12 +1012,10 @@ fn handle_sweep(
                         shared.errors.fetch_add(1, Ordering::Relaxed);
                         return respond(
                             writer,
-                            &Response::Error {
-                                error: ErrorResponse {
-                                    kind: ErrorKind::Pipeline,
-                                    message: format!("sweep point {index} failed: {e}"),
-                                },
-                            },
+                            &error_response(
+                                ErrorKind::Pipeline,
+                                format!("sweep point {index} failed: {e}"),
+                            ),
                         );
                     }
                 }
@@ -671,4 +1032,42 @@ fn handle_sweep(
             wall_time: start.elapsed(),
         },
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression for the poison cascade: one panicking holder used to
+    /// turn every later `.lock().expect(…)` into a panic of its own.
+    /// `lock_unpoisoned` hands back the (consistent) state instead.
+    #[test]
+    fn poisoned_locks_recover_instead_of_cascading() {
+        let shared = Arc::new(Mutex::new(vec![1, 2, 3]));
+        let poisoner = Arc::clone(&shared);
+        let result = std::thread::spawn(move || {
+            let _guard = poisoner.lock().expect("first lock is clean");
+            panic!("poison the lock while holding it");
+        })
+        .join();
+        assert!(result.is_err(), "the poisoning thread panicked");
+        assert!(shared.is_poisoned(), "the lock is poisoned");
+        let mut guard = lock_unpoisoned(&shared);
+        assert_eq!(*guard, vec![1, 2, 3], "guarded state is intact");
+        guard.push(4);
+        drop(guard);
+        assert_eq!(*lock_unpoisoned(&shared), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn request_type_table_matches_the_index_function() {
+        assert_eq!(REQUEST_TYPES[request_type_index(&Request::Ping)], "Ping");
+        assert_eq!(
+            REQUEST_TYPES[request_type_index(&Request::Auth { token: String::new() })],
+            "Auth"
+        );
+        assert_eq!(REQUEST_TYPES[request_type_index(&Request::CacheStats)], "CacheStats");
+        assert_eq!(REQUEST_TYPES[request_type_index(&Request::Stats)], "Stats");
+        assert_eq!(REQUEST_TYPES[request_type_index(&Request::Shutdown)], "Shutdown");
+    }
 }

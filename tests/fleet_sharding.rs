@@ -114,12 +114,15 @@ fn killing_a_worker_mid_run_reassigns_its_points() {
     let total = spec.points(config.operand_width).expect("feasible").len();
     assert_eq!(total, 12);
 
+    // The daemon requires auth, so this test also proves remote workers
+    // authenticate on every (re)connect before claiming points.
     let handle = Server::spawn(ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         threads: 2,
         poll_interval: Duration::from_millis(50),
         pipeline: config,
-        cache_cap: None,
+        auth_token: Some("fleet-secret".to_string()),
+        ..ServeConfig::default()
     })
     .expect("server spawns");
     let addr = handle.addr().to_string();
@@ -139,7 +142,8 @@ fn killing_a_worker_mid_run_reassigns_its_points() {
     let fleet_config = FleetConfig::new(config, vec![WorkerSpec::Remote(addr), WorkerSpec::Local])
         .with_strategy(ShardStrategy::Contiguous)
         .with_point_timeout(Duration::from_secs(30))
-        .with_fleet_id("kill-test");
+        .with_fleet_id("kill-test")
+        .with_auth_token("fleet-secret");
     let driver = FleetDriver::new(fleet_config).with_observer(move |event| {
         if let FleetEvent::PointDone { worker: 0, .. } = event {
             let _ = kill_tx.send(());

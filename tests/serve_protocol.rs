@@ -20,15 +20,18 @@ fn server_pipeline() -> PipelineConfig {
     pipeline
 }
 
-fn spawn_server() -> ServerHandle {
-    Server::spawn(ServeConfig {
+fn serve_config() -> ServeConfig {
+    ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         threads: 2,
         poll_interval: Duration::from_millis(50),
         pipeline: server_pipeline(),
-        cache_cap: None,
-    })
-    .expect("server spawns")
+        ..ServeConfig::default()
+    }
+}
+
+fn spawn_server() -> ServerHandle {
+    Server::spawn(serve_config()).expect("server spawns")
 }
 
 /// Sends one raw line and reads one response line.
@@ -39,6 +42,24 @@ fn raw_exchange(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, line:
     let mut answer = String::new();
     reader.read_line(&mut answer).expect("read response line");
     serde_json::from_str(answer.trim_end()).expect("server speaks valid JSON")
+}
+
+/// The server closed this connection: either an orderly EOF or — when the
+/// server dropped the socket with unread client bytes still in its receive
+/// buffer, as after an oversized frame — a TCP reset.
+fn assert_closed(reader: &mut BufReader<TcpStream>) {
+    let mut rest = String::new();
+    match reader.read_line(&mut rest) {
+        Ok(0) => {}
+        Ok(n) => panic!("expected a closed connection, read {n} more bytes: {rest:?}"),
+        Err(e) => assert!(
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::BrokenPipe
+            ),
+            "expected EOF or reset, got {e}"
+        ),
+    }
 }
 
 fn assert_bad_request(response: &Response) {
@@ -366,6 +387,289 @@ fn blank_lines_and_abrupt_disconnects_are_tolerated() {
     // The daemon is still healthy for the next client.
     let mut client = Client::connect(handle.addr()).expect("connects");
     client.ping().expect("daemon survived the abrupt disconnect");
+    client.shutdown().expect("shutdown acknowledged");
+    handle.join().expect("daemon exits cleanly");
+}
+
+/// A frame above `max_frame_bytes` — terminated or not — is answered with a
+/// structured `FrameTooLarge` error and the connection closes; the daemon
+/// never buffers past the limit and stays healthy for the next client.
+#[test]
+fn oversized_frames_get_a_structured_error_and_a_close() {
+    let handle = Server::spawn(ServeConfig { max_frame_bytes: 1024, ..serve_config() })
+        .expect("server spawns");
+
+    // The payloads fit in one loopback segment and one server-side read,
+    // so the server consumes every byte before closing — an orderly FIN
+    // with the error response intact, not a racy RST that could destroy
+    // the unread response in the client's receive buffer.
+    let over_limit = |payload: &[u8], what: &str| {
+        let stream = TcpStream::connect(handle.addr()).expect("connects");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        writer.write_all(payload).expect("write oversized payload");
+        writer.flush().expect("flush");
+        let mut answer = String::new();
+        reader.read_line(&mut answer).expect("read response line");
+        match serde_json::from_str::<Response>(answer.trim_end()).expect("valid JSON") {
+            Response::Error { error } => {
+                assert_eq!(error.kind, ErrorKind::FrameTooLarge, "{what}: wrong kind: {error}");
+                assert!(error.message.contains("1024"), "{what}: {error}");
+            }
+            other => panic!("{what}: expected FrameTooLarge, got {other:?}"),
+        }
+        assert_closed(&mut reader);
+    };
+
+    // A terminated giant line.
+    over_limit(format!("{}\n", "x".repeat(3000)).as_bytes(), "terminated");
+    // A never-terminated line must trip the limit too — this is the
+    // unbounded-accumulation OOM vector.
+    over_limit("y".repeat(3000).as_bytes(), "unterminated");
+
+    // The daemon counted both rejections and still serves.
+    let mut client = Client::connect(handle.addr()).expect("connects");
+    client.ping().expect("daemon survived the oversized frames");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.rejected_frames, 2, "both oversized frames counted");
+
+    client.shutdown().expect("shutdown acknowledged");
+    handle.join().expect("daemon exits cleanly");
+}
+
+/// A byte-at-a-time (slowloris-style) client crosses many read timeouts
+/// mid-frame; the partial bytes stay attached to *their* frame — the
+/// request completes correctly and the next frame on the connection is
+/// unaffected.
+#[test]
+fn slowloris_clients_complete_frames_across_read_timeouts() {
+    let handle = spawn_server(); // poll_interval is 50 ms
+    let stream = TcpStream::connect(handle.addr()).expect("connects");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+
+    // Dribble a Ping one byte every ~2 poll intervals.
+    for byte in "\"Ping\"\n".as_bytes() {
+        writer.write_all(&[*byte]).expect("write byte");
+        writer.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(110));
+    }
+    let mut answer = String::new();
+    reader.read_line(&mut answer).expect("read response line");
+    match serde_json::from_str::<Response>(answer.trim_end()).expect("valid JSON") {
+        Response::Pong { version } => assert_eq!(version, dbpim_serve::PROTOCOL_VERSION),
+        other => panic!("expected Pong for the dribbled frame, got {other:?}"),
+    }
+
+    // No partial bytes leaked into the next request: a whole frame sent at
+    // once answers immediately and correctly.
+    match raw_exchange(&mut reader, &mut writer, "\"ListModels\"") {
+        Response::Models { models } => assert_eq!(models.len(), 5),
+        other => panic!("expected Models after the slow frame, got {other:?}"),
+    }
+
+    // Two frames in one write (plus a torn third) also frame correctly.
+    writer.write_all(b"\"Ping\"\n\"Ping\"\n\"Li").expect("write packed frames");
+    writer.flush().expect("flush");
+    for _ in 0..2 {
+        let mut answer = String::new();
+        reader.read_line(&mut answer).expect("read response line");
+        assert!(
+            matches!(
+                serde_json::from_str::<Response>(answer.trim_end()).expect("valid JSON"),
+                Response::Pong { .. }
+            ),
+            "packed frames must each answer"
+        );
+    }
+    // Complete the torn third frame after a timeout gap.
+    std::thread::sleep(Duration::from_millis(120));
+    match raw_exchange(&mut reader, &mut writer, "stModels\"") {
+        Response::Models { models } => assert_eq!(models.len(), 5),
+        other => panic!("expected Models from the torn frame, got {other:?}"),
+    }
+
+    let mut client = Client::connect(handle.addr()).expect("connects");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.errors, 0, "no slow frame was misparsed");
+    client.shutdown().expect("shutdown acknowledged");
+    handle.join().expect("daemon exits cleanly");
+}
+
+/// On a daemon started with an auth token: unauthenticated requests (except
+/// `Ping`) get a structured `Unauthorized` error but keep the connection;
+/// a wrong token gets `Unauthorized` and a close; the right token unlocks
+/// everything. An open daemon accepts any token.
+#[test]
+fn auth_rejections_are_structured_and_the_right_token_unlocks() {
+    let handle =
+        Server::spawn(ServeConfig { auth_token: Some("sesame".to_string()), ..serve_config() })
+            .expect("server spawns");
+
+    // Ping needs no credentials (liveness probing predates them).
+    let mut client = Client::connect(handle.addr()).expect("connects");
+    client.ping().expect("unauthenticated ping is allowed");
+
+    // Anything else unauthenticated: structured Unauthorized, connection
+    // survives.
+    match client.list_models() {
+        Err(ClientError::Server(error)) => {
+            assert_eq!(error.kind, ErrorKind::Unauthorized, "wrong kind: {error}");
+        }
+        other => panic!("expected Unauthorized, got {other:?}"),
+    }
+
+    // The same connection can still authenticate and proceed.
+    client.authenticate("sesame").expect("right token");
+    let models = client.list_models().expect("authorized request");
+    assert_eq!(models.len(), 5);
+
+    // A wrong token: structured Unauthorized, then the daemon closes the
+    // connection (no second guess on the same socket).
+    let mut guesser = Client::connect(handle.addr()).expect("connects");
+    match guesser.authenticate("open says me") {
+        Err(ClientError::Server(error)) => {
+            assert_eq!(error.kind, ErrorKind::Unauthorized, "wrong kind: {error}");
+        }
+        other => panic!("expected Unauthorized for the wrong token, got {other:?}"),
+    }
+    assert!(guesser.ping().is_err(), "wrong-token connection must be closed");
+
+    // Rejections were counted.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.rejected_unauthorized, 2, "gated request + wrong token");
+    assert!(stats.errors >= 2);
+
+    client.shutdown().expect("shutdown acknowledged");
+    handle.join().expect("daemon exits cleanly");
+
+    // An open daemon accepts any credentials, so clients can authenticate
+    // unconditionally.
+    let open = spawn_server();
+    let mut client = Client::connect(open.addr()).expect("connects");
+    client.authenticate("anything").expect("open daemons accept any token");
+    client.shutdown().expect("shutdown acknowledged");
+    open.join().expect("daemon exits cleanly");
+}
+
+/// With every worker busy and no backlog allowance, a new connection is
+/// rejected with a structured `Overloaded` answer instead of queueing
+/// unboundedly — and once the load drains, new connections are admitted
+/// again.
+#[test]
+fn saturated_daemons_reject_with_a_structured_overloaded_error() {
+    let handle =
+        Server::spawn(ServeConfig { threads: 1, max_pending_connections: 0, ..serve_config() })
+            .expect("server spawns");
+
+    // Pin the single worker: a connection stays assigned to its worker for
+    // its whole lifetime, so one served round trip is enough.
+    let mut pinned = Client::connect(handle.addr()).expect("connects");
+    pinned.ping().expect("the pinned connection is being served");
+
+    // The next connection must be turned away at the door.
+    let stream = TcpStream::connect(handle.addr()).expect("tcp connects");
+    let mut reader = BufReader::new(stream);
+    let mut answer = String::new();
+    reader.read_line(&mut answer).expect("read rejection line");
+    match serde_json::from_str::<Response>(answer.trim_end()).expect("valid JSON") {
+        Response::Error { error } => {
+            assert_eq!(error.kind, ErrorKind::Overloaded, "wrong kind: {error}");
+            assert!(!error.message.is_empty());
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    let mut rest = String::new();
+    assert_eq!(reader.read_line(&mut rest).expect("read"), 0, "rejected connection closes");
+
+    // Release the worker; the daemon must admit new connections again.
+    drop(pinned);
+    let mut recovered = None;
+    for _ in 0..100 {
+        std::thread::sleep(Duration::from_millis(50));
+        if let Ok(mut client) = Client::connect(handle.addr()) {
+            if client.ping().is_ok() {
+                recovered = Some(client);
+                break;
+            }
+        }
+    }
+    let mut client = recovered.expect("daemon admits connections again after the load drains");
+    let stats = client.stats().expect("stats");
+    assert!(stats.rejected_overloaded >= 1, "the rejection was counted");
+
+    client.shutdown().expect("shutdown acknowledged");
+    handle.join().expect("daemon exits cleanly");
+}
+
+/// The `Stats` surface against a scripted request sequence: request and
+/// error totals, rejection counters, queue gauges and the per-request-type
+/// latency histogram counts all match exactly what was sent.
+#[test]
+fn stats_counters_match_a_scripted_request_sequence() {
+    let handle = spawn_server();
+    let mut client = Client::connect(handle.addr()).expect("connects");
+
+    client.ping().expect("ping 1");
+    client.ping().expect("ping 2");
+    client.list_models().expect("models");
+    client.run_model(&RunQuery::new(ModelKind::AlexNet)).expect("run");
+
+    // One malformed line on a second connection.
+    {
+        let stream = TcpStream::connect(handle.addr()).expect("connects");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        assert_bad_request(&raw_exchange(&mut reader, &mut writer, "not json"));
+    }
+
+    let stats = client.stats().expect("stats");
+    // 2 Ping + 1 ListModels + 1 RunModel + 1 garbage + this Stats = 6.
+    assert_eq!(stats.requests, 6, "every frame is a counted request");
+    assert_eq!(stats.errors, 1, "exactly the garbage line failed");
+    assert_eq!(stats.connections, 2);
+    // This client is being served right now; the raw connection may not
+    // have been reaped yet, so allow either gauge reading.
+    assert!(
+        (1..=2).contains(&stats.active_connections),
+        "unexpected active gauge: {}",
+        stats.active_connections
+    );
+    assert_eq!(stats.queued_connections, 0);
+    assert_eq!(stats.rejected_overloaded, 0);
+    assert_eq!(stats.rejected_unauthorized, 0);
+    assert_eq!(stats.rejected_frames, 0);
+
+    let count_of = |request: &str| {
+        stats
+            .latency
+            .iter()
+            .find(|entry| entry.request == request)
+            .map_or(0, |entry| entry.histogram.count)
+    };
+    assert_eq!(count_of("Ping"), 2);
+    assert_eq!(count_of("ListModels"), 1);
+    assert_eq!(count_of("RunModel"), 1);
+    // A Stats answer is serialized before its own latency sample lands, so
+    // the in-flight snapshot cannot include itself yet.
+    assert_eq!(count_of("Stats"), 0);
+    assert_eq!(count_of("Sweep"), 0, "unserved request types report no histogram");
+    let run_latency =
+        stats.latency.iter().find(|entry| entry.request == "RunModel").expect("recorded");
+    assert!(run_latency.histogram.max_micros > 0, "a real run takes measurable time");
+    assert!(run_latency.histogram.percentile_micros(0.99) >= run_latency.histogram.max_micros / 2);
+
+    // A second snapshot counts the first one.
+    let again = client.stats().expect("stats again");
+    assert_eq!(again.requests, 7);
+    let stats_count = again
+        .latency
+        .iter()
+        .find(|entry| entry.request == "Stats")
+        .map_or(0, |entry| entry.histogram.count);
+    assert_eq!(stats_count, 1, "the previous Stats request is now on the books");
+
     client.shutdown().expect("shutdown acknowledged");
     handle.join().expect("daemon exits cleanly");
 }

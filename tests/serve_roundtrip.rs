@@ -18,15 +18,18 @@ fn small_config() -> PipelineConfig {
     config
 }
 
-fn spawn_server(pipeline: PipelineConfig, threads: usize) -> dbpim_serve::ServerHandle {
-    Server::spawn(ServeConfig {
+fn serve_config(pipeline: PipelineConfig, threads: usize) -> ServeConfig {
+    ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         threads,
         poll_interval: Duration::from_millis(50),
         pipeline,
-        cache_cap: None,
-    })
-    .expect("server spawns")
+        ..ServeConfig::default()
+    }
+}
+
+fn spawn_server(pipeline: PipelineConfig, threads: usize) -> dbpim_serve::ServerHandle {
+    Server::spawn(serve_config(pipeline, threads)).expect("server spawns")
 }
 
 /// A served `RunModel` (all four sparsity configurations, fidelity on) is
@@ -53,6 +56,42 @@ fn served_run_model_matches_direct_pipeline() {
 
     client.shutdown().expect("shutdown acknowledged");
     handle.join().expect("daemon exits cleanly");
+}
+
+/// Authentication is transparent to the numbers: the same `RunModel` served
+/// by an auth-required daemon (after the handshake) and by an open daemon is
+/// bit-identical to the direct pipeline run.
+#[test]
+fn served_results_are_bit_identical_with_auth_on_and_off() {
+    let config = small_config().without_fidelity();
+    let direct = Pipeline::new(config)
+        .expect("valid config")
+        .run_kind(ModelKind::MobileNetV2)
+        .expect("direct run succeeds");
+
+    let open_handle = spawn_server(config, 2);
+    let mut open_client = Client::connect(open_handle.addr()).expect("connects");
+    let served_open =
+        open_client.run_model(&RunQuery::new(ModelKind::MobileNetV2)).expect("open run succeeds");
+
+    let locked_handle = Server::spawn(ServeConfig {
+        auth_token: Some("roundtrip-secret".to_string()),
+        ..serve_config(config, 2)
+    })
+    .expect("server spawns");
+    let mut locked_client = Client::connect(locked_handle.addr()).expect("connects");
+    locked_client.authenticate("roundtrip-secret").expect("handshake succeeds");
+    let served_locked = locked_client
+        .run_model(&RunQuery::new(ModelKind::MobileNetV2))
+        .expect("authed run succeeds");
+
+    assert_eq!(served_open.result, direct, "open daemon diverges from the direct pipeline");
+    assert_eq!(served_locked, served_open, "auth handshake changed the served bits");
+
+    open_client.shutdown().expect("shutdown acknowledged");
+    open_handle.join().expect("daemon exits cleanly");
+    locked_client.shutdown().expect("shutdown acknowledged");
+    locked_handle.join().expect("daemon exits cleanly");
 }
 
 /// A served sweep streams its entries in deterministic order and reassembles
