@@ -167,6 +167,7 @@ impl PimMacro {
     /// * [`ArchError::LengthMismatch`] when the filters disagree on their
     ///   weight count.
     pub fn load_sparse_tile(&mut self, filters: &[FilterMetadata]) -> Result<u64, ArchError> {
+        let _span = dbpim_trace::kernel_span("arch.load");
         let weights_len = filters.first().map_or(0, |f| f.weights.len());
         self.validate_sparse(filters, weights_len, "tile weights")?;
         Ok(self.load_sparse_planes(filters, weights_len))
@@ -180,6 +181,7 @@ impl PimMacro {
     /// As [`load_dense_tile_for_width`](Self::load_dense_tile_for_width) at
     /// [`OperandWidth::Int8`].
     pub fn load_dense_tile(&mut self, filters: &[Vec<i8>]) -> Result<u64, ArchError> {
+        let _span = dbpim_trace::kernel_span("arch.load");
         let refs: Vec<&[i8]> = filters.iter().map(Vec::as_slice).collect();
         let weights_len = refs.first().map_or(0, |f| f.len());
         self.validate_dense(&refs, weights_len, OperandWidth::Int8, "tile weights")?;
@@ -202,6 +204,7 @@ impl PimMacro {
         filters: &[Vec<i32>],
         width: OperandWidth,
     ) -> Result<u64, ArchError> {
+        let _span = dbpim_trace::kernel_span("arch.load");
         let refs: Vec<&[i32]> = filters.iter().map(Vec::as_slice).collect();
         let weights_len = refs.first().map_or(0, |f| f.len());
         self.validate_dense(&refs, weights_len, width, "tile weights")?;
@@ -224,6 +227,7 @@ impl PimMacro {
         inputs: &[i8],
         ipu: &InputPreprocessor,
     ) -> Result<TileExecution, ArchError> {
+        let _span = dbpim_trace::kernel_span("arch.execute");
         let (filters, weights_len) = match &self.tile {
             LoadedTile::None => return Err(ArchError::NoTileLoaded),
             LoadedTile::Sparse(t) => (t.filters, t.weights_len),

@@ -42,6 +42,7 @@ use dbpim_fta::metadata::FilterMetadata;
 use dbpim_fta::{FilterApprox, QueryTables};
 use dbpim_nn::QuantizedModel;
 use dbpim_tensor::random::TensorGenerator;
+use dbpim_trace::{phase_summary, PhaseSummary, TraceCollector};
 
 const SCHEMA: &str = "dbpim-bench-core/v1";
 
@@ -70,6 +71,11 @@ struct Report {
     mode: String,
     kernels: Vec<KernelSample>,
     derived: Derived,
+    /// Per-span phase breakdown (load vs compute vs requantize) from a
+    /// separate fully-sampled traced pass — the timed loops above run with
+    /// tracing uninstalled so the numbers the gate compares are never
+    /// perturbed. `None` in reports written before the field existed.
+    phases: Option<Vec<PhaseSummary>>,
 }
 
 struct Harness {
@@ -214,7 +220,35 @@ fn run(quick: bool) -> Report {
         mode: if quick { "quick" } else { "full" }.to_string(),
         kernels: h.kernels,
         derived,
+        phases: Some(traced_phases()),
     }
+}
+
+/// Exercises the macro load/compute kernels and the quantized forward pass
+/// once with every kernel span sampled, and folds the spans into the
+/// per-phase rows the JSON report carries. Runs *after* the timed loops,
+/// with its own collector, so sampling never contaminates the gate numbers.
+fn traced_phases() -> Vec<PhaseSummary> {
+    let collector = std::sync::Arc::new(TraceCollector::new().with_kernel_sampling(1));
+    dbpim_trace::install(std::sync::Arc::clone(&collector));
+
+    let config = ArchConfig::paper();
+    let (metadata, inputs) = sparse_tile();
+    let hybrid = InputPreprocessor::new();
+    let mut pim = PimMacro::new(config).expect("macro builds");
+    for _ in 0..8 {
+        pim.load_sparse_tile(&metadata).expect("loads");
+        black_box(pim.execute_loaded(&inputs, &hybrid).expect("executes").outputs[0]);
+    }
+
+    let model = dbpim_nn::zoo::tiny_cnn(10, 2).expect("model builds");
+    let mut gen = TensorGenerator::new(3);
+    let (cal, _) = gen.labelled_batch(2, 3, 32, 32, 10).expect("batch");
+    let quantized = QuantizedModel::quantize(&model, &cal).expect("quantizes");
+    black_box(quantized.forward_all(&cal[0]).expect("forwards").len());
+
+    dbpim_trace::uninstall();
+    phase_summary(&collector.snapshot())
 }
 
 /// Compares against a baseline report. Ratios are normalized by their median
@@ -291,6 +325,9 @@ fn main() -> ExitCode {
         report.derived.sparse_compute_speedup_vs_scalar,
         report.derived.dense_compute_speedup_vs_scalar,
     );
+    if let Some(phases) = &report.phases {
+        eprint!("{}", dbpim_trace::render_phase_table(phases));
+    }
 
     let mut ok = true;
     if report.derived.sparse_compute_speedup_vs_scalar < min_speedup {

@@ -10,6 +10,7 @@
 //!             [--snapshot-dir <dir>] [--fleet-id <name>]
 //!             [--auth-token <secret>]
 //!             [--point-timeout-ms <n>] [--retries <n>]
+//!             [--log-level error|warn|info|debug] [--trace-out <path>]
 //! dbpim-fleet --status --endpoints host:port,... [--auth-token <secret>]
 //!             [--fleet-id <name>]
 //! ```
@@ -34,6 +35,7 @@ use std::time::Instant;
 
 use dbpim_bench::dse::{render_report, DseSweepOptions};
 use dbpim_fleet::{FleetDriver, FleetEvent, FleetOptions, FleetProgress};
+use dbpim_trace::{log_debug, log_info, log_warn, TraceSink};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +44,14 @@ fn main() {
         (Ok(sweep), Ok(fleet)) => (sweep, fleet),
         (Err(e), _) => usage_error(&e.to_string()),
         (_, Err(e)) => usage_error(&e.to_string()),
+    };
+    match dbpim_trace::log_level_from_args(&args) {
+        Ok(_) => {}
+        Err(e) => usage_error(&e),
+    }
+    let trace = match TraceSink::from_args(&args) {
+        Ok(sink) => sink,
+        Err(e) => usage_error(&e),
     };
     if args.iter().any(|arg| arg == "--status") {
         status_mode(&fleet);
@@ -72,22 +82,25 @@ fn main() {
         config.snapshot_dir.as_ref().map_or("off".to_string(), |d| d.display().to_string()),
     );
 
+    // Worker narration goes through the leveled logger: lifecycle and
+    // failures at their natural levels, the per-point ticker at debug so
+    // `--log-level debug` shows it and the default keeps stderr quiet.
     let driver = FleetDriver::new(config).with_observer(move |event| match event {
         FleetEvent::WorkerReady { worker, label } => {
-            eprintln!("worker {worker} ({label}) ready");
+            log_info!("fleet", "worker {worker} ({label}) ready");
         }
         FleetEvent::WorkerRetired { worker, label, reason } => {
-            eprintln!("worker {worker} ({label}) retired: {reason}");
+            log_warn!("fleet", "worker {worker} ({label}) retired: {reason}");
         }
         FleetEvent::PointDone { completed, total, worker, shard, stolen } => {
             let tag = if *stolen { " (stolen)" } else { "" };
-            eprintln!("… {completed}/{total} points (worker {worker}, shard {shard}{tag})");
+            log_debug!("fleet", "{completed}/{total} points (worker {worker}, shard {shard}{tag})");
         }
         FleetEvent::PointRetried { worker, shard, attempt, error } => {
-            eprintln!("retry: worker {worker}, shard {shard}, attempt {attempt}: {error}");
+            log_warn!("fleet", "retry: worker {worker}, shard {shard}, attempt {attempt}: {error}");
         }
         FleetEvent::SnapshotSkipped { path, reason } => {
-            eprintln!("skipped snapshot {}: {reason}", path.display());
+            log_warn!("fleet", "skipped snapshot {}: {reason}", path.display());
         }
     });
 
@@ -96,6 +109,11 @@ fn main() {
         Ok(outcome) => {
             print!("{}", render_report(&outcome.report));
             std::io::stdout().flush().ok();
+            if let Some(sink) = trace {
+                if let Err(e) = sink.finish() {
+                    eprintln!("dbpim-fleet: writing the trace failed: {e}");
+                }
+            }
             let stats = &outcome.stats;
             eprintln!(
                 "dbpim-fleet: {} fresh + {} resumed of {} points in {:.2?}; {} reassigned, \
@@ -107,6 +125,17 @@ fn main() {
                 stats.reassigned_points,
                 stats.retried_attempts,
             );
+            let latency = &stats.point_latency;
+            if !latency.is_empty() {
+                eprintln!(
+                    "  point latency: mean {:.1} ms, p95 <= {:.1} ms, max {:.1} ms \
+                     over {} fresh points",
+                    latency.mean_micros() / 1000.0,
+                    latency.percentile_micros(0.95) as f64 / 1000.0,
+                    latency.max_micros as f64 / 1000.0,
+                    latency.count,
+                );
+            }
             for (index, worker) in stats.workers.iter().enumerate() {
                 match &worker.retired {
                     Some(reason) => eprintln!(

@@ -20,6 +20,17 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Err(e) = dbpim_trace::log_level_from_args(&args) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+    let trace = match dbpim_trace::TraceSink::from_args(&args) {
+        Ok(sink) => sink,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
 
     let driver = match options.driver() {
         Ok(driver) => driver,
@@ -34,6 +45,11 @@ fn main() {
     match driver.run(&spec) {
         Ok(report) => {
             print!("{}", render_report(&report));
+            if let Some(sink) = trace {
+                if let Err(e) = sink.finish() {
+                    eprintln!("dse_sweep: writing the trace failed: {e}");
+                }
+            }
             let stats = driver.cache_stats();
             eprintln!(
                 "dse_sweep: {} fresh + {} resumed of {} points in {:.2?} \

@@ -89,7 +89,8 @@ impl DseSweepOptions {
          [--macros a,b] [--compartments a,b] [--dbmus a,b] [--rows a,b] [--freqs a,b] \
          [--feature-kb a,b] [--weight-kb a,b] [--meta-kb a,b] [--models a,b] \
          [--widths 4,8,...] [--sparsity base,hybrid,...] [--fidelity] \
-         [--snapshot <path>] [--limit-points <n>] [--batch <n>] [--threads <n>]";
+         [--snapshot <path>] [--limit-points <n>] [--batch <n>] [--threads <n>] \
+         [--trace-out <path>] [--log-level error|warn|info|debug]";
 
     /// Parses options from an explicit argument list. Unknown flags are
     /// ignored; a known flag with a missing or malformed value is an error.

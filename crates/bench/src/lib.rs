@@ -244,12 +244,33 @@ impl ExperimentContext {
 
 /// Shared `main` body of the experiment binaries: parse options, build the
 /// context, render one report, print it (exit status 1 on failure).
+///
+/// Every experiment binary also understands `--trace-out <path>` (write a
+/// Chrome trace of the run) and `--log-level <level>` — both handled here,
+/// so individual generators stay oblivious to observability plumbing.
 pub fn run_report_binary<F>(name: &str, generate: F)
 where
     F: FnOnce(&ExperimentContext) -> Result<String, PipelineError>,
 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = dbpim_trace::log_level_from_args(&args) {
+        eprintln!("{name}: {e}");
+        std::process::exit(2);
+    }
+    let trace = match dbpim_trace::TraceSink::from_args(&args) {
+        Ok(sink) => sink,
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            std::process::exit(2);
+        }
+    };
     let options = ExperimentOptions::from_args();
     let result = ExperimentContext::new(options).and_then(|context| generate(&context));
+    if let Some(sink) = trace {
+        if let Err(e) = sink.finish() {
+            eprintln!("{name}: writing the trace failed: {e}");
+        }
+    }
     match result {
         Ok(report) => print!("{report}"),
         Err(e) => {

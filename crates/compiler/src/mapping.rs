@@ -86,6 +86,12 @@ impl Compiler {
         workloads: &ModelWorkloads,
         mode: MappingMode,
     ) -> Result<ModelProgram, CompileError> {
+        let _span = dbpim_trace::span!(
+            "compiler.model",
+            model = workloads.model_name,
+            mode = mode.name(),
+            width = self.width.bits(),
+        );
         let mut layers = Vec::with_capacity(workloads.workloads.len());
         for workload in &workloads.workloads {
             let layer = match workload {

@@ -680,6 +680,7 @@ impl DseDriver {
     pub fn run(&self, spec: &DseSpec) -> Result<DseReport, PipelineError> {
         let session_width = self.runner.session().config().operand_width;
         let points = spec.points(session_width)?;
+        let _span = dbpim_trace::span!("dse.run", points = points.len());
         let sparsity = spec.unique_sparsity();
         let start = Instant::now();
 
@@ -699,7 +700,15 @@ impl DseDriver {
         }
 
         for batch in missing.chunks(self.batch_size) {
+            let _batch_span = dbpim_trace::span!("dse.batch", points = batch.len());
             let computed = par::par_map(batch.to_vec(), self.threads, |point| {
+                let _span = dbpim_trace::span!(
+                    "dse.point",
+                    model = point.kind.name(),
+                    width = point.width.bits(),
+                    macros = point.arch.macros,
+                    rows = point.arch.rows_per_dbmu,
+                );
                 self.runner
                     .run_point(point.kind, point.width, Some(point.arch), &sparsity, spec.fidelity)
                     .map(DseEntry::from_sweep)

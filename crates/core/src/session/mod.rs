@@ -156,6 +156,11 @@ impl ModelArtifacts {
         config: &PipelineConfig,
         model: Arc<Model>,
     ) -> Result<Self, PipelineError> {
+        let _span = dbpim_trace::span!(
+            "pipeline.prepare",
+            model = model.name(),
+            width = config.operand_width.bits(),
+        );
         config.validate()?;
         let summary = model.summary()?;
 
@@ -170,11 +175,17 @@ impl ModelArtifacts {
         // the weight-side approximation runs at the configured operand
         // width. The INT8 path goes through the quantized model exactly as
         // the paper's pipeline always has, so its results stay bit-identical.
-        let quantized = QuantizedModel::quantize(&model, &calibration)?;
-        let approx = if config.operand_width == OperandWidth::Int8 {
-            ModelApprox::from_quantized(&quantized)?
-        } else {
-            ModelApprox::from_model_wide(&model, config.operand_width)?
+        let quantized = {
+            let _span = dbpim_trace::span!("pipeline.quantize");
+            QuantizedModel::quantize(&model, &calibration)?
+        };
+        let approx = {
+            let _span = dbpim_trace::span!("pipeline.fta");
+            if config.operand_width == OperandWidth::Int8 {
+                ModelApprox::from_quantized(&quantized)?
+            } else {
+                ModelApprox::from_model_wide(&model, config.operand_width)?
+            }
         };
         let fta_stats = ModelFtaStats::from_model(&approx);
 
@@ -182,12 +193,14 @@ impl ModelArtifacts {
         // the generator so the draw matches the historical inline one.
         let eval_gen = gen.clone();
 
-        // Input bit sparsity (Fig. 2(b)) measured on the calibration batch.
+        // Input bit sparsity (Fig. 2(b)) measured on the calibration batch,
+        // then the hardware-facing workloads (dyadic-block metadata) for
+        // both mappings.
+        let _metadata_span = dbpim_trace::span!("pipeline.metadata");
         let input_sparsity = measure_input_sparsity(&quantized, &calibration)?;
-
-        // Hardware-facing workloads for both mappings.
         let sparse_workloads = extract_workloads(&model, Some(&approx), &input_sparsity)?;
         let dense_workloads = extract_workloads(&model, None, &input_sparsity)?;
+        drop(_metadata_span);
 
         Ok(Self {
             config: *config,
@@ -262,6 +275,12 @@ impl ModelArtifacts {
             return Ok(Arc::clone(found));
         }
         self.program_misses.fetch_add(1, Ordering::Relaxed);
+        let _span = dbpim_trace::span!(
+            "pipeline.compile",
+            model = self.model.name(),
+            macros = arch.macros,
+            rows = arch.rows_per_dbmu,
+        );
         let compiler = Compiler::with_width(arch, self.config.operand_width)?;
         let sparse = compiler.compile(&self.sparse_workloads, MappingMode::DbPim)?;
         let dense = compiler.compile(&self.dense_workloads, MappingMode::Dense)?;
@@ -282,6 +301,11 @@ impl ModelArtifacts {
         sparsity: SparsityConfig,
     ) -> Result<RunReport, PipelineError> {
         let programs = self.programs(arch)?;
+        let _span = dbpim_trace::span!(
+            "pipeline.simulate",
+            model = self.model.name(),
+            sparsity = sparsity.label(),
+        );
         let mut sim_config = SimConfig::new(sparsity);
         sim_config.arch = arch;
         let simulator = Simulator::new(sim_config)?;
@@ -316,6 +340,7 @@ impl ModelArtifacts {
         if let Some(report) = cache.as_ref() {
             return Ok(*report);
         }
+        let _span = dbpim_trace::span!("pipeline.fidelity", model = self.model.name());
         let input_shape = self.model.input_shape();
         let mut gen = self.eval_gen.clone();
         let (eval_images, eval_labels) = gen.labelled_batch(
@@ -1084,6 +1109,12 @@ impl BatchRunner {
         sparsity: &[SparsityConfig],
         with_fidelity: bool,
     ) -> Result<SweepEntry, PipelineError> {
+        let _span = dbpim_trace::span!(
+            "batch.point",
+            model = kind.name(),
+            width = width.bits(),
+            fidelity = with_fidelity,
+        );
         let session = self.session_for_width(width)?;
         let arch = arch.unwrap_or(session.config().arch);
         arch.validate()?;
@@ -1116,6 +1147,11 @@ impl BatchRunner {
         with_fidelity: bool,
     ) -> Result<SweepReport, PipelineError> {
         let start = Instant::now();
+        let _span = dbpim_trace::span!(
+            "batch.sweep",
+            models = spec.unique_models().len(),
+            fidelity = with_fidelity,
+        );
         let models = spec.unique_models();
         let sparsity = spec.unique_sparsity();
         let archs = spec.effective_archs(self.session.config().arch);

@@ -194,6 +194,9 @@ pub struct FleetStats {
     pub retried_attempts: usize,
     /// Diagnostics for snapshots that were skipped or failed to save.
     pub diagnostics: Vec<String>,
+    /// Wall-time distribution of fresh point executions across every
+    /// worker (log₂-bucketed; resumed points are not sampled).
+    pub point_latency: dbpim_trace::LatencyHistogram,
 }
 
 /// The merged report plus the run's bookkeeping.
@@ -333,6 +336,9 @@ struct FleetState {
     worker_points: Vec<usize>,
     worker_retired: Vec<Option<String>>,
     diagnostics: Vec<String>,
+    /// Per-point wall-time distribution across every worker (fresh
+    /// executions only; adopted snapshot points cost nothing).
+    point_latency: dbpim_trace::LatencyHistogram,
 }
 
 impl FleetState {
@@ -404,6 +410,12 @@ impl FleetDriver {
         }
         self.config.pipeline.validate().map_err(FleetError::Spec)?;
         let points = spec.points(self.config.pipeline.operand_width).map_err(FleetError::Spec)?;
+        let _span = dbpim_trace::span!(
+            "fleet.run",
+            fleet = self.config.fleet_id,
+            points = points.len(),
+            workers = self.config.workers.len(),
+        );
         let plan = ShardPlan::partition(&points, self.config.workers.len(), self.config.strategy);
         let owners = plan.owners();
         let key_to_index: HashMap<DsePointKey, usize> =
@@ -430,6 +442,7 @@ impl FleetDriver {
             worker_points: vec![0; self.config.workers.len()],
             worker_retired: vec![None; self.config.workers.len()],
             diagnostics: Vec::new(),
+            point_latency: dbpim_trace::LatencyHistogram::new(),
         };
 
         // Adopt whatever previous shard snapshots already computed. Entries
@@ -580,6 +593,7 @@ impl FleetDriver {
             reassigned_points: state.reassigned,
             retried_attempts: state.retried,
             diagnostics: state.diagnostics,
+            point_latency: state.point_latency,
         };
         Ok(FleetOutcome { report: merged, stats })
     }
@@ -602,6 +616,7 @@ impl FleetDriver {
     ) {
         let (mutex, cv) = sync;
         let label = worker_spec.to_string();
+        let _span = dbpim_trace::span!("fleet.worker", worker = worker, backend = label);
         let retire = |reason: String| {
             let mut state = mutex.lock().expect("fleet state lock");
             state.diagnostics.push(format!("worker {worker} ({label}) retired: {reason}"));
@@ -664,13 +679,25 @@ impl FleetDriver {
 
             let job =
                 PointJob { point: points[point_index], shard, shard_points: shard_sizes[shard] };
-            match executor.run(&job, context) {
+            let point_span = dbpim_trace::span!(
+                "fleet.point",
+                worker = worker,
+                shard = shard,
+                model = job.point.kind.name(),
+                stolen = stolen,
+            );
+            let point_start = Instant::now();
+            let executed = executor.run(&job, context);
+            let point_elapsed = point_start.elapsed();
+            drop(point_span);
+            match executed {
                 Ok(entry) => {
                     consecutive_failures = 0;
                     let owner = owners[point_index];
                     let (completed, total, snapshot) = {
                         let mut state = mutex.lock().expect("fleet state lock");
                         state.in_flight -= 1;
+                        state.point_latency.record(point_elapsed);
                         if state.done.insert(entry.canonical_key()) {
                             state.shard_entries[owner].push(entry);
                             state.fresh += 1;

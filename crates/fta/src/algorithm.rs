@@ -351,6 +351,7 @@ impl ModelApprox {
     ///
     /// Propagates weight-shape errors from the individual layers.
     pub fn from_quantized(model: &QuantizedModel) -> Result<Self, FtaError> {
+        let _span = dbpim_trace::span!("fta.approx", model = model.name(), width = "int8");
         let tables = QueryTables::new();
         let mut layers = Vec::new();
         for &id in &model.pim_node_ids() {
@@ -381,6 +382,7 @@ impl ModelApprox {
     /// Propagates weight-shape errors from the individual layers and graph
     /// validation errors from the batch-norm fold.
     pub fn from_model_wide(model: &dbpim_nn::Model, width: OperandWidth) -> Result<Self, FtaError> {
+        let _span = dbpim_trace::span!("fta.approx", model = model.name(), width = width.bits());
         let model = dbpim_nn::fold_batch_norm(model)?;
         let tables = QueryTables::for_width(width);
         let mut layers = Vec::new();

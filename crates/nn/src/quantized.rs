@@ -132,6 +132,8 @@ impl QuantizedModel {
     /// Returns an error when the model fails validation, a calibration
     /// forward pass fails, or no calibration images are supplied.
     pub fn quantize(model: &Model, calibration: &[Tensor<f32>]) -> Result<Self, NnError> {
+        let _span =
+            dbpim_trace::span!("nn.quantize", model = model.name(), images = calibration.len());
         if calibration.is_empty() {
             return Err(NnError::BadParameters {
                 layer: model.name().to_string(),
@@ -548,6 +550,7 @@ fn requantize_acc(
     output_qp: QuantParams,
     out_channels: usize,
 ) -> Tensor<i8> {
+    let _span = dbpim_trace::kernel_span("nn.requantize");
     let per_channel = acc.numel() / out_channels;
     if per_channel == 0 {
         return Tensor::from_vec(Vec::new(), acc.shape().to_vec())

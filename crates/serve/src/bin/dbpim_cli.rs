@@ -56,7 +56,8 @@ const USAGE: &str = "usage: dbpim-cli [--addr <ip>] [--port <u16>] [--auth-token
      <ping|models|run|sweep|explore|stats|shard-status|shutdown> [--model <name>] \
      [--models a,b,c] [--sparsity <name>] [--operand-width <4|8|12|16>] [--widths 4,8,...] \
      [--macros a,b] [--compartments a,b] [--dbmus a,b] [--rows a,b] [--freqs a,b] \
-     [--deadline-ms <n>] [--fidelity]";
+     [--deadline-ms <n>] [--fidelity] [--trace-out <path>] \
+     [--log-level <error|warn|info|debug>]";
 
 #[derive(Debug, Clone, PartialEq)]
 enum Command {
@@ -315,6 +316,24 @@ fn main() {
         }
     };
 
+    // Observability plumbing rides beside the strict parser: `--trace-out`
+    // dumps a Chrome trace of the client-side spans, `--log-level` tunes
+    // the stderr logger. Both are scanned from the raw argument list so
+    // they stay command-agnostic.
+    if let Err(e) = dbpim_trace::log_level_from_args(&args) {
+        eprintln!("dbpim-cli: {e}");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    let trace = match dbpim_trace::TraceSink::from_args(&args) {
+        Ok(sink) => sink,
+        Err(e) => {
+            eprintln!("dbpim-cli: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
     let addr = format!("{}:{}", options.addr, options.port);
     let mut client = match Client::connect_timeout(addr.as_str(), Duration::from_secs(5)) {
         Ok(client) => client,
@@ -331,6 +350,8 @@ fn main() {
         }
     }
 
+    let command_span =
+        dbpim_trace::span!("cli.command", command = format!("{:?}", options.command));
     let outcome = match options.command {
         Command::Ping => client.ping().map(|version| {
             println!("pong (protocol v{version}) from {addr}");
@@ -478,6 +499,12 @@ fn main() {
         }),
     };
 
+    drop(command_span);
+    if let Some(sink) = trace {
+        if let Err(e) = sink.finish() {
+            eprintln!("dbpim-cli: writing the trace failed: {e}");
+        }
+    }
     if let Err(e) = outcome {
         eprintln!("dbpim-cli: {e}");
         std::process::exit(1);

@@ -5,13 +5,15 @@
 //! "Serving" section for the wire-protocol specification.
 
 use dbpim_serve::{ServeOptions, Server};
+use dbpim_trace::log_error;
 
 fn main() {
     let options = ServeOptions::from_args();
+    dbpim_trace::set_log_level(options.log_level);
     let server = match Server::bind(options.serve_config()) {
         Ok(server) => server,
         Err(e) => {
-            eprintln!("dbpim-served: cannot start: {e}");
+            log_error!("served", "cannot start: {e}");
             std::process::exit(1);
         }
     };
@@ -40,7 +42,7 @@ fn main() {
         options.max_client_conns.map_or("unlimited".to_string(), |cap| cap.to_string()),
     );
     if let Err(e) = server.run() {
-        eprintln!("dbpim-served: serving failed: {e}");
+        log_error!("served", "serving failed: {e}");
         std::process::exit(1);
     }
     println!("dbpim-served: shut down cleanly");

@@ -7,11 +7,13 @@
 //! with a different model zoo than the operator asked for.
 
 use std::fmt;
+use std::path::PathBuf;
 use std::str::FromStr;
 use std::time::Duration;
 
 use db_pim::PipelineConfig;
 use dbpim_csd::OperandWidth;
+use dbpim_trace::LogLevel;
 
 use crate::server::ServeConfig;
 
@@ -70,6 +72,10 @@ where
 ///                   busy (default 64)
 /// --max-client-conns <n>  per-client-IP cap on open connections (default
 ///                   unlimited)
+/// --log-level <error|warn|info|debug>  stderr log verbosity (default info)
+/// --trace-dir <dir> install a trace collector and dump a Chrome trace JSON
+///                   into <dir> every N requests (default off)
+/// --trace-every <n> requests per --trace-dir dump (default 64)
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeOptions {
@@ -91,6 +97,12 @@ pub struct ServeOptions {
     pub max_pending: usize,
     /// Per-client-IP cap on simultaneously open connections.
     pub max_client_conns: Option<usize>,
+    /// Stderr log verbosity.
+    pub log_level: LogLevel,
+    /// Directory periodic Chrome trace dumps are written into.
+    pub trace_dir: Option<PathBuf>,
+    /// Requests per `trace_dir` dump.
+    pub trace_every: u64,
 }
 
 impl Default for ServeOptions {
@@ -105,13 +117,16 @@ impl Default for ServeOptions {
             max_frame_bytes: ServeConfig::DEFAULT_MAX_FRAME_BYTES,
             max_pending: ServeConfig::DEFAULT_MAX_PENDING,
             max_client_conns: None,
+            log_level: LogLevel::Info,
+            trace_dir: None,
+            trace_every: ServeConfig::DEFAULT_TRACE_EVERY,
         }
     }
 }
 
 impl ServeOptions {
     /// The flags this parser understands.
-    pub const FLAGS: [&'static str; 14] = [
+    pub const FLAGS: [&'static str; 17] = [
         "--addr",
         "--port",
         "--threads",
@@ -126,6 +141,9 @@ impl ServeOptions {
         "--max-frame-bytes",
         "--max-pending",
         "--max-client-conns",
+        "--log-level",
+        "--trace-dir",
+        "--trace-every",
     ];
 
     /// One-line usage text for the daemon binary.
@@ -133,7 +151,8 @@ impl ServeOptions {
          [--threads <n>] [--width <f32>] [--seed <u64>] [--images <n>] [--cal <n>] \
          [--classes <n>] [--operand-width <4|8|12|16>] [--cache-cap <n>] \
          [--auth-token <secret>] [--max-frame-bytes <n>] [--max-pending <n>] \
-         [--max-client-conns <n>]";
+         [--max-client-conns <n>] [--log-level <error|warn|info|debug>] \
+         [--trace-dir <dir>] [--trace-every <n>]";
 
     /// Parses options from the process arguments, exiting with status 2 and
     /// usage on stderr for a malformed command line.
@@ -192,6 +211,9 @@ impl ServeOptions {
                 "--max-client-conns" => {
                     options.max_client_conns = Some(parse_value::<usize>(flag, raw)?.max(1));
                 }
+                "--log-level" => options.log_level = parse_value(flag, raw)?,
+                "--trace-dir" => options.trace_dir = Some(PathBuf::from(raw)),
+                "--trace-every" => options.trace_every = parse_value::<u64>(flag, raw)?.max(1),
                 _ => unreachable!("flag list and match arms agree"),
             }
             i += 2;
@@ -212,6 +234,9 @@ impl ServeOptions {
             max_frame_bytes: self.max_frame_bytes,
             max_pending_connections: self.max_pending,
             max_connections_per_client: self.max_client_conns,
+            metrics: None,
+            trace_dir: self.trace_dir.clone(),
+            trace_every: self.trace_every,
         }
     }
 }

@@ -39,13 +39,15 @@ use std::collections::HashMap;
 use std::io::Read;
 use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-use db_pim::{BatchRunner, LatencyHistogram, PipelineConfig, PipelineError};
+use db_pim::{BatchRunner, PipelineConfig, PipelineError};
 use dbpim_nn::ModelKind;
 use dbpim_sim::SparsityConfig;
+use dbpim_trace::{log_debug, log_info, log_warn, ChromeTrace, MetricsRegistry, TraceCollector};
 
 use crate::protocol::{
     write_message, ErrorKind, ErrorResponse, Request, RequestLatency, Response, ServerStats,
@@ -72,6 +74,23 @@ const REQUEST_TYPES: [&str; 10] = [
     "ShardStatus",
     "Shutdown",
 ];
+
+/// Registry names of the daemon's counters and gauges. The `Stats`
+/// response is assembled *from* a [`MetricsRegistry`] snapshot under these
+/// names, so the wire numbers and the registry can never disagree.
+const M_REQUESTS: &str = "serve.requests";
+const M_ERRORS: &str = "serve.errors";
+const M_CONNECTIONS: &str = "serve.connections";
+const M_REJECTED_OVERLOADED: &str = "serve.rejected_overloaded";
+const M_REJECTED_UNAUTHORIZED: &str = "serve.rejected_unauthorized";
+const M_REJECTED_FRAMES: &str = "serve.rejected_frames";
+const G_ACTIVE: &str = "serve.active_connections";
+const G_QUEUED: &str = "serve.queued_connections";
+
+/// The registry histogram name of one request variant's handling latency.
+fn latency_metric(request_type: &str) -> String {
+    format!("serve.latency.{request_type}")
+}
 
 /// The latency-registry slot of one request variant.
 fn request_type_index(request: &Request) -> usize {
@@ -160,6 +179,17 @@ pub struct ServeConfig {
     /// IP); connections beyond it are rejected with
     /// [`ErrorKind::Overloaded`]. `None` means no per-client cap.
     pub max_connections_per_client: Option<usize>,
+    /// The metrics registry the daemon's observability counters live in.
+    /// `None` creates a private registry; injecting one lets an embedding
+    /// process (or a test) read the same numbers the `Stats` response
+    /// reports.
+    pub metrics: Option<Arc<MetricsRegistry>>,
+    /// When set, the daemon installs a process-global trace collector and
+    /// dumps a Chrome trace-event JSON file into this directory every
+    /// [`Self::trace_every`] requests.
+    pub trace_dir: Option<PathBuf>,
+    /// How many requests each `trace_dir` dump covers.
+    pub trace_every: u64,
 }
 
 impl Default for ServeConfig {
@@ -174,6 +204,9 @@ impl Default for ServeConfig {
             max_frame_bytes: ServeConfig::DEFAULT_MAX_FRAME_BYTES,
             max_pending_connections: ServeConfig::DEFAULT_MAX_PENDING,
             max_connections_per_client: None,
+            metrics: None,
+            trace_dir: None,
+            trace_every: ServeConfig::DEFAULT_TRACE_EVERY,
         }
     }
 }
@@ -185,6 +218,8 @@ impl ServeConfig {
     pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 20;
     /// Default [`Self::max_pending_connections`].
     pub const DEFAULT_MAX_PENDING: usize = 64;
+    /// Default [`Self::trace_every`].
+    pub const DEFAULT_TRACE_EVERY: u64 = 64;
 }
 
 /// A serving failure.
@@ -219,6 +254,13 @@ impl From<PipelineError> for ServeError {
     }
 }
 
+/// The per-request trace dump configured by [`ServeConfig::trace_dir`].
+struct TraceDump {
+    dir: PathBuf,
+    every: u64,
+    collector: Arc<TraceCollector>,
+}
+
 /// State shared by the acceptor and every worker.
 struct Shared {
     runner: BatchRunner,
@@ -230,66 +272,83 @@ struct Shared {
     max_pending: usize,
     max_per_client: Option<usize>,
     shutdown: AtomicBool,
-    requests: AtomicU64,
-    errors: AtomicU64,
-    connections: AtomicU64,
-    /// Connections currently being served by a worker.
-    active: AtomicU64,
-    /// Connections accepted and queued but not yet claimed by a worker.
-    queued: AtomicU64,
-    rejected_overloaded: AtomicU64,
-    rejected_unauthorized: AtomicU64,
-    rejected_frames: AtomicU64,
+    /// Counters, gauges and per-request-type latency histograms. The
+    /// `Stats` wire response is a projection of this registry.
+    metrics: Arc<MetricsRegistry>,
+    /// Periodic Chrome-trace dumping, when configured.
+    trace: Option<TraceDump>,
     started: Instant,
     /// Open-connection counts per peer IP (maintained only when
     /// `max_per_client` is set).
     per_client: Mutex<HashMap<IpAddr, usize>>,
-    /// Handling-latency histograms, indexed like [`REQUEST_TYPES`].
-    latency: Mutex<Vec<LatencyHistogram>>,
     /// Progress of shard-tagged explorations, keyed by (fleet, shard).
     shards: Mutex<Vec<ShardStatus>>,
 }
 
 impl Shared {
     fn stats(&self) -> ServerStats {
-        let latency = lock_unpoisoned(&self.latency);
+        let snapshot = self.metrics.snapshot();
+        let gauge = |name: &str| u64::try_from(snapshot.gauge(name)).unwrap_or(0);
         let latency = REQUEST_TYPES
             .iter()
-            .zip(latency.iter())
-            .filter(|(_, histogram)| !histogram.is_empty())
-            .map(|(name, histogram)| RequestLatency {
-                request: (*name).to_string(),
-                histogram: histogram.clone(),
+            .filter_map(|name| {
+                snapshot.histogram(&latency_metric(name)).map(|histogram| RequestLatency {
+                    request: (*name).to_string(),
+                    histogram: histogram.clone(),
+                })
             })
             .collect();
         ServerStats {
-            requests: self.requests.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            connections: self.connections.load(Ordering::Relaxed),
+            requests: snapshot.counter(M_REQUESTS),
+            errors: snapshot.counter(M_ERRORS),
+            connections: snapshot.counter(M_CONNECTIONS),
             uptime: self.started.elapsed(),
             cache: self.runner.cache_stats(),
-            active_connections: self.active.load(Ordering::Relaxed),
-            queued_connections: self.queued.load(Ordering::Relaxed),
-            rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
-            rejected_unauthorized: self.rejected_unauthorized.load(Ordering::Relaxed),
-            rejected_frames: self.rejected_frames.load(Ordering::Relaxed),
+            active_connections: gauge(G_ACTIVE),
+            queued_connections: gauge(G_QUEUED),
+            rejected_overloaded: snapshot.counter(M_REJECTED_OVERLOADED),
+            rejected_unauthorized: snapshot.counter(M_REJECTED_UNAUTHORIZED),
+            rejected_frames: snapshot.counter(M_REJECTED_FRAMES),
             latency,
         }
     }
 
     /// Records one request's handling time into its per-type histogram.
     fn record_latency(&self, type_index: usize, elapsed: Duration) {
-        let mut latency = lock_unpoisoned(&self.latency);
-        if let Some(histogram) = latency.get_mut(type_index) {
-            histogram.record(elapsed);
+        self.metrics.observe(&latency_metric(REQUEST_TYPES[type_index]), elapsed);
+    }
+
+    /// Counts one served request and, when periodic trace dumping is
+    /// configured, writes a Chrome trace file every N-th request.
+    fn count_request(&self) {
+        let served = self.metrics.incr(M_REQUESTS);
+        let Some(dump) = &self.trace else { return };
+        if !served.is_multiple_of(dump.every.max(1)) {
+            return;
+        }
+        let spans = dump.collector.snapshot();
+        dump.collector.clear();
+        if spans.is_empty() {
+            return;
+        }
+        let path = dump.dir.join(format!("trace-{served}.json"));
+        match std::fs::write(&path, ChromeTrace::render(&spans)) {
+            Ok(()) => log_info!(
+                "serve",
+                "dumped {} spans covering {} requests to {}",
+                spans.len(),
+                dump.every,
+                path.display()
+            ),
+            Err(e) => log_warn!("serve", "trace dump to {} failed: {e}", path.display()),
         }
     }
 
     /// Admission: `true` when the backlog still has room — every worker
     /// busy *and* a full pending queue means reject, not wait.
     fn queue_admits(&self) -> bool {
-        let active = self.active.load(Ordering::Relaxed) as usize;
-        let queued = self.queued.load(Ordering::Relaxed) as usize;
+        let active = usize::try_from(self.metrics.gauge(G_ACTIVE)).unwrap_or(0);
+        let queued = usize::try_from(self.metrics.gauge(G_QUEUED)).unwrap_or(0);
         active < self.threads || queued < self.max_pending
     }
 
@@ -363,6 +422,15 @@ impl Shared {
             other => other,
         };
         entry.updated_at_ms = now;
+        log_debug!(
+            "serve",
+            "shard {}/{} of fleet {}: {}/{} points",
+            entry.shard,
+            entry.of,
+            entry.fleet,
+            entry.completed_points,
+            entry.total_points
+        );
     }
 
     /// The registry snapshot, most recently updated first (stable for
@@ -401,6 +469,15 @@ impl Server {
                 std::io::Error::other(format!("unresolvable address {}", config.addr))
             })?)?;
         let local_addr = listener.local_addr()?;
+        let trace = match config.trace_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(&dir)?;
+                let collector = Arc::new(TraceCollector::new());
+                dbpim_trace::install(Arc::clone(&collector));
+                Some(TraceDump { dir, every: config.trace_every.max(1), collector })
+            }
+            None => None,
+        };
         Ok(Self {
             listener,
             shared: Arc::new(Shared {
@@ -413,17 +490,10 @@ impl Server {
                 max_pending: config.max_pending_connections,
                 max_per_client: config.max_connections_per_client,
                 shutdown: AtomicBool::new(false),
-                requests: AtomicU64::new(0),
-                errors: AtomicU64::new(0),
-                connections: AtomicU64::new(0),
-                active: AtomicU64::new(0),
-                queued: AtomicU64::new(0),
-                rejected_overloaded: AtomicU64::new(0),
-                rejected_unauthorized: AtomicU64::new(0),
-                rejected_frames: AtomicU64::new(0),
+                metrics: config.metrics.unwrap_or_default(),
+                trace,
                 started: Instant::now(),
                 per_client: Mutex::new(HashMap::new()),
-                latency: Mutex::new(vec![LatencyHistogram::new(); REQUEST_TYPES.len()]),
                 shards: Mutex::new(Vec::new()),
             }),
         })
@@ -459,14 +529,14 @@ impl Server {
                         };
                         match next {
                             Ok((stream, ip)) => {
-                                shared.queued.fetch_sub(1, Ordering::Relaxed);
-                                shared.active.fetch_add(1, Ordering::Relaxed);
+                                shared.metrics.adjust_gauge(G_QUEUED, -1);
+                                shared.metrics.adjust_gauge(G_ACTIVE, 1);
                                 // A panicking handler must not shrink the
                                 // worker pool: catch, account, move on.
                                 let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
                                     handle_connection(stream, &shared);
                                 }));
-                                shared.active.fetch_sub(1, Ordering::Relaxed);
+                                shared.metrics.adjust_gauge(G_ACTIVE, -1);
                                 shared.release_client(ip);
                             }
                             Err(_) => break, // acceptor hung up: drain done
@@ -482,8 +552,13 @@ impl Server {
             }
             match stream {
                 Ok(stream) => {
-                    self.shared.connections.fetch_add(1, Ordering::Relaxed);
+                    let conn = self.shared.metrics.incr(M_CONNECTIONS);
                     let ip = stream.peer_addr().ok().map(|addr| addr.ip());
+                    log_debug!(
+                        "serve",
+                        "connection {conn} from {}",
+                        ip.map_or("<unknown>".to_string(), |ip| ip.to_string())
+                    );
                     if !self.shared.try_admit_client(ip) {
                         reject_overloaded(
                             stream,
@@ -501,7 +576,7 @@ impl Server {
                         );
                         continue;
                     }
-                    self.shared.queued.fetch_add(1, Ordering::Relaxed);
+                    self.shared.metrics.adjust_gauge(G_QUEUED, 1);
                     if sender.send((stream, ip)).is_err() {
                         break;
                     }
@@ -520,6 +595,19 @@ impl Server {
         for worker in workers {
             let _ = worker.join();
         }
+        if let Some(dump) = &self.shared.trace {
+            // Final dump: a short-lived daemon whose request count never
+            // reached a dump boundary still leaves one trace behind.
+            dbpim_trace::uninstall();
+            let spans = dump.collector.snapshot();
+            if !spans.is_empty() {
+                let path = dump.dir.join("trace-final.json");
+                if let Err(e) = std::fs::write(&path, ChromeTrace::render(&spans)) {
+                    log_warn!("serve", "final trace dump to {} failed: {e}", path.display());
+                }
+            }
+        }
+        log_info!("serve", "daemon on {} shut down", self.shared.local_addr);
         Ok(())
     }
 
@@ -546,7 +634,8 @@ impl Server {
 /// the rejected peer block the acceptor: the write gets a short timeout and
 /// the connection is dropped either way.
 fn reject_overloaded(stream: TcpStream, shared: &Shared, why: String) {
-    shared.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.incr(M_REJECTED_OVERLOADED);
+    log_warn!("serve", "rejected connection: {why}");
     let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
     let mut stream = stream;
     let _ = write_message(&mut stream, &error_response(ErrorKind::Overloaded, why));
@@ -698,8 +787,8 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 continue;
             }
             FrameOutcome::Invalid => {
-                shared.requests.fetch_add(1, Ordering::Relaxed);
-                shared.errors.fetch_add(1, Ordering::Relaxed);
+                shared.count_request();
+                shared.metrics.incr(M_ERRORS);
                 let response = error_response(
                     ErrorKind::BadRequest,
                     "request line is not valid UTF-8".to_string(),
@@ -710,9 +799,9 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 continue;
             }
             FrameOutcome::TooLarge => {
-                shared.requests.fetch_add(1, Ordering::Relaxed);
-                shared.errors.fetch_add(1, Ordering::Relaxed);
-                shared.rejected_frames.fetch_add(1, Ordering::Relaxed);
+                shared.count_request();
+                shared.metrics.incr(M_ERRORS);
+                shared.metrics.incr(M_REJECTED_FRAMES);
                 let response = error_response(
                     ErrorKind::FrameTooLarge,
                     format!("frame exceeds {} bytes; closing connection", shared.max_frame_bytes),
@@ -733,17 +822,24 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        shared.requests.fetch_add(1, Ordering::Relaxed);
+        shared.count_request();
         let disconnect = match serde_json::from_str::<Request>(text) {
             Ok(request) => {
                 let type_index = request_type_index(&request);
+                let _span = dbpim_trace::span!("serve.request", kind = REQUEST_TYPES[type_index]);
                 let started = Instant::now();
                 let disconnect = dispatch(request, &mut authed, &mut writer, shared);
                 shared.record_latency(type_index, started.elapsed());
+                log_debug!(
+                    "serve",
+                    "{} handled in {:?}",
+                    REQUEST_TYPES[type_index],
+                    started.elapsed()
+                );
                 disconnect
             }
             Err(e) => {
-                shared.errors.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.incr(M_ERRORS);
                 respond(
                     &mut writer,
                     &error_response(ErrorKind::BadRequest, format!("unparseable request: {e}")),
@@ -779,8 +875,9 @@ fn dispatch(request: Request, authed: &mut bool, writer: &mut TcpStream, shared:
                 respond(writer, &Response::AuthOk)
             }
             Some(_) => {
-                shared.errors.fetch_add(1, Ordering::Relaxed);
-                shared.rejected_unauthorized.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.incr(M_ERRORS);
+                shared.metrics.incr(M_REJECTED_UNAUTHORIZED);
+                log_warn!("serve", "rejected connection: invalid auth token");
                 let _ = respond(
                     writer,
                     &error_response(
@@ -796,8 +893,8 @@ fn dispatch(request: Request, authed: &mut bool, writer: &mut TcpStream, shared:
         },
         Request::Ping => respond(writer, &Response::Pong { version: PROTOCOL_VERSION }),
         _ if !*authed => {
-            shared.errors.fetch_add(1, Ordering::Relaxed);
-            shared.rejected_unauthorized.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.incr(M_ERRORS);
+            shared.metrics.incr(M_REJECTED_UNAUTHORIZED);
             respond(
                 writer,
                 &error_response(
@@ -835,7 +932,7 @@ fn handle_request(request: Request, writer: &mut TcpStream, shared: &Shared) -> 
         Request::RunModel { model, sparsity, width, arch, fidelity, deadline_ms } => {
             let deadline = Deadline::new(deadline_ms);
             if deadline.expired() {
-                shared.errors.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.incr(M_ERRORS);
                 return respond(writer, &Deadline::error("RunModel"));
             }
             let width = width.unwrap_or(shared.runner.session().config().operand_width);
@@ -847,12 +944,12 @@ fn handle_request(request: Request, writer: &mut TcpStream, shared: &Shared) -> 
                 // A result the client gave up on is withheld: the deadline
                 // is a promise about when the answer stops being useful.
                 Ok(_) if deadline.expired() => {
-                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.incr(M_ERRORS);
                     respond(writer, &Deadline::error("RunModel"))
                 }
                 Ok(entry) => respond(writer, &Response::RunResult { entry }),
                 Err(e) => {
-                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.incr(M_ERRORS);
                     respond(writer, &error_response(ErrorKind::Pipeline, e.to_string()))
                 }
             }
@@ -887,7 +984,7 @@ fn handle_explore(
         }
     };
     if deadline.expired() {
-        shared.errors.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.incr(M_ERRORS);
         shard_fail(ShardState::Failed);
         return respond(writer, &Deadline::error("Explore"));
     }
@@ -895,7 +992,7 @@ fn handle_explore(
     let points = match spec.points(session_width) {
         Ok(points) => points,
         Err(e) => {
-            shared.errors.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.incr(M_ERRORS);
             shard_fail(ShardState::Failed);
             return respond(writer, &error_response(ErrorKind::Pipeline, e.to_string()));
         }
@@ -912,7 +1009,7 @@ fn handle_explore(
     let start = Instant::now();
     for (index, point) in points.into_iter().enumerate() {
         if deadline.expired() {
-            shared.errors.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.incr(M_ERRORS);
             shard_fail(ShardState::Failed);
             return respond(writer, &Deadline::error("Explore"));
         }
@@ -929,7 +1026,7 @@ fn handle_explore(
             // being useful, and the fleet has already requeued the point
             // elsewhere by now.
             Ok(_) if deadline.expired() => {
-                shared.errors.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.incr(M_ERRORS);
                 shard_fail(ShardState::Failed);
                 return respond(writer, &Deadline::error("Explore"));
             }
@@ -943,7 +1040,7 @@ fn handle_explore(
                 }
             }
             Err(e) => {
-                shared.errors.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.incr(M_ERRORS);
                 shard_fail(ShardState::Failed);
                 return respond(
                     writer,
@@ -971,7 +1068,7 @@ fn handle_sweep(
     shared: &Shared,
 ) -> bool {
     if deadline.expired() {
-        shared.errors.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.incr(M_ERRORS);
         return respond(writer, &Deadline::error("Sweep"));
     }
     let session_config = *shared.runner.session().config();
@@ -993,14 +1090,14 @@ fn handle_sweep(
         for &width in &widths {
             for &arch in &archs {
                 if deadline.expired() {
-                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.incr(M_ERRORS);
                     return respond(writer, &Deadline::error("Sweep"));
                 }
                 match shared.runner.run_point(model, width, Some(arch), &sparsity, fidelity) {
                     // Same withhold policy as RunModel for a point that
                     // overran the deadline while computing.
                     Ok(_) if deadline.expired() => {
-                        shared.errors.fetch_add(1, Ordering::Relaxed);
+                        shared.metrics.incr(M_ERRORS);
                         return respond(writer, &Deadline::error("Sweep"));
                     }
                     Ok(entry) => {
@@ -1009,7 +1106,7 @@ fn handle_sweep(
                         }
                     }
                     Err(e) => {
-                        shared.errors.fetch_add(1, Ordering::Relaxed);
+                        shared.metrics.incr(M_ERRORS);
                         return respond(
                             writer,
                             &error_response(

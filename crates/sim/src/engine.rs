@@ -92,6 +92,11 @@ impl Simulator {
                 expected: expected.name(),
             });
         }
+        let _span = dbpim_trace::span!(
+            "sim.model",
+            model = program.model_name,
+            layers = program.layers.len(),
+        );
         // Per-macro busy scratch reused across layers instead of allocating
         // two vectors per layer.
         let mut busy = MacroBusy::new(self.config.arch.macros);
@@ -114,6 +119,7 @@ impl Simulator {
         operand_bits: u32,
         macro_busy: &mut MacroBusy,
     ) -> LayerReport {
+        let _span = dbpim_trace::span!("sim.layer", layer = layer.name, node = layer.node_id);
         let arch = &self.config.arch;
         let compartments = arch.compartments_per_macro as f64;
         let input_skip = if self.config.sparsity.input_sparsity() {
@@ -166,6 +172,24 @@ impl Simulator {
                     output_positions,
                     threshold,
                 } => {
+                    // Sampled 1-in-N (the collector's kernel knob): a layer
+                    // dispatches one Compute per tile, and recording every
+                    // one would flood the ring buffer. `threshold` carries
+                    // the popcount-derived active-cell count of sparse
+                    // tiles, so the sampled span reports real op counts.
+                    let _dispatch = dbpim_trace::kernel_span_with("sim.dispatch", || {
+                        let macs = u64::from(filters)
+                            * u64::from(weights_per_filter)
+                            * u64::from(output_positions);
+                        vec![
+                            ("macro", macro_id.to_string()),
+                            ("macs", macs.to_string()),
+                            (
+                                "cells_per_weight",
+                                threshold.map_or(operand_bits.to_string(), |t| t.to_string()),
+                            ),
+                        ]
+                    });
                     let rows = (f64::from(weights_per_filter) / compartments).ceil();
                     let cycles = f64::from(output_positions) * rows * bit_columns;
                     let slot = usize::from(macro_id).min(arch.macros - 1);

@@ -164,6 +164,7 @@ impl TensorGenerator {
         width: usize,
         classes: usize,
     ) -> Result<(Vec<Tensor<f32>>, Vec<usize>), TensorError> {
+        let _span = dbpim_trace::span!("tensor.batch", batch = batch, classes = classes);
         let mut images = Vec::with_capacity(batch);
         let mut labels = Vec::with_capacity(batch);
         for _ in 0..batch {

@@ -1,0 +1,177 @@
+//! Exporters: Chrome trace-event JSON (Perfetto / `chrome://tracing`) and
+//! the human-readable per-phase summary table.
+//!
+//! The JSON uses the trace-event "object format": a top-level
+//! `traceEvents` array of complete (`"ph":"X"`) events with microsecond
+//! `ts`/`dur`, one `pid` for the process and the collector's dense thread
+//! ids as `tid`. Span arguments land in each event's `args` object, so
+//! Perfetto shows `layer = 3` on hover.
+
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
+
+use crate::collector::SpanRecord;
+
+/// Builds Chrome trace-event JSON from collected spans.
+#[derive(Debug, Clone, Copy)]
+pub struct ChromeTrace;
+
+impl ChromeTrace {
+    /// Renders the spans as a complete Chrome trace-event JSON document.
+    #[must_use]
+    pub fn render(events: &[SpanRecord]) -> String {
+        let trace_events: Vec<Value> = events.iter().map(Self::event_value).collect();
+        let document = Value::Map(vec![
+            ("traceEvents".to_string(), Value::Seq(trace_events)),
+            ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+        ]);
+        serde_json::to_string(&document).expect("the value model always serializes")
+    }
+
+    /// One span as a complete (`ph: "X"`) trace event.
+    fn event_value(record: &SpanRecord) -> Value {
+        let args: Vec<(String, Value)> = record
+            .args
+            .iter()
+            .map(|(key, value)| ((*key).to_string(), Value::Str(value.clone())))
+            .collect();
+        Value::Map(vec![
+            ("name".to_string(), Value::Str(record.name.to_string())),
+            ("cat".to_string(), Value::Str("dbpim".to_string())),
+            ("ph".to_string(), Value::Str("X".to_string())),
+            ("ts".to_string(), Value::U64(record.start_micros)),
+            ("dur".to_string(), Value::U64(record.duration_micros)),
+            ("pid".to_string(), Value::U64(1)),
+            ("tid".to_string(), Value::U64(record.thread)),
+            ("args".to_string(), Value::Map(args)),
+        ])
+    }
+}
+
+/// Aggregate statistics of every span sharing one name — one row of the
+/// per-phase summary table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSummary {
+    /// The span name (`pipeline.quantize`, `sim.layer`, …).
+    pub name: String,
+    /// Spans recorded under this name.
+    pub count: u64,
+    /// Total time across all spans, in microseconds.
+    pub total_micros: u64,
+    /// Mean span duration, in microseconds.
+    pub mean_micros: u64,
+    /// Longest span, in microseconds.
+    pub max_micros: u64,
+}
+
+/// Folds spans into per-name [`PhaseSummary`] rows, ordered by descending
+/// total time (ties broken by name so the table is deterministic).
+#[must_use]
+pub fn phase_summary(events: &[SpanRecord]) -> Vec<PhaseSummary> {
+    let mut by_name: std::collections::BTreeMap<&'static str, PhaseSummary> =
+        std::collections::BTreeMap::new();
+    for event in events {
+        let row = by_name.entry(event.name).or_insert_with(|| PhaseSummary {
+            name: event.name.to_string(),
+            count: 0,
+            total_micros: 0,
+            mean_micros: 0,
+            max_micros: 0,
+        });
+        row.count += 1;
+        row.total_micros = row.total_micros.saturating_add(event.duration_micros);
+        row.max_micros = row.max_micros.max(event.duration_micros);
+    }
+    let mut rows: Vec<PhaseSummary> = by_name.into_values().collect();
+    for row in &mut rows {
+        row.mean_micros = row.total_micros.checked_div(row.count).unwrap_or(0);
+    }
+    rows.sort_by(|a, b| b.total_micros.cmp(&a.total_micros).then_with(|| a.name.cmp(&b.name)));
+    rows
+}
+
+/// Renders the phase summary as an aligned text table (for stderr or
+/// EXPERIMENTS.md; never stdout of a deterministic report).
+#[must_use]
+pub fn render_phase_table(rows: &[PhaseSummary]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>8} {:>12} {:>12} {:>12}\n",
+        "span", "count", "total ms", "mean µs", "max µs"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>12.3} {:>12} {:>12}\n",
+            row.name,
+            row.count,
+            row.total_micros as f64 / 1000.0,
+            row.mean_micros,
+            row.max_micros,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(
+        name: &'static str,
+        thread: u64,
+        start: u64,
+        duration: u64,
+        args: Vec<(&'static str, String)>,
+    ) -> SpanRecord {
+        SpanRecord { name, thread, depth: 0, start_micros: start, duration_micros: duration, args }
+    }
+
+    #[test]
+    fn chrome_json_is_wellformed_and_parses_back() {
+        let events = vec![
+            record("pipeline.quantize", 0, 10, 100, vec![("model", "resnet18".to_string())]),
+            record("sim.layer", 1, 120, 30, Vec::new()),
+        ];
+        let json = ChromeTrace::render(&events);
+        let value: Value = serde_json::from_str(&json).expect("well-formed JSON");
+        let entries = value.as_map().expect("object document");
+        let trace_events = serde::value::get_field(entries, "traceEvents")
+            .and_then(Value::as_seq)
+            .expect("traceEvents array");
+        assert_eq!(trace_events.len(), 2);
+        let first = trace_events[0].as_map().expect("event object");
+        assert_eq!(serde::value::get_field(first, "ph").and_then(Value::as_str), Some("X"));
+        assert_eq!(
+            serde::value::get_field(first, "name").and_then(Value::as_str),
+            Some("pipeline.quantize")
+        );
+        let args = serde::value::get_field(first, "args").and_then(Value::as_map).expect("args");
+        assert_eq!(
+            serde::value::get_field(args, "model").and_then(Value::as_str),
+            Some("resnet18")
+        );
+    }
+
+    #[test]
+    fn phase_summary_aggregates_and_orders_by_total() {
+        let events = vec![
+            record("b.small", 0, 0, 10, Vec::new()),
+            record("a.big", 0, 10, 70, Vec::new()),
+            record("b.small", 0, 80, 20, Vec::new()),
+        ];
+        let rows = phase_summary(&events);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "a.big");
+        assert_eq!(rows[0].count, 1);
+        assert_eq!(rows[0].total_micros, 70);
+        assert_eq!(rows[1].name, "b.small");
+        assert_eq!(rows[1].count, 2);
+        assert_eq!(rows[1].total_micros, 30);
+        assert_eq!(rows[1].mean_micros, 15);
+        assert_eq!(rows[1].max_micros, 20);
+
+        let table = render_phase_table(&rows);
+        assert!(table.contains("a.big"), "{table}");
+        assert!(table.lines().count() == 3, "{table}");
+    }
+}

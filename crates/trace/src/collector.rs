@@ -1,0 +1,510 @@
+//! The span collector: thread-safe, thread-id-tagged nested spans with
+//! monotonic timestamps, a bounded ring buffer, and a global
+//! install/uninstall API whose disabled fast path is one relaxed atomic
+//! load.
+//!
+//! Spans are recorded *on guard drop* (one ring-buffer push per completed
+//! span), so opening a span costs nothing but an `Instant::now()` and a
+//! thread-local depth bump while a collector is installed — and nothing at
+//! all while none is. Per-tile kernel events go through [`kernel_span`],
+//! which additionally applies the collector's sampling knob so the
+//! bit-plane hot path records one span in N instead of millions.
+
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::chrome::ChromeTrace;
+
+/// Default ring-buffer capacity: enough for a full zoo sweep's phase and
+/// per-layer spans without unbounded growth under per-request serving.
+pub const DEFAULT_CAPACITY: usize = 262_144;
+
+/// Default sampling interval for [`kernel_span`]: record one per-tile
+/// kernel event in this many.
+pub const DEFAULT_KERNEL_SAMPLING: u64 = 64;
+
+/// One completed span, as stored in the collector's ring buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// The span name (dot-separated taxonomy, e.g. `pipeline.quantize`).
+    pub name: &'static str,
+    /// Small dense id of the recording thread (stable within a process).
+    pub thread: u64,
+    /// Nesting depth at the time the span opened (0 = top level).
+    pub depth: u32,
+    /// Start offset from the collector's epoch, in microseconds.
+    pub start_micros: u64,
+    /// Span duration in microseconds.
+    pub duration_micros: u64,
+    /// Structured key/value arguments (`span!("x", layer = 3)`).
+    pub args: Vec<(&'static str, String)>,
+}
+
+impl SpanRecord {
+    /// End offset from the collector's epoch, in microseconds.
+    #[must_use]
+    pub fn end_micros(&self) -> u64 {
+        self.start_micros + self.duration_micros
+    }
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<SpanRecord>,
+    dropped: u64,
+}
+
+/// The global span sink: a bounded ring buffer of [`SpanRecord`]s with a
+/// monotonic epoch and a sampling knob for kernel-level events.
+#[derive(Debug)]
+pub struct TraceCollector {
+    epoch: Instant,
+    capacity: usize,
+    kernel_sampling: u64,
+    kernel_counter: AtomicU64,
+    ring: Mutex<Ring>,
+}
+
+impl Default for TraceCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceCollector {
+    /// A collector with the default capacity and kernel sampling.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A collector storing at most `capacity` completed spans; once full,
+    /// the oldest span is dropped per new one (and counted).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            kernel_sampling: DEFAULT_KERNEL_SAMPLING,
+            kernel_counter: AtomicU64::new(0),
+            ring: Mutex::new(Ring::default()),
+        }
+    }
+
+    /// Sets the kernel-event sampling interval: [`kernel_span`] records one
+    /// span in `every` (1 = record all; clamped to at least 1).
+    #[must_use]
+    pub fn with_kernel_sampling(mut self, every: u64) -> Self {
+        self.kernel_sampling = every.max(1);
+        self
+    }
+
+    /// `true` when this call wins the 1-in-N kernel sampling lottery.
+    fn sample_kernel(&self) -> bool {
+        self.kernel_counter.fetch_add(1, Ordering::Relaxed).is_multiple_of(self.kernel_sampling)
+    }
+
+    /// Microseconds elapsed since the collector's epoch.
+    fn now_micros(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    fn lock_ring(&self) -> MutexGuard<'_, Ring> {
+        self.ring.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn push(&self, record: SpanRecord) {
+        let mut ring = self.lock_ring();
+        if ring.events.len() >= self.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(record);
+    }
+
+    /// Copies out every stored span, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.lock_ring().events.iter().cloned().collect()
+    }
+
+    /// Spans evicted from the ring buffer because it was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.lock_ring().dropped
+    }
+
+    /// Discards every stored span (the drop counter survives).
+    pub fn clear(&self) {
+        self.lock_ring().events.clear();
+    }
+
+    /// Stored span count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock_ring().events.len()
+    }
+
+    /// `true` when no spans are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ------------------------------------------------------------ global state
+
+/// Fast-path flag: `false` makes every span entry point a no-op after one
+/// relaxed load. Kept in sync with `COLLECTOR` by [`install`]/[`uninstall`].
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+static COLLECTOR: Mutex<Option<Arc<TraceCollector>>> = Mutex::new(None);
+/// Dense per-thread ids for trace tagging (thread 0, 1, 2, … in first-span
+/// order; `std::thread::ThreadId` has no stable numeric accessor).
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+    static DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// Installs `collector` as the process-global span sink, replacing any
+/// previous one.
+pub fn install(collector: Arc<TraceCollector>) {
+    let mut slot = COLLECTOR.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *slot = Some(collector);
+    INSTALLED.store(true, Ordering::Release);
+}
+
+/// Uninstalls the global collector (if any) and returns it; spans opened
+/// afterwards are no-ops.
+pub fn uninstall() -> Option<Arc<TraceCollector>> {
+    let mut slot = COLLECTOR.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    INSTALLED.store(false, Ordering::Release);
+    slot.take()
+}
+
+/// `true` while a collector is installed — the one check every
+/// instrumentation site makes before doing any work.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    INSTALLED.load(Ordering::Relaxed)
+}
+
+fn current() -> Option<Arc<TraceCollector>> {
+    if !enabled() {
+        return None;
+    }
+    COLLECTOR.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+}
+
+// ------------------------------------------------------------------ spans
+
+/// An open span; records itself into the collector when dropped. Obtained
+/// from [`span!`], [`start_span`] or [`kernel_span`].
+#[must_use = "a span measures the scope of its guard binding"]
+#[derive(Debug)]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+#[derive(Debug)]
+struct ActiveSpan {
+    collector: Arc<TraceCollector>,
+    name: &'static str,
+    args: Vec<(&'static str, String)>,
+    thread: u64,
+    depth: u32,
+    start_micros: u64,
+}
+
+impl SpanGuard {
+    /// The no-op guard every entry point returns while tracing is off.
+    pub fn disabled() -> Self {
+        SpanGuard(None)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(span) = self.0.take() {
+            DEPTH.with(|depth| depth.set(depth.get().saturating_sub(1)));
+            // End on the same monotonic clock the start came from, so a
+            // child's end can never exceed its parent's (exact nesting).
+            let duration_micros = span.collector.now_micros().saturating_sub(span.start_micros);
+            span.collector.push(SpanRecord {
+                name: span.name,
+                thread: span.thread,
+                depth: span.depth,
+                start_micros: span.start_micros,
+                duration_micros,
+                args: span.args,
+            });
+        }
+    }
+}
+
+fn open(
+    collector: Arc<TraceCollector>,
+    name: &'static str,
+    args: Vec<(&'static str, String)>,
+) -> SpanGuard {
+    let thread = THREAD_ID.with(|id| *id);
+    let depth = DEPTH.with(|depth| {
+        let current = depth.get();
+        depth.set(current + 1);
+        current
+    });
+    let start_micros = collector.now_micros();
+    SpanGuard(Some(ActiveSpan { collector, name, args, thread, depth, start_micros }))
+}
+
+/// Opens a span on the installed collector (no-op guard when none is).
+/// Prefer the [`span!`] macro, which skips argument formatting entirely
+/// while tracing is off.
+pub fn start_span(name: &'static str, args: Vec<(&'static str, String)>) -> SpanGuard {
+    match current() {
+        Some(collector) => open(collector, name, args),
+        None => SpanGuard::disabled(),
+    }
+}
+
+/// Opens a *sampled* kernel-level span: subject to the collector's 1-in-N
+/// sampling knob, so per-tile events in the bit-plane hot path do not
+/// flood the ring buffer (or pay per-event formatting).
+pub fn kernel_span(name: &'static str) -> SpanGuard {
+    match current() {
+        Some(collector) if collector.sample_kernel() => open(collector, name, Vec::new()),
+        _ => SpanGuard::disabled(),
+    }
+}
+
+/// As [`kernel_span`], but attaches lazily-built args: the closure runs
+/// only for the sampled 1-in-N events, so op counters on per-dispatch
+/// spans cost nothing on the unsampled (or disabled) path.
+pub fn kernel_span_with(
+    name: &'static str,
+    args: impl FnOnce() -> Vec<(&'static str, String)>,
+) -> SpanGuard {
+    match current() {
+        Some(collector) if collector.sample_kernel() => open(collector, name, args()),
+        _ => SpanGuard::disabled(),
+    }
+}
+
+/// Opens a named span over the enclosing scope.
+///
+/// ```
+/// # use dbpim_trace::span;
+/// let _span = span!("compile.layer", layer = 3, name = "conv1");
+/// ```
+///
+/// Arguments are `key = value` pairs captured with `Display` formatting —
+/// and *only* when a collector is installed; the disabled path formats
+/// nothing.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::start_span($name, ::std::vec::Vec::new())
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        if $crate::enabled() {
+            $crate::start_span(
+                $name,
+                ::std::vec![$((stringify!($key), ::std::format!("{}", $value))),+],
+            )
+        } else {
+            $crate::SpanGuard::disabled()
+        }
+    };
+}
+
+// ------------------------------------------------------------- trace sink
+
+/// The `--trace-out <path>` plumbing shared by every binary: installs a
+/// fresh collector on construction and writes the Chrome trace-event JSON
+/// on [`TraceSink::finish`].
+#[derive(Debug)]
+pub struct TraceSink {
+    collector: Arc<TraceCollector>,
+    path: PathBuf,
+}
+
+impl TraceSink {
+    /// Installs a fresh default-capacity collector and remembers the
+    /// output path.
+    pub fn install(path: impl Into<PathBuf>) -> Self {
+        let collector = Arc::new(TraceCollector::new());
+        install(Arc::clone(&collector));
+        Self { collector, path: path.into() }
+    }
+
+    /// Scans an argument list for `--trace-out <path>` and installs a sink
+    /// when present. Unknown flags stay untouched, so this layers on the
+    /// workspace's strict option parsers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the flag is present without a value.
+    pub fn from_args(args: &[String]) -> Result<Option<Self>, String> {
+        let mut i = 0;
+        while i < args.len() {
+            if args[i] == "--trace-out" {
+                let path = args
+                    .get(i + 1)
+                    .ok_or_else(|| "invalid value for `--trace-out`: missing value".to_string())?;
+                return Ok(Some(Self::install(path)));
+            }
+            i += 1;
+        }
+        Ok(None)
+    }
+
+    /// The installed collector.
+    #[must_use]
+    pub fn collector(&self) -> &Arc<TraceCollector> {
+        &self.collector
+    }
+
+    /// The output path the Chrome trace will be written to.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Uninstalls the collector, writes the Chrome trace-event JSON and
+    /// prints the per-phase summary table to stderr (stdout stays the
+    /// deterministic report surface).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-write failures.
+    pub fn finish(self) -> std::io::Result<()> {
+        uninstall();
+        let events = self.collector.snapshot();
+        std::fs::write(&self.path, ChromeTrace::render(&events))?;
+        let dropped = self.collector.dropped();
+        if dropped > 0 {
+            eprintln!(
+                "trace: {} spans -> {} ({dropped} older spans dropped; raise the capacity \
+                 or sampling to keep them)",
+                events.len(),
+                self.path.display()
+            );
+        } else {
+            eprintln!("trace: {} spans -> {}", events.len(), self.path.display());
+        }
+        eprint!("{}", crate::chrome::render_phase_table(&crate::chrome::phase_summary(&events)));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Global-collector tests share one process; serialize them so installs
+    // do not race.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_spans_are_no_ops_and_record_nothing() {
+        let _guard = GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        uninstall();
+        assert!(!enabled());
+        {
+            let _a = span!("never.recorded");
+            let _b = span!("never.either", key = 42);
+            let _c = kernel_span("kernel.never");
+        }
+        let collector = Arc::new(TraceCollector::new());
+        install(Arc::clone(&collector));
+        uninstall();
+        assert!(collector.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_tag_threads() {
+        let _guard = GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let collector = Arc::new(TraceCollector::new());
+        install(Arc::clone(&collector));
+        {
+            let _outer = span!("outer", model = "resnet18");
+            {
+                let _inner = span!("inner", layer = 1);
+            }
+            let _sibling = span!("inner", layer = 2);
+        }
+        let worker = std::thread::spawn(|| {
+            let _w = span!("worker");
+        });
+        worker.join().expect("worker thread");
+        uninstall();
+
+        let events = collector.snapshot();
+        assert_eq!(events.len(), 4);
+        // Drop order: inner(1), inner(2), outer, worker (joined after).
+        let outer = events.iter().find(|e| e.name == "outer").expect("outer span");
+        assert_eq!(outer.depth, 0);
+        assert_eq!(outer.args, vec![("model", "resnet18".to_string())]);
+        let inners: Vec<_> = events.iter().filter(|e| e.name == "inner").collect();
+        assert_eq!(inners.len(), 2);
+        for inner in &inners {
+            assert_eq!(inner.depth, 1);
+            assert_eq!(inner.thread, outer.thread);
+            assert!(inner.start_micros >= outer.start_micros);
+            assert!(inner.end_micros() <= outer.end_micros());
+        }
+        let worker = events.iter().find(|e| e.name == "worker").expect("worker span");
+        assert_ne!(worker.thread, outer.thread);
+        assert_eq!(worker.depth, 0);
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded_and_counts_drops() {
+        let _guard = GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let collector = Arc::new(TraceCollector::with_capacity(4));
+        install(Arc::clone(&collector));
+        for _ in 0..10 {
+            let _s = span!("bounded");
+        }
+        uninstall();
+        assert_eq!(collector.len(), 4);
+        assert_eq!(collector.dropped(), 6);
+    }
+
+    #[test]
+    fn kernel_spans_respect_the_sampling_knob() {
+        let _guard = GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let collector = Arc::new(TraceCollector::new().with_kernel_sampling(8));
+        install(Arc::clone(&collector));
+        for _ in 0..64 {
+            let _k = kernel_span("kernel.tile");
+        }
+        uninstall();
+        assert_eq!(collector.len(), 8, "1 in 8 of 64 events");
+    }
+
+    #[test]
+    fn trace_sink_parses_the_flag_and_writes_json() {
+        let _guard = GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let missing = TraceSink::from_args(&["--trace-out".to_string()]);
+        assert!(missing.unwrap_err().contains("--trace-out"));
+        let none = TraceSink::from_args(&["--other".to_string(), "x".to_string()]).expect("parses");
+        assert!(none.is_none());
+
+        let dir = std::env::temp_dir().join(format!("dbpim-trace-sink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("trace.json");
+        let args = vec!["--trace-out".to_string(), path.display().to_string()];
+        let sink = TraceSink::from_args(&args).expect("parses").expect("flag present");
+        {
+            let _s = span!("sink.test", point = 1);
+        }
+        sink.finish().expect("writes");
+        let text = std::fs::read_to_string(&path).expect("file exists");
+        assert!(text.contains("\"sink.test\""), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

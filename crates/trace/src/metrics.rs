@@ -1,0 +1,202 @@
+//! The metrics registry: named counters, gauges and latency histograms
+//! behind one lock, snapshot-able as plain data.
+//!
+//! Counters are monotonic `u64`s (requests served, errors answered),
+//! gauges are instantaneous `i64`s (queue depth, active connections), and
+//! histograms are [`LatencyHistogram`]s keyed by name. The serving
+//! daemon's protocol-v4 `Stats` response is assembled *from* a registry
+//! snapshot, so the wire numbers and the registry can never disagree.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::histogram::LatencyHistogram;
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, LatencyHistogram>,
+}
+
+/// A thread-safe registry of named counters, gauges and histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+/// A point-in-time copy of a registry's contents (serializable, ordered
+/// by name).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: Vec<(String, u64)>,
+    /// Instantaneous gauges by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Latency histograms by name.
+    pub histograms: Vec<(String, LatencyHistogram)>,
+}
+
+impl MetricsSnapshot {
+    /// The counter value under `name` (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// The gauge value under `name` (0 when absent).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// The histogram under `name`, if one was recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&LatencyHistogram> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Adds `delta` to the counter under `name` and returns the new value.
+    pub fn add(&self, name: &str, delta: u64) -> u64 {
+        let mut inner = self.lock();
+        let counter = inner.counters.entry(name.to_string()).or_insert(0);
+        *counter = counter.saturating_add(delta);
+        *counter
+    }
+
+    /// Increments the counter under `name` by one and returns the new
+    /// value.
+    pub fn incr(&self, name: &str) -> u64 {
+        self.add(name, 1)
+    }
+
+    /// The counter value under `name` (0 when never touched).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the gauge under `name`.
+    pub fn set_gauge(&self, name: &str, value: i64) {
+        self.lock().gauges.insert(name.to_string(), value);
+    }
+
+    /// Adds `delta` (possibly negative) to the gauge under `name` and
+    /// returns the new value.
+    pub fn adjust_gauge(&self, name: &str, delta: i64) -> i64 {
+        let mut inner = self.lock();
+        let gauge = inner.gauges.entry(name.to_string()).or_insert(0);
+        *gauge = gauge.saturating_add(delta);
+        *gauge
+    }
+
+    /// The gauge value under `name` (0 when never set).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.lock().gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records one latency sample into the histogram under `name`.
+    pub fn observe(&self, name: &str, sample: Duration) {
+        self.observe_micros(name, u64::try_from(sample.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one latency sample (microseconds) into the histogram under
+    /// `name`.
+    pub fn observe_micros(&self, name: &str, micros: u64) {
+        self.lock().histograms.entry(name.to_string()).or_default().record_micros(micros);
+    }
+
+    /// A copy of the histogram under `name`, if any sample was recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<LatencyHistogram> {
+        self.lock().histograms.get(name).cloned()
+    }
+
+    /// A point-in-time copy of everything the registry holds.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.lock();
+        MetricsSnapshot {
+            counters: inner.counters.iter().map(|(n, v)| (n.clone(), *v)).collect(),
+            gauges: inner.gauges.iter().map(|(n, v)| (n.clone(), *v)).collect(),
+            histograms: inner.histograms.iter().map(|(n, h)| (n.clone(), h.clone())).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_and_histograms_round_trip() {
+        let registry = MetricsRegistry::new();
+        assert_eq!(registry.counter("requests"), 0);
+        assert_eq!(registry.incr("requests"), 1);
+        assert_eq!(registry.add("requests", 4), 5);
+        registry.set_gauge("queue_depth", 3);
+        assert_eq!(registry.adjust_gauge("queue_depth", -2), 1);
+        assert_eq!(registry.adjust_gauge("active", 2), 2);
+        registry.observe("latency.Ping", Duration::from_micros(150));
+        registry.observe_micros("latency.Ping", 90);
+
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("requests"), 5);
+        assert_eq!(snapshot.counter("never"), 0);
+        assert_eq!(snapshot.gauge("queue_depth"), 1);
+        let histogram = snapshot.histogram("latency.Ping").expect("recorded");
+        assert_eq!(histogram.count, 2);
+        assert_eq!(histogram.total_micros, 240);
+        assert_eq!(registry.histogram("latency.Ping").expect("recorded"), *histogram);
+        assert!(registry.histogram("latency.Never").is_none());
+    }
+
+    #[test]
+    fn snapshots_serialize_deterministically() {
+        let registry = MetricsRegistry::new();
+        registry.incr("b");
+        registry.incr("a");
+        registry.observe_micros("h", 7);
+        let snapshot = registry.snapshot();
+        // BTreeMap ordering: names come out sorted regardless of insertion.
+        assert_eq!(snapshot.counters[0].0, "a");
+        assert_eq!(snapshot.counters[1].0, "b");
+        let json = serde_json::to_string(&snapshot).expect("serializes");
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, snapshot);
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let registry = std::sync::Arc::new(MetricsRegistry::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let registry = std::sync::Arc::clone(&registry);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    registry.incr("hits");
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("worker");
+        }
+        assert_eq!(registry.counter("hits"), 400);
+    }
+}

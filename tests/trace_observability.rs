@@ -1,0 +1,209 @@
+//! The observability layer's contract:
+//!
+//! * tracing is invisible to the numbers — a DSE sweep renders the
+//!   bit-identical report with a collector installed and without one;
+//! * the Chrome trace-event export is well-formed JSON whose spans cover
+//!   the pipeline phases and nest properly per thread;
+//! * the serving daemon's `Stats` response is a pure projection of the
+//!   shared metrics registry, so an injected registry agrees with the wire
+//!   answer counter for counter.
+
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use db_pim::prelude::*;
+use dbpim_bench::dse::render_report;
+use dbpim_serve::{Client, ServeConfig, Server};
+use dbpim_trace::{phase_summary, ChromeTrace, MetricsRegistry, SpanRecord, TraceCollector};
+use serde::value::Value;
+
+/// The collector install is process-global; every test that installs one
+/// holds this lock so parallel test threads never observe foreign spans.
+fn trace_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+fn small_config() -> PipelineConfig {
+    let mut config = PipelineConfig::fast();
+    config.width_mult = 0.25;
+    config.calibration_images = 1;
+    config.evaluation_images = 2;
+    config
+}
+
+fn small_spec() -> DseSpec {
+    let grid = ArchGrid::around(ArchConfig::paper()).with_macros(vec![2, 4]);
+    DseSpec::new(grid, vec![ModelKind::AlexNet])
+}
+
+/// Runs the small sweep and returns its rendered report, tracing into
+/// `collector` when one is given.
+fn traced_sweep(collector: Option<&Arc<TraceCollector>>) -> String {
+    if let Some(collector) = collector {
+        dbpim_trace::install(Arc::clone(collector));
+    }
+    let driver = DseDriver::new(small_config()).expect("valid config");
+    let report = driver.run(&small_spec()).expect("sweep runs");
+    if collector.is_some() {
+        dbpim_trace::uninstall();
+    }
+    render_report(&report)
+}
+
+/// A collector-installed sweep renders the bit-identical report an
+/// uninstalled run renders: observability never changes the numbers.
+#[test]
+fn traced_and_untraced_sweeps_render_identical_reports() {
+    let _guard = trace_lock().lock().expect("trace test lock");
+    let baseline = traced_sweep(None);
+    let collector = Arc::new(TraceCollector::new());
+    let traced = traced_sweep(Some(&collector));
+    assert_eq!(baseline, traced, "tracing changed the rendered report");
+    assert!(!collector.snapshot().is_empty(), "the traced run collected no spans");
+}
+
+/// The traced sweep covers the pipeline phases and the per-layer simulator
+/// spans, and the Chrome export of those spans is well-formed JSON with
+/// one complete event per span.
+#[test]
+fn chrome_export_covers_pipeline_phases_and_parses() {
+    let _guard = trace_lock().lock().expect("trace test lock");
+    let collector = Arc::new(TraceCollector::new());
+    traced_sweep(Some(&collector));
+    let spans = collector.snapshot();
+
+    let phases = ["pipeline.quantize", "pipeline.fta", "pipeline.compile", "pipeline.simulate"];
+    for phase in phases {
+        assert!(spans.iter().any(|s| s.name == phase), "no `{phase}` span in the sweep trace");
+    }
+    assert!(spans.iter().any(|s| s.name == "sim.layer"), "no per-layer simulator spans");
+    assert!(spans.iter().any(|s| s.name == "dse.point"), "no per-point DSE spans");
+
+    // The summary table sees every span the export sees.
+    let summary = phase_summary(&spans);
+    let total: u64 = summary.iter().map(|row| row.count).sum();
+    assert_eq!(total, spans.len() as u64);
+
+    let json = ChromeTrace::render(&spans);
+    let value: Value = serde_json::from_str(&json).expect("the export is well-formed JSON");
+    let document = value.as_map().expect("object document");
+    let events = serde::value::get_field(document, "traceEvents")
+        .and_then(Value::as_seq)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), spans.len());
+    for event in events {
+        let event = event.as_map().expect("event object");
+        assert_eq!(serde::value::get_field(event, "ph").and_then(Value::as_str), Some("X"));
+        assert!(serde::value::get_field(event, "name").and_then(Value::as_str).is_some());
+        assert!(serde::value::get_field(event, "ts").is_some());
+        assert!(serde::value::get_field(event, "dur").is_some());
+    }
+}
+
+/// Spans on one thread either nest or are disjoint — never partially
+/// overlapping — and a deeper span lies inside some shallower one.
+#[test]
+fn spans_nest_per_thread() {
+    let _guard = trace_lock().lock().expect("trace test lock");
+    let collector = Arc::new(TraceCollector::new());
+    traced_sweep(Some(&collector));
+    let spans = collector.snapshot();
+    assert!(!spans.is_empty());
+
+    let end = |s: &SpanRecord| s.start_micros + s.duration_micros;
+    for (i, a) in spans.iter().enumerate() {
+        for b in &spans[i + 1..] {
+            if a.thread != b.thread {
+                continue;
+            }
+            let partial_overlap =
+                a.start_micros < b.start_micros && b.start_micros < end(a) && end(a) < end(b);
+            assert!(
+                !partial_overlap,
+                "spans `{}` and `{}` on thread {} partially overlap",
+                a.name, b.name, a.thread
+            );
+        }
+        if a.depth > 0 {
+            assert!(
+                spans.iter().any(|p| {
+                    p.thread == a.thread
+                        && p.depth < a.depth
+                        && p.start_micros <= a.start_micros
+                        && end(a) <= end(p)
+                }),
+                "span `{}` at depth {} has no enclosing shallower span",
+                a.name,
+                a.depth
+            );
+        }
+    }
+}
+
+/// The daemon's `Stats` answer equals the injected registry's own view:
+/// the wire response is a projection of the shared `MetricsRegistry`, not
+/// a second set of books.
+#[test]
+fn serve_stats_mirror_the_shared_registry() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let handle = Server::spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        poll_interval: Duration::from_millis(50),
+        pipeline: small_config(),
+        metrics: Some(Arc::clone(&registry)),
+        ..ServeConfig::default()
+    })
+    .expect("server spawns");
+
+    let mut client = Client::connect(handle.addr()).expect("connects");
+    client.ping().expect("pings");
+    client.ping().expect("pings");
+    let stats = client.stats().expect("stats answer");
+
+    assert_eq!(stats.requests, registry.counter("serve.requests"));
+    assert_eq!(stats.errors, registry.counter("serve.errors"));
+    assert_eq!(stats.connections, registry.counter("serve.connections"));
+    assert_eq!(stats.requests, 3, "two pings plus the stats request itself");
+    assert_eq!(stats.connections, 1);
+
+    let ping = stats
+        .latency
+        .iter()
+        .find(|row| row.request == "Ping")
+        .expect("ping latency histogram on the wire");
+    let local = registry.histogram("serve.latency.Ping").expect("ping histogram in the registry");
+    assert_eq!(ping.histogram, local);
+    assert_eq!(ping.histogram.count, 2);
+
+    client.shutdown().expect("shutdown acknowledged");
+    handle.join().expect("daemon exits cleanly");
+}
+
+/// Without an installed collector the macros hand out disabled guards and
+/// record nothing; installing flips the global switch, uninstalling flips
+/// it back.
+#[test]
+fn disabled_tracing_records_nothing() {
+    let _guard = trace_lock().lock().expect("trace test lock");
+    assert!(!dbpim_trace::enabled());
+    {
+        let _span = dbpim_trace::span!("test.noop", ignored = 1);
+    }
+    let collector = Arc::new(TraceCollector::new());
+    dbpim_trace::install(Arc::clone(&collector));
+    assert!(dbpim_trace::enabled());
+    {
+        let _span = dbpim_trace::span!("test.recorded", key = "value");
+    }
+    dbpim_trace::uninstall();
+    assert!(!dbpim_trace::enabled());
+    {
+        let _span = dbpim_trace::span!("test.after", ignored = 2);
+    }
+    let spans = collector.snapshot();
+    assert_eq!(spans.len(), 1);
+    assert_eq!(spans[0].name, "test.recorded");
+    assert_eq!(spans[0].args, vec![("key", "value".to_string())]);
+}

@@ -82,6 +82,18 @@ impl Value {
     }
 }
 
+impl crate::Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl crate::Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 /// Looks up a struct field in serialized map entries.
 #[must_use]
 pub fn get_field<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
