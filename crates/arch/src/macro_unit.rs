@@ -99,6 +99,13 @@ struct SparsePlanes {
     words: usize,
     planes: Vec<u64>,
     cell_writes: u64,
+    /// One flag per `(filter, row)` plane segment: `false` means no stored
+    /// bit anywhere in the segment, so execution elides its reduction (the
+    /// charged counters are unchanged — the hardware still issues the cycle).
+    row_has_bits: Vec<bool>,
+    /// Allocated cell slots that belong to exactly-zero (value-pruned)
+    /// weights.
+    pruned_cells: u64,
 }
 
 /// A dense-baseline tile packed into weight-bit planes.
@@ -151,6 +158,30 @@ impl PimMacro {
     /// Clears every cell and its metadata (drops the loaded tile).
     pub fn reset(&mut self) {
         self.tile = LoadedTile::None;
+    }
+
+    /// Allocated cell slots of the loaded sparse tile that belong to
+    /// exactly-zero (value-pruned) weights — capacity the pruning wasted
+    /// rather than compacted away. Zero for dense tiles or when nothing is
+    /// loaded.
+    #[must_use]
+    pub fn loaded_pruned_cells(&self) -> u64 {
+        match &self.tile {
+            LoadedTile::Sparse(t) => t.pruned_cells,
+            _ => 0,
+        }
+    }
+
+    /// Number of `(filter, row)` plane segments of the loaded sparse tile
+    /// with no stored bits at all. Execution elides each segment's adder
+    /// reduction per input column while charging the regular counters, so
+    /// results and accounting stay bit-identical to the scalar reference.
+    #[must_use]
+    pub fn loaded_zero_rows(&self) -> u64 {
+        match &self.tile {
+            LoadedTile::Sparse(t) => t.row_has_bits.iter().filter(|&&b| !b).count() as u64,
+            _ => 0,
+        }
     }
 
     /// Loads one DB-PIM (sparse) tile without executing it, returning the
@@ -437,16 +468,24 @@ impl PimMacro {
         let words = compartments.div_ceil(64);
         let shifts = filters.iter().map(|f| 2 * f.width.blocks()).max().unwrap_or(0);
         let mut planes = vec![0u64; filters.len() * rows * shifts * 2 * words];
+        let mut row_has_bits = vec![false; filters.len() * rows];
+        let mut pruned_cells = 0u64;
         let mut cell_writes = 0u64;
         for (f, filter) in filters.iter().enumerate() {
             for (j, weight) in filter.weights.iter().enumerate() {
                 let c = j % compartments;
                 let r = j / compartments;
+                if weight.stored() == 0 {
+                    // A value-pruned weight: its φ_th slots are allocated but
+                    // never written.
+                    pruned_cells += u64::from(filter.threshold);
+                }
                 for block in weight.slots.iter().flatten() {
                     let k = 2 * usize::from(block.db_index) + usize::from(block.high);
                     let sign = usize::from(matches!(block.sign, Sign::Negative));
                     let idx = (((f * rows + r) * shifts + k) * 2 + sign) * words + c / 64;
                     planes[idx] |= 1u64 << (c % 64);
+                    row_has_bits[f * rows + r] = true;
                     cell_writes += 1;
                 }
             }
@@ -460,6 +499,8 @@ impl PimMacro {
             words,
             planes,
             cell_writes,
+            row_has_bits,
+            pruned_cells,
         });
         cell_writes
     }
@@ -534,17 +575,25 @@ impl PimMacro {
                     LoadedTile::Sparse(t) => {
                         let per_filter = t.shifts * 2 * t.words;
                         for (f, ppu) in ppus.iter_mut().enumerate() {
+                            // A (filter, row) segment with no stored bits —
+                            // e.g. a fully value-pruned stretch of weights —
+                            // contributes exactly zero: elide the word
+                            // reductions and the PPU update, charging the
+                            // same counters the issued cycle would.
+                            stats.cell_reads += (group.len() * t.slots) as u64;
+                            stats.adder_reductions += 1;
+                            stats.ppu_operations += 1;
+                            if !t.row_has_bits[f * t.rows + row] {
+                                continue;
+                            }
                             let base = (f * t.rows + row) * per_filter;
                             let (partial, effective) = tree.reduce_planes(
                                 mask,
                                 &t.planes[base..base + per_filter],
                                 t.words,
                             );
-                            stats.cell_reads += (group.len() * t.slots) as u64;
                             stats.effective_cell_ops += effective;
-                            stats.adder_reductions += 1;
                             ppu.accumulate_bit(partial, position);
-                            stats.ppu_operations += 1;
                         }
                     }
                     LoadedTile::Dense(t) => {

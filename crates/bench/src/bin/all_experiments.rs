@@ -45,4 +45,8 @@ fn main() {
         Ok(report) => println!("{report}"),
         Err(e) => eprintln!("width_sweep failed: {e}"),
     }
+    match experiments::joint_sparsity(&context) {
+        Ok(report) => println!("{report}"),
+        Err(e) => eprintln!("joint_sparsity failed: {e}"),
+    }
 }

@@ -305,10 +305,20 @@ fn main() -> ExitCode {
             "--quick" => quick = true,
             "--json" => json_path = Some(value("--json")),
             "--compare" => compare_path = Some(value("--compare")),
-            "--max-regression" => {
-                max_regression = value("--max-regression").parse().expect("numeric limit")
-            }
-            "--min-speedup" => min_speedup = value("--min-speedup").parse().expect("numeric limit"),
+            "--max-regression" => match value("--max-regression").parse() {
+                Ok(limit) => max_regression = limit,
+                Err(_) => {
+                    eprintln!("bench_core: --max-regression requires a numeric value");
+                    return ExitCode::from(2);
+                }
+            },
+            "--min-speedup" => match value("--min-speedup").parse() {
+                Ok(limit) => min_speedup = limit,
+                Err(_) => {
+                    eprintln!("bench_core: --min-speedup requires a numeric value");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!(
                     "unknown flag {other}; flags: --quick --json PATH --compare PATH \
@@ -338,17 +348,39 @@ fn main() -> ExitCode {
         ok = false;
     }
     if let Some(path) = compare_path {
-        let text = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-        let baseline: Report = serde_json::from_str(&text).expect("baseline parses");
+        // I/O and parse failures are structured diagnostics + nonzero exit,
+        // like every other binary — never a panic with a backtrace.
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("bench_core: cannot read baseline {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let baseline: Report = match serde_json::from_str(&text) {
+            Ok(baseline) => baseline,
+            Err(e) => {
+                eprintln!("bench_core: baseline {path} is not a valid report: {e}");
+                return ExitCode::from(2);
+            }
+        };
         if let Err(message) = compare(&report, &baseline, max_regression) {
             eprintln!("FAIL: {message}");
             ok = false;
         }
     }
     if let Some(path) = json_path {
-        std::fs::write(&path, serde_json::to_string(&report).expect("serializes"))
-            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        let json = match serde_json::to_string(&report) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("bench_core: cannot serialize report: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("bench_core: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
         eprintln!("wrote {path}");
     }
     if ok {

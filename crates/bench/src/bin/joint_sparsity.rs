@@ -1,0 +1,12 @@
+//! Joint value-level + bit-level sparsity: pruning x operand-width table
+//! (compiled macro work and hybrid cycles, with deltas vs unpruned).
+//!
+//! ```bash
+//! cargo run --release -p dbpim-bench --bin joint_sparsity [-- --width 0.25]
+//! ```
+
+use dbpim_bench::{experiments, run_report_binary};
+
+fn main() {
+    run_report_binary("joint_sparsity", experiments::joint_sparsity);
+}

@@ -5,7 +5,8 @@
 //! dse_sweep [pipeline flags: --width --seed --images --cal --classes --operand-width]
 //!           [--macros 2,4,8] [--compartments a,b] [--dbmus a,b] [--rows 32,64]
 //!           [--freqs 250,500] [--feature-kb a,b] [--weight-kb a,b] [--meta-kb a,b]
-//!           [--models alexnet,vgg19] [--widths 4,8] [--sparsity base,hybrid]
+//!           [--models alexnet,vgg19] [--widths 4,8] [--pruning 0.3,s0.5]
+//!           [--sparsity base,hybrid]
 //!           [--fidelity] [--snapshot <path>] [--limit-points <n>]
 //!           [--batch <n>] [--threads <n>]
 //! ```
@@ -48,6 +49,9 @@ pub struct DseSweepOptions {
     pub models: Vec<ModelKind>,
     /// Operand-width axis (empty = the `--operand-width` value).
     pub widths: Vec<OperandWidth>,
+    /// Value-level pruning axis (empty = no pruning): `0.3` for an
+    /// unstructured fraction, `s0.5` for structured per-channel removal.
+    pub pruning: Vec<PruningSpec>,
     /// Sparsity configurations (empty = all four).
     pub sparsity: Vec<SparsityConfig>,
     /// Evaluate fidelity where defined.
@@ -65,7 +69,7 @@ pub struct DseSweepOptions {
 impl DseSweepOptions {
     /// The grid / driver flags this parser understands on top of
     /// [`ExperimentOptions::FLAGS`].
-    pub const FLAGS: [&'static str; 15] = [
+    pub const FLAGS: [&'static str; 16] = [
         "--macros",
         "--compartments",
         "--dbmus",
@@ -76,6 +80,7 @@ impl DseSweepOptions {
         "--meta-kb",
         "--models",
         "--widths",
+        "--pruning",
         "--sparsity",
         "--snapshot",
         "--limit-points",
@@ -88,7 +93,7 @@ impl DseSweepOptions {
          [--images <n>] [--cal <n>] [--classes <n>] [--operand-width <4|8|12|16>] \
          [--macros a,b] [--compartments a,b] [--dbmus a,b] [--rows a,b] [--freqs a,b] \
          [--feature-kb a,b] [--weight-kb a,b] [--meta-kb a,b] [--models a,b] \
-         [--widths 4,8,...] [--sparsity base,hybrid,...] [--fidelity] \
+         [--widths 4,8,...] [--pruning 0.3,s0.5,...] [--sparsity base,hybrid,...] [--fidelity] \
          [--snapshot <path>] [--limit-points <n>] [--batch <n>] [--threads <n>] \
          [--trace-out <path>] [--log-level error|warn|info|debug]";
 
@@ -112,6 +117,7 @@ impl DseSweepOptions {
             meta_kb: Vec::new(),
             models: Vec::new(),
             widths: Vec::new(),
+            pruning: Vec::new(),
             sparsity: Vec::new(),
             fidelity: false,
             snapshot: None,
@@ -146,6 +152,7 @@ impl DseSweepOptions {
                 "--meta-kb" => options.meta_kb = parse_list(flag, raw)?,
                 "--models" => options.models = parse_list(flag, raw)?,
                 "--widths" => options.widths = parse_list(flag, raw)?,
+                "--pruning" => options.pruning = parse_list(flag, raw)?,
                 "--sparsity" => options.sparsity = parse_list(flag, raw)?,
                 "--snapshot" => options.snapshot = Some(raw.clone()),
                 "--limit-points" => options.limit_points = Some(parse_scalar(flag, raw)?),
@@ -174,7 +181,9 @@ impl DseSweepOptions {
         grid.meta_buffer_bytes = kb(&self.meta_kb);
         let models =
             if self.models.is_empty() { ModelKind::all().to_vec() } else { self.models.clone() };
-        let mut spec = DseSpec::new(grid, models).with_widths(self.widths.clone());
+        let mut spec = DseSpec::new(grid, models)
+            .with_widths(self.widths.clone())
+            .with_pruning(self.pruning.clone());
         if !self.sparsity.is_empty() {
             spec = spec.with_sparsity(self.sparsity.clone());
         }
@@ -278,11 +287,18 @@ pub fn render_report(report: &DseReport) -> String {
             } else {
                 "n/a".to_string()
             };
+            // An active pruning spec rides in the width cell (`int8/u0.50`);
+            // unpruned rows keep the historical rendering byte-for-byte.
+            let width_cell = if entry.pruning.is_active() {
+                format!("{}/{}", entry.width, entry.pruning.label())
+            } else {
+                entry.width.to_string()
+            };
             let _ = writeln!(
                 out,
                 "{:<16} {:>6} {:>7} {:>5} {:>6} {:>5} {:>6} | {:<16} {:>12} {:>10.4} {:>10.3} {:>8}",
                 entry.kind.name(),
-                entry.width.to_string(),
+                width_cell,
                 entry.arch.macros,
                 entry.arch.compartments_per_macro,
                 entry.arch.dbmus_per_compartment,
@@ -311,11 +327,17 @@ pub fn render_report(report: &DseReport) -> String {
             );
             for (index, metrics) in frontier {
                 let entry = &report.entries[index];
+                let pruning_tag = if entry.pruning.is_active() {
+                    format!(" [{}]", entry.pruning.label())
+                } else {
+                    String::new()
+                };
                 let _ = writeln!(
                     out,
-                    "  {} @ {}: {} macros x {} rows @ {} MHz — {:.4} ms, {:.3} uJ, {:.4} mm2, loss {}",
+                    "  {} @ {}{}: {} macros x {} rows @ {} MHz — {:.4} ms, {:.3} uJ, {:.4} mm2, loss {}",
                     entry.kind.name(),
                     entry.width,
+                    pruning_tag,
                     entry.arch.macros,
                     entry.arch.rows_per_dbmu,
                     entry.arch.frequency_mhz,
@@ -390,7 +412,7 @@ mod tests {
         let spec = options.spec();
         assert_eq!(spec.grid.macros, vec![2, 4, 8]);
         assert_eq!(spec.grid.weight_buffer_bytes, vec![32 * 1024, 64 * 1024]);
-        assert_eq!(spec.points(OperandWidth::Int8).unwrap().len(), 2 * 2 * 24);
+        assert_eq!(spec.points(OperandWidth::Int8, PruningSpec::none()).unwrap().len(), 2 * 2 * 24);
         assert!(spec.fidelity);
     }
 
@@ -418,7 +440,7 @@ mod tests {
         let spec = options.spec();
         assert_eq!(spec.models.len(), 5);
         assert_eq!(spec.grid, ArchGrid::around(ArchConfig::paper()));
-        assert_eq!(spec.points(OperandWidth::Int8).unwrap().len(), 5);
+        assert_eq!(spec.points(OperandWidth::Int8, PruningSpec::none()).unwrap().len(), 5);
         assert_eq!(spec.sparsity, SparsityConfig::all().to_vec());
         assert!(!spec.fidelity);
     }

@@ -351,6 +351,119 @@ pub fn width_sweep(context: &ExperimentContext) -> Result<String, PipelineError>
     Ok(out)
 }
 
+/// Joint value-level + bit-level sparsity: how magnitude pruning compounds
+/// with the CSD bit sparsity across operand widths.
+///
+/// For each (width, pruning) variant the report counts the compiled DB-PIM
+/// macro work — `Compute` tiles and loaded weight cells — and the hybrid
+/// simulation cycles, each with its delta against the unpruned variant of
+/// the same width. The dense baseline ignores value sparsity by
+/// construction, so its cycles are printed once per width as the anchor.
+///
+/// # Errors
+///
+/// Propagates preparation, compilation or simulation failures.
+pub fn joint_sparsity(context: &ExperimentContext) -> Result<String, PipelineError> {
+    let options = context.options();
+    let kind = ModelKind::AlexNet;
+    let arch = context.arch();
+    let widths = [OperandWidth::Int4, OperandWidth::Int8];
+    let prunings = [
+        PruningSpec::none(),
+        PruningSpec::unstructured(0.3),
+        PruningSpec::unstructured(0.5),
+        PruningSpec::structured(0.5),
+    ];
+
+    let macro_work = |program: &ModelProgram| -> (u64, u64) {
+        let mut tiles = 0u64;
+        let mut cells = 0u64;
+        for layer in &program.layers {
+            for inst in &layer.instructions {
+                match inst {
+                    dbpim_compiler::Instruction::Compute { .. } => tiles += 1,
+                    dbpim_compiler::Instruction::LoadWeights {
+                        filters,
+                        weights_per_filter,
+                        cells_per_weight,
+                        ..
+                    } => {
+                        cells += u64::from(*filters)
+                            * u64::from(*weights_per_filter)
+                            * u64::from(*cells_per_weight);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        (tiles, cells)
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Joint sparsity - value pruning x operand width on {} (width x{})",
+        kind.name(),
+        options.width_mult
+    );
+    let _ = writeln!(
+        out,
+        "{:<6} {:>8} {:>7} {:>7} {:>10} {:>7} {:>12} {:>7} {:>9}",
+        "width", "pruning", "tiles", "d_tile", "cells", "d_cell", "hybrid cyc", "d_cyc", "speedup"
+    );
+    for width in widths {
+        let mut baseline: Option<(u64, u64, u64)> = None;
+        for pruning in prunings {
+            let session = context.runner().session_for_variant(width, pruning)?;
+            let programs = session.artifacts(kind)?.programs(arch)?;
+            let (tiles, cells) = macro_work(&programs.sparse);
+            let entry = context.runner().run_point_pruned(
+                kind,
+                width,
+                pruning,
+                None,
+                &[SparsityConfig::DenseBaseline, SparsityConfig::HybridSparsity],
+                false,
+            )?;
+            let cycles = entry
+                .result
+                .run(SparsityConfig::HybridSparsity)
+                .expect("hybrid was requested")
+                .total_cycles();
+            let (base_tiles, base_cells, base_cycles) =
+                *baseline.get_or_insert((tiles, cells, cycles));
+            let delta = |now: u64, base: u64| {
+                if base == 0 {
+                    "n/a".to_string()
+                } else {
+                    format!("{:+.1}%", 100.0 * (now as f64 - base as f64) / base as f64)
+                }
+            };
+            let _ = writeln!(
+                out,
+                "{:<6} {:>8} {:>7} {:>7} {:>10} {:>7} {:>12} {:>7} {:>8.2}x",
+                width.to_string(),
+                pruning.label(),
+                tiles,
+                delta(tiles, base_tiles),
+                cells,
+                delta(cells, base_cells),
+                cycles,
+                delta(cycles, base_cycles),
+                entry.result.speedup(SparsityConfig::HybridSparsity),
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "note: tiles = DB-PIM Compute instructions, cells = loaded weight\n\
+         bit-cells. Deltas are against the unpruned row of the same width;\n\
+         the dense baseline maps the nominal shape regardless of pruning, so\n\
+         speedups compound value and bit sparsity."
+    );
+    Ok(out)
+}
+
 /// Table 4: DB-PIM area breakdown on the context's geometry.
 #[must_use]
 pub fn table4(context: &ExperimentContext) -> String {
@@ -426,6 +539,17 @@ mod tests {
         assert!(report.contains("AlexNet"));
         assert!(report.contains("EfficientNetB0"));
         assert!(report.contains('%'));
+    }
+
+    #[test]
+    fn joint_sparsity_report_shows_shrinking_macro_work() {
+        let report = joint_sparsity(&small_context()).unwrap();
+        assert!(report.contains("int4"));
+        assert!(report.contains("int8"));
+        assert!(report.contains("u0.50"));
+        assert!(report.contains("s0.50"));
+        // Pruned rows carry negative deltas against their width's baseline.
+        assert!(report.contains('-'), "no reduction recorded:\n{report}");
     }
 
     #[test]

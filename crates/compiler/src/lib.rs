@@ -40,6 +40,6 @@ pub use error::CompileError;
 pub use isa::{Instruction, LayerProgram, MappingMode, ModelProgram, SimdOpKind};
 pub use mapping::{Compiler, DEFAULT_THRESHOLD};
 pub use workload::{
-    extract_workloads, InputSparsityProfile, ModelWorkloads, PimLayerKind, PimWorkload,
-    SimdWorkload, Workload,
+    extract_workloads, extract_workloads_with_value_sparsity, InputSparsityProfile, ModelWorkloads,
+    PimLayerKind, PimWorkload, SimdWorkload, Workload,
 };

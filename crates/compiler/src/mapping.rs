@@ -134,8 +134,7 @@ impl Compiler {
         let mut instructions = Vec::new();
         let groups = self.filter_groups(workload, mode);
         let k_cap = self.config.weights_per_filter_capacity();
-        let k_tiles = workload.filter_len.div_ceil(k_cap);
-        if k_tiles == 0 {
+        if workload.filter_len == 0 {
             return Err(CompileError::Unmappable {
                 layer: workload.name.clone(),
                 reason: "layer has no weights".to_string(),
@@ -146,6 +145,10 @@ impl Compiler {
             if group.filters == 0 {
                 continue;
             }
+            // Value-pruned groups tile over the group's densest filter rather
+            // than the nominal filter length: zeros past that point never
+            // need a cell, a load, or a streamed input.
+            let k_tiles = group.effective_len.div_ceil(k_cap);
             if group.cells_per_weight == 0 {
                 // φ_th = 0: every weight of these filters is zero, so the PIM
                 // array is never touched; the SIMD core only materializes the
@@ -178,7 +181,7 @@ impl Compiler {
             let mut remaining = group.filters;
             while remaining > 0 {
                 let wave_filters = remaining.min(wave_capacity);
-                for (k, chunk) in chunk_sizes(workload.filter_len, k_cap).into_iter().enumerate() {
+                for (k, chunk) in chunk_sizes(group.effective_len, k_cap).into_iter().enumerate() {
                     // Load this wave's weight tile into each participating macro.
                     let mut assigned = 0usize;
                     let mut macro_id = 0u8;
@@ -254,25 +257,45 @@ impl Compiler {
 
     /// Groups a workload's filters by the number of cells each weight
     /// occupies under the chosen mapping mode.
+    ///
+    /// When the workload carries per-filter non-zero counts, each DB-PIM
+    /// group's tiled length shrinks to its densest member — the dense
+    /// baseline always maps the full nominal filter length.
     fn filter_groups(&self, workload: &PimWorkload, mode: MappingMode) -> Vec<FilterGroup> {
         match mode {
             MappingMode::Dense => vec![FilterGroup {
                 cells_per_weight: self.width.bits() as u8,
                 filters: workload.filters,
+                effective_len: workload.filter_len,
             }],
             MappingMode::DbPim => {
+                let compact = workload.filter_nonzeros.len() == workload.thresholds.len()
+                    && !workload.filter_nonzeros.is_empty();
                 let mut histogram = [0usize; 3];
+                let mut longest = [0usize; 3];
                 if workload.thresholds.is_empty() {
                     histogram[DEFAULT_THRESHOLD as usize] = workload.filters;
                 } else {
-                    for &t in &workload.thresholds {
-                        histogram[(t as usize).min(2)] += 1;
+                    for (i, &t) in workload.thresholds.iter().enumerate() {
+                        let phi = (t as usize).min(2);
+                        histogram[phi] += 1;
+                        if compact {
+                            longest[phi] = longest[phi].max(workload.filter_nonzeros[i]);
+                        }
                     }
                 }
                 (0u8..=2)
                     .map(|phi| FilterGroup {
                         cells_per_weight: phi,
                         filters: histogram[phi as usize],
+                        effective_len: if compact && phi > 0 {
+                            // φ > 0 guarantees at least one non-zero weight
+                            // per filter; the clamp only shields
+                            // hand-constructed inconsistent workloads.
+                            longest[phi as usize].min(workload.filter_len).max(1)
+                        } else {
+                            workload.filter_len
+                        },
                     })
                     .filter(|g| g.filters > 0)
                     .collect()
@@ -286,6 +309,10 @@ impl Compiler {
 struct FilterGroup {
     cells_per_weight: u8,
     filters: usize,
+    /// Weights per filter the group actually tiles over (the nominal filter
+    /// length, or the group's largest non-zero count when value sparsity is
+    /// recorded).
+    effective_len: usize,
 }
 
 /// Splits `total` into chunks of at most `cap`.
@@ -323,6 +350,7 @@ mod tests {
             filter_len,
             output_positions: positions,
             thresholds,
+            filter_nonzeros: vec![],
             input_skip_ratio: 0.0,
             macs: (filters * filter_len * positions) as u64,
         }
@@ -497,6 +525,81 @@ mod tests {
             })
             .sum();
         assert_eq!(weights, 2500);
+    }
+
+    #[test]
+    fn value_pruned_filters_compact_into_fewer_tiles() {
+        let compiler = Compiler::new(ArchConfig::paper()).unwrap();
+        // 2500 weights per filter nominally (3 tiles at the 1024 capacity),
+        // but pruning left at most 900 non-zeros per filter: one tile.
+        let mut w = workload(8, 2500, 4, vec![2; 8]);
+        w.filter_nonzeros = vec![900, 100, 850, 10, 900, 900, 5, 1];
+        assert!((w.value_zero_fraction() - (1.0 - 3666.0 / 20000.0)).abs() < 1e-12);
+        let program = compiler.compile(&model_workloads(w.clone()), MappingMode::DbPim).unwrap();
+        let layer = &program.layers[0];
+        assert_eq!(layer.compute_count(), 1);
+        assert!(!layer.instructions.iter().any(|i| matches!(i, Instruction::Accumulate { .. })));
+        let streamed: u64 = layer
+            .instructions
+            .iter()
+            .filter_map(|i| match i {
+                Instruction::LoadInputs { features } => Some(u64::from(*features)),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(streamed, 900 * 4);
+
+        // The dense baseline ignores value sparsity: identical to the
+        // unpruned dense mapping of the same geometry.
+        let dense_pruned = compiler.compile(&model_workloads(w), MappingMode::Dense).unwrap();
+        let mut unpruned = workload(8, 2500, 4, vec![2; 8]);
+        let dense_ref = {
+            let p =
+                compiler.compile(&model_workloads(unpruned.clone()), MappingMode::Dense).unwrap();
+            p.layers[0].instructions.clone()
+        };
+        assert_eq!(dense_pruned.layers[0].instructions, dense_ref);
+
+        // Empty nonzero counts keep the historical tiling bit-for-bit.
+        unpruned.filter_nonzeros = vec![];
+        let legacy = compiler.compile(&model_workloads(unpruned), MappingMode::DbPim).unwrap();
+        assert_eq!(legacy.layers[0].compute_count(), 3);
+    }
+
+    #[test]
+    fn full_nonzero_counts_change_nothing() {
+        // Counts equal to the filter length reproduce the legacy program
+        // exactly — the pruning=0 identity at the mapper level.
+        let compiler = Compiler::new(ArchConfig::paper()).unwrap();
+        let baseline = workload(32, 2500, 16, vec![1; 16].into_iter().chain(vec![2; 16]).collect());
+        let mut counted = baseline.clone();
+        counted.filter_nonzeros = vec![2500; 32];
+        for mode in [MappingMode::DbPim, MappingMode::Dense] {
+            assert_eq!(
+                compiler.compile(&model_workloads(counted.clone()), mode).unwrap().layers[0]
+                    .instructions,
+                compiler.compile(&model_workloads(baseline.clone()), mode).unwrap().layers[0]
+                    .instructions,
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn compaction_is_per_threshold_group() {
+        let compiler = Compiler::new(ArchConfig::paper()).unwrap();
+        // φ=1 group pruned to ≤1000 non-zeros (1 tile), φ=2 group dense
+        // (3 tiles); a shared tiling would need 3 everywhere.
+        let mut w = workload(8, 2500, 4, vec![1, 1, 1, 1, 2, 2, 2, 2]);
+        w.filter_nonzeros = vec![1000, 999, 4, 12, 2500, 2500, 2500, 2500];
+        let program = compiler.compile(&model_workloads(w), MappingMode::DbPim).unwrap();
+        let mut tiles_per_threshold = [0usize; 3];
+        for inst in &program.layers[0].instructions {
+            if let Instruction::Compute { threshold: Some(t), .. } = inst {
+                tiles_per_threshold[*t as usize] += 1;
+            }
+        }
+        assert_eq!(tiles_per_threshold, [0, 1, 3]);
     }
 
     #[test]

@@ -103,6 +103,11 @@ pub struct PimWorkload {
     /// Per-filter FTA thresholds `φ_th` (empty when the layer is mapped
     /// densely, e.g. for the baseline).
     pub thresholds: Vec<u32>,
+    /// Per-filter counts of non-zero weights after FTA, in filter order.
+    /// Populated only by [`extract_workloads_with_value_sparsity`] (the
+    /// value-pruned pipeline); empty means "assume every weight non-zero",
+    /// which preserves the historical tiling exactly.
+    pub filter_nonzeros: Vec<usize>,
     /// Block-wise zero bit-column ratio of this layer's input tensor.
     pub input_skip_ratio: f64,
     /// Multiply-accumulate count of the layer.
@@ -124,6 +129,17 @@ impl PimWorkload {
     #[must_use]
     pub fn weight_count(&self) -> usize {
         self.filters * self.filter_len
+    }
+
+    /// Fraction of exactly-zero weights recorded for this layer (`0.0` when
+    /// no value-sparsity information was extracted).
+    #[must_use]
+    pub fn value_zero_fraction(&self) -> f64 {
+        if self.filter_nonzeros.is_empty() || self.weight_count() == 0 {
+            return 0.0;
+        }
+        let nonzero: usize = self.filter_nonzeros.iter().sum();
+        1.0 - nonzero as f64 / self.weight_count() as f64
     }
 }
 
@@ -220,6 +236,35 @@ pub fn extract_workloads(
     approx: Option<&ModelApprox>,
     input_sparsity: &InputSparsityProfile,
 ) -> Result<ModelWorkloads, CompileError> {
+    extract_workloads_inner(model, approx, input_sparsity, false)
+}
+
+/// Like [`extract_workloads`], but additionally records each PIM layer's
+/// per-filter non-zero weight counts ([`PimWorkload::filter_nonzeros`]) from
+/// the approximation, so the mapper can compact value-pruned filters into
+/// fewer weight tiles.
+///
+/// Only the value-pruned pipeline calls this: recording the counts for an
+/// unpruned model would let incidental quantization zeros perturb the tiling,
+/// breaking bit-identity with the historical dense extraction.
+///
+/// # Errors
+///
+/// Same failure modes as [`extract_workloads`].
+pub fn extract_workloads_with_value_sparsity(
+    model: &Model,
+    approx: Option<&ModelApprox>,
+    input_sparsity: &InputSparsityProfile,
+) -> Result<ModelWorkloads, CompileError> {
+    extract_workloads_inner(model, approx, input_sparsity, true)
+}
+
+fn extract_workloads_inner(
+    model: &Model,
+    approx: Option<&ModelApprox>,
+    input_sparsity: &InputSparsityProfile,
+    value_sparsity: bool,
+) -> Result<ModelWorkloads, CompileError> {
     let shapes = model.node_output_shapes()?;
     let mut workloads = Vec::with_capacity(model.nodes().len());
     for node in model.nodes() {
@@ -248,6 +293,7 @@ pub fn extract_workloads(
                     filter_len: cfg.filter_len(),
                     output_positions: oh * ow,
                     thresholds: thresholds_for(approx, node.id),
+                    filter_nonzeros: nonzeros_for(approx, node.id, value_sparsity),
                     input_skip_ratio: input_sparsity.ratio(node.id),
                     macs: cfg.macs(oh, ow),
                 })
@@ -260,6 +306,7 @@ pub fn extract_workloads(
                 filter_len: cfg.in_features,
                 output_positions: 1,
                 thresholds: thresholds_for(approx, node.id),
+                filter_nonzeros: nonzeros_for(approx, node.id, value_sparsity),
                 input_skip_ratio: input_sparsity.ratio(node.id),
                 macs: cfg.macs(),
             }),
@@ -277,6 +324,16 @@ pub fn extract_workloads(
 
 fn thresholds_for(approx: Option<&ModelApprox>, node_id: NodeId) -> Vec<u32> {
     approx.and_then(|a| a.layer(node_id).ok()).map(|layer| layer.thresholds()).unwrap_or_default()
+}
+
+fn nonzeros_for(approx: Option<&ModelApprox>, node_id: NodeId, enabled: bool) -> Vec<usize> {
+    if !enabled {
+        return Vec::new();
+    }
+    approx
+        .and_then(|a| a.layer(node_id).ok())
+        .map(|layer| layer.filter_nonzero_counts())
+        .unwrap_or_default()
 }
 
 #[cfg(test)]

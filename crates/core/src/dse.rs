@@ -34,7 +34,9 @@ use dbpim_csd::OperandWidth;
 use dbpim_nn::ModelKind;
 use dbpim_sim::dse::{pareto_frontier, ArchGrid, GridError, ParetoMetrics};
 use dbpim_sim::{AreaModel, SparsityConfig};
-use serde::{Deserialize, Serialize};
+use dbpim_tensor::PruningSpec;
+use serde::value::{get_field, type_error, Value};
+use serde::{Deserialize, Error, Serialize};
 
 use crate::error::PipelineError;
 use crate::pipeline::{CodesignResult, PipelineConfig};
@@ -51,8 +53,13 @@ pub fn unix_time_ms() -> u64 {
 }
 
 /// The point set of a design-space exploration: an architecture grid
-/// crossed with models, sparsity configurations and operand widths.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// crossed with models, sparsity configurations, operand widths and pruning
+/// specs.
+///
+/// Serialization is hand-written so the `pruning` axis is omitted when empty
+/// and tolerated when absent — specs (and snapshots embedding them) written
+/// before the axis existed keep their historical bytes and still load.
+#[derive(Debug, Clone, PartialEq)]
 pub struct DseSpec {
     /// Geometry axis grids.
     pub grid: ArchGrid,
@@ -63,9 +70,49 @@ pub struct DseSpec {
     pub sparsity: Vec<SparsityConfig>,
     /// Weight operand widths; empty means "the session's configured width".
     pub widths: Vec<OperandWidth>,
+    /// Value-level pruning specs (the joint value/bit sparsity axis); empty
+    /// means "the session's configured pruning" — the identity spec by
+    /// default, i.e. the classic unpruned exploration.
+    pub pruning: Vec<PruningSpec>,
     /// Evaluate accuracy fidelity where defined (INT8 width, evaluation
     /// images configured).
     pub fidelity: bool,
+}
+
+impl Serialize for DseSpec {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("grid".to_string(), self.grid.to_value()),
+            ("models".to_string(), self.models.to_value()),
+            ("sparsity".to_string(), self.sparsity.to_value()),
+            ("widths".to_string(), self.widths.to_value()),
+            ("fidelity".to_string(), self.fidelity.to_value()),
+        ];
+        if !self.pruning.is_empty() {
+            entries.push(("pruning".to_string(), self.pruning.to_value()));
+        }
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for DseSpec {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let entries = value.as_map().ok_or_else(|| type_error("DSE spec map", value))?;
+        let field = |name: &str| {
+            get_field(entries, name).ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+        };
+        Ok(Self {
+            grid: ArchGrid::from_value(field("grid")?)?,
+            models: Vec::from_value(field("models")?)?,
+            sparsity: Vec::from_value(field("sparsity")?)?,
+            widths: Vec::from_value(field("widths")?)?,
+            pruning: match get_field(entries, "pruning") {
+                Some(found) => Vec::from_value(found)?,
+                None => Vec::new(),
+            },
+            fidelity: bool::from_value(field("fidelity")?)?,
+        })
+    }
 }
 
 impl DseSpec {
@@ -78,6 +125,7 @@ impl DseSpec {
             models,
             sparsity: SparsityConfig::all().to_vec(),
             widths: Vec::new(),
+            pruning: Vec::new(),
             fidelity: false,
         }
     }
@@ -96,6 +144,13 @@ impl DseSpec {
         self
     }
 
+    /// Adds explicit pruning specs (the value-sparsity axis).
+    #[must_use]
+    pub fn with_pruning(mut self, pruning: Vec<PruningSpec>) -> Self {
+        self.pruning = pruning;
+        self
+    }
+
     /// Requests the fidelity evaluation where defined.
     #[must_use]
     pub fn with_fidelity(mut self) -> Self {
@@ -108,6 +163,7 @@ impl DseSpec {
         SweepSpec::new(self.models.clone())
             .with_sparsity(self.sparsity.clone())
             .with_widths(self.widths.clone())
+            .with_pruning(self.pruning.clone())
     }
 
     /// The requested models, duplicates removed, in first-seen order.
@@ -129,22 +185,36 @@ impl DseSpec {
         self.as_sweep().effective_widths(session_width)
     }
 
-    /// Every (model, width, geometry) point of the exploration in canonical
-    /// order: models outermost (first-seen), then widths (narrow to wide),
-    /// then geometries (grid enumeration order).
+    /// The pruning specs the exploration runs at, in request order
+    /// (deduplicated); `session_pruning` when none were requested.
+    #[must_use]
+    pub fn effective_pruning(&self, session_pruning: PruningSpec) -> Vec<PruningSpec> {
+        self.as_sweep().effective_pruning(session_pruning)
+    }
+
+    /// Every (model, width, pruning, geometry) point of the exploration in
+    /// canonical order: models outermost (first-seen), then widths (narrow
+    /// to wide), then pruning specs (request order), then geometries (grid
+    /// enumeration order).
     ///
     /// # Errors
     ///
     /// Returns [`PipelineError::BadConfig`] for an oversized or infeasible
     /// grid (the message names the offending point and constraint).
-    pub fn points(&self, session_width: OperandWidth) -> Result<Vec<DsePoint>, PipelineError> {
+    pub fn points(
+        &self,
+        session_width: OperandWidth,
+        session_pruning: PruningSpec,
+    ) -> Result<Vec<DsePoint>, PipelineError> {
         let archs = self.grid.enumerate().map_err(grid_error)?;
         let mut points =
             Vec::with_capacity(self.unique_models().len() * archs.len().max(1) * 2usize);
         for kind in self.unique_models() {
             for width in self.effective_widths(session_width) {
-                for &arch in &archs {
-                    points.push(DsePoint { kind, width, arch });
+                for pruning in self.effective_pruning(session_pruning) {
+                    for &arch in &archs {
+                        points.push(DsePoint { kind, width, pruning, arch });
+                    }
                 }
             }
         }
@@ -156,28 +226,37 @@ fn grid_error(e: GridError) -> PipelineError {
     PipelineError::BadConfig { reason: e.to_string() }
 }
 
-/// One (model, width, geometry) point of a [`DseSpec`].
+/// One (model, width, pruning, geometry) point of a [`DseSpec`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DsePoint {
     /// The explored model.
     pub kind: ModelKind,
     /// The weight operand width.
     pub width: OperandWidth,
+    /// The value-level pruning applied before quantization.
+    pub pruning: PruningSpec,
     /// The geometry.
     pub arch: ArchConfig,
 }
 
-/// A hashable identity of one point: the model, the width's bit count and
-/// every `ArchConfig` field (the frequency by bit pattern). Lets the driver
-/// and the report do point lookups through hash maps instead of linear
-/// scans — `ArchConfig` itself cannot implement `Hash`/`Eq` because of its
-/// `f64` frequency.
-type PointKey = (ModelKind, u32, [u64; 12]);
+/// A hashable identity of one point: the model, the width's bit count, the
+/// pruning spec's [`key_bits`](PruningSpec::key_bits) and every `ArchConfig`
+/// field (the frequency by bit pattern). Lets the driver and the report do
+/// point lookups through hash maps instead of linear scans — `ArchConfig`
+/// and `PruningSpec` cannot implement `Hash`/`Eq` because of their `f64`
+/// fields.
+type PointKey = (ModelKind, u32, (u8, u64), [u64; 12]);
 
-fn point_key(kind: ModelKind, width: OperandWidth, arch: &ArchConfig) -> PointKey {
+fn point_key(
+    kind: ModelKind,
+    width: OperandWidth,
+    pruning: PruningSpec,
+    arch: &ArchConfig,
+) -> PointKey {
     (
         kind,
         width.bits(),
+        pruning.key_bits(),
         [
             arch.macros as u64,
             arch.compartments_per_macro as u64,
@@ -197,7 +276,7 @@ fn point_key(kind: ModelKind, width: OperandWidth, arch: &ArchConfig) -> PointKe
 
 impl DsePoint {
     fn key(&self) -> PointKey {
-        point_key(self.kind, self.width, &self.arch)
+        point_key(self.kind, self.width, self.pruning, &self.arch)
     }
 
     /// The point's opaque hashable identity — what deduplication across
@@ -208,23 +287,31 @@ impl DsePoint {
     }
 }
 
-/// An opaque, hashable identity of one (model, width, geometry) point.
+/// An opaque, hashable identity of one (model, width, pruning, geometry)
+/// point.
 ///
-/// `ArchConfig` cannot implement `Hash`/`Eq` (its frequency is an `f64`),
-/// so consumers that need set/map semantics over points — the fleet
-/// orchestrator's exactly-once bookkeeping, shard dedup — go through this
-/// key instead. Two points compare equal here iff they compare equal
-/// field-for-field (frequency by bit pattern).
+/// `ArchConfig` and `PruningSpec` cannot implement `Hash`/`Eq` (they hold
+/// `f64` fields), so consumers that need set/map semantics over points — the
+/// fleet orchestrator's exactly-once bookkeeping, shard dedup — go through
+/// this key instead. Two points compare equal here iff they compare equal
+/// field-for-field (floats by bit pattern).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DsePointKey(PointKey);
 
 /// One computed point of a [`DseReport`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written: an identity `pruning` spec is omitted, so
+/// unpruned snapshots stay byte-identical to snapshots written before the
+/// pruning axis existed, and old snapshots load with the identity default.
+#[derive(Debug, Clone, PartialEq)]
 pub struct DseEntry {
     /// The explored model.
     pub kind: ModelKind,
     /// The weight operand width of the point.
     pub width: OperandWidth,
+    /// The value-level pruning of the point (identity for classic unpruned
+    /// explorations).
+    pub pruning: PruningSpec,
     /// The geometry of the point.
     pub arch: ArchConfig,
     /// The full co-design result at the point.
@@ -233,6 +320,42 @@ pub struct DseEntry {
     /// [`DseReport::results_match`]; preserved across resumes for entries
     /// the resume did not have to recompute.
     pub computed_at_ms: u64,
+}
+
+impl Serialize for DseEntry {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("kind".to_string(), self.kind.to_value()),
+            ("width".to_string(), self.width.to_value()),
+            ("arch".to_string(), self.arch.to_value()),
+            ("result".to_string(), self.result.to_value()),
+            ("computed_at_ms".to_string(), self.computed_at_ms.to_value()),
+        ];
+        if self.pruning.is_active() {
+            entries.push(("pruning".to_string(), self.pruning.to_value()));
+        }
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for DseEntry {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let entries = value.as_map().ok_or_else(|| type_error("DSE entry map", value))?;
+        let field = |name: &str| {
+            get_field(entries, name).ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+        };
+        Ok(Self {
+            kind: ModelKind::from_value(field("kind")?)?,
+            width: OperandWidth::from_value(field("width")?)?,
+            pruning: match get_field(entries, "pruning") {
+                Some(found) => PruningSpec::from_value(found)?,
+                None => PruningSpec::none(),
+            },
+            arch: ArchConfig::from_value(field("arch")?)?,
+            result: CodesignResult::from_value(field("result")?)?,
+            computed_at_ms: u64::from_value(field("computed_at_ms")?)?,
+        })
+    }
 }
 
 impl DseEntry {
@@ -246,6 +369,7 @@ impl DseEntry {
         Self {
             kind: entry.kind,
             width: entry.width,
+            pruning: entry.pruning,
             arch: entry.arch,
             result: entry.result,
             computed_at_ms: unix_time_ms(),
@@ -255,11 +379,11 @@ impl DseEntry {
     /// The point this entry answers.
     #[must_use]
     pub fn point(&self) -> DsePoint {
-        DsePoint { kind: self.kind, width: self.width, arch: self.arch }
+        DsePoint { kind: self.kind, width: self.width, pruning: self.pruning, arch: self.arch }
     }
 
     fn key(&self) -> PointKey {
-        point_key(self.kind, self.width, &self.arch)
+        point_key(self.kind, self.width, self.pruning, &self.arch)
     }
 
     /// The opaque hashable identity of the entry's point (see
@@ -333,26 +457,42 @@ impl DseReport {
     /// The entry answering `point`, if computed.
     #[must_use]
     pub fn entry(&self, point: &DsePoint) -> Option<&DseEntry> {
-        self.entries
-            .iter()
-            .find(|e| e.kind == point.kind && e.width == point.width && e.arch == point.arch)
+        self.entries.iter().find(|e| {
+            e.kind == point.kind
+                && e.width == point.width
+                && e.pruning == point.pruning
+                && e.arch == point.arch
+        })
     }
 
     /// The canonical rank of every possible point of the spec: model
     /// (first-seen in the spec), then width (narrow to wide, over *all*
     /// widths so the ranking never depends on the session width), then
-    /// geometry (grid enumeration order). Built once and used for hashed
-    /// lookups — entry ordering must never cost a linear `ArchConfig` scan
-    /// per element.
+    /// pruning (the spec's request order, with the identity spec appended
+    /// when absent so default-session entries always rank), then geometry
+    /// (grid enumeration order). Built once and used for hashed lookups —
+    /// entry ordering must never cost a linear `ArchConfig` scan per
+    /// element.
     fn canonical_rank(&self) -> HashMap<PointKey, usize> {
         let archs = self.spec.grid.enumerate().unwrap_or_default();
+        let mut prunings: Vec<PruningSpec> = Vec::new();
+        for &spec in &self.spec.pruning {
+            if !prunings.contains(&spec) {
+                prunings.push(spec);
+            }
+        }
+        if !prunings.contains(&PruningSpec::none()) {
+            prunings.push(PruningSpec::none());
+        }
         let mut rank = HashMap::new();
         let mut next = 0usize;
         for kind in self.spec.unique_models() {
             for width in OperandWidth::all() {
-                for arch in &archs {
-                    rank.insert(point_key(kind, width, arch), next);
-                    next += 1;
+                for &pruning in &prunings {
+                    for arch in &archs {
+                        rank.insert(point_key(kind, width, pruning, arch), next);
+                        next += 1;
+                    }
                 }
             }
         }
@@ -387,7 +527,11 @@ impl DseReport {
         a.sort_canonical();
         b.sort_canonical();
         a.entries.iter().zip(b.entries.iter()).all(|(x, y)| {
-            x.kind == y.kind && x.width == y.width && x.arch == y.arch && x.result == y.result
+            x.kind == y.kind
+                && x.width == y.width
+                && x.pruning == y.pruning
+                && x.arch == y.arch
+                && x.result == y.result
         })
     }
 
@@ -473,11 +617,11 @@ impl DseReport {
         // be quadratic in the grid size).
         let by_key: HashMap<PointKey, &DseEntry> =
             self.entries.iter().map(|e| (e.key(), e)).collect();
-        let mut seen: HashSet<(u32, [u64; 12])> = HashSet::new();
+        let mut seen: HashSet<(u32, (u8, u64), [u64; 12])> = HashSet::new();
         let mut candidates = Vec::new();
         for entry in &self.entries {
-            let (_, width_bits, arch_bits) = entry.key();
-            if !seen.insert((width_bits, arch_bits)) {
+            let (_, width_bits, prune_bits, arch_bits) = entry.key();
+            if !seen.insert((width_bits, prune_bits, arch_bits)) {
                 continue;
             }
             let mut metrics = ParetoMetrics {
@@ -489,7 +633,9 @@ impl DseReport {
             let mut total_weight = 0.0;
             let mut complete = true;
             for &(kind, weight) in &mix {
-                let Some(member) = by_key.get(&point_key(kind, entry.width, &entry.arch)) else {
+                let Some(member) =
+                    by_key.get(&point_key(kind, entry.width, entry.pruning, &entry.arch))
+                else {
                     complete = false;
                     break;
                 };
@@ -504,7 +650,12 @@ impl DseReport {
             }
             if complete {
                 metrics.fidelity_loss /= total_weight;
-                candidates.push(MixCandidate { width: entry.width, arch: entry.arch, metrics });
+                candidates.push(MixCandidate {
+                    width: entry.width,
+                    pruning: entry.pruning,
+                    arch: entry.arch,
+                    metrics,
+                });
             }
         }
         candidates
@@ -566,12 +717,14 @@ impl DseReport {
     }
 }
 
-/// One aggregated (width, geometry) candidate of a workload mix (see
-/// [`DseReport::aggregate_metrics`]).
+/// One aggregated (width, pruning, geometry) candidate of a workload mix
+/// (see [`DseReport::aggregate_metrics`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MixCandidate {
     /// The operand width of every aggregated entry.
     pub width: OperandWidth,
+    /// The value-level pruning of every aggregated entry.
+    pub pruning: PruningSpec,
     /// The shared geometry.
     pub arch: ArchConfig,
     /// The mix-aggregated objective values (latency/energy weight-summed,
@@ -679,7 +832,8 @@ impl DseDriver {
     /// first point failure otherwise.
     pub fn run(&self, spec: &DseSpec) -> Result<DseReport, PipelineError> {
         let session_width = self.runner.session().config().operand_width;
-        let points = spec.points(session_width)?;
+        let session_pruning = self.runner.session().config().pruning;
+        let points = spec.points(session_width, session_pruning)?;
         let _span = dbpim_trace::span!("dse.run", points = points.len());
         let sparsity = spec.unique_sparsity();
         let start = Instant::now();
@@ -710,7 +864,14 @@ impl DseDriver {
                     rows = point.arch.rows_per_dbmu,
                 );
                 self.runner
-                    .run_point(point.kind, point.width, Some(point.arch), &sparsity, spec.fidelity)
+                    .run_point_pruned(
+                        point.kind,
+                        point.width,
+                        point.pruning,
+                        Some(point.arch),
+                        &sparsity,
+                        spec.fidelity,
+                    )
                     .map(DseEntry::from_sweep)
             });
             let mut failure = None;
@@ -779,7 +940,7 @@ mod tests {
     fn spec_points_follow_canonical_order() {
         let spec = DseSpec::new(grid(), vec![ModelKind::Vgg19, ModelKind::AlexNet])
             .with_widths(vec![OperandWidth::Int8, OperandWidth::Int4]);
-        let points = spec.points(OperandWidth::Int8).unwrap();
+        let points = spec.points(OperandWidth::Int8, PruningSpec::none()).unwrap();
         assert_eq!(points.len(), 2 * 2 * 4);
         // Model outermost, widths canonical narrow-to-wide, archs in grid
         // enumeration order.
@@ -797,7 +958,7 @@ mod tests {
             ArchGrid::around(ArchConfig::paper()).with_macros(vec![0]),
             vec![ModelKind::AlexNet],
         );
-        let err = spec.points(OperandWidth::Int8).unwrap_err();
+        let err = spec.points(OperandWidth::Int8, PruningSpec::none()).unwrap_err();
         assert!(err.to_string().contains("infeasible"), "{err}");
     }
 

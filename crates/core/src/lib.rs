@@ -66,3 +66,5 @@ pub use session::{
     SweepReport, SweepSpec,
 };
 pub use stats::LatencyHistogram;
+
+pub use dbpim_tensor::{PruningMode, PruningSpec};

@@ -14,6 +14,7 @@ use dbpim_fta::stats::ModelFtaStats;
 use dbpim_fta::FidelityReport;
 use dbpim_nn::{Model, ModelKind, ModelSummary};
 use dbpim_sim::{RunReport, SparsityConfig};
+use dbpim_tensor::PruningSpec;
 use serde::{Deserialize, Serialize};
 
 use crate::error::PipelineError;
@@ -41,6 +42,12 @@ pub struct PipelineConfig {
     /// weights per channel at that width and disable the (INT8-only)
     /// fidelity evaluation.
     pub operand_width: OperandWidth,
+    /// Value-level magnitude pruning applied to the float weights before
+    /// quantization. [`PruningSpec::none`] (the default presets) leaves the
+    /// pipeline bit-identical to the unpruned flow; an active spec zeroes
+    /// weights so value sparsity compounds with the bit-level sparsity the
+    /// FTA/compiler/macro stages exploit.
+    pub pruning: PruningSpec,
 }
 
 impl PipelineConfig {
@@ -56,6 +63,7 @@ impl PipelineConfig {
             evaluation_images: 16,
             arch: ArchConfig::paper(),
             operand_width: OperandWidth::Int8,
+            pruning: PruningSpec::none(),
         }
     }
 
@@ -71,6 +79,7 @@ impl PipelineConfig {
             evaluation_images: 6,
             arch: ArchConfig::paper(),
             operand_width: OperandWidth::Int8,
+            pruning: PruningSpec::none(),
         }
     }
 
@@ -85,6 +94,14 @@ impl PipelineConfig {
     #[must_use]
     pub fn with_operand_width(mut self, width: OperandWidth) -> Self {
         self.operand_width = width;
+        self
+    }
+
+    /// Sets the value-level pruning specification (canonicalized, so every
+    /// inactive spelling configures the identical pipeline).
+    #[must_use]
+    pub fn with_pruning(mut self, pruning: PruningSpec) -> Self {
+        self.pruning = pruning.canonical();
         self
     }
 
@@ -109,6 +126,7 @@ impl PipelineConfig {
                 reason: "width multiplier must be positive".to_string(),
             });
         }
+        self.pruning.validate().map_err(|reason| PipelineError::BadConfig { reason })?;
         self.arch.validate()?;
         Ok(())
     }

@@ -33,4 +33,4 @@ pub use dbpim_sim::{
     CostModel, GridError, ParetoMetrics, RunReport, SimConfig, Simulator, SparsityConfig,
     MAX_GRID_POINTS, PEAK_INPUT_SKIP,
 };
-pub use dbpim_tensor::{random::TensorGenerator, Tensor};
+pub use dbpim_tensor::{random::TensorGenerator, PruningMode, PruningSpec, Tensor};

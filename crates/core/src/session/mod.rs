@@ -16,7 +16,7 @@
 //! * [`SimSession`] — a cache of artifacts keyed by model, shared by every
 //!   consumer (experiment binaries, examples, benches).
 //! * [`BatchRunner`] — executes a [`SweepSpec`] (models × sparsity × arch ×
-//!   operand width) in parallel over scoped std threads (see [`par`]; rayon
+//!   operand width × pruning) in parallel over scoped std threads (see [`par`]; rayon
 //!   is unavailable in the offline build environment) and returns a
 //!   structured [`SweepReport`] that serializes and [`SweepReport::merge`]s
 //!   for sharded sweeps.
@@ -36,7 +36,8 @@ use std::time::{Duration, Instant};
 
 use dbpim_arch::ArchConfig;
 use dbpim_compiler::{
-    extract_workloads, Compiler, InputSparsityProfile, MappingMode, ModelProgram, ModelWorkloads,
+    extract_workloads, extract_workloads_with_value_sparsity, Compiler, InputSparsityProfile,
+    MappingMode, ModelProgram, ModelWorkloads,
 };
 use dbpim_csd::OperandWidth;
 use dbpim_fta::stats::ModelFtaStats;
@@ -44,7 +45,9 @@ use dbpim_fta::{evaluate_fidelity, FidelityReport, ModelApprox};
 use dbpim_nn::{Model, ModelKind, ModelSummary, QuantizedModel};
 use dbpim_sim::{RunReport, SimConfig, Simulator, SparsityConfig};
 use dbpim_tensor::random::TensorGenerator;
-use serde::{Deserialize, Serialize};
+use dbpim_tensor::PruningSpec;
+use serde::value::{get_field, type_error, Value};
+use serde::{Deserialize, Error, Serialize};
 
 use crate::error::PipelineError;
 use crate::measure::measure_input_sparsity;
@@ -164,6 +167,20 @@ impl ModelArtifacts {
         config.validate()?;
         let summary = model.summary()?;
 
+        // Value-level pruning happens here, before quantization, so every
+        // downstream stage (quantizer, FTA, metadata, compiler, simulator)
+        // sees the masked weights. The stored `model` stays the *unpruned*
+        // original — cache identity in [`SimSession`] compares against the
+        // model the caller handed in. An inactive spec takes the exact
+        // historical path: no clone, no masking, bit-identical artifacts.
+        let pruned_model;
+        let work_model: &Model = if config.pruning.is_active() {
+            pruned_model = model.pruned(config.pruning);
+            &pruned_model
+        } else {
+            &model
+        };
+
         // Synthetic calibration batch (same stream the Pipeline always used).
         let input_shape = model.input_shape();
         let (channels, height, width) = (input_shape[0], input_shape[1], input_shape[2]);
@@ -177,14 +194,14 @@ impl ModelArtifacts {
         // the paper's pipeline always has, so its results stay bit-identical.
         let quantized = {
             let _span = dbpim_trace::span!("pipeline.quantize");
-            QuantizedModel::quantize(&model, &calibration)?
+            QuantizedModel::quantize(work_model, &calibration)?
         };
         let approx = {
             let _span = dbpim_trace::span!("pipeline.fta");
             if config.operand_width == OperandWidth::Int8 {
                 ModelApprox::from_quantized(&quantized)?
             } else {
-                ModelApprox::from_model_wide(&model, config.operand_width)?
+                ModelApprox::from_model_wide(work_model, config.operand_width)?
             }
         };
         let fta_stats = ModelFtaStats::from_model(&approx);
@@ -198,8 +215,17 @@ impl ModelArtifacts {
         // both mappings.
         let _metadata_span = dbpim_trace::span!("pipeline.metadata");
         let input_sparsity = measure_input_sparsity(&quantized, &calibration)?;
-        let sparse_workloads = extract_workloads(&model, Some(&approx), &input_sparsity)?;
-        let dense_workloads = extract_workloads(&model, None, &input_sparsity)?;
+        // Only the value-pruned flow records per-filter nonzero counts: the
+        // counts let the compiler compact DB-PIM tiles, and the unpruned
+        // flow must keep its historical tiling bit-for-bit (see
+        // `extract_workloads_with_value_sparsity`). The dense baseline
+        // always maps nominal filter lengths, so it never records counts.
+        let sparse_workloads = if config.pruning.is_active() {
+            extract_workloads_with_value_sparsity(work_model, Some(&approx), &input_sparsity)?
+        } else {
+            extract_workloads(work_model, Some(&approx), &input_sparsity)?
+        };
+        let dense_workloads = extract_workloads(work_model, None, &input_sparsity)?;
         drop(_metadata_span);
 
         Ok(Self {
@@ -740,11 +766,14 @@ impl SimSession {
 }
 
 /// The point set of a sweep: models × sparsity configurations ×
-/// architecture geometries × operand widths.
+/// architecture geometries × operand widths × pruning specs.
 ///
 /// Specs serialize (vendored serde_json), so a sweep request can travel over
-/// the wire to a serving daemon or be persisted next to its report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// the wire to a serving daemon or be persisted next to its report. The
+/// serializer is hand-written: the `pruning` axis is omitted when empty and
+/// tolerated when absent, so specs produced before the axis existed — and
+/// specs that simply don't prune — keep their historical wire bytes.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepSpec {
     /// Zoo models to sweep (duplicates are executed once).
     pub models: Vec<ModelKind>,
@@ -756,6 +785,44 @@ pub struct SweepSpec {
     /// Weight operand widths to sweep; empty means "the session's
     /// configured width". Non-INT8 widths skip the fidelity evaluation.
     pub widths: Vec<OperandWidth>,
+    /// Value-level pruning specs to sweep (the joint value/bit sparsity
+    /// axis); empty means "the session's configured pruning" — by default
+    /// the identity spec, i.e. the classic unpruned sweep.
+    pub pruning: Vec<PruningSpec>,
+}
+
+impl Serialize for SweepSpec {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("models".to_string(), self.models.to_value()),
+            ("sparsity".to_string(), self.sparsity.to_value()),
+            ("archs".to_string(), self.archs.to_value()),
+            ("widths".to_string(), self.widths.to_value()),
+        ];
+        if !self.pruning.is_empty() {
+            entries.push(("pruning".to_string(), self.pruning.to_value()));
+        }
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for SweepSpec {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let entries = value.as_map().ok_or_else(|| type_error("sweep spec map", value))?;
+        let field = |name: &str| {
+            get_field(entries, name).ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+        };
+        Ok(Self {
+            models: Vec::from_value(field("models")?)?,
+            sparsity: Vec::from_value(field("sparsity")?)?,
+            archs: Vec::from_value(field("archs")?)?,
+            widths: Vec::from_value(field("widths")?)?,
+            pruning: match get_field(entries, "pruning") {
+                Some(found) => Vec::from_value(found)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 impl SweepSpec {
@@ -768,6 +835,7 @@ impl SweepSpec {
             sparsity: SparsityConfig::all().to_vec(),
             archs: Vec::new(),
             widths: Vec::new(),
+            pruning: Vec::new(),
         }
     }
 
@@ -796,6 +864,13 @@ impl SweepSpec {
     #[must_use]
     pub fn with_widths(mut self, widths: Vec<OperandWidth>) -> Self {
         self.widths = widths;
+        self
+    }
+
+    /// Adds explicit pruning specs (the value-sparsity axis).
+    #[must_use]
+    pub fn with_pruning(mut self, pruning: Vec<PruningSpec>) -> Self {
+        self.pruning = pruning;
         self
     }
 
@@ -844,20 +919,80 @@ impl SweepSpec {
         // Canonical narrow-to-wide order, deduplicated.
         OperandWidth::all().into_iter().filter(|w| self.widths.contains(w)).collect()
     }
+
+    /// The pruning specs the sweep actually runs: the explicit list in
+    /// request order (deduplicated), or `session_pruning` when none were
+    /// given. Request order *is* the canonical order for this axis —
+    /// fractions are floats, so there is no finite enumeration to rank by.
+    #[must_use]
+    pub fn effective_pruning(&self, session_pruning: PruningSpec) -> Vec<PruningSpec> {
+        if self.pruning.is_empty() {
+            return vec![session_pruning];
+        }
+        let mut specs: Vec<PruningSpec> = Vec::new();
+        for &spec in &self.pruning {
+            if !specs.contains(&spec) {
+                specs.push(spec);
+            }
+        }
+        specs
+    }
 }
 
-/// One (model, width, geometry) result of a sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// One (model, width, pruning, geometry) result of a sweep.
+///
+/// Serialization is hand-written so an identity `pruning` spec is omitted —
+/// unpruned sweep reports stay byte-identical to reports written before the
+/// pruning axis existed, and old reports load with `pruning` defaulting to
+/// [`PruningSpec::none`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepEntry {
     /// The swept model.
     pub kind: ModelKind,
     /// The weight operand width this entry was approximated and compiled at.
     pub width: OperandWidth,
+    /// The value-level pruning applied before quantization (the identity
+    /// spec for classic unpruned sweeps).
+    pub pruning: PruningSpec,
     /// The geometry this entry was compiled and simulated for.
     pub arch: ArchConfig,
     /// The co-design result; `runs` holds the requested sparsity
     /// configurations in canonical [`SparsityConfig::all`] order.
     pub result: CodesignResult,
+}
+
+impl Serialize for SweepEntry {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("kind".to_string(), self.kind.to_value()),
+            ("width".to_string(), self.width.to_value()),
+            ("arch".to_string(), self.arch.to_value()),
+            ("result".to_string(), self.result.to_value()),
+        ];
+        if self.pruning.is_active() {
+            entries.push(("pruning".to_string(), self.pruning.to_value()));
+        }
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for SweepEntry {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let entries = value.as_map().ok_or_else(|| type_error("sweep entry map", value))?;
+        let field = |name: &str| {
+            get_field(entries, name).ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+        };
+        Ok(Self {
+            kind: ModelKind::from_value(field("kind")?)?,
+            width: OperandWidth::from_value(field("width")?)?,
+            pruning: match get_field(entries, "pruning") {
+                Some(found) => PruningSpec::from_value(found)?,
+                None => PruningSpec::none(),
+            },
+            arch: ArchConfig::from_value(field("arch")?)?,
+            result: CodesignResult::from_value(field("result")?)?,
+        })
+    }
 }
 
 /// The structured outcome of a [`BatchRunner`] sweep.
@@ -868,12 +1003,12 @@ pub struct SweepEntry {
 /// reports and [`merge`](Self::merge) them afterwards.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepReport {
-    /// One entry per (model, width, geometry), in spec order (models outer,
-    /// then widths, then archs).
+    /// One entry per (model, width, pruning, geometry), in spec order
+    /// (models outer, then widths, then pruning specs, then archs).
     pub entries: Vec<SweepEntry>,
     /// Wall-clock duration of the sweep.
     pub wall_time: Duration,
-    /// Distinct (model, width) artifact sets prepared.
+    /// Distinct (model, width, pruning) artifact sets prepared.
     pub prepared_models: usize,
     /// Simulation runs executed.
     pub simulated_runs: usize,
@@ -917,8 +1052,8 @@ impl SweepReport {
     ///
     /// The wall time is the maximum of the two (shards run in parallel);
     /// `prepared_models` and `simulated_runs` are recomputed from the
-    /// retained entries (distinct (model, width) pairs and total simulation
-    /// runs respectively), so they stay consistent under overlap.
+    /// retained entries (distinct (model, width, pruning) triples and total
+    /// simulation runs respectively), so they stay consistent under overlap.
     #[must_use]
     pub fn merge(mut self, other: SweepReport) -> SweepReport {
         for entry in other.entries {
@@ -927,10 +1062,10 @@ impl SweepReport {
             }
         }
         self.wall_time = self.wall_time.max(other.wall_time);
-        let mut prepared: Vec<(ModelKind, OperandWidth)> = Vec::new();
+        let mut prepared: Vec<(ModelKind, OperandWidth, PruningSpec)> = Vec::new();
         for entry in &self.entries {
-            if !prepared.contains(&(entry.kind, entry.width)) {
-                prepared.push((entry.kind, entry.width));
+            if !prepared.contains(&(entry.kind, entry.width, entry.pruning)) {
+                prepared.push((entry.kind, entry.width, entry.pruning));
             }
         }
         self.prepared_models = prepared.len();
@@ -975,6 +1110,10 @@ impl SweepReport {
     }
 }
 
+/// One (operand width, pruning) point of the joint sweep space a
+/// [`BatchRunner`] keeps a dedicated session for.
+type SessionVariant = (OperandWidth, PruningSpec);
+
 /// Executes [`SweepSpec`]s against a shared [`SimSession`], in parallel.
 ///
 /// Parallelism has two phases: artifact preparation (the expensive
@@ -984,17 +1123,18 @@ impl SweepReport {
 /// every sparsity configuration of a model — the dense and DB-PIM programs
 /// are each built exactly once per (model, width, geometry).
 ///
-/// The runner keeps one [`SimSession`] per swept operand width (the base
-/// session serves its configured width), so artifacts are cached and reused
-/// across repeated sweeps at every width.
+/// The runner keeps one [`SimSession`] per swept (operand width, pruning)
+/// variant (the base session serves its configured pair), so artifacts are
+/// cached and reused across repeated sweeps at every point of the joint
+/// precision × value-sparsity space.
 #[derive(Debug)]
 pub struct BatchRunner {
     session: Arc<SimSession>,
     threads: usize,
-    /// Lazily created sessions for widths other than the base session's,
-    /// kept alive so repeated sweeps reuse their artifact caches. Read-mostly
-    /// after warm-up, hence the [`RwLock`].
-    width_sessions: RwLock<Vec<(OperandWidth, Arc<SimSession>)>>,
+    /// Lazily created sessions for (width, pruning) variants other than the
+    /// base session's, kept alive so repeated sweeps reuse their artifact
+    /// caches. Read-mostly after warm-up, hence the [`RwLock`].
+    variant_sessions: RwLock<Vec<(SessionVariant, Arc<SimSession>)>>,
     /// Per-session artifact-cache LRU cap applied to the base session and to
     /// every lazily created width session (`None` = unbounded).
     cache_cap: Option<usize>,
@@ -1017,7 +1157,7 @@ impl BatchRunner {
         Self {
             session: Arc::new(session),
             threads: par::default_parallelism(),
-            width_sessions: RwLock::new(Vec::new()),
+            variant_sessions: RwLock::new(Vec::new()),
             cache_cap: None,
         }
     }
@@ -1048,44 +1188,60 @@ impl BatchRunner {
         &self.session
     }
 
-    /// The session caching artifacts for one operand width, created on
-    /// first use. The base session serves its own configured width; every
-    /// other width gets a sibling session with an identical configuration
-    /// apart from `operand_width`.
+    /// The session caching artifacts for one operand width (at the base
+    /// session's pruning), created on first use.
     ///
     /// # Errors
     ///
     /// Returns [`PipelineError::BadConfig`] for unusable configurations.
     pub fn session_for_width(&self, width: OperandWidth) -> Result<Arc<SimSession>, PipelineError> {
-        if width == self.session.config().operand_width {
+        self.session_for_variant(width, self.session.config().pruning)
+    }
+
+    /// The session caching artifacts for one (operand width, pruning)
+    /// variant, created on first use. The base session serves its own
+    /// configured pair; every other variant gets a sibling session with an
+    /// identical configuration apart from `operand_width` and `pruning`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::BadConfig`] for unusable configurations.
+    pub fn session_for_variant(
+        &self,
+        width: OperandWidth,
+        pruning: PruningSpec,
+    ) -> Result<Arc<SimSession>, PipelineError> {
+        let base = self.session.config();
+        if width == base.operand_width && pruning == base.pruning {
             return Ok(Arc::clone(&self.session));
         }
+        let key = (width, pruning);
         if let Some((_, session)) = self
-            .width_sessions
+            .variant_sessions
             .read()
-            .expect("width session lock")
+            .expect("variant session lock")
             .iter()
-            .find(|(w, _)| *w == width)
+            .find(|(k, _)| *k == key)
         {
             return Ok(Arc::clone(session));
         }
-        let mut cache = self.width_sessions.write().expect("width session lock");
-        if let Some((_, session)) = cache.iter().find(|(w, _)| *w == width) {
+        let mut cache = self.variant_sessions.write().expect("variant session lock");
+        if let Some((_, session)) = cache.iter().find(|(k, _)| *k == key) {
             return Ok(Arc::clone(session));
         }
-        let config = self.session.config().with_operand_width(width);
+        let config = base.with_operand_width(width).with_pruning(pruning);
         let session = Arc::new(SimSession::new(config)?);
         session.set_cache_capacity(self.cache_cap);
-        cache.push((width, Arc::clone(&session)));
+        cache.push((key, Arc::clone(&session)));
         Ok(session)
     }
 
     /// Aggregated cache counters across the base session and every
-    /// lazily-created width session.
+    /// lazily-created variant session.
     #[must_use]
     pub fn cache_stats(&self) -> SessionCacheStats {
         let mut stats = self.session.cache_stats();
-        for (_, session) in self.width_sessions.read().expect("width session lock").iter() {
+        for (_, session) in self.variant_sessions.read().expect("variant session lock").iter() {
             stats.absorb(session.cache_stats());
         }
         stats
@@ -1109,13 +1265,39 @@ impl BatchRunner {
         sparsity: &[SparsityConfig],
         with_fidelity: bool,
     ) -> Result<SweepEntry, PipelineError> {
+        self.run_point_pruned(
+            kind,
+            width,
+            self.session.config().pruning,
+            arch,
+            sparsity,
+            with_fidelity,
+        )
+    }
+
+    /// [`run_point`](Self::run_point) at an explicit pruning spec instead of
+    /// the base session's configured one — the joint value/bit sparsity
+    /// entry point the DSE driver and serving layer dispatch through.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage failure.
+    pub fn run_point_pruned(
+        &self,
+        kind: ModelKind,
+        width: OperandWidth,
+        pruning: PruningSpec,
+        arch: Option<ArchConfig>,
+        sparsity: &[SparsityConfig],
+        with_fidelity: bool,
+    ) -> Result<SweepEntry, PipelineError> {
         let _span = dbpim_trace::span!(
             "batch.point",
             model = kind.name(),
             width = width.bits(),
             fidelity = with_fidelity,
         );
-        let session = self.session_for_width(width)?;
+        let session = self.session_for_variant(width, pruning)?;
         let arch = arch.unwrap_or(session.config().arch);
         arch.validate()?;
         let artifacts = session.artifacts(kind)?;
@@ -1123,7 +1305,7 @@ impl BatchRunner {
         // codesign_result_for_arch canonicalizes the sparsity order and
         // collapses duplicates itself.
         let result = artifacts.codesign_result_for_arch(arch, sparsity, fidelity)?;
-        Ok(SweepEntry { kind, width, arch, result })
+        Ok(SweepEntry { kind, width, pruning, arch, result })
     }
 
     /// Runs a sweep without fidelity evaluation.
@@ -1156,23 +1338,30 @@ impl BatchRunner {
         let sparsity = spec.unique_sparsity();
         let archs = spec.effective_archs(self.session.config().arch);
         let widths = spec.effective_widths(self.session.config().operand_width);
+        let prunings = spec.effective_pruning(self.session.config().pruning);
         let fidelity = with_fidelity && self.session.config().evaluation_images > 0;
-        // Reject infeasible geometry overrides before any expensive work.
+        // Reject infeasible geometry or pruning overrides before any
+        // expensive work.
         for arch in &archs {
             arch.validate()?;
+        }
+        for pruning in &prunings {
+            pruning.validate().map_err(|reason| PipelineError::BadConfig { reason })?;
         }
 
         // Phase 1: prepare artifacts, compile every geometry, and (when
         // requested) evaluate fidelity — one parallel task per (model,
-        // width). Fidelity only exists on the INT8 executor.
-        let mut tasks = Vec::with_capacity(models.len() * widths.len());
+        // width, pruning). Fidelity only exists on the INT8 executor.
+        let mut tasks = Vec::with_capacity(models.len() * widths.len() * prunings.len());
         for &kind in &models {
             for &width in &widths {
-                tasks.push((kind, width));
+                for &pruning in &prunings {
+                    tasks.push((kind, width, pruning));
+                }
             }
         }
-        let prepared = par::par_map(tasks, self.threads, |(kind, width)| {
-            let session = self.session_for_width(width)?;
+        let prepared = par::par_map(tasks, self.threads, |(kind, width, pruning)| {
+            let session = self.session_for_variant(width, pruning)?;
             let artifacts = session.artifacts(kind)?;
             for &arch in &archs {
                 artifacts.programs(arch)?;
@@ -1180,17 +1369,17 @@ impl BatchRunner {
             if fidelity && width == OperandWidth::Int8 {
                 artifacts.fidelity()?;
             }
-            Ok::<_, PipelineError>((kind, width, artifacts))
+            Ok::<_, PipelineError>((kind, width, pruning, artifacts))
         });
         let mut artifacts_by_point = Vec::with_capacity(prepared.len());
         for result in prepared {
             artifacts_by_point.push(result?);
         }
 
-        // Phase 2: simulate every (model, width, arch, sparsity) point in
-        // parallel.
+        // Phase 2: simulate every (model, width, pruning, arch, sparsity)
+        // point in parallel.
         let mut points = Vec::new();
-        for (slot, (_, _, artifacts)) in artifacts_by_point.iter().enumerate() {
+        for (slot, (_, _, _, artifacts)) in artifacts_by_point.iter().enumerate() {
             for (arch_slot, &arch) in archs.iter().enumerate() {
                 for &config in &sparsity {
                     points.push((slot, arch_slot, arch, config, Arc::clone(artifacts)));
@@ -1202,15 +1391,15 @@ impl BatchRunner {
             a.simulate(arch, config).map(|report| (slot, arch_slot, config, report))
         });
 
-        // Phase 3: assemble entries in deterministic (model, width, arch)
-        // order.
+        // Phase 3: assemble entries in deterministic (model, width, pruning,
+        // arch) order.
         let mut grouped: HashMap<(usize, usize), Vec<(SparsityConfig, RunReport)>> = HashMap::new();
         for run in runs {
             let (slot, arch_slot, config, report) = run?;
             grouped.entry((slot, arch_slot)).or_default().push((config, report));
         }
         let mut entries = Vec::new();
-        for (slot, (kind, width, artifacts)) in artifacts_by_point.iter().enumerate() {
+        for (slot, (kind, width, pruning, artifacts)) in artifacts_by_point.iter().enumerate() {
             for (arch_slot, &arch) in archs.iter().enumerate() {
                 let mut reports = grouped.remove(&(slot, arch_slot)).unwrap_or_default();
                 // Canonical Fig. 7 order.
@@ -1232,14 +1421,20 @@ impl BatchRunner {
                     input_sparsity: artifacts.input_sparsity().clone(),
                     runs,
                 };
-                entries.push(SweepEntry { kind: *kind, width: *width, arch, result });
+                entries.push(SweepEntry {
+                    kind: *kind,
+                    width: *width,
+                    pruning: *pruning,
+                    arch,
+                    result,
+                });
             }
         }
 
         Ok(SweepReport {
             entries,
             wall_time: start.elapsed(),
-            prepared_models: models.len() * widths.len(),
+            prepared_models: models.len() * widths.len() * prunings.len(),
             simulated_runs,
         })
     }

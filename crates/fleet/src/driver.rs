@@ -409,7 +409,9 @@ impl FleetDriver {
             return Err(FleetError::NoWorkers);
         }
         self.config.pipeline.validate().map_err(FleetError::Spec)?;
-        let points = spec.points(self.config.pipeline.operand_width).map_err(FleetError::Spec)?;
+        let points = spec
+            .points(self.config.pipeline.operand_width, self.config.pipeline.pruning)
+            .map_err(FleetError::Spec)?;
         let _span = dbpim_trace::span!(
             "fleet.run",
             fleet = self.config.fleet_id,

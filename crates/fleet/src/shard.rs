@@ -81,10 +81,19 @@ impl FromStr for ShardStrategy {
 /// The relative execution cost of one DSE point: the geometry's simulated
 /// cell count ([`geometry_cost`]) scaled by the operand width's bit count
 /// (the digit-serial macro walks one dyadic block per weight bit pair, so
-/// wider operands simulate proportionally longer).
+/// wider operands simulate proportionally longer), discounted for value
+/// pruning — pruned filters compact into fewer weight tiles, but input
+/// streaming and SIMD work survive, so at most half the cost is pruned
+/// away even at an extreme fraction. An identity spec leaves the historical
+/// cost untouched exactly.
 #[must_use]
 pub fn point_cost(point: &DsePoint) -> u64 {
-    geometry_cost(&point.arch).saturating_mul(u64::from(point.width.bits())).max(1)
+    let base = geometry_cost(&point.arch).saturating_mul(u64::from(point.width.bits())).max(1);
+    if !point.pruning.is_active() {
+        return base;
+    }
+    let keep = 1.0 - 0.5 * point.pruning.fraction.clamp(0.0, 1.0);
+    ((base as f64 * keep) as u64).max(1)
 }
 
 /// One shard of a plan: the point indices (into the spec's canonical point
@@ -212,7 +221,8 @@ mod tests {
                 .with_rows(vec![32, 64]),
             vec![ModelKind::AlexNet, ModelKind::MobileNetV2],
         );
-        spec.points(PipelineConfig::fast().operand_width).expect("feasible grid")
+        spec.points(PipelineConfig::fast().operand_width, db_pim::PruningSpec::none())
+            .expect("feasible grid")
     }
 
     #[test]
@@ -300,5 +310,19 @@ mod tests {
         let cheap = points.iter().find(|p| p.arch.macros == 2).unwrap();
         let dear = points.iter().find(|p| p.arch.macros == 8).unwrap();
         assert_eq!(point_cost(dear), 4 * point_cost(cheap));
+    }
+
+    #[test]
+    fn point_cost_discounts_value_pruning() {
+        let dense = sample_points()[0];
+        let mut pruned = dense;
+        pruned.pruning = db_pim::PruningSpec::unstructured(0.5);
+        // Half the weights pruned discounts a quarter of the cost; the
+        // identity spec is exactly the historical cost.
+        assert_eq!(point_cost(&pruned), (point_cost(&dense) as f64 * 0.75) as u64);
+        assert!(point_cost(&pruned) < point_cost(&dense));
+        let mut identity = dense;
+        identity.pruning = db_pim::PruningSpec::none();
+        assert_eq!(point_cost(&identity), point_cost(&dense));
     }
 }

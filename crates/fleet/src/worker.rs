@@ -83,9 +83,10 @@ impl PointExecutor for LocalExecutor {
     fn run(&mut self, job: &PointJob, context: &JobContext) -> Result<DseEntry, String> {
         let point = job.point;
         self.runner
-            .run_point(
+            .run_point_pruned(
                 point.kind,
                 point.width,
+                point.pruning,
                 Some(point.arch),
                 &context.unique_sparsity,
                 context.fidelity,
@@ -148,6 +149,13 @@ impl RemoteExecutor {
             models: vec![job.point.kind],
             sparsity: context.sparsity.clone(),
             widths: vec![job.point.width],
+            // An identity spec travels as an empty axis, keeping the wire
+            // request byte-identical to pre-pruning daemons' expectations.
+            pruning: if job.point.pruning.is_active() {
+                vec![job.point.pruning]
+            } else {
+                Vec::new()
+            },
             fidelity: context.fidelity,
         }
     }
@@ -212,6 +220,7 @@ mod tests {
         let point = DsePoint {
             kind: ModelKind::AlexNet,
             width: OperandWidth::Int4,
+            pruning: db_pim::PruningSpec::unstructured(0.25),
             arch: ArchConfig::paper(),
         };
         let context = JobContext {
@@ -223,10 +232,13 @@ mod tests {
         };
         let job = PointJob { point, shard: 1, shard_points: 5 };
         let spec = RemoteExecutor::single_point_spec(&job, &context);
-        let points = spec.points(PipelineConfig::fast().operand_width).expect("feasible");
+        let points = spec
+            .points(PipelineConfig::fast().operand_width, db_pim::PruningSpec::none())
+            .expect("feasible");
         assert_eq!(points.len(), 1);
         assert_eq!(points[0].kind, point.kind);
         assert_eq!(points[0].width, point.width);
+        assert_eq!(points[0].pruning, point.pruning);
         assert_eq!(points[0].arch, point.arch);
         // The raw sparsity request is carried verbatim (the daemon
         // canonicalizes exactly like a local run_point does).

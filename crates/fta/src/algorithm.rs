@@ -75,7 +75,16 @@ impl FilterApprox {
         tables: &QueryTables,
     ) -> Result<Self, FtaError> {
         let table = tables.table(threshold)?;
-        let values = weights.iter().map(|&w| table.nearest(w)).collect();
+        // Zero is exactly representable at every threshold (it has no
+        // non-zero CSD digits), so value-pruned weights skip the query-table
+        // search entirely and a fully-pruned filter (threshold 0) never
+        // consumes a table entry. `T(0) = {0}` makes the short-circuit
+        // bit-identical to the searched result for any input.
+        let values = if threshold == 0 {
+            vec![0; weights.len()]
+        } else {
+            weights.iter().map(|&w| if w == 0 { 0 } else { table.nearest(w) }).collect()
+        };
         Ok(Self { threshold, width: tables.width(), values })
     }
 
@@ -114,6 +123,13 @@ impl FilterApprox {
     #[must_use]
     pub fn stored_blocks(&self) -> usize {
         self.values.iter().map(|&v| dbpim_csd::phi(v) as usize).sum()
+    }
+
+    /// Number of non-zero approximated weights — the value-level density the
+    /// compiler uses to compact pruned filters into fewer tiles.
+    #[must_use]
+    pub fn nonzero_weights(&self) -> usize {
+        self.values.iter().filter(|&&v| v != 0).count()
     }
 
     /// Number of cell slots the filter occupies in the PIM array
@@ -289,6 +305,26 @@ impl LayerApprox {
         self.filters.iter().map(FilterApprox::threshold).collect()
     }
 
+    /// Per-filter counts of non-zero approximated weights, in filter order.
+    /// A magnitude-pruned layer shows counts below [`Self::filter_len`];
+    /// the compiler uses them to shrink the tile footprint of sparse filters.
+    #[must_use]
+    pub fn filter_nonzero_counts(&self) -> Vec<usize> {
+        self.filters.iter().map(FilterApprox::nonzero_weights).collect()
+    }
+
+    /// Fraction of exactly-zero approximated weights (value-level sparsity
+    /// after FTA; `0.0` for an empty layer).
+    #[must_use]
+    pub fn value_zero_fraction(&self) -> f64 {
+        let total = self.filter_count() * self.filter_len;
+        if total == 0 {
+            return 0.0;
+        }
+        let nonzero: usize = self.filters.iter().map(FilterApprox::nonzero_weights).sum();
+        (total - nonzero) as f64 / total as f64
+    }
+
     /// Histogram of the per-filter thresholds (`[count_φ0, count_φ1, count_φ2]`).
     #[must_use]
     pub fn threshold_histogram(&self) -> [usize; 3] {
@@ -422,6 +458,22 @@ impl ModelApprox {
         &self.layers
     }
 
+    /// Weight-weighted fraction of exactly-zero approximated weights across
+    /// every PIM layer (value-level sparsity after FTA).
+    #[must_use]
+    pub fn value_zero_fraction(&self) -> f64 {
+        let total: usize = self.layers.iter().map(|l| l.filter_count() * l.filter_len()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let zeros: f64 = self
+            .layers
+            .iter()
+            .map(|l| l.value_zero_fraction() * (l.filter_count() * l.filter_len()) as f64)
+            .sum();
+        zeros / total as f64
+    }
+
     /// The approximation for a specific graph node.
     ///
     /// # Errors
@@ -499,7 +551,47 @@ mod tests {
         assert_eq!(f.threshold(), 0);
         assert_eq!(f.stored_blocks(), 0);
         assert_eq!(f.allocated_slots(), 0);
+        assert_eq!(f.nonzero_weights(), 0);
         assert_eq!(f.mean_abs_error(&[0; 16]), 0.0);
+    }
+
+    #[test]
+    fn pruned_zeros_survive_the_approximation_losslessly() {
+        // A value-pruned filter: zeros interleaved with real weights. The
+        // zero-skip fast path must leave every zero exactly zero and every
+        // surviving weight identical to an unpruned filter of the same
+        // values, at every operand width.
+        for width in OperandWidth::all() {
+            let tables = QueryTables::for_width(width);
+            let survivors: Vec<i32> =
+                (0..8).map(|i| (i * 37 + 11) % (width.max_value() / 2 + 1) + 1).collect();
+            let mut pruned: Vec<i32> = Vec::new();
+            for &s in &survivors {
+                pruned.push(0);
+                pruned.push(s);
+            }
+            let f = FilterApprox::approximate(&pruned, &tables).unwrap();
+            assert_eq!(f.nonzero_weights(), survivors.len(), "{width}");
+            for (i, &v) in f.values().iter().enumerate() {
+                if i % 2 == 0 {
+                    assert_eq!(v, 0, "{width}: pruned slot {i} must stay zero");
+                } else {
+                    // The zero-skip must not perturb the searched result for
+                    // the surviving weights.
+                    let table = tables.table(f.threshold()).unwrap();
+                    assert_eq!(v, table.nearest(pruned[i]), "{width}: slot {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_zero_threshold_snaps_everything_to_zero() {
+        // The threshold-0 short circuit must match the searched behaviour:
+        // T(0) = {0} maps every value to zero.
+        let f = FilterApprox::approximate_with_threshold(&[7i8, -3, 0, 127], 0, &tables()).unwrap();
+        assert_eq!(f.values(), &[0, 0, 0, 0]);
+        assert_eq!(f.nonzero_weights(), 0);
     }
 
     #[test]
@@ -605,6 +697,20 @@ mod tests {
             LayerApprox::from_weights(0, "bad", &weights, &tables()),
             Err(FtaError::BadWeightShape { .. })
         ));
+    }
+
+    #[test]
+    fn layer_counts_value_sparsity_per_filter() {
+        // Filter 0 fully pruned, filter 1 half pruned, filter 2 dense.
+        let weights = Tensor::from_vec(
+            vec![0i8, 0, 0, 0, /* f1 */ 0, 5, 0, 9, /* f2 */ 1, 2, 3, 4],
+            vec![3, 4],
+        )
+        .unwrap();
+        let layer = LayerApprox::from_weights(0, "pruned", &weights, &tables()).unwrap();
+        assert_eq!(layer.filter_nonzero_counts(), vec![0, 2, 4]);
+        assert!((layer.value_zero_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(layer.thresholds()[0], 0);
     }
 
     #[test]

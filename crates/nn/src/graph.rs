@@ -1,6 +1,6 @@
 //! Model graphs and the float-precision executor.
 
-use dbpim_tensor::Tensor;
+use dbpim_tensor::{PruningSpec, Tensor};
 use serde::{Deserialize, Serialize};
 
 use crate::error::NnError;
@@ -229,6 +229,47 @@ impl Model {
             f(node.id, &mut node.layer);
         }
     }
+
+    /// Returns a copy of the model with the magnitude-pruning `spec` applied
+    /// to every PIM layer's weights (Conv2d and Linear; biases and all other
+    /// layers are untouched). Structured pruning ranks output channels — the
+    /// leading weight dimension — by L1 norm. With an inactive spec the model
+    /// is returned unchanged, so `pruned(PruningSpec::none())` is a plain
+    /// clone.
+    #[must_use]
+    pub fn pruned(&self, spec: PruningSpec) -> Model {
+        let mut model = self.clone();
+        if !spec.is_active() {
+            return model;
+        }
+        model.map_layers_in_place(|_, layer| {
+            if let Layer::Conv2d { weight, .. } | Layer::Linear { weight, .. } = layer {
+                let channels = weight.shape().first().copied().unwrap_or(0);
+                spec.apply(weight.data_mut(), channels);
+            }
+        });
+        model
+    }
+
+    /// Fraction of exactly-zero weight values across all PIM layers
+    /// (`0.0` for a model with no Conv2d/Linear weights). Used to verify
+    /// that pruning reached the requested value sparsity.
+    #[must_use]
+    pub fn weight_zero_fraction(&self) -> f64 {
+        let mut zeros = 0usize;
+        let mut total = 0usize;
+        for node in &self.nodes {
+            if let Layer::Conv2d { weight, .. } | Layer::Linear { weight, .. } = &node.layer {
+                total += weight.data().len();
+                zeros += weight.data().iter().filter(|v| **v == 0.0).count();
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            zeros as f64 / total as f64
+        }
+    }
 }
 
 /// Index of the maximum element (first maximum on ties).
@@ -424,5 +465,73 @@ mod tests {
     fn argmax_prefers_first_on_ties() {
         assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
         assert_eq!(argmax(&[-1.0]), 0);
+    }
+
+    #[test]
+    fn inactive_pruning_is_a_plain_clone() {
+        let model = tiny_model();
+        let pruned = model.pruned(PruningSpec::none());
+        assert_eq!(pruned, model);
+        assert_eq!(pruned.weight_zero_fraction(), 0.0);
+    }
+
+    #[test]
+    fn unstructured_pruning_zeroes_the_requested_weight_fraction() {
+        // Distinct magnitudes so the pruned set is deterministic.
+        let mut b = ModelBuilder::new("tiny", vec![1, 4, 4]);
+        let cfg = Conv2dCfg::new(1, 2, 3).with_padding(1);
+        let weight =
+            Tensor::from_vec((0..18).map(|i| (i as f32 + 1.0) * 0.1).collect(), cfg.weight_dims())
+                .unwrap();
+        b.chain("conv", Layer::Conv2d { cfg, weight, bias: None });
+        let model = b.build().unwrap();
+
+        let pruned = model.pruned(PruningSpec::unstructured(0.5));
+        let zero = pruned.weight_zero_fraction();
+        assert!((zero - 0.5).abs() < 1e-9, "zero fraction {zero}");
+        // The survivors are the largest-magnitude half, untouched.
+        if let Layer::Conv2d { weight, .. } = &pruned.nodes()[0].layer {
+            for (i, &v) in weight.data().iter().enumerate() {
+                if i < 9 {
+                    assert_eq!(v, 0.0, "weight {i} should be pruned");
+                } else {
+                    assert_eq!(v, (i as f32 + 1.0) * 0.1, "weight {i} should survive");
+                }
+            }
+        } else {
+            panic!("expected a conv layer");
+        }
+    }
+
+    #[test]
+    fn structured_pruning_zeroes_whole_output_channels() {
+        let mut b = ModelBuilder::new("tiny", vec![2, 2, 2]);
+        b.chain("flatten", Layer::Flatten);
+        // Row 0 has the smallest L1 norm and must vanish entirely.
+        b.chain(
+            "fc",
+            Layer::Linear {
+                cfg: LinearCfg::new(8, 4),
+                weight: Tensor::from_vec(
+                    (0..32).map(|i| (i / 8) as f32 + 0.5).collect(),
+                    vec![4, 8],
+                )
+                .unwrap(),
+                bias: None,
+            },
+        );
+        let model = b.build().unwrap();
+
+        let pruned = model.pruned(PruningSpec::structured(0.25));
+        if let Layer::Linear { weight, .. } = &pruned.nodes()[1].layer {
+            assert!(weight.data()[..8].iter().all(|&v| v == 0.0));
+            assert!(weight.data()[8..].iter().all(|&v| v != 0.0));
+        } else {
+            panic!("expected a linear layer");
+        }
+        // Pruning never touches biases or non-PIM layers, and the float
+        // executor still runs on the pruned graph.
+        let input = Tensor::filled(1.0, vec![2, 2, 2]).unwrap();
+        pruned.forward(&input).unwrap();
     }
 }

@@ -47,3 +47,5 @@ pub use layer::{Activation, BatchNormParams, Conv2dCfg, Layer, LinearCfg, Pool2d
 pub use quantized::{fold_batch_norm, QuantizedLayer, QuantizedModel, QuantizedNode};
 pub use summary::{LayerSummary, ModelSummary};
 pub use zoo::{ModelKind, CIFAR100_CLASSES, CIFAR_INPUT};
+
+pub use dbpim_tensor::{PruningMode, PruningSpec};

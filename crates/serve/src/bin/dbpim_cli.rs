@@ -13,6 +13,7 @@
 //!   sweep [--models a,b,c]     sweep models (default: all five)
 //!       [--sparsity <name>]    restrict to one configuration
 //!       [--widths 4,8,...]     sweep several operand widths
+//!       [--pruning none,0.3]   value-level pruning axis (u/s<fraction>)
 //!       [--fidelity]           request fidelity where defined
 //!   explore                    stream a design-space exploration
 //!       [--macros 2,4,8]       macro-count axis (default: paper value)
@@ -23,6 +24,7 @@
 //!       [--models a,b,c]       models (default: all five)
 //!       [--sparsity <name>]    restrict to one configuration
 //!       [--widths 4,8,...]     operand-width axis
+//!       [--pruning none,0.3]   value-level pruning axis (u/s<fraction>)
 //!       [--fidelity]           request fidelity where defined
 //!   stats                      daemon counters, queue depths, rejection
 //!                              counts, per-request latency + cache stats
@@ -44,7 +46,7 @@
 use std::str::FromStr;
 use std::time::Duration;
 
-use db_pim::{DseSpec, SweepReport, SweepSpec};
+use db_pim::{DseSpec, PruningSpec, SweepReport, SweepSpec};
 use dbpim_arch::ArchConfig;
 use dbpim_csd::OperandWidth;
 use dbpim_nn::ModelKind;
@@ -55,6 +57,7 @@ use dbpim_sim::{ArchGrid, SparsityConfig};
 const USAGE: &str = "usage: dbpim-cli [--addr <ip>] [--port <u16>] [--auth-token <secret>] \
      <ping|models|run|sweep|explore|stats|shard-status|shutdown> [--model <name>] \
      [--models a,b,c] [--sparsity <name>] [--operand-width <4|8|12|16>] [--widths 4,8,...] \
+     [--pruning none,0.3,s0.5,...] \
      [--macros a,b] [--compartments a,b] [--dbmus a,b] [--rows a,b] [--freqs a,b] \
      [--deadline-ms <n>] [--fidelity] [--trace-out <path>] \
      [--log-level <error|warn|info|debug>]";
@@ -81,6 +84,7 @@ struct CliOptions {
     sparsity: Option<SparsityConfig>,
     width: Option<OperandWidth>,
     widths: Option<Vec<OperandWidth>>,
+    pruning: Option<Vec<PruningSpec>>,
     macros: Option<Vec<usize>>,
     compartments: Option<Vec<usize>>,
     dbmus: Option<Vec<usize>>,
@@ -92,7 +96,7 @@ struct CliOptions {
 }
 
 impl CliOptions {
-    const VALUE_FLAGS: [&'static str; 14] = [
+    const VALUE_FLAGS: [&'static str; 15] = [
         "--addr",
         "--port",
         "--model",
@@ -100,6 +104,7 @@ impl CliOptions {
         "--sparsity",
         "--operand-width",
         "--widths",
+        "--pruning",
         "--macros",
         "--compartments",
         "--dbmus",
@@ -119,6 +124,7 @@ impl CliOptions {
             sparsity: None,
             width: None,
             widths: None,
+            pruning: None,
             macros: None,
             compartments: None,
             dbmus: None,
@@ -174,6 +180,7 @@ impl CliOptions {
                 "--sparsity" => options.sparsity = Some(parse_value(arg, raw)?),
                 "--operand-width" => options.width = Some(parse_value(arg, raw)?),
                 "--widths" => options.widths = Some(parse_list(arg, raw)?),
+                "--pruning" => options.pruning = Some(parse_list(arg, raw)?),
                 "--macros" => options.macros = Some(parse_list(arg, raw)?),
                 "--compartments" => options.compartments = Some(parse_list(arg, raw)?),
                 "--dbmus" => options.dbmus = Some(parse_list(arg, raw)?),
@@ -227,10 +234,18 @@ fn print_report(report: &SweepReport) {
             } else {
                 ("n/a".to_string(), "n/a".to_string())
             };
+            // An active pruning spec rides in the width cell (`int8/u0.50`),
+            // matching the dse_sweep table convention; unpruned rows render
+            // exactly as before.
+            let width_cell = if entry.pruning.is_active() {
+                format!("{}/{}", entry.width, entry.pruning.label())
+            } else {
+                entry.width.to_string()
+            };
             println!(
                 "| {} | {} | {} | {} | {} | {} | {} |",
                 entry.kind.name(),
-                entry.width,
+                width_cell,
                 entry.arch.macros,
                 run.sparsity,
                 run.total_cycles(),
@@ -260,10 +275,15 @@ fn print_explore(report: &db_pim::DseReport) {
         } else {
             "n/a".to_string()
         };
+        let width_cell = if entry.pruning.is_active() {
+            format!("{}/{}", entry.width, entry.pruning.label())
+        } else {
+            entry.width.to_string()
+        };
         println!(
             "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
             entry.kind.name(),
-            entry.width,
+            width_cell,
             entry.arch.macros,
             entry.arch.compartments_per_macro,
             entry.arch.dbmus_per_compartment,
@@ -389,6 +409,9 @@ fn main() {
             if let Some(widths) = options.widths {
                 spec = spec.with_widths(widths);
             }
+            if let Some(pruning) = options.pruning {
+                spec = spec.with_pruning(pruning);
+            }
             client
                 .sweep_streaming_with(
                     &spec,
@@ -424,6 +447,9 @@ fn main() {
             }
             if let Some(widths) = options.widths {
                 spec = spec.with_widths(widths);
+            }
+            if let Some(pruning) = options.pruning {
+                spec = spec.with_pruning(pruning);
             }
             if options.fidelity {
                 spec = spec.with_fidelity();

@@ -989,7 +989,8 @@ fn handle_explore(
         return respond(writer, &Deadline::error("Explore"));
     }
     let session_width = shared.runner.session().config().operand_width;
-    let points = match spec.points(session_width) {
+    let session_pruning = shared.runner.session().config().pruning;
+    let points = match spec.points(session_width, session_pruning) {
         Ok(points) => points,
         Err(e) => {
             shared.metrics.incr(M_ERRORS);
@@ -1013,9 +1014,10 @@ fn handle_explore(
             shard_fail(ShardState::Failed);
             return respond(writer, &Deadline::error("Explore"));
         }
-        let computed = shared.runner.run_point(
+        let computed = shared.runner.run_point_pruned(
             point.kind,
             point.width,
+            point.pruning,
             Some(point.arch),
             &sparsity,
             spec.fidelity,
@@ -1076,47 +1078,58 @@ fn handle_sweep(
     let sparsity = spec.unique_sparsity();
     let archs = spec.effective_archs(session_config.arch);
     let widths = spec.effective_widths(session_config.operand_width);
+    let prunings = spec.effective_pruning(session_config.pruning);
 
-    let entries = models.len() * widths.len() * archs.len();
+    let entries = models.len() * widths.len() * prunings.len() * archs.len();
     if respond(writer, &Response::SweepStarted { entries }) {
         return true;
     }
 
     let start = Instant::now();
     let mut index = 0usize;
-    // Deterministic (model, width, arch) order — identical to the entry
-    // order `BatchRunner::run_with_fidelity` assembles.
+    // Deterministic (model, width, pruning, arch) order — identical to the
+    // entry order `BatchRunner::run_with_fidelity` assembles.
     for &model in &models {
         for &width in &widths {
-            for &arch in &archs {
-                if deadline.expired() {
-                    shared.metrics.incr(M_ERRORS);
-                    return respond(writer, &Deadline::error("Sweep"));
-                }
-                match shared.runner.run_point(model, width, Some(arch), &sparsity, fidelity) {
-                    // Same withhold policy as RunModel for a point that
-                    // overran the deadline while computing.
-                    Ok(_) if deadline.expired() => {
+            for &pruning in &prunings {
+                for &arch in &archs {
+                    if deadline.expired() {
                         shared.metrics.incr(M_ERRORS);
                         return respond(writer, &Deadline::error("Sweep"));
                     }
-                    Ok(entry) => {
-                        if respond(writer, &Response::SweepPoint { index, entry }) {
-                            return true;
+                    let computed = shared.runner.run_point_pruned(
+                        model,
+                        width,
+                        pruning,
+                        Some(arch),
+                        &sparsity,
+                        fidelity,
+                    );
+                    match computed {
+                        // Same withhold policy as RunModel for a point that
+                        // overran the deadline while computing.
+                        Ok(_) if deadline.expired() => {
+                            shared.metrics.incr(M_ERRORS);
+                            return respond(writer, &Deadline::error("Sweep"));
+                        }
+                        Ok(entry) => {
+                            if respond(writer, &Response::SweepPoint { index, entry }) {
+                                return true;
+                            }
+                        }
+                        Err(e) => {
+                            shared.metrics.incr(M_ERRORS);
+                            return respond(
+                                writer,
+                                &error_response(
+                                    ErrorKind::Pipeline,
+                                    format!("sweep point {index} failed: {e}"),
+                                ),
+                            );
                         }
                     }
-                    Err(e) => {
-                        shared.metrics.incr(M_ERRORS);
-                        return respond(
-                            writer,
-                            &error_response(
-                                ErrorKind::Pipeline,
-                                format!("sweep point {index} failed: {e}"),
-                            ),
-                        );
-                    }
+                    index += 1;
                 }
-                index += 1;
             }
         }
     }
@@ -1124,7 +1137,7 @@ fn handle_sweep(
     respond(
         writer,
         &Response::SweepFinished {
-            prepared_models: models.len() * widths.len(),
+            prepared_models: models.len() * widths.len() * prunings.len(),
             simulated_runs: entries * sparsity.len(),
             wall_time: start.elapsed(),
         },

@@ -25,6 +25,18 @@ pub enum SparsityConfig {
     HybridSparsity,
 }
 
+/// Accepted (case/separator-folded) parse names per configuration — the
+/// single table [`SparsityConfig::from_str`] matches against and the
+/// [`SimError::UnknownSparsity`](crate::SimError::UnknownSparsity) display
+/// derives its "expected one of" list from, so the two can never drift
+/// apart. The first name of each row is the canonical short name.
+pub(crate) const SPARSITY_PARSE_TABLE: [(&[&str], SparsityConfig); 4] = [
+    (&["base", "baseline", "dense", "densebaseline"], SparsityConfig::DenseBaseline),
+    (&["input", "inputsparsity"], SparsityConfig::InputSparsity),
+    (&["weight", "weightsparsity"], SparsityConfig::WeightSparsity),
+    (&["hybrid", "hybridsparsity"], SparsityConfig::HybridSparsity),
+];
+
 impl SparsityConfig {
     /// All four configurations in the order Fig. 7 reports them.
     #[must_use]
@@ -34,6 +46,18 @@ impl SparsityConfig {
             SparsityConfig::InputSparsity,
             SparsityConfig::WeightSparsity,
             SparsityConfig::HybridSparsity,
+        ]
+    }
+
+    /// The canonical short parse name of every configuration (`base`,
+    /// `input`, `weight`, `hybrid`), in Fig. 7 order.
+    #[must_use]
+    pub fn canonical_names() -> [&'static str; 4] {
+        [
+            SPARSITY_PARSE_TABLE[0].0[0],
+            SPARSITY_PARSE_TABLE[1].0[0],
+            SPARSITY_PARSE_TABLE[2].0[0],
+            SPARSITY_PARSE_TABLE[3].0[0],
         ]
     }
 
@@ -92,13 +116,11 @@ impl std::str::FromStr for SparsityConfig {
             .filter(|c| !matches!(c, ' ' | '-' | '_'))
             .flat_map(char::to_lowercase)
             .collect();
-        match folded.as_str() {
-            "base" | "baseline" | "dense" | "densebaseline" => Ok(SparsityConfig::DenseBaseline),
-            "input" | "inputsparsity" => Ok(SparsityConfig::InputSparsity),
-            "weight" | "weightsparsity" => Ok(SparsityConfig::WeightSparsity),
-            "hybrid" | "hybridsparsity" => Ok(SparsityConfig::HybridSparsity),
-            _ => Err(crate::SimError::UnknownSparsity { name: s.to_string() }),
-        }
+        SPARSITY_PARSE_TABLE
+            .iter()
+            .find(|(names, _)| names.contains(&folded.as_str()))
+            .map(|&(_, config)| config)
+            .ok_or_else(|| crate::SimError::UnknownSparsity { name: s.to_string() })
     }
 }
 

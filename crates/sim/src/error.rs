@@ -50,7 +50,10 @@ impl fmt::Display for SimError {
                 write!(f, "cost-model parameter {parameter} has invalid value {value}")
             }
             SimError::UnknownSparsity { name } => {
-                write!(f, "unknown sparsity configuration `{name}` (expected one of: base, input, weight, hybrid)")
+                // The expected list comes from the FromStr parse table, so
+                // new configurations show up here automatically.
+                let expected = crate::SparsityConfig::canonical_names().join(", ");
+                write!(f, "unknown sparsity configuration `{name}` (expected one of: {expected})")
             }
         }
     }
@@ -90,6 +93,22 @@ mod tests {
         assert!(e.to_string().contains("dense"));
         let e = SimError::InvalidCost { parameter: "cell_read_pj", value: -1.0 };
         assert!(e.to_string().contains("cell_read_pj"));
+    }
+
+    #[test]
+    fn unknown_sparsity_lists_every_parseable_name() {
+        let e = SimError::UnknownSparsity { name: "sparse".to_string() };
+        let message = e.to_string();
+        // Derived from the parse table: every canonical name must both
+        // appear in the message and round-trip through FromStr.
+        for name in crate::SparsityConfig::canonical_names() {
+            assert!(message.contains(name), "{message}");
+            assert!(name.parse::<crate::SparsityConfig>().is_ok(), "{name}");
+        }
+        assert_eq!(
+            message,
+            "unknown sparsity configuration `sparse` (expected one of: base, input, weight, hybrid)"
+        );
     }
 
     #[test]

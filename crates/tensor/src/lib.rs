@@ -7,6 +7,9 @@
 //!   neural-network substrate needs (indexing, mapping, im2col).
 //! * [`quant`] — affine/symmetric INT8 quantization (per-tensor and
 //!   per-output-channel), mirroring the 8b/8b setting of the paper.
+//! * [`prune`] — deterministic magnitude pruning ([`PruningSpec`]), the
+//!   value-level-sparsity mask applied before quantization so zero weights
+//!   flow through the whole bit-sparsity pipeline.
 //! * [`random`] — deterministic synthetic weight and activation generators
 //!   whose value distributions produce the bit-level statistics reported in
 //!   Fig. 2 of the paper.
@@ -30,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod prune;
 pub mod quant;
 pub mod random;
 pub mod shape;
@@ -37,6 +41,7 @@ pub mod stats;
 mod tensor;
 
 pub use error::TensorError;
+pub use prune::{PruningMode, PruningSpec};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -85,18 +85,33 @@ impl QuantParams {
         Self::symmetric(tensor.abs_max())
     }
 
-    /// Affine parameters covering the closed range `[min, max]`.
+    /// Affine INT8 parameters covering the closed range `[min, max]`.
     ///
     /// The range is widened to include zero so that a real zero maps exactly
-    /// onto an integer (required for zero-padding correctness).
+    /// onto an integer (required for zero-padding correctness). This is the
+    /// [`OperandWidth::Int8`] instance of
+    /// [`affine_from_range_for_width`](Self::affine_from_range_for_width).
     #[must_use]
     pub fn affine_from_range(min: f32, max: f32) -> Self {
+        Self::affine_from_range_for_width(min, max, OperandWidth::Int8)
+    }
+
+    /// Affine parameters covering `[min, max]` at an arbitrary operand
+    /// width: the zero point and clamp bounds come from
+    /// `width.min_value()`/`width.max_value()`, and the scale spreads the
+    /// range over the width's `2^bits - 1` steps. (An earlier version
+    /// hardcoded the INT8 bounds for every width, collapsing wide
+    /// activations onto `[-128, 127]`.)
+    #[must_use]
+    pub fn affine_from_range_for_width(min: f32, max: f32, width: OperandWidth) -> Self {
         let min = min.min(0.0);
         let max = max.max(0.0);
         let range = (max - min).max(f32::EPSILON);
-        let scale = range / 255.0;
-        let zero_point = (-128.0 - min / scale).round() as i32;
-        Self { scale, zero_point: zero_point.clamp(-128, 127) }
+        let q_min = width.min_value() as f32;
+        let q_max = width.max_value() as f32;
+        let scale = range / (q_max - q_min);
+        let zero_point = (q_min - min / scale).round() as i32;
+        Self { scale, zero_point: zero_point.clamp(width.min_value(), width.max_value()) }
     }
 
     /// Quantizes one real value to INT8 (round to nearest, saturating).
@@ -387,6 +402,42 @@ mod tests {
         let zero_q = p.quantize(0.0);
         assert!((p.dequantize(zero_q)).abs() < 1e-6);
         assert_eq!(p.quantize(6.0), 127);
+    }
+
+    #[test]
+    fn affine_bounds_follow_the_operand_width() {
+        // Regression: the zero point and clamp bounds must come from the
+        // width, not hardcoded INT8 constants.
+        for width in [OperandWidth::Int4, OperandWidth::Int12, OperandWidth::Int16] {
+            let p = QuantParams::affine_from_range_for_width(0.0, 6.0, width);
+            // A one-sided range must anchor its zero point at the width's
+            // minimum so the full positive code space is usable.
+            assert_eq!(p.zero_point(), width.min_value(), "{width}");
+            assert_eq!(p.quantize_wide(0.0, width), width.min_value(), "{width}");
+            assert_eq!(p.quantize_wide(6.0, width), width.max_value(), "{width}");
+            // Real zero maps exactly onto an integer code.
+            let zero_q = p.quantize_wide(0.0, width);
+            assert!(p.dequantize_wide(zero_q).abs() < 1e-6, "{width}");
+            // Two-sided ranges stay inside the width's code space too.
+            let p = QuantParams::affine_from_range_for_width(-3.0, 5.0, width);
+            assert!(width.contains(p.zero_point()), "{width}: {}", p.zero_point());
+            assert_eq!(p.quantize_wide(5.0, width), width.max_value(), "{width}");
+            assert_eq!(p.quantize_wide(-3.0, width), width.min_value(), "{width}");
+        }
+        // Wider widths resolve the same range more finely.
+        let narrow = QuantParams::affine_from_range_for_width(0.0, 6.0, OperandWidth::Int4);
+        let wide = QuantParams::affine_from_range_for_width(0.0, 6.0, OperandWidth::Int16);
+        assert!(wide.scale() < narrow.scale());
+    }
+
+    #[test]
+    fn affine_int8_path_is_unchanged_by_the_width_parameterization() {
+        for (min, max) in [(0.0f32, 6.0f32), (-1.5, 2.5), (-4.0, 0.0), (0.0, 0.0)] {
+            let classic = QuantParams::affine_from_range(min, max);
+            let via_width = QuantParams::affine_from_range_for_width(min, max, OperandWidth::Int8);
+            assert_eq!(classic, via_width);
+            assert_eq!(classic.zero_point().clamp(-128, 127), classic.zero_point());
+        }
     }
 
     #[test]

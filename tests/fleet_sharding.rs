@@ -48,7 +48,7 @@ fn temp_dir(name: &str) -> std::path::PathBuf {
 #[test]
 fn every_strategy_covers_the_spec_with_no_duplicates_or_gaps() {
     let spec = small_spec().with_widths(vec![OperandWidth::Int4, OperandWidth::Int8]);
-    let points = spec.points(OperandWidth::Int8).expect("feasible spec");
+    let points = spec.points(OperandWidth::Int8, PruningSpec::none()).expect("feasible spec");
     assert_eq!(points.len(), 16, "2 models x 2 widths x 4 geometries");
     for strategy in ShardStrategy::all() {
         for workers in [1, 2, 3, 7, 16, 21] {
@@ -111,7 +111,7 @@ fn killing_a_worker_mid_run_reassigns_its_points() {
         vec![ModelKind::AlexNet, ModelKind::MobileNetV2],
     )
     .with_sparsity(vec![SparsityConfig::DenseBaseline, SparsityConfig::HybridSparsity]);
-    let total = spec.points(config.operand_width).expect("feasible").len();
+    let total = spec.points(config.operand_width, config.pruning).expect("feasible").len();
     assert_eq!(total, 12);
 
     // The daemon requires auth, so this test also proves remote workers

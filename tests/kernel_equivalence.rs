@@ -143,6 +143,54 @@ fn mixed_threshold_and_width_tiles_are_bit_identical() {
 }
 
 #[test]
+fn value_pruned_tiles_are_bit_identical_and_account_skips() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x9A1);
+    let config = ArchConfig::paper();
+    let tables = QueryTables::new();
+    let compartments = config.compartments_per_macro;
+    // Filters whose trailing two thirds are magnitude-pruned to zero: the
+    // tile's last two rows carry no stored bits, so the packed kernel elides
+    // their reductions while every charged counter stays identical to the
+    // scalar reference.
+    let len = 3 * compartments;
+    let filters: Vec<FilterMetadata> = (0..4)
+        .map(|i| {
+            let raw: Vec<i32> = (0..len)
+                .map(|j| {
+                    if j < compartments {
+                        // Surviving weights are kept non-zero so the pruned
+                        // cell count below is exact.
+                        let v: i32 = rng.gen_range(-128..=127);
+                        if v == 0 {
+                            1
+                        } else {
+                            v
+                        }
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            let approx = FilterApprox::approximate_with_threshold(&raw, 2, &tables)
+                .expect("INT8 weights approximate at phi=2");
+            FilterMetadata::from_filter(i, &approx)
+        })
+        .collect();
+    for inputs in input_cases(&mut rng, len) {
+        assert_sparse_equivalent(&config, &filters, &inputs, "value-pruned tile");
+    }
+
+    let mut pim = PimMacro::new(config).unwrap();
+    pim.load_sparse_tile(&filters).unwrap();
+    // 2 pruned rows x `compartments` weights x phi=2 slots per filter.
+    assert_eq!(pim.loaded_pruned_cells() as usize, 4 * 2 * compartments * 2);
+    assert_eq!(pim.loaded_zero_rows(), 4 * 2);
+    pim.reset();
+    assert_eq!(pim.loaded_pruned_cells(), 0);
+    assert_eq!(pim.loaded_zero_rows(), 0);
+}
+
+#[test]
 fn empty_tiles_are_bit_identical() {
     let config = ArchConfig::paper();
     // Zero filters, zero-length inputs, and zero filters with inputs.

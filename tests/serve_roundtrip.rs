@@ -128,6 +128,51 @@ fn served_sweep_matches_direct_batch_runner() {
     handle.join().expect("daemon exits cleanly");
 }
 
+/// Pruning-carrying specs cross the wire intact: a served joint
+/// (pruning × width) sweep and a pruning-grid `Explore` are bit-identical
+/// to their direct `BatchRunner` / `DseDriver` counterparts.
+#[test]
+fn served_joint_sparsity_queries_match_direct_drivers() {
+    let config = small_config().without_fidelity();
+    let prunings = vec![PruningSpec::none(), PruningSpec::unstructured(0.5)];
+
+    let handle = spawn_server(config, 2);
+    let mut client = Client::connect(handle.addr()).expect("connects");
+
+    let sweep_spec = SweepSpec::new(vec![ModelKind::AlexNet])
+        .with_sparsity(vec![SparsityConfig::HybridSparsity])
+        .with_widths(vec![OperandWidth::Int4, OperandWidth::Int8])
+        .with_pruning(prunings.clone());
+    let served = client.sweep(&sweep_spec, false).expect("served sweep succeeds");
+    let direct = BatchRunner::new(config)
+        .expect("valid config")
+        .run(&sweep_spec)
+        .expect("direct sweep succeeds");
+    assert_eq!(served.entries, direct.entries, "served joint sweep diverges from BatchRunner");
+    assert_eq!(served.entries.len(), 4, "2 widths x 2 prunings");
+    assert!(served.entries.iter().any(|e| e.pruning.is_active()), "pruning lost over the wire");
+
+    let explore_spec = DseSpec::new(
+        ArchGrid::around(ArchConfig::paper()).with_macros(vec![2, 4]).with_rows(vec![64]),
+        vec![ModelKind::AlexNet],
+    )
+    .with_sparsity(vec![SparsityConfig::HybridSparsity])
+    .with_pruning(prunings);
+    let served = client.explore(&explore_spec).expect("served explore succeeds");
+    let direct = DseDriver::new(config)
+        .expect("valid config")
+        .run(&explore_spec)
+        .expect("direct explore succeeds");
+    assert_eq!(served.total_points, 4, "2 geometries x 2 prunings");
+    assert!(
+        served.results_match(&direct),
+        "served joint exploration diverges from the local DseDriver"
+    );
+
+    client.shutdown().expect("shutdown acknowledged");
+    handle.join().expect("daemon exits cleanly");
+}
+
 /// Repeating a request hits the warm cache: the artifact-build counter does
 /// not move, the hit counter does, and no recompilation happens.
 #[test]
