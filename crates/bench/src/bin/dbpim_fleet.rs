@@ -110,7 +110,7 @@ fn main() {
             print!("{}", render_report(&outcome.report));
             std::io::stdout().flush().ok();
             if let Some(sink) = trace {
-                if let Err(e) = sink.finish() {
+                if let Err(e) = finish_trace(sink, &fleet) {
                     eprintln!("dbpim-fleet: writing the trace failed: {e}");
                 }
             }
@@ -156,6 +156,41 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+/// Writes the run's trace: with remote endpoints, each daemon's span
+/// buffer is drained over the wire, aligned onto the driver's clock via
+/// the ping-handshake offset estimate, and merged under the driver's
+/// spans as its own process lane; an unreachable (or buffer-less) daemon
+/// is warned about and skipped so the driver's own trace always lands.
+fn finish_trace(sink: TraceSink, fleet: &FleetOptions) -> std::io::Result<()> {
+    use std::time::Duration;
+
+    if fleet.endpoints.is_empty() {
+        return sink.finish();
+    }
+    let driver_epoch = sink.collector().epoch_unix_micros();
+    let mut lanes = Vec::new();
+    for endpoint in &fleet.endpoints {
+        match dbpim_fleet::collect_remote_trace(
+            endpoint,
+            fleet.auth_token.as_deref(),
+            Duration::from_secs(5),
+        ) {
+            Ok(remote) => {
+                if remote.snapshot.dropped > 0 {
+                    log_warn!(
+                        "fleet",
+                        "{endpoint} dropped {} spans before collection (raise --trace-buffer)",
+                        remote.snapshot.dropped
+                    );
+                }
+                lanes.push(dbpim_fleet::remote_lane(&remote, driver_epoch));
+            }
+            Err(e) => log_warn!("fleet", "trace collection skipped: {e}"),
+        }
+    }
+    sink.finish_merged(lanes)
 }
 
 /// `--status`: fetch every endpoint's shard registry, aggregate, print.

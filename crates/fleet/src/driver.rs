@@ -681,15 +681,26 @@ impl FleetDriver {
 
             let job =
                 PointJob { point: points[point_index], shard, shard_points: shard_sizes[shard] };
+            let point = point_label(&job.point);
             let point_span = dbpim_trace::span!(
                 "fleet.point",
                 worker = worker,
                 shard = shard,
+                point = point,
                 model = job.point.kind.name(),
                 stolen = stolen,
             );
+            // With a collector installed the open span's id becomes the
+            // parent of whatever the executor does remotely; without one
+            // there is no context and wire requests stay byte-identical
+            // to their untraced form.
+            let trace = point_span.id().map(|id| dbpim_serve::TraceContext {
+                fleet: context.fleet.clone(),
+                point: point.clone(),
+                parent_span: id,
+            });
             let point_start = Instant::now();
-            let executed = executor.run(&job, context);
+            let executed = executor.run(&job, context, trace);
             let point_elapsed = point_start.elapsed();
             drop(point_span);
             match executed {
@@ -788,6 +799,19 @@ impl FleetDriver {
             }
         }
     }
+}
+
+/// Human-readable identity of one DSE point — the `point` field of
+/// propagated trace contexts and `fleet.point` spans (a label for
+/// correlation, not the exactly-once bookkeeping key).
+fn point_label(point: &DsePoint) -> String {
+    format!(
+        "{}/{}@{}x{}",
+        point.kind.name(),
+        point.width,
+        point.arch.macros,
+        point.arch.rows_per_dbmu
+    )
 }
 
 /// A shard's persisted report: the full spec, the shard's entries (sorted

@@ -65,6 +65,7 @@ pub mod driver;
 pub mod options;
 pub mod progress;
 pub mod shard;
+pub mod trace;
 mod worker;
 
 pub use driver::{
@@ -73,4 +74,5 @@ pub use driver::{
 pub use options::FleetOptions;
 pub use progress::{FleetProgress, ShardProgress};
 pub use shard::{point_cost, Shard, ShardPlan, ShardStrategy};
+pub use trace::{collect_remote_trace, remote_lane, RemoteTrace};
 pub use worker::WorkerSpec;

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use db_pim::{BatchRunner, DseEntry, DsePoint, DseSpec};
-use dbpim_serve::{Client, ShardAnnotation};
+use dbpim_serve::{Client, ShardAnnotation, TraceContext};
 use dbpim_sim::{ArchGrid, SparsityConfig};
 
 /// Where one fleet worker executes its points.
@@ -66,8 +66,17 @@ pub(crate) struct JobContext {
 /// (pipeline vs. client) do not unify.
 pub(crate) trait PointExecutor {
     /// Executes one point. An `Err` marks the attempt failed; the driver
-    /// requeues the point and decides the worker's fate.
-    fn run(&mut self, job: &PointJob, context: &JobContext) -> Result<DseEntry, String>;
+    /// requeues the point and decides the worker's fate. The trace context
+    /// (present only while a collector is installed) identifies the
+    /// driver-side `fleet.point` span; remote backends propagate it on the
+    /// wire so the daemon's `serve.request` span nests under it in a
+    /// merged fleet trace.
+    fn run(
+        &mut self,
+        job: &PointJob,
+        context: &JobContext,
+        trace: Option<TraceContext>,
+    ) -> Result<DseEntry, String>;
 
     /// Cheap liveness probe after failures: `Ok` lets the worker keep
     /// claiming points, `Err` retires it.
@@ -80,7 +89,14 @@ pub(crate) struct LocalExecutor {
 }
 
 impl PointExecutor for LocalExecutor {
-    fn run(&mut self, job: &PointJob, context: &JobContext) -> Result<DseEntry, String> {
+    fn run(
+        &mut self,
+        job: &PointJob,
+        context: &JobContext,
+        // In-process execution already happens *inside* the driver's
+        // fleet.point span; there is nothing to propagate.
+        _trace: Option<TraceContext>,
+    ) -> Result<DseEntry, String> {
         let point = job.point;
         self.runner
             .run_point_pruned(
@@ -162,7 +178,12 @@ impl RemoteExecutor {
 }
 
 impl PointExecutor for RemoteExecutor {
-    fn run(&mut self, job: &PointJob, context: &JobContext) -> Result<DseEntry, String> {
+    fn run(
+        &mut self,
+        job: &PointJob,
+        context: &JobContext,
+        trace: Option<TraceContext>,
+    ) -> Result<DseEntry, String> {
         let spec = Self::single_point_spec(job, context);
         let annotation = ShardAnnotation {
             fleet: context.fleet.clone(),
@@ -172,10 +193,11 @@ impl PointExecutor for RemoteExecutor {
         };
         let deadline_ms = u64::try_from(self.timeout.as_millis()).unwrap_or(u64::MAX);
         let addr = self.addr.clone();
-        let outcome = self.client()?.explore_streaming_with(
+        let outcome = self.client()?.explore_streaming_traced(
             &spec,
             Some(deadline_ms),
             Some(annotation),
+            trace,
             |_, _| {},
         );
         match outcome {

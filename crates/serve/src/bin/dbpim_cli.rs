@@ -28,6 +28,11 @@
 //!       [--fidelity]           request fidelity where defined
 //!   stats                      daemon counters, queue depths, rejection
 //!                              counts, per-request latency + cache stats
+//!       [--watch <secs>]       re-poll every <secs> seconds and print a
+//!                              delta/rate line per interval (req/s,
+//!                              rejection rates) until interrupted
+//!   metrics                    the daemon's full metrics registry in the
+//!                              Prometheus text exposition format
 //!   shard-status               progress of shard-tagged fleet explorations
 //!   shutdown                   stop the daemon
 //!
@@ -55,11 +60,11 @@ use dbpim_serve::{Client, RunQuery};
 use dbpim_sim::{ArchGrid, SparsityConfig};
 
 const USAGE: &str = "usage: dbpim-cli [--addr <ip>] [--port <u16>] [--auth-token <secret>] \
-     <ping|models|run|sweep|explore|stats|shard-status|shutdown> [--model <name>] \
+     <ping|models|run|sweep|explore|stats|metrics|shard-status|shutdown> [--model <name>] \
      [--models a,b,c] [--sparsity <name>] [--operand-width <4|8|12|16>] [--widths 4,8,...] \
      [--pruning none,0.3,s0.5,...] \
      [--macros a,b] [--compartments a,b] [--dbmus a,b] [--rows a,b] [--freqs a,b] \
-     [--deadline-ms <n>] [--fidelity] [--trace-out <path>] \
+     [--deadline-ms <n>] [--fidelity] [--watch <secs>] [--trace-out <path>] \
      [--log-level <error|warn|info|debug>]";
 
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +75,7 @@ enum Command {
     Sweep,
     Explore,
     Stats,
+    Metrics,
     ShardStatus,
     Shutdown,
 }
@@ -93,10 +99,11 @@ struct CliOptions {
     deadline_ms: Option<u64>,
     auth_token: Option<String>,
     fidelity: bool,
+    watch: Option<u64>,
 }
 
 impl CliOptions {
-    const VALUE_FLAGS: [&'static str; 15] = [
+    const VALUE_FLAGS: [&'static str; 16] = [
         "--addr",
         "--port",
         "--model",
@@ -112,6 +119,7 @@ impl CliOptions {
         "--freqs",
         "--deadline-ms",
         "--auth-token",
+        "--watch",
     ];
 
     fn from_slice(args: &[String]) -> Result<Self, OptionsError> {
@@ -133,6 +141,7 @@ impl CliOptions {
             deadline_ms: None,
             auth_token: None,
             fidelity: false,
+            watch: None,
         };
         let mut command = None;
         let mut i = 0;
@@ -160,6 +169,7 @@ impl CliOptions {
                         "sweep" => Some(Command::Sweep),
                         "explore" => Some(Command::Explore),
                         "stats" => Some(Command::Stats),
+                        "metrics" => Some(Command::Metrics),
                         "shard-status" => Some(Command::ShardStatus),
                         "shutdown" => Some(Command::Shutdown),
                         _ => None,
@@ -188,14 +198,16 @@ impl CliOptions {
                 "--freqs" => options.freqs = Some(parse_list(arg, raw)?),
                 "--deadline-ms" => options.deadline_ms = Some(parse_value(arg, raw)?),
                 "--auth-token" => options.auth_token = Some(raw.clone()),
+                // Zero would busy-poll the daemon; clamp like `--threads 0`.
+                "--watch" => options.watch = Some(parse_value::<u64>(arg, raw)?.max(1)),
                 _ => unreachable!("flag list and match arms agree"),
             }
             i += 2;
         }
         options.command = command.ok_or_else(|| OptionsError {
             flag: "<command>".to_string(),
-            message: "expected one of: ping, models, run, sweep, explore, stats, shard-status, \
-                      shutdown"
+            message: "expected one of: ping, models, run, sweep, explore, stats, metrics, \
+                      shard-status, shutdown"
                 .to_string(),
         })?;
         if options.command == Command::Run && options.model.is_none() {
@@ -322,6 +334,86 @@ fn print_explore(report: &db_pim::DseReport) {
                 .collect();
             println!("pareto[{} / {}]: {}", kind.name(), sparsity, labels.join(", "));
         }
+    }
+}
+
+fn print_stats(stats: &dbpim_serve::ServerStats) {
+    println!("requests:             {}", stats.requests);
+    println!("errors:               {}", stats.errors);
+    println!("connections:          {}", stats.connections);
+    println!("active connections:   {}", stats.active_connections);
+    println!("queued connections:   {}", stats.queued_connections);
+    println!("rejected overloaded:  {}", stats.rejected_overloaded);
+    println!("rejected unauthorized:{}", stats.rejected_unauthorized);
+    println!("rejected frames:      {}", stats.rejected_frames);
+    println!("uptime:               {:?}", stats.uptime);
+    println!("artifact hits:        {}", stats.cache.artifact_hits);
+    println!("artifact misses:      {}", stats.cache.artifact_misses);
+    println!("program hits:         {}", stats.cache.program_hits);
+    println!("program misses:       {}", stats.cache.program_misses);
+    println!("resident artifacts:   {}", stats.cache.resident_artifacts);
+    println!("artifact evictions:   {}", stats.cache.artifact_evictions);
+    if !stats.latency.is_empty() {
+        println!("| request | count | mean us | p50 us | p99 us | max us |");
+        println!("|---|---|---|---|---|---|");
+        for entry in &stats.latency {
+            let h = &entry.histogram;
+            println!(
+                "| {} | {} | {:.1} | {} | {} | {} |",
+                entry.request,
+                h.count,
+                h.mean_micros(),
+                h.percentile_micros(0.5),
+                h.percentile_micros(0.99),
+                h.max_micros,
+            );
+        }
+    }
+}
+
+/// One `--watch` interval as a delta/rate line: what changed since the
+/// previous poll, normalized to per-second rates where throughput is the
+/// interesting unit. A pure function of two snapshots so it is testable
+/// without a daemon.
+fn render_stats_delta(
+    prev: &dbpim_serve::ServerStats,
+    curr: &dbpim_serve::ServerStats,
+    interval_secs: u64,
+) -> String {
+    let secs = interval_secs.max(1) as f64;
+    let delta = |c: u64, p: u64| c.saturating_sub(p);
+    let requests = delta(curr.requests, prev.requests);
+    let errors = delta(curr.errors, prev.errors);
+    let connections = delta(curr.connections, prev.connections);
+    let rejected = delta(curr.rejected_overloaded, prev.rejected_overloaded)
+        + delta(curr.rejected_unauthorized, prev.rejected_unauthorized)
+        + delta(curr.rejected_frames, prev.rejected_frames);
+    format!(
+        "+{requests} req ({:.1}/s) | +{errors} err | +{connections} conn | \
+         +{rejected} rejected ({:.1}/s) | active {} | queued {}\n",
+        requests as f64 / secs,
+        rejected as f64 / secs,
+        curr.active_connections,
+        curr.queued_connections,
+    )
+}
+
+/// `stats --watch <secs>`: print the absolute snapshot once, then one
+/// delta/rate line per interval until interrupted (or the daemon goes
+/// away, which surfaces as the client error).
+fn watch_stats(client: &mut Client, interval_secs: u64) -> Result<(), dbpim_serve::ClientError> {
+    use std::io::Write as _;
+
+    let interval = Duration::from_secs(interval_secs.max(1));
+    let mut prev = client.stats()?;
+    print_stats(&prev);
+    std::io::stdout().flush().ok();
+    loop {
+        std::thread::sleep(interval);
+        let curr = client.stats()?;
+        print!("{}", render_stats_delta(&prev, &curr, interval_secs));
+        std::io::stdout().flush().ok();
+        prev = curr;
     }
 }
 
@@ -467,38 +559,12 @@ fn main() {
                 })
                 .map(|report| print_explore(&report))
         }
-        Command::Stats => client.stats().map(|stats| {
-            println!("requests:             {}", stats.requests);
-            println!("errors:               {}", stats.errors);
-            println!("connections:          {}", stats.connections);
-            println!("active connections:   {}", stats.active_connections);
-            println!("queued connections:   {}", stats.queued_connections);
-            println!("rejected overloaded:  {}", stats.rejected_overloaded);
-            println!("rejected unauthorized:{}", stats.rejected_unauthorized);
-            println!("rejected frames:      {}", stats.rejected_frames);
-            println!("uptime:               {:?}", stats.uptime);
-            println!("artifact hits:        {}", stats.cache.artifact_hits);
-            println!("artifact misses:      {}", stats.cache.artifact_misses);
-            println!("program hits:         {}", stats.cache.program_hits);
-            println!("program misses:       {}", stats.cache.program_misses);
-            println!("resident artifacts:   {}", stats.cache.resident_artifacts);
-            println!("artifact evictions:   {}", stats.cache.artifact_evictions);
-            if !stats.latency.is_empty() {
-                println!("| request | count | mean us | p50 us | p99 us | max us |");
-                println!("|---|---|---|---|---|---|");
-                for entry in &stats.latency {
-                    let h = &entry.histogram;
-                    println!(
-                        "| {} | {} | {:.1} | {} | {} | {} |",
-                        entry.request,
-                        h.count,
-                        h.mean_micros(),
-                        h.percentile_micros(0.5),
-                        h.percentile_micros(0.99),
-                        h.max_micros,
-                    );
-                }
-            }
+        Command::Stats => match options.watch {
+            Some(secs) => watch_stats(&mut client, secs),
+            None => client.stats().map(|stats| print_stats(&stats)),
+        },
+        Command::Metrics => client.metrics_snapshot().map(|metrics| {
+            print!("{}", metrics.render_prometheus());
         }),
         Command::ShardStatus => client.shard_statuses().map(|shards| {
             if shards.is_empty() {
@@ -635,6 +701,61 @@ mod tests {
         let err = CliOptions::from_slice(&args(&["stats", "--auth-token"])).unwrap_err();
         assert_eq!(err.flag, "--auth-token");
         assert!(err.to_string().contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn metrics_and_watch_parse_strictly() {
+        let options = CliOptions::from_slice(&args(&["metrics", "--port", "7641"])).unwrap();
+        assert_eq!(options.command, Command::Metrics);
+        assert_eq!(options.port, 7641);
+
+        let options = CliOptions::from_slice(&args(&["stats", "--watch", "5"])).unwrap();
+        assert_eq!(options.command, Command::Stats);
+        assert_eq!(options.watch, Some(5));
+        // Zero would busy-poll; clamped like the other zero-able knobs.
+        let options = CliOptions::from_slice(&args(&["stats", "--watch", "0"])).unwrap();
+        assert_eq!(options.watch, Some(1));
+        assert_eq!(CliOptions::from_slice(&args(&["stats"])).unwrap().watch, None);
+
+        let err = CliOptions::from_slice(&args(&["stats", "--watch", "soon"])).unwrap_err();
+        assert_eq!(err.flag, "--watch");
+        let err = CliOptions::from_slice(&args(&["stats", "--watch"])).unwrap_err();
+        assert_eq!(err.flag, "--watch");
+        assert!(err.to_string().contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn stats_deltas_render_rates_per_interval() {
+        let base = dbpim_serve::ServerStats {
+            requests: 100,
+            errors: 2,
+            connections: 10,
+            uptime: Duration::from_secs(60),
+            cache: Default::default(),
+            active_connections: 1,
+            queued_connections: 0,
+            rejected_overloaded: 4,
+            rejected_unauthorized: 1,
+            rejected_frames: 0,
+            latency: Vec::new(),
+        };
+        let mut later = base.clone();
+        later.requests = 150;
+        later.errors = 3;
+        later.connections = 12;
+        later.rejected_overloaded = 6;
+        later.rejected_frames = 1;
+        later.active_connections = 3;
+        later.queued_connections = 2;
+
+        let line = render_stats_delta(&base, &later, 10);
+        assert_eq!(
+            line,
+            "+50 req (5.0/s) | +1 err | +2 conn | +3 rejected (0.3/s) | active 3 | queued 2\n"
+        );
+        // A counter-reset (daemon restart) renders as zero, not underflow.
+        let line = render_stats_delta(&later, &base, 10);
+        assert!(line.starts_with("+0 req (0.0/s)"), "{line}");
     }
 
     #[test]

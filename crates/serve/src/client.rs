@@ -17,7 +17,7 @@ use dbpim_sim::SparsityConfig;
 
 use crate::protocol::{
     read_message, write_message, ErrorResponse, Request, Response, ServerStats, ShardAnnotation,
-    ShardStatus, WireError, PROTOCOL_VERSION,
+    ShardStatus, TraceContext, WireError, PROTOCOL_VERSION,
 };
 
 /// A client-side failure.
@@ -127,6 +127,9 @@ impl RunQuery {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Estimated daemon-clock minus client-clock offset in microseconds,
+    /// captured by the last [`Client::ping`] (NTP-style midpoint estimate).
+    clock_offset_micros: Option<i64>,
 }
 
 impl Client {
@@ -139,7 +142,7 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         let writer = stream.try_clone()?;
-        Ok(Self { reader: BufReader::new(stream), writer })
+        Ok(Self { reader: BufReader::new(stream), writer, clock_offset_micros: None })
     }
 
     /// [`connect`](Self::connect) with a connection timeout (tries every
@@ -158,7 +161,11 @@ impl Client {
                 Ok(stream) => {
                     stream.set_nodelay(true).ok();
                     let writer = stream.try_clone()?;
-                    return Ok(Self { reader: BufReader::new(stream), writer });
+                    return Ok(Self {
+                        reader: BufReader::new(stream),
+                        writer,
+                        clock_offset_micros: None,
+                    });
                 }
                 Err(e) => last = Some(e),
             }
@@ -202,17 +209,42 @@ impl Client {
 
     /// Pings the daemon; checks the protocol version and returns it.
     ///
+    /// As a side effect, estimates the daemon's clock offset from the
+    /// server timestamp in the pong (NTP-style: the server clock is read
+    /// against the midpoint of the request/response interval) and stores
+    /// it for [`clock_offset_micros`](Self::clock_offset_micros).
+    ///
     /// # Errors
     ///
     /// Fails on connection problems or a version mismatch.
     pub fn ping(&mut self) -> Result<u32, ClientError> {
-        match self.round_trip(&Request::Ping)? {
-            Response::Pong { version } if version == PROTOCOL_VERSION => Ok(version),
-            Response::Pong { version } => Err(ClientError::Protocol(format!(
+        let sent = dbpim_trace::unix_micros_now();
+        let response = self.round_trip(&Request::Ping)?;
+        let received = dbpim_trace::unix_micros_now();
+        match response {
+            Response::Pong { version, server_time_micros } if version == PROTOCOL_VERSION => {
+                if let Some(server) = server_time_micros {
+                    let midpoint = i64::try_from(sent / 2 + received / 2).unwrap_or(i64::MAX);
+                    let server = i64::try_from(server).unwrap_or(i64::MAX);
+                    self.clock_offset_micros = Some(server - midpoint);
+                }
+                Ok(version)
+            }
+            Response::Pong { version, .. } => Err(ClientError::Protocol(format!(
                 "server speaks protocol v{version}, this client v{PROTOCOL_VERSION}"
             ))),
             other => Err(unexpected("Pong", &other)),
         }
+    }
+
+    /// The daemon-clock minus client-clock offset (microseconds) the last
+    /// [`ping`](Self::ping) estimated; `None` before any ping. Accuracy is
+    /// bounded by half the ping round-trip time — plenty for aligning
+    /// millisecond-scale spans in a merged trace, not for profiling the
+    /// wire itself.
+    #[must_use]
+    pub fn clock_offset_micros(&self) -> Option<i64> {
+        self.clock_offset_micros
     }
 
     /// Presents the daemon's shared secret ([`Request::Auth`]). Required
@@ -258,6 +290,7 @@ impl Client {
             arch: query.arch,
             fidelity: query.fidelity,
             deadline_ms: query.deadline_ms,
+            trace: None,
         };
         match self.round_trip(&request)? {
             Response::RunResult { entry } => Ok(entry),
@@ -305,7 +338,7 @@ impl Client {
         deadline_ms: Option<u64>,
         mut on_entry: impl FnMut(usize, &SweepEntry),
     ) -> Result<SweepReport, ClientError> {
-        self.send(&Request::Sweep { spec: spec.clone(), fidelity, deadline_ms })?;
+        self.send(&Request::Sweep { spec: spec.clone(), fidelity, deadline_ms, trace: None })?;
         let expected = match self.recv()? {
             Response::SweepStarted { entries } => entries,
             Response::Error { error } => return Err(ClientError::Server(error)),
@@ -381,9 +414,30 @@ impl Client {
         spec: &DseSpec,
         deadline_ms: Option<u64>,
         shard: Option<ShardAnnotation>,
+        on_entry: impl FnMut(usize, &DseEntry),
+    ) -> Result<DseReport, ClientError> {
+        self.explore_streaming_traced(spec, deadline_ms, shard, None, on_entry)
+    }
+
+    /// [`explore_streaming_with`](Self::explore_streaming_with) plus the
+    /// protocol-v5 distributed-tracing context: when `trace` is present,
+    /// the daemon opens its `serve.request` span as a child of the
+    /// caller's, carrying the fleet run and point identity. A `None`
+    /// context leaves the request byte-identical to a v4 one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures and server-side errors (including
+    /// the deadline).
+    pub fn explore_streaming_traced(
+        &mut self,
+        spec: &DseSpec,
+        deadline_ms: Option<u64>,
+        shard: Option<ShardAnnotation>,
+        trace: Option<TraceContext>,
         mut on_entry: impl FnMut(usize, &DseEntry),
     ) -> Result<DseReport, ClientError> {
-        self.send(&Request::Explore { spec: Box::new(spec.clone()), deadline_ms, shard })?;
+        self.send(&Request::Explore { spec: Box::new(spec.clone()), deadline_ms, shard, trace })?;
         let expected = match self.recv()? {
             Response::ExploreStarted { total_points } => total_points,
             Response::Error { error } => return Err(ClientError::Server(error)),
@@ -469,6 +523,36 @@ impl Client {
         match self.round_trip(&Request::ShardStatus)? {
             Response::ShardStatuses { shards } => Ok(shards),
             other => Err(unexpected("ShardStatuses", &other)),
+        }
+    }
+
+    /// Drains the daemon's span collector ([`Request::TraceSnapshot`]):
+    /// the spans recorded since the previous drain, the drop count, the
+    /// daemon's pid and its collector's wall-clock epoch. Empty when the
+    /// daemon traces nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and server failures.
+    pub fn trace_snapshot(&mut self) -> Result<dbpim_trace::CollectorSnapshot, ClientError> {
+        match self.round_trip(&Request::TraceSnapshot)? {
+            Response::TraceSpans { snapshot } => Ok(snapshot),
+            other => Err(unexpected("TraceSpans", &other)),
+        }
+    }
+
+    /// Snapshots the daemon's full metrics registry
+    /// ([`Request::MetricsSnapshot`]): every counter, gauge and histogram
+    /// by name — the surface `dbpim-cli metrics` renders as Prometheus
+    /// text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and server failures.
+    pub fn metrics_snapshot(&mut self) -> Result<dbpim_trace::MetricsSnapshot, ClientError> {
+        match self.round_trip(&Request::MetricsSnapshot)? {
+            Response::Metrics { metrics } => Ok(metrics),
+            other => Err(unexpected("Metrics", &other)),
         }
     }
 

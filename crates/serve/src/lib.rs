@@ -53,6 +53,6 @@ pub use client::{Client, ClientError, RunQuery};
 pub use options::{OptionsError, ServeOptions};
 pub use protocol::{
     ErrorKind, ErrorResponse, Request, RequestLatency, Response, ServerStats, ShardAnnotation,
-    ShardState, ShardStatus, WireError, PROTOCOL_VERSION,
+    ShardState, ShardStatus, TraceContext, WireError, PROTOCOL_VERSION,
 };
 pub use server::{ServeConfig, ServeError, Server, ServerHandle};

@@ -76,6 +76,10 @@ where
 /// --trace-dir <dir> install a trace collector and dump a Chrome trace JSON
 ///                   into <dir> every N requests (default off)
 /// --trace-every <n> requests per --trace-dir dump (default 64)
+/// --trace-buffer <spans>  install a trace collector bounded to <spans>
+///                   spans, held for remote collection via TraceSnapshot
+///                   requests instead of file dumps (default off; ignored
+///                   when --trace-dir is set)
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeOptions {
@@ -103,6 +107,8 @@ pub struct ServeOptions {
     pub trace_dir: Option<PathBuf>,
     /// Requests per `trace_dir` dump.
     pub trace_every: u64,
+    /// Span capacity of the remote-collection trace buffer.
+    pub trace_buffer: Option<usize>,
 }
 
 impl Default for ServeOptions {
@@ -120,13 +126,14 @@ impl Default for ServeOptions {
             log_level: LogLevel::Info,
             trace_dir: None,
             trace_every: ServeConfig::DEFAULT_TRACE_EVERY,
+            trace_buffer: None,
         }
     }
 }
 
 impl ServeOptions {
     /// The flags this parser understands.
-    pub const FLAGS: [&'static str; 17] = [
+    pub const FLAGS: [&'static str; 18] = [
         "--addr",
         "--port",
         "--threads",
@@ -144,6 +151,7 @@ impl ServeOptions {
         "--log-level",
         "--trace-dir",
         "--trace-every",
+        "--trace-buffer",
     ];
 
     /// One-line usage text for the daemon binary.
@@ -152,7 +160,7 @@ impl ServeOptions {
          [--classes <n>] [--operand-width <4|8|12|16>] [--cache-cap <n>] \
          [--auth-token <secret>] [--max-frame-bytes <n>] [--max-pending <n>] \
          [--max-client-conns <n>] [--log-level <error|warn|info|debug>] \
-         [--trace-dir <dir>] [--trace-every <n>]";
+         [--trace-dir <dir>] [--trace-every <n>] [--trace-buffer <spans>]";
 
     /// Parses options from the process arguments, exiting with status 2 and
     /// usage on stderr for a malformed command line.
@@ -214,6 +222,9 @@ impl ServeOptions {
                 "--log-level" => options.log_level = parse_value(flag, raw)?,
                 "--trace-dir" => options.trace_dir = Some(PathBuf::from(raw)),
                 "--trace-every" => options.trace_every = parse_value::<u64>(flag, raw)?.max(1),
+                "--trace-buffer" => {
+                    options.trace_buffer = Some(parse_value::<usize>(flag, raw)?.max(1));
+                }
                 _ => unreachable!("flag list and match arms agree"),
             }
             i += 2;
@@ -237,6 +248,7 @@ impl ServeOptions {
             metrics: None,
             trace_dir: self.trace_dir.clone(),
             trace_every: self.trace_every,
+            trace_buffer: self.trace_buffer,
         }
     }
 }
@@ -360,6 +372,19 @@ mod tests {
                 .unwrap();
         assert_eq!(options.max_frame_bytes, 1);
         assert_eq!(options.max_client_conns, Some(1));
+    }
+
+    #[test]
+    fn trace_buffer_parses_strictly_and_clamps_zero() {
+        let options = ServeOptions::from_slice(&args(&["--trace-buffer", "4096"])).unwrap();
+        assert_eq!(options.trace_buffer, Some(4096));
+        assert_eq!(options.serve_config().trace_buffer, Some(4096));
+        // A zero-span buffer would drop everything it exists to keep.
+        let options = ServeOptions::from_slice(&args(&["--trace-buffer", "0"])).unwrap();
+        assert_eq!(options.trace_buffer, Some(1));
+        let err = ServeOptions::from_slice(&args(&["--trace-buffer", "lots"])).unwrap_err();
+        assert_eq!(err.flag, "--trace-buffer");
+        assert_eq!(ServeOptions::default().trace_buffer, None, "off by default");
     }
 
     #[test]

@@ -49,10 +49,48 @@ use serde::{Deserialize, Serialize};
 /// `--max-frame-bytes`), and the full observability snapshot
 /// ([`Request::Stats`]) with per-request-type latency histograms, queue
 /// depths and rejection counters.
-pub const PROTOCOL_VERSION: u32 = 4;
+///
+/// v5 adds distributed tracing: an optional [`TraceContext`] on
+/// [`Request::RunModel`] / [`Request::Sweep`] / [`Request::Explore`]
+/// (omitted from the wire when absent, so context-free requests stay
+/// byte-identical to v4), the [`Request::TraceSnapshot`] /
+/// [`Request::MetricsSnapshot`] observability pulls answered with
+/// [`Response::TraceSpans`] / [`Response::Metrics`], and a server
+/// wall-clock timestamp on [`Response::Pong`] from which clients estimate
+/// the clock offset to the daemon (the fleet driver uses it to align
+/// remote spans onto its own timeline).
+pub const PROTOCOL_VERSION: u32 = 5;
+
+/// The distributed-tracing context a fleet driver (or any tracing client)
+/// attaches to work requests, so the daemon's `serve.request` span records
+/// *whose* work it executes: the remote span becomes a child of the
+/// driver's `fleet.point` span in the merged trace.
+///
+/// Serialized omit-when-absent on the carrying requests: a `None` context
+/// contributes no bytes, keeping context-free requests byte-identical to
+/// protocol v4.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceContext {
+    /// The fleet run id (`FleetConfig::fleet_id`), shared by every span of
+    /// one distributed run.
+    pub fleet: String,
+    /// Canonical identity of the work unit (a DSE point key such as
+    /// `alexnet/int8/none/4m...`), identical on both sides of the wire.
+    pub point: String,
+    /// Span id of the caller's enclosing span (its process-unique
+    /// `SpanRecord::id`); 0 when the caller traces without a live span.
+    pub parent_span: u64,
+}
 
 /// One client request, one JSON line on the wire.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Serialize` is hand-written (not derived) for one reason: the optional
+/// `trace` field on the work-carrying variants must be *omitted* when
+/// absent — the vendored derive would emit `"trace":null`, changing the
+/// bytes of every v4-era request. Every other field reproduces the derive
+/// encoding exactly (declaration order, externally tagged variants); the
+/// round-trip tests below pin that equivalence.
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub enum Request {
     /// Liveness / version probe.
     Ping,
@@ -87,6 +125,8 @@ pub enum Request {
         /// to completion. `None` (and omitted on the wire) means no
         /// deadline.
         deadline_ms: Option<u64>,
+        /// Distributed-tracing context; omitted from the wire when `None`.
+        trace: Option<TraceContext>,
     },
     /// Run a full sweep; results stream incrementally.
     Sweep {
@@ -98,6 +138,8 @@ pub enum Request {
         /// [`ErrorKind::DeadlineExceeded`] error once it expires (already
         /// streamed entries stand). `None` means no deadline.
         deadline_ms: Option<u64>,
+        /// Distributed-tracing context; omitted from the wire when `None`.
+        trace: Option<TraceContext>,
     },
     /// Run a design-space exploration; grid entries stream incrementally
     /// from the daemon's warm artifact cache.
@@ -113,6 +155,8 @@ pub enum Request {
         /// stream's progress under this shard so [`Request::ShardStatus`]
         /// can report it.
         shard: Option<ShardAnnotation>,
+        /// Distributed-tracing context; omitted from the wire when `None`.
+        trace: Option<TraceContext>,
     },
     /// Snapshot the daemon's request counters and warm-cache statistics.
     CacheStats,
@@ -126,8 +170,91 @@ pub enum Request {
     /// has served (see [`ShardAnnotation`]); the fleet CLI polls this to
     /// watch a sharded sweep.
     ShardStatus,
+    /// Drain the daemon's installed trace collector over the wire
+    /// (answered with [`Response::TraceSpans`]): the spans recorded since
+    /// the previous drain, the drop count and the clock anchor a merger
+    /// needs. A daemon without a collector answers an empty snapshot.
+    TraceSnapshot,
+    /// Snapshot the daemon's full metrics registry — every counter, gauge
+    /// and histogram by name — answered with [`Response::Metrics`]. Unlike
+    /// [`Request::Stats`] this is the raw registry, the surface the
+    /// Prometheus renderer consumes.
+    MetricsSnapshot,
     /// Stop accepting connections and exit the daemon.
     Shutdown,
+}
+
+impl Request {
+    /// The distributed-tracing context this request carries, if any.
+    #[must_use]
+    pub fn trace_context(&self) -> Option<&TraceContext> {
+        match self {
+            Request::RunModel { trace, .. }
+            | Request::Sweep { trace, .. }
+            | Request::Explore { trace, .. } => trace.as_ref(),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for Request {
+    fn to_value(&self) -> serde::value::Value {
+        use serde::value::Value;
+        // Mirrors the derive's externally-tagged encoding field-for-field
+        // (declaration order), except that a `None` trace context is
+        // omitted instead of serialized as `null` — see the type docs.
+        let variant = |name: &str, fields: Vec<(String, Value)>| {
+            Value::Map(vec![(name.to_string(), Value::Map(fields))])
+        };
+        let push_trace = |fields: &mut Vec<(String, Value)>, trace: &Option<TraceContext>| {
+            if let Some(context) = trace {
+                fields.push(("trace".to_string(), context.to_value()));
+            }
+        };
+        match self {
+            Request::Ping => Value::Str("Ping".to_string()),
+            Request::Auth { token } => {
+                variant("Auth", vec![("token".to_string(), token.to_value())])
+            }
+            Request::ListModels => Value::Str("ListModels".to_string()),
+            Request::RunModel { model, sparsity, width, arch, fidelity, deadline_ms, trace } => {
+                let mut fields = vec![
+                    ("model".to_string(), model.to_value()),
+                    ("sparsity".to_string(), sparsity.to_value()),
+                    ("width".to_string(), width.to_value()),
+                    ("arch".to_string(), arch.to_value()),
+                    ("fidelity".to_string(), fidelity.to_value()),
+                    ("deadline_ms".to_string(), deadline_ms.to_value()),
+                ];
+                push_trace(&mut fields, trace);
+                variant("RunModel", fields)
+            }
+            Request::Sweep { spec, fidelity, deadline_ms, trace } => {
+                let mut fields = vec![
+                    ("spec".to_string(), spec.to_value()),
+                    ("fidelity".to_string(), fidelity.to_value()),
+                    ("deadline_ms".to_string(), deadline_ms.to_value()),
+                ];
+                push_trace(&mut fields, trace);
+                variant("Sweep", fields)
+            }
+            Request::Explore { spec, deadline_ms, shard, trace } => {
+                let mut fields = vec![
+                    ("spec".to_string(), spec.to_value()),
+                    ("deadline_ms".to_string(), deadline_ms.to_value()),
+                    ("shard".to_string(), shard.to_value()),
+                ];
+                push_trace(&mut fields, trace);
+                variant("Explore", fields)
+            }
+            Request::CacheStats => Value::Str("CacheStats".to_string()),
+            Request::Stats => Value::Str("Stats".to_string()),
+            Request::ShardStatus => Value::Str("ShardStatus".to_string()),
+            Request::TraceSnapshot => Value::Str("TraceSnapshot".to_string()),
+            Request::MetricsSnapshot => Value::Str("MetricsSnapshot".to_string()),
+            Request::Shutdown => Value::Str("Shutdown".to_string()),
+        }
+    }
 }
 
 /// The fleet-orchestration tag a sharded exploration request carries so a
@@ -275,6 +402,12 @@ pub enum Response {
     Pong {
         /// The server's wire-protocol version.
         version: u32,
+        /// The server's wall clock when it handled the ping, as unix time
+        /// in microseconds. A client that timestamps the request/response
+        /// pair estimates its clock offset to the daemon from this
+        /// (NTP-style: `server − (send + receive)/2`); the fleet's merged
+        /// trace uses that offset to align remote spans.
+        server_time_micros: Option<u64>,
     },
     /// Answer to a successful [`Request::Auth`].
     AuthOk,
@@ -341,6 +474,18 @@ pub enum Response {
     ShardStatuses {
         /// The progress snapshot.
         shards: Vec<ShardStatus>,
+    },
+    /// Answer to [`Request::TraceSnapshot`]: the daemon's drained span
+    /// collector (empty when no collector is installed).
+    TraceSpans {
+        /// The drained spans plus the clock anchor and drop accounting.
+        snapshot: dbpim_trace::CollectorSnapshot,
+    },
+    /// Answer to [`Request::MetricsSnapshot`]: the daemon's full metrics
+    /// registry.
+    Metrics {
+        /// Every counter, gauge and histogram by name.
+        metrics: dbpim_trace::MetricsSnapshot,
     },
     /// Answer to [`Request::Shutdown`]; the daemon exits after sending it.
     ShuttingDown,
@@ -429,6 +574,8 @@ mod tests {
         round_trip(&Request::Stats);
         round_trip(&Request::Shutdown);
         round_trip(&Request::ShardStatus);
+        round_trip(&Request::TraceSnapshot);
+        round_trip(&Request::MetricsSnapshot);
         round_trip(&Request::RunModel {
             model: ModelKind::AlexNet,
             sparsity: Some(SparsityConfig::HybridSparsity),
@@ -436,6 +583,7 @@ mod tests {
             arch: Some(ArchConfig::paper()),
             fidelity: true,
             deadline_ms: Some(2_500),
+            trace: None,
         });
         round_trip(&Request::RunModel {
             model: ModelKind::EfficientNetB0,
@@ -444,11 +592,17 @@ mod tests {
             arch: None,
             fidelity: false,
             deadline_ms: None,
+            trace: Some(TraceContext {
+                fleet: "fleet-20260808".to_string(),
+                point: "efficientnet-b0/int8".to_string(),
+                parent_span: 42,
+            }),
         });
         round_trip(&Request::Sweep {
             spec: SweepSpec::zoo().with_widths(vec![OperandWidth::Int4, OperandWidth::Int16]),
             fidelity: true,
             deadline_ms: Some(60_000),
+            trace: None,
         });
         round_trip(&Request::Explore {
             spec: Box::new(
@@ -468,12 +622,113 @@ mod tests {
                 of: 4,
                 points: 12,
             }),
+            trace: Some(TraceContext {
+                fleet: "fleet-20260731".to_string(),
+                point: "alexnet/int4/4m".to_string(),
+                parent_span: 0,
+            }),
         });
     }
 
     #[test]
+    fn context_free_requests_stay_byte_identical_to_v4() {
+        // The hand-written Serialize must reproduce the v4 derive output
+        // exactly when no trace context rides along — the exact byte
+        // strings a v4 driver put on the wire.
+        let run = Request::RunModel {
+            model: ModelKind::AlexNet,
+            sparsity: None,
+            width: None,
+            arch: None,
+            fidelity: false,
+            deadline_ms: None,
+            trace: None,
+        };
+        assert_eq!(
+            serde_json::to_string(&run).unwrap(),
+            "{\"RunModel\":{\"model\":\"AlexNet\",\"sparsity\":null,\"width\":null,\
+             \"arch\":null,\"fidelity\":false,\"deadline_ms\":null}}"
+        );
+        let sweep = Request::Sweep {
+            spec: SweepSpec::new(vec![ModelKind::AlexNet]),
+            fidelity: false,
+            deadline_ms: None,
+            trace: None,
+        };
+        let sweep_json = serde_json::to_string(&sweep).unwrap();
+        assert!(!sweep_json.contains("trace"), "{sweep_json}");
+        assert!(sweep_json.ends_with("\"fidelity\":false,\"deadline_ms\":null}}"), "{sweep_json}");
+        let explore = Request::Explore {
+            spec: Box::new(DseSpec::new(
+                dbpim_sim::ArchGrid::around(ArchConfig::paper()),
+                vec![ModelKind::AlexNet],
+            )),
+            deadline_ms: Some(5),
+            shard: None,
+            trace: None,
+        };
+        let explore_json = serde_json::to_string(&explore).unwrap();
+        assert!(!explore_json.contains("trace"), "{explore_json}");
+        assert!(explore_json.ends_with("\"deadline_ms\":5,\"shard\":null}}"), "{explore_json}");
+
+        // With a context, `trace` is appended as the last field and round
+        // trips; without one, parsing v4 bytes yields `trace: None` (see
+        // `missing_optional_fields_default_to_none`).
+        let traced = Request::Explore {
+            spec: match &explore {
+                Request::Explore { spec, .. } => spec.clone(),
+                _ => unreachable!(),
+            },
+            deadline_ms: Some(5),
+            shard: None,
+            trace: Some(TraceContext {
+                fleet: "fleet-x".to_string(),
+                point: "alexnet/int8".to_string(),
+                parent_span: 9,
+            }),
+        };
+        let traced_json = serde_json::to_string(&traced).unwrap();
+        assert!(
+            traced_json.ends_with(
+                "\"trace\":{\"fleet\":\"fleet-x\",\"point\":\"alexnet/int8\",\
+                 \"parent_span\":9}}}"
+            ),
+            "{traced_json}"
+        );
+    }
+
+    #[test]
     fn responses_round_trip_through_the_wire_encoding() {
-        round_trip(&Response::Pong { version: PROTOCOL_VERSION });
+        round_trip(&Response::Pong {
+            version: PROTOCOL_VERSION,
+            server_time_micros: Some(1_750_000_000_000_000),
+        });
+        round_trip(&Response::Pong { version: PROTOCOL_VERSION, server_time_micros: None });
+        round_trip(&Response::TraceSpans {
+            snapshot: dbpim_trace::CollectorSnapshot {
+                epoch_unix_micros: 1_750_000_000_000_000,
+                pid: 4242,
+                dropped: 3,
+                spans: vec![dbpim_trace::TraceSpan {
+                    id: 17,
+                    name: "serve.request".to_string(),
+                    thread: 2,
+                    depth: 0,
+                    start_micros: 1_000,
+                    duration_micros: 250,
+                    args: vec![("kind".to_string(), "Explore".to_string())],
+                }],
+            },
+        });
+        round_trip(&Response::Metrics {
+            metrics: {
+                let registry = dbpim_trace::MetricsRegistry::new();
+                registry.add("serve.requests", 9);
+                registry.set_gauge("serve.active-connections", 1);
+                registry.observe_micros("serve.latency.Ping", 120);
+                registry.snapshot()
+            },
+        });
         round_trip(&Response::Models { models: ModelKind::all().to_vec() });
         round_trip(&Response::SweepStarted { entries: 20 });
         round_trip(&Response::SweepFinished {
@@ -562,6 +817,11 @@ mod tests {
     fn unit_variants_use_the_compact_string_encoding() {
         assert_eq!(serde_json::to_string(&Request::Ping).unwrap(), "\"Ping\"");
         assert_eq!(serde_json::to_string(&Request::Stats).unwrap(), "\"Stats\"");
+        assert_eq!(serde_json::to_string(&Request::TraceSnapshot).unwrap(), "\"TraceSnapshot\"");
+        assert_eq!(
+            serde_json::to_string(&Request::MetricsSnapshot).unwrap(),
+            "\"MetricsSnapshot\""
+        );
         assert_eq!(serde_json::to_string(&Request::Shutdown).unwrap(), "\"Shutdown\"");
         assert_eq!(serde_json::to_string(&Response::AuthOk).unwrap(), "\"AuthOk\"");
         assert_eq!(serde_json::to_string(&Response::ShuttingDown).unwrap(), "\"ShuttingDown\"");
@@ -582,6 +842,7 @@ mod tests {
                 arch: None,
                 fidelity: false,
                 deadline_ms: None,
+                trace: None,
             }
         );
         // A v2 client's Explore (no deadline, no shard tag) still parses.
@@ -593,8 +854,12 @@ mod tests {
         let request: Request = serde_json::from_str(&v2).expect("v2 Explore still parses");
         assert_eq!(
             request,
-            Request::Explore { spec: Box::new(spec), deadline_ms: None, shard: None }
+            Request::Explore { spec: Box::new(spec), deadline_ms: None, shard: None, trace: None }
         );
+        // A v4 Pong (no server timestamp) still parses.
+        let pong: Response =
+            serde_json::from_str("{\"Pong\":{\"version\":4}}").expect("v4 Pong still parses");
+        assert_eq!(pong, Response::Pong { version: 4, server_time_micros: None });
     }
 
     #[test]

@@ -62,7 +62,7 @@ const MAX_TRACKED_SHARDS: usize = 256;
 
 /// Request variant names, in the order the latency registry indexes them
 /// (see [`request_type_index`]).
-const REQUEST_TYPES: [&str; 10] = [
+const REQUEST_TYPES: [&str; 12] = [
     "Ping",
     "Auth",
     "ListModels",
@@ -72,6 +72,8 @@ const REQUEST_TYPES: [&str; 10] = [
     "CacheStats",
     "Stats",
     "ShardStatus",
+    "TraceSnapshot",
+    "MetricsSnapshot",
     "Shutdown",
 ];
 
@@ -104,7 +106,9 @@ fn request_type_index(request: &Request) -> usize {
         Request::CacheStats => 6,
         Request::Stats => 7,
         Request::ShardStatus => 8,
-        Request::Shutdown => 9,
+        Request::TraceSnapshot => 9,
+        Request::MetricsSnapshot => 10,
+        Request::Shutdown => 11,
     }
 }
 
@@ -190,6 +194,11 @@ pub struct ServeConfig {
     pub trace_dir: Option<PathBuf>,
     /// How many requests each `trace_dir` dump covers.
     pub trace_every: u64,
+    /// When set (and `trace_dir` is not), the daemon installs a
+    /// process-global trace collector bounded to this many spans *without*
+    /// periodic file dumping — the buffer is held for remote collection
+    /// via [`Request::TraceSnapshot`], which drains it over the wire.
+    pub trace_buffer: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -207,6 +216,7 @@ impl Default for ServeConfig {
             metrics: None,
             trace_dir: None,
             trace_every: ServeConfig::DEFAULT_TRACE_EVERY,
+            trace_buffer: None,
         }
     }
 }
@@ -476,7 +486,15 @@ impl Server {
                 dbpim_trace::install(Arc::clone(&collector));
                 Some(TraceDump { dir, every: config.trace_every.max(1), collector })
             }
-            None => None,
+            None => {
+                if let Some(capacity) = config.trace_buffer {
+                    // Buffer-only mode: spans accumulate in the bounded ring
+                    // until a TraceSnapshot request drains them over the
+                    // wire; no file ever hits disk.
+                    dbpim_trace::install(Arc::new(TraceCollector::with_capacity(capacity)));
+                }
+                None
+            }
         };
         Ok(Self {
             listener,
@@ -826,7 +844,20 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         let disconnect = match serde_json::from_str::<Request>(text) {
             Ok(request) => {
                 let type_index = request_type_index(&request);
-                let _span = dbpim_trace::span!("serve.request", kind = REQUEST_TYPES[type_index]);
+                // A request carrying a propagated trace context opens its
+                // span as a child of the driver's fleet.point span, so the
+                // merged fleet trace can correlate remote execution with
+                // the dispatch that caused it.
+                let _span = match request.trace_context() {
+                    Some(context) => dbpim_trace::span!(
+                        "serve.request",
+                        kind = REQUEST_TYPES[type_index],
+                        fleet = context.fleet,
+                        point = context.point,
+                        parent_span = context.parent_span,
+                    ),
+                    None => dbpim_trace::span!("serve.request", kind = REQUEST_TYPES[type_index]),
+                };
                 let started = Instant::now();
                 let disconnect = dispatch(request, &mut authed, &mut writer, shared);
                 shared.record_latency(type_index, started.elapsed());
@@ -891,7 +922,7 @@ fn dispatch(request: Request, authed: &mut bool, writer: &mut TcpStream, shared:
             // authenticate unconditionally.
             None => respond(writer, &Response::AuthOk),
         },
-        Request::Ping => respond(writer, &Response::Pong { version: PROTOCOL_VERSION }),
+        Request::Ping => respond(writer, &pong()),
         _ if !*authed => {
             shared.metrics.incr(M_ERRORS);
             shared.metrics.incr(M_REJECTED_UNAUTHORIZED);
@@ -907,11 +938,21 @@ fn dispatch(request: Request, authed: &mut bool, writer: &mut TcpStream, shared:
     }
 }
 
+/// Builds the `Pong` answer, timestamped so clients can estimate their
+/// clock offset against this daemon (NTP-style, from the request's
+/// send/receive midpoint).
+fn pong() -> Response {
+    Response::Pong {
+        version: PROTOCOL_VERSION,
+        server_time_micros: Some(dbpim_trace::unix_micros_now()),
+    }
+}
+
 /// Handles one parsed, authorized request; returns `true` when the
 /// connection should close afterwards.
 fn handle_request(request: Request, writer: &mut TcpStream, shared: &Shared) -> bool {
     match request {
-        Request::Ping => respond(writer, &Response::Pong { version: PROTOCOL_VERSION }),
+        Request::Ping => respond(writer, &pong()),
         // `dispatch` resolves credentials; reaching here means the
         // connection is already authorized, so re-auth is a cheap yes.
         Request::Auth { .. } => respond(writer, &Response::AuthOk),
@@ -924,12 +965,29 @@ fn handle_request(request: Request, writer: &mut TcpStream, shared: &Shared) -> 
         Request::ShardStatus => {
             respond(writer, &Response::ShardStatuses { shards: shared.shard_statuses() })
         }
+        Request::TraceSnapshot => {
+            // Drain whatever collector is installed (trace_dir, trace_buffer
+            // or an embedding process's own); a daemon without one answers
+            // an empty snapshot that still identifies the process.
+            let snapshot = match dbpim_trace::collector() {
+                Some(collector) => collector.drain(),
+                None => dbpim_trace::CollectorSnapshot {
+                    epoch_unix_micros: dbpim_trace::unix_micros_now(),
+                    pid: u64::from(std::process::id()),
+                    ..Default::default()
+                },
+            };
+            respond(writer, &Response::TraceSpans { snapshot })
+        }
+        Request::MetricsSnapshot => {
+            respond(writer, &Response::Metrics { metrics: shared.metrics.snapshot() })
+        }
         Request::Shutdown => {
             let _ = respond(writer, &Response::ShuttingDown);
             shared.request_shutdown();
             true
         }
-        Request::RunModel { model, sparsity, width, arch, fidelity, deadline_ms } => {
+        Request::RunModel { model, sparsity, width, arch, fidelity, deadline_ms, trace: _ } => {
             let deadline = Deadline::new(deadline_ms);
             if deadline.expired() {
                 shared.metrics.incr(M_ERRORS);
@@ -954,10 +1012,10 @@ fn handle_request(request: Request, writer: &mut TcpStream, shared: &Shared) -> 
                 }
             }
         }
-        Request::Sweep { spec, fidelity, deadline_ms } => {
+        Request::Sweep { spec, fidelity, deadline_ms, trace: _ } => {
             handle_sweep(&spec, fidelity, Deadline::new(deadline_ms), writer, shared)
         }
-        Request::Explore { spec, deadline_ms, shard } => {
+        Request::Explore { spec, deadline_ms, shard, trace: _ } => {
             handle_explore(&spec, Deadline::new(deadline_ms), shard.as_ref(), writer, shared)
         }
     }
@@ -1178,6 +1236,8 @@ mod tests {
         );
         assert_eq!(REQUEST_TYPES[request_type_index(&Request::CacheStats)], "CacheStats");
         assert_eq!(REQUEST_TYPES[request_type_index(&Request::Stats)], "Stats");
+        assert_eq!(REQUEST_TYPES[request_type_index(&Request::TraceSnapshot)], "TraceSnapshot");
+        assert_eq!(REQUEST_TYPES[request_type_index(&Request::MetricsSnapshot)], "MetricsSnapshot");
         assert_eq!(REQUEST_TYPES[request_type_index(&Request::Shutdown)], "Shutdown");
     }
 }

@@ -14,7 +14,9 @@ use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use serde::{Deserialize, Serialize};
 
 use crate::chrome::ChromeTrace;
 
@@ -29,6 +31,9 @@ pub const DEFAULT_KERNEL_SAMPLING: u64 = 64;
 /// One completed span, as stored in the collector's ring buffer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanRecord {
+    /// Process-unique span id (monotonic, never 0 for recorded spans) —
+    /// the correlation handle distributed trace contexts carry.
+    pub id: u64,
     /// The span name (dot-separated taxonomy, e.g. `pipeline.quantize`).
     pub name: &'static str,
     /// Small dense id of the recording thread (stable within a process).
@@ -51,6 +56,70 @@ impl SpanRecord {
     }
 }
 
+/// An owned, serializable span — the wire form of [`SpanRecord`] used by
+/// the daemon's `TraceSnapshot` response and the fleet's merged export.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpan {
+    /// Process-unique span id (see [`SpanRecord::id`]).
+    pub id: u64,
+    /// The span name.
+    pub name: String,
+    /// Dense thread id within the recording process.
+    pub thread: u64,
+    /// Nesting depth at open time.
+    pub depth: u32,
+    /// Start offset from the *recording collector's* epoch, microseconds.
+    pub start_micros: u64,
+    /// Span duration in microseconds.
+    pub duration_micros: u64,
+    /// Structured key/value arguments.
+    pub args: Vec<(String, String)>,
+}
+
+impl TraceSpan {
+    /// End offset from the recording collector's epoch, in microseconds.
+    #[must_use]
+    pub fn end_micros(&self) -> u64 {
+        self.start_micros + self.duration_micros
+    }
+
+    /// The value of the argument under `key`, when present.
+    #[must_use]
+    pub fn arg(&self, key: &str) -> Option<&str> {
+        self.args.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+impl From<&SpanRecord> for TraceSpan {
+    fn from(record: &SpanRecord) -> Self {
+        Self {
+            id: record.id,
+            name: record.name.to_string(),
+            thread: record.thread,
+            depth: record.depth,
+            start_micros: record.start_micros,
+            duration_micros: record.duration_micros,
+            args: record.args.iter().map(|(k, v)| ((*k).to_string(), v.clone())).collect(),
+        }
+    }
+}
+
+/// Everything one process's collector knows, drained for remote export:
+/// the spans, the drop count, and the wall-clock anchor that lets a
+/// merger translate the monotonic span offsets onto another clock.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CollectorSnapshot {
+    /// The collector's epoch as unix time in microseconds (wall clock
+    /// captured at construction, beside the monotonic epoch).
+    pub epoch_unix_micros: u64,
+    /// OS process id of the recording process (a Chrome-trace lane key).
+    pub pid: u64,
+    /// Spans evicted from the ring buffer because it was full.
+    pub dropped: u64,
+    /// The drained spans, oldest first.
+    pub spans: Vec<TraceSpan>,
+}
+
 #[derive(Debug, Default)]
 struct Ring {
     events: VecDeque<SpanRecord>,
@@ -62,6 +131,7 @@ struct Ring {
 #[derive(Debug)]
 pub struct TraceCollector {
     epoch: Instant,
+    epoch_unix_micros: u64,
     capacity: usize,
     kernel_sampling: u64,
     kernel_counter: AtomicU64,
@@ -87,11 +157,19 @@ impl TraceCollector {
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
             epoch: Instant::now(),
+            epoch_unix_micros: unix_micros_now(),
             capacity: capacity.max(1),
             kernel_sampling: DEFAULT_KERNEL_SAMPLING,
             kernel_counter: AtomicU64::new(0),
             ring: Mutex::new(Ring::default()),
         }
+    }
+
+    /// The collector's epoch as unix time in microseconds — the wall-clock
+    /// twin of the monotonic epoch every span offset is relative to.
+    #[must_use]
+    pub fn epoch_unix_micros(&self) -> u64 {
+        self.epoch_unix_micros
     }
 
     /// Sets the kernel-event sampling interval: [`kernel_span`] records one
@@ -142,6 +220,24 @@ impl TraceCollector {
         self.lock_ring().events.clear();
     }
 
+    /// Atomically copies out every stored span *and* clears the ring (one
+    /// lock acquisition, so no span recorded concurrently is lost between
+    /// snapshot and clear), packaged with the clock anchor a remote
+    /// consumer needs. The drop counter is reported but survives, exactly
+    /// as with [`TraceCollector::clear`].
+    #[must_use]
+    pub fn drain(&self) -> CollectorSnapshot {
+        let mut ring = self.lock_ring();
+        let spans = ring.events.iter().map(TraceSpan::from).collect();
+        ring.events.clear();
+        CollectorSnapshot {
+            epoch_unix_micros: self.epoch_unix_micros,
+            pid: u64::from(std::process::id()),
+            dropped: ring.dropped,
+            spans,
+        }
+    }
+
     /// Stored span count.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -155,6 +251,15 @@ impl TraceCollector {
     }
 }
 
+/// Wall-clock "now" as unix time in microseconds (0 before the epoch,
+/// which no sane host reports).
+#[must_use]
+pub fn unix_micros_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+}
+
 // ------------------------------------------------------------ global state
 
 /// Fast-path flag: `false` makes every span entry point a no-op after one
@@ -164,6 +269,8 @@ static COLLECTOR: Mutex<Option<Arc<TraceCollector>>> = Mutex::new(None);
 /// Dense per-thread ids for trace tagging (thread 0, 1, 2, … in first-span
 /// order; `std::thread::ThreadId` has no stable numeric accessor).
 static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+/// Process-unique span ids, starting at 1 so 0 can mean "no span".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
     static THREAD_ID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
@@ -201,6 +308,13 @@ fn current() -> Option<Arc<TraceCollector>> {
     COLLECTOR.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
 }
 
+/// The currently installed collector, if any — the handle remote
+/// `TraceSnapshot` handlers drain without uninstalling.
+#[must_use]
+pub fn collector() -> Option<Arc<TraceCollector>> {
+    current()
+}
+
 // ------------------------------------------------------------------ spans
 
 /// An open span; records itself into the collector when dropped. Obtained
@@ -212,6 +326,7 @@ pub struct SpanGuard(Option<ActiveSpan>);
 #[derive(Debug)]
 struct ActiveSpan {
     collector: Arc<TraceCollector>,
+    id: u64,
     name: &'static str,
     args: Vec<(&'static str, String)>,
     thread: u64,
@@ -224,6 +339,13 @@ impl SpanGuard {
     pub fn disabled() -> Self {
         SpanGuard(None)
     }
+
+    /// The open span's process-unique id, or `None` for a disabled guard —
+    /// what a distributed trace context carries as its parent span.
+    #[must_use]
+    pub fn id(&self) -> Option<u64> {
+        self.0.as_ref().map(|span| span.id)
+    }
 }
 
 impl Drop for SpanGuard {
@@ -234,6 +356,7 @@ impl Drop for SpanGuard {
             // child's end can never exceed its parent's (exact nesting).
             let duration_micros = span.collector.now_micros().saturating_sub(span.start_micros);
             span.collector.push(SpanRecord {
+                id: span.id,
                 name: span.name,
                 thread: span.thread,
                 depth: span.depth,
@@ -250,6 +373,7 @@ fn open(
     name: &'static str,
     args: Vec<(&'static str, String)>,
 ) -> SpanGuard {
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
     let thread = THREAD_ID.with(|id| *id);
     let depth = DEPTH.with(|depth| {
         let current = depth.get();
@@ -257,7 +381,7 @@ fn open(
         current
     });
     let start_micros = collector.now_micros();
-    SpanGuard(Some(ActiveSpan { collector, name, args, thread, depth, start_micros }))
+    SpanGuard(Some(ActiveSpan { collector, id, name, args, thread, depth, start_micros }))
 }
 
 /// Opens a span on the installed collector (no-op guard when none is).
@@ -398,6 +522,39 @@ impl TraceSink {
         eprint!("{}", crate::chrome::render_phase_table(&crate::chrome::phase_summary(&events)));
         Ok(())
     }
+
+    /// Like [`Self::finish`], but merges `remote_lanes` — other processes'
+    /// spans, timestamps already aligned to this collector's epoch — into
+    /// the written document. This is how `dbpim-fleet --trace-out` folds
+    /// its daemons' drained collectors under the driver's trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-write failures.
+    pub fn finish_merged(
+        self,
+        remote_lanes: Vec<crate::chrome::ProcessLane>,
+    ) -> std::io::Result<()> {
+        uninstall();
+        let events = self.collector.snapshot();
+        let mut lanes = Vec::with_capacity(remote_lanes.len() + 1);
+        lanes.push(crate::chrome::ProcessLane {
+            pid: u64::from(std::process::id()),
+            name: crate::chrome::process_name(),
+            spans: events.iter().map(TraceSpan::from).collect(),
+        });
+        lanes.extend(remote_lanes);
+        std::fs::write(&self.path, ChromeTrace::render_lanes(&lanes))?;
+        let remote_spans: usize = lanes[1..].iter().map(|lane| lane.spans.len()).sum();
+        eprintln!(
+            "trace: {} local + {remote_spans} remote spans across {} processes -> {}",
+            events.len(),
+            lanes.len(),
+            self.path.display()
+        );
+        eprint!("{}", crate::chrome::render_phase_table(&crate::chrome::phase_summary(&events)));
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -484,6 +641,141 @@ mod tests {
         }
         uninstall();
         assert_eq!(collector.len(), 8, "1 in 8 of 64 events");
+    }
+
+    #[test]
+    fn spans_carry_unique_nonzero_ids() {
+        let _guard = GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let collector = Arc::new(TraceCollector::new());
+        install(Arc::clone(&collector));
+        let outer = span!("id.outer");
+        let outer_id = outer.id().expect("enabled span has an id");
+        {
+            let _inner = span!("id.inner");
+        }
+        drop(outer);
+        uninstall();
+        assert!(outer_id > 0);
+        let events = collector.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_ne!(events[0].id, events[1].id);
+        assert!(events.iter().all(|e| e.id > 0));
+        assert!(SpanGuard::disabled().id().is_none());
+    }
+
+    #[test]
+    fn drain_empties_the_ring_and_anchors_the_clock() {
+        let _guard = GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let collector = Arc::new(TraceCollector::with_capacity(2));
+        install(Arc::clone(&collector));
+        for _ in 0..5 {
+            let _s = span!("drain.me", point = "alexnet/int8");
+        }
+        uninstall();
+        let snapshot = collector.drain();
+        assert_eq!(snapshot.spans.len(), 2);
+        assert_eq!(snapshot.dropped, 3);
+        assert_eq!(snapshot.pid, u64::from(std::process::id()));
+        assert!(snapshot.epoch_unix_micros > 0);
+        assert_eq!(snapshot.spans[0].arg("point"), Some("alexnet/int8"));
+        // The ring is empty afterwards but the drop counter survives.
+        assert!(collector.is_empty());
+        assert_eq!(collector.dropped(), 3);
+        // The owned spans round-trip through the wire format.
+        let json = serde_json::to_string(&snapshot).expect("serializes");
+        let back: CollectorSnapshot = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, snapshot);
+    }
+
+    #[test]
+    fn concurrent_threads_account_for_every_dropped_span() {
+        let _guard = GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        const THREADS: u64 = 8;
+        const SPANS_PER_THREAD: u64 = 100;
+        const CAPACITY: usize = 32;
+        let collector = Arc::new(TraceCollector::with_capacity(CAPACITY));
+        install(Arc::clone(&collector));
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    for _ in 0..SPANS_PER_THREAD {
+                        let _s = span!("concurrent.drop");
+                    }
+                });
+            }
+        });
+        uninstall();
+        // Every push either lands in the ring or bumps the drop counter —
+        // under one lock — so the accounting is exact, not approximate.
+        assert_eq!(collector.len(), CAPACITY);
+        assert_eq!(collector.dropped(), THREADS * SPANS_PER_THREAD - CAPACITY as u64);
+    }
+
+    #[test]
+    fn concurrent_kernel_sampling_hits_the_exact_ratio() {
+        let _guard = GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        const THREADS: u64 = 8;
+        const EVENTS_PER_THREAD: u64 = 256;
+        const SAMPLING: u64 = 16;
+        let collector = Arc::new(TraceCollector::new().with_kernel_sampling(SAMPLING));
+        install(Arc::clone(&collector));
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    for _ in 0..EVENTS_PER_THREAD {
+                        let _k = kernel_span("concurrent.kernel");
+                    }
+                });
+            }
+        });
+        uninstall();
+        // The sampling counter is one atomic fetch_add shared by every
+        // thread, so exactly 1 in SAMPLING of the total fires regardless
+        // of interleaving (total is a multiple of SAMPLING).
+        assert_eq!(collector.len() as u64, THREADS * EVENTS_PER_THREAD / SAMPLING);
+    }
+
+    #[test]
+    fn concurrent_nesting_invariants_hold_per_thread() {
+        let _guard = GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        const THREADS: usize = 4;
+        let collector = Arc::new(TraceCollector::new());
+        install(Arc::clone(&collector));
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    for _ in 0..10 {
+                        let _outer = span!("nest.outer");
+                        let _inner = span!("nest.inner");
+                    }
+                });
+            }
+        });
+        uninstall();
+        let events = collector.snapshot();
+        assert_eq!(events.len(), THREADS * 20);
+        let threads: std::collections::BTreeSet<u64> = events.iter().map(|e| e.thread).collect();
+        assert_eq!(threads.len(), THREADS);
+        for &thread in &threads {
+            let outers: Vec<_> =
+                events.iter().filter(|e| e.thread == thread && e.name == "nest.outer").collect();
+            let inners: Vec<_> =
+                events.iter().filter(|e| e.thread == thread && e.name == "nest.inner").collect();
+            assert_eq!(outers.len(), 10);
+            assert_eq!(inners.len(), 10);
+            // Depth never leaks across iterations or threads, and every
+            // inner nests strictly inside an outer of its own thread.
+            for outer in &outers {
+                assert_eq!(outer.depth, 0);
+            }
+            for inner in &inners {
+                assert_eq!(inner.depth, 1);
+                assert!(outers.iter().any(|outer| {
+                    inner.start_micros >= outer.start_micros
+                        && inner.end_micros() <= outer.end_micros()
+                }));
+            }
+        }
     }
 
     #[test]

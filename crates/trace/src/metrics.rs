@@ -58,6 +58,57 @@ impl MetricsSnapshot {
     pub fn histogram(&self, name: &str) -> Option<&LatencyHistogram> {
         self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
     }
+
+    /// Renders the snapshot in the Prometheus text exposition format:
+    /// counters and gauges as single samples, histograms as cumulative
+    /// `_bucket{le="…"}` series (log₂ bounds in microseconds) plus `_sum`
+    /// and `_count`. Metric names are sanitized (`serve.requests` →
+    /// `serve_requests`) so the output scrapes cleanly.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let name = sanitize_metric_name(name);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            let name = sanitize_metric_name(name);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+        }
+        for (name, histogram) in &self.histograms {
+            let name = sanitize_metric_name(name);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (index, bucket) in histogram.buckets.iter().enumerate() {
+                cumulative += bucket;
+                let bound = LatencyHistogram::bucket_bound_micros(index);
+                if bound == u64::MAX {
+                    // The catch-all bucket *is* +Inf; emitted below.
+                    break;
+                }
+                out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"+Inf\"}} {count}\n{name}_sum {sum}\n{name}_count {count}\n",
+                count = histogram.count,
+                sum = histogram.total_micros,
+            ));
+        }
+        out
+    }
+}
+
+/// Maps a registry metric name onto the Prometheus name charset
+/// (`[a-zA-Z0-9_:]`, no leading digit): every other byte becomes `_`.
+fn sanitize_metric_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
 }
 
 impl MetricsRegistry {
@@ -128,6 +179,13 @@ impl MetricsRegistry {
         self.lock().histograms.get(name).cloned()
     }
 
+    /// Renders the registry's current contents in the Prometheus text
+    /// exposition format (see [`MetricsSnapshot::render_prometheus`]).
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
+    }
+
     /// A point-in-time copy of everything the registry holds.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -180,6 +238,33 @@ mod tests {
         let json = serde_json::to_string(&snapshot).expect("serializes");
         let back: MetricsSnapshot = serde_json::from_str(&json).expect("parses");
         assert_eq!(back, snapshot);
+    }
+
+    #[test]
+    fn prometheus_rendering_covers_all_three_kinds() {
+        let registry = MetricsRegistry::new();
+        registry.add("serve.requests", 7);
+        registry.set_gauge("serve.active-connections", 3);
+        registry.observe_micros("serve.latency.Ping", 1); // bucket le="2"
+        registry.observe_micros("serve.latency.Ping", 100); // bucket le="128"
+        let text = registry.render_prometheus();
+
+        assert!(text.contains("# TYPE serve_requests counter\nserve_requests 7\n"), "{text}");
+        assert!(
+            text.contains("# TYPE serve_active_connections gauge\nserve_active_connections 3\n"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE serve_latency_Ping histogram\n"), "{text}");
+        // Cumulative buckets: the le="2" bucket holds the first sample,
+        // le="128" both, and +Inf/_count/_sum agree with the totals.
+        assert!(text.contains("serve_latency_Ping_bucket{le=\"1\"} 0\n"), "{text}");
+        assert!(text.contains("serve_latency_Ping_bucket{le=\"2\"} 1\n"), "{text}");
+        assert!(text.contains("serve_latency_Ping_bucket{le=\"128\"} 2\n"), "{text}");
+        assert!(text.contains("serve_latency_Ping_bucket{le=\"+Inf\"} 2\n"), "{text}");
+        assert!(text.contains("serve_latency_Ping_sum 101\n"), "{text}");
+        assert!(text.contains("serve_latency_Ping_count 2\n"), "{text}");
+        // Snapshot and registry render identically.
+        assert_eq!(text, registry.snapshot().render_prometheus());
     }
 
     #[test]

@@ -99,7 +99,7 @@ fn malformed_requests_get_structured_errors_not_disconnects() {
 
     // The same connection still answers real requests.
     match raw_exchange(&mut reader, &mut writer, "\"Ping\"") {
-        Response::Pong { version } => assert_eq!(version, dbpim_serve::PROTOCOL_VERSION),
+        Response::Pong { version, .. } => assert_eq!(version, dbpim_serve::PROTOCOL_VERSION),
         other => panic!("connection should have survived the garbage, got {other:?}"),
     }
 
@@ -458,7 +458,7 @@ fn slowloris_clients_complete_frames_across_read_timeouts() {
     let mut answer = String::new();
     reader.read_line(&mut answer).expect("read response line");
     match serde_json::from_str::<Response>(answer.trim_end()).expect("valid JSON") {
-        Response::Pong { version } => assert_eq!(version, dbpim_serve::PROTOCOL_VERSION),
+        Response::Pong { version, .. } => assert_eq!(version, dbpim_serve::PROTOCOL_VERSION),
         other => panic!("expected Pong for the dribbled frame, got {other:?}"),
     }
 

@@ -91,14 +91,27 @@ fn chrome_export_covers_pipeline_phases_and_parses() {
     let events = serde::value::get_field(document, "traceEvents")
         .and_then(Value::as_seq)
         .expect("traceEvents array");
-    assert_eq!(events.len(), spans.len());
+    // One complete (`ph:"X"`) event per span, plus the lane's labelling
+    // metadata: one `process_name` and one `thread_name` per thread.
+    let threads: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.thread).collect();
+    assert_eq!(events.len(), spans.len() + 1 + threads.len());
+    let mut complete = 0usize;
+    let mut metadata = 0usize;
     for event in events {
         let event = event.as_map().expect("event object");
-        assert_eq!(serde::value::get_field(event, "ph").and_then(Value::as_str), Some("X"));
         assert!(serde::value::get_field(event, "name").and_then(Value::as_str).is_some());
-        assert!(serde::value::get_field(event, "ts").is_some());
-        assert!(serde::value::get_field(event, "dur").is_some());
+        match serde::value::get_field(event, "ph").and_then(Value::as_str) {
+            Some("X") => {
+                complete += 1;
+                assert!(serde::value::get_field(event, "ts").is_some());
+                assert!(serde::value::get_field(event, "dur").is_some());
+            }
+            Some("M") => metadata += 1,
+            other => panic!("unexpected event phase {other:?}"),
+        }
     }
+    assert_eq!(complete, spans.len());
+    assert_eq!(metadata, 1 + threads.len());
 }
 
 /// Spans on one thread either nest or are disjoint — never partially
@@ -176,6 +189,89 @@ fn serve_stats_mirror_the_shared_registry() {
     let local = registry.histogram("serve.latency.Ping").expect("ping histogram in the registry");
     assert_eq!(ping.histogram, local);
     assert_eq!(ping.histogram.count, 2);
+
+    client.shutdown().expect("shutdown acknowledged");
+    handle.join().expect("daemon exits cleanly");
+}
+
+/// A daemon in `--trace-buffer` mode records `serve.request` spans that
+/// carry the caller's propagated trace context, and `TraceSnapshot`
+/// drains them over the wire: the first drain returns the spans, the
+/// second returns an empty buffer.
+#[test]
+fn trace_snapshot_drains_context_tagged_request_spans() {
+    let _guard = trace_lock().lock().expect("trace test lock");
+    let handle = Server::spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        poll_interval: Duration::from_millis(50),
+        pipeline: small_config(),
+        trace_buffer: Some(4096),
+        ..ServeConfig::default()
+    })
+    .expect("server spawns");
+
+    let mut client = Client::connect(handle.addr()).expect("connects");
+    client.ping().expect("pings");
+    let context = dbpim_serve::TraceContext {
+        fleet: "ci-fleet".to_string(),
+        point: "alexnet/int8@2x64".to_string(),
+        parent_span: 99,
+    };
+    client
+        .explore_streaming_traced(&small_spec(), None, None, Some(context), |_, _| {})
+        .expect("traced exploration runs");
+
+    let snapshot = client.trace_snapshot().expect("trace snapshot answer");
+    assert_eq!(snapshot.pid, u64::from(std::process::id()), "in-process daemon shares our pid");
+    assert_eq!(snapshot.dropped, 0);
+    let request_span = snapshot
+        .spans
+        .iter()
+        .find(|span| span.name == "serve.request" && span.arg("kind") == Some("Explore"))
+        .expect("an Explore serve.request span was recorded");
+    assert_eq!(request_span.arg("fleet"), Some("ci-fleet"));
+    assert_eq!(request_span.arg("point"), Some("alexnet/int8@2x64"));
+    assert_eq!(request_span.arg("parent_span"), Some("99"));
+    assert!(request_span.id != 0, "recorded spans carry non-sentinel ids");
+    // The pipeline work executed inside the daemon landed in the same buffer.
+    assert!(snapshot.spans.iter().any(|span| span.name == "pipeline.simulate"));
+
+    let drained = client.trace_snapshot().expect("second snapshot");
+    // Draining twice yields at most the spans recorded since the first
+    // drain (the TraceSnapshot request itself); the explore spans are gone.
+    assert!(
+        drained.spans.iter().all(|span| span.name == "serve.request"),
+        "first drain cleared the buffer"
+    );
+
+    client.shutdown().expect("shutdown acknowledged");
+    handle.join().expect("daemon exits cleanly");
+    dbpim_trace::uninstall();
+}
+
+/// `MetricsSnapshot` ships the daemon's registry over the wire, and its
+/// Prometheus rendering exposes the serve counters.
+#[test]
+fn metrics_snapshot_renders_prometheus_counters() {
+    let handle = Server::spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        poll_interval: Duration::from_millis(50),
+        pipeline: small_config(),
+        ..ServeConfig::default()
+    })
+    .expect("server spawns");
+
+    let mut client = Client::connect(handle.addr()).expect("connects");
+    client.ping().expect("pings");
+    client.ping().expect("pings");
+    let metrics = client.metrics_snapshot().expect("metrics answer");
+    let text = metrics.render_prometheus();
+    assert!(text.contains("# TYPE serve_requests counter\nserve_requests 3\n"), "{text}");
+    assert!(text.contains("# TYPE serve_connections counter\nserve_connections 1\n"), "{text}");
+    assert!(text.contains("# TYPE serve_latency_Ping histogram\n"), "{text}");
+    assert!(text.contains("serve_latency_Ping_count 2\n"), "{text}");
 
     client.shutdown().expect("shutdown acknowledged");
     handle.join().expect("daemon exits cleanly");
